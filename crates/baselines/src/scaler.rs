@@ -1,0 +1,92 @@
+//! Per-column standardization shared by the baselines (each baseline owns
+//! its scaler so it can be trained on raw feature matrices).
+
+use nn::Mat;
+use serde::{Deserialize, Serialize};
+
+/// Per-column z-score scaler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scaler {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Scaler {
+    /// Fits column statistics over a set of `(frames, features)` matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mats` is empty, contains no rows, or widths differ.
+    pub fn fit<'a>(mats: impl IntoIterator<Item = &'a Mat>) -> Self {
+        let mut count = 0usize;
+        let mut mean: Vec<f64> = Vec::new();
+        let mut m2: Vec<f64> = Vec::new();
+        for m in mats {
+            if mean.is_empty() {
+                mean = vec![0.0; m.cols()];
+                m2 = vec![0.0; m.cols()];
+            }
+            assert_eq!(m.cols(), mean.len(), "Scaler::fit: width mismatch");
+            for r in m.iter_rows() {
+                count += 1;
+                for (c, &x) in r.iter().enumerate() {
+                    // Welford's online update.
+                    let delta = x as f64 - mean[c];
+                    mean[c] += delta / count as f64;
+                    m2[c] += delta * (x as f64 - mean[c]);
+                }
+            }
+        }
+        assert!(count > 0, "Scaler::fit: no rows");
+        let std = m2
+            .iter()
+            .map(|&v| ((v / count as f64).sqrt() as f32).max(1e-6))
+            .collect();
+        Self { mean: mean.into_iter().map(|x| x as f32).collect(), std }
+    }
+
+    /// Number of columns.
+    pub fn dims(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Applies the scaling to a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn apply(&self, m: &Mat) -> Mat {
+        assert_eq!(m.cols(), self.dims(), "Scaler::apply: width mismatch");
+        let cols = self.dims();
+        let data = m
+            .as_slice()
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x - self.mean[i % cols]) / self.std[i % cols])
+            .collect();
+        Mat::from_vec(m.rows(), m.cols(), data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_apply_standardizes() {
+        let a = Mat::from_rows(&[&[0.0, 10.0], &[2.0, 30.0]]);
+        let b = Mat::from_rows(&[&[4.0, 50.0], &[6.0, 70.0]]);
+        let s = Scaler::fit([&a, &b]);
+        let t = s.apply(&a);
+        // mean of col0 = 3, std = sqrt(5); first value (0-3)/sqrt(5).
+        assert!((t[(0, 0)] + 3.0 / 5.0_f32.sqrt()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn constant_column_does_not_blow_up() {
+        let a = Mat::from_rows(&[&[5.0], &[5.0]]);
+        let s = Scaler::fit([&a]);
+        let t = s.apply(&a);
+        assert!(t.as_slice().iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,65 @@
+//! Criterion benches for the paper's compute-time claims (Table VIII:
+//! 1.5–3.2 ms per sample on the authors' GPU workstation; our scaled-down
+//! models on CPU should land in the same order of magnitude).
+
+use bench::{jigsaws_dataset, suturing_monitor_cfg, Scale};
+use context_monitor::{ContextMode, SafetyMonitor, TrainedPipeline};
+use criterion::{criterion_group, criterion_main, Criterion};
+use gestures::Task;
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let ds = jigsaws_dataset(Task::Suturing, Scale::Fast);
+    let mut cfg = suturing_monitor_cfg(Scale::Fast);
+    cfg.train.epochs = 2; // weights don't affect latency
+    cfg.train_stride = 6;
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let mut pipeline = TrainedPipeline::train(&ds, &idx, &cfg);
+
+    let demo = &ds.demos[0];
+    // Stage-specific windows: the gesture stage uses its own (wider)
+    // feature window than the error stage.
+    let feats = pipeline.normalizer.apply(&demo.feature_matrix(&cfg.features));
+    let window = feats.slice_rows(0, cfg.window.width);
+    let gfeats = pipeline
+        .gesture_normalizer
+        .apply(&demo.feature_matrix(&cfg.gesture_features));
+    let gwindow = gfeats.slice_rows(0, cfg.gesture_window);
+
+    c.bench_function("gesture_classifier_window", |b| {
+        b.iter(|| black_box(pipeline.gesture_net.predict(black_box(&gwindow))))
+    });
+
+    let g = *pipeline.error_nets.keys().next().expect("a dedicated classifier");
+    c.bench_function("error_classifier_window", |b| {
+        b.iter(|| black_box(pipeline.score_window(black_box(&window), g, ContextMode::Perfect)))
+    });
+
+    c.bench_function("full_pipeline_window", |b| {
+        b.iter(|| {
+            let g = pipeline.gesture_net.predict(black_box(&gwindow)).argmax_row(0);
+            black_box(pipeline.score_window(&window, g, ContextMode::Predicted))
+        })
+    });
+
+    // Streaming monitor: cost of one frame push (includes normalization and
+    // the ring buffers).
+    let saved = pipeline.save();
+    let mut monitor =
+        SafetyMonitor::new(TrainedPipeline::from_saved(saved), ContextMode::Predicted);
+    let warm = cfg.window.width.max(cfg.gesture_window);
+    for frame in demo.frames.iter().take(warm) {
+        let _ = monitor.push(frame);
+    }
+    let frame = demo.frames[warm].clone();
+    c.bench_function("monitor_push_frame", |b| {
+        b.iter(|| black_box(monitor.push(black_box(&frame))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_inference
+}
+criterion_main!(benches);

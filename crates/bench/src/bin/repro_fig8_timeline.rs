@@ -1,0 +1,111 @@
+//! Fig. 8 — example timeline for detecting anomalies: ground-truth gestures
+//! vs. predicted gestures, the erroneous span, and where the monitor fires,
+//! rendered as an ASCII strip chart for one faulty Block Transfer trial.
+
+use bench::{block_transfer_dataset, block_transfer_monitor_cfg, header, Scale};
+use context_monitor::{ContextMode, TrainedPipeline};
+use eval::segments;
+use gestures::Gesture;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ds = block_transfer_dataset(scale);
+    let cfg = block_transfer_monitor_cfg(scale);
+    let folds = ds.loso_folds();
+    let fold = &folds[0];
+    let mut pipeline = TrainedPipeline::train(&ds, &fold.train, &cfg);
+
+    // Pick a test demo with an annotated error; fall back to the first.
+    let demo_idx = fold
+        .test
+        .iter()
+        .copied()
+        .find(|&i| !ds.demos[i].errors.is_empty())
+        .unwrap_or(fold.test[0]);
+    let demo = &ds.demos[demo_idx];
+    let run = pipeline.run_demo(demo, ContextMode::Predicted);
+
+    header(&format!("Fig. 8 — detection timeline for {}", demo.id));
+    let width = 100usize;
+    let n = demo.len();
+    let at = |t: usize| (t * width / n).min(width - 1);
+
+    println!("Ground truth   {}", gesture_strip(&demo.gesture_indices(), width));
+    println!("Predicted      {}", gesture_strip(&run.gesture_pred, width));
+    println!("Truth unsafe   {}", bool_strip(&demo.unsafe_labels, width));
+    println!("Pred unsafe    {}", bool_strip(&run.unsafe_pred, width));
+
+    let mut marks = vec![' '; width];
+    for e in &demo.errors {
+        marks[at(e.actual_frame)] = 'X';
+    }
+    if let Some(first_alert) = run.unsafe_pred.iter().position(|&u| u) {
+        let c = &mut marks[at(first_alert)];
+        *c = if *c == 'X' { '*' } else { 'D' };
+    }
+    println!("Events         {}   (X = actual error, D = first detection, * = both)", marks.iter().collect::<String>());
+
+    println!("\nlegend (gesture strips):");
+    let mut seen: Vec<usize> = demo.gesture_indices();
+    seen.sort_unstable();
+    seen.dedup();
+    for g in seen {
+        println!(
+            "  {} = {} ({})",
+            symbol(g),
+            Gesture::from_index(g).map(|x| x.to_string()).unwrap_or_default(),
+            Gesture::from_index(g).map(|x| x.description()).unwrap_or_default()
+        );
+    }
+
+    println!("\nsegment boundaries (ground truth):");
+    for seg in segments(&demo.gesture_indices()) {
+        println!(
+            "  G{:<3} frames {:>5}..{:<5} ({:.2}s..{:.2}s)",
+            seg.label + 1,
+            seg.start,
+            seg.end,
+            seg.start as f32 / demo.hz,
+            seg.end as f32 / demo.hz
+        );
+    }
+    for e in &demo.errors {
+        println!(
+            "\nannotated error: {} erroneous over frames {}..{}, actual occurrence at frame {} ({:.2}s)",
+            e.gesture, e.span_start, e.span_end, e.actual_frame,
+            e.actual_frame as f32 / demo.hz
+        );
+    }
+}
+
+fn symbol(g: usize) -> char {
+    let alphabet = ['2', 'c', '6', '5', 'b', '1', '3', '4', '7', '8', '9', '0', 'd', 'e', 'f'];
+    match g {
+        1 => '2',  // G2
+        11 => 'c', // G12
+        5 => '6',  // G6
+        4 => '5',  // G5
+        10 => 'b', // G11
+        other => alphabet[other % alphabet.len()],
+    }
+}
+
+fn gesture_strip(labels: &[usize], width: usize) -> String {
+    (0..width)
+        .map(|c| symbol(labels[c * labels.len() / width]))
+        .collect()
+}
+
+fn bool_strip(labels: &[bool], width: usize) -> String {
+    (0..width)
+        .map(|c| {
+            let lo = c * labels.len() / width;
+            let hi = ((c + 1) * labels.len() / width).max(lo + 1);
+            if labels[lo..hi.min(labels.len())].iter().any(|&b| b) {
+                '#'
+            } else {
+                '.'
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,56 @@
+//! Fig. 9 — best, median, and worst per-demonstration ROC curves for the
+//! whole pipeline in the context-specific and non-context-specific setups
+//! (Suturing). Curves are emitted as CSV blocks for plotting.
+
+use bench::{folds_to_run, header, jigsaws_dataset, suturing_monitor_cfg, Scale};
+use context_monitor::{evaluate_pipeline, ContextMode, PipelineEval, TrainedPipeline};
+use gestures::Task;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ds = jigsaws_dataset(Task::Suturing, scale);
+    let cfg = suturing_monitor_cfg(scale);
+    let folds = ds.loso_folds();
+    let n_folds = folds_to_run(scale, folds.len());
+
+    for mode in [ContextMode::Predicted, ContextMode::NoContext] {
+        let mut pooled: Option<PipelineEval> = None;
+        for fold in folds.iter().take(n_folds) {
+            let mut pipeline = TrainedPipeline::train(&ds, &fold.train, &cfg);
+            let eval = evaluate_pipeline(&mut pipeline, &ds, &fold.test, mode);
+            pooled = Some(match pooled.take() {
+                None => eval,
+                Some(mut acc) => {
+                    acc.demos.extend(eval.demos);
+                    acc
+                }
+            });
+        }
+        let eval = pooled.expect("folds");
+        let curves = eval.roc_curves();
+        header(&format!("Fig. 9 — {mode}: {} demos with defined ROC", curves.len()));
+        if curves.is_empty() {
+            println!("(no test demo had both classes)");
+            continue;
+        }
+        let picks = [
+            ("worst", 0usize),
+            ("median", curves.len() / 2),
+            ("best", curves.len() - 1),
+        ];
+        for (label, idx) in picks {
+            let (id, curve) = &curves[idx];
+            println!("\n# {label}: demo {id}, AUC = {:.3}", curve.auc());
+            print!("{}", curve.to_csv());
+        }
+        println!(
+            "\nmode summary: mean AUC {} over {} demos",
+            eval.auc_summary(),
+            eval.auc_summary().n
+        );
+    }
+    println!(
+        "\npaper's claim to check: the context-specific pipeline's curves dominate the\n\
+         non-context-specific baseline at every percentile (best/median/worst)."
+    );
+}

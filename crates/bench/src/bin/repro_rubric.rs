@@ -1,0 +1,45 @@
+//! Table II — the gesture-specific error rubric.
+//!
+//! Prints every gesture of the Suturing/Block Transfer vocabulary with its
+//! common failure modes and kinematic fault causes, exactly the knowledge
+//! the data annotation and error injection are driven by.
+
+use gestures::{error_modes, Gesture, Task, ALL_TASKS};
+
+fn main() {
+    println!("Table II — gesture-specific errors in Suturing and Block Transfer\n");
+    println!(
+        "{:<5} {:<45} {:<55} Potential causes (faults)",
+        "Gest", "Description", "Common failure modes"
+    );
+    let mut listed: Vec<Gesture> = Task::Suturing
+        .gestures()
+        .iter()
+        .chain(Task::BlockTransfer.gestures())
+        .copied()
+        .collect();
+    listed.sort();
+    listed.dedup();
+    for g in listed {
+        let modes = error_modes(g);
+        if modes.is_empty() {
+            println!("{:<5} {:<45} {:<55} -", g.to_string(), g.description(), "(no common errors)");
+            continue;
+        }
+        for (i, m) in modes.iter().enumerate() {
+            let causes: Vec<String> = m.causes.iter().map(|c| c.to_string()).collect();
+            let (gc, desc) = if i == 0 {
+                (g.to_string(), g.description().to_string())
+            } else {
+                (String::new(), String::new())
+            };
+            println!("{:<5} {:<45} {:<55} {}", gc, desc, m.failure_mode, causes.join(" / "));
+        }
+    }
+
+    println!("\nTask vocabularies (Fig. 3 support):");
+    for t in ALL_TASKS {
+        let v: Vec<String> = t.gestures().iter().map(|g| g.to_string()).collect();
+        println!("  {:<15} {}", t.to_string(), v.join(", "));
+    }
+}

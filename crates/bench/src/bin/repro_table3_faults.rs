@@ -1,0 +1,107 @@
+//! Table III — fault-injection experiments on the Raven II.
+//!
+//! Runs the paper's 651-injection grid (scaled down under `REPRO_SCALE=fast`)
+//! through the simulator and prints per-cell block-drop / dropoff-failure
+//! rates next to the paper's totals. Also cross-checks a sample of outcomes
+//! against the vision-based labeling pipeline (§IV-B's orthogonal method).
+
+use bench::{compare, header, Scale};
+use faults::{run_campaign, run_injection, sample_spec, table3_grid, CampaignConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use raven_sim::{run_block_transfer, NoFaults, SimConfig};
+use vision::{label_trial, reference_trace, VisionConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (sim, grid_scale) = match scale {
+        Scale::Fast => (SimConfig { hz: 50.0, duration_s: 5.0, seed: 0, tremor: 0.3 }, 0.25),
+        Scale::Full => (SimConfig::default(), 1.0),
+    };
+
+    header("Table III — fault injection campaign");
+    let cfg = CampaignConfig { sim, seed: bench::SEED, scale: grid_scale, threads: 8 };
+    let report = run_campaign(&cfg);
+    print!("{}", report.render());
+
+    header("paper vs measured (rates)");
+    compare("total injections", "651", &report.total_injections().to_string());
+    compare(
+        "block-drop rate",
+        "392/651 = 60.2%",
+        &format!(
+            "{}/{} = {:.1}%",
+            report.total_block_drops(),
+            report.total_injections(),
+            100.0 * report.total_block_drops() as f32 / report.total_injections() as f32
+        ),
+    );
+    compare(
+        "dropoff-failure rate",
+        "106/651 = 16.3%",
+        &format!(
+            "{}/{} = {:.1}%",
+            report.total_dropoffs(),
+            report.total_injections(),
+            100.0 * report.total_dropoffs() as f32 / report.total_injections() as f32
+        ),
+    );
+
+    // Qualitative regime checks from §IV-B.
+    let mut regimes = [("low angle / short interval", 0usize, 0usize),
+        ("low angle / long interval (dropoffs)", 0, 0),
+        ("high angle >= 1.1 rad (block drops)", 0, 0)];
+    for c in &report.cells {
+        let low = c.cell.grasper.1 <= 0.85;
+        let long = c.cell.grasper_interval.1 > 0.8;
+        if low && !long {
+            regimes[0].1 += c.errors();
+            regimes[0].2 += c.injections;
+        } else if low && long {
+            regimes[1].1 += c.dropoffs;
+            regimes[1].2 += c.injections;
+        } else if c.cell.grasper.0 >= 1.1 {
+            regimes[2].1 += c.block_drops;
+            regimes[2].2 += c.injections;
+        }
+    }
+    compare(
+        regimes[0].0,
+        "0-12.5% errors",
+        &format!("{:.1}%", 100.0 * regimes[0].1 as f32 / regimes[0].2.max(1) as f32),
+    );
+    compare(
+        regimes[1].0,
+        "93.75-100%",
+        &format!("{:.1}%", 100.0 * regimes[1].1 as f32 / regimes[1].2.max(1) as f32),
+    );
+    compare(
+        regimes[2].0,
+        "75-100%",
+        &format!("{:.1}%", 100.0 * regimes[2].1 as f32 / regimes[2].2.max(1) as f32),
+    );
+
+    header("vision cross-check (automated labeling of errors, §IV-B)");
+    let vcfg = VisionConfig::default();
+    let reference = reference_trace(
+        &run_block_transfer(&SimConfig { seed: 7, ..sim }, &mut NoFaults),
+        &vcfg,
+    );
+    let grid = table3_grid();
+    let mut rng = SmallRng::seed_from_u64(bench::SEED ^ 0xCC);
+    let mut agree = 0usize;
+    let n_check = 24usize;
+    for k in 0..n_check {
+        let cell = &grid[k % grid.len()];
+        let spec = sample_spec(cell, &mut rng);
+        let sim_cfg = SimConfig { seed: 1000 + k as u64, ..sim };
+        let (trial, _) = run_injection(&sim_cfg, spec);
+        let verdict = label_trial(&trial, &reference, &vcfg);
+        if verdict.failure == trial.outcome.failure {
+            agree += 1;
+        }
+    }
+    println!(
+        "vision verdict agrees with simulator ground truth on {agree}/{n_check} sampled injections"
+    );
+}

@@ -1,0 +1,80 @@
+//! Table IX — effect of the pipeline components on per-gesture accuracy and
+//! timeliness: reaction time and F1 with perfect boundaries vs. the full
+//! gesture-specific pipeline, plus gesture detection accuracy and jitter.
+
+use bench::{block_transfer_dataset, block_transfer_monitor_cfg, header, jigsaws_dataset, suturing_monitor_cfg, Scale};
+use context_monitor::{per_gesture_report, ContextMode, GestureRow, MonitorConfig, TrainedPipeline};
+use gestures::Task;
+use kinematics::Dataset;
+
+fn main() {
+    let scale = Scale::from_env();
+
+    header("Table IX — per-gesture breakdown (Suturing, dVRK)");
+    run_task(&jigsaws_dataset(Task::Suturing, scale), &suturing_monitor_cfg(scale));
+
+    header("Table IX — per-gesture breakdown (Block Transfer, Raven II)");
+    run_task(&block_transfer_dataset(scale), &block_transfer_monitor_cfg(scale));
+
+    println!(
+        "\npaper's observations to check (§VI):\n\
+         * perfect boundaries give better (less negative) reaction times and F1 than the\n\
+           gesture-specific pipeline for every gesture;\n\
+         * gestures with high erroneous-gesture F1 (G4, G6 in Suturing) also have the best\n\
+           reaction times;\n\
+         * gestures with no common errors (e.g. G10) have no reaction times at all."
+    );
+}
+
+fn run_task(ds: &Dataset, cfg: &MonitorConfig) {
+    let folds = ds.loso_folds();
+    let fold = &folds[0];
+    let mut pipeline = TrainedPipeline::train(ds, &fold.train, cfg);
+
+    let perfect = per_gesture_report(&mut pipeline, ds, &fold.test, ContextMode::Perfect);
+    let predicted = per_gesture_report(&mut pipeline, ds, &fold.test, ContextMode::Predicted);
+
+    println!(
+        "{:<5} | {:>11} {:>8} | {:>8} {:>11} {:>11} {:>8} | {:>6}",
+        "Gest", "react(ms)", "F1err", "detect%", "jitter(ms)", "jitterE(ms)", "react", "F1err"
+    );
+    println!("{:<5} | {:^21} | {:^42} |", "", "perfect boundaries", "gesture-specific pipeline");
+    for p in &perfect {
+        let q = predicted.iter().find(|r| r.gesture == p.gesture);
+        let q = match q {
+            Some(q) => q,
+            None => continue,
+        };
+        println!(
+            "G{:<4} | {:>11} {:>8} | {:>7.1}% {:>11} {:>11} {:>8} | {:>6}",
+            p.gesture + 1,
+            fmt_ms(p.avg_reaction_ms),
+            fmt_f1(p.f1_err, p.events),
+            100.0 * q.detection_accuracy,
+            fmt_ms(q.avg_jitter_ms),
+            fmt_ms(q.avg_jitter_err_ms),
+            fmt_ms(q.avg_reaction_ms),
+            fmt_f1(q.f1_err, q.events)
+        );
+    }
+}
+
+fn fmt_ms(v: f32) -> String {
+    if v.is_nan() {
+        "N/A".to_string()
+    } else {
+        format!("{v:+.0}")
+    }
+}
+
+fn fmt_f1(v: f32, events: usize) -> String {
+    if events == 0 {
+        "N/A".to_string()
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Kept for doc purposes: the row type printed above.
+#[allow(dead_code)]
+fn _row_type(_: GestureRow) {}

@@ -1,0 +1,54 @@
+//! # `context-monitor` — real-time context-aware detection of unsafe events
+//!
+//! The paper's primary contribution (Yasar & Alemzadeh, DSN 2020): an online
+//! safety-monitoring pipeline for robot-assisted surgery that
+//!
+//! 1. infers the **operational context** — the surgical gesture — from
+//!    sliding windows of kinematics with a stacked-LSTM classifier, and
+//! 2. routes each window to a **gesture-specific erroneous-gesture
+//!    classifier** (1D-CNN or LSTM) that flags unsafe execution,
+//!
+//! with a non-context-specific single classifier as the baseline and a
+//! perfect-boundary mode as the upper bound (Table VIII's three rows).
+//!
+//! ```no_run
+//! use context_monitor::{ContextMode, MonitorConfig, SafetyMonitor, TrainedPipeline};
+//! use gestures::Task;
+//! use jigsaws::{generate, GeneratorConfig};
+//! use kinematics::FeatureSet;
+//!
+//! let dataset = generate(&GeneratorConfig::fast(Task::Suturing));
+//! let fold = &dataset.loso_folds()[0];
+//! let cfg = MonitorConfig::fast(FeatureSet::CRG);
+//! let pipeline = TrainedPipeline::train(&dataset, &fold.train, &cfg);
+//!
+//! // Stream kinematics through the online monitor.
+//! let mut monitor = SafetyMonitor::new(pipeline, ContextMode::Predicted);
+//! for frame in &dataset.demos[fold.test[0]].frames {
+//!     if let Some(out) = monitor.push(frame) {
+//!         if out.alert {
+//!             println!("unsafe {} (p={:.2})", out.gesture, out.unsafe_probability);
+//!         }
+//!     }
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // indexed loops mirror the math in numeric kernels
+
+pub mod config;
+pub mod models;
+pub mod monitor;
+pub mod pipeline;
+pub mod report;
+
+pub use config::{ErrorModelKind, MonitorConfig};
+pub use models::{error_classifier_spec, gesture_classifier_spec};
+pub use monitor::{MonitorOutput, SafetyMonitor};
+pub use pipeline::{
+    ContextMode, GestureTrainStats, MonitorRun, SavedPipeline, TrainStages, TrainedPipeline,
+};
+pub use report::{
+    error_events, evaluate_pipeline, evaluate_run, per_gesture_report, DemoEval, GestureRow,
+    PipelineEval, REACTION_LOOKBACK_S,
+};

@@ -1,0 +1,277 @@
+//! The online safety monitor: a streaming wrapper around the trained
+//! pipeline that consumes kinematic frames one at a time and emits alerts —
+//! the deployment form factor of Fig. 4 ("deployed on a trusted computing
+//! base at the last computational stage in the robot control system").
+
+use crate::pipeline::{ContextMode, TrainedPipeline};
+use gestures::Gesture;
+use kinematics::{KinematicSample, SlidingWindow};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// One monitor decision for the newest frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitorOutput {
+    /// Inferred operational context.
+    pub gesture: Gesture,
+    /// Probability that the current gesture is unsafe.
+    pub unsafe_probability: f32,
+    /// Whether the alert threshold was crossed.
+    pub alert: bool,
+    /// Inference latency for this frame (ms) — the paper's "average
+    /// computation time" (Table VIII reports 1.5–3.2 ms).
+    pub compute_ms: f32,
+}
+
+/// Streaming safety monitor.
+pub struct SafetyMonitor {
+    pipeline: TrainedPipeline,
+    window: SlidingWindow,
+    gesture_window: SlidingWindow,
+    /// Trailing raw gesture predictions for the causal mode filter.
+    recent: VecDeque<usize>,
+    mode: ContextMode,
+    threshold: f32,
+    frames_seen: usize,
+    alerts: usize,
+}
+
+impl SafetyMonitor {
+    /// Wraps a trained pipeline for streaming use.
+    pub fn new(pipeline: TrainedPipeline, mode: ContextMode) -> Self {
+        let width = pipeline.config.window.width;
+        let dims = pipeline.in_dim;
+        let gesture_window =
+            SlidingWindow::new(pipeline.config.gesture_window, pipeline.gesture_in_dim);
+        Self {
+            pipeline,
+            window: SlidingWindow::new(width, dims),
+            gesture_window,
+            recent: VecDeque::new(),
+            mode,
+            threshold: 0.5,
+            frames_seen: 0,
+            alerts: 0,
+        }
+    }
+
+    /// Sets the alert threshold (default 0.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if not within `(0, 1)`.
+    pub fn set_threshold(&mut self, threshold: f32) {
+        assert!((0.0..1.0).contains(&threshold) && threshold > 0.0, "threshold must be in (0,1)");
+        self.threshold = threshold;
+    }
+
+    /// Feeds one frame; returns a decision once the window is warm.
+    /// With [`ContextMode::Perfect`] the caller must use
+    /// [`SafetyMonitor::push_with_context`] instead.
+    pub fn push(&mut self, frame: &KinematicSample) -> Option<MonitorOutput> {
+        self.push_inner(frame, None)
+    }
+
+    /// Feeds one frame with externally supplied context (used for the
+    /// perfect-boundary upper bound).
+    pub fn push_with_context(
+        &mut self,
+        frame: &KinematicSample,
+        gesture: Gesture,
+    ) -> Option<MonitorOutput> {
+        self.push_inner(frame, Some(gesture))
+    }
+
+    fn push_inner(
+        &mut self,
+        frame: &KinematicSample,
+        context: Option<Gesture>,
+    ) -> Option<MonitorOutput> {
+        self.frames_seen += 1;
+        let features = self
+            .pipeline
+            .normalizer
+            .apply_frame(&frame.to_feature_vec(&self.pipeline.config.features));
+        let gfeatures = self
+            .pipeline
+            .gesture_normalizer
+            .apply_frame(&frame.to_feature_vec(&self.pipeline.config.gesture_features));
+        let window = self.window.push(&features);
+        let gwindow = self.gesture_window.push(&gfeatures);
+        // Emit only once both stages are warm.
+        let (window, gwindow) = (window?, gwindow?);
+
+        let start = Instant::now();
+        let gesture_idx = match (self.mode, context) {
+            (ContextMode::Perfect, Some(g)) => g.index(),
+            (ContextMode::Perfect, None) => {
+                panic!("Perfect mode requires push_with_context")
+            }
+            _ => {
+                let raw = self.pipeline.gesture_net.predict(&gwindow).argmax_row(0);
+                let k = self.pipeline.config.gesture_smoothing.max(1);
+                if self.recent.len() == k {
+                    self.recent.pop_front();
+                }
+                self.recent.push_back(raw);
+                mode_of_deque(&self.recent)
+            }
+        };
+        let score = self.pipeline.score_window(&window, gesture_idx, self.mode);
+        let compute_ms = start.elapsed().as_secs_f32() * 1000.0;
+
+        let alert = score > self.threshold;
+        if alert {
+            self.alerts += 1;
+        }
+        Some(MonitorOutput {
+            gesture: Gesture::from_index(gesture_idx).unwrap_or(Gesture::G1),
+            unsafe_probability: score,
+            alert,
+            compute_ms,
+        })
+    }
+
+    /// Clears the window buffers (call between demonstrations/procedures).
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.gesture_window.clear();
+        self.recent.clear();
+        self.frames_seen = 0;
+        self.alerts = 0;
+    }
+
+    /// Frames consumed since the last reset.
+    pub fn frames_seen(&self) -> usize {
+        self.frames_seen
+    }
+
+    /// Alerts raised since the last reset.
+    pub fn alerts(&self) -> usize {
+        self.alerts
+    }
+
+    /// Releases the wrapped pipeline.
+    pub fn into_pipeline(self) -> TrainedPipeline {
+        self.pipeline
+    }
+}
+
+/// Most frequent value in a non-empty deque (earliest-seen wins ties),
+/// matching the offline mode filter in `pipeline::run_demo`.
+fn mode_of_deque(values: &VecDeque<usize>) -> usize {
+    debug_assert!(!values.is_empty());
+    let mut counts = std::collections::BTreeMap::new();
+    for &v in values {
+        *counts.entry(v).or_insert(0usize) += 1;
+    }
+    let mut best = *values.front().expect("non-empty");
+    let mut best_n = 0usize;
+    for &v in values {
+        let n = counts[&v];
+        if n > best_n {
+            best = v;
+            best_n = n;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MonitorConfig;
+    use gestures::Task;
+    use jigsaws::{generate, GeneratorConfig};
+    use kinematics::FeatureSet;
+
+    fn trained() -> (TrainedPipeline, kinematics::Dataset) {
+        let ds = generate(&GeneratorConfig::fast(Task::Suturing).with_seed(31));
+        let mut cfg = MonitorConfig::fast(FeatureSet::CRG).with_seed(5);
+        cfg.train.epochs = 3;
+        cfg.train_stride = 4;
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        (TrainedPipeline::train(&ds, &idx, &cfg), ds)
+    }
+
+    #[test]
+    fn streaming_monitor_matches_offline_run() {
+        let (mut pipeline, ds) = trained();
+        let demo = &ds.demos[0];
+        let offline = pipeline.run_demo(demo, ContextMode::Predicted);
+
+        let mut monitor = SafetyMonitor::new(pipeline, ContextMode::Predicted);
+        let mut online_gestures = Vec::new();
+        let mut online_scores = Vec::new();
+        for frame in &demo.frames {
+            if let Some(out) = monitor.push(frame) {
+                online_gestures.push(out.gesture.index());
+                online_scores.push(out.unsafe_probability);
+            }
+        }
+        let warm = monitor
+            .pipeline
+            .config
+            .window
+            .width
+            .max(monitor.pipeline.config.gesture_window);
+        assert_eq!(online_gestures.len(), demo.len() - warm + 1);
+        assert_eq!(&offline.gesture_pred[warm - 1..], &online_gestures[..]);
+        for (a, b) in offline.unsafe_score[warm - 1..].iter().zip(online_scores.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn monitor_warms_up_before_emitting() {
+        let (pipeline, ds) = trained();
+        let warm = pipeline.config.window.width.max(pipeline.config.gesture_window);
+        let mut monitor = SafetyMonitor::new(pipeline, ContextMode::Predicted);
+        for (i, frame) in ds.demos[0].frames.iter().enumerate().take(warm) {
+            let out = monitor.push(frame);
+            assert_eq!(out.is_some(), i + 1 >= warm, "frame {i}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let (pipeline, ds) = trained();
+        let mut monitor = SafetyMonitor::new(pipeline, ContextMode::Predicted);
+        for frame in ds.demos[0].frames.iter().take(10) {
+            let _ = monitor.push(frame);
+        }
+        assert_eq!(monitor.frames_seen(), 10);
+        monitor.reset();
+        assert_eq!(monitor.frames_seen(), 0);
+        assert!(monitor.push(&ds.demos[0].frames[0]).is_none());
+    }
+
+    #[test]
+    fn perfect_mode_uses_supplied_context() {
+        let (pipeline, ds) = trained();
+        let mut monitor = SafetyMonitor::new(pipeline, ContextMode::Perfect);
+        let demo = &ds.demos[1];
+        for (frame, &g) in demo.frames.iter().zip(demo.gestures.iter()) {
+            if let Some(out) = monitor.push_with_context(frame, g) {
+                assert_eq!(out.gesture, g);
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_changes_alert_rate() {
+        let (pipeline, ds) = trained();
+        let mut strict = SafetyMonitor::new(pipeline, ContextMode::Predicted);
+        strict.set_threshold(0.99);
+        let mut lax_alerts = 0usize;
+        let mut strict_alerts = 0usize;
+        for frame in &ds.demos[2].frames {
+            if let Some(out) = strict.push(frame) {
+                strict_alerts += out.alert as usize;
+                lax_alerts += (out.unsafe_probability > 0.1) as usize;
+            }
+        }
+        assert!(strict_alerts <= lax_alerts);
+    }
+}

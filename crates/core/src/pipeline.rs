@@ -1,0 +1,495 @@
+//! Training and inference for the two-stage pipeline (§III, Fig. 4).
+//!
+//! The two stages are trained **separately** (the paper trains the erroneous
+//! gesture detectors on ground-truth gesture boundaries) and composed only
+//! at evaluation/inference time, where the predicted gesture routes each
+//! window to its gesture-specific classifier.
+
+use crate::config::MonitorConfig;
+use crate::models::{error_classifier_spec, gesture_classifier_spec};
+use gestures::{Gesture, NUM_GESTURES};
+use kinematics::{windows_with_positions, Dataset, Demonstration, Normalizer};
+use nn::loss::inverse_frequency_weights;
+use nn::{train_classifier, Mat, Network, Sample, SavedNetwork, TrainConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// How the second stage obtains its operational context (Table VIII rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ContextMode {
+    /// Gesture-specific with the gesture classifier (the deployed system).
+    Predicted,
+    /// Gesture-specific with perfect gesture boundaries (upper bound).
+    Perfect,
+    /// Single classifier with no notion of context (baseline).
+    NoContext,
+}
+
+impl std::fmt::Display for ContextMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ContextMode::Predicted => "gesture-specific (predicted)",
+            ContextMode::Perfect => "gesture-specific (perfect boundaries)",
+            ContextMode::NoContext => "non-gesture-specific",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The trained two-stage pipeline.
+pub struct TrainedPipeline {
+    /// Configuration it was trained with.
+    pub config: MonitorConfig,
+    /// Feature normalizer for the error stage, fitted on the training fold.
+    pub normalizer: Normalizer,
+    /// Feature normalizer for the gesture stage.
+    pub gesture_normalizer: Normalizer,
+    /// Stage 1: gesture classifier.
+    pub gesture_net: Network,
+    /// Stage 2: per-gesture erroneous-gesture classifiers.
+    pub error_nets: BTreeMap<usize, Network>,
+    /// Fallback / baseline: single non-gesture-specific classifier.
+    pub global_error_net: Option<Network>,
+    /// Error-stage input feature width.
+    pub in_dim: usize,
+    /// Gesture-stage input feature width.
+    pub gesture_in_dim: usize,
+}
+
+/// Serializable checkpoint of a [`TrainedPipeline`].
+#[derive(Serialize, Deserialize)]
+pub struct SavedPipeline {
+    /// Configuration.
+    pub config: MonitorConfig,
+    /// Error-stage normalizer.
+    pub normalizer: Normalizer,
+    /// Gesture-stage normalizer.
+    pub gesture_normalizer: Normalizer,
+    /// Gesture-classifier weights.
+    pub gesture: SavedNetwork,
+    /// Per-gesture error-classifier weights.
+    pub errors: Vec<(usize, SavedNetwork)>,
+    /// Global error-classifier weights.
+    pub global: Option<SavedNetwork>,
+    /// Error-stage input width.
+    pub in_dim: usize,
+    /// Gesture-stage input width.
+    pub gesture_in_dim: usize,
+}
+
+/// Per-frame output of running the monitor over a demonstration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorRun {
+    /// Predicted gesture class per frame.
+    pub gesture_pred: Vec<usize>,
+    /// Unsafe probability per frame.
+    pub unsafe_score: Vec<f32>,
+    /// Binary unsafe prediction per frame (score > 0.5).
+    pub unsafe_pred: Vec<bool>,
+    /// Mean inference time per window, milliseconds.
+    pub compute_ms: f32,
+}
+
+/// Training-set statistics per gesture (Table VII's size columns).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GestureTrainStats {
+    /// Gesture class index.
+    pub gesture: usize,
+    /// Number of training windows.
+    pub windows: usize,
+    /// Fraction labeled unsafe.
+    pub error_rate: f32,
+    /// Whether a dedicated classifier was trained.
+    pub dedicated: bool,
+}
+
+/// Which pipeline stages to actually train (the ablation binaries train a
+/// single stage to keep runs cheap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainStages {
+    /// Train the gesture classifier (stage 1).
+    pub gesture: bool,
+    /// Train the erroneous-gesture classifiers (stage 2 + baseline).
+    pub errors: bool,
+}
+
+impl TrainStages {
+    /// Train everything.
+    pub const ALL: TrainStages = TrainStages { gesture: true, errors: true };
+    /// Gesture classifier only (Table IV).
+    pub const GESTURE_ONLY: TrainStages = TrainStages { gesture: true, errors: false };
+    /// Error classifiers only (Tables V/VI/VII with perfect boundaries).
+    pub const ERRORS_ONLY: TrainStages = TrainStages { gesture: false, errors: true };
+}
+
+impl TrainedPipeline {
+    /// Trains the full pipeline on the demonstrations selected by
+    /// `train_idx`. A trailing ~20% of the training demonstrations is held
+    /// out as the early-stopping validation split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_idx` is empty.
+    pub fn train(dataset: &Dataset, train_idx: &[usize], cfg: &MonitorConfig) -> Self {
+        Self::train_with_stats(dataset, train_idx, cfg).0
+    }
+
+    /// Like [`TrainedPipeline::train`] but also returns per-gesture training
+    /// statistics (Table VII).
+    pub fn train_with_stats(
+        dataset: &Dataset,
+        train_idx: &[usize],
+        cfg: &MonitorConfig,
+    ) -> (Self, Vec<GestureTrainStats>) {
+        Self::train_stages(dataset, train_idx, cfg, TrainStages::ALL)
+    }
+
+    /// Trains only the requested stages; untrained stages keep their seeded
+    /// initial weights (usable for [`ContextMode::Perfect`] /
+    /// [`ContextMode::NoContext`] evaluation paths that do not rely on them).
+    pub fn train_stages(
+        dataset: &Dataset,
+        train_idx: &[usize],
+        cfg: &MonitorConfig,
+        stages: TrainStages,
+    ) -> (Self, Vec<GestureTrainStats>) {
+        assert!(!train_idx.is_empty(), "empty training fold");
+        let demos: Vec<&Demonstration> = train_idx.iter().map(|&i| &dataset.demos[i]).collect();
+        let normalizer = Normalizer::fit(&demos, &cfg.features);
+        let gesture_normalizer = Normalizer::fit(&demos, &cfg.gesture_features);
+        let in_dim = normalizer.dims();
+        let gesture_in_dim = gesture_normalizer.dims();
+
+        // Harvest labeled windows from every training demonstration. The
+        // gesture stage uses its own (wider) windows and feature set.
+        let n_val_demos = (demos.len() / 5).max(1).min(demos.len() - 1);
+        let (fit_demos, val_demos) = demos.split_at(demos.len() - n_val_demos);
+
+        let harvest = |ds: &[&Demonstration]| {
+            let mut gesture_samples: Vec<Sample> = Vec::new();
+            let mut per_gesture: BTreeMap<usize, Vec<Sample>> = BTreeMap::new();
+            let mut global: Vec<Sample> = Vec::new();
+            for d in ds {
+                let g_idx = d.gesture_indices();
+                if stages.gesture {
+                    let gfeats =
+                        gesture_normalizer.apply(&d.feature_matrix(&cfg.gesture_features));
+                    let gw = kinematics::WindowConfig::new(cfg.gesture_window, cfg.train_stride);
+                    for (w, pos) in windows_with_positions(&gfeats, gw) {
+                        gesture_samples.push((w, g_idx[pos]));
+                    }
+                }
+                if stages.errors {
+                    let feats = normalizer.apply(&d.feature_matrix(&cfg.features));
+                    let mut wcfg = cfg.window;
+                    wcfg.stride = cfg.train_stride;
+                    for (w, pos) in windows_with_positions(&feats, wcfg) {
+                        let g = g_idx[pos];
+                        let unsafe_ = d.unsafe_labels[pos] as usize;
+                        per_gesture.entry(g).or_default().push((w.clone(), unsafe_));
+                        global.push((w, unsafe_));
+                    }
+                }
+            }
+            (gesture_samples, per_gesture, global)
+        };
+        let (g_train, pg_train, glob_train) = harvest(fit_demos);
+        let (g_val, pg_val, glob_val) = harvest(val_demos);
+
+        // Stage 1: gesture classifier (class-weighted for imbalance).
+        let mut gesture_net =
+            Network::new(gesture_classifier_spec(cfg, gesture_in_dim), cfg.seed);
+        if stages.gesture {
+            let gesture_labels: Vec<usize> = g_train.iter().map(|(_, y)| *y).collect();
+            let mut gesture_cfg = cfg.train.clone();
+            gesture_cfg.class_weights =
+                Some(inverse_frequency_weights(&gesture_labels, NUM_GESTURES));
+            train_classifier(&mut gesture_net, &g_train, &g_val, &gesture_cfg);
+        }
+
+        // Stage 2: per-gesture error classifiers.
+        let mut error_nets = BTreeMap::new();
+        let mut stats = Vec::new();
+        for (&g, samples) in &pg_train {
+            let positives = samples.iter().filter(|(_, y)| *y == 1).count();
+            let error_rate = positives as f32 / samples.len() as f32;
+            let trainable = stages.errors
+                && samples.len() >= cfg.min_gesture_windows
+                && positives > 0
+                && positives < samples.len();
+            if trainable {
+                let empty = Vec::new();
+                let val = pg_val.get(&g).unwrap_or(&empty);
+                let net = train_binary(cfg, in_dim, samples, val, cfg.seed ^ (g as u64 + 1));
+                error_nets.insert(g, net);
+            }
+            stats.push(GestureTrainStats {
+                gesture: g,
+                windows: samples.len(),
+                error_rate,
+                dedicated: trainable,
+            });
+        }
+
+        // Baseline: single classifier over everything.
+        let global_error_net = if stages.errors {
+            let positives = glob_train.iter().filter(|(_, y)| *y == 1).count();
+            (positives > 0 && positives < glob_train.len())
+                .then(|| train_binary(cfg, in_dim, &glob_train, &glob_val, cfg.seed ^ 0xE5))
+        } else {
+            None
+        };
+
+        (
+            Self {
+                config: cfg.clone(),
+                normalizer,
+                gesture_normalizer,
+                gesture_net,
+                error_nets,
+                global_error_net,
+                in_dim,
+                gesture_in_dim,
+            },
+            stats,
+        )
+    }
+
+    /// Gesture classes with dedicated error classifiers.
+    pub fn dedicated_gestures(&self) -> Vec<Gesture> {
+        self.error_nets
+            .keys()
+            .filter_map(|&g| Gesture::from_index(g))
+            .collect()
+    }
+
+    /// Runs the monitor over a demonstration in the given context mode,
+    /// producing per-frame predictions. Frames before the first complete
+    /// window inherit the first window's outputs (warm-up backfill).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the demonstration is shorter than either stage's window.
+    pub fn run_demo(&mut self, demo: &Demonstration, mode: ContextMode) -> MonitorRun {
+        let w = self.config.window.width;
+        let gw = self.config.gesture_window;
+        assert!(demo.len() >= w.max(gw), "demonstration shorter than window");
+        let truth = demo.gesture_indices();
+        let started = Instant::now();
+        let mut n_windows = 0usize;
+
+        // Stage 1: per-frame gesture context.
+        let mut gesture_pred = vec![0usize; demo.len()];
+        match mode {
+            ContextMode::Perfect => gesture_pred.copy_from_slice(&truth),
+            ContextMode::Predicted | ContextMode::NoContext => {
+                let gfeats = self
+                    .gesture_normalizer
+                    .apply(&demo.feature_matrix(&self.config.gesture_features));
+                let gcfg = kinematics::WindowConfig::new(gw, 1);
+                let mut raw = vec![0usize; demo.len()];
+                for (window, pos) in windows_with_positions(&gfeats, gcfg) {
+                    n_windows += 1;
+                    raw[pos] = self.gesture_net.predict(&window).argmax_row(0);
+                }
+                // Causal mode filter over the raw predictions (online-safe:
+                // only past frames contribute).
+                let k = self.config.gesture_smoothing.max(1);
+                for pos in gw - 1..demo.len() {
+                    let lo = pos.saturating_sub(k - 1).max(gw - 1);
+                    gesture_pred[pos] = mode_of(&raw[lo..=pos]);
+                }
+                for t in 0..gw - 1 {
+                    gesture_pred[t] = gesture_pred[gw - 1];
+                }
+            }
+        }
+
+        // Stage 2: per-frame unsafe score routed by the stage-1 context.
+        let feats = self.normalizer.apply(&demo.feature_matrix(&self.config.features));
+        let wcfg = kinematics::WindowConfig::new(w, 1);
+        let mut unsafe_score = vec![0.0f32; demo.len()];
+        for (window, pos) in windows_with_positions(&feats, wcfg) {
+            n_windows += 1;
+            let score = self.score_window(&window, gesture_pred[pos], mode);
+            unsafe_score[pos] = score;
+            if pos + 1 == w {
+                for t in 0..pos {
+                    unsafe_score[t] = score;
+                }
+            }
+        }
+
+        let compute_ms = if n_windows == 0 {
+            f32::NAN
+        } else {
+            started.elapsed().as_secs_f32() * 1000.0 / n_windows as f32
+        };
+        let unsafe_pred = unsafe_score.iter().map(|&s| s > 0.5).collect();
+        MonitorRun { gesture_pred, unsafe_score, unsafe_pred, compute_ms }
+    }
+
+    /// Scores one window's unsafe probability, routing to the
+    /// gesture-specific classifier (with global fallback) or the global
+    /// classifier depending on `mode`.
+    pub fn score_window(&mut self, window: &Mat, gesture: usize, mode: ContextMode) -> f32 {
+        let net = match mode {
+            ContextMode::NoContext => self.global_error_net.as_mut(),
+            _ => self
+                .error_nets
+                .get_mut(&gesture)
+                .or(self.global_error_net.as_mut()),
+        };
+        match net {
+            Some(net) => nn::predict_proba(net, window)[1],
+            None => 0.0,
+        }
+    }
+
+    /// Serializes the pipeline to a checkpoint.
+    pub fn save(&mut self) -> SavedPipeline {
+        SavedPipeline {
+            config: self.config.clone(),
+            normalizer: self.normalizer.clone(),
+            gesture_normalizer: self.gesture_normalizer.clone(),
+            gesture: self.gesture_net.save(),
+            errors: self
+                .error_nets
+                .iter_mut()
+                .map(|(&g, net)| (g, net.save()))
+                .collect(),
+            global: self.global_error_net.as_mut().map(|n| n.save()),
+            in_dim: self.in_dim,
+            gesture_in_dim: self.gesture_in_dim,
+        }
+    }
+
+    /// Restores a pipeline from a checkpoint.
+    pub fn from_saved(saved: SavedPipeline) -> Self {
+        Self {
+            config: saved.config,
+            normalizer: saved.normalizer,
+            gesture_normalizer: saved.gesture_normalizer,
+            gesture_net: Network::from_saved(&saved.gesture),
+            error_nets: saved
+                .errors
+                .iter()
+                .map(|(g, s)| (*g, Network::from_saved(s)))
+                .collect(),
+            global_error_net: saved.global.as_ref().map(Network::from_saved),
+            in_dim: saved.in_dim,
+            gesture_in_dim: saved.gesture_in_dim,
+        }
+    }
+}
+
+/// Most frequent value in a non-empty slice (earliest-seen wins ties).
+fn mode_of(values: &[usize]) -> usize {
+    debug_assert!(!values.is_empty());
+    let mut counts = std::collections::BTreeMap::new();
+    for &v in values {
+        *counts.entry(v).or_insert(0usize) += 1;
+    }
+    let mut best = values[0];
+    let mut best_n = 0usize;
+    for &v in values {
+        let n = counts[&v];
+        if n > best_n {
+            best = v;
+            best_n = n;
+        }
+    }
+    best
+}
+
+fn train_binary(
+    cfg: &MonitorConfig,
+    in_dim: usize,
+    train: &[Sample],
+    val: &[Sample],
+    seed: u64,
+) -> Network {
+    let labels: Vec<usize> = train.iter().map(|(_, y)| *y).collect();
+    let mut tc: TrainConfig = cfg.train.clone();
+    tc.class_weights = Some(inverse_frequency_weights(&labels, 2));
+    tc.seed = seed;
+    let mut net = Network::new(error_classifier_spec(cfg, in_dim), seed);
+    train_classifier(&mut net, train, val, &tc);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gestures::Task;
+    use jigsaws::{generate, GeneratorConfig};
+    use kinematics::FeatureSet;
+
+    fn tiny_dataset() -> Dataset {
+        generate(&GeneratorConfig::fast(Task::Suturing).with_seed(21))
+    }
+
+    fn tiny_cfg() -> MonitorConfig {
+        let mut cfg = MonitorConfig::fast(FeatureSet::CRG).with_seed(3);
+        cfg.train.epochs = 4;
+        cfg.train_stride = 4;
+        cfg
+    }
+
+    #[test]
+    fn pipeline_trains_and_runs() {
+        let ds = tiny_dataset();
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let (mut p, stats) = TrainedPipeline::train_with_stats(&ds, &idx, &tiny_cfg());
+        assert!(!stats.is_empty());
+        assert!(!p.error_nets.is_empty(), "no dedicated error classifiers trained");
+        assert!(p.global_error_net.is_some());
+
+        let run = p.run_demo(&ds.demos[0], ContextMode::Predicted);
+        assert_eq!(run.gesture_pred.len(), ds.demos[0].len());
+        assert_eq!(run.unsafe_score.len(), ds.demos[0].len());
+        assert!(run.unsafe_score.iter().all(|s| (0.0..=1.0).contains(s)));
+        assert!(run.compute_ms.is_finite() && run.compute_ms > 0.0);
+    }
+
+    #[test]
+    fn perfect_mode_uses_ground_truth_gestures() {
+        let ds = tiny_dataset();
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let mut p = TrainedPipeline::train(&ds, &idx, &tiny_cfg());
+        let run = p.run_demo(&ds.demos[1], ContextMode::Perfect);
+        let truth = ds.demos[1].gesture_indices();
+        // After the warm-up, predictions equal ground truth exactly.
+        let w = p.config.window.width;
+        assert_eq!(&run.gesture_pred[w..], &truth[w..]);
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_outputs() {
+        let ds = tiny_dataset();
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let mut p = TrainedPipeline::train(&ds, &idx, &tiny_cfg());
+        let before = p.run_demo(&ds.demos[0], ContextMode::Predicted);
+        let json = serde_json::to_string(&p.save()).unwrap();
+        let saved: SavedPipeline = serde_json::from_str(&json).unwrap();
+        let mut restored = TrainedPipeline::from_saved(saved);
+        let after = restored.run_demo(&ds.demos[0], ContextMode::Predicted);
+        assert_eq!(before.gesture_pred, after.gesture_pred);
+        assert_eq!(before.unsafe_pred, after.unsafe_pred);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let ds = tiny_dataset();
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let mut a = TrainedPipeline::train(&ds, &idx, &tiny_cfg());
+        let mut b = TrainedPipeline::train(&ds, &idx, &tiny_cfg());
+        let ra = a.run_demo(&ds.demos[2], ContextMode::Predicted);
+        let rb = b.run_demo(&ds.demos[2], ContextMode::Predicted);
+        // compute_ms is wall-clock time and legitimately differs.
+        assert_eq!(ra.gesture_pred, rb.gesture_pred);
+        assert_eq!(ra.unsafe_score, rb.unsafe_score);
+        assert_eq!(ra.unsafe_pred, rb.unsafe_pred);
+    }
+}

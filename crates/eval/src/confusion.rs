@@ -1,0 +1,287 @@
+//! Confusion matrices and the binary classification metrics used throughout
+//! the paper: TPR, TNR, PPV, NPV, F1, accuracy (§IV-C).
+
+use serde::{Deserialize, Serialize};
+
+/// Binary confusion counts. The *positive* class is the anomaly ("unsafe")
+/// class, matching the paper's convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BinaryCounts {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl BinaryCounts {
+    /// Builds counts from parallel prediction/truth slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_predictions(pred: &[bool], truth: &[bool]) -> Self {
+        assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+        let mut c = Self::default();
+        for (&p, &t) in pred.iter().zip(truth.iter()) {
+            c.record(p, t);
+        }
+        c
+    }
+
+    /// Records a single (predicted, actual) observation.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Merges another set of counts (micro-averaging).
+    pub fn merge(&mut self, other: &BinaryCounts) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// True positive rate (recall, sensitivity). `NaN` if no positives.
+    pub fn tpr(&self) -> f32 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// True negative rate (specificity). `NaN` if no negatives.
+    pub fn tnr(&self) -> f32 {
+        ratio(self.tn, self.tn + self.fp)
+    }
+
+    /// Positive predictive value (precision). `NaN` if nothing predicted
+    /// positive.
+    pub fn ppv(&self) -> f32 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Negative predictive value. `NaN` if nothing predicted negative.
+    pub fn npv(&self) -> f32 {
+        ratio(self.tn, self.tn + self.fn_)
+    }
+
+    /// False positive rate.
+    pub fn fpr(&self) -> f32 {
+        ratio(self.fp, self.fp + self.tn)
+    }
+
+    /// Accuracy.
+    pub fn accuracy(&self) -> f32 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// F1 score: harmonic mean of precision and recall. Returns 0 when both
+    /// are zero (no true positives at all).
+    pub fn f1(&self) -> f32 {
+        let p = self.ppv();
+        let r = self.tpr();
+        if p.is_nan() || r.is_nan() || p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f32 {
+    if den == 0 {
+        f32::NAN
+    } else {
+        num as f32 / den as f32
+    }
+}
+
+/// Multi-class confusion matrix with `truth` on rows and `prediction` on
+/// columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<usize>, // classes x classes, row-major
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty `classes x classes` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        Self { classes, counts: vec![0; classes * classes] }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, truth: usize, pred: usize) {
+        assert!(truth < self.classes && pred < self.classes, "class index out of range");
+        self.counts[truth * self.classes + pred] += 1;
+    }
+
+    /// Count at `(truth, pred)`.
+    pub fn count(&self, truth: usize, pred: usize) -> usize {
+        self.counts[truth * self.classes + pred]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy; `NaN` when empty.
+    pub fn accuracy(&self) -> f32 {
+        let correct: usize = (0..self.classes).map(|c| self.count(c, c)).sum();
+        ratio(correct, self.total())
+    }
+
+    /// Frame-level recall for one class (the paper's per-gesture "detection
+    /// accuracy" in Table IX).
+    pub fn class_recall(&self, class: usize) -> f32 {
+        let row: usize = (0..self.classes).map(|p| self.count(class, p)).sum();
+        ratio(self.count(class, class), row)
+    }
+
+    /// One-vs-rest binary counts for `class`.
+    pub fn one_vs_rest(&self, class: usize) -> BinaryCounts {
+        let mut b = BinaryCounts::default();
+        for t in 0..self.classes {
+            for p in 0..self.classes {
+                let n = self.count(t, p);
+                let actual = t == class;
+                let predicted = p == class;
+                match (predicted, actual) {
+                    (true, true) => b.tp += n,
+                    (true, false) => b.fp += n,
+                    (false, false) => b.tn += n,
+                    (false, true) => b.fn_ += n,
+                }
+            }
+        }
+        b
+    }
+
+    /// Micro-averaged binary counts over all classes (sums the one-vs-rest
+    /// counts), the averaging the paper reports "unless stated otherwise".
+    pub fn micro_average(&self) -> BinaryCounts {
+        let mut acc = BinaryCounts::default();
+        for c in 0..self.classes {
+            acc.merge(&self.one_vs_rest(c));
+        }
+        acc
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "confusion ({} classes, truth rows / pred cols):", self.classes)?;
+        for t in 0..self.classes {
+            for p in 0..self.classes {
+                write!(f, "{:>6}", self.count(t, p))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_metrics_hand_checked() {
+        let c = BinaryCounts { tp: 8, fp: 2, tn: 85, fn_: 5 };
+        assert!((c.tpr() - 8.0 / 13.0).abs() < 1e-6);
+        assert!((c.tnr() - 85.0 / 87.0).abs() < 1e-6);
+        assert!((c.ppv() - 0.8).abs() < 1e-6);
+        assert!((c.npv() - 85.0 / 90.0).abs() < 1e-6);
+        assert!((c.accuracy() - 0.93).abs() < 1e-6);
+        let f1 = 2.0 * 0.8 * (8.0 / 13.0) / (0.8 + 8.0 / 13.0);
+        assert!((c.f1() - f1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_predictions_counts() {
+        let pred = [true, true, false, false];
+        let truth = [true, false, true, false];
+        let c = BinaryCounts::from_predictions(&pred, &truth);
+        assert_eq!((c.tp, c.fp, c.fn_, c.tn), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn f1_is_zero_without_true_positives() {
+        let c = BinaryCounts { tp: 0, fp: 0, tn: 10, fn_: 3 };
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_rates_are_nan() {
+        let c = BinaryCounts { tp: 0, fp: 0, tn: 0, fn_: 0 };
+        assert!(c.tpr().is_nan());
+        assert!(c.ppv().is_nan());
+    }
+
+    #[test]
+    fn confusion_accuracy_and_recall() {
+        let mut m = ConfusionMatrix::new(3);
+        m.record(0, 0);
+        m.record(0, 1);
+        m.record(1, 1);
+        m.record(2, 2);
+        assert!((m.accuracy() - 0.75).abs() < 1e-6);
+        assert!((m.class_recall(0) - 0.5).abs() < 1e-6);
+        assert_eq!(m.class_recall(1), 1.0);
+    }
+
+    #[test]
+    fn one_vs_rest_is_consistent() {
+        let mut m = ConfusionMatrix::new(2);
+        for _ in 0..3 {
+            m.record(0, 0);
+        }
+        m.record(0, 1);
+        m.record(1, 0);
+        m.record(1, 1);
+        let b = m.one_vs_rest(1);
+        assert_eq!((b.tp, b.fp, b.fn_, b.tn), (1, 1, 1, 3));
+    }
+
+    #[test]
+    fn micro_average_total_is_classes_times_n() {
+        let mut m = ConfusionMatrix::new(3);
+        for i in 0..3 {
+            m.record(i, i);
+        }
+        let micro = m.micro_average();
+        assert_eq!(micro.total(), 9);
+        assert_eq!(micro.fp, 0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let m = ConfusionMatrix::new(2);
+        assert!(!format!("{m}").is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Jensen–Shannon divergence between distributions (Equation 1 of the
+//! paper), for both discrete distributions and KDE-modeled sample sets.
+
+use crate::kde::GaussianKde;
+
+/// KL divergence `D(p || q)` for discrete distributions in nats.
+/// Terms with `p[i] == 0` contribute zero; `q[i] == 0` with `p[i] > 0`
+/// contributes infinity.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn kl_discrete(p: &[f32], q: &[f32]) -> f32 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    let mut d = 0.0f32;
+    for (&pi, &qi) in p.iter().zip(q.iter()) {
+        if pi > 0.0 {
+            if qi <= 0.0 {
+                return f32::INFINITY;
+            }
+            d += pi * (pi / qi).ln();
+        }
+    }
+    d
+}
+
+/// Jensen–Shannon divergence between discrete distributions, in nats.
+/// Symmetric and bounded by `ln 2`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn js_discrete(p: &[f32], q: &[f32]) -> f32 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    let m: Vec<f32> = p.iter().zip(q.iter()).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    0.5 * kl_discrete(p, &m) + 0.5 * kl_discrete(q, &m)
+}
+
+/// Monte-Carlo Jensen–Shannon divergence between two sample sets, each
+/// modeled with a Gaussian KDE (Equation 1; used for Fig. 5).
+///
+/// `KL(P || M)` is estimated as the sample mean of `log p(x) - log m(x)`
+/// over the samples of `P` (the standard estimator when the sample set
+/// itself is the Monte-Carlo draw), with `m = (p + q) / 2`.
+///
+/// Returns `None` if either set cannot support a KDE (empty / inconsistent
+/// dimensions / dimension mismatch between the sets).
+pub fn js_divergence_kde(a: &[Vec<f32>], b: &[Vec<f32>]) -> Option<f32> {
+    let ka = GaussianKde::fit(a)?;
+    let kb = GaussianKde::fit(b)?;
+    if ka.dim() != kb.dim() {
+        return None;
+    }
+
+    let half_kl = |samples: &[Vec<f32>], own: &GaussianKde, other: &GaussianKde| -> f32 {
+        let mut acc = 0.0f64;
+        for x in samples {
+            let lp = own.log_pdf(x) as f64;
+            let lq = other.log_pdf(x) as f64;
+            // log m(x) = log(0.5 (p + q)) via stable log-sum-exp of (lp, lq).
+            let max = lp.max(lq);
+            let lm = max + ((lp - max).exp() + (lq - max).exp()).ln() - std::f64::consts::LN_2;
+            acc += lp - lm;
+        }
+        (acc / samples.len() as f64) as f32
+    };
+
+    let jsd = 0.5 * half_kl(a, &ka, &kb) + 0.5 * half_kl(b, &kb, &ka);
+    // The estimator can go marginally negative from Monte-Carlo noise; clamp
+    // into the theoretical [0, ln 2] range.
+    Some(jsd.clamp(0.0, std::f32::consts::LN_2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gaussian_samples(rng: &mut SmallRng, n: usize, mean: f32, std: f32) -> Vec<Vec<f32>> {
+        // Box-Muller.
+        (0..n)
+            .map(|_| {
+                let u1: f32 = rng.gen_range(1e-6..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+                vec![mean + std * z]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kl_of_identical_is_zero() {
+        let p = [0.25, 0.25, 0.5];
+        assert!(kl_discrete(&p, &p).abs() < 1e-7);
+    }
+
+    #[test]
+    fn kl_is_infinite_on_missing_support() {
+        assert_eq!(kl_discrete(&[1.0, 0.0], &[0.0, 1.0]), f32::INFINITY);
+    }
+
+    #[test]
+    fn js_is_symmetric_and_bounded() {
+        let p = [0.9, 0.1];
+        let q = [0.1, 0.9];
+        let d1 = js_discrete(&p, &q);
+        let d2 = js_discrete(&q, &p);
+        assert!((d1 - d2).abs() < 1e-7);
+        assert!(d1 > 0.0 && d1 <= std::f32::consts::LN_2 + 1e-6);
+    }
+
+    #[test]
+    fn js_of_disjoint_distributions_is_ln2() {
+        let d = js_discrete(&[1.0, 0.0], &[0.0, 1.0]);
+        assert!((d - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kde_jsd_identical_samples_near_zero() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = gaussian_samples(&mut rng, 150, 0.0, 1.0);
+        let b = gaussian_samples(&mut rng, 150, 0.0, 1.0);
+        let d = js_divergence_kde(&a, &b).unwrap();
+        assert!(d < 0.08, "jsd {d}");
+    }
+
+    #[test]
+    fn kde_jsd_grows_with_separation() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let a = gaussian_samples(&mut rng, 150, 0.0, 1.0);
+        let near = gaussian_samples(&mut rng, 150, 0.5, 1.0);
+        let far = gaussian_samples(&mut rng, 150, 5.0, 1.0);
+        let d_near = js_divergence_kde(&a, &near).unwrap();
+        let d_far = js_divergence_kde(&a, &far).unwrap();
+        assert!(d_far > d_near, "near {d_near} far {d_far}");
+        assert!(d_far > 0.5, "far {d_far} should approach ln 2");
+    }
+
+    #[test]
+    fn kde_jsd_rejects_dimension_mismatch() {
+        let a = vec![vec![0.0, 1.0]];
+        let b = vec![vec![0.0]];
+        assert!(js_divergence_kde(&a, &b).is_none());
+        assert!(js_divergence_kde(&[], &b).is_none());
+    }
+}

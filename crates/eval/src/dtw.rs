@@ -1,0 +1,170 @@
+//! Dynamic time warping.
+//!
+//! §IV-B of the paper compares the block-centroid trace of a faulty
+//! demonstration against fault-free reference traces with DTW to detect
+//! dropoff failures ("the block should have been dropped, but it was not").
+
+/// DTW alignment result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DtwResult {
+    /// Total accumulated distance along the optimal warping path.
+    pub distance: f32,
+    /// Optimal path as `(i, j)` index pairs from `(0,0)` to `(n-1, m-1)`.
+    pub path: Vec<(usize, usize)>,
+}
+
+impl DtwResult {
+    /// Distance normalized by path length (comparable across lengths).
+    pub fn normalized_distance(&self) -> f32 {
+        if self.path.is_empty() {
+            return f32::NAN;
+        }
+        self.distance / self.path.len() as f32
+    }
+}
+
+/// Euclidean distance between two equal-length points.
+fn euclid(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
+}
+
+/// Computes DTW between two multivariate sequences with an optional
+/// Sakoe-Chiba band of half-width `window` (in index units). `None` means an
+/// unconstrained alignment.
+///
+/// Returns `None` for empty sequences or inconsistent point dimensions.
+pub fn dtw(a: &[Vec<f32>], b: &[Vec<f32>], window: Option<usize>) -> Option<DtwResult> {
+    let n = a.len();
+    let m = b.len();
+    if n == 0 || m == 0 {
+        return None;
+    }
+    let dim = a[0].len();
+    if a.iter().any(|p| p.len() != dim) || b.iter().any(|p| p.len() != dim) {
+        return None;
+    }
+
+    // Effective band must at least cover the diagonal slope difference.
+    let w = window
+        .map(|w| w.max(n.abs_diff(m)))
+        .unwrap_or(n.max(m));
+
+    let inf = f32::INFINITY;
+    let mut cost = vec![inf; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    cost[idx(0, 0)] = 0.0;
+
+    for i in 1..=n {
+        let j_lo = i.saturating_sub(w).max(1);
+        let j_hi = (i + w).min(m);
+        for j in j_lo..=j_hi {
+            let d = euclid(&a[i - 1], &b[j - 1]);
+            let best = cost[idx(i - 1, j)]
+                .min(cost[idx(i, j - 1)])
+                .min(cost[idx(i - 1, j - 1)]);
+            cost[idx(i, j)] = d + best;
+        }
+    }
+
+    if !cost[idx(n, m)].is_finite() {
+        return None;
+    }
+
+    // Backtrack the optimal path.
+    let mut path = Vec::new();
+    let (mut i, mut j) = (n, m);
+    while i > 0 && j > 0 {
+        path.push((i - 1, j - 1));
+        let diag = cost[idx(i - 1, j - 1)];
+        let up = cost[idx(i - 1, j)];
+        let left = cost[idx(i, j - 1)];
+        if diag <= up && diag <= left {
+            i -= 1;
+            j -= 1;
+        } else if up <= left {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    path.reverse();
+    Some(DtwResult { distance: cost[idx(n, m)], path })
+}
+
+/// Convenience for univariate series.
+pub fn dtw_1d(a: &[f32], b: &[f32], window: Option<usize>) -> Option<DtwResult> {
+    let av: Vec<Vec<f32>> = a.iter().map(|&x| vec![x]).collect();
+    let bv: Vec<Vec<f32>> = b.iter().map(|&x| vec![x]).collect();
+    dtw(&av, &bv, window)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences_have_zero_distance() {
+        let a = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let r = dtw(&a, &a, None).unwrap();
+        assert_eq!(r.distance, 0.0);
+        assert_eq!(r.path, vec![(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn time_shifted_sequences_align_cheaply() {
+        // Same shape, shifted by one step: DTW absorbs the shift.
+        let a: Vec<f32> = (0..20).map(|i| ((i as f32) * 0.4).sin()).collect();
+        let b: Vec<f32> = (1..21).map(|i| ((i as f32) * 0.4).sin()).collect();
+        let aligned = dtw_1d(&a, &b, None).unwrap().distance;
+        let lockstep: f32 = a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum();
+        assert!(aligned < lockstep, "aligned {aligned} >= lockstep {lockstep}");
+    }
+
+    #[test]
+    fn different_shapes_cost_more() {
+        let flat = vec![0.0f32; 15];
+        let shifted: Vec<f32> = (0..15).map(|i| ((i as f32) * 0.4).sin()).collect();
+        let similar = dtw_1d(&flat, &flat, None).unwrap().distance;
+        let different = dtw_1d(&flat, &shifted, None).unwrap().distance;
+        assert!(different > similar + 1.0);
+    }
+
+    #[test]
+    fn unequal_lengths_are_supported() {
+        let a = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let b = vec![vec![0.0], vec![3.0]];
+        let r = dtw(&a, &b, None).unwrap();
+        assert!(r.distance.is_finite());
+        assert_eq!(*r.path.first().unwrap(), (0, 0));
+        assert_eq!(*r.path.last().unwrap(), (3, 1));
+    }
+
+    #[test]
+    fn band_widens_to_cover_length_difference() {
+        let a = vec![vec![0.0]; 30];
+        let b = vec![vec![0.0]; 10];
+        // window 1 < |n-m| = 20, must be widened internally.
+        assert!(dtw(&a, &b, Some(1)).is_some());
+    }
+
+    #[test]
+    fn empty_or_ragged_input_is_none() {
+        let a = vec![vec![0.0]];
+        assert!(dtw(&a, &[], None).is_none());
+        let ragged = vec![vec![0.0], vec![0.0, 1.0]];
+        assert!(dtw(&a, &ragged, None).is_none());
+    }
+
+    #[test]
+    fn normalized_distance_is_per_step() {
+        let a = vec![vec![0.0], vec![0.0]];
+        let b = vec![vec![1.0], vec![1.0]];
+        let r = dtw(&a, &b, None).unwrap();
+        assert!((r.normalized_distance() - r.distance / r.path.len() as f32).abs() < 1e-7);
+    }
+}

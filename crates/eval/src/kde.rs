@@ -1,0 +1,172 @@
+//! Gaussian kernel density estimation.
+//!
+//! §III of the paper models each erroneous-gesture class as a distribution
+//! estimated "using Gaussian kernels" and compares classes with
+//! Jensen–Shannon divergence (Fig. 5). This module provides a multivariate
+//! KDE with a diagonal Scott's-rule bandwidth.
+
+use serde::{Deserialize, Serialize};
+
+/// Multivariate Gaussian KDE with per-dimension (diagonal) bandwidths chosen
+/// by Scott's rule: `h_d = sigma_d * n^(-1 / (dim + 4))`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussianKde {
+    points: Vec<Vec<f32>>,
+    bandwidth: Vec<f32>,
+    log_norm: f32,
+}
+
+impl GaussianKde {
+    /// Fits a KDE to `points` (each an equal-length feature vector).
+    ///
+    /// Returns `None` if `points` is empty or dimensions are inconsistent.
+    pub fn fit(points: &[Vec<f32>]) -> Option<Self> {
+        let n = points.len();
+        if n == 0 {
+            return None;
+        }
+        let dim = points[0].len();
+        if dim == 0 || points.iter().any(|p| p.len() != dim) {
+            return None;
+        }
+
+        // Per-dimension std for Scott's rule; floor to avoid zero bandwidth
+        // on constant dimensions.
+        let mut mean = vec![0.0f64; dim];
+        for p in points {
+            for (m, &x) in mean.iter_mut().zip(p.iter()) {
+                *m += x as f64;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let mut var = vec![0.0f64; dim];
+        for p in points {
+            for ((v, &x), m) in var.iter_mut().zip(p.iter()).zip(mean.iter()) {
+                let d = x as f64 - m;
+                *v += d * d;
+            }
+        }
+        let scott = (n as f64).powf(-1.0 / (dim as f64 + 4.0));
+        let bandwidth: Vec<f32> = var
+            .iter()
+            .map(|&v| {
+                let sigma = (v / n as f64).sqrt().max(1e-3);
+                (sigma * scott) as f32
+            })
+            .collect();
+
+        // log of (2π)^(d/2) * prod(h_d) * n
+        let mut log_norm = (dim as f32) * 0.5 * (2.0 * std::f32::consts::PI).ln();
+        for &h in &bandwidth {
+            log_norm += h.ln();
+        }
+        log_norm += (n as f32).ln();
+
+        Some(Self { points: points.to_vec(), bandwidth, log_norm })
+    }
+
+    /// Number of fitted points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the KDE holds no points (never true for a fitted KDE).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.bandwidth.len()
+    }
+
+    /// Per-dimension bandwidths.
+    pub fn bandwidth(&self) -> &[f32] {
+        &self.bandwidth
+    }
+
+    /// Probability density at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn pdf(&self, x: &[f32]) -> f32 {
+        self.log_pdf(x).exp()
+    }
+
+    /// Log-density at `x`, computed with a log-sum-exp over kernels for
+    /// numerical stability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn log_pdf(&self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.dim(), "query dimension mismatch");
+        let mut log_terms: Vec<f32> = Vec::with_capacity(self.points.len());
+        for p in &self.points {
+            let mut e = 0.0f32;
+            for ((&xi, &pi), &h) in x.iter().zip(p.iter()).zip(self.bandwidth.iter()) {
+                let z = (xi - pi) / h;
+                e += z * z;
+            }
+            log_terms.push(-0.5 * e);
+        }
+        let max = log_terms.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let sum: f32 = log_terms.iter().map(|&t| (t - max).exp()).sum();
+        max + sum.ln() - self.log_norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn fit_rejects_degenerate_input() {
+        assert!(GaussianKde::fit(&[]).is_none());
+        assert!(GaussianKde::fit(&[vec![]]).is_none());
+        assert!(GaussianKde::fit(&[vec![1.0], vec![1.0, 2.0]]).is_none());
+    }
+
+    #[test]
+    fn pdf_peaks_near_data() {
+        let pts: Vec<Vec<f32>> = vec![vec![0.0], vec![0.1], vec![-0.1]];
+        let kde = GaussianKde::fit(&pts).unwrap();
+        assert!(kde.pdf(&[0.0]) > kde.pdf(&[5.0]));
+    }
+
+    #[test]
+    fn univariate_density_integrates_to_one() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let pts: Vec<Vec<f32>> = (0..50).map(|_| vec![rng.gen_range(-1.0..1.0)]).collect();
+        let kde = GaussianKde::fit(&pts).unwrap();
+        // Riemann sum over a wide interval.
+        let (lo, hi, steps) = (-6.0f32, 6.0f32, 2400usize);
+        let dx = (hi - lo) / steps as f32;
+        let integral: f32 = (0..steps)
+            .map(|i| kde.pdf(&[lo + (i as f32 + 0.5) * dx]) * dx)
+            .sum();
+        assert!((integral - 1.0).abs() < 0.02, "integral {integral}");
+    }
+
+    #[test]
+    fn constant_dimension_does_not_break() {
+        let pts: Vec<Vec<f32>> = vec![vec![1.0, 3.0], vec![2.0, 3.0], vec![1.5, 3.0]];
+        let kde = GaussianKde::fit(&pts).unwrap();
+        assert!(kde.pdf(&[1.5, 3.0]).is_finite());
+        assert!(kde.pdf(&[1.5, 3.0]) > 0.0);
+    }
+
+    #[test]
+    fn log_pdf_is_stable_far_from_data() {
+        let pts = vec![vec![0.0f32]];
+        let kde = GaussianKde::fit(&pts).unwrap();
+        let lp = kde.log_pdf(&[100.0]);
+        assert!(lp.is_finite() || lp == f32::NEG_INFINITY);
+        assert_eq!(kde.pdf(&[1000.0]), 0.0); // underflow to 0, not NaN
+    }
+}

@@ -1,0 +1,181 @@
+//! ROC curves and AUC, the paper's threshold-free accuracy metric
+//! (§IV-C, Table VII, Fig. 9).
+
+use serde::{Deserialize, Serialize};
+
+/// One point on a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// False positive rate.
+    pub fpr: f32,
+    /// True positive rate.
+    pub tpr: f32,
+    /// Score threshold that produced this point (`>= threshold` → positive).
+    pub threshold: f32,
+}
+
+/// A ROC curve built from `(score, is_positive)` observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RocCurve {
+    points: Vec<RocPoint>,
+    auc: f32,
+}
+
+impl RocCurve {
+    /// Builds the curve by sweeping a threshold over all distinct scores.
+    /// Higher scores mean "more positive" (more anomalous).
+    ///
+    /// Returns `None` if either class is absent (AUC undefined).
+    pub fn from_scores(scores: &[f32], labels: &[bool]) -> Option<Self> {
+        assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+        let pos = labels.iter().filter(|&&l| l).count();
+        let neg = labels.len() - pos;
+        if pos == 0 || neg == 0 {
+            return None;
+        }
+
+        // Sort by descending score; sweep the threshold downwards.
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| {
+            scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        let mut points = vec![RocPoint { fpr: 0.0, tpr: 0.0, threshold: f32::INFINITY }];
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut i = 0usize;
+        while i < order.len() {
+            let threshold = scores[order[i]];
+            // Consume all observations tied at this score.
+            while i < order.len() && scores[order[i]] == threshold {
+                if labels[order[i]] {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+                i += 1;
+            }
+            points.push(RocPoint {
+                fpr: fp as f32 / neg as f32,
+                tpr: tp as f32 / pos as f32,
+                threshold,
+            });
+        }
+
+        // Trapezoidal AUC.
+        let mut auc = 0.0f64;
+        for w in points.windows(2) {
+            let dx = (w[1].fpr - w[0].fpr) as f64;
+            auc += dx * (w[0].tpr + w[1].tpr) as f64 / 2.0;
+        }
+        Some(Self { points, auc: auc as f32 })
+    }
+
+    /// Area under the curve.
+    pub fn auc(&self) -> f32 {
+        self.auc
+    }
+
+    /// The swept points, from (0,0) to (1,1).
+    pub fn points(&self) -> &[RocPoint] {
+        &self.points
+    }
+
+    /// Renders the curve as `fpr,tpr` CSV lines (used by `repro_fig9_roc`).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("fpr,tpr,threshold\n");
+        for p in &self.points {
+            s.push_str(&format!("{:.4},{:.4},{:.4}\n", p.fpr, p.tpr, p.threshold));
+        }
+        s
+    }
+}
+
+/// AUC of `(score, label)` data, or `None` when undefined.
+pub fn auc(scores: &[f32], labels: &[bool]) -> Option<f32> {
+    RocCurve::from_scores(scores, labels).map(|c| c.auc())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_has_auc_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((auc(&scores, &labels).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inverted_scores_have_auc_zero() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert!(auc(&scores, &labels).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn random_interleaving_has_auc_half() {
+        let scores = [0.4, 0.3, 0.2, 0.1];
+        let labels = [true, false, true, false];
+        let a = auc(&scores, &labels).unwrap();
+        assert!((a - 0.5).abs() < 0.26, "auc {a}");
+    }
+
+    #[test]
+    fn ties_are_handled_with_trapezoids() {
+        // All scores tied: AUC must be exactly 0.5.
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        assert!((auc(&scores, &labels).unwrap() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_class_is_undefined() {
+        assert!(auc(&[0.5, 0.6], &[true, true]).is_none());
+        assert!(auc(&[0.5, 0.6], &[false, false]).is_none());
+    }
+
+    #[test]
+    fn curve_starts_at_origin_and_ends_at_one_one() {
+        let scores = [0.9, 0.1, 0.5, 0.3];
+        let labels = [true, false, true, false];
+        let curve = RocCurve::from_scores(&scores, &labels).unwrap();
+        let first = curve.points().first().unwrap();
+        let last = curve.points().last().unwrap();
+        assert_eq!((first.fpr, first.tpr), (0.0, 0.0));
+        assert_eq!((last.fpr, last.tpr), (1.0, 1.0));
+    }
+
+    #[test]
+    fn auc_equals_pairwise_probability() {
+        // AUC == P(score_pos > score_neg) + 0.5 P(tie), checked exhaustively.
+        let scores = [0.9, 0.7, 0.7, 0.4, 0.2];
+        let labels = [true, true, false, false, true];
+        let mut wins = 0.0f32;
+        let mut pairs = 0.0f32;
+        for i in 0..scores.len() {
+            for j in 0..scores.len() {
+                if labels[i] && !labels[j] {
+                    pairs += 1.0;
+                    if scores[i] > scores[j] {
+                        wins += 1.0;
+                    } else if scores[i] == scores[j] {
+                        wins += 0.5;
+                    }
+                }
+            }
+        }
+        let expect = wins / pairs;
+        assert!((auc(&scores, &labels).unwrap() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let curve =
+            RocCurve::from_scores(&[0.9, 0.1], &[true, false]).unwrap();
+        let csv = curve.to_csv();
+        assert!(csv.starts_with("fpr,tpr"));
+        assert!(csv.lines().count() >= 3);
+    }
+}

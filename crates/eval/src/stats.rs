@@ -1,0 +1,90 @@
+//! Small statistics helpers shared by the metric modules.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean of a slice; `NaN` for empty input.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return f32::NAN;
+    }
+    xs.iter().sum::<f32>() / xs.len() as f32
+}
+
+/// Population standard deviation; `NaN` for empty input.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return f32::NAN;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32).sqrt()
+}
+
+/// Median (by sorting a copy); `NaN` for empty input.
+pub fn median(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return f32::NAN;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// A `mean ± std` pair, as reported in the paper's Table VIII.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f32,
+    /// Population standard deviation.
+    pub std: f32,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarizes a slice of observations.
+    pub fn of(xs: &[f32]) -> Self {
+        Self { mean: mean(xs), std: std_dev(xs), n: xs.len() }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} ±{:.2}", self.mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-6);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn empty_inputs_are_nan() {
+        assert!(mean(&[]).is_nan());
+        assert!(std_dev(&[]).is_nan());
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn summary_formats_like_the_paper() {
+        let s = Summary::of(&[0.8, 0.9, 1.0]);
+        assert_eq!(format!("{s}"), "0.90 ±0.08");
+    }
+}

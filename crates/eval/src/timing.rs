@@ -1,0 +1,268 @@
+//! Timeliness metrics: jitter and reaction time (§IV-C, Equation 4).
+//!
+//! * **Jitter** — time between a gesture's actual onset and the first frame
+//!   the classifier labels with that gesture; positive = early detection.
+//! * **Reaction time** — `actual_t - detected_t` for an unsafe event:
+//!   positive means the monitor flagged the erroneous gesture *before* the
+//!   error actually occurred (early detection), negative means detection
+//!   delay.
+
+use serde::{Deserialize, Serialize};
+
+/// A maximal run of identical labels: frames `start..end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment<T> {
+    /// The run's label.
+    pub label: T,
+    /// First frame (inclusive).
+    pub start: usize,
+    /// One past the last frame (exclusive).
+    pub end: usize,
+}
+
+impl<T> Segment<T> {
+    /// Number of frames in the segment.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the segment is empty (never produced by [`segments`]).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Splits a frame-label stream into maximal constant-label segments.
+pub fn segments<T: PartialEq + Copy>(labels: &[T]) -> Vec<Segment<T>> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=labels.len() {
+        if i == labels.len() || labels[i] != labels[start] {
+            out.push(Segment { label: labels[start], start, end: i });
+            start = i;
+        }
+    }
+    out
+}
+
+/// Jitter of one ground-truth gesture segment, in frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JitterMeasurement {
+    /// The gesture class.
+    pub gesture: usize,
+    /// Ground-truth onset frame.
+    pub onset: usize,
+    /// First frame where the prediction matched the gesture, if any.
+    pub detected: Option<usize>,
+}
+
+impl JitterMeasurement {
+    /// `onset - detected` in frames; positive = early detection. `None` if
+    /// the gesture was never detected.
+    pub fn jitter_frames(&self) -> Option<isize> {
+        self.detected.map(|d| self.onset as isize - d as isize)
+    }
+}
+
+/// Measures per-segment gesture jitter.
+///
+/// For every ground-truth segment the predicted stream is searched from
+/// `lookback` frames before the onset to the segment end for the first frame
+/// carrying the segment's gesture.
+///
+/// # Panics
+///
+/// Panics if the streams have different lengths.
+pub fn gesture_jitter(
+    truth: &[usize],
+    pred: &[usize],
+    lookback: usize,
+) -> Vec<JitterMeasurement> {
+    assert_eq!(truth.len(), pred.len(), "truth/pred length mismatch");
+    segments(truth)
+        .into_iter()
+        .map(|seg| {
+            let from = seg.start.saturating_sub(lookback);
+            let detected = (from..seg.end).find(|&t| pred[t] == seg.label);
+            JitterMeasurement { gesture: seg.label, onset: seg.start, detected }
+        })
+        .collect()
+}
+
+/// A ground-truth unsafe event to be detected.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorEvent {
+    /// Gesture class the erroneous gesture belongs to.
+    pub gesture: usize,
+    /// Frame span of the erroneous gesture (search window for detections).
+    pub span_start: usize,
+    /// One past the last frame of the erroneous gesture.
+    pub span_end: usize,
+    /// Frame at which the error actually occurred (e.g. the video-derived
+    /// block-drop frame, or the gesture onset for annotation-based labels).
+    pub actual_frame: usize,
+}
+
+/// Result of matching one [`ErrorEvent`] against the predicted unsafe stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReactionMeasurement {
+    /// The event.
+    pub event: ErrorEvent,
+    /// First frame flagged unsafe within the search window, if any.
+    pub detected_frame: Option<usize>,
+}
+
+impl ReactionMeasurement {
+    /// `actual - detected` in frames (Equation 4); positive = early.
+    pub fn reaction_frames(&self) -> Option<isize> {
+        self.detected_frame
+            .map(|d| self.event.actual_frame as isize - d as isize)
+    }
+}
+
+/// Matches each event against the predicted per-frame unsafe flags. The
+/// search window is the erroneous-gesture span extended `lookback` frames
+/// into the past (a detection slightly before the gesture boundary still
+/// counts, and yields a positive reaction time).
+///
+/// # Panics
+///
+/// Panics if any event span exceeds the stream length.
+pub fn measure_reactions(
+    events: &[ErrorEvent],
+    pred_unsafe: &[bool],
+    lookback: usize,
+) -> Vec<ReactionMeasurement> {
+    events
+        .iter()
+        .map(|ev| {
+            assert!(
+                ev.span_end <= pred_unsafe.len(),
+                "event span {}..{} exceeds stream length {}",
+                ev.span_start,
+                ev.span_end,
+                pred_unsafe.len()
+            );
+            let from = ev.span_start.saturating_sub(lookback);
+            let detected_frame = (from..ev.span_end).find(|&t| pred_unsafe[t]);
+            ReactionMeasurement { event: ev.clone(), detected_frame }
+        })
+        .collect()
+}
+
+/// Fraction of events detected before their actual occurrence
+/// (reaction > 0), over *all* events including undetected ones — the paper's
+/// "% Early Detection" (Table VIII). `NaN` when there are no events.
+pub fn early_detection_rate(measurements: &[ReactionMeasurement]) -> f32 {
+    if measurements.is_empty() {
+        return f32::NAN;
+    }
+    let early = measurements
+        .iter()
+        .filter(|m| m.reaction_frames().is_some_and(|r| r > 0))
+        .count();
+    early as f32 / measurements.len() as f32
+}
+
+/// Converts a frame delta to milliseconds at `hz` frames per second.
+pub fn frames_to_ms(frames: isize, hz: f32) -> f32 {
+    frames as f32 * 1000.0 / hz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_splits_runs() {
+        let segs = segments(&[1, 1, 2, 2, 2, 1]);
+        assert_eq!(
+            segs,
+            vec![
+                Segment { label: 1, start: 0, end: 2 },
+                Segment { label: 2, start: 2, end: 5 },
+                Segment { label: 1, start: 5, end: 6 },
+            ]
+        );
+    }
+
+    #[test]
+    fn segments_of_empty_is_empty() {
+        assert!(segments::<usize>(&[]).is_empty());
+    }
+
+    #[test]
+    fn jitter_zero_for_perfect_prediction() {
+        let truth = [1, 1, 2, 2];
+        let j = gesture_jitter(&truth, &truth, 0);
+        assert!(j.iter().all(|m| m.jitter_frames() == Some(0)));
+    }
+
+    #[test]
+    fn jitter_negative_for_late_detection() {
+        let truth = [1, 1, 2, 2, 2, 2];
+        let pred_ = [1, 1, 1, 1, 2, 2]; // G2 detected 2 frames late
+        let j = gesture_jitter(&truth, &pred_, 0);
+        assert_eq!(j[1].jitter_frames(), Some(-2));
+    }
+
+    #[test]
+    fn jitter_positive_for_early_detection_with_lookback() {
+        let truth = [1, 1, 1, 2, 2, 2];
+        let pred_ = [1, 2, 2, 2, 2, 2]; // G2 starts 2 frames early
+        let j = gesture_jitter(&truth, &pred_, 3);
+        assert_eq!(j[1].jitter_frames(), Some(2));
+    }
+
+    #[test]
+    fn jitter_none_when_never_detected() {
+        let truth = [1, 1, 2, 2];
+        let pred_ = [1, 1, 1, 1];
+        let j = gesture_jitter(&truth, &pred_, 0);
+        assert_eq!(j[1].detected, None);
+        assert_eq!(j[1].jitter_frames(), None);
+    }
+
+    fn event(span: (usize, usize), actual: usize) -> ErrorEvent {
+        ErrorEvent { gesture: 5, span_start: span.0, span_end: span.1, actual_frame: actual }
+    }
+
+    #[test]
+    fn reaction_zero_when_detection_coincides_with_actual() {
+        let pred = [false, false, true, true, false];
+        let m = measure_reactions(&[event((2, 4), 2)], &pred, 0);
+        assert_eq!(m[0].reaction_frames(), Some(0));
+    }
+
+    #[test]
+    fn reaction_negative_when_late() {
+        let pred = [false, false, false, true, false];
+        let m = measure_reactions(&[event((2, 5), 2)], &pred, 0);
+        assert_eq!(m[0].reaction_frames(), Some(-1));
+    }
+
+    #[test]
+    fn reaction_positive_when_early_via_lookback() {
+        // Error actually occurs at frame 4 (e.g. physical block drop), the
+        // erroneous gesture spans 3..6, the monitor fires at frame 2.
+        let pred = [false, false, true, true, true, true];
+        let m = measure_reactions(&[event((3, 6), 4)], &pred, 2);
+        assert_eq!(m[0].reaction_frames(), Some(2));
+    }
+
+    #[test]
+    fn early_detection_rate_counts_undetected_in_denominator() {
+        let pred = [true, false, false, false];
+        let events = vec![event((0, 2), 1), event((2, 4), 2)];
+        let m = measure_reactions(&events, &pred, 0);
+        // Event 1 detected at 0 with actual 1 => reaction +1 (early).
+        // Event 2 never detected.
+        assert!((early_detection_rate(&m) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frames_to_ms_conversion() {
+        assert_eq!(frames_to_ms(30, 30.0), 1000.0);
+        assert_eq!(frames_to_ms(-3, 30.0), -100.0);
+    }
+}

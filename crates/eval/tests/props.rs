@@ -1,0 +1,111 @@
+//! Property-based tests for the metric library: confusion-matrix algebra,
+//! ROC/AUC invariants, DTW metric-ish properties, KDE positivity.
+
+use eval::{auc, dtw_1d, BinaryCounts, ConfusionMatrix, GaussianKde, RocCurve};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Confusion counts always reconcile: totals, accuracy in [0,1], and
+    /// micro-average totals = classes * observations.
+    #[test]
+    fn confusion_matrix_reconciles(
+        obs in prop::collection::vec((0usize..4, 0usize..4), 1..100),
+    ) {
+        let mut m = ConfusionMatrix::new(4);
+        for &(t, p) in &obs {
+            m.record(t, p);
+        }
+        prop_assert_eq!(m.total(), obs.len());
+        let acc = m.accuracy();
+        prop_assert!((0.0..=1.0).contains(&acc));
+        prop_assert_eq!(m.micro_average().total(), 4 * obs.len());
+        // Per-class recall is bounded wherever defined.
+        for c in 0..4 {
+            let r = m.class_recall(c);
+            prop_assert!(r.is_nan() || (0.0..=1.0).contains(&r));
+        }
+    }
+
+    /// Merging binary counts is the same as counting the concatenation.
+    #[test]
+    fn binary_counts_merge_is_concat(
+        a in prop::collection::vec((any::<bool>(), any::<bool>()), 1..50),
+        b in prop::collection::vec((any::<bool>(), any::<bool>()), 1..50),
+    ) {
+        let to_counts = |xs: &[(bool, bool)]| {
+            let (pred, truth): (Vec<bool>, Vec<bool>) = xs.iter().cloned().unzip();
+            BinaryCounts::from_predictions(&pred, &truth)
+        };
+        let mut merged = to_counts(&a);
+        merged.merge(&to_counts(&b));
+        let concat: Vec<(bool, bool)> = a.iter().chain(b.iter()).cloned().collect();
+        prop_assert_eq!(merged, to_counts(&concat));
+    }
+
+    /// F1 is always within [0, 1] and zero without true positives.
+    #[test]
+    fn f1_bounds(tp in 0usize..50, fp in 0usize..50, tn in 0usize..50, fn_ in 0usize..50) {
+        let c = BinaryCounts { tp, fp, tn, fn_ };
+        let f1 = c.f1();
+        prop_assert!((0.0..=1.0).contains(&f1));
+        if tp == 0 {
+            prop_assert_eq!(f1, 0.0);
+        }
+    }
+
+    /// AUC is invariant under any strictly monotone transform of scores.
+    #[test]
+    fn auc_monotone_invariance(scores in prop::collection::vec(-5.0f32..5.0, 6..40)) {
+        let labels: Vec<bool> = scores.iter().enumerate().map(|(i, _)| i % 2 == 0).collect();
+        if let Some(a) = auc(&scores, &labels) {
+            let transformed: Vec<f32> = scores.iter().map(|&s| (s * 0.3).exp()).collect();
+            let b = auc(&transformed, &labels).unwrap();
+            prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    /// ROC curves are monotone non-decreasing in both axes.
+    #[test]
+    fn roc_is_monotone(scores in prop::collection::vec(0.0f32..1.0, 6..60)) {
+        let labels: Vec<bool> = scores.iter().map(|&s| s + 0.3 > 0.8).collect();
+        if let Some(curve) = RocCurve::from_scores(&scores, &labels) {
+            for w in curve.points().windows(2) {
+                prop_assert!(w[1].fpr >= w[0].fpr - 1e-7);
+                prop_assert!(w[1].tpr >= w[0].tpr - 1e-7);
+            }
+            prop_assert!((0.0..=1.0).contains(&curve.auc()));
+        }
+    }
+
+    /// DTW: identity, symmetry, and the alignment never exceeds the
+    /// lock-step cost.
+    #[test]
+    fn dtw_metric_properties(
+        a in prop::collection::vec(-2.0f32..2.0, 4..30),
+        b in prop::collection::vec(-2.0f32..2.0, 4..30),
+    ) {
+        prop_assert_eq!(dtw_1d(&a, &a, None).unwrap().distance, 0.0);
+        let ab = dtw_1d(&a, &b, None).unwrap().distance;
+        let ba = dtw_1d(&b, &a, None).unwrap().distance;
+        prop_assert!((ab - ba).abs() < 1e-3 * (1.0 + ab.abs()));
+        if a.len() == b.len() {
+            let lockstep: f32 = a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum();
+            prop_assert!(ab <= lockstep + 1e-3);
+        }
+    }
+
+    /// KDE densities are positive at the data points and decay far away.
+    #[test]
+    fn kde_positive_and_decaying(pts in prop::collection::vec(-1.0f32..1.0, 5..40)) {
+        let data: Vec<Vec<f32>> = pts.iter().map(|&x| vec![x]).collect();
+        let kde = GaussianKde::fit(&data).unwrap();
+        for p in &data {
+            prop_assert!(kde.pdf(p) > 0.0);
+        }
+        let near = kde.pdf(&[0.0]);
+        let far = kde.pdf(&[1e4]);
+        prop_assert!(far <= near);
+    }
+}

@@ -1,0 +1,327 @@
+//! The Table III fault-injection campaign.
+//!
+//! Reproduces the paper's grid of 651 injections over the Block Transfer
+//! task: 7 grasper-angle buckets × 2 injection-interval variants × 2
+//! Cartesian-deviation buckets, with the paper's per-cell injection counts.
+
+use crate::spec::{CartesianFault, FaultInjector, FaultSpec, GrasperFault};
+use crossbeam::thread;
+use raven_sim::{run_block_transfer, FailureMode, SimConfig, Trial};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One cell of the Table III grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridCell {
+    /// Grasper-angle target range (rad).
+    pub grasper: (f32, f32),
+    /// Grasper injection interval (trajectory fractions).
+    pub grasper_interval: (f32, f32),
+    /// Cartesian deviation range (paper units).
+    pub cartesian: (f32, f32),
+    /// Cartesian injection interval (trajectory fractions).
+    pub cartesian_interval: (f32, f32),
+    /// Number of injections in this cell (paper's counts).
+    pub injections: usize,
+}
+
+/// The paper's full 651-injection grid.
+pub fn table3_grid() -> Vec<GridCell> {
+    // (grasper bucket, [counts for variant A cart-low, A cart-high,
+    //                   B cart-low, B cart-high])
+    let rows: [((f32, f32), [usize; 4]); 7] = [
+        ((0.30, 0.40), [16, 8, 16, 16]),
+        ((0.50, 0.60), [16, 8, 16, 16]),
+        ((0.70, 0.80), [16, 8, 16, 16]),
+        ((0.90, 1.00), [58, 50, 16, 16]),
+        ((1.10, 1.20), [47, 74, 16, 16]),
+        ((1.30, 1.40), [41, 61, 16, 16]),
+        ((1.50, 1.60), [7, 17, 16, 16]),
+    ];
+    // Variant A: grasper during [0.55, 0.70], Cartesian during [0.50, 0.60].
+    // Variant B: grasper during [0.65, 0.90], Cartesian during [0.70, 0.90].
+    let variants = [((0.55, 0.70), (0.50, 0.60)), ((0.65, 0.90), (0.70, 0.90))];
+    let cart_buckets = [(3000.0, 6000.0), (6000.0, 65000.0)];
+
+    let mut grid = Vec::new();
+    for (grasper, counts) in rows {
+        for (v, &(grasper_interval, cartesian_interval)) in variants.iter().enumerate() {
+            for (c, &cartesian) in cart_buckets.iter().enumerate() {
+                grid.push(GridCell {
+                    grasper,
+                    grasper_interval,
+                    cartesian,
+                    cartesian_interval,
+                    injections: counts[v * 2 + c],
+                });
+            }
+        }
+    }
+    grid
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Base simulator configuration (each trial gets a derived seed).
+    pub sim: SimConfig,
+    /// Campaign master seed.
+    pub seed: u64,
+    /// Scales every cell's injection count (1.0 = the paper's 651 trials;
+    /// use e.g. 0.1 for quick runs). At least one injection per cell.
+    pub scale: f32,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self { sim: SimConfig::default(), seed: 0xFA01, scale: 1.0, threads: 4 }
+    }
+}
+
+/// Outcome tallies for one grid cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// The cell.
+    pub cell: GridCell,
+    /// Injections actually run.
+    pub injections: usize,
+    /// Trials ending in a block-drop.
+    pub block_drops: usize,
+    /// Trials ending in a dropoff failure.
+    pub dropoffs: usize,
+}
+
+impl CellResult {
+    /// Trials with any error.
+    pub fn errors(&self) -> usize {
+        self.block_drops + self.dropoffs
+    }
+}
+
+/// Full campaign result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Per-cell tallies, in [`table3_grid`] order.
+    pub cells: Vec<CellResult>,
+}
+
+impl CampaignReport {
+    /// Total injections.
+    pub fn total_injections(&self) -> usize {
+        self.cells.iter().map(|c| c.injections).sum()
+    }
+
+    /// Total block-drops.
+    pub fn total_block_drops(&self) -> usize {
+        self.cells.iter().map(|c| c.block_drops).sum()
+    }
+
+    /// Total dropoff failures.
+    pub fn total_dropoffs(&self) -> usize {
+        self.cells.iter().map(|c| c.dropoffs).sum()
+    }
+
+    /// Renders the Table III layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "Grasper(rad)  GrasperDur  Cartesian(units)  CartDur     #Inj  Block-drop      Dropoff\n",
+        );
+        for c in &self.cells {
+            let cell = c.cell;
+            out.push_str(&format!(
+                "{:.2}-{:.2}     {:.2}-{:.2}   {:>6.0}-{:<6.0}    {:.2}-{:.2}   {:>4}  {:>4} ({:>5.1}%)  {:>4} ({:>5.1}%)\n",
+                cell.grasper.0,
+                cell.grasper.1,
+                cell.grasper_interval.0,
+                cell.grasper_interval.1,
+                cell.cartesian.0,
+                cell.cartesian.1,
+                cell.cartesian_interval.0,
+                cell.cartesian_interval.1,
+                c.injections,
+                c.block_drops,
+                100.0 * c.block_drops as f32 / c.injections.max(1) as f32,
+                c.dropoffs,
+                100.0 * c.dropoffs as f32 / c.injections.max(1) as f32,
+            ));
+        }
+        out.push_str(&format!(
+            "Total: {} injections, {} block-drops, {} dropoff failures\n",
+            self.total_injections(),
+            self.total_block_drops(),
+            self.total_dropoffs()
+        ));
+        out
+    }
+}
+
+/// Samples a concrete [`FaultSpec`] from a grid cell.
+pub fn sample_spec(cell: &GridCell, rng: &mut impl Rng) -> FaultSpec {
+    let jitter = |rng: &mut dyn rand::RngCore, (lo, hi): (f32, f32)| rng.gen_range(lo..hi);
+    FaultSpec {
+        grasper: Some(GrasperFault {
+            target: jitter(rng, cell.grasper),
+            interval: cell.grasper_interval,
+        }),
+        cartesian: Some(CartesianFault {
+            deviation: jitter(rng, cell.cartesian),
+            interval: cell.cartesian_interval,
+        }),
+    }
+}
+
+/// Runs one fault-injection trial and returns it with its spec.
+pub fn run_injection(sim: &SimConfig, spec: FaultSpec) -> (Trial, FaultInjector) {
+    let mut injector = FaultInjector::new(spec);
+    let trial = run_block_transfer(sim, &mut injector);
+    (trial, injector)
+}
+
+/// Runs the campaign over the Table III grid.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let grid = table3_grid();
+    // Flatten into (cell_index, trial_seed) work items.
+    let mut work = Vec::new();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    for (ci, cell) in grid.iter().enumerate() {
+        let n = ((cell.injections as f32 * cfg.scale).round() as usize).max(1);
+        for _ in 0..n {
+            work.push((ci, rng.gen::<u64>()));
+        }
+    }
+
+    let threads = cfg.threads.max(1);
+    let chunk = work.len().div_ceil(threads);
+    let outcomes: Vec<(usize, Option<FailureMode>)> = thread::scope(|s| {
+        let mut handles = Vec::new();
+        for part in work.chunks(chunk.max(1)) {
+            let grid = &grid;
+            let sim = cfg.sim;
+            handles.push(s.spawn(move |_| {
+                part.iter()
+                    .map(|&(ci, seed)| {
+                        let mut trial_rng = SmallRng::seed_from_u64(seed);
+                        let spec = sample_spec(&grid[ci], &mut trial_rng);
+                        let sim_cfg = SimConfig { seed, ..sim };
+                        let (trial, _) = run_injection(&sim_cfg, spec);
+                        (ci, trial.outcome.failure)
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("campaign worker panicked"))
+            .collect()
+    })
+    .expect("campaign scope");
+
+    let mut cells: Vec<CellResult> = grid
+        .iter()
+        .map(|&cell| CellResult { cell, injections: 0, block_drops: 0, dropoffs: 0 })
+        .collect();
+    for (ci, failure) in outcomes {
+        cells[ci].injections += 1;
+        match failure {
+            Some(FailureMode::BlockDrop) => cells[ci].block_drops += 1,
+            Some(FailureMode::DropoffFailure) => cells[ci].dropoffs += 1,
+            None => {}
+        }
+    }
+    CampaignReport { cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_matches_the_paper_total() {
+        let grid = table3_grid();
+        assert_eq!(grid.len(), 28);
+        let total: usize = grid.iter().map(|c| c.injections).sum();
+        assert_eq!(total, 651, "Table III totals 651 injections");
+    }
+
+    fn quick_campaign(scale: f32) -> CampaignReport {
+        run_campaign(&CampaignConfig {
+            sim: SimConfig { hz: 50.0, duration_s: 4.0, seed: 0, tremor: 0.3 },
+            seed: 42,
+            scale,
+            threads: 4,
+        })
+    }
+
+    #[test]
+    fn campaign_reproduces_table3_structure() {
+        let report = quick_campaign(0.25);
+        // Partition cells by the paper's qualitative regimes.
+        let mut low_short_errors = 0usize;
+        let mut low_short_n = 0usize;
+        let mut low_long_dropoffs = 0usize;
+        let mut low_long_n = 0usize;
+        let mut high_drops = 0usize;
+        let mut high_n = 0usize;
+        for c in &report.cells {
+            let low_angle = c.cell.grasper.1 <= 0.85;
+            let long = c.cell.grasper_interval.1 > 0.8;
+            if low_angle && !long {
+                low_short_errors += c.errors();
+                low_short_n += c.injections;
+            } else if low_angle && long {
+                low_long_dropoffs += c.dropoffs;
+                low_long_n += c.injections;
+            } else if c.cell.grasper.0 >= 1.1 {
+                high_drops += c.block_drops;
+                high_n += c.injections;
+            }
+        }
+        // Low angle, short interval: almost no failures (paper: 0-12.5%).
+        assert!(
+            (low_short_errors as f32) < 0.25 * low_short_n as f32,
+            "low/short errors {low_short_errors}/{low_short_n}"
+        );
+        // Low angle, long interval: dropoff failures dominate (paper: ~100%).
+        assert!(
+            (low_long_dropoffs as f32) > 0.7 * low_long_n as f32,
+            "low/long dropoffs {low_long_dropoffs}/{low_long_n}"
+        );
+        // High angle: block drops dominate (paper: 75-100%).
+        assert!(
+            (high_drops as f32) > 0.7 * high_n as f32,
+            "high-angle drops {high_drops}/{high_n}"
+        );
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let a = quick_campaign(0.05);
+        let b = quick_campaign(0.05);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_renders_all_cells_and_totals() {
+        let report = quick_campaign(0.02);
+        let text = report.render();
+        assert!(text.contains("Total:"));
+        assert_eq!(text.lines().count(), 1 + 28 + 1);
+    }
+
+    #[test]
+    fn sample_spec_stays_in_bucket() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let cell = &table3_grid()[0];
+        for _ in 0..50 {
+            let spec = sample_spec(cell, &mut rng);
+            let g = spec.grasper.unwrap();
+            assert!((cell.grasper.0..cell.grasper.1).contains(&g.target));
+            let c = spec.cartesian.unwrap();
+            assert!((cell.cartesian.0..cell.cartesian.1).contains(&c.deviation));
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # `faults` — software fault injection for the Raven II simulator
+//!
+//! Implements §IV-B's fault-injection methodology:
+//!
+//! * [`spec::FaultSpec`] — faults on the commanded kinematic state
+//!   variables (Grasper Angle ramps, Cartesian deviations of `δ/√3` per
+//!   axis) over trajectory-fraction intervals,
+//! * [`campaign`] — the Table III grid (651 injections across 28 cells)
+//!   with a crossbeam-parallel runner,
+//! * [`dataset`] — the 115-demonstration Block Transfer training set with
+//!   gesture-level error labels derived from injection + manifestation
+//!   times.
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod dataset;
+pub mod spec;
+
+pub use campaign::{
+    run_campaign, run_injection, sample_spec, table3_grid, CampaignConfig, CampaignReport,
+    CellResult, GridCell,
+};
+pub use dataset::{
+    build_block_transfer_dataset, relabel_with_injection, BlockTransferDataConfig,
+};
+pub use spec::{CartesianFault, FaultInjector, FaultSpec, GrasperFault, TARGET_ARM};

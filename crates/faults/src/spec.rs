@@ -1,0 +1,232 @@
+//! Fault specifications (§IV-B).
+//!
+//! "Each injected fault is characterized by the name of the state variable
+//! (V) with value (S) that is targeted, along with the injected value (S')
+//! and the duration of the injection (D)." Faults perturb the commanded
+//! kinematic state variables — Grasper Angle and Cartesian Position — of
+//! the transfer arm, exactly like the paper's software fault injector
+//! perturbs trajectory packets.
+
+use raven_sim::{CommandFilter, Commands};
+use serde::{Deserialize, Serialize};
+
+/// Paper-units → simulator-mm conversion for Cartesian deviations. Table III
+/// sweeps 3 000–65 000 units; our workspace is ~200 mm wide, so 1 000 paper
+/// units = 1 mm (documented in DESIGN.md).
+pub const CARTESIAN_UNIT_SCALE: f32 = 1.0 / 1000.0;
+
+/// Index of the transfer arm (the right manipulator performs the transfer).
+pub const TARGET_ARM: usize = 1;
+
+/// Grasper-angle fault: ramp the commanded angle by a constant per-tick
+/// increment until the target S' is reached, then hold for the rest of the
+/// injection interval (Fig. 6d).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GrasperFault {
+    /// Target angle S' (rad).
+    pub target: f32,
+    /// Injection interval as trajectory fractions `[start, end)`.
+    pub interval: (f32, f32),
+}
+
+/// Cartesian-position fault: a deviation of Euclidean magnitude δ enforced
+/// uniformly over x, y, z (each axis gets `δ/√3`), ramped in at the start of
+/// the interval (Fig. 6c).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CartesianFault {
+    /// Total deviation δ in paper units (see [`CARTESIAN_UNIT_SCALE`]).
+    pub deviation: f32,
+    /// Injection interval as trajectory fractions `[start, end)`.
+    pub interval: (f32, f32),
+}
+
+/// A complete fault specification (Table III rows combine both kinds).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Grasper-angle component.
+    pub grasper: Option<GrasperFault>,
+    /// Cartesian-position component.
+    pub cartesian: Option<CartesianFault>,
+}
+
+/// Stateful injector implementing [`CommandFilter`] for a [`FaultSpec`].
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    spec: FaultSpec,
+    /// Current ramped grasper value (None before the injection starts).
+    ramp: Option<f32>,
+    /// Ticks observed inside the grasper interval (sets the ramp rate).
+    ramp_rate: f32,
+    /// First tick at which any perturbation was applied.
+    first_active_tick: Option<usize>,
+}
+
+impl FaultInjector {
+    /// Creates an injector for a spec. The grasper ramp reaches its target
+    /// within roughly the first quarter of the injection interval.
+    pub fn new(spec: FaultSpec) -> Self {
+        Self { spec, ramp: None, ramp_rate: 0.0, first_active_tick: None }
+    }
+
+    /// The spec being injected.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Tick at which the injection first perturbed a command, if it has.
+    pub fn first_active_tick(&self) -> Option<usize> {
+        self.first_active_tick
+    }
+}
+
+impl CommandFilter for FaultInjector {
+    fn apply(&mut self, tick: usize, progress: f32, commands: &mut Commands) {
+        let mut active = false;
+
+        if let Some(g) = self.spec.grasper {
+            if progress >= g.interval.0 && progress < g.interval.1 {
+                active = true;
+                let cmd = &mut commands.arms[TARGET_ARM].grasper;
+                let current = match self.ramp {
+                    None => {
+                        // Ramp from the unperturbed command; pick a rate that
+                        // reaches the target within ~25% of the interval.
+                        let span = (g.interval.1 - g.interval.0).max(1e-3);
+                        // rate per unit progress → per-apply step estimated
+                        // from progress deltas is unreliable; use a fixed
+                        // fraction per call scaled by the distance.
+                        self.ramp_rate = (g.target - *cmd).abs() / (0.25 * span);
+                        *cmd
+                    }
+                    Some(v) => v,
+                };
+                let dp = 0.002; // nominal progress per tick (ramping is
+                                // insensitive to the exact value)
+                let step = self.ramp_rate * dp;
+                let next = if (g.target - current).abs() <= step {
+                    g.target
+                } else {
+                    current + step * (g.target - current).signum()
+                };
+                self.ramp = Some(next);
+                *cmd = next;
+            } else if progress >= g.interval.1 {
+                self.ramp = None;
+            }
+        }
+
+        if let Some(c) = self.spec.cartesian {
+            if progress >= c.interval.0 && progress < c.interval.1 {
+                active = true;
+                let span = (c.interval.1 - c.interval.0).max(1e-3);
+                // Ramp the deviation in over the first 20% of the interval.
+                let ramp = ((progress - c.interval.0) / (0.2 * span)).clamp(0.0, 1.0);
+                let per_axis =
+                    c.deviation * CARTESIAN_UNIT_SCALE / 3.0_f32.sqrt() * ramp;
+                let p = &mut commands.arms[TARGET_ARM].position;
+                p.x += per_axis;
+                p.y += per_axis;
+                p.z += per_axis;
+            }
+        }
+
+        if active && self.first_active_tick.is_none() {
+            self.first_active_tick = Some(tick);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kinematics::Vec3;
+    use raven_sim::ArmCommand;
+
+    fn base_commands() -> Commands {
+        let arm = ArmCommand { position: Vec3::zero(), grasper: 0.12, euler: (0.0, 0.0, 0.0) };
+        Commands { arms: [arm, arm] }
+    }
+
+    #[test]
+    fn grasper_fault_ramps_to_target_and_holds() {
+        let spec = FaultSpec {
+            grasper: Some(GrasperFault { target: 1.4, interval: (0.2, 0.8) }),
+            cartesian: None,
+        };
+        let mut inj = FaultInjector::new(spec);
+        let mut reached = f32::NAN;
+        for t in 0..1000 {
+            let p = t as f32 / 999.0;
+            let mut c = base_commands();
+            inj.apply(t, p, &mut c);
+            if !(0.2..0.8).contains(&p) {
+                assert_eq!(c.arms[TARGET_ARM].grasper, 0.12, "outside interval at p={p}");
+            } else {
+                reached = c.arms[TARGET_ARM].grasper;
+            }
+        }
+        assert!((reached - 1.4).abs() < 1e-4, "ramp should reach target, got {reached}");
+    }
+
+    #[test]
+    fn grasper_ramp_is_monotone() {
+        let spec = FaultSpec {
+            grasper: Some(GrasperFault { target: 1.0, interval: (0.0, 1.0) }),
+            cartesian: None,
+        };
+        let mut inj = FaultInjector::new(spec);
+        let mut last = 0.0f32;
+        for t in 0..500 {
+            // Stay strictly inside the injection interval.
+            let p = t as f32 / 500.0;
+            let mut c = base_commands();
+            inj.apply(t, p, &mut c);
+            let g = c.arms[TARGET_ARM].grasper;
+            assert!(g >= last - 1e-6, "ramp decreased: {g} < {last}");
+            last = g;
+        }
+    }
+
+    #[test]
+    fn cartesian_fault_is_uniform_over_axes() {
+        let spec = FaultSpec {
+            grasper: None,
+            cartesian: Some(CartesianFault { deviation: 6000.0, interval: (0.0, 1.0) }),
+        };
+        let mut inj = FaultInjector::new(spec);
+        let mut c = base_commands();
+        // Deep into the interval so the ramp is complete.
+        inj.apply(500, 0.5, &mut c);
+        let p = c.arms[TARGET_ARM].position;
+        assert!((p.x - p.y).abs() < 1e-6 && (p.y - p.z).abs() < 1e-6);
+        // |δ| = 6000 units = 6 mm.
+        assert!((p.norm() - 6.0).abs() < 0.01, "deviation norm {}", p.norm());
+        // Other arm untouched.
+        assert_eq!(c.arms[0].position, Vec3::zero());
+    }
+
+    #[test]
+    fn first_active_tick_is_recorded() {
+        let spec = FaultSpec {
+            grasper: Some(GrasperFault { target: 1.0, interval: (0.5, 0.7) }),
+            cartesian: None,
+        };
+        let mut inj = FaultInjector::new(spec);
+        for t in 0..100 {
+            let mut c = base_commands();
+            inj.apply(t, t as f32 / 99.0, &mut c);
+        }
+        let first = inj.first_active_tick().expect("fault should activate");
+        assert!((49..=51).contains(&first), "first tick {first}");
+    }
+
+    #[test]
+    fn empty_spec_is_identity() {
+        let mut inj = FaultInjector::new(FaultSpec::default());
+        let mut c = base_commands();
+        let before = c;
+        inj.apply(0, 0.5, &mut c);
+        assert_eq!(c, before);
+        assert_eq!(inj.first_active_tick(), None);
+    }
+}

@@ -1,0 +1,137 @@
+//! The surgical gesture (surgeme) vocabulary of the JIGSAWS dataset,
+//! G1–G15 (Table II of the paper; Gao et al. 2014).
+
+use serde::{Deserialize, Serialize};
+
+/// An atomic surgical gesture. The paper's tasks use G1–G12 (G7 does not
+/// appear in Suturing); G13–G15 appear in Knot-Tying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Gesture {
+    G1,
+    G2,
+    G3,
+    G4,
+    G5,
+    G6,
+    G7,
+    G8,
+    G9,
+    G10,
+    G11,
+    G12,
+    G13,
+    G14,
+    G15,
+}
+
+/// Number of gesture classes (the one-hot output width of the gesture
+/// classifier; Equation 2 uses "all gestures from 0 to 14").
+pub const NUM_GESTURES: usize = 15;
+
+/// All gestures in index order.
+pub const ALL_GESTURES: [Gesture; NUM_GESTURES] = [
+    Gesture::G1,
+    Gesture::G2,
+    Gesture::G3,
+    Gesture::G4,
+    Gesture::G5,
+    Gesture::G6,
+    Gesture::G7,
+    Gesture::G8,
+    Gesture::G9,
+    Gesture::G10,
+    Gesture::G11,
+    Gesture::G12,
+    Gesture::G13,
+    Gesture::G14,
+    Gesture::G15,
+];
+
+impl Gesture {
+    /// Zero-based class index (G1 → 0, …, G15 → 14).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Gesture for a zero-based class index.
+    pub fn from_index(index: usize) -> Option<Gesture> {
+        ALL_GESTURES.get(index).copied()
+    }
+
+    /// Parses the JIGSAWS transcription token (`"G1"`, …, `"G15"`).
+    pub fn parse(token: &str) -> Option<Gesture> {
+        let num: usize = token.strip_prefix('G')?.parse().ok()?;
+        if (1..=NUM_GESTURES).contains(&num) {
+            Gesture::from_index(num - 1)
+        } else {
+            None
+        }
+    }
+
+    /// Human-readable description from the JIGSAWS vocabulary (Table II).
+    pub fn description(self) -> &'static str {
+        match self {
+            Gesture::G1 => "reaching for needle with right hand",
+            Gesture::G2 => "positioning needle",
+            Gesture::G3 => "pushing needle through the tissue",
+            Gesture::G4 => "transferring needle from left to right",
+            Gesture::G5 => "moving to center with needle in grip",
+            Gesture::G6 => "pulling suture with left hand",
+            Gesture::G7 => "pulling suture with right hand",
+            Gesture::G8 => "orienting needle",
+            Gesture::G9 => "using right hand to help tighten suture",
+            Gesture::G10 => "loosening more suture",
+            Gesture::G11 => "dropping suture and moving to end points",
+            Gesture::G12 => "reaching for needle with left hand",
+            Gesture::G13 => "making C loop around right hand",
+            Gesture::G14 => "reaching for suture with right hand",
+            Gesture::G15 => "pulling suture with both hands",
+        }
+    }
+}
+
+impl std::fmt::Display for Gesture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "G{}", self.index() + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for g in ALL_GESTURES {
+            assert_eq!(Gesture::from_index(g.index()), Some(g));
+        }
+        assert_eq!(Gesture::from_index(NUM_GESTURES), None);
+    }
+
+    #[test]
+    fn parse_tokens() {
+        assert_eq!(Gesture::parse("G1"), Some(Gesture::G1));
+        assert_eq!(Gesture::parse("G15"), Some(Gesture::G15));
+        assert_eq!(Gesture::parse("G16"), None);
+        assert_eq!(Gesture::parse("G0"), None);
+        assert_eq!(Gesture::parse("g1"), None);
+        assert_eq!(Gesture::parse("X1"), None);
+    }
+
+    #[test]
+    fn display_matches_jigsaws_tokens() {
+        assert_eq!(Gesture::G1.to_string(), "G1");
+        assert_eq!(Gesture::G11.to_string(), "G11");
+        assert_eq!(Gesture::parse(&Gesture::G9.to_string()), Some(Gesture::G9));
+    }
+
+    #[test]
+    fn descriptions_are_nonempty_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for g in ALL_GESTURES {
+            assert!(!g.description().is_empty());
+            assert!(seen.insert(g.description()), "duplicate description for {g}");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # `gestures` — surgical operational context
+//!
+//! The paper's notion of *operational context* is the surgical gesture
+//! (surgeme) the surgeon is currently performing (§II, Fig. 2). This crate
+//! provides:
+//!
+//! * the JIGSAWS gesture vocabulary G1–G15 ([`gesture::Gesture`]),
+//! * the Table II rubric of gesture-specific errors and their kinematic
+//!   fault causes ([`rubric`]),
+//! * finite-state Markov-chain task models, estimable from demonstrations
+//!   and sampleable for synthetic data generation ([`markov::MarkovChain`]),
+//! * the four tasks of Table IV with reference chains matching Fig. 3
+//!   ([`task::Task`]).
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // indexed loops mirror the math in numeric kernels
+
+pub mod gesture;
+pub mod markov;
+pub mod rubric;
+pub mod task;
+
+pub use gesture::{Gesture, ALL_GESTURES, NUM_GESTURES};
+pub use markov::MarkovChain;
+pub use rubric::{error_modes, has_common_errors, ErrorMode, FaultClass, RUBRIC};
+pub use task::{Task, ALL_TASKS};

@@ -1,0 +1,340 @@
+//! Finite-state Markov-chain models of surgical tasks (§II, Fig. 3).
+//!
+//! Each task is a first-order Markov chain over gestures with explicit start
+//! and end probabilities. Chains can be estimated from demonstration gesture
+//! sequences (as the paper derived Fig. 3a from JIGSAWS) or sampled to
+//! generate new synthetic demonstrations.
+
+use crate::gesture::{Gesture, NUM_GESTURES};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A Markov chain over the gesture vocabulary.
+///
+/// Rows of `trans` are source gestures; the column `NUM_GESTURES` ("virtual
+/// end state") holds the probability of terminating after that gesture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarkovChain {
+    /// `start[g]` = probability the first gesture is `g`.
+    start: Vec<f32>,
+    /// `trans[g][g']` = P(next = g' | current = g); index `NUM_GESTURES` is
+    /// the end state.
+    trans: Vec<Vec<f32>>,
+}
+
+impl MarkovChain {
+    /// Creates an empty chain (all probabilities zero). Useful as a builder
+    /// target; use [`MarkovChain::set_start`] / [`MarkovChain::set_transition`].
+    pub fn empty() -> Self {
+        Self {
+            start: vec![0.0; NUM_GESTURES],
+            trans: vec![vec![0.0; NUM_GESTURES + 1]; NUM_GESTURES],
+        }
+    }
+
+    /// Sets a start probability.
+    pub fn set_start(&mut self, g: Gesture, p: f32) -> &mut Self {
+        self.start[g.index()] = p;
+        self
+    }
+
+    /// Sets a transition probability.
+    pub fn set_transition(&mut self, from: Gesture, to: Gesture, p: f32) -> &mut Self {
+        self.trans[from.index()][to.index()] = p;
+        self
+    }
+
+    /// Sets the end-of-task probability after `from`.
+    pub fn set_end(&mut self, from: Gesture, p: f32) -> &mut Self {
+        self.trans[from.index()][NUM_GESTURES] = p;
+        self
+    }
+
+    /// Start probability of `g`.
+    pub fn start_prob(&self, g: Gesture) -> f32 {
+        self.start[g.index()]
+    }
+
+    /// Transition probability `from → to`.
+    pub fn transition_prob(&self, from: Gesture, to: Gesture) -> f32 {
+        self.trans[from.index()][to.index()]
+    }
+
+    /// End probability after `from`.
+    pub fn end_prob(&self, from: Gesture) -> f32 {
+        self.trans[from.index()][NUM_GESTURES]
+    }
+
+    /// Gestures with non-zero start or transition mass.
+    pub fn support(&self) -> Vec<Gesture> {
+        (0..NUM_GESTURES)
+            .filter(|&g| {
+                self.start[g] > 0.0
+                    || self.trans[g].iter().any(|&p| p > 0.0)
+                    || self.trans.iter().any(|row| row[g] > 0.0)
+            })
+            .filter_map(Gesture::from_index)
+            .collect()
+    }
+
+    /// Checks that start and every supported row are proper distributions
+    /// (sum to 1 within `tol`).
+    pub fn is_normalized(&self, tol: f32) -> bool {
+        let s: f32 = self.start.iter().sum();
+        if (s - 1.0).abs() > tol {
+            return false;
+        }
+        for row in &self.trans {
+            let sum: f32 = row.iter().sum();
+            if sum > 0.0 && (sum - 1.0).abs() > tol {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Maximum-likelihood estimation from demonstration gesture sequences
+    /// (how the paper derived Fig. 3 from JIGSAWS transcripts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sequences` is empty or contains an empty sequence.
+    pub fn estimate(sequences: &[Vec<Gesture>]) -> Self {
+        assert!(!sequences.is_empty(), "need at least one sequence");
+        let mut chain = Self::empty();
+        let mut start_counts = [0usize; NUM_GESTURES];
+        let mut trans_counts = vec![vec![0usize; NUM_GESTURES + 1]; NUM_GESTURES];
+        for seq in sequences {
+            assert!(!seq.is_empty(), "empty gesture sequence");
+            start_counts[seq[0].index()] += 1;
+            for w in seq.windows(2) {
+                trans_counts[w[0].index()][w[1].index()] += 1;
+            }
+            trans_counts[seq[seq.len() - 1].index()][NUM_GESTURES] += 1;
+        }
+        let n = sequences.len() as f32;
+        for g in 0..NUM_GESTURES {
+            chain.start[g] = start_counts[g] as f32 / n;
+            let row_total: usize = trans_counts[g].iter().sum();
+            if row_total > 0 {
+                for to in 0..=NUM_GESTURES {
+                    chain.trans[g][to] = trans_counts[g][to] as f32 / row_total as f32;
+                }
+            }
+        }
+        chain
+    }
+
+    /// Samples a gesture sequence, truncated at `max_len` if the end state is
+    /// not reached earlier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain has no start mass.
+    pub fn sample(&self, rng: &mut impl Rng, max_len: usize) -> Vec<Gesture> {
+        let start_sum: f32 = self.start.iter().sum();
+        assert!(start_sum > 0.0, "chain has no start probabilities");
+        let mut seq = Vec::new();
+        let mut current = sample_index(rng, &self.start).expect("start distribution empty");
+        seq.push(Gesture::from_index(current).expect("valid index"));
+        while seq.len() < max_len {
+            let row = &self.trans[current];
+            match sample_index(rng, row) {
+                Some(next) if next == NUM_GESTURES => break,
+                Some(next) => {
+                    seq.push(Gesture::from_index(next).expect("valid index"));
+                    current = next;
+                }
+                // Absorbing row with no mass: stop.
+                None => break,
+            }
+        }
+        seq
+    }
+
+    /// Log-likelihood of a sequence under the chain (natural log), treating
+    /// the final gesture as followed by the end state. Returns `-inf` for
+    /// impossible sequences.
+    pub fn log_likelihood(&self, seq: &[Gesture]) -> f32 {
+        if seq.is_empty() {
+            return f32::NEG_INFINITY;
+        }
+        let mut ll = ln_or_neg_inf(self.start[seq[0].index()]);
+        for w in seq.windows(2) {
+            ll += ln_or_neg_inf(self.trans[w[0].index()][w[1].index()]);
+        }
+        ll += ln_or_neg_inf(self.trans[seq[seq.len() - 1].index()][NUM_GESTURES]);
+        ll
+    }
+
+    /// Per-row L1 distance to another chain, averaged over supported rows;
+    /// used by `repro_fig3_markov` to show estimation convergence.
+    pub fn l1_distance(&self, other: &MarkovChain) -> f32 {
+        let mut total = 0.0f32;
+        let mut rows = 0usize;
+        let start_d: f32 = self
+            .start
+            .iter()
+            .zip(other.start.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        total += start_d;
+        rows += 1;
+        for g in 0..NUM_GESTURES {
+            let sum_a: f32 = self.trans[g].iter().sum();
+            let sum_b: f32 = other.trans[g].iter().sum();
+            if sum_a > 0.0 || sum_b > 0.0 {
+                total += self.trans[g]
+                    .iter()
+                    .zip(other.trans[g].iter())
+                    .map(|(a, b)| (a - b).abs())
+                    .sum::<f32>();
+                rows += 1;
+            }
+        }
+        total / rows as f32
+    }
+
+    /// Renders the chain as `from -> to : prob` lines for non-zero entries.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for g in 0..NUM_GESTURES {
+            if self.start[g] > 0.0 {
+                out.push_str(&format!(
+                    "Start -> G{:<3} : {:.2}\n",
+                    g + 1,
+                    self.start[g]
+                ));
+            }
+        }
+        for g in 0..NUM_GESTURES {
+            for to in 0..NUM_GESTURES {
+                if self.trans[g][to] > 0.0 {
+                    out.push_str(&format!(
+                        "G{:<2}  -> G{:<3} : {:.2}\n",
+                        g + 1,
+                        to + 1,
+                        self.trans[g][to]
+                    ));
+                }
+            }
+            if self.trans[g][NUM_GESTURES] > 0.0 {
+                out.push_str(&format!(
+                    "G{:<2}  -> End  : {:.2}\n",
+                    g + 1,
+                    self.trans[g][NUM_GESTURES]
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn ln_or_neg_inf(p: f32) -> f32 {
+    if p > 0.0 {
+        p.ln()
+    } else {
+        f32::NEG_INFINITY
+    }
+}
+
+/// Samples an index from an unnormalized distribution; `None` if all mass is
+/// zero.
+fn sample_index(rng: &mut impl Rng, weights: &[f32]) -> Option<usize> {
+    let total: f32 = weights.iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut u = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if w <= 0.0 {
+            continue;
+        }
+        if u < w {
+            return Some(i);
+        }
+        u -= w;
+    }
+    // Floating-point slack: return the last positive-weight index.
+    weights.iter().rposition(|&w| w > 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Task;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn estimate_recovers_deterministic_sequence() {
+        let seqs = vec![
+            vec![Gesture::G2, Gesture::G12, Gesture::G6],
+            vec![Gesture::G2, Gesture::G12, Gesture::G6],
+        ];
+        let chain = MarkovChain::estimate(&seqs);
+        assert_eq!(chain.start_prob(Gesture::G2), 1.0);
+        assert_eq!(chain.transition_prob(Gesture::G2, Gesture::G12), 1.0);
+        assert_eq!(chain.end_prob(Gesture::G6), 1.0);
+        assert!(chain.is_normalized(1e-6));
+    }
+
+    #[test]
+    fn sample_respects_deterministic_chain() {
+        let chain = Task::BlockTransfer.reference_chain();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let seq = chain.sample(&mut rng, 100);
+            assert_eq!(
+                seq,
+                vec![Gesture::G2, Gesture::G12, Gesture::G6, Gesture::G5, Gesture::G11],
+                "Block Transfer must always follow the Fig. 3b sequence"
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_converges_to_reference_suturing_chain() {
+        let reference = Task::Suturing.reference_chain();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let seqs: Vec<Vec<Gesture>> =
+            (0..800).map(|_| reference.sample(&mut rng, 60)).collect();
+        let estimated = MarkovChain::estimate(&seqs);
+        let d = reference.l1_distance(&estimated);
+        assert!(d < 0.12, "estimated chain too far from reference: L1 {d}");
+    }
+
+    #[test]
+    fn log_likelihood_prefers_valid_sequences() {
+        let chain = Task::BlockTransfer.reference_chain();
+        let valid = vec![Gesture::G2, Gesture::G12, Gesture::G6, Gesture::G5, Gesture::G11];
+        let invalid = vec![Gesture::G11, Gesture::G2];
+        assert!(chain.log_likelihood(&valid).is_finite());
+        assert_eq!(chain.log_likelihood(&invalid), f32::NEG_INFINITY);
+        assert_eq!(chain.log_likelihood(&[]), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn sample_truncates_at_max_len() {
+        // A chain that never ends: G1 -> G1 forever.
+        let mut chain = MarkovChain::empty();
+        chain.set_start(Gesture::G1, 1.0);
+        chain.set_transition(Gesture::G1, Gesture::G1, 1.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(chain.sample(&mut rng, 17).len(), 17);
+    }
+
+    #[test]
+    fn render_lists_all_edges() {
+        let chain = Task::BlockTransfer.reference_chain();
+        let text = chain.render();
+        assert!(text.contains("Start -> G2"));
+        assert!(text.contains("G11  -> End"));
+    }
+
+    #[test]
+    fn support_of_block_transfer_is_five_gestures() {
+        let chain = Task::BlockTransfer.reference_chain();
+        assert_eq!(chain.support().len(), 5);
+    }
+}

@@ -1,0 +1,178 @@
+//! The erroneous-gesture rubric of Table II: per-gesture common failure
+//! modes and the kinematic fault classes that can cause them.
+
+use crate::gesture::Gesture;
+use serde::{Deserialize, Serialize};
+
+/// Kinematic fault class that can cause a gesture-specific error
+/// ("Potential Causes (Faults)" column of Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// Wrong rotation angles of the end-effector.
+    WrongRotation,
+    /// Wrong Cartesian position of the end-effector.
+    WrongCartesianPosition,
+    /// Sudden jumps in Cartesian position.
+    SuddenJump,
+    /// Grasper angle too high (loses grip).
+    HighGrasperAngle,
+    /// Grasper angle too low (fails to release).
+    LowGrasperAngle,
+    /// Insufficient pressure applied.
+    LowPressure,
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FaultClass::WrongRotation => "wrong rotation angles",
+            FaultClass::WrongCartesianPosition => "wrong Cartesian position",
+            FaultClass::SuddenJump => "sudden jumps",
+            FaultClass::HighGrasperAngle => "high grasper angle",
+            FaultClass::LowGrasperAngle => "low grasper angle",
+            FaultClass::LowPressure => "low pressure",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of the Table II rubric: a failure mode observable for a gesture,
+/// and the fault classes that can cause it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ErrorMode {
+    /// The gesture this failure mode belongs to.
+    pub gesture: Gesture,
+    /// Human-readable failure-mode description.
+    pub failure_mode: &'static str,
+    /// Kinematic fault classes that can manifest as this failure mode.
+    pub causes: &'static [FaultClass],
+}
+
+use FaultClass::*;
+
+/// The full Table II rubric for the Suturing and Block Transfer tasks.
+pub const RUBRIC: &[ErrorMode] = &[
+    ErrorMode {
+        gesture: Gesture::G1,
+        failure_mode: "more than one attempt to reach",
+        causes: &[WrongRotation],
+    },
+    ErrorMode {
+        gesture: Gesture::G2,
+        failure_mode: "more than one attempt to position",
+        causes: &[WrongRotation],
+    },
+    ErrorMode {
+        gesture: Gesture::G3,
+        failure_mode: "driving with more than one movement / not removing the needle along its curve",
+        causes: &[WrongCartesianPosition],
+    },
+    ErrorMode {
+        gesture: Gesture::G4,
+        failure_mode: "unintentional needle drop",
+        causes: &[WrongCartesianPosition, SuddenJump],
+    },
+    ErrorMode {
+        gesture: Gesture::G4,
+        failure_mode: "needle held on needle holder not in view at all times",
+        causes: &[WrongCartesianPosition, SuddenJump],
+    },
+    ErrorMode {
+        gesture: Gesture::G5,
+        failure_mode: "unintentional needle drop",
+        causes: &[HighGrasperAngle],
+    },
+    ErrorMode {
+        gesture: Gesture::G6,
+        failure_mode: "needle held on needle holder not in view at all times",
+        causes: &[WrongCartesianPosition, SuddenJump],
+    },
+    ErrorMode {
+        gesture: Gesture::G6,
+        failure_mode: "unintentional needle drop",
+        causes: &[WrongCartesianPosition, SuddenJump],
+    },
+    ErrorMode {
+        gesture: Gesture::G8,
+        failure_mode: "uses tissue/instrument for stability / more than one attempt at orienting",
+        causes: &[WrongRotation],
+    },
+    ErrorMode {
+        gesture: Gesture::G9,
+        failure_mode: "knot left loose",
+        causes: &[LowPressure],
+    },
+    ErrorMode {
+        gesture: Gesture::G11,
+        failure_mode: "failure to dropoff",
+        causes: &[LowGrasperAngle],
+    },
+    ErrorMode {
+        gesture: Gesture::G12,
+        failure_mode: "more than one attempt to reach",
+        causes: &[WrongCartesianPosition, SuddenJump],
+    },
+];
+
+/// All failure modes for `gesture` (empty for gestures like G10 that have no
+/// common errors in Table II).
+pub fn error_modes(gesture: Gesture) -> Vec<&'static ErrorMode> {
+    RUBRIC.iter().filter(|m| m.gesture == gesture).collect()
+}
+
+/// Whether Table II lists any common error for `gesture`. The paper notes
+/// G10 (and G11/G2/G12 in parts of Table IX) have no common errors or no
+/// reaction times.
+pub fn has_common_errors(gesture: Gesture) -> bool {
+    !error_modes(gesture).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn g10_has_no_common_errors() {
+        assert!(!has_common_errors(Gesture::G10));
+        assert!(error_modes(Gesture::G10).is_empty());
+    }
+
+    #[test]
+    fn g4_has_two_failure_modes() {
+        assert_eq!(error_modes(Gesture::G4).len(), 2);
+    }
+
+    #[test]
+    fn grasper_faults_mirror_the_drop_vs_dropoff_asymmetry() {
+        // Table II: needle drop is caused by HIGH grasper angle (G5),
+        // failure to dropoff by LOW grasper angle (G11).
+        assert!(error_modes(Gesture::G5)
+            .iter()
+            .any(|m| m.causes.contains(&FaultClass::HighGrasperAngle)));
+        assert!(error_modes(Gesture::G11)
+            .iter()
+            .any(|m| m.causes.contains(&FaultClass::LowGrasperAngle)));
+    }
+
+    #[test]
+    fn every_mode_has_a_cause_and_description() {
+        for m in RUBRIC {
+            assert!(!m.failure_mode.is_empty());
+            assert!(!m.causes.is_empty());
+        }
+    }
+
+    #[test]
+    fn fault_class_display_is_nonempty() {
+        for c in [
+            WrongRotation,
+            WrongCartesianPosition,
+            SuddenJump,
+            HighGrasperAngle,
+            LowGrasperAngle,
+            LowPressure,
+        ] {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

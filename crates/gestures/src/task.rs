@@ -1,0 +1,211 @@
+//! Surgical tasks and their reference Markov chains (Fig. 3).
+//!
+//! The Suturing chain encodes the legible structure of Fig. 3a (start mass
+//! 0.74/0.21/0.05 on G1/G5/G8, the dominant G1→G2→G3→G6→G4 loop, rare G10
+//! entered from G6 with 1% and from G4 with 13% as §V-A reports); Block
+//! Transfer is the deterministic Fig. 3b/Fig. 8 sequence
+//! G2→G12→G6→G5→G11. Knot-Tying and Needle-Passing chains follow the
+//! JIGSAWS grammars at the same level of fidelity.
+
+use crate::gesture::Gesture;
+use crate::markov::MarkovChain;
+use serde::{Deserialize, Serialize};
+
+/// A dry-lab surgical training task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Task {
+    /// FLS Suturing (JIGSAWS, evaluated on the dVRK in the paper).
+    Suturing,
+    /// JIGSAWS Knot-Tying.
+    KnotTying,
+    /// JIGSAWS Needle-Passing.
+    NeedlePassing,
+    /// FLS Block Transfer (evaluated on the Raven II simulator).
+    BlockTransfer,
+}
+
+/// All tasks in Table IV order.
+pub const ALL_TASKS: [Task; 4] =
+    [Task::Suturing, Task::KnotTying, Task::NeedlePassing, Task::BlockTransfer];
+
+impl Task {
+    /// The gesture vocabulary of the task.
+    pub fn gestures(self) -> &'static [Gesture] {
+        use Gesture::*;
+        match self {
+            Task::Suturing => &[G1, G2, G3, G4, G5, G6, G8, G9, G10, G11],
+            Task::KnotTying => &[G1, G11, G12, G13, G14, G15],
+            Task::NeedlePassing => &[G1, G2, G3, G4, G5, G6, G8, G11],
+            Task::BlockTransfer => &[G2, G5, G6, G11, G12],
+        }
+    }
+
+    /// Reference Markov chain used to generate synthetic demonstrations.
+    pub fn reference_chain(self) -> MarkovChain {
+        use Gesture::*;
+        let mut c = MarkovChain::empty();
+        match self {
+            Task::Suturing => {
+                c.set_start(G1, 0.74).set_start(G5, 0.21).set_start(G8, 0.05);
+                c.set_transition(G1, G2, 0.97).set_transition(G1, G8, 0.03);
+                c.set_transition(G2, G3, 0.96)
+                    .set_transition(G2, G8, 0.02)
+                    .set_transition(G2, G6, 0.01)
+                    .set_end(G2, 0.01);
+                c.set_transition(G3, G6, 0.93)
+                    .set_transition(G3, G4, 0.05)
+                    .set_transition(G3, G2, 0.01)
+                    .set_transition(G3, G11, 0.01);
+                c.set_transition(G4, G2, 0.62)
+                    .set_transition(G4, G8, 0.22)
+                    .set_transition(G4, G10, 0.13)
+                    .set_transition(G4, G11, 0.03);
+                c.set_transition(G5, G2, 0.92).set_transition(G5, G8, 0.08);
+                c.set_transition(G6, G4, 0.76)
+                    .set_transition(G6, G9, 0.08)
+                    .set_transition(G6, G2, 0.08)
+                    .set_transition(G6, G11, 0.05)
+                    .set_transition(G6, G10, 0.01)
+                    .set_end(G6, 0.02);
+                c.set_transition(G8, G2, 0.67)
+                    .set_transition(G8, G3, 0.17)
+                    .set_transition(G8, G6, 0.08)
+                    .set_transition(G8, G5, 0.08);
+                c.set_transition(G9, G11, 0.50).set_transition(G9, G10, 0.50);
+                c.set_transition(G10, G6, 1.00);
+                c.set_transition(G11, G1, 0.11).set_end(G11, 0.89);
+            }
+            Task::KnotTying => {
+                c.set_start(G1, 0.85).set_start(G12, 0.15);
+                c.set_transition(G1, G13, 0.90).set_transition(G1, G12, 0.10);
+                c.set_transition(G12, G13, 1.0);
+                c.set_transition(G13, G14, 0.95).set_transition(G13, G15, 0.05);
+                c.set_transition(G14, G15, 1.0);
+                c.set_transition(G15, G13, 0.55)
+                    .set_transition(G15, G11, 0.35)
+                    .set_end(G15, 0.10);
+                c.set_transition(G11, G13, 0.10).set_end(G11, 0.90);
+            }
+            Task::NeedlePassing => {
+                c.set_start(G1, 0.80).set_start(G5, 0.15).set_start(G8, 0.05);
+                c.set_transition(G1, G2, 0.90).set_transition(G1, G5, 0.10);
+                c.set_transition(G2, G3, 0.90).set_transition(G2, G8, 0.10);
+                c.set_transition(G3, G6, 0.85)
+                    .set_transition(G3, G4, 0.10)
+                    .set_transition(G3, G2, 0.05);
+                c.set_transition(G4, G2, 0.70)
+                    .set_transition(G4, G8, 0.20)
+                    .set_transition(G4, G11, 0.10);
+                c.set_transition(G5, G2, 0.90).set_transition(G5, G8, 0.10);
+                c.set_transition(G6, G4, 0.70)
+                    .set_transition(G6, G2, 0.15)
+                    .set_transition(G6, G11, 0.13)
+                    .set_end(G6, 0.02);
+                c.set_transition(G8, G2, 0.80).set_transition(G8, G3, 0.20);
+                c.set_transition(G11, G1, 0.15).set_end(G11, 0.85);
+            }
+            Task::BlockTransfer => {
+                c.set_start(G2, 1.0);
+                c.set_transition(G2, G12, 1.0);
+                c.set_transition(G12, G6, 1.0);
+                c.set_transition(G6, G5, 1.0);
+                c.set_transition(G5, G11, 1.0);
+                c.set_end(G11, 1.0);
+            }
+        }
+        c
+    }
+
+    /// Native sampling rate of the task's data source: 30 Hz for the
+    /// JIGSAWS/dVRK tasks, 1 kHz for the Raven II simulator (§IV).
+    pub fn native_hz(self) -> f32 {
+        match self {
+            Task::BlockTransfer => 1000.0,
+            _ => 30.0,
+        }
+    }
+}
+
+impl std::fmt::Display for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Task::Suturing => "Suturing",
+            Task::KnotTying => "Knot Tying",
+            Task::NeedlePassing => "Needle Passing",
+            Task::BlockTransfer => "Block Transfer",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_reference_chain_is_normalized() {
+        for task in ALL_TASKS {
+            assert!(
+                task.reference_chain().is_normalized(1e-4),
+                "{task} chain not normalized"
+            );
+        }
+    }
+
+    #[test]
+    fn chains_only_use_the_task_vocabulary() {
+        for task in ALL_TASKS {
+            let vocab: std::collections::HashSet<_> =
+                task.gestures().iter().copied().collect();
+            for g in task.reference_chain().support() {
+                assert!(vocab.contains(&g), "{task} chain uses {g} outside its vocabulary");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_sequences_stay_in_vocabulary() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for task in ALL_TASKS {
+            let chain = task.reference_chain();
+            let vocab: std::collections::HashSet<_> =
+                task.gestures().iter().copied().collect();
+            for _ in 0..50 {
+                for g in chain.sample(&mut rng, 80) {
+                    assert!(vocab.contains(&g));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn suturing_g10_is_rare_as_in_the_paper() {
+        // §V-A: G10 has 1% transition probability from G6 and 13% from G4.
+        let c = Task::Suturing.reference_chain();
+        assert!((c.transition_prob(Gesture::G6, Gesture::G10) - 0.01).abs() < 1e-6);
+        assert!((c.transition_prob(Gesture::G4, Gesture::G10) - 0.13).abs() < 1e-6);
+    }
+
+    #[test]
+    fn suturing_start_probabilities_match_fig3a() {
+        let c = Task::Suturing.reference_chain();
+        assert!((c.start_prob(Gesture::G1) - 0.74).abs() < 1e-6);
+        assert!((c.start_prob(Gesture::G5) - 0.21).abs() < 1e-6);
+        assert!((c.start_prob(Gesture::G8) - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn native_rates_match_the_platforms() {
+        assert_eq!(Task::Suturing.native_hz(), 30.0);
+        assert_eq!(Task::BlockTransfer.native_hz(), 1000.0);
+    }
+
+    #[test]
+    fn task_display_nonempty() {
+        for t in ALL_TASKS {
+            assert!(!t.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Rubric-driven kinematic error injection.
+//!
+//! Each Table II failure mode has a kinematic *signature* — the pattern the
+//! paper's annotators saw in video and the classifiers must learn from
+//! kinematics. Injecting the signatures at generation time replaces the
+//! paper's manual annotation with exact ground truth (DESIGN.md §2).
+
+use crate::noise::randn;
+use crate::pose::FramePose;
+use crate::primitives::{ArmSel, GRASPER_OPEN};
+use gestures::{error_modes, FaultClass, Gesture, Task};
+use kinematics::Vec3;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A concrete kinematic error signature applied to a gesture's frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorSignature {
+    /// Oscillatory re-approach ("more than one attempt").
+    MultipleAttempts,
+    /// Growing wrong-rotation offset with corrective wobble.
+    RotationDrift,
+    /// Brief grasper opening mid-gesture (unintentional drop).
+    GrasperSpike,
+    /// Grasper fails to open during a release ramp (failure to dropoff).
+    FailedRelease,
+    /// One-frame Cartesian discontinuity.
+    SuddenJump,
+    /// Excursion beyond the visible workspace ("end-effector out of sight").
+    OutOfView,
+    /// Damped low-effort motion (low pressure, knot left loose).
+    DampedEffort,
+}
+
+/// Chooses the signature implied by a Table II fault class.
+pub fn signature_for(fault: FaultClass, rng: &mut impl Rng) -> ErrorSignature {
+    match fault {
+        FaultClass::WrongRotation => ErrorSignature::RotationDrift,
+        FaultClass::WrongCartesianPosition => {
+            if rng.gen_bool(0.5) {
+                ErrorSignature::MultipleAttempts
+            } else {
+                ErrorSignature::OutOfView
+            }
+        }
+        FaultClass::SuddenJump => ErrorSignature::SuddenJump,
+        FaultClass::HighGrasperAngle => ErrorSignature::GrasperSpike,
+        FaultClass::LowGrasperAngle => ErrorSignature::FailedRelease,
+        FaultClass::LowPressure => ErrorSignature::DampedEffort,
+    }
+}
+
+/// Picks a signature for an erroneous instance of `gesture` from its rubric
+/// entries. Returns `None` when the rubric lists no common error (e.g. G10).
+pub fn sample_signature(gesture: Gesture, rng: &mut impl Rng) -> Option<ErrorSignature> {
+    let modes = error_modes(gesture);
+    if modes.is_empty() {
+        return None;
+    }
+    let mode = modes[rng.gen_range(0..modes.len())];
+    let cause = mode.causes[rng.gen_range(0..mode.causes.len())];
+    Some(signature_for(cause, rng))
+}
+
+/// Applies `signature` to the frames of one gesture (mutating the active
+/// arm(s) only) and returns the frame offset *within the gesture* at which
+/// the error manifests (used as `actual_frame` ground truth).
+///
+/// # Panics
+///
+/// Panics if `frames` is empty.
+pub fn apply_signature(
+    signature: ErrorSignature,
+    frames: &mut [FramePose],
+    arm: ArmSel,
+    rng: &mut impl Rng,
+) -> usize {
+    assert!(!frames.is_empty(), "apply_signature: empty gesture");
+    let n = frames.len();
+    let arms = frames[0].arms.len();
+    let active: Vec<usize> = (0..arms).filter(|&a| arm.includes(a)).collect();
+
+    match signature {
+        ErrorSignature::MultipleAttempts => {
+            // Superimpose corrective oscillations over most of the gesture:
+            // repeated approach/retreat with a jerky (velocity-visible)
+            // waveform.
+            let cycles = rng.gen_range(3..=5) as f32;
+            let amp = 14.0 + 5.0 * randn(rng).abs();
+            let onset = n / 5;
+            let dir = Vec3::new(randn(rng), randn(rng), randn(rng)).normalized();
+            for (t, f) in frames.iter_mut().enumerate().skip(onset) {
+                let phase = (t - onset) as f32 / (n - onset).max(1) as f32;
+                let wave = (phase * cycles * 2.0 * std::f32::consts::PI).sin();
+                // Sharpen the wave so per-frame velocity spikes stand out.
+                let wave = wave.signum() * wave.abs().sqrt();
+                for &a in &active {
+                    f.arms[a].pos = f.arms[a].pos + dir * (amp * wave);
+                }
+            }
+            onset
+        }
+        ErrorSignature::RotationDrift => {
+            let onset = n / 4;
+            let drift = (0.5 + 0.3 * randn(rng).abs(), 0.4, 0.3);
+            for (t, f) in frames.iter_mut().enumerate().skip(onset) {
+                let s = (t - onset) as f32 / (n - onset).max(1) as f32;
+                let wobble = (s * 6.0 * std::f32::consts::PI).sin() * 0.15;
+                for &a in &active {
+                    let e = &mut f.arms[a].euler;
+                    e.0 += drift.0 * s + wobble;
+                    e.1 += drift.1 * s;
+                    e.2 += drift.2 * s + wobble * 0.5;
+                }
+            }
+            onset
+        }
+        ErrorSignature::GrasperSpike => {
+            // Grasper pops open mid-gesture and the dropped object forces a
+            // recovery: the grasper stays disturbed for the rest of the
+            // gesture.
+            let peak = n / 2;
+            let width = (n / 5).max(2);
+            for (t, f) in frames.iter_mut().enumerate() {
+                let bump = if t < peak {
+                    let d = (peak - t) as f32 / width as f32;
+                    (GRASPER_OPEN - 0.1) * (-d * d).exp()
+                } else {
+                    // Post-drop fumbling: half-open with jitter.
+                    0.5 * GRASPER_OPEN + 0.1 * randn(rng)
+                };
+                for &a in &active {
+                    f.arms[a].grasper =
+                        (f.arms[a].grasper + bump).clamp(0.0, GRASPER_OPEN * 1.1);
+                }
+            }
+            peak
+        }
+        ErrorSignature::FailedRelease => {
+            // Clamp the grasper low through the would-be release.
+            let stuck = 0.15 + 0.1 * randn(rng).abs();
+            for f in frames.iter_mut() {
+                for &a in &active {
+                    f.arms[a].grasper = f.arms[a].grasper.min(stuck);
+                }
+            }
+            // The failure is observable at the end, when the drop should
+            // have happened.
+            n - 1
+        }
+        ErrorSignature::SuddenJump => {
+            let at = rng.gen_range(n / 4..(3 * n / 4).max(n / 4 + 1));
+            let jump = Vec3::new(randn(rng), randn(rng), randn(rng)).normalized()
+                * (25.0 + 10.0 * randn(rng).abs());
+            for f in frames.iter_mut().skip(at) {
+                for &a in &active {
+                    f.arms[a].pos = f.arms[a].pos + jump;
+                }
+            }
+            at
+        }
+        ErrorSignature::OutOfView => {
+            // Rush out of the visible workspace early and linger there.
+            let onset = n / 5;
+            let excursion = Vec3::new(
+                160.0 * randn(rng).signum(),
+                140.0 * randn(rng).signum(),
+                0.0,
+            );
+            for (t, f) in frames.iter_mut().enumerate().skip(onset) {
+                let s = (t - onset) as f32 / (n - onset).max(1) as f32;
+                // Fast exit (by 20% of the remaining gesture), plateau away
+                // from the workspace, late return.
+                let bump = if s < 0.2 {
+                    s / 0.2
+                } else if s < 0.85 {
+                    1.0
+                } else {
+                    (1.0 - s) / 0.15
+                };
+                for &a in &active {
+                    f.arms[a].pos = f.arms[a].pos + excursion * (bump * 0.7);
+                }
+            }
+            onset
+        }
+        ErrorSignature::DampedEffort => {
+            // Compress motion toward the gesture's start pose: low force,
+            // low displacement.
+            let anchor: Vec<Vec3> = active.iter().map(|&a| frames[0].arms[a].pos).collect();
+            for f in frames.iter_mut() {
+                for (k, &a) in active.iter().enumerate() {
+                    f.arms[a].pos = anchor[k].lerp(f.arms[a].pos, 0.35);
+                }
+            }
+            n / 2
+        }
+    }
+}
+
+/// Per-gesture error rates for a task, matching the class imbalance of
+/// Table VII (Suturing: G4/G6 error-heavy, G5 rare; Block Transfer: G11
+/// error-heavy).
+pub fn default_error_rates(task: Task) -> Vec<(Gesture, f32)> {
+    use Gesture::*;
+    match task {
+        Task::Suturing => vec![
+            (G1, 0.29),
+            (G2, 0.25),
+            (G3, 0.41),
+            (G4, 0.77),
+            (G5, 0.05),
+            (G6, 0.74),
+            (G8, 0.45),
+            (G9, 0.59),
+            (G10, 0.0),
+            (G11, 0.0),
+        ],
+        Task::KnotTying => vec![(G1, 0.2), (G11, 0.15), (G12, 0.2), (G13, 0.3), (G14, 0.2), (G15, 0.25)],
+        Task::NeedlePassing => vec![
+            (G1, 0.25),
+            (G2, 0.3),
+            (G3, 0.35),
+            (G4, 0.5),
+            (G5, 0.1),
+            (G6, 0.45),
+            (G8, 0.3),
+            (G11, 0.1),
+        ],
+        Task::BlockTransfer => vec![(G2, 0.0), (G5, 0.24), (G6, 0.25), (G11, 0.53), (G12, 0.0)],
+    }
+}
+
+/// Looks up the error rate for `gesture` in a rate table (0 if absent).
+pub fn rate_for(rates: &[(Gesture, f32)], gesture: Gesture) -> f32 {
+    rates
+        .iter()
+        .find(|(g, _)| *g == gesture)
+        .map(|&(_, r)| r)
+        .unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pose::ArmPose;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn straight_line(n: usize) -> Vec<FramePose> {
+        (0..n)
+            .map(|t| {
+                let mut f = FramePose { arms: vec![ArmPose::default(); 2] };
+                f.arms[1].pos = Vec3::new(t as f32, 0.0, 0.0);
+                f.arms[1].grasper = 0.2;
+                f
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grasper_spike_opens_grasper() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut frames = straight_line(30);
+        let at = apply_signature(ErrorSignature::GrasperSpike, &mut frames, ArmSel::Right, &mut rng);
+        let max = frames.iter().map(|f| f.arms[1].grasper).fold(0.0f32, f32::max);
+        assert!(max > 0.8, "spike should open grasper, max {max}");
+        assert!(at < 30);
+        // Left arm untouched.
+        assert!(frames.iter().all(|f| f.arms[0].grasper == 0.5));
+    }
+
+    #[test]
+    fn failed_release_keeps_grasper_low() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut frames = straight_line(20);
+        for f in &mut frames {
+            f.arms[1].grasper = 1.2; // would-be release
+        }
+        let at = apply_signature(ErrorSignature::FailedRelease, &mut frames, ArmSel::Right, &mut rng);
+        assert!(frames.iter().all(|f| f.arms[1].grasper < 0.5));
+        assert_eq!(at, 19);
+    }
+
+    #[test]
+    fn sudden_jump_creates_discontinuity() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut frames = straight_line(40);
+        let at = apply_signature(ErrorSignature::SuddenJump, &mut frames, ArmSel::Right, &mut rng);
+        let step = frames[at].arms[1].pos.distance(frames[at - 1].arms[1].pos);
+        assert!(step > 15.0, "jump magnitude {step} too small");
+    }
+
+    #[test]
+    fn multiple_attempts_adds_reversals() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut frames = straight_line(60);
+        let before_path: f32 = frames
+            .windows(2)
+            .map(|w| w[1].arms[1].pos.distance(w[0].arms[1].pos))
+            .sum();
+        apply_signature(ErrorSignature::MultipleAttempts, &mut frames, ArmSel::Right, &mut rng);
+        // Oscillatory re-approach: total path length grows well beyond the
+        // clean straight-line path while the net displacement stays similar.
+        let after_path: f32 = frames
+            .windows(2)
+            .map(|w| w[1].arms[1].pos.distance(w[0].arms[1].pos))
+            .sum();
+        assert!(
+            after_path > 1.5 * before_path,
+            "path {after_path} should exceed clean path {before_path}"
+        );
+    }
+
+    #[test]
+    fn out_of_view_exceeds_workspace() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut frames = straight_line(30);
+        apply_signature(ErrorSignature::OutOfView, &mut frames, ArmSel::Right, &mut rng);
+        let max = frames
+            .iter()
+            .map(|f| f.arms[1].pos.x.abs().max(f.arms[1].pos.y.abs()))
+            .fold(0.0f32, f32::max);
+        assert!(max > 60.0, "excursion too small: {max}");
+    }
+
+    #[test]
+    fn damped_effort_shrinks_displacement() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut frames = straight_line(30);
+        let before = frames[29].arms[1].pos.distance(frames[0].arms[1].pos);
+        apply_signature(ErrorSignature::DampedEffort, &mut frames, ArmSel::Right, &mut rng);
+        let after = frames[29].arms[1].pos.distance(frames[0].arms[1].pos);
+        assert!(after < before * 0.6, "displacement {after} vs {before}");
+    }
+
+    #[test]
+    fn rotation_drift_changes_euler() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut frames = straight_line(30);
+        apply_signature(ErrorSignature::RotationDrift, &mut frames, ArmSel::Right, &mut rng);
+        let last = frames[29].arms[1].euler;
+        assert!(last.0.abs() + last.1.abs() + last.2.abs() > 0.5);
+    }
+
+    #[test]
+    fn g10_has_no_signature() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        assert_eq!(sample_signature(Gesture::G10, &mut rng), None);
+        assert!(sample_signature(Gesture::G4, &mut rng).is_some());
+    }
+
+    #[test]
+    fn default_rates_reflect_table7_imbalance() {
+        let rates = default_error_rates(Task::Suturing);
+        assert!(rate_for(&rates, Gesture::G4) > 0.7);
+        assert!(rate_for(&rates, Gesture::G5) < 0.1);
+        assert_eq!(rate_for(&rates, Gesture::G10), 0.0);
+        let bt = default_error_rates(Task::BlockTransfer);
+        assert!(rate_for(&bt, Gesture::G11) > 0.5);
+    }
+}

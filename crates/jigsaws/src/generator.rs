@@ -1,0 +1,425 @@
+//! The synthetic demonstration generator.
+//!
+//! Demonstrations are produced by (1) sampling a gesture sequence from the
+//! task's reference Markov chain (Fig. 3), (2) synthesizing continuous arm
+//! motion for each gesture from its motion primitive, (3) deciding per
+//! gesture instance whether it is erroneous (per-gesture rates matching
+//! Table VII) and, if so, injecting the rubric's kinematic error signature,
+//! and (4) converting poses to the 19-variable JIGSAWS schema with
+//! finite-difference velocities.
+
+use crate::errors::{apply_signature, default_error_rates, rate_for, sample_signature};
+use crate::noise::{randn, randn_scaled};
+use crate::pose::{poses_to_samples, ArmPose, FramePose};
+use crate::primitives::{primitive, GrasperProfile, Primitive};
+use gestures::{Gesture, Task};
+use kinematics::{Dataset, Demonstration, ErrorAnnotation, Vec3};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// JIGSAWS subject identifiers.
+const SUBJECTS: [&str; 8] = ["B", "C", "D", "E", "F", "G", "H", "I"];
+
+/// Generator configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Task to generate.
+    pub task: Task,
+    /// Number of demonstrations.
+    pub num_demos: usize,
+    /// Master seed; every demonstration derives its own stream from it.
+    pub seed: u64,
+    /// Sampling rate (JIGSAWS records at 30 Hz).
+    pub hz: f32,
+    /// Number of super-trials to spread demonstrations over (LOSO unit).
+    pub supertrials: usize,
+    /// Global noise scale (1.0 = nominal surgeon tremor).
+    pub noise: f32,
+    /// Scales gesture durations (use < 1 for fast tests).
+    pub duration_scale: f32,
+    /// Maximum gestures per demonstration (safety cap on chain sampling).
+    pub max_gestures: usize,
+    /// Per-gesture error rates; `None` uses [`default_error_rates`].
+    pub error_rates: Option<Vec<(Gesture, f32)>>,
+}
+
+impl GeneratorConfig {
+    /// Nominal configuration for a task (paper-like rates and durations).
+    pub fn new(task: Task) -> Self {
+        Self {
+            task,
+            num_demos: match task {
+                Task::Suturing => 39,       // §IV-A
+                Task::KnotTying => 28,      // Table IV
+                Task::NeedlePassing => 36,  // Table IV
+                Task::BlockTransfer => 20,  // fault-free sims, §IV-B
+            },
+            seed: 0x5EED,
+            hz: 30.0,
+            supertrials: 5,
+            noise: 1.0,
+            duration_scale: 1.0,
+            max_gestures: 25,
+            error_rates: None,
+        }
+    }
+
+    /// A small/fast configuration for unit tests and examples.
+    pub fn fast(task: Task) -> Self {
+        Self {
+            num_demos: 8,
+            duration_scale: 0.35,
+            max_gestures: 10,
+            ..Self::new(task)
+        }
+    }
+
+    /// Sets the seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of demonstrations (builder-style).
+    pub fn with_demos(mut self, n: usize) -> Self {
+        self.num_demos = n;
+        self
+    }
+
+    /// Disables error injection entirely (fault-free demonstrations).
+    pub fn fault_free(mut self) -> Self {
+        self.error_rates = Some(Vec::new());
+        self
+    }
+}
+
+/// Generates a dataset of synthetic demonstrations.
+///
+/// # Panics
+///
+/// Panics if `num_demos == 0` or `supertrials == 0`.
+pub fn generate(cfg: &GeneratorConfig) -> Dataset {
+    assert!(cfg.num_demos > 0, "num_demos must be positive");
+    assert!(cfg.supertrials > 0, "supertrials must be positive");
+    let demos = (0..cfg.num_demos)
+        .map(|i| generate_demo(cfg, i))
+        .collect();
+    Dataset::new(demos)
+}
+
+/// Generates the `index`-th demonstration of the configured task.
+pub fn generate_demo(cfg: &GeneratorConfig, index: usize) -> Demonstration {
+    let mut rng = SmallRng::seed_from_u64(
+        cfg.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    let subject = SUBJECTS[index % SUBJECTS.len()];
+    // Subjects differ in skill: experts are steadier and make fewer errors.
+    let (noise_mult, error_mult) = match index % 3 {
+        0 => (0.7, 0.7),  // expert
+        1 => (1.0, 1.0),  // intermediate
+        _ => (1.4, 1.3),  // novice
+    };
+    let rates = cfg
+        .error_rates
+        .clone()
+        .unwrap_or_else(|| default_error_rates(cfg.task));
+
+    let sequence = cfg.task.reference_chain().sample(&mut rng, cfg.max_gestures);
+
+    let mut state = initial_pose(&mut rng);
+    let mut poses: Vec<FramePose> = Vec::new();
+    let mut gesture_labels: Vec<Gesture> = Vec::new();
+    let mut errors: Vec<ErrorAnnotation> = Vec::new();
+
+    for &g in &sequence {
+        let prim = primitive(g);
+        let dur = sample_duration(&prim, cfg, &mut rng);
+        let mut frames = synth_gesture(&mut state, g, &prim, dur, cfg.noise * noise_mult, &mut rng);
+
+        let rate = (rate_for(&rates, g) * error_mult).min(0.95);
+        let erroneous = rate > 0.0 && rng.gen_bool(rate as f64);
+        let span_start = poses.len();
+        if erroneous {
+            if let Some(sig) = sample_signature(g, &mut rng) {
+                let offset = apply_signature(sig, &mut frames, prim.arm, &mut rng);
+                errors.push(ErrorAnnotation {
+                    gesture: g,
+                    span_start,
+                    span_end: span_start + frames.len(),
+                    actual_frame: span_start + offset,
+                });
+                // Error signatures can leave the arm elsewhere; resync the
+                // running state to the last synthesized frame.
+                state = frames.last().expect("non-empty gesture").clone();
+            }
+        }
+        gesture_labels.extend(std::iter::repeat_n(g, frames.len()));
+        poses.extend(frames);
+    }
+
+    let mut unsafe_labels = vec![false; poses.len()];
+    for e in &errors {
+        for l in &mut unsafe_labels[e.span_start..e.span_end] {
+            *l = true;
+        }
+    }
+
+    Demonstration {
+        id: format!("{:?}_{subject}{index:03}", cfg.task),
+        task: cfg.task,
+        subject: subject.to_string(),
+        supertrial: index % cfg.supertrials + 1,
+        hz: cfg.hz,
+        frames: poses_to_samples(&poses, cfg.hz),
+        gestures: gesture_labels,
+        unsafe_labels,
+        errors,
+    }
+}
+
+fn initial_pose(rng: &mut SmallRng) -> FramePose {
+    let jitter = |rng: &mut SmallRng| Vec3::new(randn(rng) * 4.0, randn(rng) * 4.0, randn(rng) * 2.0);
+    FramePose {
+        arms: vec![
+            ArmPose { pos: Vec3::new(-40.0, 0.0, 20.0) + jitter(rng), ..ArmPose::default() },
+            ArmPose { pos: Vec3::new(40.0, 0.0, 20.0) + jitter(rng), ..ArmPose::default() },
+        ],
+    }
+}
+
+fn sample_duration(prim: &Primitive, cfg: &GeneratorConfig, rng: &mut SmallRng) -> usize {
+    let base = rng.gen_range(prim.duration.0..=prim.duration.1) as f32;
+    let scaled = base * cfg.duration_scale * (cfg.hz / 30.0);
+    (scaled.round() as usize).max(3)
+}
+
+fn smoothstep(s: f32) -> f32 {
+    s * s * (3.0 - 2.0 * s)
+}
+
+/// Synthesizes one gesture's frames, advancing `state` to the final pose.
+fn synth_gesture(
+    state: &mut FramePose,
+    _gesture: Gesture,
+    prim: &Primitive,
+    dur: usize,
+    noise: f32,
+    rng: &mut SmallRng,
+) -> Vec<FramePose> {
+    let arms = state.arms.len();
+    let start: Vec<ArmPose> = state.arms.clone();
+
+    // Per active arm: travel target and basis vectors for the arc.
+    let mut targets: Vec<Vec3> = Vec::with_capacity(arms);
+    let mut dirs: Vec<(Vec3, Vec3)> = Vec::with_capacity(arms);
+    for (a, sp) in start.iter().enumerate() {
+        let target = if prim.arm.includes(a) {
+            match prim.zone {
+                Some(z) => z + Vec3::new(randn(rng) * 8.0, randn(rng) * 8.0, randn(rng) * 4.0),
+                None => sp.pos + Vec3::new(randn(rng) * 5.0, randn(rng) * 5.0, randn(rng) * 3.0),
+            }
+        } else {
+            sp.pos
+        };
+        let dir = (target - sp.pos).normalized();
+        let mut perp = dir.cross(Vec3::new(0.0, 0.0, 1.0));
+        if perp.norm() < 1e-4 {
+            perp = Vec3::new(1.0, 0.0, 0.0);
+        }
+        let perp = perp.normalized();
+        targets.push(target);
+        dirs.push((perp, dir.cross(perp).normalized()));
+    }
+
+    // Rotation targets are *absolute* per-gesture orientations (surgeons
+    // re-orient the instrument for each gesture), so Euler angles stay
+    // bounded and gesture-indicative instead of accumulating across the
+    // demonstration.
+    let rot_targets: Vec<(f32, f32, f32)> = start
+        .iter()
+        .enumerate()
+        .map(|(a, sp)| {
+            if prim.arm.includes(a) {
+                (
+                    randn_scaled(rng, prim.rotation_delta.0, 0.1),
+                    randn_scaled(rng, prim.rotation_delta.1, 0.1),
+                    randn_scaled(rng, prim.rotation_delta.2, 0.1),
+                )
+            } else {
+                sp.euler
+            }
+        })
+        .collect();
+
+    let mut frames = Vec::with_capacity(dur);
+    for t in 0..dur {
+        let s = if dur <= 1 { 1.0 } else { t as f32 / (dur - 1) as f32 };
+        let eased = smoothstep(s);
+        let mut frame = FramePose { arms: Vec::with_capacity(arms) };
+        for a in 0..arms {
+            let sp = &start[a];
+            if !prim.arm.includes(a) {
+                // Inactive arm: light tremor around its pose.
+                frame.arms.push(ArmPose {
+                    pos: sp.pos
+                        + Vec3::new(randn(rng), randn(rng), randn(rng)) * (0.15 * noise),
+                    euler: sp.euler,
+                    grasper: sp.grasper,
+                });
+                continue;
+            }
+            let (perp, perp2) = dirs[a];
+            let arc = perp * (prim.arc * (std::f32::consts::PI * s).sin());
+            let osc = perp2
+                * (prim.oscillation * (2.0 * std::f32::consts::PI * 3.0 * s).sin());
+            let tremor = Vec3::new(randn(rng), randn(rng), randn(rng)) * (0.3 * noise);
+            let pos = sp.pos.lerp(targets[a], eased) + arc + osc + tremor;
+
+            let rt = rot_targets[a];
+            let euler = (
+                sp.euler.0 + (rt.0 - sp.euler.0) * eased + randn(rng) * 0.01 * noise,
+                sp.euler.1 + (rt.1 - sp.euler.1) * eased + randn(rng) * 0.01 * noise,
+                sp.euler.2 + (rt.2 - sp.euler.2) * eased + randn(rng) * 0.01 * noise,
+            );
+
+            let grasper = match prim.grasper {
+                GrasperProfile::Hold => (sp.grasper + randn(rng) * 0.005 * noise).clamp(0.0, 1.6),
+                GrasperProfile::RampTo(target) => sp.grasper + (target - sp.grasper) * eased,
+                GrasperProfile::OpenThenClose { open, closed } => {
+                    if s < 0.6 {
+                        sp.grasper + (open - sp.grasper) * smoothstep(s / 0.6)
+                    } else {
+                        open + (closed - open) * smoothstep((s - 0.6) / 0.4)
+                    }
+                }
+            };
+            frame.arms.push(ArmPose { pos, euler, grasper });
+        }
+        frames.push(frame);
+    }
+
+    *state = frames.last().expect("dur >= 3").clone();
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gestures::ALL_TASKS;
+
+    #[test]
+    fn generated_dataset_validates() {
+        for task in ALL_TASKS {
+            let ds = generate(&GeneratorConfig::fast(task).with_seed(1));
+            assert_eq!(ds.len(), 8);
+            ds.validate().unwrap_or_else(|e| panic!("{task}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&GeneratorConfig::fast(Task::Suturing).with_seed(9));
+        let b = generate(&GeneratorConfig::fast(Task::Suturing).with_seed(9));
+        assert_eq!(a, b);
+        let c = generate(&GeneratorConfig::fast(Task::Suturing).with_seed(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn block_transfer_demos_follow_fig3b_sequence() {
+        let ds = generate(&GeneratorConfig::fast(Task::BlockTransfer).with_seed(2));
+        for d in &ds.demos {
+            assert_eq!(
+                d.gesture_sequence(),
+                vec![Gesture::G2, Gesture::G12, Gesture::G6, Gesture::G5, Gesture::G11],
+                "demo {}",
+                d.id
+            );
+        }
+    }
+
+    #[test]
+    fn suturing_has_errors_at_roughly_table7_rates() {
+        let cfg = GeneratorConfig {
+            num_demos: 40,
+            duration_scale: 0.3,
+            ..GeneratorConfig::new(Task::Suturing)
+        };
+        let ds = generate(&cfg);
+        let mut total = 0usize;
+        let mut erroneous = 0usize;
+        for d in &ds.demos {
+            let seq = d.gesture_sequence();
+            total += seq.len();
+            erroneous += d.errors.len();
+        }
+        let rate = erroneous as f32 / total as f32;
+        // JIGSAWS annotation: 144 / 793 gestures erroneous ≈ 0.18; our
+        // Table VII rates weighted by gesture frequency land in the same
+        // range.
+        assert!((0.10..0.55).contains(&rate), "gesture error rate {rate}");
+    }
+
+    #[test]
+    fn fault_free_config_has_no_errors() {
+        let ds = generate(&GeneratorConfig::fast(Task::Suturing).fault_free().with_seed(3));
+        for d in &ds.demos {
+            assert!(d.errors.is_empty());
+            assert_eq!(d.unsafe_frames(), 0);
+        }
+    }
+
+    #[test]
+    fn unsafe_labels_cover_exactly_the_error_spans() {
+        let ds = generate(&GeneratorConfig::fast(Task::Suturing).with_seed(4));
+        for d in &ds.demos {
+            let mut expect = vec![false; d.len()];
+            for e in &d.errors {
+                for l in &mut expect[e.span_start..e.span_end] {
+                    *l = true;
+                }
+            }
+            assert_eq!(d.unsafe_labels, expect, "demo {}", d.id);
+        }
+    }
+
+    #[test]
+    fn motion_is_continuous_within_safe_demos() {
+        // Fault-free demos must have no large frame-to-frame jumps.
+        let ds = generate(&GeneratorConfig::fast(Task::BlockTransfer).fault_free().with_seed(5));
+        for d in &ds.demos {
+            for w in d.frames.windows(2) {
+                for (a, b) in w[0].manipulators.iter().zip(w[1].manipulators.iter()) {
+                    let step = a.position.distance(b.position);
+                    assert!(step < 20.0, "discontinuity of {step} mm in fault-free demo {}", d.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn supertrials_cycle() {
+        let ds = generate(&GeneratorConfig::fast(Task::Suturing).with_seed(6));
+        let sts: Vec<usize> = ds.demos.iter().map(|d| d.supertrial).collect();
+        assert_eq!(sts, vec![1, 2, 3, 4, 5, 1, 2, 3]);
+        assert_eq!(ds.loso_folds().len(), 5);
+    }
+
+    #[test]
+    fn actual_frame_lies_within_error_span() {
+        let ds = generate(&GeneratorConfig::fast(Task::Suturing).with_seed(7));
+        for d in &ds.demos {
+            for e in &d.errors {
+                assert!(
+                    (e.span_start..e.span_end).contains(&e.actual_frame),
+                    "{}: actual {} outside {}..{}",
+                    d.id,
+                    e.actual_frame,
+                    e.span_start,
+                    e.span_end
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # `jigsaws` — synthetic JIGSAWS-like demonstration generator
+//!
+//! The paper evaluates on the JIGSAWS dataset (39 Suturing demonstrations,
+//! kinematics at 30 Hz, gesture transcripts, manual error annotation). The
+//! dataset is not redistributable, so this crate generates statistically
+//! analogous demonstrations (see DESIGN.md §2):
+//!
+//! * gesture sequences sampled from the task's reference Markov chain
+//!   (Fig. 3),
+//! * continuous two-arm motion from per-gesture motion primitives
+//!   ([`primitives`]),
+//! * rubric-driven kinematic error injection at Table VII rates
+//!   ([`errors`]),
+//! * exact JIGSAWS schema output (19 variables/manipulator, 30 Hz,
+//!   per-frame gesture + safety labels).
+//!
+//! ```
+//! use jigsaws::{generate, GeneratorConfig};
+//! use gestures::Task;
+//!
+//! let dataset = generate(&GeneratorConfig::fast(Task::Suturing));
+//! assert_eq!(dataset.len(), 8);
+//! dataset.validate().expect("consistent demonstrations");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod errors;
+pub mod generator;
+pub mod noise;
+pub mod pose;
+pub mod primitives;
+
+pub use errors::{default_error_rates, sample_signature, ErrorSignature};
+pub use generator::{generate, generate_demo, GeneratorConfig};
+pub use primitives::{primitive, ArmSel, GrasperProfile, Primitive};

@@ -1,0 +1,43 @@
+//! Gaussian noise helper (Box–Muller), since `rand` alone has no normal
+//! distribution and `rand_distr` is outside the sanctioned dependency set.
+
+use rand::Rng;
+
+/// One standard-normal draw via Box–Muller.
+pub fn randn(rng: &mut impl Rng) -> f32 {
+    let u1: f32 = rng.gen_range(1e-7..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Normal draw with the given mean and standard deviation.
+pub fn randn_scaled(rng: &mut impl Rng, mean: f32, std: f32) -> f32 {
+    mean + std * randn(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_has_zero_mean_unit_variance() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 20_000;
+        let draws: Vec<f32> = (0..n).map(|_| randn(&mut rng)).collect();
+        let mean = draws.iter().sum::<f32>() / n as f32;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn scaled_draw_respects_parameters() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 20_000;
+        let draws: Vec<f32> = (0..n).map(|_| randn_scaled(&mut rng, 5.0, 0.5)).collect();
+        let mean = draws.iter().sum::<f32>() / n as f32;
+        assert!((mean - 5.0).abs() < 0.02, "mean {mean}");
+    }
+}

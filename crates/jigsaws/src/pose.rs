@@ -1,0 +1,103 @@
+//! Intermediate pose representation used during synthesis.
+//!
+//! The generator works in position/Euler/grasper space and converts to the
+//! full 19-variable [`kinematics::ManipulatorState`] (rotation matrices and
+//! finite-difference velocities) only once a demonstration is assembled.
+
+use kinematics::{KinematicSample, ManipulatorState, Mat3, Vec3};
+
+/// Pose of one arm at one frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArmPose {
+    /// End-effector position (mm).
+    pub pos: Vec3,
+    /// Intrinsic XYZ Euler angles (rad).
+    pub euler: (f32, f32, f32),
+    /// Grasper angle (rad).
+    pub grasper: f32,
+}
+
+impl Default for ArmPose {
+    fn default() -> Self {
+        Self { pos: Vec3::zero(), euler: (0.0, 0.0, 0.0), grasper: 0.5 }
+    }
+}
+
+/// Poses of all arms at one frame.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FramePose {
+    /// Per-arm poses (`[left, right]`).
+    pub arms: Vec<ArmPose>,
+}
+
+/// Converts a pose sequence to kinematic samples, deriving linear velocity
+/// as `(pos_t - pos_{t-1}) * hz` and angular velocity from Euler-angle
+/// differences (first frame gets zero velocities).
+///
+/// # Panics
+///
+/// Panics if `poses` is empty or arm counts are inconsistent.
+pub fn poses_to_samples(poses: &[FramePose], hz: f32) -> Vec<KinematicSample> {
+    assert!(!poses.is_empty(), "poses_to_samples: empty sequence");
+    let arms = poses[0].arms.len();
+    assert!(poses.iter().all(|p| p.arms.len() == arms), "inconsistent arm counts");
+
+    poses
+        .iter()
+        .enumerate()
+        .map(|(t, frame)| {
+            let prev = if t == 0 { frame } else { &poses[t - 1] };
+            let manipulators = frame
+                .arms
+                .iter()
+                .zip(prev.arms.iter())
+                .map(|(cur, pre)| {
+                    let lin = if t == 0 { Vec3::zero() } else { (cur.pos - pre.pos) * hz };
+                    let ang = if t == 0 {
+                        Vec3::zero()
+                    } else {
+                        Vec3::new(
+                            (cur.euler.0 - pre.euler.0) * hz,
+                            (cur.euler.1 - pre.euler.1) * hz,
+                            (cur.euler.2 - pre.euler.2) * hz,
+                        )
+                    };
+                    ManipulatorState {
+                        position: cur.pos,
+                        rotation: Mat3::from_euler(cur.euler.0, cur.euler.1, cur.euler.2),
+                        grasper_angle: cur.grasper,
+                        linear_velocity: lin,
+                        angular_velocity: ang,
+                    }
+                })
+                .collect();
+            KinematicSample::new(manipulators)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn velocity_is_finite_difference() {
+        let mut a = FramePose { arms: vec![ArmPose::default(); 2] };
+        let mut b = a.clone();
+        b.arms[0].pos = Vec3::new(1.0, 0.0, 0.0);
+        b.arms[0].euler = (0.5, 0.0, 0.0);
+        let samples = poses_to_samples(&[a.clone(), b], 30.0);
+        assert_eq!(samples[0].manipulators[0].linear_velocity, Vec3::zero());
+        assert_eq!(samples[1].manipulators[0].linear_velocity, Vec3::new(30.0, 0.0, 0.0));
+        assert!((samples[1].manipulators[0].angular_velocity.x - 15.0).abs() < 1e-5);
+        // Untouched arm has zero velocity.
+        assert_eq!(samples[1].manipulators[1].linear_velocity, Vec3::zero());
+        a.arms.truncate(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn rejects_empty() {
+        let _ = poses_to_samples(&[], 30.0);
+    }
+}

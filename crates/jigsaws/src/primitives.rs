@@ -1,0 +1,305 @@
+//! Per-gesture motion primitives.
+//!
+//! Each gesture is synthesized as a parametric arm motion with a
+//! characteristic *zone* (where in the workspace it happens), *direction*,
+//! *grasper profile*, and *rotation activity* — the spatio-temporal
+//! signatures the paper's classifiers learn from kinematics alone.
+//! Workspace coordinates are millimeters, matching the Raven II fault
+//! injection units.
+
+use gestures::Gesture;
+use kinematics::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Which manipulator(s) a gesture drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArmSel {
+    /// Left manipulator (index 0).
+    Left,
+    /// Right manipulator (index 1).
+    Right,
+    /// Both manipulators.
+    Both,
+}
+
+impl ArmSel {
+    /// Whether the manipulator with `index` is active.
+    pub fn includes(self, index: usize) -> bool {
+        match self {
+            ArmSel::Left => index == 0,
+            ArmSel::Right => index == 1,
+            ArmSel::Both => true,
+        }
+    }
+}
+
+/// Grasper behaviour over a gesture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GrasperProfile {
+    /// Stay at the current angle.
+    Hold,
+    /// Ramp to the target angle (radians) over the gesture.
+    RampTo(f32),
+    /// Open to `open` then close to `closed` in the last quarter (a grab).
+    OpenThenClose {
+        /// Peak opening angle.
+        open: f32,
+        /// Final closed angle.
+        closed: f32,
+    },
+}
+
+/// Parametric description of one gesture's motion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Primitive {
+    /// Active arm(s).
+    pub arm: ArmSel,
+    /// Workspace zone the active arm moves toward (`None` = stay in place).
+    pub zone: Option<Vec3>,
+    /// Perpendicular arc amplitude (mm) — curved approaches (e.g. G3 pushes
+    /// the needle along its curve).
+    pub arc: f32,
+    /// Euler-angle rates (rad over the whole gesture) — rotation-dominant
+    /// gestures like G8 have large values here.
+    pub rotation_delta: (f32, f32, f32),
+    /// Grasper behaviour for the active arm(s).
+    pub grasper: GrasperProfile,
+    /// Duration range in frames at 30 Hz, inclusive.
+    pub duration: (usize, usize),
+    /// Tremor/oscillation amplitude (mm).
+    pub oscillation: f32,
+}
+
+/// Workspace landmarks (mm). The Block Transfer block/receptacle layout
+/// mirrors the Gazebo world of §IV-B.
+pub mod zones {
+    use kinematics::Vec3;
+
+    /// Where needles/objects are picked up.
+    pub const NEEDLE: Vec3 = Vec3 { x: 60.0, y: -40.0, z: 10.0 };
+    /// Center of the workspace.
+    pub const CENTER: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// Task end points / drop-off area.
+    pub const ENDPOINT: Vec3 = Vec3 { x: -60.0, y: 40.0, z: 10.0 };
+    /// Simulated tissue location (Suturing G3).
+    pub const TISSUE: Vec3 = Vec3 { x: 20.0, y: 20.0, z: -10.0 };
+    /// Block Transfer: block pick-up position.
+    pub const BLOCK: Vec3 = Vec3 { x: 50.0, y: -30.0, z: 0.0 };
+    /// Block Transfer: receptacle position.
+    pub const RECEPTACLE: Vec3 = Vec3 { x: -50.0, y: 30.0, z: 0.0 };
+}
+
+/// Fully-open and fully-closed grasper angles (radians). The Raven II fault
+/// campaign sweeps 0.3–1.6 rad over this range (Table III).
+pub const GRASPER_OPEN: f32 = 1.2;
+/// Closed grasper angle.
+pub const GRASPER_CLOSED: f32 = 0.1;
+
+/// The motion primitive for `gesture`.
+///
+/// Every gesture in the four tasks' vocabularies has a primitive; gestures
+/// never used by any task (e.g. G7 in our tasks) fall back to a small idle
+/// motion.
+pub fn primitive(gesture: Gesture) -> Primitive {
+    use zones::*;
+    use ArmSel::*;
+    use GrasperProfile::*;
+    match gesture {
+        // Reaching gestures: fast travel toward the needle zone, grab at the
+        // end.
+        Gesture::G1 => Primitive {
+            arm: Right,
+            zone: Some(NEEDLE),
+            arc: 4.0,
+            rotation_delta: (0.1, 0.0, 0.1),
+            grasper: OpenThenClose { open: GRASPER_OPEN, closed: GRASPER_CLOSED },
+            duration: (25, 60),
+            oscillation: 0.6,
+        },
+        Gesture::G12 => Primitive {
+            arm: Left,
+            zone: Some(NEEDLE),
+            arc: 4.0,
+            rotation_delta: (0.1, 0.0, -0.1),
+            grasper: OpenThenClose { open: GRASPER_OPEN, closed: GRASPER_CLOSED },
+            duration: (25, 60),
+            oscillation: 0.6,
+        },
+        // Positioning: slow, small, precise movements with rotation trim.
+        Gesture::G2 => Primitive {
+            arm: Right,
+            zone: Some(TISSUE),
+            arc: 2.0,
+            rotation_delta: (0.3, 0.2, 0.0),
+            grasper: Hold,
+            duration: (30, 80),
+            oscillation: 0.9,
+        },
+        // Pushing needle through tissue: curved, rotation about the needle
+        // axis.
+        Gesture::G3 => Primitive {
+            arm: Right,
+            zone: Some(TISSUE),
+            arc: 14.0,
+            rotation_delta: (1.2, 0.1, 0.0),
+            grasper: Hold,
+            duration: (45, 110),
+            oscillation: 0.5,
+        },
+        // Transfer left<->right: both arms converge at the center; grasper
+        // handoff.
+        Gesture::G4 => Primitive {
+            arm: Both,
+            zone: Some(CENTER),
+            arc: 3.0,
+            rotation_delta: (0.0, 0.3, 0.2),
+            grasper: OpenThenClose { open: GRASPER_OPEN * 0.8, closed: GRASPER_CLOSED },
+            duration: (30, 70),
+            oscillation: 0.7,
+        },
+        // Carrying to center / receptacle with object in grip.
+        Gesture::G5 => Primitive {
+            arm: Right,
+            zone: Some(RECEPTACLE),
+            arc: 6.0,
+            rotation_delta: (0.0, 0.0, 0.1),
+            grasper: Hold,
+            duration: (35, 90),
+            oscillation: 0.5,
+        },
+        // Pulling suture with left hand: long straight pull away.
+        Gesture::G6 => Primitive {
+            arm: Left,
+            zone: Some(CENTER),
+            arc: 2.0,
+            rotation_delta: (0.0, 0.1, 0.0),
+            grasper: Hold,
+            duration: (40, 100),
+            oscillation: 0.4,
+        },
+        Gesture::G7 => Primitive {
+            arm: Right,
+            zone: None,
+            arc: 1.0,
+            rotation_delta: (0.0, 0.0, 0.0),
+            grasper: Hold,
+            duration: (20, 40),
+            oscillation: 0.3,
+        },
+        // Orienting needle: rotation-dominant, little translation.
+        Gesture::G8 => Primitive {
+            arm: Right,
+            zone: None,
+            arc: 1.5,
+            rotation_delta: (0.9, 0.9, 0.6),
+            grasper: Hold,
+            duration: (25, 70),
+            oscillation: 0.8,
+        },
+        // Tightening suture: short brisk pulls with the right hand.
+        Gesture::G9 => Primitive {
+            arm: Right,
+            zone: Some(CENTER),
+            arc: 1.0,
+            rotation_delta: (0.0, 0.0, 0.0),
+            grasper: Hold,
+            duration: (20, 50),
+            oscillation: 2.2,
+        },
+        // Loosening suture: slow reverse motion.
+        Gesture::G10 => Primitive {
+            arm: Right,
+            zone: Some(TISSUE),
+            arc: 1.0,
+            rotation_delta: (0.0, 0.0, -0.1),
+            grasper: Hold,
+            duration: (20, 45),
+            oscillation: 0.4,
+        },
+        // Drop and move to endpoints: travel + grasper opens.
+        Gesture::G11 => Primitive {
+            arm: Both,
+            zone: Some(ENDPOINT),
+            arc: 3.0,
+            rotation_delta: (0.0, 0.0, 0.0),
+            grasper: RampTo(GRASPER_OPEN),
+            duration: (30, 70),
+            oscillation: 0.5,
+        },
+        // Knot-tying loop gestures: circular motion signatures.
+        Gesture::G13 => Primitive {
+            arm: Left,
+            zone: Some(CENTER),
+            arc: 18.0,
+            rotation_delta: (0.4, 0.8, 0.4),
+            grasper: Hold,
+            duration: (40, 90),
+            oscillation: 0.6,
+        },
+        Gesture::G14 => Primitive {
+            arm: Right,
+            zone: Some(NEEDLE),
+            arc: 5.0,
+            rotation_delta: (0.1, 0.0, 0.0),
+            grasper: OpenThenClose { open: GRASPER_OPEN, closed: GRASPER_CLOSED },
+            duration: (25, 55),
+            oscillation: 0.6,
+        },
+        Gesture::G15 => Primitive {
+            arm: Both,
+            zone: Some(ENDPOINT),
+            arc: 2.0,
+            rotation_delta: (0.0, 0.0, 0.0),
+            grasper: Hold,
+            duration: (30, 70),
+            oscillation: 1.4,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gestures::ALL_GESTURES;
+
+    #[test]
+    fn every_gesture_has_a_primitive() {
+        for g in ALL_GESTURES {
+            let p = primitive(g);
+            assert!(p.duration.0 > 0 && p.duration.0 <= p.duration.1, "{g}: bad duration");
+        }
+    }
+
+    #[test]
+    fn reaching_gestures_mirror_arms() {
+        assert_eq!(primitive(Gesture::G1).arm, ArmSel::Right);
+        assert_eq!(primitive(Gesture::G12).arm, ArmSel::Left);
+    }
+
+    #[test]
+    fn orientation_gesture_is_rotation_dominant() {
+        let p8 = primitive(Gesture::G8);
+        let mag = p8.rotation_delta.0.abs() + p8.rotation_delta.1.abs() + p8.rotation_delta.2.abs();
+        for g in [Gesture::G1, Gesture::G5, Gesture::G6, Gesture::G11] {
+            let p = primitive(g);
+            let m = p.rotation_delta.0.abs() + p.rotation_delta.1.abs() + p.rotation_delta.2.abs();
+            assert!(mag > m, "G8 rotation {mag} should dominate {g} ({m})");
+        }
+    }
+
+    #[test]
+    fn drop_gesture_opens_grasper() {
+        match primitive(Gesture::G11).grasper {
+            GrasperProfile::RampTo(target) => assert!(target > 1.0),
+            other => panic!("G11 grasper should ramp open, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arm_selection_includes() {
+        assert!(ArmSel::Left.includes(0));
+        assert!(!ArmSel::Left.includes(1));
+        assert!(ArmSel::Right.includes(1));
+        assert!(ArmSel::Both.includes(0) && ArmSel::Both.includes(1));
+    }
+}

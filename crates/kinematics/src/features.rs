@@ -1,0 +1,139 @@
+//! Kinematic feature-subset selection.
+//!
+//! Table V/VI of the paper ablate the error classifiers over feature subsets:
+//! all 19 variables, Cartesian + Rotation + Grasper ("C,R,G"), and
+//! Cartesian + Grasper ("C,G" on the Raven II).
+
+use serde::{Deserialize, Serialize};
+
+/// Which kinematic variable groups to include when flattening a
+/// [`crate::sample::ManipulatorState`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FeatureSet {
+    /// Cartesian position (3 dims).
+    pub cartesian: bool,
+    /// Rotation matrix (9 dims).
+    pub rotation: bool,
+    /// Grasper angle (1 dim).
+    pub grasper: bool,
+    /// Linear velocity (3 dims).
+    pub linear_velocity: bool,
+    /// Angular velocity (3 dims).
+    pub angular_velocity: bool,
+}
+
+impl FeatureSet {
+    /// All 19 variables per manipulator (the paper's "All").
+    pub const ALL: FeatureSet = FeatureSet {
+        cartesian: true,
+        rotation: true,
+        grasper: true,
+        linear_velocity: true,
+        angular_velocity: true,
+    };
+
+    /// Cartesian + Rotation + Grasper (the paper's "C,R,G", Table V).
+    pub const CRG: FeatureSet = FeatureSet {
+        cartesian: true,
+        rotation: true,
+        grasper: true,
+        linear_velocity: false,
+        angular_velocity: false,
+    };
+
+    /// Cartesian + Grasper (the paper's "C,G" used on the Raven II, Table VI).
+    pub const CG: FeatureSet = FeatureSet {
+        cartesian: true,
+        rotation: false,
+        grasper: true,
+        linear_velocity: false,
+        angular_velocity: false,
+    };
+
+    /// Feature dimensionality per manipulator.
+    pub fn dims_per_manipulator(&self) -> usize {
+        let mut d = 0;
+        if self.cartesian {
+            d += 3;
+        }
+        if self.rotation {
+            d += 9;
+        }
+        if self.grasper {
+            d += 1;
+        }
+        if self.linear_velocity {
+            d += 3;
+        }
+        if self.angular_velocity {
+            d += 3;
+        }
+        d
+    }
+
+    /// Total dimensionality for `n` manipulators.
+    pub fn dims(&self, manipulators: usize) -> usize {
+        self.dims_per_manipulator() * manipulators
+    }
+
+    /// Short label used in the experiment tables ("All", "C,R,G", "C,G", …).
+    pub fn label(&self) -> String {
+        if *self == Self::ALL {
+            return "All".to_string();
+        }
+        let mut parts = Vec::new();
+        if self.cartesian {
+            parts.push("C");
+        }
+        if self.rotation {
+            parts.push("R");
+        }
+        if self.grasper {
+            parts.push("G");
+        }
+        if self.linear_velocity {
+            parts.push("LV");
+        }
+        if self.angular_velocity {
+            parts.push("AV");
+        }
+        parts.join(",")
+    }
+}
+
+impl Default for FeatureSet {
+    fn default() -> Self {
+        Self::ALL
+    }
+}
+
+impl std::fmt::Display for FeatureSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensionalities_match_the_schema() {
+        assert_eq!(FeatureSet::ALL.dims_per_manipulator(), 19);
+        assert_eq!(FeatureSet::CRG.dims_per_manipulator(), 13);
+        assert_eq!(FeatureSet::CG.dims_per_manipulator(), 4);
+        assert_eq!(FeatureSet::ALL.dims(2), 38);
+    }
+
+    #[test]
+    fn labels_match_the_paper_tables() {
+        assert_eq!(FeatureSet::ALL.label(), "All");
+        assert_eq!(FeatureSet::CRG.label(), "C,R,G");
+        assert_eq!(FeatureSet::CG.label(), "C,G");
+    }
+
+    #[test]
+    fn default_is_all() {
+        assert_eq!(FeatureSet::default(), FeatureSet::ALL);
+    }
+}

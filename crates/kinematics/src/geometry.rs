@@ -1,0 +1,262 @@
+//! Minimal 3-D geometry types for manipulator state.
+
+use serde::{Deserialize, Serialize};
+
+/// A 3-D vector (Cartesian position, linear velocity, angular velocity).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+}
+
+impl Vec3 {
+    /// Creates a vector.
+    pub fn new(x: f32, y: f32, z: f32) -> Self {
+        Self { x, y, z }
+    }
+
+    /// The zero vector.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f32 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(self, other: Vec3) -> f32 {
+        (self - other).norm()
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec3) -> f32 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, other: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Linear interpolation: `self + t * (other - self)`.
+    pub fn lerp(self, other: Vec3, t: f32) -> Vec3 {
+        self + (other - self) * t
+    }
+
+    /// Unit vector in the same direction; zero vector stays zero.
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        if n == 0.0 {
+            Vec3::zero()
+        } else {
+            self * (1.0 / n)
+        }
+    }
+
+    /// Components as an array.
+    pub fn to_array(self) -> [f32; 3] {
+        [self.x, self.y, self.z]
+    }
+}
+
+impl std::ops::Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl std::ops::Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl std::ops::Mul<f32> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f32) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl std::ops::Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// A 3x3 rotation matrix, row-major (the 9 "Rotation Matrix" variables of
+/// the JIGSAWS kinematics schema).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat3 {
+    /// Row-major elements.
+    pub m: [f32; 9],
+}
+
+impl Default for Mat3 {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl Mat3 {
+    /// The identity rotation.
+    pub fn identity() -> Self {
+        Self { m: [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0] }
+    }
+
+    /// Rotation from intrinsic XYZ Euler angles (radians).
+    pub fn from_euler(rx: f32, ry: f32, rz: f32) -> Self {
+        let (sx, cx) = rx.sin_cos();
+        let (sy, cy) = ry.sin_cos();
+        let (sz, cz) = rz.sin_cos();
+        // R = Rz * Ry * Rx
+        Self {
+            m: [
+                cz * cy,
+                cz * sy * sx - sz * cx,
+                cz * sy * cx + sz * sx,
+                sz * cy,
+                sz * sy * sx + cz * cx,
+                sz * sy * cx - cz * sx,
+                -sy,
+                cy * sx,
+                cy * cx,
+            ],
+        }
+    }
+
+    /// Matrix product.
+    #[allow(clippy::should_implement_trait)] // free-function style matches Vec3 ops
+    pub fn mul(self, o: Mat3) -> Mat3 {
+        let mut r = [0.0f32; 9];
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut acc = 0.0;
+                for k in 0..3 {
+                    acc += self.m[i * 3 + k] * o.m[k * 3 + j];
+                }
+                r[i * 3 + j] = acc;
+            }
+        }
+        Mat3 { m: r }
+    }
+
+    /// Transpose (= inverse for proper rotations).
+    pub fn transpose(self) -> Mat3 {
+        let m = self.m;
+        Mat3 { m: [m[0], m[3], m[6], m[1], m[4], m[7], m[2], m[5], m[8]] }
+    }
+
+    /// Trace.
+    pub fn trace(self) -> f32 {
+        self.m[0] + self.m[4] + self.m[8]
+    }
+
+    /// Geodesic angle (radians) between two rotations:
+    /// `acos((trace(A^T B) - 1) / 2)`, clamped for numerical safety.
+    pub fn angle_to(self, other: Mat3) -> f32 {
+        let rel = self.transpose().mul(other);
+        let c = ((rel.trace() - 1.0) / 2.0).clamp(-1.0, 1.0);
+        c.acos()
+    }
+
+    /// Applies the rotation to a vector.
+    pub fn apply(self, v: Vec3) -> Vec3 {
+        Vec3::new(
+            self.m[0] * v.x + self.m[1] * v.y + self.m[2] * v.z,
+            self.m[3] * v.x + self.m[4] * v.y + self.m[5] * v.z,
+            self.m[6] * v.x + self.m[7] * v.y + self.m[8] * v.z,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec3_arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        assert!((a.dot(b) - 32.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_product_is_orthogonal() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(a.cross(b), Vec3::new(0.0, 0.0, 1.0));
+        let c = Vec3::new(1.0, 2.0, 3.0).cross(Vec3::new(-2.0, 0.5, 1.0));
+        assert!(c.dot(Vec3::new(1.0, 2.0, 3.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn norm_and_distance() {
+        assert!((Vec3::new(3.0, 4.0, 0.0).norm() - 5.0).abs() < 1e-6);
+        assert!((Vec3::zero().distance(Vec3::new(0.0, 0.0, 2.0)) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(2.0, 4.0, 6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn normalized_has_unit_norm() {
+        let v = Vec3::new(1.0, -2.0, 2.0).normalized();
+        assert!((v.norm() - 1.0).abs() < 1e-6);
+        assert_eq!(Vec3::zero().normalized(), Vec3::zero());
+    }
+
+    #[test]
+    fn identity_rotation_is_noop() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(Mat3::identity().apply(v), v);
+        assert_eq!(Mat3::identity().angle_to(Mat3::identity()), 0.0);
+    }
+
+    #[test]
+    fn euler_rotation_preserves_norm() {
+        let r = Mat3::from_euler(0.3, -0.7, 1.1);
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert!((r.apply(v).norm() - v.norm()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn angle_to_recovers_rotation_angle() {
+        let r = Mat3::from_euler(0.0, 0.0, 0.5);
+        let angle = Mat3::identity().angle_to(r);
+        assert!((angle - 0.5).abs() < 1e-5, "angle {angle}");
+    }
+
+    #[test]
+    fn transpose_inverts_rotation() {
+        let r = Mat3::from_euler(0.4, 0.2, -0.9);
+        let should_be_identity = r.mul(r.transpose());
+        for (i, &x) in should_be_identity.m.iter().enumerate() {
+            let expect = if i % 4 == 0 { 1.0 } else { 0.0 };
+            assert!((x - expect).abs() < 1e-5, "element {i}: {x}");
+        }
+    }
+}

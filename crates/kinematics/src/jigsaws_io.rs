@@ -1,0 +1,305 @@
+//! Reader/writer for the JIGSAWS on-disk text format, so real JIGSAWS data
+//! can replace the synthetic generator without code changes.
+//!
+//! * Kinematics: one line per frame, whitespace-separated floats
+//!   (`19 * manipulators` columns).
+//! * Transcription: `start_frame end_frame G<k>` per line, frames 1-based
+//!   inclusive (the JIGSAWS convention); frames not covered by any line are
+//!   filled from the nearest labeled neighbour.
+
+use crate::sample::{KinematicSample, VARS_PER_MANIPULATOR};
+use gestures::Gesture;
+
+/// Error parsing JIGSAWS text data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line did not contain the expected number of float columns.
+    BadColumnCount {
+        /// 1-based line number.
+        line: usize,
+        /// Columns found.
+        found: usize,
+        /// Columns expected.
+        expected: usize,
+    },
+    /// A column could not be parsed as a float.
+    BadFloat {
+        /// 1-based line number.
+        line: usize,
+        /// Offending token.
+        token: String,
+    },
+    /// A transcription line was malformed.
+    BadTranscriptionLine {
+        /// 1-based line number.
+        line: usize,
+        /// The raw line.
+        content: String,
+    },
+    /// A transcription span was out of range or inverted.
+    BadSpan {
+        /// 1-based line number.
+        line: usize,
+        /// Start frame (1-based).
+        start: usize,
+        /// End frame (1-based).
+        end: usize,
+    },
+    /// The transcription labeled no frames at all.
+    EmptyTranscription,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadColumnCount { line, found, expected } => {
+                write!(f, "line {line}: expected {expected} columns, found {found}")
+            }
+            ParseError::BadFloat { line, token } => {
+                write!(f, "line {line}: invalid float {token:?}")
+            }
+            ParseError::BadTranscriptionLine { line, content } => {
+                write!(f, "line {line}: malformed transcription line {content:?}")
+            }
+            ParseError::BadSpan { line, start, end } => {
+                write!(f, "line {line}: invalid span {start}..{end}")
+            }
+            ParseError::EmptyTranscription => write!(f, "transcription labels no frames"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes kinematics frames to the JIGSAWS text format.
+pub fn format_kinematics(frames: &[KinematicSample]) -> String {
+    let mut out = String::new();
+    for frame in frames {
+        let row = frame.to_vec();
+        for (i, x) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{x:.6}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses kinematics text with `manipulators` arms per frame.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for malformed rows. Blank lines are skipped.
+pub fn parse_kinematics(
+    text: &str,
+    manipulators: usize,
+) -> Result<Vec<KinematicSample>, ParseError> {
+    let expected = VARS_PER_MANIPULATOR * manipulators;
+    let mut frames = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut row = Vec::with_capacity(expected);
+        for token in line.split_whitespace() {
+            let x: f32 = token.parse().map_err(|_| ParseError::BadFloat {
+                line: lineno + 1,
+                token: token.to_string(),
+            })?;
+            row.push(x);
+        }
+        if row.len() != expected {
+            return Err(ParseError::BadColumnCount {
+                line: lineno + 1,
+                found: row.len(),
+                expected,
+            });
+        }
+        frames.push(KinematicSample::from_slice(&row, manipulators));
+    }
+    Ok(frames)
+}
+
+/// Serializes a per-frame gesture stream as a JIGSAWS transcription
+/// (1-based inclusive frame spans).
+pub fn format_transcription(gestures: &[Gesture]) -> String {
+    let mut out = String::new();
+    let mut start = 0usize;
+    for i in 1..=gestures.len() {
+        if i == gestures.len() || gestures[i] != gestures[start] {
+            out.push_str(&format!("{} {} {}\n", start + 1, i, gestures[start]));
+            start = i;
+        }
+    }
+    out
+}
+
+/// Parses a JIGSAWS transcription into a per-frame gesture stream of length
+/// `num_frames`, filling unlabeled frames from the nearest labeled
+/// neighbour (leading gaps take the first label).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for malformed lines, bad spans, or an empty
+/// transcription.
+pub fn parse_transcription(
+    text: &str,
+    num_frames: usize,
+) -> Result<Vec<Gesture>, ParseError> {
+    let mut labels: Vec<Option<Gesture>> = vec![None; num_frames];
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let bad = || ParseError::BadTranscriptionLine {
+            line: lineno + 1,
+            content: line.to_string(),
+        };
+        if parts.len() != 3 {
+            return Err(bad());
+        }
+        let start: usize = parts[0].parse().map_err(|_| bad())?;
+        let end: usize = parts[1].parse().map_err(|_| bad())?;
+        let gesture = Gesture::parse(parts[2]).ok_or_else(bad)?;
+        if start == 0 || start > end || end > num_frames {
+            return Err(ParseError::BadSpan { line: lineno + 1, start, end });
+        }
+        for frame in (start - 1)..end {
+            labels[frame] = Some(gesture);
+        }
+    }
+
+    // Fill-forward then fill-backward.
+    let mut last: Option<Gesture> = None;
+    for l in labels.iter_mut() {
+        match *l {
+            Some(g) => last = Some(g),
+            None => *l = last,
+        }
+    }
+    let mut next: Option<Gesture> = None;
+    for l in labels.iter_mut().rev() {
+        match *l {
+            Some(g) => next = Some(g),
+            None => *l = next,
+        }
+    }
+    labels
+        .into_iter()
+        .collect::<Option<Vec<_>>>()
+        .ok_or(ParseError::EmptyTranscription)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Vec3;
+    use crate::sample::ManipulatorState;
+
+    fn frames(n: usize) -> Vec<KinematicSample> {
+        (0..n)
+            .map(|i| {
+                let st = ManipulatorState {
+                    position: Vec3::new(i as f32, 2.0 * i as f32, -0.5),
+                    grasper_angle: 0.1 * i as f32,
+                    ..ManipulatorState::default()
+                };
+                KinematicSample::new(vec![st, ManipulatorState::default()])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kinematics_roundtrip() {
+        let fs = frames(4);
+        let text = format_kinematics(&fs);
+        let parsed = parse_kinematics(&text, 2).unwrap();
+        assert_eq!(parsed.len(), 4);
+        for (a, b) in fs.iter().zip(parsed.iter()) {
+            for (ma, mb) in a.manipulators.iter().zip(b.manipulators.iter()) {
+                assert!((ma.position.x - mb.position.x).abs() < 1e-4);
+                assert!((ma.grasper_angle - mb.grasper_angle).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn kinematics_rejects_bad_width() {
+        let err = parse_kinematics("1.0 2.0 3.0\n", 2).unwrap_err();
+        assert!(matches!(err, ParseError::BadColumnCount { expected: 38, found: 3, .. }));
+    }
+
+    #[test]
+    fn kinematics_rejects_bad_float() {
+        let row = vec!["x"; 38].join(" ");
+        let err = parse_kinematics(&row, 2).unwrap_err();
+        assert!(matches!(err, ParseError::BadFloat { .. }));
+    }
+
+    #[test]
+    fn transcription_roundtrip() {
+        use Gesture::*;
+        let gestures = vec![G1, G1, G2, G2, G2, G11];
+        let text = format_transcription(&gestures);
+        assert_eq!(text, "1 2 G1\n3 5 G2\n6 6 G11\n");
+        let parsed = parse_transcription(&text, 6).unwrap();
+        assert_eq!(parsed, gestures);
+    }
+
+    #[test]
+    fn transcription_fills_gaps_like_jigsaws() {
+        // JIGSAWS transcripts often leave lead-in/out frames unlabeled.
+        let text = "3 4 G2\n";
+        let parsed = parse_transcription(text, 6).unwrap();
+        use Gesture::*;
+        assert_eq!(parsed, vec![G2, G2, G2, G2, G2, G2]);
+
+        let text = "2 3 G1\n5 6 G4\n";
+        let parsed = parse_transcription(text, 7).unwrap();
+        assert_eq!(parsed, vec![G1, G1, G1, G1, G4, G4, G4]);
+    }
+
+    #[test]
+    fn transcription_rejects_bad_spans() {
+        assert!(matches!(
+            parse_transcription("0 3 G1\n", 5).unwrap_err(),
+            ParseError::BadSpan { .. }
+        ));
+        assert!(matches!(
+            parse_transcription("4 2 G1\n", 5).unwrap_err(),
+            ParseError::BadSpan { .. }
+        ));
+        assert!(matches!(
+            parse_transcription("1 9 G1\n", 5).unwrap_err(),
+            ParseError::BadSpan { .. }
+        ));
+    }
+
+    #[test]
+    fn transcription_rejects_malformed_lines() {
+        assert!(matches!(
+            parse_transcription("1 2\n", 5).unwrap_err(),
+            ParseError::BadTranscriptionLine { .. }
+        ));
+        assert!(matches!(
+            parse_transcription("1 2 G99\n", 5).unwrap_err(),
+            ParseError::BadTranscriptionLine { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_transcription_is_error() {
+        assert_eq!(parse_transcription("", 3).unwrap_err(), ParseError::EmptyTranscription);
+    }
+
+    #[test]
+    fn parse_error_display_nonempty() {
+        let e = ParseError::BadSpan { line: 3, start: 4, end: 2 };
+        assert!(!e.to_string().is_empty());
+    }
+}

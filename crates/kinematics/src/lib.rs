@@ -1,0 +1,35 @@
+//! # `kinematics` — the time-series data model of the safety monitor
+//!
+//! The monitor consumes only kinematics (no video): per-frame manipulator
+//! state in the JIGSAWS 19-variable schema (§IV-A). This crate provides:
+//!
+//! * geometry primitives ([`geometry::Vec3`], [`geometry::Mat3`]),
+//! * per-frame state ([`sample::ManipulatorState`],
+//!   [`sample::KinematicSample`]),
+//! * feature-subset selection used by the Table V/VI ablations
+//!   ([`features::FeatureSet`]),
+//! * labeled demonstrations with gesture and safety annotations
+//!   ([`trajectory::Demonstration`]),
+//! * datasets with Leave-One-SuperTrial-Out folds and train-set
+//!   normalization ([`dataset`]),
+//! * sliding-window extraction, offline and streaming ([`windows`]),
+//! * JIGSAWS text-format I/O so the real dataset drops in
+//!   ([`jigsaws_io`]).
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // indexed loops mirror frame arithmetic
+
+pub mod dataset;
+pub mod features;
+pub mod geometry;
+pub mod jigsaws_io;
+pub mod sample;
+pub mod trajectory;
+pub mod windows;
+
+pub use dataset::{Dataset, Fold, Normalizer};
+pub use features::FeatureSet;
+pub use geometry::{Mat3, Vec3};
+pub use sample::{KinematicSample, ManipulatorState, VARS_PER_MANIPULATOR};
+pub use trajectory::{Demonstration, ErrorAnnotation};
+pub use windows::{windows_with_labels, windows_with_positions, SlidingWindow, WindowConfig};

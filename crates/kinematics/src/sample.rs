@@ -1,0 +1,178 @@
+//! Per-frame kinematic state: the JIGSAWS 19-variable manipulator schema.
+
+use crate::features::FeatureSet;
+use crate::geometry::{Mat3, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// State of one robot manipulator at one frame — the 19 JIGSAWS variables
+/// (§IV-A): Cartesian position (3), rotation matrix (9), grasper angle (1),
+/// linear velocity (3), angular velocity (3).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ManipulatorState {
+    /// End-effector Cartesian position (the paper's fault-injection unit is
+    /// millimeters on the Raven II).
+    pub position: Vec3,
+    /// End-effector orientation.
+    pub rotation: Mat3,
+    /// Grasper opening angle in radians (0 = closed).
+    pub grasper_angle: f32,
+    /// Linear velocity.
+    pub linear_velocity: Vec3,
+    /// Angular velocity.
+    pub angular_velocity: Vec3,
+}
+
+/// Number of kinematic variables per manipulator in the JIGSAWS schema.
+pub const VARS_PER_MANIPULATOR: usize = 19;
+
+impl ManipulatorState {
+    /// Flattens the full 19-variable state in JIGSAWS column order.
+    pub fn to_vec(&self) -> Vec<f32> {
+        let mut v = Vec::with_capacity(VARS_PER_MANIPULATOR);
+        v.extend_from_slice(&self.position.to_array());
+        v.extend_from_slice(&self.rotation.m);
+        v.push(self.grasper_angle);
+        v.extend_from_slice(&self.linear_velocity.to_array());
+        v.extend_from_slice(&self.angular_velocity.to_array());
+        v
+    }
+
+    /// Reconstructs a state from the 19-variable JIGSAWS column order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != 19`.
+    pub fn from_slice(v: &[f32]) -> Self {
+        assert_eq!(v.len(), VARS_PER_MANIPULATOR, "expected 19 variables, got {}", v.len());
+        Self {
+            position: Vec3::new(v[0], v[1], v[2]),
+            rotation: Mat3 { m: v[3..12].try_into().expect("9 rotation elements") },
+            grasper_angle: v[12],
+            linear_velocity: Vec3::new(v[13], v[14], v[15]),
+            angular_velocity: Vec3::new(v[16], v[17], v[18]),
+        }
+    }
+
+    /// Flattens only the variables selected by `features`.
+    pub fn to_feature_vec(&self, features: &FeatureSet) -> Vec<f32> {
+        let mut v = Vec::with_capacity(features.dims_per_manipulator());
+        if features.cartesian {
+            v.extend_from_slice(&self.position.to_array());
+        }
+        if features.rotation {
+            v.extend_from_slice(&self.rotation.m);
+        }
+        if features.grasper {
+            v.push(self.grasper_angle);
+        }
+        if features.linear_velocity {
+            v.extend_from_slice(&self.linear_velocity.to_array());
+        }
+        if features.angular_velocity {
+            v.extend_from_slice(&self.angular_velocity.to_array());
+        }
+        v
+    }
+}
+
+/// One frame of the robot: all manipulators (JIGSAWS: left + right slave).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct KinematicSample {
+    /// Per-manipulator state, in platform order (e.g. `[left, right]`).
+    pub manipulators: Vec<ManipulatorState>,
+}
+
+impl KinematicSample {
+    /// Creates a frame from manipulator states.
+    pub fn new(manipulators: Vec<ManipulatorState>) -> Self {
+        Self { manipulators }
+    }
+
+    /// A frame of `n` default manipulators.
+    pub fn zeros(n: usize) -> Self {
+        Self { manipulators: vec![ManipulatorState::default(); n] }
+    }
+
+    /// Flattens all manipulators under the given feature selection.
+    pub fn to_feature_vec(&self, features: &FeatureSet) -> Vec<f32> {
+        let mut v = Vec::with_capacity(features.dims_per_manipulator() * self.manipulators.len());
+        for m in &self.manipulators {
+            v.extend(m.to_feature_vec(features));
+        }
+        v
+    }
+
+    /// Flattens the complete 19-variable schema for all manipulators.
+    pub fn to_vec(&self) -> Vec<f32> {
+        let mut v = Vec::with_capacity(VARS_PER_MANIPULATOR * self.manipulators.len());
+        for m in &self.manipulators {
+            v.extend(m.to_vec());
+        }
+        v
+    }
+
+    /// Reconstructs from a flat row of `19 * n` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a multiple of 19 or yields a different
+    /// manipulator count than `n`.
+    pub fn from_slice(v: &[f32], n: usize) -> Self {
+        assert_eq!(v.len(), VARS_PER_MANIPULATOR * n, "bad row width {}", v.len());
+        Self {
+            manipulators: v
+                .chunks_exact(VARS_PER_MANIPULATOR)
+                .map(ManipulatorState::from_slice)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state() -> ManipulatorState {
+        ManipulatorState {
+            position: Vec3::new(1.0, 2.0, 3.0),
+            rotation: Mat3::from_euler(0.1, 0.2, 0.3),
+            grasper_angle: 0.7,
+            linear_velocity: Vec3::new(0.1, 0.0, -0.1),
+            angular_velocity: Vec3::new(0.0, 0.5, 0.0),
+        }
+    }
+
+    #[test]
+    fn to_vec_has_19_vars_and_roundtrips() {
+        let s = sample_state();
+        let v = s.to_vec();
+        assert_eq!(v.len(), VARS_PER_MANIPULATOR);
+        assert_eq!(ManipulatorState::from_slice(&v), s);
+    }
+
+    #[test]
+    fn feature_vec_respects_selection() {
+        let s = sample_state();
+        let crg = s.to_feature_vec(&FeatureSet::CRG);
+        assert_eq!(crg.len(), 13); // 3 + 9 + 1
+        assert_eq!(crg[0], 1.0);
+        assert_eq!(crg[12], 0.7);
+        let cg = s.to_feature_vec(&FeatureSet::CG);
+        assert_eq!(cg.len(), 4);
+        assert_eq!(cg[3], 0.7);
+    }
+
+    #[test]
+    fn frame_roundtrip_two_manipulators() {
+        let frame = KinematicSample::new(vec![sample_state(), ManipulatorState::default()]);
+        let v = frame.to_vec();
+        assert_eq!(v.len(), 38);
+        assert_eq!(KinematicSample::from_slice(&v, 2), frame);
+    }
+
+    #[test]
+    fn full_featureset_equals_to_vec() {
+        let frame = KinematicSample::new(vec![sample_state(), sample_state()]);
+        assert_eq!(frame.to_feature_vec(&FeatureSet::ALL), frame.to_vec());
+    }
+}

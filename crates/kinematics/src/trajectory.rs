@@ -1,0 +1,270 @@
+//! Labeled demonstrations: synchronized kinematics, gesture transcript, and
+//! safety annotations.
+
+use crate::features::FeatureSet;
+use crate::sample::KinematicSample;
+use gestures::{Gesture, Task};
+use nn::Mat;
+use serde::{Deserialize, Serialize};
+
+/// One annotated unsafe event inside a demonstration: the erroneous gesture
+/// span and the frame at which the error *actually* occurred (for JIGSAWS
+/// annotations this is the gesture onset; for fault injections it is the
+/// video-derived failure frame — §IV-B "Automated Labeling of Errors").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorAnnotation {
+    /// Gesture class of the erroneous gesture.
+    pub gesture: Gesture,
+    /// First frame of the erroneous gesture.
+    pub span_start: usize,
+    /// One past the last frame of the erroneous gesture.
+    pub span_end: usize,
+    /// Frame of actual error occurrence.
+    pub actual_frame: usize,
+}
+
+/// A complete labeled trial of a surgical task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Demonstration {
+    /// Unique identifier (e.g. `"Suturing_B001"`).
+    pub id: String,
+    /// Task being performed.
+    pub task: Task,
+    /// Subject identifier (JIGSAWS: `B`–`I`).
+    pub subject: String,
+    /// Super-trial index 1–5 (the unit of the LOSO split, §IV-A).
+    pub supertrial: usize,
+    /// Sampling rate in frames per second.
+    pub hz: f32,
+    /// Kinematics, one sample per frame.
+    pub frames: Vec<KinematicSample>,
+    /// Ground-truth gesture per frame (parallel to `frames`).
+    pub gestures: Vec<Gesture>,
+    /// Ground-truth per-frame unsafe flag (parallel to `frames`).
+    pub unsafe_labels: Vec<bool>,
+    /// Span-level error annotations.
+    pub errors: Vec<ErrorAnnotation>,
+}
+
+impl Demonstration {
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the demonstration has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Duration in milliseconds.
+    pub fn duration_ms(&self) -> f32 {
+        self.frames.len() as f32 * 1000.0 / self.hz
+    }
+
+    /// Number of manipulators per frame (0 for an empty demonstration).
+    pub fn manipulators(&self) -> usize {
+        self.frames.first().map_or(0, |f| f.manipulators.len())
+    }
+
+    /// Checks the internal consistency of all parallel arrays and
+    /// annotations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.gestures.len() != self.frames.len() {
+            return Err(format!(
+                "{}: {} gesture labels for {} frames",
+                self.id,
+                self.gestures.len(),
+                self.frames.len()
+            ));
+        }
+        if self.unsafe_labels.len() != self.frames.len() {
+            return Err(format!(
+                "{}: {} unsafe labels for {} frames",
+                self.id,
+                self.unsafe_labels.len(),
+                self.frames.len()
+            ));
+        }
+        let n = self.manipulators();
+        if self.frames.iter().any(|f| f.manipulators.len() != n) {
+            return Err(format!("{}: inconsistent manipulator counts", self.id));
+        }
+        for e in &self.errors {
+            if e.span_start >= e.span_end || e.span_end > self.len() {
+                return Err(format!(
+                    "{}: bad error span {}..{}",
+                    self.id, e.span_start, e.span_end
+                ));
+            }
+        }
+        if self.hz <= 0.0 {
+            return Err(format!("{}: non-positive sampling rate", self.id));
+        }
+        Ok(())
+    }
+
+    /// Flattens the kinematics into a `(frames, features)` matrix under the
+    /// given feature selection.
+    pub fn feature_matrix(&self, features: &FeatureSet) -> Mat {
+        let n = self.manipulators();
+        let cols = features.dims(n);
+        let mut data = Vec::with_capacity(self.len() * cols);
+        for f in &self.frames {
+            data.extend(f.to_feature_vec(features));
+        }
+        Mat::from_vec(self.len(), cols, data)
+    }
+
+    /// Per-frame gesture class indices.
+    pub fn gesture_indices(&self) -> Vec<usize> {
+        self.gestures.iter().map(|g| g.index()).collect()
+    }
+
+    /// The collapsed gesture sequence (one entry per segment), e.g.
+    /// `[G2, G12, G6, G5, G11]` for Block Transfer.
+    pub fn gesture_sequence(&self) -> Vec<Gesture> {
+        let mut seq = Vec::new();
+        for &g in &self.gestures {
+            if seq.last() != Some(&g) {
+                seq.push(g);
+            }
+        }
+        seq
+    }
+
+    /// Downsamples by an integer factor (keeping every `factor`-th frame),
+    /// adjusting labels, annotations, and the sampling rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor == 0`.
+    pub fn decimate(&self, factor: usize) -> Demonstration {
+        assert!(factor > 0, "decimation factor must be positive");
+        if factor == 1 {
+            return self.clone();
+        }
+        let pick = |i: usize| i / factor;
+        Demonstration {
+            id: self.id.clone(),
+            task: self.task,
+            subject: self.subject.clone(),
+            supertrial: self.supertrial,
+            hz: self.hz / factor as f32,
+            frames: self.frames.iter().step_by(factor).cloned().collect(),
+            gestures: self.gestures.iter().step_by(factor).copied().collect(),
+            unsafe_labels: self.unsafe_labels.iter().step_by(factor).copied().collect(),
+            errors: self
+                .errors
+                .iter()
+                .map(|e| ErrorAnnotation {
+                    gesture: e.gesture,
+                    span_start: pick(e.span_start),
+                    span_end: pick(e.span_end.saturating_sub(1)) + 1,
+                    actual_frame: pick(e.actual_frame),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of frames labeled unsafe.
+    pub fn unsafe_frames(&self) -> usize {
+        self.unsafe_labels.iter().filter(|&&u| u).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::ManipulatorState;
+
+    fn demo(frames: usize) -> Demonstration {
+        Demonstration {
+            id: "t".into(),
+            task: Task::BlockTransfer,
+            subject: "B".into(),
+            supertrial: 1,
+            hz: 30.0,
+            frames: vec![KinematicSample::new(vec![ManipulatorState::default(); 2]); frames],
+            gestures: vec![Gesture::G2; frames],
+            unsafe_labels: vec![false; frames],
+            errors: vec![],
+        }
+    }
+
+    #[test]
+    fn validate_accepts_consistent_demo() {
+        assert!(demo(10).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_label_mismatch() {
+        let mut d = demo(10);
+        d.gestures.pop();
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_error_span() {
+        let mut d = demo(10);
+        d.errors.push(ErrorAnnotation {
+            gesture: Gesture::G2,
+            span_start: 5,
+            span_end: 20,
+            actual_frame: 5,
+        });
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn feature_matrix_shape() {
+        let d = demo(7);
+        let m = d.feature_matrix(&FeatureSet::ALL);
+        assert_eq!(m.shape(), (7, 38));
+        let m = d.feature_matrix(&FeatureSet::CG);
+        assert_eq!(m.shape(), (7, 8));
+    }
+
+    #[test]
+    fn gesture_sequence_collapses_runs() {
+        let mut d = demo(6);
+        d.gestures = vec![
+            Gesture::G2,
+            Gesture::G2,
+            Gesture::G12,
+            Gesture::G12,
+            Gesture::G6,
+            Gesture::G6,
+        ];
+        assert_eq!(d.gesture_sequence(), vec![Gesture::G2, Gesture::G12, Gesture::G6]);
+    }
+
+    #[test]
+    fn decimate_halves_frames_and_rate() {
+        let mut d = demo(10);
+        d.errors.push(ErrorAnnotation {
+            gesture: Gesture::G2,
+            span_start: 4,
+            span_end: 8,
+            actual_frame: 6,
+        });
+        let half = d.decimate(2);
+        assert_eq!(half.len(), 5);
+        assert_eq!(half.hz, 15.0);
+        assert_eq!(half.errors[0].span_start, 2);
+        assert_eq!(half.errors[0].actual_frame, 3);
+        assert!(half.validate().is_ok());
+        // Duration is preserved.
+        assert!((half.duration_ms() - d.duration_ms()).abs() < 40.0);
+    }
+
+    #[test]
+    fn decimate_by_one_is_identity() {
+        let d = demo(5);
+        assert_eq!(d.decimate(1), d);
+    }
+}

@@ -1,0 +1,67 @@
+//! Weight initialization schemes.
+//!
+//! All initializers take an explicit RNG so training runs are fully
+//! reproducible from a seed.
+
+use crate::mat::Mat;
+use rand::Rng;
+
+/// Glorot/Xavier uniform initialization: `U(-l, l)` with
+/// `l = sqrt(6 / (fan_in + fan_out))`. Suited to tanh/sigmoid gates (LSTM).
+pub fn xavier_uniform(rng: &mut impl Rng, rows: usize, cols: usize) -> Mat {
+    let limit = (6.0 / (rows + cols) as f32).sqrt();
+    uniform(rng, rows, cols, limit)
+}
+
+/// He/Kaiming uniform initialization: `U(-l, l)` with `l = sqrt(6 / fan_in)`.
+/// Suited to ReLU layers (Dense, Conv1d).
+pub fn he_uniform(rng: &mut impl Rng, fan_in: usize, rows: usize, cols: usize) -> Mat {
+    let limit = (6.0 / fan_in.max(1) as f32).sqrt();
+    uniform(rng, rows, cols, limit)
+}
+
+/// Uniform initialization on `[-limit, limit]`.
+pub fn uniform(rng: &mut impl Rng, rows: usize, cols: usize, limit: f32) -> Mat {
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-limit..=limit))
+        .collect();
+    Mat::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let m = xavier_uniform(&mut rng, 10, 20);
+        let limit = (6.0 / 30.0_f32).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= limit));
+        assert_eq!(m.shape(), (10, 20));
+    }
+
+    #[test]
+    fn he_respects_limit() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let m = he_uniform(&mut rng, 10, 10, 4);
+        let limit = (6.0 / 10.0_f32).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = xavier_uniform(&mut SmallRng::seed_from_u64(42), 4, 4);
+        let b = xavier_uniform(&mut SmallRng::seed_from_u64(42), 4, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn init_is_not_constant() {
+        let m = xavier_uniform(&mut SmallRng::seed_from_u64(1), 8, 8);
+        let first = m.as_slice()[0];
+        assert!(m.as_slice().iter().any(|&x| x != first));
+    }
+}

@@ -1,0 +1,160 @@
+//! Element-wise activation layers: ReLU, tanh, sigmoid.
+
+use crate::layers::{Mode, SeqLayer};
+use crate::mat::Mat;
+use crate::param::Param;
+
+/// Rectified linear unit `max(0, x)`.
+#[derive(Debug, Default)]
+pub struct Relu {
+    cached_input: Option<Mat>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SeqLayer for Relu {
+    fn forward(&mut self, x: &Mat, _mode: Mode) -> Mat {
+        self.cached_input = Some(x.clone());
+        x.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Mat) -> Mat {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("Relu::backward called before forward");
+        x.zip_with(grad_out, |xi, g| if xi > 0.0 { g } else { 0.0 })
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "Relu"
+    }
+}
+
+/// Hyperbolic tangent activation.
+#[derive(Debug, Default)]
+pub struct TanhLayer {
+    cached_output: Option<Mat>,
+}
+
+impl TanhLayer {
+    /// Creates a tanh layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SeqLayer for TanhLayer {
+    fn forward(&mut self, x: &Mat, _mode: Mode) -> Mat {
+        let y = x.map(f32::tanh);
+        self.cached_output = Some(y.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Mat) -> Mat {
+        let y = self
+            .cached_output
+            .as_ref()
+            .expect("TanhLayer::backward called before forward");
+        y.zip_with(grad_out, |yi, g| g * (1.0 - yi * yi))
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "Tanh"
+    }
+}
+
+/// Logistic sigmoid activation `1 / (1 + e^-x)`.
+#[derive(Debug, Default)]
+pub struct SigmoidLayer {
+    cached_output: Option<Mat>,
+}
+
+impl SigmoidLayer {
+    /// Creates a sigmoid layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Numerically stable scalar sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl SeqLayer for SigmoidLayer {
+    fn forward(&mut self, x: &Mat, _mode: Mode) -> Mat {
+        let y = x.map(sigmoid);
+        self.cached_output = Some(y.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Mat) -> Mat {
+        let y = self
+            .cached_output
+            .as_ref()
+            .expect("SigmoidLayer::backward called before forward");
+        y.zip_with(grad_out, |yi, g| g * yi * (1.0 - yi))
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "Sigmoid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut l = Relu::new();
+        let y = l.forward(&Mat::from_rows(&[&[-1.0, 0.0, 2.0]]), Mode::Eval);
+        assert_eq!(y, Mat::from_rows(&[&[0.0, 0.0, 2.0]]));
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!((sigmoid(40.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(-40.0) < 1e-6);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn relu_gradients_match_numerical() {
+        let mut l = Relu::new();
+        let x = Mat::from_rows(&[&[-0.5, 0.3, 1.2], &[0.7, -0.1, 0.4]]);
+        check_layer_gradients(&mut l, &x, 1e-2);
+    }
+
+    #[test]
+    fn tanh_gradients_match_numerical() {
+        let mut l = TanhLayer::new();
+        let x = Mat::from_rows(&[&[-0.5, 0.3, 1.2]]);
+        check_layer_gradients(&mut l, &x, 1e-2);
+    }
+
+    #[test]
+    fn sigmoid_gradients_match_numerical() {
+        let mut l = SigmoidLayer::new();
+        let x = Mat::from_rows(&[&[-0.5, 0.3, 1.2]]);
+        check_layer_gradients(&mut l, &x, 1e-2);
+    }
+}

@@ -1,0 +1,115 @@
+//! Inverted dropout regularization.
+
+use crate::layers::{Mode, SeqLayer};
+use crate::mat::Mat;
+use crate::param::Param;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout: during training each element is zeroed with probability
+/// `rate` and survivors are scaled by `1 / (1 - rate)` so the expected
+/// activation is unchanged. During evaluation the layer is the identity.
+#[derive(Debug)]
+pub struct Dropout {
+    rate: f32,
+    rng: SmallRng,
+    mask: Option<Mat>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not within `[0, 1)`.
+    pub fn new(rate: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0,1), got {rate}");
+        Self { rate, rng: SmallRng::seed_from_u64(seed), mask: None }
+    }
+
+    /// The configured drop probability.
+    pub fn rate(&self) -> f32 {
+        self.rate
+    }
+}
+
+impl SeqLayer for Dropout {
+    fn forward(&mut self, x: &Mat, mode: Mode) -> Mat {
+        match mode {
+            Mode::Eval => {
+                self.mask = None;
+                x.clone()
+            }
+            Mode::Train => {
+                let keep = 1.0 - self.rate;
+                let scale = 1.0 / keep;
+                let mask = Mat::from_vec(
+                    x.rows(),
+                    x.cols(),
+                    (0..x.len())
+                        .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+                        .collect(),
+                );
+                let y = x.hadamard(&mask);
+                self.mask = Some(mask);
+                y
+            }
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Mat) -> Mat {
+        match &self.mask {
+            Some(mask) => grad_out.hadamard(mask),
+            None => grad_out.clone(),
+        }
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut l = Dropout::new(0.5, 1);
+        let x = Mat::full(3, 3, 2.0);
+        assert_eq!(l.forward(&x, Mode::Eval), x);
+        assert_eq!(l.backward(&x), x);
+    }
+
+    #[test]
+    fn train_mode_zeroes_roughly_rate_fraction() {
+        let mut l = Dropout::new(0.5, 42);
+        let x = Mat::full(100, 100, 1.0);
+        let y = l.forward(&x, Mode::Train);
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f32 / 10_000.0;
+        assert!((0.45..0.55).contains(&frac), "zero fraction {frac} not near 0.5");
+        // Survivors are scaled by 1/keep.
+        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn backward_uses_same_mask_as_forward() {
+        let mut l = Dropout::new(0.3, 7);
+        let x = Mat::full(4, 4, 1.0);
+        let y = l.forward(&x, Mode::Train);
+        let g = l.backward(&Mat::full(4, 4, 1.0));
+        // Gradient is zero exactly where the forward output was zeroed.
+        for (a, b) in y.as_slice().iter().zip(g.as_slice().iter()) {
+            assert_eq!(*a == 0.0, *b == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout rate")]
+    fn rejects_rate_of_one() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

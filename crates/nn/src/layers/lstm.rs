@@ -1,0 +1,288 @@
+//! Long short-term memory layer with full backpropagation through time.
+
+use crate::init;
+use crate::layers::{Mode, SeqLayer};
+use crate::mat::Mat;
+use crate::param::Param;
+use rand::Rng;
+
+/// LSTM layer over a `(T, in_dim)` sequence.
+///
+/// Gate layout in the fused weight matrices is `[input, forget, cell, output]`
+/// (each `hidden` wide). The forget-gate bias is initialized to 1, the usual
+/// trick to preserve memory early in training.
+///
+/// With `return_sequences = true` the layer emits the full `(T, hidden)`
+/// hidden-state sequence (for stacking, as in the paper's 2-layer stacked
+/// LSTM gesture classifier); otherwise only the final hidden state as
+/// `(1, hidden)`.
+#[derive(Debug)]
+pub struct Lstm {
+    w: Param, // (in_dim, 4H): input -> gates
+    u: Param, // (hidden, 4H): hidden -> gates
+    b: Param, // (1, 4H)
+    hidden: usize,
+    return_sequences: bool,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug)]
+struct Cache {
+    x: Mat,      // (T, in_dim)
+    h_prev: Mat, // (T, hidden): h_{t-1} rows (row 0 = zeros)
+    c_prev: Mat, // (T, hidden)
+    i: Mat,
+    f: Mat,
+    g: Mat,
+    o: Mat,
+    tanh_c: Mat, // (T, hidden)
+}
+
+impl Lstm {
+    /// Creates an LSTM layer with Xavier-initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden == 0`.
+    pub fn new(in_dim: usize, hidden: usize, return_sequences: bool, rng: &mut impl Rng) -> Self {
+        assert!(hidden > 0, "hidden size must be positive");
+        let mut b = Mat::zeros(1, 4 * hidden);
+        for c in hidden..2 * hidden {
+            b[(0, c)] = 1.0; // forget-gate bias
+        }
+        Self {
+            w: Param::new(init::xavier_uniform(rng, in_dim, 4 * hidden)),
+            u: Param::new(init::xavier_uniform(rng, hidden, 4 * hidden)),
+            b: Param::new(b),
+            hidden,
+            return_sequences,
+            cache: None,
+        }
+    }
+
+    /// Hidden-state width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Whether the full sequence is returned.
+    pub fn return_sequences(&self) -> bool {
+        self.return_sequences
+    }
+
+    fn sigmoid(x: f32) -> f32 {
+        crate::layers::activation::sigmoid(x)
+    }
+}
+
+impl SeqLayer for Lstm {
+    fn forward(&mut self, x: &Mat, _mode: Mode) -> Mat {
+        let t_len = x.rows();
+        let h = self.hidden;
+        assert!(t_len > 0, "Lstm: empty input sequence");
+        assert_eq!(
+            x.cols(),
+            self.w.value.rows(),
+            "Lstm: expected {} input features, got {}",
+            self.w.value.rows(),
+            x.cols()
+        );
+
+        // Pre-compute the input contribution for every step at once.
+        let xw = x.matmul(&self.w.value); // (T, 4H)
+
+        let mut h_prev = Mat::zeros(t_len, h);
+        let mut c_prev = Mat::zeros(t_len, h);
+        let mut gi = Mat::zeros(t_len, h);
+        let mut gf = Mat::zeros(t_len, h);
+        let mut gg = Mat::zeros(t_len, h);
+        let mut go = Mat::zeros(t_len, h);
+        let mut tanh_c = Mat::zeros(t_len, h);
+        let mut hs = Mat::zeros(t_len, h);
+
+        let mut h_t = vec![0.0f32; h];
+        let mut c_t = vec![0.0f32; h];
+
+        for t in 0..t_len {
+            h_prev.row_mut(t).copy_from_slice(&h_t);
+            c_prev.row_mut(t).copy_from_slice(&c_t);
+
+            // z = xw[t] + h_{t-1} U + b
+            let hu = Mat::row_vector(&h_t).matmul(&self.u.value); // (1, 4H)
+            let xw_row = xw.row(t);
+            let b_row = self.b.value.row(0);
+            for k in 0..h {
+                let zi = xw_row[k] + hu[(0, k)] + b_row[k];
+                let zf = xw_row[h + k] + hu[(0, h + k)] + b_row[h + k];
+                let zg = xw_row[2 * h + k] + hu[(0, 2 * h + k)] + b_row[2 * h + k];
+                let zo = xw_row[3 * h + k] + hu[(0, 3 * h + k)] + b_row[3 * h + k];
+                let i = Self::sigmoid(zi);
+                let f = Self::sigmoid(zf);
+                let g = zg.tanh();
+                let o = Self::sigmoid(zo);
+                let c_new = f * c_t[k] + i * g;
+                let tc = c_new.tanh();
+                gi[(t, k)] = i;
+                gf[(t, k)] = f;
+                gg[(t, k)] = g;
+                go[(t, k)] = o;
+                tanh_c[(t, k)] = tc;
+                c_t[k] = c_new;
+                h_t[k] = o * tc;
+            }
+            hs.row_mut(t).copy_from_slice(&h_t);
+        }
+
+        self.cache = Some(Cache {
+            x: x.clone(),
+            h_prev,
+            c_prev,
+            i: gi,
+            f: gf,
+            g: gg,
+            o: go,
+            tanh_c,
+        });
+
+        if self.return_sequences {
+            hs
+        } else {
+            hs.slice_rows(t_len - 1, t_len)
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Mat) -> Mat {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("Lstm::backward called before forward");
+        let t_len = cache.x.rows();
+        let h = self.hidden;
+
+        // Expand grad_out to a per-step (T, H) gradient.
+        let mut dh_seq = Mat::zeros(t_len, h);
+        if self.return_sequences {
+            assert_eq!(grad_out.shape(), (t_len, h), "Lstm: bad grad_out shape");
+            dh_seq = grad_out.clone();
+        } else {
+            assert_eq!(grad_out.shape(), (1, h), "Lstm: bad grad_out shape");
+            dh_seq.row_mut(t_len - 1).copy_from_slice(grad_out.row(0));
+        }
+
+        let mut dz = Mat::zeros(t_len, 4 * h); // pre-activation gate grads
+        let mut dh_next = vec![0.0f32; h];
+        let mut dc_next = vec![0.0f32; h];
+
+        for t in (0..t_len).rev() {
+            for k in 0..h {
+                let dh = dh_seq[(t, k)] + dh_next[k];
+                let o = cache.o[(t, k)];
+                let tc = cache.tanh_c[(t, k)];
+                let dct = dh * o * (1.0 - tc * tc) + dc_next[k];
+                let i = cache.i[(t, k)];
+                let f = cache.f[(t, k)];
+                let g = cache.g[(t, k)];
+                let do_ = dh * tc;
+                let di = dct * g;
+                let df = dct * cache.c_prev[(t, k)];
+                let dg = dct * i;
+                dz[(t, k)] = di * i * (1.0 - i);
+                dz[(t, h + k)] = df * f * (1.0 - f);
+                dz[(t, 2 * h + k)] = dg * (1.0 - g * g);
+                dz[(t, 3 * h + k)] = do_ * o * (1.0 - o);
+                dc_next[k] = dct * f;
+            }
+            // dh_next = dz[t] * U^T
+            let dz_row = Mat::row_vector(dz.row(t));
+            let dh_prev = dz_row.matmul_transpose(&self.u.value); // (1, H)
+            dh_next.copy_from_slice(dh_prev.row(0));
+        }
+
+        // Parameter gradients from the assembled dz.
+        let dw = cache.x.transpose_matmul(&dz);
+        self.w.grad.add_scaled_inplace(&dw, 1.0);
+        let du = cache.h_prev.transpose_matmul(&dz);
+        self.u.grad.add_scaled_inplace(&du, 1.0);
+        self.b.grad.add_scaled_inplace(&dz.sum_rows(), 1.0);
+
+        // Input gradient.
+        dz.matmul_transpose(&self.w.value)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.u);
+        f(&mut self.b);
+    }
+
+    fn name(&self) -> &'static str {
+        "Lstm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seq = Lstm::new(3, 5, true, &mut rng);
+        let mut last = Lstm::new(3, 5, false, &mut rng);
+        let x = init::uniform(&mut rng, 7, 3, 1.0);
+        assert_eq!(seq.forward(&x, Mode::Eval).shape(), (7, 5));
+        assert_eq!(last.forward(&x, Mode::Eval).shape(), (1, 5));
+    }
+
+    #[test]
+    fn last_state_matches_sequence_tail() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seq = Lstm::new(3, 4, true, &mut rng);
+        let x = init::uniform(&mut rng, 6, 3, 1.0);
+        let full = seq.forward(&x, Mode::Eval);
+        seq.return_sequences = false;
+        let last = seq.forward(&x, Mode::Eval);
+        assert_eq!(last.row(0), full.row(5));
+    }
+
+    #[test]
+    fn hidden_states_are_bounded() {
+        // h = o * tanh(c) with o in (0,1) and |tanh| < 1.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut l = Lstm::new(2, 6, true, &mut rng);
+        let x = init::uniform(&mut rng, 20, 2, 5.0);
+        let y = l.forward(&x, Mode::Eval);
+        assert!(y.as_slice().iter().all(|&v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn gradients_match_numerical_return_sequences() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut l = Lstm::new(2, 3, true, &mut rng);
+        let x = init::uniform(&mut rng, 4, 2, 0.8);
+        check_layer_gradients(&mut l, &x, 3e-2);
+    }
+
+    #[test]
+    fn gradients_match_numerical_last_only() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut l = Lstm::new(2, 3, false, &mut rng);
+        let x = init::uniform(&mut rng, 4, 2, 0.8);
+        check_layer_gradients(&mut l, &x, 3e-2);
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let l = Lstm::new(2, 3, true, &mut rng);
+        for k in 3..6 {
+            assert_eq!(l.b.value[(0, k)], 1.0);
+        }
+        assert_eq!(l.b.value[(0, 0)], 0.0);
+    }
+
+    use crate::init;
+}

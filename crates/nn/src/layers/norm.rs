@@ -1,0 +1,212 @@
+//! Temporal batch normalization.
+//!
+//! The paper's gesture classifier uses batch-normalization layers between
+//! LSTM stacks. Our training loop processes one `(T, F)` window at a time, so
+//! this layer normalizes each feature over the *time* axis of the window
+//! during training (the window plays the role of the mini-batch) and keeps
+//! running statistics for inference — the usual BatchNorm deltas documented
+//! in DESIGN.md §5.
+
+use crate::layers::{Mode, SeqLayer};
+use crate::mat::Mat;
+use crate::param::Param;
+
+const EPS: f32 = 1e-5;
+
+/// Per-feature normalization over the time axis with learned scale and shift.
+#[derive(Debug)]
+pub struct BatchNorm {
+    gamma: Param, // (1, dim)
+    beta: Param,  // (1, dim)
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    // Caches from training-mode forward.
+    cache: Option<NormCache>,
+    last_mode: Mode,
+}
+
+#[derive(Debug)]
+struct NormCache {
+    x_hat: Mat,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm {
+    /// Creates a batch-norm layer over `dim` features with γ=1, β=0.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            gamma: Param::new(Mat::full(1, dim, 1.0)),
+            beta: Param::new(Mat::zeros(1, dim)),
+            running_mean: vec![0.0; dim],
+            running_var: vec![1.0; dim],
+            momentum: 0.1,
+            cache: None,
+            last_mode: Mode::Eval,
+        }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.gamma.value.cols()
+    }
+}
+
+impl SeqLayer for BatchNorm {
+    fn forward(&mut self, x: &Mat, mode: Mode) -> Mat {
+        let dim = self.dim();
+        assert_eq!(x.cols(), dim, "BatchNorm: expected {dim} features, got {}", x.cols());
+        self.last_mode = mode;
+        let t = x.rows();
+
+        // Eval mode, or degenerate one-row windows (variance undefined):
+        // use running statistics.
+        if mode == Mode::Eval || t < 2 {
+            self.cache = None;
+            let mut y = Mat::zeros(t, dim);
+            for r in 0..t {
+                for c in 0..dim {
+                    let x_hat =
+                        (x[(r, c)] - self.running_mean[c]) / (self.running_var[c] + EPS).sqrt();
+                    y[(r, c)] = self.gamma.value[(0, c)] * x_hat + self.beta.value[(0, c)];
+                }
+            }
+            return y;
+        }
+
+        let mean = x.mean_rows();
+        let mut var = vec![0.0f32; dim];
+        for r in 0..t {
+            for c in 0..dim {
+                let d = x[(r, c)] - mean[(0, c)];
+                var[c] += d * d;
+            }
+        }
+        for v in &mut var {
+            *v /= t as f32;
+        }
+
+        for c in 0..dim {
+            self.running_mean[c] =
+                (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean[(0, c)];
+            self.running_var[c] =
+                (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
+        }
+
+        let inv_std: Vec<f32> = var.iter().map(|v| 1.0 / (v + EPS).sqrt()).collect();
+        let mut x_hat = Mat::zeros(t, dim);
+        let mut y = Mat::zeros(t, dim);
+        for r in 0..t {
+            for c in 0..dim {
+                let xh = (x[(r, c)] - mean[(0, c)]) * inv_std[c];
+                x_hat[(r, c)] = xh;
+                y[(r, c)] = self.gamma.value[(0, c)] * xh + self.beta.value[(0, c)];
+            }
+        }
+        self.cache = Some(NormCache { x_hat, inv_std });
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Mat) -> Mat {
+        let dim = self.dim();
+        match &self.cache {
+            // Eval-mode (or one-row) forward: an affine map with constants.
+            None => {
+                let mut dx = Mat::zeros(grad_out.rows(), grad_out.cols());
+                for r in 0..grad_out.rows() {
+                    for c in 0..dim {
+                        let x_hat_grad = grad_out[(r, c)] * self.gamma.value[(0, c)];
+                        dx[(r, c)] = x_hat_grad / (self.running_var[c] + EPS).sqrt();
+                        // Parameter grads still accumulate from x_hat which we
+                        // can reconstruct only in train mode; eval backward is
+                        // used for gradient flow only.
+                        self.beta.grad[(0, c)] += grad_out[(r, c)];
+                    }
+                }
+                dx
+            }
+            Some(cache) => {
+                let t = grad_out.rows() as f32;
+                let mut dx = Mat::zeros(grad_out.rows(), grad_out.cols());
+                for c in 0..dim {
+                    let gamma = self.gamma.value[(0, c)];
+                    let mut sum_dy = 0.0;
+                    let mut sum_dy_xhat = 0.0;
+                    for r in 0..grad_out.rows() {
+                        let dy = grad_out[(r, c)];
+                        sum_dy += dy;
+                        sum_dy_xhat += dy * cache.x_hat[(r, c)];
+                    }
+                    self.beta.grad[(0, c)] += sum_dy;
+                    self.gamma.grad[(0, c)] += sum_dy_xhat;
+                    for r in 0..grad_out.rows() {
+                        let dy = grad_out[(r, c)];
+                        let xh = cache.x_hat[(r, c)];
+                        dx[(r, c)] = gamma * cache.inv_std[c] / t
+                            * (t * dy - sum_dy - xh * sum_dy_xhat);
+                    }
+                }
+                dx
+            }
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn name(&self) -> &'static str {
+        "BatchNorm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients_mode;
+
+    #[test]
+    fn train_forward_normalizes_each_feature() {
+        let mut l = BatchNorm::new(2);
+        let x = Mat::from_rows(&[&[1., 10.], &[2., 20.], &[3., 30.], &[4., 40.]]);
+        let y = l.forward(&x, Mode::Train);
+        for c in 0..2 {
+            let mean: f32 = (0..4).map(|r| y[(r, c)]).sum::<f32>() / 4.0;
+            let var: f32 = (0..4).map(|r| (y[(r, c)] - mean).powi(2)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "feature {c} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "feature {c} var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_statistics() {
+        let mut l = BatchNorm::new(1);
+        let x = Mat::from_rows(&[&[4.0], &[6.0]]);
+        // Drive running stats toward the batch stats.
+        for _ in 0..200 {
+            let _ = l.forward(&x, Mode::Train);
+        }
+        let y = l.forward(&Mat::from_rows(&[&[5.0]]), Mode::Eval);
+        // 5.0 is the mean of the training data, so output ≈ β = 0.
+        assert!(y[(0, 0)].abs() < 0.1, "got {}", y[(0, 0)]);
+    }
+
+    #[test]
+    fn train_gradients_match_numerical() {
+        let mut l = BatchNorm::new(3);
+        // Fix running stats so repeated forwards during FD stay consistent:
+        // momentum 0 freezes them.
+        l.momentum = 0.0;
+        let x = Mat::from_rows(&[&[0.5, -1.0, 2.0], &[1.5, 0.0, -0.5], &[-0.7, 0.3, 0.9]]);
+        check_layer_gradients_mode(&mut l, &x, 5e-2, Mode::Train);
+    }
+
+    #[test]
+    fn single_row_window_falls_back_to_running_stats() {
+        let mut l = BatchNorm::new(2);
+        let y = l.forward(&Mat::from_rows(&[&[1.0, 2.0]]), Mode::Train);
+        assert_eq!(y.shape(), (1, 2));
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,108 @@
+//! Shape-manipulation layers: take-last and flatten.
+
+use crate::layers::{Mode, SeqLayer};
+use crate::mat::Mat;
+use crate::param::Param;
+
+/// Keeps only the last time step: `(T, F)` → `(1, F)`. This is how an LSTM
+/// stack with `return_sequences = true` is reduced before the dense head.
+#[derive(Debug, Default)]
+pub struct TakeLast {
+    in_rows: usize,
+}
+
+impl TakeLast {
+    /// Creates a take-last layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SeqLayer for TakeLast {
+    fn forward(&mut self, x: &Mat, _mode: Mode) -> Mat {
+        assert!(x.rows() > 0, "TakeLast: empty input");
+        self.in_rows = x.rows();
+        x.slice_rows(x.rows() - 1, x.rows())
+    }
+
+    fn backward(&mut self, grad_out: &Mat) -> Mat {
+        let mut dx = Mat::zeros(self.in_rows, grad_out.cols());
+        dx.row_mut(self.in_rows - 1).copy_from_slice(grad_out.row(0));
+        dx
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "TakeLast"
+    }
+}
+
+/// Flattens `(T, F)` into a single `(1, T*F)` row (row-major), as used before
+/// dense heads in the 1D-CNN error classifiers.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    in_shape: (usize, usize),
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SeqLayer for Flatten {
+    fn forward(&mut self, x: &Mat, _mode: Mode) -> Mat {
+        self.in_shape = x.shape();
+        Mat::from_vec(1, x.len(), x.as_slice().to_vec())
+    }
+
+    fn backward(&mut self, grad_out: &Mat) -> Mat {
+        let (t, f) = self.in_shape;
+        Mat::from_vec(t, f, grad_out.as_slice().to_vec())
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+
+    #[test]
+    fn take_last_keeps_final_row() {
+        let mut l = TakeLast::new();
+        let x = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(l.forward(&x, Mode::Eval), Mat::from_rows(&[&[3.0, 4.0]]));
+    }
+
+    #[test]
+    fn take_last_gradients() {
+        let mut l = TakeLast::new();
+        let x = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        check_layer_gradients(&mut l, &x, 1e-2);
+    }
+
+    #[test]
+    fn flatten_roundtrips_shape() {
+        let mut l = Flatten::new();
+        let x = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let y = l.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), (1, 4));
+        let dx = l.backward(&y);
+        assert_eq!(dx, x);
+    }
+
+    #[test]
+    fn flatten_gradients() {
+        let mut l = Flatten::new();
+        let x = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        check_layer_gradients(&mut l, &x, 1e-2);
+    }
+}

@@ -1,0 +1,161 @@
+//! Loss functions: softmax cross-entropy (optionally class-weighted).
+//!
+//! The gesture classifier is a multi-class softmax cross-entropy problem; the
+//! per-gesture error classifiers are binary, which we treat as 2-class
+//! softmax (mathematically equivalent to a sigmoid + BCE head). Class weights
+//! compensate for the heavy imbalance of erroneous vs. normal gestures
+//! (Table VII: 4–79% error rates per gesture).
+
+use crate::mat::Mat;
+
+/// Numerically stable softmax of a logit row.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+/// Softmax cross-entropy loss for a `(1, C)` logit matrix and a target class.
+///
+/// Returns `(loss, grad)` where `grad` is d loss / d logits, ready to feed to
+/// [`crate::network::Network::backward`].
+///
+/// # Panics
+///
+/// Panics if `logits` is not a single row or `target` is out of range.
+pub fn cross_entropy(logits: &Mat, target: usize) -> (f32, Mat) {
+    cross_entropy_weighted(logits, target, None)
+}
+
+/// Class-weighted softmax cross-entropy.
+///
+/// If `class_weights` is provided, both the loss and the gradient are scaled
+/// by `class_weights[target]`.
+///
+/// # Panics
+///
+/// Panics if `logits` is not a single row, `target` is out of range, or the
+/// weight vector length mismatches the class count.
+pub fn cross_entropy_weighted(
+    logits: &Mat,
+    target: usize,
+    class_weights: Option<&[f32]>,
+) -> (f32, Mat) {
+    assert_eq!(logits.rows(), 1, "cross_entropy expects a (1, C) logit row");
+    let c = logits.cols();
+    assert!(target < c, "target class {target} out of range for {c} classes");
+    if let Some(w) = class_weights {
+        assert_eq!(w.len(), c, "class_weights length mismatch");
+    }
+    let probs = softmax(logits.row(0));
+    let weight = class_weights.map_or(1.0, |w| w[target]);
+    let loss = -(probs[target].max(1e-12)).ln() * weight;
+    let mut grad = Mat::zeros(1, c);
+    for (k, &p) in probs.iter().enumerate() {
+        grad[(0, k)] = (p - if k == target { 1.0 } else { 0.0 }) * weight;
+    }
+    (loss, grad)
+}
+
+/// Inverse-frequency class weights, normalized so their mean is 1.
+///
+/// Classes absent from `labels` receive weight 0 (they cannot be sampled).
+///
+/// # Panics
+///
+/// Panics if `num_classes == 0`.
+pub fn inverse_frequency_weights(labels: &[usize], num_classes: usize) -> Vec<f32> {
+    assert!(num_classes > 0, "num_classes must be positive");
+    let mut counts = vec![0usize; num_classes];
+    for &l in labels {
+        assert!(l < num_classes, "label {l} out of range");
+        counts[l] += 1;
+    }
+    let total = labels.len() as f32;
+    let mut weights: Vec<f32> = counts
+        .iter()
+        .map(|&c| if c == 0 { 0.0 } else { total / (num_classes as f32 * c as f32) })
+        .collect();
+    let present: Vec<f32> = weights.iter().cloned().filter(|&w| w > 0.0).collect();
+    if !present.is_empty() {
+        let mean = present.iter().sum::<f32>() / present.len() as f32;
+        if mean > 0.0 {
+            for w in &mut weights {
+                *w /= mean;
+            }
+        }
+    }
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+        assert!(p.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_softmax_minus_onehot() {
+        let logits = Mat::from_rows(&[&[0.5, -0.3, 1.2]]);
+        let (_, grad) = cross_entropy(&logits, 2);
+        let p = softmax(logits.row(0));
+        assert!((grad[(0, 0)] - p[0]).abs() < 1e-6);
+        assert!((grad[(0, 2)] - (p[2] - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_numerical_gradient() {
+        let logits = Mat::from_rows(&[&[0.5, -0.3, 1.2]]);
+        let (_, grad) = cross_entropy(&logits, 1);
+        let eps = 1e-3;
+        for k in 0..3 {
+            let mut lp = logits.clone();
+            lp[(0, k)] += eps;
+            let mut lm = logits.clone();
+            lm[(0, k)] -= eps;
+            let numeric = (cross_entropy(&lp, 1).0 - cross_entropy(&lm, 1).0) / (2.0 * eps);
+            assert!((grad[(0, k)] - numeric).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn weighted_loss_scales() {
+        let logits = Mat::from_rows(&[&[0.1, 0.9]]);
+        let (l1, g1) = cross_entropy_weighted(&logits, 0, None);
+        let (l2, g2) = cross_entropy_weighted(&logits, 0, Some(&[2.0, 1.0]));
+        assert!((l2 - 2.0 * l1).abs() < 1e-6);
+        assert!((g2[(0, 0)] - 2.0 * g1[(0, 0)]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inverse_frequency_weights_balance() {
+        // 3:1 imbalance -> minority class weighted 3x majority.
+        let labels = [0, 0, 0, 1];
+        let w = inverse_frequency_weights(&labels, 2);
+        assert!((w[1] / w[0] - 3.0).abs() < 1e-5);
+        let mean = (w[0] + w[1]) / 2.0;
+        assert!((mean - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn missing_class_gets_zero_weight() {
+        let labels = [0, 0];
+        let w = inverse_frequency_weights(&labels, 3);
+        assert_eq!(w[1], 0.0);
+        assert_eq!(w[2], 0.0);
+        assert!(w[0] > 0.0);
+    }
+}

@@ -1,0 +1,310 @@
+//! Network container: an ordered stack of layers with (de)serialization.
+
+use crate::layers::{build_layer, LayerSpec, Mode, SeqLayer};
+use crate::mat::Mat;
+use crate::param::Param;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Serializable description of a network architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct NetworkSpec {
+    /// Layers applied in order.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl NetworkSpec {
+    /// Creates a spec from a list of layers.
+    pub fn new(layers: Vec<LayerSpec>) -> Self {
+        Self { layers }
+    }
+}
+
+/// A feed-forward stack of [`SeqLayer`]s built from a [`NetworkSpec`].
+///
+/// # Examples
+///
+/// ```
+/// use nn::network::{Network, NetworkSpec};
+/// use nn::layers::{LayerSpec, Mode};
+/// use nn::mat::Mat;
+///
+/// let spec = NetworkSpec::new(vec![
+///     LayerSpec::Lstm { in_dim: 4, hidden: 8, return_sequences: false },
+///     LayerSpec::Dense { in_dim: 8, out_dim: 3 },
+/// ]);
+/// let mut net = Network::new(spec, 42);
+/// let logits = net.forward(&Mat::zeros(10, 4), Mode::Eval);
+/// assert_eq!(logits.shape(), (1, 3));
+/// ```
+pub struct Network {
+    spec: NetworkSpec,
+    layers: Vec<Box<dyn SeqLayer>>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("layers", &self.layers.iter().map(|l| l.name()).collect::<Vec<_>>())
+            .field("num_params", &{
+                // visit_params requires &mut; report spec size instead.
+                self.spec.layers.len()
+            })
+            .finish()
+    }
+}
+
+/// Weight checkpoint: spec plus flattened weights in visit order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedNetwork {
+    /// The architecture.
+    pub spec: NetworkSpec,
+    /// Parameter values in [`Network::visit_params`] order.
+    pub weights: Vec<Mat>,
+}
+
+impl Network {
+    /// Builds a network from `spec`, initializing weights from `seed`.
+    pub fn new(spec: NetworkSpec, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let layers = spec.layers.iter().map(|s| build_layer(s, &mut rng)).collect();
+        Self { spec, layers }
+    }
+
+    /// The architecture this network was built from.
+    pub fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Runs the forward pass.
+    pub fn forward(&mut self, x: &Mat, mode: Mode) -> Mat {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, mode);
+        }
+        cur
+    }
+
+    /// Runs the backward pass; must follow a `forward` call. Returns the
+    /// gradient with respect to the network input.
+    pub fn backward(&mut self, grad_out: &Mat) -> Mat {
+        let mut cur = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur);
+        }
+        cur
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Visits every parameter block in a stable (layer, block) order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Total number of scalar trainable parameters.
+    pub fn num_params(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+
+    /// Convenience: forward pass in eval mode.
+    pub fn predict(&mut self, x: &Mat) -> Mat {
+        self.forward(x, Mode::Eval)
+    }
+
+    /// Copies all parameter values out (for early-stopping snapshots).
+    pub fn snapshot_weights(&mut self) -> Vec<Mat> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |p| out.push(p.value.clone()));
+        out
+    }
+
+    /// Restores parameter values from a snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot does not match the network architecture.
+    pub fn restore_weights(&mut self, weights: &[Mat]) {
+        let mut k = 0;
+        self.visit_params(&mut |p| {
+            assert!(k < weights.len(), "restore_weights: snapshot too short");
+            assert_eq!(
+                p.value.shape(),
+                weights[k].shape(),
+                "restore_weights: shape mismatch at block {k}"
+            );
+            p.value = weights[k].clone();
+            k += 1;
+        });
+        assert_eq!(k, weights.len(), "restore_weights: snapshot too long");
+    }
+
+    /// Scales all accumulated gradients by `s` (used to average over a batch).
+    pub fn scale_grads(&mut self, s: f32) {
+        self.visit_params(&mut |p| {
+            for g in p.grad.as_mut_slice() {
+                *g *= s;
+            }
+        });
+    }
+
+    /// Global L2 gradient-norm clipping; returns the pre-clip norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let mut sq = 0.0f32;
+        self.visit_params(&mut |p| {
+            sq += p.grad.as_slice().iter().map(|g| g * g).sum::<f32>();
+        });
+        let norm = sq.sqrt();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            self.scale_grads(s);
+        }
+        norm
+    }
+
+    /// Serializes architecture and weights into a [`SavedNetwork`].
+    pub fn save(&mut self) -> SavedNetwork {
+        SavedNetwork { spec: self.spec.clone(), weights: self.snapshot_weights() }
+    }
+
+    /// Rebuilds a network from a checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint weights do not match its own spec.
+    pub fn from_saved(saved: &SavedNetwork) -> Self {
+        let mut net = Network::new(saved.spec.clone(), 0);
+        net.restore_weights(&saved.weights);
+        net
+    }
+
+    /// Serializes the checkpoint to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if JSON serialization fails.
+    pub fn to_json(&mut self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(&self.save())
+    }
+
+    /// Deserializes a checkpoint from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the JSON is malformed.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let saved: SavedNetwork = serde_json::from_str(json)?;
+        Ok(Self::from_saved(&saved))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Padding;
+
+    fn small_spec() -> NetworkSpec {
+        NetworkSpec::new(vec![
+            LayerSpec::Conv1d { in_channels: 3, out_channels: 4, kernel: 3, padding: Padding::Same },
+            LayerSpec::Relu,
+            LayerSpec::GlobalMaxPool,
+            LayerSpec::Dense { in_dim: 4, out_dim: 2 },
+        ])
+    }
+
+    #[test]
+    fn forward_produces_logits() {
+        let mut net = Network::new(small_spec(), 1);
+        let y = net.forward(&Mat::full(8, 3, 0.5), Mode::Eval);
+        assert_eq!(y.shape(), (1, 2));
+    }
+
+    #[test]
+    fn seeded_construction_is_deterministic() {
+        let mut a = Network::new(small_spec(), 7);
+        let mut b = Network::new(small_spec(), 7);
+        let x = Mat::full(8, 3, 0.3);
+        assert_eq!(a.forward(&x, Mode::Eval), b.forward(&x, Mode::Eval));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Network::new(small_spec(), 7);
+        let mut b = Network::new(small_spec(), 8);
+        let x = Mat::full(8, 3, 0.3);
+        assert_ne!(a.forward(&x, Mode::Eval), b.forward(&x, Mode::Eval));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut net = Network::new(small_spec(), 3);
+        let x = Mat::full(8, 3, 0.1);
+        let before = net.forward(&x, Mode::Eval);
+        let snap = net.snapshot_weights();
+        // Perturb weights.
+        net.visit_params(&mut |p| {
+            for w in p.value.as_mut_slice() {
+                *w += 1.0;
+            }
+        });
+        assert_ne!(net.forward(&x, Mode::Eval), before);
+        net.restore_weights(&snap);
+        assert_eq!(net.forward(&x, Mode::Eval), before);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_predictions() {
+        let mut net = Network::new(small_spec(), 3);
+        let x = Mat::full(8, 3, 0.1);
+        let before = net.forward(&x, Mode::Eval);
+        let json = net.to_json().unwrap();
+        let mut restored = Network::from_json(&json).unwrap();
+        assert_eq!(restored.forward(&x, Mode::Eval), before);
+    }
+
+    #[test]
+    fn num_params_counts_all_blocks() {
+        let mut net = Network::new(
+            NetworkSpec::new(vec![LayerSpec::Dense { in_dim: 3, out_dim: 2 }]),
+            0,
+        );
+        assert_eq!(net.num_params(), 3 * 2 + 2);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        let mut net = Network::new(
+            NetworkSpec::new(vec![LayerSpec::Dense { in_dim: 2, out_dim: 2 }]),
+            0,
+        );
+        net.visit_params(&mut |p| {
+            for g in p.grad.as_mut_slice() {
+                *g = 10.0;
+            }
+        });
+        let pre = net.clip_grad_norm(1.0);
+        assert!(pre > 1.0);
+        let mut sq = 0.0;
+        net.visit_params(&mut |p| sq += p.grad.as_slice().iter().map(|g| g * g).sum::<f32>());
+        assert!((sq.sqrt() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let net = Network::new(small_spec(), 1);
+        assert!(!format!("{net:?}").is_empty());
+    }
+}

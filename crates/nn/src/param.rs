@@ -1,0 +1,61 @@
+//! Trainable parameter blocks.
+//!
+//! Every layer owns zero or more [`Param`] blocks (a value matrix plus its
+//! accumulated gradient). Optimizers walk the network's parameters in a
+//! stable order via [`crate::network::Network::visit_params`].
+
+use crate::mat::Mat;
+use serde::{Deserialize, Serialize};
+
+/// A trainable parameter: a value matrix and its gradient accumulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Current value of the parameter.
+    pub value: Mat,
+    /// Gradient accumulated by the most recent backward pass(es).
+    pub grad: Mat,
+}
+
+impl Param {
+    /// Creates a parameter from an initial value, with a zeroed gradient.
+    pub fn new(value: Mat) -> Self {
+        let grad = Mat::zeros(value.rows(), value.cols());
+        Self { value, grad }
+    }
+
+    /// Zeroes the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.as_mut_slice().fill(0.0);
+    }
+
+    /// Number of scalar parameters in this block.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether this block holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Mat::full(2, 3, 1.5));
+        assert_eq!(p.grad, Mat::zeros(2, 3));
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Mat::zeros(1, 2));
+        p.grad.as_mut_slice().fill(3.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Simulated manipulator: first-order tracking of commanded state plus a
+//! deterministic joint/motor model to populate the Raven II feature schema.
+
+use crate::plan::ArmCommand;
+use kinematics::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Number of motor channels per arm in our Raven II state schema.
+pub const MOTOR_CHANNELS: usize = 13;
+
+/// One simulated arm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Arm {
+    /// Actual end-effector position (mm).
+    pub position: Vec3,
+    /// Actual Euler orientation.
+    pub euler: (f32, f32, f32),
+    /// Actual grasper angle (rad).
+    pub grasper: f32,
+    /// Last commanded state.
+    pub command: ArmCommand,
+    /// Joint positions (synthesized from the pose).
+    pub joint_pos: [f32; MOTOR_CHANNELS],
+    /// Joint velocities.
+    pub joint_vel: [f32; MOTOR_CHANNELS],
+    /// Motor torque commands.
+    pub torque: [f32; MOTOR_CHANNELS],
+    /// Linear velocity (mm/s), finite-differenced.
+    pub linear_velocity: Vec3,
+    /// Angular velocity (rad/s), finite-differenced.
+    pub angular_velocity: Vec3,
+    /// Position-tracking time constant (s).
+    pub tau_pos: f32,
+    /// Grasper-tracking time constant (s).
+    pub tau_grasper: f32,
+}
+
+impl Arm {
+    /// Creates an arm at a starting pose.
+    pub fn new(position: Vec3) -> Self {
+        Self {
+            position,
+            euler: (0.0, 0.0, 0.0),
+            grasper: 0.6,
+            command: ArmCommand { position, grasper: 0.6, euler: (0.0, 0.0, 0.0) },
+            joint_pos: [0.0; MOTOR_CHANNELS],
+            joint_vel: [0.0; MOTOR_CHANNELS],
+            torque: [0.0; MOTOR_CHANNELS],
+            linear_velocity: Vec3::zero(),
+            angular_velocity: Vec3::zero(),
+            tau_pos: 0.05,
+            tau_grasper: 0.02,
+        }
+    }
+
+    /// Advances the arm one tick of `dt` seconds toward `cmd`.
+    pub fn step(&mut self, cmd: ArmCommand, dt: f32) {
+        self.command = cmd;
+        let alpha_pos = 1.0 - (-dt / self.tau_pos).exp();
+        let alpha_grasp = 1.0 - (-dt / self.tau_grasper).exp();
+
+        let prev_pos = self.position;
+        let prev_euler = self.euler;
+
+        self.position = self.position.lerp(cmd.position, alpha_pos);
+        self.euler = (
+            self.euler.0 + (cmd.euler.0 - self.euler.0) * alpha_pos,
+            self.euler.1 + (cmd.euler.1 - self.euler.1) * alpha_pos,
+            self.euler.2 + (cmd.euler.2 - self.euler.2) * alpha_pos,
+        );
+        self.grasper += (cmd.grasper - self.grasper) * alpha_grasp;
+
+        self.linear_velocity = (self.position - prev_pos) * (1.0 / dt);
+        self.angular_velocity = Vec3::new(
+            (self.euler.0 - prev_euler.0) / dt,
+            (self.euler.1 - prev_euler.1) / dt,
+            (self.euler.2 - prev_euler.2) / dt,
+        );
+
+        self.update_joints(dt);
+    }
+
+    /// Deterministic joint model: a fixed linear map from task space to the
+    /// 13 motor channels (enough to exercise the full feature schema; real
+    /// Raven II inverse kinematics is not needed for kinematics-level fault
+    /// injection).
+    fn update_joints(&mut self, dt: f32) {
+        let p = self.position;
+        let basis = [
+            p.x * 0.01,
+            p.y * 0.01,
+            p.z * 0.01,
+            self.euler.0,
+            self.euler.1,
+            self.euler.2,
+            self.grasper,
+        ];
+        for k in 0..MOTOR_CHANNELS {
+            let prev = self.joint_pos[k];
+            // Mix the basis with channel-specific fixed weights.
+            let mut v = 0.0f32;
+            for (i, b) in basis.iter().enumerate() {
+                let w = (((k * 7 + i * 3 + 1) % 11) as f32 - 5.0) / 5.0;
+                v += w * b;
+            }
+            self.joint_pos[k] = v;
+            self.joint_vel[k] = (v - prev) / dt;
+            self.torque[k] = 0.6 * self.joint_vel[k] + 0.1 * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(pos: Vec3, grasper: f32) -> ArmCommand {
+        ArmCommand { position: pos, grasper, euler: (0.0, 0.0, 0.0) }
+    }
+
+    #[test]
+    fn arm_converges_to_command() {
+        let mut arm = Arm::new(Vec3::zero());
+        let target = Vec3::new(10.0, -5.0, 3.0);
+        for _ in 0..200 {
+            arm.step(cmd(target, 0.9), 0.01);
+        }
+        assert!(arm.position.distance(target) < 0.1);
+        assert!((arm.grasper - 0.9).abs() < 0.01);
+    }
+
+    #[test]
+    fn grasper_tracks_faster_than_position() {
+        let mut arm = Arm::new(Vec3::zero());
+        arm.step(cmd(Vec3::new(100.0, 0.0, 0.0), 1.2), 0.01);
+        let pos_frac = arm.position.x / 100.0;
+        let grasp_frac = (arm.grasper - 0.6) / (1.2 - 0.6);
+        assert!(grasp_frac > pos_frac);
+    }
+
+    #[test]
+    fn velocities_are_finite_differences() {
+        let mut arm = Arm::new(Vec3::zero());
+        arm.step(cmd(Vec3::new(10.0, 0.0, 0.0), 0.6), 0.01);
+        let expect = arm.position.x / 0.01;
+        assert!((arm.linear_velocity.x - expect).abs() < 1e-3);
+    }
+
+    #[test]
+    fn joint_channels_respond_to_motion() {
+        let mut arm = Arm::new(Vec3::zero());
+        arm.step(cmd(Vec3::new(50.0, 20.0, -10.0), 1.0), 0.01);
+        assert!(arm.joint_pos.iter().any(|&j| j.abs() > 1e-3));
+        assert!(arm.torque.iter().any(|&t| t.abs() > 1e-5));
+    }
+
+    #[test]
+    fn stationary_arm_has_zero_velocity() {
+        let mut arm = Arm::new(Vec3::new(1.0, 2.0, 3.0));
+        for _ in 0..50 {
+            arm.step(cmd(Vec3::new(1.0, 2.0, 3.0), 0.6), 0.01);
+        }
+        assert!(arm.linear_velocity.norm() < 1e-3);
+    }
+}

@@ -1,0 +1,110 @@
+//! The 277-feature Raven II state vector (§IV-B: "The kinematics data from
+//! the simulator consisted of 277 features (including the 19 variables
+//! available from the JIGSAWS dataset)").
+//!
+//! Composition (documented in DESIGN.md):
+//!
+//! * 5 global fields: runlevel, sublevel, packet sequence, dt, progress
+//! * per arm (×2, 136 each):
+//!   * commanded position (3) + actual position (3)
+//!   * commanded rotation matrix (9) + actual rotation matrix (9)
+//!   * commanded grasper (1) + actual grasper (1)
+//!   * linear velocity (3) + angular velocity (3)
+//!   * 8 motor-channel blocks of 13: joint pos, joint vel, joint cmd,
+//!     motor pos, motor vel, motor cmd, torque, encoder
+
+use crate::arm::{Arm, MOTOR_CHANNELS};
+use kinematics::Mat3;
+
+/// Total feature count, matching the paper's logged schema width.
+pub const RAVEN_FEATURES: usize = 277;
+
+const GLOBALS: usize = 5;
+const PER_ARM: usize = 3 + 3 + 9 + 9 + 1 + 1 + 3 + 3 + 8 * MOTOR_CHANNELS;
+
+// Compile-time consistency check of the documented composition.
+const _: () = assert!(GLOBALS + 2 * PER_ARM == RAVEN_FEATURES);
+
+/// Flattens the simulator state into the 277-feature row.
+pub fn flatten(tick: usize, dt: f32, progress: f32, arms: &[Arm; 2]) -> Vec<f32> {
+    let mut row = Vec::with_capacity(RAVEN_FEATURES);
+    // Globals.
+    row.push(3.0); // runlevel: pedal down
+    row.push(0.0); // sublevel
+    row.push(tick as f32); // packet sequence number
+    row.push(dt);
+    row.push(progress);
+
+    for arm in arms {
+        row.extend_from_slice(&arm.command.position.to_array());
+        row.extend_from_slice(&arm.position.to_array());
+        let rot_cmd =
+            Mat3::from_euler(arm.command.euler.0, arm.command.euler.1, arm.command.euler.2);
+        row.extend_from_slice(&rot_cmd.m);
+        let rot_act = Mat3::from_euler(arm.euler.0, arm.euler.1, arm.euler.2);
+        row.extend_from_slice(&rot_act.m);
+        row.push(arm.command.grasper);
+        row.push(arm.grasper);
+        row.extend_from_slice(&arm.linear_velocity.to_array());
+        row.extend_from_slice(&arm.angular_velocity.to_array());
+
+        // Motor-channel blocks.
+        row.extend_from_slice(&arm.joint_pos);
+        row.extend_from_slice(&arm.joint_vel);
+        // Joint command: position channels scaled from the commanded pose.
+        for k in 0..MOTOR_CHANNELS {
+            row.push(arm.joint_pos[k] + 0.1 * (arm.command.grasper - arm.grasper));
+        }
+        // Motor pos/vel: gear ratio 12.
+        for k in 0..MOTOR_CHANNELS {
+            row.push(arm.joint_pos[k] * 12.0);
+        }
+        for k in 0..MOTOR_CHANNELS {
+            row.push(arm.joint_vel[k] * 12.0);
+        }
+        for k in 0..MOTOR_CHANNELS {
+            row.push(arm.joint_pos[k] * 12.0 + 0.05 * arm.torque[k]);
+        }
+        row.extend_from_slice(&arm.torque);
+        // Encoder counts.
+        for k in 0..MOTOR_CHANNELS {
+            row.push((arm.joint_pos[k] * 12.0 * 4096.0 / std::f32::consts::TAU).round());
+        }
+    }
+    debug_assert_eq!(row.len(), RAVEN_FEATURES);
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kinematics::Vec3;
+
+    #[test]
+    fn row_has_exactly_277_features() {
+        let arms = [Arm::new(Vec3::zero()), Arm::new(Vec3::new(1.0, 2.0, 3.0))];
+        let row = flatten(42, 0.01, 0.5, &arms);
+        assert_eq!(row.len(), RAVEN_FEATURES);
+    }
+
+    #[test]
+    fn globals_are_first() {
+        let arms = [Arm::new(Vec3::zero()), Arm::new(Vec3::zero())];
+        let row = flatten(7, 0.01, 0.25, &arms);
+        assert_eq!(row[2], 7.0); // sequence
+        assert_eq!(row[3], 0.01); // dt
+        assert_eq!(row[4], 0.25); // progress
+    }
+
+    #[test]
+    fn jigsaws_subset_is_present() {
+        // Actual position of arm 0 lives at offset 5 + 3.
+        let mut arm0 = Arm::new(Vec3::new(9.0, 8.0, 7.0));
+        arm0.grasper = 0.33;
+        let arms = [arm0, Arm::new(Vec3::zero())];
+        let row = flatten(0, 0.01, 0.0, &arms);
+        assert_eq!(&row[8..11], &[9.0, 8.0, 7.0]);
+        // Actual grasper of arm 0 at 5 + 3 + 3 + 9 + 9 + 1.
+        assert_eq!(row[30], 0.33);
+    }
+}

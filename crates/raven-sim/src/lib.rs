@@ -1,0 +1,36 @@
+//! # `raven-sim` — a Raven II-like surgical robot simulator
+//!
+//! Pure-Rust replacement for the paper's ROS Gazebo + Raven II control
+//! software stack (§IV-B): two first-order-controlled manipulators, a
+//! block-and-receptacle world with grasp/slip/fall physics, a scripted
+//! Block Transfer plan following the Fig. 3b gesture sequence, and a
+//! 277-feature state log matching the paper's schema width.
+//!
+//! Faults are injected through the [`sim::CommandFilter`] hook, which
+//! perturbs the commanded kinematic state variables exactly as the paper's
+//! software fault injector perturbs trajectory packets.
+//!
+//! ```
+//! use raven_sim::{run_block_transfer, NoFaults, SimConfig};
+//!
+//! let trial = run_block_transfer(&SimConfig::fast(7), &mut NoFaults);
+//! assert!(trial.outcome.success);
+//! assert_eq!(trial.features[0].len(), raven_sim::RAVEN_FEATURES);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arm;
+pub mod features;
+pub mod plan;
+pub mod sim;
+pub mod world;
+
+pub use arm::Arm;
+pub use features::RAVEN_FEATURES;
+pub use plan::{ArmCommand, BlockTransferPlan, Commands};
+pub use sim::{
+    classify_outcome, run_block_transfer, CommandFilter, FailureMode, NoFaults, SimConfig, Trial,
+    TrialOutcome,
+};
+pub use world::{layout, BlockState, GraspPhysics, World, WorldEvent};

@@ -1,0 +1,220 @@
+//! Scripted Block Transfer motion plan.
+//!
+//! The plan plays the role of the paper's "surgeon's commands during
+//! tele-operation or output from motion planning algorithms in autonomous
+//! mode" (§IV-B): a gesture-segmented stream of commanded end-effector
+//! positions and grasper angles following the Fig. 3b sequence
+//! G2 → G12 → G6 → G5 → G11.
+
+use crate::world::layout;
+use gestures::Gesture;
+use kinematics::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Commanded state for one arm at one tick: exactly the kinematic state
+/// variables the fault injector perturbs (Cartesian position and grasper
+/// angle, §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArmCommand {
+    /// Desired end-effector position (mm).
+    pub position: Vec3,
+    /// Desired grasper angle (rad).
+    pub grasper: f32,
+    /// Desired orientation as intrinsic XYZ Euler angles.
+    pub euler: (f32, f32, f32),
+}
+
+/// Commands for both arms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Commands {
+    /// Left (0) and right (1) arm commands.
+    pub arms: [ArmCommand; 2],
+}
+
+/// Grasper command constants.
+pub const GRASPER_OPEN_CMD: f32 = 1.2;
+/// Closed/holding grasper command.
+pub const GRASPER_CLOSED_CMD: f32 = 0.12;
+
+/// Normalized trajectory landmarks (fractions of total duration).
+pub mod schedule {
+    /// G2: approach + grasp the block.
+    pub const G2_END: f32 = 0.20;
+    /// G12: left-arm support reach.
+    pub const G12_END: f32 = 0.32;
+    /// G6: carry toward the center.
+    pub const G6_END: f32 = 0.52;
+    /// G5: carry to above the receptacle.
+    pub const G5_END: f32 = 0.80;
+    /// Within G2: when the grasper closes on the block.
+    pub const GRASP_AT: f32 = 0.14;
+    /// Within G11: when the grasper opens to release the block.
+    pub const RELEASE_AT: f32 = 0.85;
+    /// When the grasper closes again after the drop.
+    pub const REGRIP_AT: f32 = 0.95;
+    /// Expected landing window used to classify failure modes
+    /// (drop-too-early vs. drop-too-late/never): fault-free trials land in
+    /// this progress range. Kept tight so releases delayed past the fault
+    /// window (e.g. a grasper pinned low until 90% of the trajectory)
+    /// classify as dropoff failures, matching the §IV-B semantics.
+    pub const LANDING_WINDOW: (f32, f32) = (0.82, 0.90);
+}
+
+/// The scripted Block Transfer plan.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BlockTransferPlan;
+
+impl BlockTransferPlan {
+    /// The gesture active at normalized progress `p ∈ [0, 1]`.
+    pub fn gesture(self, p: f32) -> Gesture {
+        use schedule::*;
+        if p < G2_END {
+            Gesture::G2
+        } else if p < G12_END {
+            Gesture::G12
+        } else if p < G6_END {
+            Gesture::G6
+        } else if p < G5_END {
+            Gesture::G5
+        } else {
+            Gesture::G11
+        }
+    }
+
+    /// Commanded arm states at progress `p`.
+    pub fn commands(self, p: f32) -> Commands {
+        use schedule::*;
+        let p = p.clamp(0.0, 1.0);
+
+        // Right arm (index 1) does the transfer.
+        let right_start = Vec3::new(40.0, 0.0, 25.0);
+        let above_block = layout::BLOCK_START + Vec3::new(0.0, 0.0, 10.0);
+        let at_block = layout::BLOCK_START + Vec3::new(0.0, 0.0, 3.0);
+        let center = Vec3::new(0.0, 0.0, 18.0);
+        let above_receptacle = layout::RECEPTACLE + Vec3::new(0.0, 0.0, 14.0);
+        let endpoint = Vec3::new(-62.0, 42.0, 24.0);
+
+        let right_pos = if p < G2_END {
+            // Approach: first over the block, then descend.
+            let s = p / G2_END;
+            if s < 0.6 {
+                lerp(right_start, above_block, smooth(s / 0.6))
+            } else {
+                lerp(above_block, at_block, smooth((s - 0.6) / 0.4))
+            }
+        } else if p < G12_END {
+            at_block
+        } else if p < G6_END {
+            lerp(at_block, center, smooth((p - G12_END) / (G6_END - G12_END)))
+        } else if p < G5_END {
+            lerp(center, above_receptacle, smooth((p - G6_END) / (G5_END - G6_END)))
+        } else if p < RELEASE_AT {
+            above_receptacle
+        } else {
+            lerp(above_receptacle, endpoint, smooth((p - RELEASE_AT) / (1.0 - RELEASE_AT)))
+        };
+
+        let right_grasper = if p < GRASP_AT {
+            GRASPER_OPEN_CMD
+        } else if p < RELEASE_AT {
+            GRASPER_CLOSED_CMD
+        } else if p < REGRIP_AT {
+            GRASPER_OPEN_CMD
+        } else {
+            GRASPER_CLOSED_CMD * 3.0
+        };
+
+        // Left arm (index 0): support reach during G12, then hold.
+        let left_start = Vec3::new(-40.0, 0.0, 25.0);
+        let left_support = Vec3::new(15.0, -10.0, 18.0);
+        let left_pos = if p < G2_END {
+            left_start
+        } else if p < G12_END {
+            lerp(left_start, left_support, smooth((p - G2_END) / (G12_END - G2_END)))
+        } else {
+            left_support
+        };
+
+        let right_euler = (0.0, 0.1 * (p * std::f32::consts::PI).sin(), 0.2 * p);
+        let left_euler = (0.0, 0.0, -0.1 * p);
+
+        Commands {
+            arms: [
+                ArmCommand { position: left_pos, grasper: 0.6, euler: left_euler },
+                ArmCommand { position: right_pos, grasper: right_grasper, euler: right_euler },
+            ],
+        }
+    }
+}
+
+fn lerp(a: Vec3, b: Vec3, t: f32) -> Vec3 {
+    a.lerp(b, t)
+}
+
+fn smooth(s: f32) -> f32 {
+    let s = s.clamp(0.0, 1.0);
+    s * s * (3.0 - 2.0 * s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gesture_sequence_matches_fig3b() {
+        let plan = BlockTransferPlan;
+        let seq: Vec<Gesture> = (0..100)
+            .map(|i| plan.gesture(i as f32 / 99.0))
+            .collect();
+        let mut collapsed = Vec::new();
+        for g in seq {
+            if collapsed.last() != Some(&g) {
+                collapsed.push(g);
+            }
+        }
+        assert_eq!(
+            collapsed,
+            vec![Gesture::G2, Gesture::G12, Gesture::G6, Gesture::G5, Gesture::G11]
+        );
+    }
+
+    #[test]
+    fn grasper_closes_on_block_and_opens_at_release() {
+        let plan = BlockTransferPlan;
+        assert_eq!(plan.commands(0.05).arms[1].grasper, GRASPER_OPEN_CMD);
+        assert_eq!(plan.commands(0.5).arms[1].grasper, GRASPER_CLOSED_CMD);
+        assert_eq!(plan.commands(0.88).arms[1].grasper, GRASPER_OPEN_CMD);
+    }
+
+    #[test]
+    fn right_arm_reaches_block_then_receptacle() {
+        let plan = BlockTransferPlan;
+        let at_grasp = plan.commands(schedule::G2_END).arms[1].position;
+        assert!(at_grasp.distance(layout::BLOCK_START) < 6.0, "grasp pos {at_grasp:?}");
+        let at_release = plan.commands(0.84).arms[1].position;
+        let dx = at_release.x - layout::RECEPTACLE.x;
+        let dy = at_release.y - layout::RECEPTACLE.y;
+        assert!((dx * dx + dy * dy).sqrt() < 5.0, "release pos {at_release:?}");
+    }
+
+    #[test]
+    fn commands_are_continuous() {
+        let plan = BlockTransferPlan;
+        let n = 400;
+        for i in 1..n {
+            let a = plan.commands((i - 1) as f32 / (n - 1) as f32);
+            let b = plan.commands(i as f32 / (n - 1) as f32);
+            for arm in 0..2 {
+                let step = a.arms[arm].position.distance(b.arms[arm].position);
+                assert!(step < 3.0, "command jump {step} at step {i} arm {arm}");
+            }
+        }
+    }
+
+    #[test]
+    fn progress_is_clamped() {
+        let plan = BlockTransferPlan;
+        assert_eq!(plan.commands(-0.5), plan.commands(0.0));
+        assert_eq!(plan.commands(1.5), plan.commands(1.0));
+    }
+}

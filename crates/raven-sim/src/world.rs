@@ -1,0 +1,318 @@
+//! The Block Transfer world: a block, a receptacle, and grasp/fall physics.
+//!
+//! Mirrors the paper's Gazebo dry-lab world (§IV-B, Fig. 6): "the left and
+//! right robot manipulators, grasper instruments, and the standard objects
+//! in the Block Transfer task, including a block and a receptacle where the
+//! block should be dropped."
+
+use kinematics::Vec3;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Workspace landmarks (mm).
+pub mod layout {
+    use kinematics::Vec3;
+
+    /// Initial block position (on the table, z = 0).
+    pub const BLOCK_START: Vec3 = Vec3 { x: 50.0, y: -30.0, z: 0.0 };
+    /// Receptacle center.
+    pub const RECEPTACLE: Vec3 = Vec3 { x: -50.0, y: 30.0, z: 0.0 };
+    /// Receptacle radius (mm): landings within this distance count as "in".
+    pub const RECEPTACLE_RADIUS: f32 = 15.0;
+    /// Table height (mm); the block rests and lands at this z.
+    pub const TABLE_Z: f32 = 0.0;
+    /// Distance within which a closed grasper picks up the block.
+    pub const GRASP_RADIUS: f32 = 12.0;
+}
+
+/// Physical thresholds, jittered per trial to model contact variability
+/// (this is what turns Table III's threshold bands into probabilistic
+/// failure rates).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GraspPhysics {
+    /// Grasper angle below which a nearby block is grasped.
+    pub grasp_close: f32,
+    /// Angle above which a held block slips out.
+    pub hold_max: f32,
+    /// Gravity (mm/s²).
+    pub gravity: f32,
+}
+
+impl Default for GraspPhysics {
+    fn default() -> Self {
+        Self { grasp_close: 0.35, hold_max: 0.925, gravity: 9810.0 }
+    }
+}
+
+impl GraspPhysics {
+    /// Samples per-trial thresholds around the defaults (σ = 0.06 rad on the
+    /// slip threshold).
+    pub fn jittered(rng: &mut impl Rng) -> Self {
+        let base = Self::default();
+        let jitter = |rng: &mut dyn rand::RngCore, std: f32| {
+            // Box-Muller.
+            let u1: f32 = rng.gen_range(1e-7..1.0f32);
+            let u2: f32 = rng.gen_range(0.0..1.0f32);
+            std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+        };
+        Self {
+            grasp_close: (base.grasp_close + jitter(rng, 0.03)).clamp(0.2, 0.5),
+            hold_max: (base.hold_max + jitter(rng, 0.10)).clamp(0.6, 1.25),
+            gravity: base.gravity,
+        }
+    }
+}
+
+/// A world event with its tick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WorldEvent {
+    /// The block was grasped by the arm with this index.
+    Grasped {
+        /// Simulation tick.
+        tick: usize,
+        /// Arm index.
+        arm: usize,
+    },
+    /// The block left the grasper (intentional release or slip).
+    Released {
+        /// Simulation tick.
+        tick: usize,
+        /// Grasper angle at release.
+        grasper_angle: f32,
+    },
+    /// The block reached the table.
+    Landed {
+        /// Simulation tick.
+        tick: usize,
+        /// Landing position.
+        position: Vec3,
+        /// Whether the landing is inside the receptacle.
+        in_receptacle: bool,
+    },
+}
+
+impl WorldEvent {
+    /// The event's tick.
+    pub fn tick(&self) -> usize {
+        match *self {
+            WorldEvent::Grasped { tick, .. }
+            | WorldEvent::Released { tick, .. }
+            | WorldEvent::Landed { tick, .. } => tick,
+        }
+    }
+}
+
+/// Block state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BlockState {
+    /// Resting on the table (initial state, and after landing).
+    Resting,
+    /// Held by the arm with this index.
+    Held(usize),
+    /// In free fall with this vertical velocity (mm/s, negative = down).
+    Falling(f32),
+}
+
+/// The simulated world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct World {
+    /// Current block position.
+    pub block_position: Vec3,
+    /// Block state.
+    pub block_state: BlockState,
+    /// Whether the block has landed after being carried (terminal).
+    pub landed: Option<WorldEvent>,
+    /// Physics thresholds for this trial.
+    pub physics: GraspPhysics,
+    events: Vec<WorldEvent>,
+}
+
+impl World {
+    /// Creates a world with the block at its start position.
+    pub fn new(physics: GraspPhysics) -> Self {
+        Self {
+            block_position: layout::BLOCK_START,
+            block_state: BlockState::Resting,
+            landed: None,
+            physics,
+            events: Vec::new(),
+        }
+    }
+
+    /// All events so far, in order.
+    pub fn events(&self) -> &[WorldEvent] {
+        &self.events
+    }
+
+    /// Whether the block is currently held.
+    pub fn is_held(&self) -> bool {
+        matches!(self.block_state, BlockState::Held(_))
+    }
+
+    /// Advances the world by one tick given each arm's end-effector position
+    /// and grasper angle.
+    pub fn step(&mut self, tick: usize, dt: f32, arms: &[(Vec3, f32)]) {
+        match self.block_state {
+            BlockState::Resting => {
+                if self.landed.is_some() {
+                    return; // terminal: block stays where it landed
+                }
+                // Grasp check: any close, closed grasper picks up the block.
+                for (i, &(pos, angle)) in arms.iter().enumerate() {
+                    if angle <= self.physics.grasp_close
+                        && pos.distance(self.block_position) <= layout::GRASP_RADIUS
+                    {
+                        self.block_state = BlockState::Held(i);
+                        self.events.push(WorldEvent::Grasped { tick, arm: i });
+                        break;
+                    }
+                }
+            }
+            BlockState::Held(arm) => {
+                let (pos, angle) = arms[arm];
+                // Block hangs just below the grasper.
+                self.block_position = pos + Vec3::new(0.0, 0.0, -4.0);
+                if angle >= self.physics.hold_max {
+                    self.block_state = BlockState::Falling(0.0);
+                    self.events.push(WorldEvent::Released { tick, grasper_angle: angle });
+                }
+            }
+            BlockState::Falling(vz) => {
+                let vz = vz - self.physics.gravity * dt;
+                self.block_position.z += vz * dt;
+                if self.block_position.z <= layout::TABLE_Z {
+                    self.block_position.z = layout::TABLE_Z;
+                    let in_receptacle = self.in_receptacle(self.block_position);
+                    let ev = WorldEvent::Landed { tick, position: self.block_position, in_receptacle };
+                    self.landed = Some(ev);
+                    self.events.push(ev);
+                    self.block_state = BlockState::Resting;
+                } else {
+                    self.block_state = BlockState::Falling(vz);
+                }
+            }
+        }
+    }
+
+    /// Whether an xy-position is inside the receptacle.
+    pub fn in_receptacle(&self, p: Vec3) -> bool {
+        let dx = p.x - layout::RECEPTACLE.x;
+        let dy = p.y - layout::RECEPTACLE.y;
+        (dx * dx + dy * dy).sqrt() <= layout::RECEPTACLE_RADIUS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    const DT: f32 = 0.01;
+
+    fn world() -> World {
+        World::new(GraspPhysics::default())
+    }
+
+    #[test]
+    fn block_is_grasped_by_nearby_closed_grasper() {
+        let mut w = world();
+        let near = layout::BLOCK_START + Vec3::new(2.0, 0.0, 3.0);
+        w.step(0, DT, &[(Vec3::zero(), 1.2), (near, 0.1)]);
+        assert_eq!(w.block_state, BlockState::Held(1));
+        assert!(matches!(w.events()[0], WorldEvent::Grasped { arm: 1, .. }));
+    }
+
+    #[test]
+    fn open_grasper_does_not_grasp() {
+        let mut w = world();
+        let near = layout::BLOCK_START + Vec3::new(2.0, 0.0, 3.0);
+        w.step(0, DT, &[(Vec3::zero(), 1.2), (near, 1.0)]);
+        assert_eq!(w.block_state, BlockState::Resting);
+    }
+
+    #[test]
+    fn far_grasper_does_not_grasp() {
+        let mut w = world();
+        let far = layout::BLOCK_START + Vec3::new(50.0, 0.0, 0.0);
+        w.step(0, DT, &[(Vec3::zero(), 1.2), (far, 0.1)]);
+        assert_eq!(w.block_state, BlockState::Resting);
+    }
+
+    #[test]
+    fn held_block_follows_arm_and_slips_at_high_angle() {
+        let mut w = world();
+        let mut pos = layout::BLOCK_START + Vec3::new(0.0, 0.0, 3.0);
+        w.step(0, DT, &[(Vec3::zero(), 1.2), (pos, 0.1)]);
+        assert!(w.is_held());
+        pos = pos + Vec3::new(-10.0, 5.0, 10.0);
+        w.step(1, DT, &[(Vec3::zero(), 1.2), (pos, 0.1)]);
+        assert!(w.block_position.distance(pos) < 5.0);
+        // Open past hold_max: slips.
+        w.step(2, DT, &[(Vec3::zero(), 1.2), (pos, 1.1)]);
+        assert!(matches!(w.block_state, BlockState::Falling(_)));
+    }
+
+    #[test]
+    fn falling_block_lands_on_table() {
+        let mut w = world();
+        w.block_position = Vec3::new(layout::RECEPTACLE.x, layout::RECEPTACLE.y, 30.0);
+        w.block_state = BlockState::Falling(0.0);
+        let arms = [(Vec3::zero(), 1.2), (Vec3::zero(), 1.2)];
+        for t in 0..1000 {
+            w.step(t, DT, &arms);
+            if w.landed.is_some() {
+                break;
+            }
+        }
+        let landed = w.landed.expect("block should land");
+        match landed {
+            WorldEvent::Landed { in_receptacle, position, .. } => {
+                assert!(in_receptacle);
+                assert_eq!(position.z, layout::TABLE_Z);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn landing_outside_receptacle_is_flagged() {
+        let mut w = world();
+        w.block_position = Vec3::new(0.0, 0.0, 20.0);
+        w.block_state = BlockState::Falling(0.0);
+        let arms = [(Vec3::zero(), 1.2), (Vec3::zero(), 1.2)];
+        for t in 0..1000 {
+            w.step(t, DT, &arms);
+        }
+        match w.landed.expect("landed") {
+            WorldEvent::Landed { in_receptacle, .. } => assert!(!in_receptacle),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jittered_physics_vary_but_stay_sane() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let a = GraspPhysics::jittered(&mut rng);
+        let b = GraspPhysics::jittered(&mut rng);
+        assert_ne!(a.hold_max, b.hold_max);
+        for p in [a, b] {
+            assert!((0.6..=1.25).contains(&p.hold_max));
+            assert!((0.2..=0.5).contains(&p.grasp_close));
+        }
+    }
+
+    #[test]
+    fn landed_block_cannot_be_regrasped() {
+        let mut w = world();
+        w.landed = Some(WorldEvent::Landed {
+            tick: 0,
+            position: w.block_position,
+            in_receptacle: false,
+        });
+        let near = w.block_position + Vec3::new(0.0, 0.0, 2.0);
+        w.step(1, DT, &[(near, 0.1), (Vec3::zero(), 1.2)]);
+        assert_eq!(w.block_state, BlockState::Resting);
+        assert_eq!(w.events().len(), 1.min(w.events().len()));
+    }
+}

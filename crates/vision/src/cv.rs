@@ -1,0 +1,190 @@
+//! Classic computer-vision operations: thresholding, connected components
+//! (contours), centroids — the marker-based detection pipeline of §IV-B
+//! ("we applied the same HSV threshold, followed by contour detection to
+//! detect the contour of the block and track its centroid").
+
+use crate::frame::Frame;
+use serde::{Deserialize, Serialize};
+
+/// A binary mask produced by thresholding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mask {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major boolean pixels.
+    pub pixels: Vec<bool>,
+}
+
+impl Mask {
+    /// Number of set pixels.
+    pub fn area(&self) -> usize {
+        self.pixels.iter().filter(|&&p| p).count()
+    }
+}
+
+/// Thresholds a grayscale frame: pixels with intensity `>= min` are set.
+/// (The intensity analog of the paper's HSV color threshold.)
+pub fn threshold(frame: &Frame, min: u8) -> Mask {
+    Mask {
+        width: frame.width(),
+        height: frame.height(),
+        pixels: frame.bytes().iter().map(|&p| p >= min).collect(),
+    }
+}
+
+/// A connected component (contour region) of a binary mask.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Component {
+    /// Number of pixels.
+    pub area: usize,
+    /// Centroid in pixel coordinates.
+    pub centroid: (f32, f32),
+    /// Bounding box `(x0, y0, x1, y1)`, inclusive.
+    pub bbox: (usize, usize, usize, usize),
+}
+
+/// Finds 4-connected components of a mask, largest first.
+pub fn connected_components(mask: &Mask) -> Vec<Component> {
+    let (w, h) = (mask.width, mask.height);
+    let mut visited = vec![false; w * h];
+    let mut out = Vec::new();
+    let mut stack = Vec::new();
+
+    for start in 0..w * h {
+        if !mask.pixels[start] || visited[start] {
+            continue;
+        }
+        // Flood fill.
+        let mut area = 0usize;
+        let mut sum = (0.0f64, 0.0f64);
+        let mut bbox = (usize::MAX, usize::MAX, 0usize, 0usize);
+        stack.push(start);
+        visited[start] = true;
+        while let Some(i) = stack.pop() {
+            let (x, y) = (i % w, i / w);
+            area += 1;
+            sum.0 += x as f64;
+            sum.1 += y as f64;
+            bbox.0 = bbox.0.min(x);
+            bbox.1 = bbox.1.min(y);
+            bbox.2 = bbox.2.max(x);
+            bbox.3 = bbox.3.max(y);
+            let mut push = |nx: usize, ny: usize| {
+                let ni = ny * w + nx;
+                if mask.pixels[ni] && !visited[ni] {
+                    visited[ni] = true;
+                    stack.push(ni);
+                }
+            };
+            if x > 0 {
+                push(x - 1, y);
+            }
+            if x + 1 < w {
+                push(x + 1, y);
+            }
+            if y > 0 {
+                push(x, y - 1);
+            }
+            if y + 1 < h {
+                push(x, y + 1);
+            }
+        }
+        out.push(Component {
+            area,
+            centroid: ((sum.0 / area as f64) as f32, (sum.1 / area as f64) as f32),
+            bbox,
+        });
+    }
+    out.sort_by_key(|c| std::cmp::Reverse(c.area));
+    out
+}
+
+/// Centroid of the largest bright component (the block tracker). `None`
+/// when the threshold leaves nothing.
+pub fn track_brightest(frame: &Frame, min: u8) -> Option<(f32, f32)> {
+    let mask = threshold(frame, min);
+    connected_components(&mask).first().map(|c| c.centroid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Frame;
+
+    fn frame_with_square(w: usize, h: usize, x0: usize, y0: usize, side: usize) -> Frame {
+        let mut data = vec![0u8; w * h];
+        for y in y0..y0 + side {
+            for x in x0..x0 + side {
+                data[y * w + x] = 255;
+            }
+        }
+        Frame::new(w, h, data)
+    }
+
+    #[test]
+    fn threshold_selects_bright_pixels() {
+        let f = frame_with_square(8, 8, 2, 2, 3);
+        let m = threshold(&f, 128);
+        assert_eq!(m.area(), 9);
+    }
+
+    #[test]
+    fn single_component_centroid_is_square_center() {
+        let f = frame_with_square(16, 16, 4, 6, 4);
+        let comps = connected_components(&threshold(&f, 128));
+        assert_eq!(comps.len(), 1);
+        let c = &comps[0];
+        assert_eq!(c.area, 16);
+        assert!((c.centroid.0 - 5.5).abs() < 1e-4);
+        assert!((c.centroid.1 - 7.5).abs() < 1e-4);
+        assert_eq!(c.bbox, (4, 6, 7, 9));
+    }
+
+    #[test]
+    fn two_separate_squares_give_two_components() {
+        let mut data = vec![0u8; 16 * 16];
+        for (x0, y0) in [(1usize, 1usize), (10, 10)] {
+            for y in y0..y0 + 2 {
+                for x in x0..x0 + 2 {
+                    data[y * 16 + x] = 200;
+                }
+            }
+        }
+        let f = Frame::new(16, 16, data);
+        let comps = connected_components(&threshold(&f, 128));
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn components_sorted_by_area() {
+        let mut data = vec![0u8; 16 * 16];
+        for y in 0..3 {
+            for x in 0..3 {
+                data[y * 16 + x] = 200;
+            }
+        }
+        data[15 * 16 + 15] = 200;
+        let f = Frame::new(16, 16, data);
+        let comps = connected_components(&threshold(&f, 128));
+        assert_eq!(comps[0].area, 9);
+        assert_eq!(comps[1].area, 1);
+    }
+
+    #[test]
+    fn track_brightest_returns_none_on_dark_frame() {
+        let f = Frame::new(8, 8, vec![5; 64]);
+        assert_eq!(track_brightest(&f, 128), None);
+    }
+
+    #[test]
+    fn diagonal_pixels_are_not_connected() {
+        let mut data = vec![0u8; 4 * 4];
+        data[0] = 255; // (0,0)
+        data[5] = 255; // (1,1) — diagonal neighbour
+        let f = Frame::new(4, 4, data);
+        let comps = connected_components(&threshold(&f, 128));
+        assert_eq!(comps.len(), 2, "4-connectivity must split diagonals");
+    }
+}

@@ -1,0 +1,194 @@
+//! Grayscale frames and the virtual camera.
+//!
+//! Replaces the paper's Gazebo virtual camera (§IV-B: video logged at 30 fps
+//! alongside 1 kHz kinematics). The camera renders a side view (world x–z
+//! plane) so block falls are visible, which is what the SSIM-based
+//! block-drop detector needs.
+
+use bytes::Bytes;
+use kinematics::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// An 8-bit grayscale frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    width: usize,
+    height: usize,
+    data: Bytes,
+}
+
+impl Frame {
+    /// Creates a frame from raw bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height`.
+    pub fn new(width: usize, height: usize, data: Vec<u8>) -> Self {
+        assert_eq!(data.len(), width * height, "frame size mismatch");
+        Self { width, height, data: Bytes::from(data) }
+    }
+
+    /// Frame width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel intensity at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.data[y * self.width + x]
+    }
+
+    /// Raw bytes, row-major.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Render intensities.
+pub mod palette {
+    /// Background.
+    pub const BACKGROUND: u8 = 10;
+    /// Table surface line.
+    pub const TABLE: u8 = 40;
+    /// Receptacle walls.
+    pub const RECEPTACLE: u8 = 90;
+    /// Manipulator end-effectors.
+    pub const ARM: u8 = 60;
+    /// The block (brightest object; thresholding isolates it).
+    pub const BLOCK: u8 = 230;
+}
+
+/// Orthographic side-view camera over the world x–z plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VirtualCamera {
+    /// Frame width (px).
+    pub width: usize,
+    /// Frame height (px).
+    pub height: usize,
+    /// World x range mapped onto the frame width.
+    pub x_range: (f32, f32),
+    /// World z range mapped onto the frame height (bottom → top).
+    pub z_range: (f32, f32),
+}
+
+impl Default for VirtualCamera {
+    fn default() -> Self {
+        Self { width: 96, height: 64, x_range: (-110.0, 110.0), z_range: (-6.0, 70.0) }
+    }
+}
+
+impl VirtualCamera {
+    /// Projects a world position to pixel coordinates (`None` if outside the
+    /// frustum).
+    pub fn project(&self, p: Vec3) -> Option<(usize, usize)> {
+        let u = (p.x - self.x_range.0) / (self.x_range.1 - self.x_range.0);
+        let v = (p.z - self.z_range.0) / (self.z_range.1 - self.z_range.0);
+        if !(0.0..1.0).contains(&u) || !(0.0..1.0).contains(&v) {
+            return None;
+        }
+        let x = (u * self.width as f32) as usize;
+        // Image y grows downward.
+        let y = ((1.0 - v) * self.height as f32) as usize;
+        Some((x.min(self.width - 1), y.min(self.height - 1)))
+    }
+
+    /// Renders a scene: block, receptacle, and end-effector positions.
+    pub fn render(&self, block: Vec3, receptacle: Vec3, arms: &[Vec3]) -> Frame {
+        let mut data = vec![palette::BACKGROUND; self.width * self.height];
+
+        // Table surface at z = 0.
+        if let Some((_, ty)) = self.project(Vec3::new(0.0, 0.0, 0.0)) {
+            for x in 0..self.width {
+                data[ty * self.width + x] = palette::TABLE;
+            }
+        }
+
+        // Receptacle: two short walls around its x position.
+        for dx in [-8.0f32, 8.0] {
+            for dz in 0..6 {
+                let p = Vec3::new(receptacle.x + dx, 0.0, dz as f32);
+                if let Some((x, y)) = self.project(p) {
+                    data[y * self.width + x] = palette::RECEPTACLE;
+                }
+            }
+        }
+
+        // Arms: 2x2 dots.
+        for &a in arms {
+            if let Some((x, y)) = self.project(a) {
+                self.stamp(&mut data, x, y, 1, palette::ARM);
+            }
+        }
+
+        // Block: 5x5 bright square (drawn last so it occludes).
+        if let Some((x, y)) = self.project(block + Vec3::new(0.0, 0.0, 2.0)) {
+            self.stamp(&mut data, x, y, 2, palette::BLOCK);
+        }
+
+        Frame::new(self.width, self.height, data)
+    }
+
+    fn stamp(&self, data: &mut [u8], cx: usize, cy: usize, r: usize, value: u8) {
+        let x0 = cx.saturating_sub(r);
+        let y0 = cy.saturating_sub(r);
+        for y in y0..=(cy + r).min(self.height - 1) {
+            for x in x0..=(cx + r).min(self.width - 1) {
+                data[y * self.width + x] = value;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_maps_corners() {
+        let cam = VirtualCamera::default();
+        let (x, y) = cam.project(Vec3::new(-109.0, 0.0, -5.0)).unwrap();
+        assert!(x < 3);
+        assert!(y > cam.height - 4);
+        assert!(cam.project(Vec3::new(500.0, 0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn render_contains_bright_block() {
+        let cam = VirtualCamera::default();
+        let f = cam.render(Vec3::new(0.0, 0.0, 10.0), Vec3::new(-50.0, 30.0, 0.0), &[]);
+        let max = f.bytes().iter().copied().max().unwrap();
+        assert_eq!(max, palette::BLOCK);
+    }
+
+    #[test]
+    fn block_occludes_and_moves() {
+        let cam = VirtualCamera::default();
+        let a = cam.render(Vec3::new(-20.0, 0.0, 10.0), Vec3::new(-50.0, 0.0, 0.0), &[]);
+        let b = cam.render(Vec3::new(20.0, 0.0, 10.0), Vec3::new(-50.0, 0.0, 0.0), &[]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn frame_accessors() {
+        let f = Frame::new(4, 2, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(f.width(), 4);
+        assert_eq!(f.height(), 2);
+        assert_eq!(f.get(3, 1), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn frame_rejects_bad_size() {
+        let _ = Frame::new(3, 3, vec![0; 8]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Structural Similarity Index (Wang et al. 2004), used by the paper to
+//! "find the exact frame (and the timestamp) of when the failure happened"
+//! on thresholded images of the block (§IV-B).
+
+use crate::frame::Frame;
+
+const C1: f64 = (0.01 * 255.0) * (0.01 * 255.0);
+const C2: f64 = (0.03 * 255.0) * (0.03 * 255.0);
+
+/// Global SSIM between two equal-size frames, in `[-1, 1]` (1 = identical).
+///
+/// # Panics
+///
+/// Panics if the frames differ in size.
+pub fn ssim(a: &Frame, b: &Frame) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "ssim: frame size mismatch"
+    );
+    ssim_slices(a.bytes(), b.bytes())
+}
+
+/// Windowed SSIM: mean SSIM over non-overlapping `win x win` tiles (a closer
+/// match to the reference implementation; more sensitive to local changes).
+///
+/// # Panics
+///
+/// Panics if the frames differ in size or `win == 0`.
+pub fn ssim_windowed(a: &Frame, b: &Frame, win: usize) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "ssim: frame size mismatch"
+    );
+    assert!(win > 0, "window must be positive");
+    let (w, h) = (a.width(), a.height());
+    let mut total = 0.0f64;
+    let mut tiles = 0usize;
+    let mut buf_a = Vec::with_capacity(win * win);
+    let mut buf_b = Vec::with_capacity(win * win);
+    let mut y = 0;
+    while y < h {
+        let mut x = 0;
+        let y1 = (y + win).min(h);
+        while x < w {
+            let x1 = (x + win).min(w);
+            buf_a.clear();
+            buf_b.clear();
+            for yy in y..y1 {
+                for xx in x..x1 {
+                    buf_a.push(a.get(xx, yy));
+                    buf_b.push(b.get(xx, yy));
+                }
+            }
+            total += ssim_slices(&buf_a, &buf_b);
+            tiles += 1;
+            x += win;
+        }
+        y += win;
+    }
+    total / tiles as f64
+}
+
+fn ssim_slices(a: &[u8], b: &[u8]) -> f64 {
+    let n = a.len() as f64;
+    let mean = |v: &[u8]| v.iter().map(|&x| x as f64).sum::<f64>() / n;
+    let mu_a = mean(a);
+    let mu_b = mean(b);
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    let mut cov = 0.0;
+    for (&xa, &xb) in a.iter().zip(b.iter()) {
+        let da = xa as f64 - mu_a;
+        let db = xb as f64 - mu_b;
+        var_a += da * da;
+        var_b += db * db;
+        cov += da * db;
+    }
+    var_a /= n;
+    var_b /= n;
+    cov /= n;
+    ((2.0 * mu_a * mu_b + C1) * (2.0 * cov + C2))
+        / ((mu_a * mu_a + mu_b * mu_b + C1) * (var_a + var_b + C2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(v: u8) -> Frame {
+        Frame::new(16, 16, vec![v; 256])
+    }
+
+    fn square_at(x0: usize, y0: usize) -> Frame {
+        let mut data = vec![10u8; 256];
+        for y in y0..y0 + 4 {
+            for x in x0..x0 + 4 {
+                data[y * 16 + x] = 240;
+            }
+        }
+        Frame::new(16, 16, data)
+    }
+
+    #[test]
+    fn identical_frames_have_ssim_one() {
+        let f = square_at(3, 3);
+        assert!((ssim(&f, &f) - 1.0).abs() < 1e-9);
+        assert!((ssim_windowed(&f, &f, 8) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moved_object_lowers_ssim() {
+        let a = square_at(2, 2);
+        let b = square_at(10, 10);
+        let s = ssim(&a, &b);
+        assert!(s < 0.9, "ssim {s} should drop when the object moves");
+        assert!(ssim_windowed(&a, &b, 8) < ssim_windowed(&a, &a, 8));
+    }
+
+    #[test]
+    fn windowed_detects_small_shift() {
+        let a = square_at(2, 2);
+        let b = square_at(3, 2); // small shift
+        assert!(ssim_windowed(&a, &b, 4) < 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn flat_frames_compare_by_luminance() {
+        let s_same = ssim(&flat(100), &flat(100));
+        let s_diff = ssim(&flat(20), &flat(220));
+        assert!((s_same - 1.0).abs() < 1e-9);
+        assert!(s_diff < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn rejects_different_sizes() {
+        let a = Frame::new(4, 4, vec![0; 16]);
+        let b = Frame::new(8, 8, vec![0; 64]);
+        let _ = ssim(&a, &b);
+    }
+}

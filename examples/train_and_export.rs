@@ -1,0 +1,54 @@
+//! Train a Block Transfer monitor, export it as a JSON checkpoint, reload
+//! it, and verify the reloaded pipeline produces identical decisions — the
+//! deployment workflow for the "trusted computing base" integration the
+//! paper describes (§III).
+//!
+//! ```sh
+//! cargo run --release --example train_and_export
+//! ```
+
+use context_monitor::{ContextMode, SavedPipeline, TrainedPipeline};
+use faults::{build_block_transfer_dataset, BlockTransferDataConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = build_block_transfer_dataset(&BlockTransferDataConfig::fast(3));
+    let folds = dataset.loso_folds();
+    let fold = &folds[0];
+    let cfg = bench_cfg();
+    let mut pipeline = TrainedPipeline::train(&dataset, &fold.train, &cfg);
+
+    // Export.
+    let checkpoint = pipeline.save();
+    let json = serde_json::to_string(&checkpoint)?;
+    let path = std::env::temp_dir().join("context_monitor_blocktransfer.json");
+    std::fs::write(&path, &json)?;
+    println!("checkpoint written to {} ({} KiB)", path.display(), json.len() / 1024);
+
+    // Reload and verify.
+    let restored: SavedPipeline = serde_json::from_str(&std::fs::read_to_string(&path)?)?;
+    let mut reloaded = TrainedPipeline::from_saved(restored);
+    let demo = &dataset.demos[fold.test[0]];
+    let a = pipeline.run_demo(demo, ContextMode::Predicted);
+    let b = reloaded.run_demo(demo, ContextMode::Predicted);
+    assert_eq!(a.gesture_pred, b.gesture_pred, "gesture predictions must survive the roundtrip");
+    assert_eq!(a.unsafe_pred, b.unsafe_pred, "alerts must survive the roundtrip");
+    println!(
+        "reloaded pipeline reproduces all {} per-frame decisions on {}",
+        a.gesture_pred.len(),
+        demo.id
+    );
+    println!(
+        "dedicated error classifiers: {:?}",
+        pipeline.dedicated_gestures().iter().map(|g| g.to_string()).collect::<Vec<_>>()
+    );
+    Ok(())
+}
+
+fn bench_cfg() -> context_monitor::MonitorConfig {
+    let mut cfg = context_monitor::MonitorConfig::fast(kinematics::FeatureSet::CG)
+        .with_seed(3)
+        .with_window(10, 1);
+    cfg.train.epochs = 8;
+    cfg.train_stride = 3;
+    cfg
+}

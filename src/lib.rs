@@ -1,0 +1,21 @@
+//! # `context-monitor-suite`
+//!
+//! Umbrella crate for the reproduction of *"Real-Time Context-aware
+//! Detection of Unsafe Events in Robot-Assisted Surgery"* (Yasar &
+//! Alemzadeh, DSN 2020). It re-exports every workspace crate, hosts the
+//! runnable examples (`examples/`), and the cross-crate integration tests
+//! (`tests/`).
+//!
+//! See `README.md` for the map of the workspace and `DESIGN.md` for the
+//! paper-to-code inventory.
+
+pub use baselines;
+pub use context_monitor;
+pub use eval;
+pub use faults;
+pub use gestures;
+pub use jigsaws;
+pub use kinematics;
+pub use nn;
+pub use raven_sim;
+pub use vision;

@@ -1,0 +1,113 @@
+//! End-to-end integration test: the Raven II/Block Transfer path —
+//! simulator → fault injection → labeled dataset → monitor → detection,
+//! with the vision pipeline as the orthogonal labeling cross-check.
+
+use context_monitor::{evaluate_pipeline, ContextMode, MonitorConfig, TrainedPipeline};
+use faults::{build_block_transfer_dataset, run_injection, sample_spec, table3_grid, BlockTransferDataConfig};
+use gestures::Gesture;
+use kinematics::FeatureSet;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use raven_sim::{run_block_transfer, NoFaults, SimConfig};
+use vision::{label_trial, reference_trace, VisionConfig};
+
+fn sim() -> SimConfig {
+    SimConfig { hz: 50.0, duration_s: 5.0, seed: 0, tremor: 0.3 }
+}
+
+fn cfg() -> MonitorConfig {
+    let mut cfg = MonitorConfig::fast(FeatureSet::CG).with_seed(77).with_window(10, 1);
+    cfg.train.epochs = 8;
+    cfg.train_stride = 3;
+    cfg
+}
+
+#[test]
+fn block_transfer_monitor_detects_injected_faults() {
+    let dataset = build_block_transfer_dataset(&BlockTransferDataConfig {
+        fault_free: 6,
+        faulty: 18,
+        sim: sim(),
+        seed: 777,
+    });
+    dataset.validate().expect("valid dataset");
+    let fold = dataset.loso_folds().into_iter().next().expect("fold");
+    let mut pipeline = TrainedPipeline::train(&dataset, &fold.train, &cfg());
+
+    let eval = evaluate_pipeline(&mut pipeline, &dataset, &fold.test, ContextMode::Perfect);
+    let auc = eval.auc_summary();
+    assert!(auc.n > 0);
+    assert!(auc.mean > 0.6, "Block Transfer AUC {} too low", auc.mean);
+}
+
+#[test]
+fn gesture_classifier_nails_the_deterministic_block_transfer_grammar() {
+    // Fig. 3b: Block Transfer always follows G2->G12->G6->G5->G11, so the
+    // gesture classifier should reach very high accuracy (paper: 95.16%).
+    let dataset = build_block_transfer_dataset(&BlockTransferDataConfig {
+        fault_free: 8,
+        faulty: 8,
+        sim: sim(),
+        seed: 778,
+    });
+    let fold = dataset.loso_folds().into_iter().next().expect("fold");
+    let mut pipeline = TrainedPipeline::train(&dataset, &fold.train, &cfg());
+
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for &i in &fold.test {
+        let demo = &dataset.demos[i];
+        let run = pipeline.run_demo(demo, ContextMode::Predicted);
+        correct += run
+            .gesture_pred
+            .iter()
+            .zip(demo.gesture_indices().iter())
+            .filter(|(a, b)| a == b)
+            .count();
+        total += demo.len();
+    }
+    let acc = correct as f32 / total as f32;
+    assert!(acc > 0.85, "Block Transfer gesture accuracy {acc} (paper: 0.95)");
+}
+
+#[test]
+fn vision_labeling_agrees_with_simulator_ground_truth() {
+    let vcfg = VisionConfig::default();
+    let reference = reference_trace(
+        &run_block_transfer(&SimConfig { seed: 70, ..sim() }, &mut NoFaults),
+        &vcfg,
+    );
+    let grid = table3_grid();
+    let mut rng = SmallRng::seed_from_u64(779);
+    let mut agree = 0usize;
+    let n = 16usize;
+    for k in 0..n {
+        let spec = sample_spec(&grid[(k * 3) % grid.len()], &mut rng);
+        let (trial, _) = run_injection(&SimConfig { seed: 3000 + k as u64, ..sim() }, spec);
+        let verdict = label_trial(&trial, &reference, &vcfg);
+        agree += (verdict.failure == trial.outcome.failure) as usize;
+    }
+    assert!(agree * 10 >= n * 8, "vision agreed on only {agree}/{n} injections");
+}
+
+#[test]
+fn faulty_dataset_errors_sit_on_late_gestures() {
+    // Faults are injected in the carry/release phase, so annotated errors
+    // should cluster on G5/G6/G11 (Table VII bottom block).
+    let dataset = build_block_transfer_dataset(&BlockTransferDataConfig {
+        fault_free: 2,
+        faulty: 20,
+        sim: sim(),
+        seed: 780,
+    });
+    let mut late = 0usize;
+    let mut total = 0usize;
+    for d in &dataset.demos {
+        for e in &d.errors {
+            total += 1;
+            late += matches!(e.gesture, Gesture::G5 | Gesture::G6 | Gesture::G11) as usize;
+        }
+    }
+    assert!(total > 5, "expected annotated errors, got {total}");
+    assert!(late * 3 >= total * 2, "late-gesture errors {late}/{total}");
+}
