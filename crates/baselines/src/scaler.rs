@@ -38,10 +38,7 @@ impl Scaler {
             }
         }
         assert!(count > 0, "Scaler::fit: no rows");
-        let std = m2
-            .iter()
-            .map(|&v| ((v / count as f64).sqrt() as f32).max(1e-6))
-            .collect();
+        let std = m2.iter().map(|&v| ((v / count as f64).sqrt() as f32).max(1e-6)).collect();
         Self { mean: mean.into_iter().map(|x| x as f32).collect(), std }
     }
 

@@ -65,10 +65,8 @@ impl ScCrf {
             skip_trans: Mat::zeros(cfg.classes, cfg.classes),
         };
 
-        let scaled: Vec<(Mat, &[usize])> = data
-            .iter()
-            .map(|(x, y)| (model.scaler.apply(x), *y))
-            .collect();
+        let scaled: Vec<(Mat, &[usize])> =
+            data.iter().map(|(x, y)| (model.scaler.apply(x), *y)).collect();
 
         for _epoch in 0..cfg.epochs {
             for (x, gold) in &scaled {
@@ -229,8 +227,7 @@ mod tests {
     #[test]
     fn sccrf_learns_two_phase_toy() {
         let seqs = toy_sequences(6);
-        let data: Vec<(&Mat, &[usize])> =
-            seqs.iter().map(|(x, y)| (x, y.as_slice())).collect();
+        let data: Vec<(&Mat, &[usize])> = seqs.iter().map(|(x, y)| (x, y.as_slice())).collect();
         let cfg = ScCrfConfig { classes: 2, skip: 5, epochs: 10, lr: 0.1 };
         let model = ScCrf::train(&data, &cfg);
         let acc = model.accuracy(&data);
@@ -240,8 +237,7 @@ mod tests {
     #[test]
     fn prediction_length_matches_input() {
         let seqs = toy_sequences(2);
-        let data: Vec<(&Mat, &[usize])> =
-            seqs.iter().map(|(x, y)| (x, y.as_slice())).collect();
+        let data: Vec<(&Mat, &[usize])> = seqs.iter().map(|(x, y)| (x, y.as_slice())).collect();
         let model = ScCrf::train(&data, &ScCrfConfig { classes: 2, ..Default::default() });
         assert_eq!(model.predict(&seqs[0].0).len(), seqs[0].0.rows());
     }
@@ -249,8 +245,7 @@ mod tests {
     #[test]
     fn transitions_encourage_smooth_segments() {
         let seqs = toy_sequences(6);
-        let data: Vec<(&Mat, &[usize])> =
-            seqs.iter().map(|(x, y)| (x, y.as_slice())).collect();
+        let data: Vec<(&Mat, &[usize])> = seqs.iter().map(|(x, y)| (x, y.as_slice())).collect();
         let cfg = ScCrfConfig { classes: 2, skip: 5, epochs: 10, lr: 0.1 };
         let model = ScCrf::train(&data, &cfg);
         // Prediction changes label at most a few times on a 2-phase stream:

@@ -143,10 +143,7 @@ impl Sdsdl {
     /// Predicts per-frame labels for a sequence.
     pub fn predict(&self, frames: &Mat) -> Vec<usize> {
         let scaled = self.scaler.apply(frames);
-        let raw: Vec<usize> = scaled
-            .iter_rows()
-            .map(|r| self.svm.predict(&self.code(r)))
-            .collect();
+        let raw: Vec<usize> = scaled.iter_rows().map(|r| self.svm.predict(&self.code(r))).collect();
         if self.cfg.smooth == 0 {
             return raw;
         }
@@ -359,8 +356,7 @@ mod tests {
     #[test]
     fn sdsdl_learns_three_phase_toy() {
         let seqs = toy_sequences(4);
-        let data: Vec<(&Mat, &[usize])> =
-            seqs.iter().map(|(x, y)| (x, y.as_slice())).collect();
+        let data: Vec<(&Mat, &[usize])> = seqs.iter().map(|(x, y)| (x, y.as_slice())).collect();
         let cfg = SdsdlConfig { atoms: 8, classes: 3, ..Default::default() };
         let model = Sdsdl::train(&data, &cfg);
         let acc = model.accuracy(&data);
@@ -370,10 +366,15 @@ mod tests {
     #[test]
     fn smoothing_reduces_label_switches() {
         let seqs = toy_sequences(4);
-        let data: Vec<(&Mat, &[usize])> =
-            seqs.iter().map(|(x, y)| (x, y.as_slice())).collect();
-        let rough = Sdsdl::train(&data, &SdsdlConfig { atoms: 8, classes: 3, smooth: 0, ..Default::default() });
-        let smooth = Sdsdl::train(&data, &SdsdlConfig { atoms: 8, classes: 3, smooth: 4, ..Default::default() });
+        let data: Vec<(&Mat, &[usize])> = seqs.iter().map(|(x, y)| (x, y.as_slice())).collect();
+        let rough = Sdsdl::train(
+            &data,
+            &SdsdlConfig { atoms: 8, classes: 3, smooth: 0, ..Default::default() },
+        );
+        let smooth = Sdsdl::train(
+            &data,
+            &SdsdlConfig { atoms: 8, classes: 3, smooth: 4, ..Default::default() },
+        );
         let switches = |pred: &[usize]| pred.windows(2).filter(|w| w[0] != w[1]).count();
         let r = switches(&rough.predict(&seqs[0].0));
         let s = switches(&smooth.predict(&seqs[0].0));

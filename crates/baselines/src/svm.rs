@@ -86,9 +86,7 @@ impl LinearSvm {
 
     /// Per-class decision scores for one feature row.
     pub fn scores(&self, x: &[f32]) -> Vec<f32> {
-        (0..self.classes())
-            .map(|c| dot(self.weights.row(c), x) + self.bias[c])
-            .collect()
+        (0..self.classes()).map(|c| dot(self.weights.row(c), x) + self.bias[c]).collect()
     }
 
     /// Predicted class for one feature row.
@@ -130,9 +128,7 @@ mod tests {
     fn svm_separates_blobs() {
         let (x, y) = blobs(90);
         let svm = LinearSvm::train(&x, &y, 3, &SvmConfig::default());
-        let correct = (0..x.rows())
-            .filter(|&i| svm.predict(x.row(i)) == y[i])
-            .count();
+        let correct = (0..x.rows()).filter(|&i| svm.predict(x.row(i)) == y[i]).count();
         assert!(correct as f32 > 0.95 * x.rows() as f32, "{correct}/90 correct");
     }
 

@@ -40,9 +40,8 @@ fn bench_metrics(c: &mut Criterion) {
         bench.iter(|| black_box(dtw_1d(black_box(&a), black_box(&b), None)))
     });
 
-    let pts: Vec<Vec<f32>> = (0..200)
-        .map(|i| vec![(i as f32 * 0.37).sin(), (i as f32 * 0.11).cos()])
-        .collect();
+    let pts: Vec<Vec<f32>> =
+        (0..200).map(|i| vec![(i as f32 * 0.37).sin(), (i as f32 * 0.11).cos()]).collect();
     let kde = GaussianKde::fit(&pts).unwrap();
     c.bench_function("kde_pdf_200pts_2d", |bench| {
         bench.iter(|| black_box(kde.pdf(black_box(&[0.3, -0.2]))))
@@ -64,7 +63,12 @@ fn bench_layers(c: &mut Criterion) {
 
     let mut conv = Network::new(
         NetworkSpec::new(vec![
-            LayerSpec::Conv1d { in_channels: 38, out_channels: 32, kernel: 3, padding: Padding::Same },
+            LayerSpec::Conv1d {
+                in_channels: 38,
+                out_channels: 32,
+                kernel: 3,
+                padding: Padding::Same,
+            },
             LayerSpec::Relu,
             LayerSpec::GlobalMaxPool,
             LayerSpec::Dense { in_dim: 32, out_dim: 2 },

@@ -38,11 +38,8 @@ fn main() {
     }
 
     header("Fig. 5 — pairwise JS-divergence between erroneous gesture distributions");
-    let classes: Vec<usize> = per_gesture
-        .iter()
-        .filter(|(_, v)| v.len() >= MIN_SAMPLES)
-        .map(|(&g, _)| g)
-        .collect();
+    let classes: Vec<usize> =
+        per_gesture.iter().filter(|(_, v)| v.len() >= MIN_SAMPLES).map(|(&g, _)| g).collect();
     let skipped: Vec<String> = per_gesture
         .iter()
         .filter(|(_, v)| v.len() < MIN_SAMPLES)

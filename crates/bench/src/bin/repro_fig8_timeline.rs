@@ -16,12 +16,8 @@ fn main() {
     let mut pipeline = TrainedPipeline::train(&ds, &fold.train, &cfg);
 
     // Pick a test demo with an annotated error; fall back to the first.
-    let demo_idx = fold
-        .test
-        .iter()
-        .copied()
-        .find(|&i| !ds.demos[i].errors.is_empty())
-        .unwrap_or(fold.test[0]);
+    let demo_idx =
+        fold.test.iter().copied().find(|&i| !ds.demos[i].errors.is_empty()).unwrap_or(fold.test[0]);
     let demo = &ds.demos[demo_idx];
     let run = pipeline.run_demo(demo, ContextMode::Predicted);
 
@@ -43,7 +39,10 @@ fn main() {
         let c = &mut marks[at(first_alert)];
         *c = if *c == 'X' { '*' } else { 'D' };
     }
-    println!("Events         {}   (X = actual error, D = first detection, * = both)", marks.iter().collect::<String>());
+    println!(
+        "Events         {}   (X = actual error, D = first detection, * = both)",
+        marks.iter().collect::<String>()
+    );
 
     println!("\nlegend (gesture strips):");
     let mut seen: Vec<usize> = demo.gesture_indices();
@@ -91,9 +90,7 @@ fn symbol(g: usize) -> char {
 }
 
 fn gesture_strip(labels: &[usize], width: usize) -> String {
-    (0..width)
-        .map(|c| symbol(labels[c * labels.len() / width]))
-        .collect()
+    (0..width).map(|c| symbol(labels[c * labels.len() / width])).collect()
 }
 
 fn bool_strip(labels: &[bool], width: usize) -> String {

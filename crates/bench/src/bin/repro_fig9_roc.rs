@@ -33,11 +33,7 @@ fn main() {
             println!("(no test demo had both classes)");
             continue;
         }
-        let picks = [
-            ("worst", 0usize),
-            ("median", curves.len() / 2),
-            ("best", curves.len() - 1),
-        ];
+        let picks = [("worst", 0usize), ("median", curves.len() / 2), ("best", curves.len() - 1)];
         for (label, idx) in picks {
             let (id, curve) = &curves[idx];
             println!("\n# {label}: demo {id}, AUC = {:.3}", curve.auc());

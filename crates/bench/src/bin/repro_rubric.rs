@@ -12,12 +12,8 @@ fn main() {
         "{:<5} {:<45} {:<55} Potential causes (faults)",
         "Gest", "Description", "Common failure modes"
     );
-    let mut listed: Vec<Gesture> = Task::Suturing
-        .gestures()
-        .iter()
-        .chain(Task::BlockTransfer.gestures())
-        .copied()
-        .collect();
+    let mut listed: Vec<Gesture> =
+        Task::Suturing.gestures().iter().chain(Task::BlockTransfer.gestures()).copied().collect();
     listed.sort();
     listed.dedup();
     for g in listed {

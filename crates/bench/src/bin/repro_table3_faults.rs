@@ -48,9 +48,11 @@ fn main() {
     );
 
     // Qualitative regime checks from §IV-B.
-    let mut regimes = [("low angle / short interval", 0usize, 0usize),
+    let mut regimes = [
+        ("low angle / short interval", 0usize, 0usize),
         ("low angle / long interval (dropoffs)", 0, 0),
-        ("high angle >= 1.1 rad (block drops)", 0, 0)];
+        ("high angle >= 1.1 rad (block drops)", 0, 0),
+    ];
     for c in &report.cells {
         let low = c.cell.grasper.1 <= 0.85;
         let long = c.cell.grasper_interval.1 > 0.8;
@@ -83,10 +85,8 @@ fn main() {
 
     header("vision cross-check (automated labeling of errors, §IV-B)");
     let vcfg = VisionConfig::default();
-    let reference = reference_trace(
-        &run_block_transfer(&SimConfig { seed: 7, ..sim }, &mut NoFaults),
-        &vcfg,
-    );
+    let reference =
+        reference_trace(&run_block_transfer(&SimConfig { seed: 7, ..sim }, &mut NoFaults), &vcfg);
     let grid = table3_grid();
     let mut rng = SmallRng::seed_from_u64(bench::SEED ^ 0xCC);
     let mut agree = 0usize;

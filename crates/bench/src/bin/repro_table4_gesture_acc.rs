@@ -3,7 +3,10 @@
 //! JIGSAWS tasks, plus the Block Transfer task (ours only, as in the paper).
 
 use baselines::{ScCrf, ScCrfConfig, Sdsdl, SdsdlConfig};
-use bench::{block_transfer_dataset, block_transfer_monitor_cfg, compare, folds_to_run, header, jigsaws_dataset, suturing_monitor_cfg, Scale};
+use bench::{
+    block_transfer_dataset, block_transfer_monitor_cfg, compare, folds_to_run, header,
+    jigsaws_dataset, suturing_monitor_cfg, Scale,
+};
 use context_monitor::{ContextMode, TrainStages, TrainedPipeline};
 use gestures::Task;
 use kinematics::Dataset;
@@ -94,12 +97,7 @@ fn evaluate_task(
             let demo = &ds.demos[i];
             let run = pipeline.run_demo(demo, ContextMode::Predicted);
             let truth = demo.gesture_indices();
-            correct += run
-                .gesture_pred
-                .iter()
-                .zip(truth.iter())
-                .filter(|(a, b)| a == b)
-                .count();
+            correct += run.gesture_pred.iter().zip(truth.iter()).filter(|(a, b)| a == b).count();
             total += truth.len();
         }
         ours_acc.push(correct as f32 / total.max(1) as f32);
@@ -111,16 +109,10 @@ fn evaluate_task(
                 .iter()
                 .map(|d| (d.feature_matrix(&cfg.features), d.gesture_indices()))
                 .collect();
-            let train_data: Vec<(&Mat, &[usize])> = fold
-                .train
-                .iter()
-                .map(|&i| (&frames[i].0, frames[i].1.as_slice()))
-                .collect();
-            let test_data: Vec<(&Mat, &[usize])> = fold
-                .test
-                .iter()
-                .map(|&i| (&frames[i].0, frames[i].1.as_slice()))
-                .collect();
+            let train_data: Vec<(&Mat, &[usize])> =
+                fold.train.iter().map(|&i| (&frames[i].0, frames[i].1.as_slice())).collect();
+            let test_data: Vec<(&Mat, &[usize])> =
+                fold.test.iter().map(|&i| (&frames[i].0, frames[i].1.as_slice())).collect();
 
             let crf = ScCrf::train(&train_data, &ScCrfConfig::default());
             crf_acc.push(crf.accuracy(&test_data));
@@ -135,9 +127,5 @@ fn evaluate_task(
     }
 
     let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
-    (
-        mean(&ours_acc),
-        run_baselines.then(|| mean(&crf_acc)),
-        run_baselines.then(|| mean(&dict_acc)),
-    )
+    (mean(&ours_acc), run_baselines.then(|| mean(&crf_acc)), run_baselines.then(|| mean(&dict_acc)))
 }

@@ -25,11 +25,36 @@ fn main() {
     let lstm = ErrorModelKind::Lstm { hidden: 24, dense: 16 };
     let conv = ErrorModelKind::Conv { c1: 24, c2: 16, dense: 16 };
     let setups = [
-        Setup { label: "gesture-specific  LSTM  All  ", gesture_specific: true, model: lstm, features: FeatureSet::ALL },
-        Setup { label: "gesture-specific  LSTM  C,R,G", gesture_specific: true, model: lstm, features: FeatureSet::CRG },
-        Setup { label: "gesture-specific  Conv  C,R,G", gesture_specific: true, model: conv, features: FeatureSet::CRG },
-        Setup { label: "gesture-specific  Conv  All  ", gesture_specific: true, model: conv, features: FeatureSet::ALL },
-        Setup { label: "non-gesture-spec. LSTM  All  ", gesture_specific: false, model: lstm, features: FeatureSet::ALL },
+        Setup {
+            label: "gesture-specific  LSTM  All  ",
+            gesture_specific: true,
+            model: lstm,
+            features: FeatureSet::ALL,
+        },
+        Setup {
+            label: "gesture-specific  LSTM  C,R,G",
+            gesture_specific: true,
+            model: lstm,
+            features: FeatureSet::CRG,
+        },
+        Setup {
+            label: "gesture-specific  Conv  C,R,G",
+            gesture_specific: true,
+            model: conv,
+            features: FeatureSet::CRG,
+        },
+        Setup {
+            label: "gesture-specific  Conv  All  ",
+            gesture_specific: true,
+            model: conv,
+            features: FeatureSet::ALL,
+        },
+        Setup {
+            label: "non-gesture-spec. LSTM  All  ",
+            gesture_specific: false,
+            model: lstm,
+            features: FeatureSet::ALL,
+        },
     ];
 
     header("Table V — erroneous gesture classification step, Suturing (window=5, stride=1)");

@@ -18,7 +18,9 @@ fn main() {
         ("non-gesture-spec. Conv  C,G", false, conv),
     ];
 
-    header("Table VI — erroneous gesture classification step, Block Transfer (window=10, stride=1)");
+    header(
+        "Table VI — erroneous gesture classification step, Block Transfer (window=10, stride=1)",
+    );
     println!("{:<32} {:>6} {:>6} {:>6} {:>6}", "Setup", "TPR", "TNR", "PPV", "NPV");
     for (label, specific, model) in setups {
         let mut cfg = block_transfer_monitor_cfg(scale);

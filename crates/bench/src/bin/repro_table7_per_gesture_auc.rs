@@ -2,7 +2,10 @@
 //! train/test sizes, error rates, and AUC per gesture class, for Suturing
 //! (top block) and Block Transfer (bottom block).
 
-use bench::{block_transfer_dataset, block_transfer_monitor_cfg, header, jigsaws_dataset, suturing_monitor_cfg, Scale};
+use bench::{
+    block_transfer_dataset, block_transfer_monitor_cfg, header, jigsaws_dataset,
+    suturing_monitor_cfg, Scale,
+};
 use context_monitor::{MonitorConfig, TrainStages, TrainedPipeline};
 use eval::auc;
 use gestures::Task;
@@ -47,10 +50,7 @@ fn run_task(ds: &Dataset, cfg: &MonitorConfig) {
         let feats = pipeline.normalizer.apply(&demo.feature_matrix(&cfg.features));
         let g_idx = demo.gesture_indices();
         for (w, pos) in windows_with_positions(&feats, cfg.window) {
-            test_windows
-                .entry(g_idx[pos])
-                .or_default()
-                .push((w, demo.unsafe_labels[pos]));
+            test_windows.entry(g_idx[pos]).or_default().push((w, demo.unsafe_labels[pos]));
         }
     }
 

@@ -3,8 +3,13 @@
 //! {gesture-specific with perfect boundaries, gesture-specific with the
 //! gesture classifier, non-gesture-specific} on Suturing and Block Transfer.
 
-use bench::{block_transfer_dataset, block_transfer_monitor_cfg, compare, folds_to_run, header, jigsaws_dataset, suturing_monitor_cfg, Scale};
-use context_monitor::{evaluate_pipeline, ContextMode, MonitorConfig, PipelineEval, TrainedPipeline};
+use bench::{
+    block_transfer_dataset, block_transfer_monitor_cfg, compare, folds_to_run, header,
+    jigsaws_dataset, suturing_monitor_cfg, Scale,
+};
+use context_monitor::{
+    evaluate_pipeline, ContextMode, MonitorConfig, PipelineEval, TrainedPipeline,
+};
 use gestures::Task;
 use kinematics::Dataset;
 

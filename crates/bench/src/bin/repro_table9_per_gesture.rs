@@ -2,8 +2,13 @@
 //! timeliness: reaction time and F1 with perfect boundaries vs. the full
 //! gesture-specific pipeline, plus gesture detection accuracy and jitter.
 
-use bench::{block_transfer_dataset, block_transfer_monitor_cfg, header, jigsaws_dataset, suturing_monitor_cfg, Scale};
-use context_monitor::{per_gesture_report, ContextMode, GestureRow, MonitorConfig, TrainedPipeline};
+use bench::{
+    block_transfer_dataset, block_transfer_monitor_cfg, header, jigsaws_dataset,
+    suturing_monitor_cfg, Scale,
+};
+use context_monitor::{
+    per_gesture_report, ContextMode, GestureRow, MonitorConfig, TrainedPipeline,
+};
 use gestures::Task;
 use kinematics::Dataset;
 

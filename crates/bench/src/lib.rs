@@ -92,9 +92,7 @@ pub fn suturing_monitor_cfg(scale: Scale) -> MonitorConfig {
 /// Monitor configuration for the Block Transfer (Raven II) experiments:
 /// C,G features, window 10 (Table VI).
 pub fn block_transfer_monitor_cfg(scale: Scale) -> MonitorConfig {
-    let mut cfg = MonitorConfig::fast(FeatureSet::CG)
-        .with_seed(SEED)
-        .with_window(10, 1);
+    let mut cfg = MonitorConfig::fast(FeatureSet::CG).with_seed(SEED).with_window(10, 1);
     cfg.train_stride = 3;
     if scale == Scale::Full {
         cfg.gesture_hidden = (96, 48);

@@ -1,0 +1,382 @@
+//! The shared incremental inference core.
+//!
+//! Both deployment shapes of the monitor — offline replay
+//! ([`TrainedPipeline::run_demo`](crate::pipeline::TrainedPipeline::run_demo))
+//! and online streaming ([`SafetyMonitor`](crate::monitor::SafetyMonitor) /
+//! [`MonitorPool`](crate::monitor::MonitorPool)) — are thin adapters over
+//! [`InferenceEngine`]: an allocation-free, frame-at-a-time evaluator that
+//! owns the per-session state (sliding windows, the causal gesture-smoothing
+//! filter, and inference scratch buffers) while the model weights stay in the
+//! shared [`TrainedPipeline`]. Offline/online agreement is therefore true by
+//! construction: the two paths execute literally the same code.
+//!
+//! Per frame, the steady-state hot path performs **no heap allocation**:
+//! feature extraction, normalization, windowing, both network forward passes
+//! (via [`nn::Network::predict_into`]), the softmax, and the majority filter
+//! all reuse preallocated buffers. The paper reports 1.5–3.2 ms per-sample
+//! compute (Table VIII); keeping the per-frame path allocation-free is what
+//! lets one process multiplex many concurrent surgical sessions
+//! ([`MonitorPool`](crate::monitor::MonitorPool)) at that budget.
+
+use crate::pipeline::{ContextMode, TrainedPipeline};
+use gestures::NUM_GESTURES;
+use kinematics::{KinematicSample, SlidingWindow};
+use nn::Mat;
+use std::collections::VecDeque;
+
+/// Causal majority filter over a bounded trailing window with O(1) updates.
+///
+/// Replaces the O(k log k) per-frame recounts that the offline
+/// (`mode_of`) and online (`mode_of_deque`) paths used to duplicate: counts
+/// are maintained incrementally, and per-class queues of insertion indices
+/// resolve ties by **earliest appearance in the window** — the same rule as
+/// the historical recount ("first value whose class attains the maximal
+/// count wins").
+#[derive(Debug, Clone)]
+pub struct MajorityFilter {
+    capacity: usize,
+    values: VecDeque<usize>,
+    counts: Vec<usize>,
+    /// Per class: insertion indices of its occurrences still in the window
+    /// (monotonically increasing; front = earliest).
+    positions: Vec<VecDeque<u64>>,
+    next_index: u64,
+}
+
+impl MajorityFilter {
+    /// Creates a filter over the `capacity` most recent values drawn from
+    /// `classes` distinct classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `classes == 0`.
+    pub fn new(capacity: usize, classes: usize) -> Self {
+        assert!(capacity > 0, "MajorityFilter: capacity must be positive");
+        assert!(classes > 0, "MajorityFilter: classes must be positive");
+        Self {
+            capacity,
+            values: VecDeque::with_capacity(capacity + 1),
+            counts: vec![0; classes],
+            positions: (0..classes).map(|_| VecDeque::with_capacity(capacity + 1)).collect(),
+            next_index: 0,
+        }
+    }
+
+    /// Pushes the newest value (evicting the oldest once at capacity) and
+    /// returns the current majority. Amortized O(1) update, O(classes)
+    /// query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is out of the class range.
+    pub fn push(&mut self, value: usize) -> usize {
+        assert!(value < self.counts.len(), "MajorityFilter: class {value} out of range");
+        if self.values.len() == self.capacity {
+            let evicted = self.values.pop_front().expect("non-empty at capacity");
+            self.counts[evicted] -= 1;
+            self.positions[evicted].pop_front();
+        }
+        self.values.push_back(value);
+        self.counts[value] += 1;
+        self.positions[value].push_back(self.next_index);
+        self.next_index += 1;
+        self.majority().expect("filter non-empty after push")
+    }
+
+    /// The majority class of the current window (earliest-seen wins ties),
+    /// or `None` when empty.
+    pub fn majority(&self) -> Option<usize> {
+        let mut best: Option<(usize, usize, u64)> = None; // (class, count, first_idx)
+        for (class, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let first = *self.positions[class].front().expect("count > 0");
+            let better = match best {
+                None => true,
+                Some((_, bc, bf)) => count > bc || (count == bc && first < bf),
+            };
+            if better {
+                best = Some((class, count, first));
+            }
+        }
+        best.map(|(class, _, _)| class)
+    }
+
+    /// Number of values currently in the window.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Empties the window (capacity and class range are kept).
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.counts.fill(0);
+        for p in &mut self.positions {
+            p.clear();
+        }
+        self.next_index = 0;
+    }
+}
+
+/// Per-frame engine output. Each stage reports `Some` once its sliding
+/// window (and, for the error stage, its routing context) is warm:
+///
+/// * `gesture` — the smoothed gesture context, from frame `gesture_window-1`
+///   on (immediately in [`ContextMode::Perfect`]).
+/// * `unsafe_score` — the erroneous-gesture probability, from the first
+///   frame where both the error window and the required context exist.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineStep {
+    /// Smoothed operational context (gesture class index), once available.
+    pub gesture: Option<usize>,
+    /// Probability that the current window is unsafe, once available.
+    pub unsafe_score: Option<f32>,
+}
+
+impl EngineStep {
+    /// Both stages warm: `(gesture, unsafe_score)`.
+    pub fn complete(&self) -> Option<(usize, f32)> {
+        match (self.gesture, self.unsafe_score) {
+            (Some(g), Some(s)) => Some((g, s)),
+            _ => None,
+        }
+    }
+}
+
+/// Incremental two-stage evaluator holding **only per-session state**; model
+/// weights live in the [`TrainedPipeline`] passed to every [`step`](Self::step),
+/// so many engines can share one pipeline (see
+/// [`MonitorPool`](crate::monitor::MonitorPool)).
+///
+/// The engine must be stepped with the pipeline it was created from (or an
+/// identically configured one); window widths and feature dimensions are
+/// fixed at construction.
+#[derive(Debug)]
+pub struct InferenceEngine {
+    mode: ContextMode,
+    /// Error-stage sliding window over normalized features.
+    window: SlidingWindow,
+    /// Gesture-stage sliding window over normalized features.
+    gesture_window: SlidingWindow,
+    /// Causal smoothing over raw stage-1 predictions.
+    filter: MajorityFilter,
+    /// Last smoothed gesture (stage-2 routing context).
+    gesture: Option<usize>,
+    frames_seen: usize,
+    // Scratch buffers (reused every frame; no steady-state allocation).
+    feat: Vec<f32>,
+    gfeat: Vec<f32>,
+    logits: Mat,
+    probs: [f32; 2],
+}
+
+impl InferenceEngine {
+    /// Creates a fresh (cold) engine for one session.
+    pub fn new(pipeline: &TrainedPipeline, mode: ContextMode) -> Self {
+        let cfg = &pipeline.config;
+        Self {
+            mode,
+            window: SlidingWindow::new(cfg.window.width, pipeline.in_dim),
+            gesture_window: SlidingWindow::new(cfg.gesture_window, pipeline.gesture_in_dim),
+            filter: MajorityFilter::new(cfg.gesture_smoothing.max(1), NUM_GESTURES),
+            gesture: None,
+            frames_seen: 0,
+            feat: Vec::with_capacity(pipeline.in_dim),
+            gfeat: Vec::with_capacity(pipeline.gesture_in_dim),
+            logits: Mat::zeros(1, NUM_GESTURES),
+            probs: [0.0; 2],
+        }
+    }
+
+    /// The context mode this engine evaluates.
+    pub fn mode(&self) -> ContextMode {
+        self.mode
+    }
+
+    /// Frames consumed since construction or the last [`reset`](Self::reset).
+    pub fn frames_seen(&self) -> usize {
+        self.frames_seen
+    }
+
+    /// Clears all per-session state (call between procedures).
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.gesture_window.clear();
+        self.filter.clear();
+        self.gesture = None;
+        self.frames_seen = 0;
+    }
+
+    /// Feeds one frame, inferring the gesture context with stage 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics in [`ContextMode::Perfect`] — perfect boundaries must be
+    /// supplied via [`step_with_context`](Self::step_with_context).
+    pub fn step(&mut self, pipeline: &mut TrainedPipeline, frame: &KinematicSample) -> EngineStep {
+        assert!(self.mode != ContextMode::Perfect, "Perfect mode requires step_with_context");
+        self.step_inner(pipeline, frame, None)
+    }
+
+    /// Feeds one frame with externally supplied context (the
+    /// perfect-boundary upper bound).
+    pub fn step_with_context(
+        &mut self,
+        pipeline: &mut TrainedPipeline,
+        frame: &KinematicSample,
+        gesture: usize,
+    ) -> EngineStep {
+        self.step_inner(pipeline, frame, Some(gesture))
+    }
+
+    fn step_inner(
+        &mut self,
+        pipeline: &mut TrainedPipeline,
+        frame: &KinematicSample,
+        context: Option<usize>,
+    ) -> EngineStep {
+        self.frames_seen += 1;
+
+        // Stage 1: operational context.
+        self.gesture = match (self.mode, context) {
+            (ContextMode::Perfect, Some(g)) => Some(g),
+            (ContextMode::Perfect, None) => panic!("Perfect mode requires step_with_context"),
+            _ => {
+                frame.to_feature_vec_into(&pipeline.config.gesture_features, &mut self.gfeat);
+                pipeline.gesture_normalizer.apply_frame_inplace(&mut self.gfeat);
+                match self.gesture_window.push(&self.gfeat) {
+                    Some(gwindow) => {
+                        pipeline.gesture_net.predict_into(gwindow, &mut self.logits);
+                        let raw = self.logits.argmax_row(0);
+                        Some(self.filter.push(raw))
+                    }
+                    // Not warm yet: keep the previous smoothed value (always
+                    // `None` here, since stage 1 warms before it cools).
+                    None => self.gesture,
+                }
+            }
+        };
+
+        // Stage 2: unsafe probability, routed by the stage-1 context. In
+        // `NoContext` mode the single global classifier needs no context and
+        // scores as soon as its own window is warm.
+        frame.to_feature_vec_into(&pipeline.config.features, &mut self.feat);
+        pipeline.normalizer.apply_frame_inplace(&mut self.feat);
+        let routing = match self.mode {
+            ContextMode::NoContext => Some(0),
+            _ => self.gesture,
+        };
+        let unsafe_score = match (self.window.push(&self.feat), routing) {
+            (Some(window), Some(route)) => Some(pipeline.score_window_into(
+                window,
+                route,
+                self.mode,
+                &mut self.logits,
+                &mut self.probs,
+            )),
+            _ => None,
+        };
+
+        EngineStep { gesture: self.gesture, unsafe_score }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Recount reference: most frequent value in a non-empty slice,
+    /// earliest-seen winning ties. This is the exact rule the historical
+    /// duplicated `mode_of` / `mode_of_deque` implementations enforced;
+    /// [`MajorityFilter`] must stay equivalent to it forever.
+    fn mode_of(values: &[usize]) -> usize {
+        debug_assert!(!values.is_empty());
+        let mut counts = std::collections::BTreeMap::new();
+        for &v in values {
+            *counts.entry(v).or_insert(0usize) += 1;
+        }
+        let mut best = values[0];
+        let mut best_n = 0usize;
+        for &v in values {
+            let n = counts[&v];
+            if n > best_n {
+                best = v;
+                best_n = n;
+            }
+        }
+        best
+    }
+
+    /// Sliding-window recount reference implementing the historical
+    /// semantics of `pipeline::mode_of` over the trailing `k` values.
+    fn recount_reference(stream: &[usize], k: usize) -> Vec<usize> {
+        (0..stream.len())
+            .map(|i| {
+                let lo = i.saturating_sub(k - 1);
+                mode_of(&stream[lo..=i])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn majority_matches_recount_on_random_streams() {
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for &k in &[1usize, 2, 5, 9] {
+            for classes in [2usize, 5, NUM_GESTURES] {
+                let stream: Vec<usize> = (0..300).map(|_| next() % classes).collect();
+                let expected = recount_reference(&stream, k);
+                let mut filter = MajorityFilter::new(k, classes);
+                let got: Vec<usize> = stream.iter().map(|&v| filter.push(v)).collect();
+                assert_eq!(got, expected, "k={k}, classes={classes}");
+            }
+        }
+    }
+
+    #[test]
+    fn tie_break_is_earliest_seen_in_window() {
+        let mut filter = MajorityFilter::new(4, 3);
+        assert_eq!(filter.push(2), 2); // [2]
+        assert_eq!(filter.push(1), 2); // [2, 1]: 1-1 tie, 2 seen first
+        assert_eq!(filter.push(1), 1); // [2, 1, 1]: 1 leads outright
+        assert_eq!(filter.push(2), 2); // [2, 1, 1, 2]: 2-2 tie, 2 seen first
+        assert_eq!(filter.push(2), 1); // [1, 1, 2, 2]: 2-2 tie, 1 seen first
+        assert_eq!(filter.push(2), 2); // [1, 2, 2, 2]: 2 leads outright
+                                       // Matches the recount reference rule exactly.
+        assert_eq!(mode_of(&[2, 1]), 2);
+        assert_eq!(mode_of(&[2, 1, 1, 2]), 2);
+        assert_eq!(mode_of(&[1, 1, 2, 2]), 1);
+        assert_eq!(mode_of(&[1, 2, 2, 2]), 2);
+    }
+
+    #[test]
+    fn eviction_forgets_old_values() {
+        let mut filter = MajorityFilter::new(2, 4);
+        filter.push(3);
+        filter.push(3);
+        assert_eq!(filter.majority(), Some(3));
+        filter.push(0);
+        filter.push(0);
+        assert_eq!(filter.majority(), Some(0), "3s evicted");
+        assert_eq!(filter.len(), 2);
+    }
+
+    #[test]
+    fn clear_resets_filter() {
+        let mut filter = MajorityFilter::new(3, 2);
+        filter.push(1);
+        filter.clear();
+        assert!(filter.is_empty());
+        assert_eq!(filter.majority(), None);
+        assert_eq!(filter.push(0), 0);
+    }
+}

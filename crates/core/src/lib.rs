@@ -37,14 +37,16 @@
 #![allow(clippy::needless_range_loop)] // indexed loops mirror the math in numeric kernels
 
 pub mod config;
+pub mod engine;
 pub mod models;
 pub mod monitor;
 pub mod pipeline;
 pub mod report;
 
 pub use config::{ErrorModelKind, MonitorConfig};
+pub use engine::{EngineStep, InferenceEngine, MajorityFilter};
 pub use models::{error_classifier_spec, gesture_classifier_spec};
-pub use monitor::{MonitorOutput, SafetyMonitor};
+pub use monitor::{MonitorOutput, MonitorPool, SafetyMonitor, SessionId};
 pub use pipeline::{
     ContextMode, GestureTrainStats, MonitorRun, SavedPipeline, TrainStages, TrainedPipeline,
 };

@@ -29,7 +29,12 @@ pub fn error_classifier_spec(cfg: &MonitorConfig, in_dim: usize) -> NetworkSpec 
                 padding: Padding::Same,
             },
             LayerSpec::Relu,
-            LayerSpec::Conv1d { in_channels: c1, out_channels: c2, kernel: 3, padding: Padding::Same },
+            LayerSpec::Conv1d {
+                in_channels: c1,
+                out_channels: c2,
+                kernel: 3,
+                padding: Padding::Same,
+            },
             LayerSpec::Relu,
             LayerSpec::GlobalMaxPool,
             LayerSpec::Dense { in_dim: c2, out_dim: dense },

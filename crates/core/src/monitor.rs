@@ -1,13 +1,20 @@
-//! The online safety monitor: a streaming wrapper around the trained
-//! pipeline that consumes kinematic frames one at a time and emits alerts —
-//! the deployment form factor of Fig. 4 ("deployed on a trusted computing
-//! base at the last computational stage in the robot control system").
+//! The online safety monitor: streaming adapters around the shared
+//! [`InferenceEngine`] — the deployment form factor of Fig. 4 ("deployed on
+//! a trusted computing base at the last computational stage in the robot
+//! control system").
+//!
+//! [`SafetyMonitor`] wraps one pipeline with one engine (one surgical
+//! session). [`MonitorPool`] multiplexes N independent sessions over a
+//! **single** shared [`TrainedPipeline`]: engines hold only per-session
+//! state (windows, smoothing filter, scratch buffers), so the memory cost
+//! of an extra concurrent procedure is a few kilobytes rather than a copy
+//! of the model weights.
 
+use crate::engine::{EngineStep, InferenceEngine};
 use crate::pipeline::{ContextMode, TrainedPipeline};
 use gestures::Gesture;
-use kinematics::{KinematicSample, SlidingWindow};
+use kinematics::KinematicSample;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 use std::time::Instant;
 
 /// One monitor decision for the newest frame.
@@ -24,36 +31,35 @@ pub struct MonitorOutput {
     pub compute_ms: f32,
 }
 
-/// Streaming safety monitor.
+/// Converts a warm engine step into a monitor decision.
+fn output_from_step(step: &EngineStep, threshold: f32, compute_ms: f32) -> Option<MonitorOutput> {
+    let (gesture, score) = step.complete()?;
+    Some(MonitorOutput {
+        gesture: Gesture::from_index(gesture).unwrap_or(Gesture::G1),
+        unsafe_probability: score,
+        alert: score > threshold,
+        compute_ms,
+    })
+}
+
+fn checked_threshold(threshold: f32) -> f32 {
+    assert!(threshold > 0.0 && threshold < 1.0, "threshold must be in (0,1)");
+    threshold
+}
+
+/// Streaming safety monitor for a single session.
 pub struct SafetyMonitor {
     pipeline: TrainedPipeline,
-    window: SlidingWindow,
-    gesture_window: SlidingWindow,
-    /// Trailing raw gesture predictions for the causal mode filter.
-    recent: VecDeque<usize>,
-    mode: ContextMode,
+    engine: InferenceEngine,
     threshold: f32,
-    frames_seen: usize,
     alerts: usize,
 }
 
 impl SafetyMonitor {
     /// Wraps a trained pipeline for streaming use.
     pub fn new(pipeline: TrainedPipeline, mode: ContextMode) -> Self {
-        let width = pipeline.config.window.width;
-        let dims = pipeline.in_dim;
-        let gesture_window =
-            SlidingWindow::new(pipeline.config.gesture_window, pipeline.gesture_in_dim);
-        Self {
-            pipeline,
-            window: SlidingWindow::new(width, dims),
-            gesture_window,
-            recent: VecDeque::new(),
-            mode,
-            threshold: 0.5,
-            frames_seen: 0,
-            alerts: 0,
-        }
+        let engine = InferenceEngine::new(&pipeline, mode);
+        Self { pipeline, engine, threshold: 0.5, alerts: 0 }
     }
 
     /// Sets the alert threshold (default 0.5).
@@ -62,15 +68,16 @@ impl SafetyMonitor {
     ///
     /// Panics if not within `(0, 1)`.
     pub fn set_threshold(&mut self, threshold: f32) {
-        assert!((0.0..1.0).contains(&threshold) && threshold > 0.0, "threshold must be in (0,1)");
-        self.threshold = threshold;
+        self.threshold = checked_threshold(threshold);
     }
 
-    /// Feeds one frame; returns a decision once the window is warm.
+    /// Feeds one frame; returns a decision once both stages are warm.
     /// With [`ContextMode::Perfect`] the caller must use
     /// [`SafetyMonitor::push_with_context`] instead.
     pub fn push(&mut self, frame: &KinematicSample) -> Option<MonitorOutput> {
-        self.push_inner(frame, None)
+        let start = Instant::now();
+        let step = self.engine.step(&mut self.pipeline, frame);
+        self.finish(step, start)
     }
 
     /// Feeds one frame with externally supplied context (used for the
@@ -80,71 +87,29 @@ impl SafetyMonitor {
         frame: &KinematicSample,
         gesture: Gesture,
     ) -> Option<MonitorOutput> {
-        self.push_inner(frame, Some(gesture))
-    }
-
-    fn push_inner(
-        &mut self,
-        frame: &KinematicSample,
-        context: Option<Gesture>,
-    ) -> Option<MonitorOutput> {
-        self.frames_seen += 1;
-        let features = self
-            .pipeline
-            .normalizer
-            .apply_frame(&frame.to_feature_vec(&self.pipeline.config.features));
-        let gfeatures = self
-            .pipeline
-            .gesture_normalizer
-            .apply_frame(&frame.to_feature_vec(&self.pipeline.config.gesture_features));
-        let window = self.window.push(&features);
-        let gwindow = self.gesture_window.push(&gfeatures);
-        // Emit only once both stages are warm.
-        let (window, gwindow) = (window?, gwindow?);
-
         let start = Instant::now();
-        let gesture_idx = match (self.mode, context) {
-            (ContextMode::Perfect, Some(g)) => g.index(),
-            (ContextMode::Perfect, None) => {
-                panic!("Perfect mode requires push_with_context")
-            }
-            _ => {
-                let raw = self.pipeline.gesture_net.predict(&gwindow).argmax_row(0);
-                let k = self.pipeline.config.gesture_smoothing.max(1);
-                if self.recent.len() == k {
-                    self.recent.pop_front();
-                }
-                self.recent.push_back(raw);
-                mode_of_deque(&self.recent)
-            }
-        };
-        let score = self.pipeline.score_window(&window, gesture_idx, self.mode);
-        let compute_ms = start.elapsed().as_secs_f32() * 1000.0;
-
-        let alert = score > self.threshold;
-        if alert {
-            self.alerts += 1;
-        }
-        Some(MonitorOutput {
-            gesture: Gesture::from_index(gesture_idx).unwrap_or(Gesture::G1),
-            unsafe_probability: score,
-            alert,
-            compute_ms,
-        })
+        let step = self.engine.step_with_context(&mut self.pipeline, frame, gesture.index());
+        self.finish(step, start)
     }
 
-    /// Clears the window buffers (call between demonstrations/procedures).
+    fn finish(&mut self, step: EngineStep, start: Instant) -> Option<MonitorOutput> {
+        let compute_ms = start.elapsed().as_secs_f32() * 1000.0;
+        let out = output_from_step(&step, self.threshold, compute_ms);
+        if let Some(o) = &out {
+            self.alerts += o.alert as usize;
+        }
+        out
+    }
+
+    /// Clears the per-session state (call between demonstrations).
     pub fn reset(&mut self) {
-        self.window.clear();
-        self.gesture_window.clear();
-        self.recent.clear();
-        self.frames_seen = 0;
+        self.engine.reset();
         self.alerts = 0;
     }
 
     /// Frames consumed since the last reset.
     pub fn frames_seen(&self) -> usize {
-        self.frames_seen
+        self.engine.frames_seen()
     }
 
     /// Alerts raised since the last reset.
@@ -158,24 +123,108 @@ impl SafetyMonitor {
     }
 }
 
-/// Most frequent value in a non-empty deque (earliest-seen wins ties),
-/// matching the offline mode filter in `pipeline::run_demo`.
-fn mode_of_deque(values: &VecDeque<usize>) -> usize {
-    debug_assert!(!values.is_empty());
-    let mut counts = std::collections::BTreeMap::new();
-    for &v in values {
-        *counts.entry(v).or_insert(0usize) += 1;
+/// Identifier of a session inside a [`MonitorPool`].
+pub type SessionId = usize;
+
+/// N concurrent surgical sessions multiplexed over one shared pipeline.
+///
+/// Every session behaves exactly like its own [`SafetyMonitor`] — the
+/// engines are fully independent (verified by the interleaving tests) —
+/// but the model weights exist once. Frames from different sessions may be
+/// pushed in any interleaving.
+pub struct MonitorPool {
+    pipeline: TrainedPipeline,
+    mode: ContextMode,
+    threshold: f32,
+    sessions: Vec<InferenceEngine>,
+}
+
+impl MonitorPool {
+    /// Creates an empty pool; add sessions with
+    /// [`MonitorPool::add_session`].
+    pub fn new(pipeline: TrainedPipeline, mode: ContextMode) -> Self {
+        Self { pipeline, mode, threshold: 0.5, sessions: Vec::new() }
     }
-    let mut best = *values.front().expect("non-empty");
-    let mut best_n = 0usize;
-    for &v in values {
-        let n = counts[&v];
-        if n > best_n {
-            best = v;
-            best_n = n;
+
+    /// Creates a pool with `n` sessions.
+    pub fn with_sessions(pipeline: TrainedPipeline, mode: ContextMode, n: usize) -> Self {
+        let mut pool = Self::new(pipeline, mode);
+        for _ in 0..n {
+            pool.add_session();
         }
+        pool
     }
-    best
+
+    /// Opens a new session and returns its id.
+    pub fn add_session(&mut self) -> SessionId {
+        self.sessions.push(InferenceEngine::new(&self.pipeline, self.mode));
+        self.sessions.len() - 1
+    }
+
+    /// Number of open sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Sets the alert threshold shared by all sessions (default 0.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if not within `(0, 1)`.
+    pub fn set_threshold(&mut self, threshold: f32) {
+        self.threshold = checked_threshold(threshold);
+    }
+
+    /// Feeds one frame of `session`; returns a decision once that session
+    /// is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown session id, or in [`ContextMode::Perfect`]
+    /// (use [`MonitorPool::push_with_context`]).
+    pub fn push(&mut self, session: SessionId, frame: &KinematicSample) -> Option<MonitorOutput> {
+        let start = Instant::now();
+        let step = self.sessions[session].step(&mut self.pipeline, frame);
+        let compute_ms = start.elapsed().as_secs_f32() * 1000.0;
+        output_from_step(&step, self.threshold, compute_ms)
+    }
+
+    /// Feeds one frame of `session` with externally supplied context.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown session id.
+    pub fn push_with_context(
+        &mut self,
+        session: SessionId,
+        frame: &KinematicSample,
+        gesture: Gesture,
+    ) -> Option<MonitorOutput> {
+        let start = Instant::now();
+        let step =
+            self.sessions[session].step_with_context(&mut self.pipeline, frame, gesture.index());
+        let compute_ms = start.elapsed().as_secs_f32() * 1000.0;
+        output_from_step(&step, self.threshold, compute_ms)
+    }
+
+    /// Clears one session's state (call between procedures).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown session id.
+    pub fn reset_session(&mut self, session: SessionId) {
+        self.sessions[session].reset();
+    }
+
+    /// The shared pipeline.
+    pub fn pipeline(&self) -> &TrainedPipeline {
+        &self.pipeline
+    }
+
+    /// Releases the shared pipeline, dropping all sessions.
+    pub fn into_pipeline(self) -> TrainedPipeline {
+        self.pipeline
+    }
 }
 
 #[cfg(test)]
@@ -210,17 +259,11 @@ mod tests {
                 online_scores.push(out.unsafe_probability);
             }
         }
-        let warm = monitor
-            .pipeline
-            .config
-            .window
-            .width
-            .max(monitor.pipeline.config.gesture_window);
+        let warm = monitor.pipeline.config.window.width.max(monitor.pipeline.config.gesture_window);
         assert_eq!(online_gestures.len(), demo.len() - warm + 1);
         assert_eq!(&offline.gesture_pred[warm - 1..], &online_gestures[..]);
-        for (a, b) in offline.unsafe_score[warm - 1..].iter().zip(online_scores.iter()) {
-            assert!((a - b).abs() < 1e-6);
-        }
+        // Offline and online are the same engine code: exact equality.
+        assert_eq!(&offline.unsafe_score[warm - 1..], &online_scores[..]);
     }
 
     #[test]
@@ -273,5 +316,66 @@ mod tests {
             }
         }
         assert!(strict_alerts <= lax_alerts);
+    }
+
+    #[test]
+    fn pool_sessions_match_dedicated_monitors() {
+        let (pipeline, ds) = trained();
+        // Reference: each demo through its own SafetyMonitor.
+        let mut reference: Vec<Vec<MonitorOutput>> = Vec::new();
+        let mut pipeline = pipeline;
+        for demo in ds.demos.iter().take(3) {
+            let mut monitor = SafetyMonitor::new(pipeline, ContextMode::Predicted);
+            let outs = demo.frames.iter().filter_map(|f| monitor.push(f)).collect();
+            reference.push(outs);
+            pipeline = monitor.into_pipeline();
+        }
+
+        // Pool: the same three demos, frames interleaved round-robin.
+        let mut pool = MonitorPool::with_sessions(pipeline, ContextMode::Predicted, 3);
+        let mut pooled: Vec<Vec<MonitorOutput>> = vec![Vec::new(); 3];
+        let longest = ds.demos.iter().take(3).map(|d| d.len()).max().unwrap();
+        for t in 0..longest {
+            for (s, demo) in ds.demos.iter().take(3).enumerate() {
+                if let Some(frame) = demo.frames.get(t) {
+                    if let Some(out) = pool.push(s, frame) {
+                        pooled[s].push(out);
+                    }
+                }
+            }
+        }
+
+        for (s, (a, b)) in reference.iter().zip(pooled.iter()).enumerate() {
+            assert_eq!(a.len(), b.len(), "session {s} output count");
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.gesture, y.gesture, "session {s}");
+                // Exact equality: same engine code, same weights.
+                assert_eq!(x.unsafe_probability, y.unsafe_probability, "session {s}");
+                assert_eq!(x.alert, y.alert, "session {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_reset_affects_only_one_session() {
+        let (pipeline, ds) = trained();
+        let warm = pipeline.config.window.width.max(pipeline.config.gesture_window);
+        let mut pool = MonitorPool::with_sessions(pipeline, ContextMode::Predicted, 2);
+        // Warm both sessions fully.
+        for frame in ds.demos[0].frames.iter().take(warm + 3) {
+            let _ = pool.push(0, frame);
+            let _ = pool.push(1, frame);
+        }
+        assert!(pool.push(0, &ds.demos[0].frames[warm + 3]).is_some(), "session 0 warm");
+        assert!(pool.push(1, &ds.demos[0].frames[warm + 3]).is_some(), "session 1 warm");
+
+        pool.reset_session(0);
+        // Session 0 is cold again; session 1 keeps emitting from its state.
+        assert!(pool.push(0, &ds.demos[0].frames[0]).is_none(), "session 0 reset");
+        assert!(
+            pool.push(1, &ds.demos[0].frames[warm + 4]).is_some(),
+            "session 1 unaffected by session 0's reset"
+        );
+        assert_eq!(pool.session_count(), 2);
     }
 }

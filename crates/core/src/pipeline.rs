@@ -6,10 +6,11 @@
 //! window to its gesture-specific classifier.
 
 use crate::config::MonitorConfig;
+use crate::engine::InferenceEngine;
 use crate::models::{error_classifier_spec, gesture_classifier_spec};
 use gestures::{Gesture, NUM_GESTURES};
 use kinematics::{windows_with_positions, Dataset, Demonstration, Normalizer};
-use nn::loss::inverse_frequency_weights;
+use nn::loss::{inverse_frequency_weights, softmax_into};
 use nn::{train_classifier, Mat, Network, Sample, SavedNetwork, TrainConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -87,7 +88,11 @@ pub struct MonitorRun {
     pub unsafe_score: Vec<f32>,
     /// Binary unsafe prediction per frame (score > 0.5).
     pub unsafe_pred: Vec<bool>,
-    /// Mean inference time per window, milliseconds.
+    /// Mean inference time **per frame**, milliseconds (total wall time of
+    /// the replay divided by the frame count). Earlier revisions divided by
+    /// a mixed count of stage-1 *plus* stage-2 windows, roughly halving the
+    /// reported latency; per-frame is what the paper's Table VIII
+    /// "computation time per sample" measures.
     pub compute_ms: f32,
 }
 
@@ -173,8 +178,7 @@ impl TrainedPipeline {
             for d in ds {
                 let g_idx = d.gesture_indices();
                 if stages.gesture {
-                    let gfeats =
-                        gesture_normalizer.apply(&d.feature_matrix(&cfg.gesture_features));
+                    let gfeats = gesture_normalizer.apply(&d.feature_matrix(&cfg.gesture_features));
                     let gw = kinematics::WindowConfig::new(cfg.gesture_window, cfg.train_stride);
                     for (w, pos) in windows_with_positions(&gfeats, gw) {
                         gesture_samples.push((w, g_idx[pos]));
@@ -198,8 +202,7 @@ impl TrainedPipeline {
         let (g_val, pg_val, glob_val) = harvest(val_demos);
 
         // Stage 1: gesture classifier (class-weighted for imbalance).
-        let mut gesture_net =
-            Network::new(gesture_classifier_spec(cfg, gesture_in_dim), cfg.seed);
+        let mut gesture_net = Network::new(gesture_classifier_spec(cfg, gesture_in_dim), cfg.seed);
         if stages.gesture {
             let gesture_labels: Vec<usize> = g_train.iter().map(|(_, y)| *y).collect();
             let mut gesture_cfg = cfg.train.clone();
@@ -258,15 +261,18 @@ impl TrainedPipeline {
 
     /// Gesture classes with dedicated error classifiers.
     pub fn dedicated_gestures(&self) -> Vec<Gesture> {
-        self.error_nets
-            .keys()
-            .filter_map(|&g| Gesture::from_index(g))
-            .collect()
+        self.error_nets.keys().filter_map(|&g| Gesture::from_index(g)).collect()
     }
 
     /// Runs the monitor over a demonstration in the given context mode,
-    /// producing per-frame predictions. Frames before the first complete
-    /// window inherit the first window's outputs (warm-up backfill).
+    /// producing per-frame predictions.
+    ///
+    /// Offline replay **is** the streaming path: this drives one
+    /// [`InferenceEngine`] over the frames, so the outputs from the first
+    /// fully warm frame onward are bit-identical to what
+    /// [`SafetyMonitor::push`](crate::monitor::SafetyMonitor::push) emits.
+    /// Frames before a stage's first output inherit that first output
+    /// (warm-up backfill).
     ///
     /// # Panics
     ///
@@ -277,55 +283,37 @@ impl TrainedPipeline {
         assert!(demo.len() >= w.max(gw), "demonstration shorter than window");
         let truth = demo.gesture_indices();
         let started = Instant::now();
-        let mut n_windows = 0usize;
 
-        // Stage 1: per-frame gesture context.
+        let mut engine = InferenceEngine::new(self, mode);
         let mut gesture_pred = vec![0usize; demo.len()];
-        match mode {
-            ContextMode::Perfect => gesture_pred.copy_from_slice(&truth),
-            ContextMode::Predicted | ContextMode::NoContext => {
-                let gfeats = self
-                    .gesture_normalizer
-                    .apply(&demo.feature_matrix(&self.config.gesture_features));
-                let gcfg = kinematics::WindowConfig::new(gw, 1);
-                let mut raw = vec![0usize; demo.len()];
-                for (window, pos) in windows_with_positions(&gfeats, gcfg) {
-                    n_windows += 1;
-                    raw[pos] = self.gesture_net.predict(&window).argmax_row(0);
-                }
-                // Causal mode filter over the raw predictions (online-safe:
-                // only past frames contribute).
-                let k = self.config.gesture_smoothing.max(1);
-                for pos in gw - 1..demo.len() {
-                    let lo = pos.saturating_sub(k - 1).max(gw - 1);
-                    gesture_pred[pos] = mode_of(&raw[lo..=pos]);
-                }
-                for t in 0..gw - 1 {
-                    gesture_pred[t] = gesture_pred[gw - 1];
-                }
-            }
-        }
-
-        // Stage 2: per-frame unsafe score routed by the stage-1 context.
-        let feats = self.normalizer.apply(&demo.feature_matrix(&self.config.features));
-        let wcfg = kinematics::WindowConfig::new(w, 1);
         let mut unsafe_score = vec![0.0f32; demo.len()];
-        for (window, pos) in windows_with_positions(&feats, wcfg) {
-            n_windows += 1;
-            let score = self.score_window(&window, gesture_pred[pos], mode);
-            unsafe_score[pos] = score;
-            if pos + 1 == w {
-                for t in 0..pos {
-                    unsafe_score[t] = score;
-                }
+        let mut first_gesture = None;
+        let mut first_score = None;
+        for (pos, frame) in demo.frames.iter().enumerate() {
+            let step = match mode {
+                ContextMode::Perfect => engine.step_with_context(self, frame, truth[pos]),
+                _ => engine.step(self, frame),
+            };
+            if let Some(g) = step.gesture {
+                first_gesture.get_or_insert(pos);
+                gesture_pred[pos] = g;
+            }
+            if let Some(s) = step.unsafe_score {
+                first_score.get_or_insert(pos);
+                unsafe_score[pos] = s;
             }
         }
+        // Warm-up backfill: frames before a stage's first output inherit it.
+        if let Some(first) = first_gesture {
+            let warm = gesture_pred[first];
+            gesture_pred[..first].fill(warm);
+        }
+        if let Some(first) = first_score {
+            let warm = unsafe_score[first];
+            unsafe_score[..first].fill(warm);
+        }
 
-        let compute_ms = if n_windows == 0 {
-            f32::NAN
-        } else {
-            started.elapsed().as_secs_f32() * 1000.0 / n_windows as f32
-        };
+        let compute_ms = started.elapsed().as_secs_f32() * 1000.0 / demo.len() as f32;
         let unsafe_pred = unsafe_score.iter().map(|&s| s > 0.5).collect();
         MonitorRun { gesture_pred, unsafe_score, unsafe_pred, compute_ms }
     }
@@ -334,15 +322,32 @@ impl TrainedPipeline {
     /// gesture-specific classifier (with global fallback) or the global
     /// classifier depending on `mode`.
     pub fn score_window(&mut self, window: &Mat, gesture: usize, mode: ContextMode) -> f32 {
+        let mut logits = Mat::zeros(0, 0);
+        let mut probs = [0.0f32; 2];
+        self.score_window_into(window, gesture, mode, &mut logits, &mut probs)
+    }
+
+    /// Allocation-free [`TrainedPipeline::score_window`]: the forward pass
+    /// writes into `logits` and the softmax into `probs`, both reused by the
+    /// caller across frames. Bit-identical results to `score_window`.
+    pub fn score_window_into(
+        &mut self,
+        window: &Mat,
+        gesture: usize,
+        mode: ContextMode,
+        logits: &mut Mat,
+        probs: &mut [f32; 2],
+    ) -> f32 {
         let net = match mode {
             ContextMode::NoContext => self.global_error_net.as_mut(),
-            _ => self
-                .error_nets
-                .get_mut(&gesture)
-                .or(self.global_error_net.as_mut()),
+            _ => self.error_nets.get_mut(&gesture).or(self.global_error_net.as_mut()),
         };
         match net {
-            Some(net) => nn::predict_proba(net, window)[1],
+            Some(net) => {
+                net.predict_into(window, logits);
+                softmax_into(logits.row(0), probs);
+                probs[1]
+            }
             None => 0.0,
         }
     }
@@ -354,11 +359,7 @@ impl TrainedPipeline {
             normalizer: self.normalizer.clone(),
             gesture_normalizer: self.gesture_normalizer.clone(),
             gesture: self.gesture_net.save(),
-            errors: self
-                .error_nets
-                .iter_mut()
-                .map(|(&g, net)| (g, net.save()))
-                .collect(),
+            errors: self.error_nets.iter_mut().map(|(&g, net)| (g, net.save())).collect(),
             global: self.global_error_net.as_mut().map(|n| n.save()),
             in_dim: self.in_dim,
             gesture_in_dim: self.gesture_in_dim,
@@ -372,35 +373,12 @@ impl TrainedPipeline {
             normalizer: saved.normalizer,
             gesture_normalizer: saved.gesture_normalizer,
             gesture_net: Network::from_saved(&saved.gesture),
-            error_nets: saved
-                .errors
-                .iter()
-                .map(|(g, s)| (*g, Network::from_saved(s)))
-                .collect(),
+            error_nets: saved.errors.iter().map(|(g, s)| (*g, Network::from_saved(s))).collect(),
             global_error_net: saved.global.as_ref().map(Network::from_saved),
             in_dim: saved.in_dim,
             gesture_in_dim: saved.gesture_in_dim,
         }
     }
-}
-
-/// Most frequent value in a non-empty slice (earliest-seen wins ties).
-fn mode_of(values: &[usize]) -> usize {
-    debug_assert!(!values.is_empty());
-    let mut counts = std::collections::BTreeMap::new();
-    for &v in values {
-        *counts.entry(v).or_insert(0usize) += 1;
-    }
-    let mut best = values[0];
-    let mut best_n = 0usize;
-    for &v in values {
-        let n = counts[&v];
-        if n > best_n {
-            best = v;
-            best_n = n;
-        }
-    }
-    best
 }
 
 fn train_binary(

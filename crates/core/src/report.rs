@@ -69,8 +69,7 @@ pub fn evaluate_run(demo: &Demonstration, run: &MonitorRun) -> DemoEval {
     let labels = demo.unsafe_labels.clone();
     let auc = auc(&run.unsafe_score, &labels);
     let has_positives = labels.iter().any(|&l| l);
-    let f1 = has_positives
-        .then(|| BinaryCounts::from_predictions(&run.unsafe_pred, &labels).f1());
+    let f1 = has_positives.then(|| BinaryCounts::from_predictions(&run.unsafe_pred, &labels).f1());
 
     let lookback = (REACTION_LOOKBACK_S * demo.hz) as usize;
     let events = error_events(demo);
@@ -80,10 +79,7 @@ pub fn evaluate_run(demo: &Demonstration, run: &MonitorRun) -> DemoEval {
         .filter_map(|r| r.reaction_frames())
         .map(|f| frames_to_ms(f, demo.hz))
         .collect();
-    let early = reactions
-        .iter()
-        .filter(|r| r.reaction_frames().is_some_and(|f| f > 0))
-        .count();
+    let early = reactions.iter().filter(|r| r.reaction_frames().is_some_and(|f| f > 0)).count();
 
     DemoEval {
         demo_id: demo.id.clone(),
@@ -160,7 +156,8 @@ impl PipelineEval {
                 RocCurve::from_scores(&d.scores, &d.labels).map(|c| (d.demo_id.clone(), c))
             })
             .collect();
-        curves.sort_by(|a, b| a.1.auc().partial_cmp(&b.1.auc()).unwrap_or(std::cmp::Ordering::Equal));
+        curves
+            .sort_by(|a, b| a.1.auc().partial_cmp(&b.1.auc()).unwrap_or(std::cmp::Ordering::Equal));
         curves
     }
 
@@ -279,11 +276,7 @@ mod tests {
     use kinematics::FeatureSet;
 
     fn setup() -> (TrainedPipeline, Dataset, Vec<usize>, Vec<usize>) {
-        let ds = generate(
-            &GeneratorConfig::fast(Task::Suturing)
-                .with_seed(41)
-                .with_demos(10),
-        );
+        let ds = generate(&GeneratorConfig::fast(Task::Suturing).with_seed(41).with_demos(10));
         let mut cfg = MonitorConfig::fast(FeatureSet::CRG).with_seed(9);
         cfg.train.epochs = 5;
         cfg.train_stride = 3;

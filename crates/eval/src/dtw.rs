@@ -26,11 +26,7 @@ impl DtwResult {
 /// Euclidean distance between two equal-length points.
 fn euclid(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b.iter())
-        .map(|(&x, &y)| (x - y) * (x - y))
-        .sum::<f32>()
-        .sqrt()
+    a.iter().zip(b.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum::<f32>().sqrt()
 }
 
 /// Computes DTW between two multivariate sequences with an optional
@@ -50,9 +46,7 @@ pub fn dtw(a: &[Vec<f32>], b: &[Vec<f32>], window: Option<usize>) -> Option<DtwR
     }
 
     // Effective band must at least cover the diagonal slope difference.
-    let w = window
-        .map(|w| w.max(n.abs_diff(m)))
-        .unwrap_or(n.max(m));
+    let w = window.map(|w| w.max(n.abs_diff(m))).unwrap_or(n.max(m));
 
     let inf = f32::INFINITY;
     let mut cost = vec![inf; (n + 1) * (m + 1)];
@@ -64,9 +58,7 @@ pub fn dtw(a: &[Vec<f32>], b: &[Vec<f32>], window: Option<usize>) -> Option<DtwR
         let j_hi = (i + w).min(m);
         for j in j_lo..=j_hi {
             let d = euclid(&a[i - 1], &b[j - 1]);
-            let best = cost[idx(i - 1, j)]
-                .min(cost[idx(i, j - 1)])
-                .min(cost[idx(i - 1, j - 1)]);
+            let best = cost[idx(i - 1, j)].min(cost[idx(i, j - 1)]).min(cost[idx(i - 1, j - 1)]);
             cost[idx(i, j)] = d + best;
         }
     }

@@ -147,9 +147,7 @@ mod tests {
         // Riemann sum over a wide interval.
         let (lo, hi, steps) = (-6.0f32, 6.0f32, 2400usize);
         let dx = (hi - lo) / steps as f32;
-        let integral: f32 = (0..steps)
-            .map(|i| kde.pdf(&[lo + (i as f32 + 0.5) * dx]) * dx)
-            .sum();
+        let integral: f32 = (0..steps).map(|i| kde.pdf(&[lo + (i as f32 + 0.5) * dx]) * dx).sum();
         assert!((integral - 1.0).abs() < 0.02, "integral {integral}");
     }
 

@@ -172,8 +172,7 @@ mod tests {
 
     #[test]
     fn csv_has_header_and_rows() {
-        let curve =
-            RocCurve::from_scores(&[0.9, 0.1], &[true, false]).unwrap();
+        let curve = RocCurve::from_scores(&[0.9, 0.1], &[true, false]).unwrap();
         let csv = curve.to_csv();
         assert!(csv.starts_with("fpr,tpr"));
         assert!(csv.lines().count() >= 3);

@@ -73,11 +73,7 @@ impl JitterMeasurement {
 /// # Panics
 ///
 /// Panics if the streams have different lengths.
-pub fn gesture_jitter(
-    truth: &[usize],
-    pred: &[usize],
-    lookback: usize,
-) -> Vec<JitterMeasurement> {
+pub fn gesture_jitter(truth: &[usize], pred: &[usize], lookback: usize) -> Vec<JitterMeasurement> {
     assert_eq!(truth.len(), pred.len(), "truth/pred length mismatch");
     segments(truth)
         .into_iter()
@@ -115,8 +111,7 @@ pub struct ReactionMeasurement {
 impl ReactionMeasurement {
     /// `actual - detected` in frames (Equation 4); positive = early.
     pub fn reaction_frames(&self) -> Option<isize> {
-        self.detected_frame
-            .map(|d| self.event.actual_frame as isize - d as isize)
+        self.detected_frame.map(|d| self.event.actual_frame as isize - d as isize)
     }
 }
 
@@ -157,10 +152,7 @@ pub fn early_detection_rate(measurements: &[ReactionMeasurement]) -> f32 {
     if measurements.is_empty() {
         return f32::NAN;
     }
-    let early = measurements
-        .iter()
-        .filter(|m| m.reaction_frames().is_some_and(|r| r > 0))
-        .count();
+    let early = measurements.iter().filter(|m| m.reaction_frames().is_some_and(|r| r > 0)).count();
     early as f32 / measurements.len() as f32
 }
 

@@ -6,9 +6,9 @@
 
 use crate::spec::{CartesianFault, FaultInjector, FaultSpec, GrasperFault};
 use crossbeam::thread;
-use raven_sim::{run_block_transfer, FailureMode, SimConfig, Trial};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use raven_sim::{run_block_transfer, FailureMode, SimConfig, Trial};
 use serde::{Deserialize, Serialize};
 
 /// One cell of the Table III grid.
@@ -213,10 +213,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
                     .collect::<Vec<_>>()
             }));
         }
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("campaign worker panicked"))
-            .collect()
+        handles.into_iter().flat_map(|h| h.join().expect("campaign worker panicked")).collect()
     })
     .expect("campaign scope");
 

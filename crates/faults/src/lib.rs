@@ -21,7 +21,5 @@ pub use campaign::{
     run_campaign, run_injection, sample_spec, table3_grid, CampaignConfig, CampaignReport,
     CellResult, GridCell,
 };
-pub use dataset::{
-    build_block_transfer_dataset, relabel_with_injection, BlockTransferDataConfig,
-};
+pub use dataset::{build_block_transfer_dataset, relabel_with_injection, BlockTransferDataConfig};
 pub use spec::{CartesianFault, FaultInjector, FaultSpec, GrasperFault, TARGET_ARM};

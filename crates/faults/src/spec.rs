@@ -121,8 +121,7 @@ impl CommandFilter for FaultInjector {
                 let span = (c.interval.1 - c.interval.0).max(1e-3);
                 // Ramp the deviation in over the first 20% of the interval.
                 let ramp = ((progress - c.interval.0) / (0.2 * span)).clamp(0.0, 1.0);
-                let per_axis =
-                    c.deviation * CARTESIAN_UNIT_SCALE / 3.0_f32.sqrt() * ramp;
+                let per_axis = c.deviation * CARTESIAN_UNIT_SCALE / 3.0_f32.sqrt() * ramp;
                 let p = &mut commands.arms[TARGET_ARM].position;
                 p.x += per_axis;
                 p.y += per_axis;

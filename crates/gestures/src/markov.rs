@@ -172,12 +172,8 @@ impl MarkovChain {
     pub fn l1_distance(&self, other: &MarkovChain) -> f32 {
         let mut total = 0.0f32;
         let mut rows = 0usize;
-        let start_d: f32 = self
-            .start
-            .iter()
-            .zip(other.start.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let start_d: f32 =
+            self.start.iter().zip(other.start.iter()).map(|(a, b)| (a - b).abs()).sum();
         total += start_d;
         rows += 1;
         for g in 0..NUM_GESTURES {
@@ -200,11 +196,7 @@ impl MarkovChain {
         let mut out = String::new();
         for g in 0..NUM_GESTURES {
             if self.start[g] > 0.0 {
-                out.push_str(&format!(
-                    "Start -> G{:<3} : {:.2}\n",
-                    g + 1,
-                    self.start[g]
-                ));
+                out.push_str(&format!("Start -> G{:<3} : {:.2}\n", g + 1, self.start[g]));
             }
         }
         for g in 0..NUM_GESTURES {
@@ -297,8 +289,7 @@ mod tests {
     fn estimate_converges_to_reference_suturing_chain() {
         let reference = Task::Suturing.reference_chain();
         let mut rng = SmallRng::seed_from_u64(7);
-        let seqs: Vec<Vec<Gesture>> =
-            (0..800).map(|_| reference.sample(&mut rng, 60)).collect();
+        let seqs: Vec<Vec<Gesture>> = (0..800).map(|_| reference.sample(&mut rng, 60)).collect();
         let estimated = MarkovChain::estimate(&seqs);
         let d = reference.l1_distance(&estimated);
         assert!(d < 0.12, "estimated chain too far from reference: L1 {d}");

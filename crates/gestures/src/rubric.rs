@@ -64,7 +64,8 @@ pub const RUBRIC: &[ErrorMode] = &[
     },
     ErrorMode {
         gesture: Gesture::G3,
-        failure_mode: "driving with more than one movement / not removing the needle along its curve",
+        failure_mode:
+            "driving with more than one movement / not removing the needle along its curve",
         causes: &[WrongCartesianPosition],
     },
     ErrorMode {
@@ -97,11 +98,7 @@ pub const RUBRIC: &[ErrorMode] = &[
         failure_mode: "uses tissue/instrument for stability / more than one attempt at orienting",
         causes: &[WrongRotation],
     },
-    ErrorMode {
-        gesture: Gesture::G9,
-        failure_mode: "knot left loose",
-        causes: &[LowPressure],
-    },
+    ErrorMode { gesture: Gesture::G9, failure_mode: "knot left loose", causes: &[LowPressure] },
     ErrorMode {
         gesture: Gesture::G11,
         failure_mode: "failure to dropoff",

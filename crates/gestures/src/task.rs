@@ -81,9 +81,7 @@ impl Task {
                 c.set_transition(G12, G13, 1.0);
                 c.set_transition(G13, G14, 0.95).set_transition(G13, G15, 0.05);
                 c.set_transition(G14, G15, 1.0);
-                c.set_transition(G15, G13, 0.55)
-                    .set_transition(G15, G11, 0.35)
-                    .set_end(G15, 0.10);
+                c.set_transition(G15, G13, 0.55).set_transition(G15, G11, 0.35).set_end(G15, 0.10);
                 c.set_transition(G11, G13, 0.10).set_end(G11, 0.90);
             }
             Task::NeedlePassing => {
@@ -147,18 +145,14 @@ mod tests {
     #[test]
     fn every_reference_chain_is_normalized() {
         for task in ALL_TASKS {
-            assert!(
-                task.reference_chain().is_normalized(1e-4),
-                "{task} chain not normalized"
-            );
+            assert!(task.reference_chain().is_normalized(1e-4), "{task} chain not normalized");
         }
     }
 
     #[test]
     fn chains_only_use_the_task_vocabulary() {
         for task in ALL_TASKS {
-            let vocab: std::collections::HashSet<_> =
-                task.gestures().iter().copied().collect();
+            let vocab: std::collections::HashSet<_> = task.gestures().iter().copied().collect();
             for g in task.reference_chain().support() {
                 assert!(vocab.contains(&g), "{task} chain uses {g} outside its vocabulary");
             }
@@ -170,8 +164,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         for task in ALL_TASKS {
             let chain = task.reference_chain();
-            let vocab: std::collections::HashSet<_> =
-                task.gestures().iter().copied().collect();
+            let vocab: std::collections::HashSet<_> = task.gestures().iter().copied().collect();
             for _ in 0..50 {
                 for g in chain.sample(&mut rng, 80) {
                     assert!(vocab.contains(&g));

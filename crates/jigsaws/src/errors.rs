@@ -130,8 +130,7 @@ pub fn apply_signature(
                     0.5 * GRASPER_OPEN + 0.1 * randn(rng)
                 };
                 for &a in &active {
-                    f.arms[a].grasper =
-                        (f.arms[a].grasper + bump).clamp(0.0, GRASPER_OPEN * 1.1);
+                    f.arms[a].grasper = (f.arms[a].grasper + bump).clamp(0.0, GRASPER_OPEN * 1.1);
                 }
             }
             peak
@@ -162,11 +161,8 @@ pub fn apply_signature(
         ErrorSignature::OutOfView => {
             // Rush out of the visible workspace early and linger there.
             let onset = n / 5;
-            let excursion = Vec3::new(
-                160.0 * randn(rng).signum(),
-                140.0 * randn(rng).signum(),
-                0.0,
-            );
+            let excursion =
+                Vec3::new(160.0 * randn(rng).signum(), 140.0 * randn(rng).signum(), 0.0);
             for (t, f) in frames.iter_mut().enumerate().skip(onset) {
                 let s = (t - onset) as f32 / (n - onset).max(1) as f32;
                 // Fast exit (by 20% of the remaining gesture), plateau away
@@ -216,7 +212,9 @@ pub fn default_error_rates(task: Task) -> Vec<(Gesture, f32)> {
             (G10, 0.0),
             (G11, 0.0),
         ],
-        Task::KnotTying => vec![(G1, 0.2), (G11, 0.15), (G12, 0.2), (G13, 0.3), (G14, 0.2), (G15, 0.25)],
+        Task::KnotTying => {
+            vec![(G1, 0.2), (G11, 0.15), (G12, 0.2), (G13, 0.3), (G14, 0.2), (G15, 0.25)]
+        }
         Task::NeedlePassing => vec![
             (G1, 0.25),
             (G2, 0.3),
@@ -233,11 +231,7 @@ pub fn default_error_rates(task: Task) -> Vec<(Gesture, f32)> {
 
 /// Looks up the error rate for `gesture` in a rate table (0 if absent).
 pub fn rate_for(rates: &[(Gesture, f32)], gesture: Gesture) -> f32 {
-    rates
-        .iter()
-        .find(|(g, _)| *g == gesture)
-        .map(|&(_, r)| r)
-        .unwrap_or(0.0)
+    rates.iter().find(|(g, _)| *g == gesture).map(|&(_, r)| r).unwrap_or(0.0)
 }
 
 #[cfg(test)]
@@ -262,7 +256,8 @@ mod tests {
     fn grasper_spike_opens_grasper() {
         let mut rng = SmallRng::seed_from_u64(1);
         let mut frames = straight_line(30);
-        let at = apply_signature(ErrorSignature::GrasperSpike, &mut frames, ArmSel::Right, &mut rng);
+        let at =
+            apply_signature(ErrorSignature::GrasperSpike, &mut frames, ArmSel::Right, &mut rng);
         let max = frames.iter().map(|f| f.arms[1].grasper).fold(0.0f32, f32::max);
         assert!(max > 0.8, "spike should open grasper, max {max}");
         assert!(at < 30);
@@ -277,7 +272,8 @@ mod tests {
         for f in &mut frames {
             f.arms[1].grasper = 1.2; // would-be release
         }
-        let at = apply_signature(ErrorSignature::FailedRelease, &mut frames, ArmSel::Right, &mut rng);
+        let at =
+            apply_signature(ErrorSignature::FailedRelease, &mut frames, ArmSel::Right, &mut rng);
         assert!(frames.iter().all(|f| f.arms[1].grasper < 0.5));
         assert_eq!(at, 19);
     }
@@ -295,17 +291,13 @@ mod tests {
     fn multiple_attempts_adds_reversals() {
         let mut rng = SmallRng::seed_from_u64(4);
         let mut frames = straight_line(60);
-        let before_path: f32 = frames
-            .windows(2)
-            .map(|w| w[1].arms[1].pos.distance(w[0].arms[1].pos))
-            .sum();
+        let before_path: f32 =
+            frames.windows(2).map(|w| w[1].arms[1].pos.distance(w[0].arms[1].pos)).sum();
         apply_signature(ErrorSignature::MultipleAttempts, &mut frames, ArmSel::Right, &mut rng);
         // Oscillatory re-approach: total path length grows well beyond the
         // clean straight-line path while the net displacement stays similar.
-        let after_path: f32 = frames
-            .windows(2)
-            .map(|w| w[1].arms[1].pos.distance(w[0].arms[1].pos))
-            .sum();
+        let after_path: f32 =
+            frames.windows(2).map(|w| w[1].arms[1].pos.distance(w[0].arms[1].pos)).sum();
         assert!(
             after_path > 1.5 * before_path,
             "path {after_path} should exceed clean path {before_path}"

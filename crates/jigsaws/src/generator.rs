@@ -50,10 +50,10 @@ impl GeneratorConfig {
         Self {
             task,
             num_demos: match task {
-                Task::Suturing => 39,       // §IV-A
-                Task::KnotTying => 28,      // Table IV
-                Task::NeedlePassing => 36,  // Table IV
-                Task::BlockTransfer => 20,  // fault-free sims, §IV-B
+                Task::Suturing => 39,      // §IV-A
+                Task::KnotTying => 28,     // Table IV
+                Task::NeedlePassing => 36, // Table IV
+                Task::BlockTransfer => 20, // fault-free sims, §IV-B
             },
             seed: 0x5EED,
             hz: 30.0,
@@ -67,12 +67,7 @@ impl GeneratorConfig {
 
     /// A small/fast configuration for unit tests and examples.
     pub fn fast(task: Task) -> Self {
-        Self {
-            num_demos: 8,
-            duration_scale: 0.35,
-            max_gestures: 10,
-            ..Self::new(task)
-        }
+        Self { num_demos: 8, duration_scale: 0.35, max_gestures: 10, ..Self::new(task) }
     }
 
     /// Sets the seed (builder-style).
@@ -102,28 +97,22 @@ impl GeneratorConfig {
 pub fn generate(cfg: &GeneratorConfig) -> Dataset {
     assert!(cfg.num_demos > 0, "num_demos must be positive");
     assert!(cfg.supertrials > 0, "supertrials must be positive");
-    let demos = (0..cfg.num_demos)
-        .map(|i| generate_demo(cfg, i))
-        .collect();
+    let demos = (0..cfg.num_demos).map(|i| generate_demo(cfg, i)).collect();
     Dataset::new(demos)
 }
 
 /// Generates the `index`-th demonstration of the configured task.
 pub fn generate_demo(cfg: &GeneratorConfig, index: usize) -> Demonstration {
-    let mut rng = SmallRng::seed_from_u64(
-        cfg.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-    );
+    let mut rng =
+        SmallRng::seed_from_u64(cfg.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let subject = SUBJECTS[index % SUBJECTS.len()];
     // Subjects differ in skill: experts are steadier and make fewer errors.
     let (noise_mult, error_mult) = match index % 3 {
-        0 => (0.7, 0.7),  // expert
-        1 => (1.0, 1.0),  // intermediate
-        _ => (1.4, 1.3),  // novice
+        0 => (0.7, 0.7), // expert
+        1 => (1.0, 1.0), // intermediate
+        _ => (1.4, 1.3), // novice
     };
-    let rates = cfg
-        .error_rates
-        .clone()
-        .unwrap_or_else(|| default_error_rates(cfg.task));
+    let rates = cfg.error_rates.clone().unwrap_or_else(|| default_error_rates(cfg.task));
 
     let sequence = cfg.task.reference_chain().sample(&mut rng, cfg.max_gestures);
 
@@ -179,7 +168,8 @@ pub fn generate_demo(cfg: &GeneratorConfig, index: usize) -> Demonstration {
 }
 
 fn initial_pose(rng: &mut SmallRng) -> FramePose {
-    let jitter = |rng: &mut SmallRng| Vec3::new(randn(rng) * 4.0, randn(rng) * 4.0, randn(rng) * 2.0);
+    let jitter =
+        |rng: &mut SmallRng| Vec3::new(randn(rng) * 4.0, randn(rng) * 4.0, randn(rng) * 2.0);
     FramePose {
         arms: vec![
             ArmPose { pos: Vec3::new(-40.0, 0.0, 20.0) + jitter(rng), ..ArmPose::default() },
@@ -262,8 +252,7 @@ fn synth_gesture(
             if !prim.arm.includes(a) {
                 // Inactive arm: light tremor around its pose.
                 frame.arms.push(ArmPose {
-                    pos: sp.pos
-                        + Vec3::new(randn(rng), randn(rng), randn(rng)) * (0.15 * noise),
+                    pos: sp.pos + Vec3::new(randn(rng), randn(rng), randn(rng)) * (0.15 * noise),
                     euler: sp.euler,
                     grasper: sp.grasper,
                 });
@@ -271,8 +260,7 @@ fn synth_gesture(
             }
             let (perp, perp2) = dirs[a];
             let arc = perp * (prim.arc * (std::f32::consts::PI * s).sin());
-            let osc = perp2
-                * (prim.oscillation * (2.0 * std::f32::consts::PI * 3.0 * s).sin());
+            let osc = perp2 * (prim.oscillation * (2.0 * std::f32::consts::PI * 3.0 * s).sin());
             let tremor = Vec3::new(randn(rng), randn(rng), randn(rng)) * (0.3 * noise);
             let pos = sp.pos.lerp(targets[a], eased) + arc + osc + tremor;
 

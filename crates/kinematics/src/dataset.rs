@@ -123,10 +123,7 @@ impl Normalizer {
                 }
             }
         }
-        let std = var
-            .iter()
-            .map(|&v| ((v / count as f64).sqrt() as f32).max(1e-6))
-            .collect();
+        let std = var.iter().map(|&v| ((v / count as f64).sqrt() as f32).max(1e-6)).collect();
         Self { mean: mean.into_iter().map(|m| m as f32).collect(), std }
     }
 
@@ -168,11 +165,21 @@ impl Normalizer {
     /// Panics if the length differs from the fitted dimensionality.
     pub fn apply_frame(&self, frame: &[f32]) -> Vec<f32> {
         assert_eq!(frame.len(), self.dims(), "Normalizer::apply_frame: dimension mismatch");
-        frame
-            .iter()
-            .enumerate()
-            .map(|(c, &x)| (x - self.mean[c]) / self.std[c])
-            .collect()
+        frame.iter().enumerate().map(|(c, &x)| (x - self.mean[c]) / self.std[c]).collect()
+    }
+
+    /// Normalizes a single frame in place (the streaming monitor's
+    /// allocation-free per-frame path). Bit-identical to
+    /// [`Normalizer::apply_frame`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the fitted dimensionality.
+    pub fn apply_frame_inplace(&self, frame: &mut [f32]) {
+        assert_eq!(frame.len(), self.dims(), "Normalizer::apply_frame_inplace: dimension mismatch");
+        for (c, x) in frame.iter_mut().enumerate() {
+            *x = (*x - self.mean[c]) / self.std[c];
+        }
     }
 }
 

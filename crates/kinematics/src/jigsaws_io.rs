@@ -105,10 +105,9 @@ pub fn parse_kinematics(
         }
         let mut row = Vec::with_capacity(expected);
         for token in line.split_whitespace() {
-            let x: f32 = token.parse().map_err(|_| ParseError::BadFloat {
-                line: lineno + 1,
-                token: token.to_string(),
-            })?;
+            let x: f32 = token
+                .parse()
+                .map_err(|_| ParseError::BadFloat { line: lineno + 1, token: token.to_string() })?;
             row.push(x);
         }
         if row.len() != expected {
@@ -145,10 +144,7 @@ pub fn format_transcription(gestures: &[Gesture]) -> String {
 ///
 /// Returns a [`ParseError`] for malformed lines, bad spans, or an empty
 /// transcription.
-pub fn parse_transcription(
-    text: &str,
-    num_frames: usize,
-) -> Result<Vec<Gesture>, ParseError> {
+pub fn parse_transcription(text: &str, num_frames: usize) -> Result<Vec<Gesture>, ParseError> {
     let mut labels: Vec<Option<Gesture>> = vec![None; num_frames];
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -156,10 +152,8 @@ pub fn parse_transcription(
             continue;
         }
         let parts: Vec<&str> = line.split_whitespace().collect();
-        let bad = || ParseError::BadTranscriptionLine {
-            line: lineno + 1,
-            content: line.to_string(),
-        };
+        let bad =
+            || ParseError::BadTranscriptionLine { line: lineno + 1, content: line.to_string() };
         if parts.len() != 3 {
             return Err(bad());
         }
@@ -189,10 +183,7 @@ pub fn parse_transcription(
             None => *l = next,
         }
     }
-    labels
-        .into_iter()
-        .collect::<Option<Vec<_>>>()
-        .ok_or(ParseError::EmptyTranscription)
+    labels.into_iter().collect::<Option<Vec<_>>>().ok_or(ParseError::EmptyTranscription)
 }
 
 #[cfg(test)]

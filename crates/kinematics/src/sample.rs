@@ -56,22 +56,28 @@ impl ManipulatorState {
     /// Flattens only the variables selected by `features`.
     pub fn to_feature_vec(&self, features: &FeatureSet) -> Vec<f32> {
         let mut v = Vec::with_capacity(features.dims_per_manipulator());
+        self.append_feature_vec(features, &mut v);
+        v
+    }
+
+    /// Appends the selected variables to `out` without allocating (given
+    /// sufficient capacity) — the streaming monitor's per-frame path.
+    pub fn append_feature_vec(&self, features: &FeatureSet, out: &mut Vec<f32>) {
         if features.cartesian {
-            v.extend_from_slice(&self.position.to_array());
+            out.extend_from_slice(&self.position.to_array());
         }
         if features.rotation {
-            v.extend_from_slice(&self.rotation.m);
+            out.extend_from_slice(&self.rotation.m);
         }
         if features.grasper {
-            v.push(self.grasper_angle);
+            out.push(self.grasper_angle);
         }
         if features.linear_velocity {
-            v.extend_from_slice(&self.linear_velocity.to_array());
+            out.extend_from_slice(&self.linear_velocity.to_array());
         }
         if features.angular_velocity {
-            v.extend_from_slice(&self.angular_velocity.to_array());
+            out.extend_from_slice(&self.angular_velocity.to_array());
         }
-        v
     }
 }
 
@@ -96,10 +102,17 @@ impl KinematicSample {
     /// Flattens all manipulators under the given feature selection.
     pub fn to_feature_vec(&self, features: &FeatureSet) -> Vec<f32> {
         let mut v = Vec::with_capacity(features.dims_per_manipulator() * self.manipulators.len());
-        for m in &self.manipulators {
-            v.extend(m.to_feature_vec(features));
-        }
+        self.to_feature_vec_into(features, &mut v);
         v
+    }
+
+    /// Overwrites `out` with the flattened feature vector, reusing its
+    /// allocation (no heap traffic in steady state).
+    pub fn to_feature_vec_into(&self, features: &FeatureSet, out: &mut Vec<f32>) {
+        out.clear();
+        for m in &self.manipulators {
+            m.append_feature_vec(features, out);
+        }
     }
 
     /// Flattens the complete 19-variable schema for all manipulators.

@@ -232,14 +232,8 @@ mod tests {
     #[test]
     fn gesture_sequence_collapses_runs() {
         let mut d = demo(6);
-        d.gestures = vec![
-            Gesture::G2,
-            Gesture::G2,
-            Gesture::G12,
-            Gesture::G12,
-            Gesture::G6,
-            Gesture::G6,
-        ];
+        d.gestures =
+            vec![Gesture::G2, Gesture::G2, Gesture::G12, Gesture::G12, Gesture::G6, Gesture::G6];
         assert_eq!(d.gesture_sequence(), vec![Gesture::G2, Gesture::G12, Gesture::G6]);
     }
 

@@ -4,7 +4,6 @@
 
 use nn::Mat;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// Sliding-window parameters. The paper uses `w = 5, s = 1` for Suturing and
 /// `w = 10, s = 1` for Block Transfer error classifiers (Tables V/VI).
@@ -76,14 +75,22 @@ pub fn windows_with_positions(features: &Mat, cfg: WindowConfig) -> Vec<(Mat, us
         .collect()
 }
 
-/// An online ring buffer that yields a `(width, features)` window once
+/// An online window buffer that yields a `(width, features)` window once
 /// enough frames have been pushed — the streaming counterpart of
 /// [`windows_with_labels`].
+///
+/// The window is kept materialized as one contiguous [`Mat`] that is handed
+/// out by reference, so pushing a frame performs **no heap allocation**: the
+/// buffer shifts rows with a `memmove` and overwrites the last row. (For the
+/// window sizes the monitor uses — tens of frames × tens of features — the
+/// shift is cheaper than the pointer chasing of a deque of rows, and the
+/// network consumes the window as a contiguous matrix anyway.)
 #[derive(Debug, Clone)]
 pub struct SlidingWindow {
     width: usize,
     dims: usize,
-    buf: VecDeque<Vec<f32>>,
+    filled: usize,
+    window: Mat,
 }
 
 impl SlidingWindow {
@@ -94,26 +101,37 @@ impl SlidingWindow {
     /// Panics if `width == 0` or `dims == 0`.
     pub fn new(width: usize, dims: usize) -> Self {
         assert!(width > 0 && dims > 0, "width and dims must be positive");
-        Self { width, dims, buf: VecDeque::with_capacity(width) }
+        Self { width, dims, filled: 0, window: Mat::zeros(width, dims) }
     }
 
     /// Pushes a frame; returns the current window once the buffer is full.
+    /// The returned reference stays valid until the next `push`.
     ///
     /// # Panics
     ///
     /// Panics if the frame width does not match `dims`.
-    pub fn push(&mut self, frame: &[f32]) -> Option<Mat> {
+    pub fn push(&mut self, frame: &[f32]) -> Option<&Mat> {
         assert_eq!(frame.len(), self.dims, "frame width mismatch");
-        if self.buf.len() == self.width {
-            self.buf.pop_front();
-        }
-        self.buf.push_back(frame.to_vec());
-        if self.buf.len() == self.width {
-            let mut data = Vec::with_capacity(self.width * self.dims);
-            for row in &self.buf {
-                data.extend_from_slice(row);
+        if self.filled == self.width {
+            // Slide: drop the oldest row, append the new one.
+            self.window.as_mut_slice().copy_within(self.dims.., 0);
+            self.window.row_mut(self.width - 1).copy_from_slice(frame);
+            Some(&self.window)
+        } else {
+            self.window.row_mut(self.filled).copy_from_slice(frame);
+            self.filled += 1;
+            if self.filled == self.width {
+                Some(&self.window)
+            } else {
+                None
             }
-            Some(Mat::from_vec(self.width, self.dims, data))
+        }
+    }
+
+    /// The current window, if warm (full).
+    pub fn current(&self) -> Option<&Mat> {
+        if self.filled == self.width {
+            Some(&self.window)
         } else {
             None
         }
@@ -121,17 +139,17 @@ impl SlidingWindow {
 
     /// Number of frames currently buffered.
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.filled
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.filled == 0
     }
 
     /// Clears the buffer (e.g. between demonstrations).
     pub fn clear(&mut self) {
-        self.buf.clear();
+        self.filled = 0;
     }
 }
 
@@ -140,11 +158,7 @@ mod tests {
     use super::*;
 
     fn ramp(rows: usize, cols: usize) -> Mat {
-        Mat::from_vec(
-            rows,
-            cols,
-            (0..rows * cols).map(|i| i as f32).collect(),
-        )
+        Mat::from_vec(rows, cols, (0..rows * cols).map(|i| i as f32).collect())
     }
 
     #[test]
@@ -202,7 +216,7 @@ mod tests {
         let mut online = Vec::new();
         for r in 0..m.rows() {
             if let Some(w) = sw.push(m.row(r)) {
-                online.push((w, r));
+                online.push((w.clone(), r));
             }
         }
         assert_eq!(offline, online);

@@ -22,9 +22,7 @@ pub fn he_uniform(rng: &mut impl Rng, fan_in: usize, rows: usize, cols: usize) -
 
 /// Uniform initialization on `[-limit, limit]`.
 pub fn uniform(rng: &mut impl Rng, rows: usize, cols: usize, limit: f32) -> Mat {
-    let data = (0..rows * cols)
-        .map(|_| rng.gen_range(-limit..=limit))
-        .collect();
+    let data = (0..rows * cols).map(|_| rng.gen_range(-limit..=limit)).collect();
     Mat::from_vec(rows, cols, data)
 }
 

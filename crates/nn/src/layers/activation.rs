@@ -17,17 +17,27 @@ impl Relu {
     }
 }
 
+/// Writes `f` applied to every element of `x` into `out` without
+/// allocating (shared by the activation layers' `forward_into`).
+fn map_into(x: &Mat, out: &mut Mat, f: impl Fn(f32) -> f32) {
+    out.resize(x.rows(), x.cols());
+    for (o, &v) in out.as_mut_slice().iter_mut().zip(x.as_slice().iter()) {
+        *o = f(v);
+    }
+}
+
 impl SeqLayer for Relu {
     fn forward(&mut self, x: &Mat, _mode: Mode) -> Mat {
         self.cached_input = Some(x.clone());
         x.map(|v| v.max(0.0))
     }
 
+    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
+        map_into(x, out, |v| v.max(0.0));
+    }
+
     fn backward(&mut self, grad_out: &Mat) -> Mat {
-        let x = self
-            .cached_input
-            .as_ref()
-            .expect("Relu::backward called before forward");
+        let x = self.cached_input.as_ref().expect("Relu::backward called before forward");
         x.zip_with(grad_out, |xi, g| if xi > 0.0 { g } else { 0.0 })
     }
 
@@ -58,11 +68,12 @@ impl SeqLayer for TanhLayer {
         y
     }
 
+    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
+        map_into(x, out, f32::tanh);
+    }
+
     fn backward(&mut self, grad_out: &Mat) -> Mat {
-        let y = self
-            .cached_output
-            .as_ref()
-            .expect("TanhLayer::backward called before forward");
+        let y = self.cached_output.as_ref().expect("TanhLayer::backward called before forward");
         y.zip_with(grad_out, |yi, g| g * (1.0 - yi * yi))
     }
 
@@ -103,11 +114,12 @@ impl SeqLayer for SigmoidLayer {
         y
     }
 
+    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
+        map_into(x, out, sigmoid);
+    }
+
     fn backward(&mut self, grad_out: &Mat) -> Mat {
-        let y = self
-            .cached_output
-            .as_ref()
-            .expect("SigmoidLayer::backward called before forward");
+        let y = self.cached_output.as_ref().expect("SigmoidLayer::backward called before forward");
         y.zip_with(grad_out, |yi, g| g * yi * (1.0 - yi))
     }
 

@@ -22,6 +22,8 @@ pub struct Conv1d {
     padding: Padding,
     cached_patches: Option<Mat>, // (T', k*Cin)
     cached_input_rows: usize,
+    /// Reused patch buffer for the allocation-free inference path.
+    scratch_patches: Mat,
 }
 
 impl Conv1d {
@@ -47,6 +49,7 @@ impl Conv1d {
             padding,
             cached_patches: None,
             cached_input_rows: 0,
+            scratch_patches: Mat::zeros(0, 0),
         }
     }
 
@@ -95,13 +98,23 @@ impl Conv1d {
 
     /// Extracts the im2col patch matrix `(T', k*Cin)` from a padded view of x.
     fn patches(&self, x: &Mat) -> Mat {
+        let mut out = Mat::zeros(self.output_len(x.rows()), self.kernel * self.in_channels);
+        Self::patches_into(
+            x,
+            self.pad_amounts(x.rows()).0,
+            self.kernel,
+            self.in_channels,
+            &mut out,
+        );
+        out
+    }
+
+    /// Fills `out` with the im2col patch matrix (shared by the training and
+    /// the allocation-free inference paths).
+    fn patches_into(x: &Mat, lo: usize, k: usize, cin: usize, out: &mut Mat) {
         let t = x.rows();
-        let (lo, _hi) = self.pad_amounts(t);
-        let t_out = self.output_len(t);
-        let k = self.kernel;
-        let cin = self.in_channels;
-        let mut out = Mat::zeros(t_out, k * cin);
-        for o in 0..t_out {
+        out.fill(0.0);
+        for o in 0..out.rows() {
             let row = out.row_mut(o);
             for j in 0..k {
                 // Index into the *unpadded* input; out-of-range rows are zero.
@@ -111,7 +124,6 @@ impl Conv1d {
                 }
             }
         }
-        out
     }
 }
 
@@ -132,11 +144,23 @@ impl SeqLayer for Conv1d {
         y
     }
 
+    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
+        assert_eq!(
+            x.cols(),
+            self.in_channels,
+            "Conv1d: expected {} channels, got {}",
+            self.in_channels,
+            x.cols()
+        );
+        let (lo, _hi) = self.pad_amounts(x.rows());
+        self.scratch_patches.resize(self.output_len(x.rows()), self.kernel * self.in_channels);
+        Self::patches_into(x, lo, self.kernel, self.in_channels, &mut self.scratch_patches);
+        self.scratch_patches.matmul_into(&self.weight.value, out);
+        out.add_row_inplace(self.bias.value.row(0));
+    }
+
     fn backward(&mut self, grad_out: &Mat) -> Mat {
-        let patches = self
-            .cached_patches
-            .as_ref()
-            .expect("Conv1d::backward called before forward");
+        let patches = self.cached_patches.as_ref().expect("Conv1d::backward called before forward");
         // dW = patches^T * dY; db = column sums of dY.
         let dw = patches.transpose_matmul(grad_out);
         self.weight.grad.add_scaled_inplace(&dw, 1.0);

@@ -47,11 +47,13 @@ impl SeqLayer for Dense {
         y
     }
 
+    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
+        x.matmul_into(&self.weight.value, out);
+        out.add_row_inplace(self.bias.value.row(0));
+    }
+
     fn backward(&mut self, grad_out: &Mat) -> Mat {
-        let x = self
-            .cached_input
-            .as_ref()
-            .expect("Dense::backward called before forward");
+        let x = self.cached_input.as_ref().expect("Dense::backward called before forward");
         // dW = x^T * dY ; db = sum over rows of dY ; dX = dY * W^T
         let dw = x.transpose_matmul(grad_out);
         self.weight.grad.add_scaled_inplace(&dw, 1.0);

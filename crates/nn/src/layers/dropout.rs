@@ -57,6 +57,11 @@ impl SeqLayer for Dropout {
         }
     }
 
+    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
+        // Inference-mode dropout is the identity.
+        out.copy_from(x);
+    }
+
     fn backward(&mut self, grad_out: &Mat) -> Mat {
         match &self.mask {
             Some(mask) => grad_out.hadamard(mask),

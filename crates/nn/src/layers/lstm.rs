@@ -24,6 +24,16 @@ pub struct Lstm {
     hidden: usize,
     return_sequences: bool,
     cache: Option<Cache>,
+    scratch: Scratch,
+}
+
+/// Reused buffers for the allocation-free inference path.
+#[derive(Debug, Default)]
+struct Scratch {
+    xw: Mat,      // (T, 4H)
+    hu: Vec<f32>, // (4H): h_{t-1} * U
+    h: Vec<f32>,  // (H)
+    c: Vec<f32>,  // (H)
 }
 
 #[derive(Debug)]
@@ -57,6 +67,7 @@ impl Lstm {
             hidden,
             return_sequences,
             cache: None,
+            scratch: Scratch::default(),
         }
     }
 
@@ -133,16 +144,8 @@ impl SeqLayer for Lstm {
             hs.row_mut(t).copy_from_slice(&h_t);
         }
 
-        self.cache = Some(Cache {
-            x: x.clone(),
-            h_prev,
-            c_prev,
-            i: gi,
-            f: gf,
-            g: gg,
-            o: go,
-            tanh_c,
-        });
+        self.cache =
+            Some(Cache { x: x.clone(), h_prev, c_prev, i: gi, f: gf, g: gg, o: go, tanh_c });
 
         if self.return_sequences {
             hs
@@ -151,11 +154,71 @@ impl SeqLayer for Lstm {
         }
     }
 
+    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
+        let t_len = x.rows();
+        let h = self.hidden;
+        assert!(t_len > 0, "Lstm: empty input sequence");
+        assert_eq!(
+            x.cols(),
+            self.w.value.rows(),
+            "Lstm: expected {} input features, got {}",
+            self.w.value.rows(),
+            x.cols()
+        );
+
+        x.matmul_into(&self.w.value, &mut self.scratch.xw); // (T, 4H)
+        self.scratch.hu.resize(4 * h, 0.0);
+        self.scratch.h.clear();
+        self.scratch.h.resize(h, 0.0);
+        self.scratch.c.clear();
+        self.scratch.c.resize(h, 0.0);
+        if self.return_sequences {
+            out.resize(t_len, h);
+        } else {
+            out.resize(1, h);
+        }
+
+        let u = &self.u.value;
+        let b_row = self.b.value.row(0);
+        for t in 0..t_len {
+            // hu = h_{t-1} * U, with the same skip-zero accumulation order
+            // as Mat::matmul so results match `forward` bit-for-bit.
+            self.scratch.hu.fill(0.0);
+            for (k, &a) in self.scratch.h.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let u_row = u.row(k);
+                for (o, &w) in self.scratch.hu.iter_mut().zip(u_row.iter()) {
+                    *o += a * w;
+                }
+            }
+
+            let xw_row = self.scratch.xw.row(t);
+            for k in 0..h {
+                let zi = xw_row[k] + self.scratch.hu[k] + b_row[k];
+                let zf = xw_row[h + k] + self.scratch.hu[h + k] + b_row[h + k];
+                let zg = xw_row[2 * h + k] + self.scratch.hu[2 * h + k] + b_row[2 * h + k];
+                let zo = xw_row[3 * h + k] + self.scratch.hu[3 * h + k] + b_row[3 * h + k];
+                let i = Self::sigmoid(zi);
+                let f = Self::sigmoid(zf);
+                let g = zg.tanh();
+                let o = Self::sigmoid(zo);
+                let c_new = f * self.scratch.c[k] + i * g;
+                self.scratch.c[k] = c_new;
+                self.scratch.h[k] = o * c_new.tanh();
+            }
+            if self.return_sequences {
+                out.row_mut(t).copy_from_slice(&self.scratch.h);
+            }
+        }
+        if !self.return_sequences {
+            out.row_mut(0).copy_from_slice(&self.scratch.h);
+        }
+    }
+
     fn backward(&mut self, grad_out: &Mat) -> Mat {
-        let cache = self
-            .cache
-            .as_ref()
-            .expect("Lstm::backward called before forward");
+        let cache = self.cache.as_ref().expect("Lstm::backward called before forward");
         let t_len = cache.x.rows();
         let h = self.hidden;
 

@@ -39,6 +39,21 @@ pub trait SeqLayer: Send {
     /// Computes the layer output for input `x`.
     fn forward(&mut self, x: &Mat, mode: Mode) -> Mat;
 
+    /// Inference-only forward pass writing the output into `out`.
+    ///
+    /// Semantically identical (bit-for-bit) to `forward(x, Mode::Eval)`,
+    /// but caches nothing for `backward` and reuses layer-owned scratch
+    /// buffers plus the caller's `out` allocation, so the steady-state hot
+    /// path performs no heap allocation. `backward` must not be called
+    /// after `forward_into`.
+    ///
+    /// The default implementation falls back to `forward` (allocating);
+    /// every layer in this crate overrides it.
+    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
+        let y = self.forward(x, Mode::Eval);
+        out.copy_from(&y);
+    }
+
     /// Propagates `grad_out` (d loss / d output) backwards, accumulating
     /// parameter gradients and returning d loss / d input.
     fn backward(&mut self, grad_out: &Mat) -> Mat;
@@ -79,12 +94,7 @@ pub enum LayerSpec {
     /// Temporal batch normalization over the time axis.
     BatchNorm { dim: usize },
     /// 1-D convolution over the time axis.
-    Conv1d {
-        in_channels: usize,
-        out_channels: usize,
-        kernel: usize,
-        padding: Padding,
-    },
+    Conv1d { in_channels: usize, out_channels: usize, kernel: usize, padding: Padding },
     /// Max pooling with kernel = stride.
     MaxPool1d { kernel: usize },
     /// Collapse the time axis by taking per-feature maxima.
@@ -145,7 +155,12 @@ mod tests {
             LayerSpec::Sigmoid,
             LayerSpec::Dropout { rate: 0.5 },
             LayerSpec::BatchNorm { dim: 3 },
-            LayerSpec::Conv1d { in_channels: 3, out_channels: 4, kernel: 2, padding: Padding::Valid },
+            LayerSpec::Conv1d {
+                in_channels: 3,
+                out_channels: 4,
+                kernel: 2,
+                padding: Padding::Valid,
+            },
             LayerSpec::MaxPool1d { kernel: 2 },
             LayerSpec::GlobalMaxPool,
             LayerSpec::GlobalAvgPool,

@@ -107,6 +107,19 @@ impl SeqLayer for BatchNorm {
         y
     }
 
+    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
+        let dim = self.dim();
+        assert_eq!(x.cols(), dim, "BatchNorm: expected {dim} features, got {}", x.cols());
+        let t = x.rows();
+        out.resize(t, dim);
+        for r in 0..t {
+            for c in 0..dim {
+                let x_hat = (x[(r, c)] - self.running_mean[c]) / (self.running_var[c] + EPS).sqrt();
+                out[(r, c)] = self.gamma.value[(0, c)] * x_hat + self.beta.value[(0, c)];
+            }
+        }
+    }
+
     fn backward(&mut self, grad_out: &Mat) -> Mat {
         let dim = self.dim();
         match &self.cache {
@@ -142,8 +155,8 @@ impl SeqLayer for BatchNorm {
                     for r in 0..grad_out.rows() {
                         let dy = grad_out[(r, c)];
                         let xh = cache.x_hat[(r, c)];
-                        dx[(r, c)] = gamma * cache.inv_std[c] / t
-                            * (t * dy - sum_dy - xh * sum_dy_xhat);
+                        dx[(r, c)] =
+                            gamma * cache.inv_std[c] / t * (t * dy - sum_dy - xh * sum_dy_xhat);
                     }
                 }
                 dx

@@ -63,11 +63,28 @@ impl SeqLayer for MaxPool1d {
         y
     }
 
+    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
+        let t = x.rows();
+        let c = x.cols();
+        let t_out = self.output_len(t);
+        out.resize(t_out, c);
+        for o in 0..t_out {
+            let start = o * self.kernel;
+            let end = (start + self.kernel).min(t);
+            for col in 0..c {
+                let mut best = x[(start, col)];
+                for r in start + 1..end {
+                    if x[(r, col)] > best {
+                        best = x[(r, col)];
+                    }
+                }
+                out[(o, col)] = best;
+            }
+        }
+    }
+
     fn backward(&mut self, grad_out: &Mat) -> Mat {
-        let argmax = self
-            .argmax
-            .as_ref()
-            .expect("MaxPool1d::backward called before forward");
+        let argmax = self.argmax.as_ref().expect("MaxPool1d::backward called before forward");
         let (t, c) = self.in_shape;
         let mut dx = Mat::zeros(t, c);
         for o in 0..grad_out.rows() {
@@ -121,11 +138,23 @@ impl SeqLayer for GlobalMaxPool {
         y
     }
 
+    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
+        assert!(x.rows() > 0, "GlobalMaxPool: empty input");
+        let c = x.cols();
+        out.resize(1, c);
+        for col in 0..c {
+            let mut best = x[(0, col)];
+            for r in 1..x.rows() {
+                if x[(r, col)] > best {
+                    best = x[(r, col)];
+                }
+            }
+            out[(0, col)] = best;
+        }
+    }
+
     fn backward(&mut self, grad_out: &Mat) -> Mat {
-        let argmax = self
-            .argmax
-            .as_ref()
-            .expect("GlobalMaxPool::backward called before forward");
+        let argmax = self.argmax.as_ref().expect("GlobalMaxPool::backward called before forward");
         let (t, c) = self.in_shape;
         let mut dx = Mat::zeros(t, c);
         for col in 0..c {
@@ -159,6 +188,22 @@ impl SeqLayer for GlobalAvgPool {
         assert!(x.rows() > 0, "GlobalAvgPool: empty input");
         self.in_rows = x.rows();
         x.mean_rows()
+    }
+
+    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
+        assert!(x.rows() > 0, "GlobalAvgPool: empty input");
+        out.resize(1, x.cols());
+        out.fill(0.0);
+        // Same accumulate-then-scale order as `mean_rows` for bit-exactness.
+        for r in x.iter_rows() {
+            for (o, &v) in out.as_mut_slice().iter_mut().zip(r.iter()) {
+                *o += v;
+            }
+        }
+        let scale = 1.0 / x.rows() as f32;
+        for o in out.as_mut_slice() {
+            *o *= scale;
+        }
     }
 
     fn backward(&mut self, grad_out: &Mat) -> Mat {

@@ -25,6 +25,12 @@ impl SeqLayer for TakeLast {
         x.slice_rows(x.rows() - 1, x.rows())
     }
 
+    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
+        assert!(x.rows() > 0, "TakeLast: empty input");
+        out.resize(1, x.cols());
+        out.row_mut(0).copy_from_slice(x.row(x.rows() - 1));
+    }
+
     fn backward(&mut self, grad_out: &Mat) -> Mat {
         let mut dx = Mat::zeros(self.in_rows, grad_out.cols());
         dx.row_mut(self.in_rows - 1).copy_from_slice(grad_out.row(0));
@@ -56,6 +62,11 @@ impl SeqLayer for Flatten {
     fn forward(&mut self, x: &Mat, _mode: Mode) -> Mat {
         self.in_shape = x.shape();
         Mat::from_vec(1, x.len(), x.as_slice().to_vec())
+    }
+
+    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
+        out.resize(1, x.len());
+        out.as_mut_slice().copy_from_slice(x.as_slice());
     }
 
     fn backward(&mut self, grad_out: &Mat) -> Mat {

@@ -10,10 +10,27 @@ use crate::mat::Mat;
 
 /// Numerically stable softmax of a logit row.
 pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0; logits.len()];
+    softmax_into(logits, &mut out);
+    out
+}
+
+/// Allocation-free [`softmax`]: writes the distribution into `out`.
+/// Bit-identical to `softmax` (same max-shift and normalization order).
+///
+/// # Panics
+///
+/// Panics if `out.len() != logits.len()`.
+pub fn softmax_into(logits: &[f32], out: &mut [f32]) {
+    assert_eq!(logits.len(), out.len(), "softmax_into: length mismatch");
     let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
-    let sum: f32 = exps.iter().sum();
-    exps.iter().map(|&e| e / sum).collect()
+    for (o, &x) in out.iter_mut().zip(logits.iter()) {
+        *o = (x - max).exp();
+    }
+    let sum: f32 = out.iter().sum();
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
 }
 
 /// Softmax cross-entropy loss for a `(1, C)` logit matrix and a target class.

@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(m.shape(), (2, 2));
 /// assert_eq!(m[(1, 0)], 3.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Mat {
     rows: usize,
     cols: usize,
@@ -139,20 +139,56 @@ impl Mat {
         self.data.chunks_exact(self.cols.max(1))
     }
 
+    /// Reshapes to `rows x cols`, reusing the existing allocation when the
+    /// capacity suffices. The contents afterwards are unspecified — callers
+    /// must overwrite every element (the allocation-free inference path
+    /// relies on this never reallocating in steady state).
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Sets every element to `value` without changing the shape.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    /// Makes `self` an element-for-element copy of `src`, reusing the
+    /// existing allocation when possible.
+    pub fn copy_from(&mut self, src: &Mat) {
+        self.resize(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Matrix product `self * other`.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Mat) -> Mat {
+        let mut out = Mat::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Matrix product `self * other` written into `out` (resized as needed,
+    /// no allocation when `out` has capacity). Bit-identical to
+    /// [`Mat::matmul`]: the accumulation order is the same.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul_into(&self, other: &Mat, out: &mut Mat) {
         assert_eq!(
             self.cols, other.rows,
             "matmul: inner dimensions differ ({}x{} * {}x{})",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Mat::zeros(self.rows, other.cols);
+        out.resize(self.rows, other.cols);
+        out.fill(0.0);
         for i in 0..self.rows {
-            let a_row = self.row(i);
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
             for (k, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
@@ -164,7 +200,6 @@ impl Mat {
                 }
             }
         }
-        out
     }
 
     /// Matrix product `self * other^T`.
@@ -254,22 +289,13 @@ impl Mat {
     /// Panics if shapes differ.
     pub fn zip_with(&self, other: &Mat, f: impl Fn(f32, f32) -> f32) -> Mat {
         assert_eq!(self.shape(), other.shape(), "zip_with: shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
         Mat { rows: self.rows, cols: self.cols, data }
     }
 
     /// Returns a new matrix with `f` applied to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Mat {
-        Mat {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Mat { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Applies `f` to every element in place.

@@ -41,6 +41,9 @@ impl NetworkSpec {
 pub struct Network {
     spec: NetworkSpec,
     layers: Vec<Box<dyn SeqLayer>>,
+    /// Ping-pong activation buffers for [`Network::predict_into`], reused
+    /// across calls so steady-state inference does not allocate.
+    scratch: [Mat; 2],
 }
 
 impl std::fmt::Debug for Network {
@@ -69,7 +72,7 @@ impl Network {
     pub fn new(spec: NetworkSpec, seed: u64) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
         let layers = spec.layers.iter().map(|s| build_layer(s, &mut rng)).collect();
-        Self { spec, layers }
+        Self { spec, layers, scratch: [Mat::zeros(0, 0), Mat::zeros(0, 0)] }
     }
 
     /// The architecture this network was built from.
@@ -123,6 +126,32 @@ impl Network {
     /// Convenience: forward pass in eval mode.
     pub fn predict(&mut self, x: &Mat) -> Mat {
         self.forward(x, Mode::Eval)
+    }
+
+    /// Allocation-free inference: runs the eval-mode forward pass through
+    /// layer-owned scratch buffers, writing the logits into `out`.
+    ///
+    /// Produces bit-identical results to [`Network::predict`] but performs
+    /// no heap allocation once the internal buffers have warmed up to the
+    /// input shape (the engine hot path in `context-monitor` relies on
+    /// this). Unlike `forward`, no state for `backward` is recorded.
+    pub fn predict_into(&mut self, x: &Mat, out: &mut Mat) {
+        if self.layers.is_empty() {
+            out.copy_from(x);
+            return;
+        }
+        let mut cur = 0usize;
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            if i == 0 {
+                layer.forward_into(x, &mut self.scratch[0]);
+            } else {
+                let (a, b) = self.scratch.split_at_mut(1);
+                let (src, dst) = if cur == 0 { (&a[0], &mut b[0]) } else { (&b[0], &mut a[0]) };
+                layer.forward_into(src, dst);
+                cur ^= 1;
+            }
+        }
+        out.copy_from(&self.scratch[cur]);
     }
 
     /// Copies all parameter values out (for early-stopping snapshots).
@@ -218,7 +247,12 @@ mod tests {
 
     fn small_spec() -> NetworkSpec {
         NetworkSpec::new(vec![
-            LayerSpec::Conv1d { in_channels: 3, out_channels: 4, kernel: 3, padding: Padding::Same },
+            LayerSpec::Conv1d {
+                in_channels: 3,
+                out_channels: 4,
+                kernel: 3,
+                padding: Padding::Same,
+            },
             LayerSpec::Relu,
             LayerSpec::GlobalMaxPool,
             LayerSpec::Dense { in_dim: 4, out_dim: 2 },
@@ -277,19 +311,15 @@ mod tests {
 
     #[test]
     fn num_params_counts_all_blocks() {
-        let mut net = Network::new(
-            NetworkSpec::new(vec![LayerSpec::Dense { in_dim: 3, out_dim: 2 }]),
-            0,
-        );
+        let mut net =
+            Network::new(NetworkSpec::new(vec![LayerSpec::Dense { in_dim: 3, out_dim: 2 }]), 0);
         assert_eq!(net.num_params(), 3 * 2 + 2);
     }
 
     #[test]
     fn clip_grad_norm_scales_down() {
-        let mut net = Network::new(
-            NetworkSpec::new(vec![LayerSpec::Dense { in_dim: 2, out_dim: 2 }]),
-            0,
-        );
+        let mut net =
+            Network::new(NetworkSpec::new(vec![LayerSpec::Dense { in_dim: 2, out_dim: 2 }]), 0);
         net.visit_params(&mut |p| {
             for g in p.grad.as_mut_slice() {
                 *g = 10.0;
@@ -300,6 +330,76 @@ mod tests {
         let mut sq = 0.0;
         net.visit_params(&mut |p| sq += p.grad.as_slice().iter().map(|g| g * g).sum::<f32>());
         assert!((sq.sqrt() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn predict_into_is_bit_exact_for_conv_stack() {
+        let mut net = Network::new(small_spec(), 5);
+        let mut out = Mat::zeros(0, 0);
+        // Varying input shapes exercise the scratch-buffer resizing.
+        for t in [8usize, 12, 8, 5] {
+            let x = Mat::from_vec(t, 3, (0..t * 3).map(|i| ((i as f32) * 0.37).sin()).collect());
+            let reference = net.predict(&x);
+            net.predict_into(&x, &mut out);
+            assert_eq!(reference, out, "mismatch at t={t}");
+        }
+    }
+
+    #[test]
+    fn predict_into_is_bit_exact_for_lstm_stack() {
+        let spec = NetworkSpec::new(vec![
+            LayerSpec::Lstm { in_dim: 4, hidden: 6, return_sequences: true },
+            LayerSpec::Lstm { in_dim: 6, hidden: 3, return_sequences: false },
+            LayerSpec::Dense { in_dim: 3, out_dim: 5 },
+            LayerSpec::Relu,
+            LayerSpec::Dense { in_dim: 5, out_dim: 2 },
+        ]);
+        let mut net = Network::new(spec, 11);
+        let mut out = Mat::zeros(0, 0);
+        for t in [10usize, 15, 10] {
+            let x = Mat::from_vec(t, 4, (0..t * 4).map(|i| ((i as f32) * 0.21).cos()).collect());
+            let reference = net.predict(&x);
+            net.predict_into(&x, &mut out);
+            assert_eq!(reference, out, "mismatch at t={t}");
+        }
+    }
+
+    #[test]
+    fn predict_into_covers_every_layer_kind() {
+        // One network touching the layers not covered above.
+        let spec = NetworkSpec::new(vec![
+            LayerSpec::BatchNorm { dim: 3 },
+            LayerSpec::Conv1d {
+                in_channels: 3,
+                out_channels: 4,
+                kernel: 2,
+                padding: Padding::Valid,
+            },
+            LayerSpec::Tanh,
+            LayerSpec::MaxPool1d { kernel: 2 },
+            LayerSpec::Sigmoid,
+            LayerSpec::GlobalAvgPool,
+            LayerSpec::Dense { in_dim: 4, out_dim: 4 },
+            LayerSpec::Dropout { rate: 0.5 },
+            LayerSpec::Flatten,
+            LayerSpec::Dense { in_dim: 4, out_dim: 2 },
+        ]);
+        let mut net = Network::new(spec, 3);
+        let x = Mat::from_vec(9, 3, (0..27).map(|i| (i as f32) * 0.1 - 1.3).collect());
+        let reference = net.predict(&x);
+        let mut out = Mat::zeros(0, 0);
+        net.predict_into(&x, &mut out);
+        assert_eq!(reference, out);
+
+        // TakeLast after a sequence-returning LSTM.
+        let spec = NetworkSpec::new(vec![
+            LayerSpec::Lstm { in_dim: 3, hidden: 4, return_sequences: true },
+            LayerSpec::TakeLast,
+        ]);
+        let mut net = Network::new(spec, 4);
+        let reference = net.predict(&x);
+        net.predict_into(&x, &mut out);
+        assert_eq!(reference, out);
     }
 
     #[test]

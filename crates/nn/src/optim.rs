@@ -31,12 +31,8 @@ impl Sgd {
             }
             let v = &mut velocity[k];
             assert_eq!(v.len(), p.len(), "Sgd: parameter shape changed");
-            for ((w, &g), vi) in p
-                .value
-                .as_mut_slice()
-                .iter_mut()
-                .zip(p.grad.as_slice().iter())
-                .zip(v.iter_mut())
+            for ((w, &g), vi) in
+                p.value.as_mut_slice().iter_mut().zip(p.grad.as_slice().iter()).zip(v.iter_mut())
             {
                 *vi = momentum * *vi - lr * g;
                 *w += *vi;

@@ -134,11 +134,8 @@ pub fn train_classifier(
         }
         let train_loss = (epoch_loss / train.len() as f64) as f32;
 
-        let (val_loss, val_accuracy) = if val.is_empty() {
-            (train_loss, f32::NAN)
-        } else {
-            evaluate(net, val, weights)
-        };
+        let (val_loss, val_accuracy) =
+            if val.is_empty() { (train_loss, f32::NAN) } else { evaluate(net, val, weights) };
         history.push(EpochStats { epoch, train_loss, val_loss, val_accuracy, lr });
 
         if val_loss < best_val {
@@ -179,10 +176,7 @@ pub fn evaluate(net: &mut Network, data: &[Sample], class_weights: Option<&[f32]
             correct += 1;
         }
     }
-    (
-        (loss / data.len() as f64) as f32,
-        correct as f32 / data.len() as f32,
-    )
+    ((loss / data.len() as f64) as f32, correct as f32 / data.len() as f32)
 }
 
 /// Class-probability prediction for a single window.
@@ -243,7 +237,12 @@ mod tests {
         let train = toy_data(40, 5);
         let val = toy_data(16, 6);
         let spec = NetworkSpec::new(vec![
-            LayerSpec::Conv1d { in_channels: 2, out_channels: 8, kernel: 3, padding: Padding::Same },
+            LayerSpec::Conv1d {
+                in_channels: 2,
+                out_channels: 8,
+                kernel: 3,
+                padding: Padding::Same,
+            },
             LayerSpec::Relu,
             LayerSpec::GlobalMaxPool,
             LayerSpec::Dense { in_dim: 8, out_dim: 2 },
@@ -265,10 +264,8 @@ mod tests {
     fn early_stopping_restores_best_weights() {
         let train = toy_data(20, 7);
         let val = toy_data(8, 8);
-        let spec = NetworkSpec::new(vec![
-            LayerSpec::Flatten,
-            LayerSpec::Dense { in_dim: 16, out_dim: 2 },
-        ]);
+        let spec =
+            NetworkSpec::new(vec![LayerSpec::Flatten, LayerSpec::Dense { in_dim: 16, out_dim: 2 }]);
         let mut net = Network::new(spec, 1);
         let cfg = TrainConfig {
             epochs: 50,
@@ -290,10 +287,8 @@ mod tests {
     #[test]
     fn training_is_deterministic_given_seed() {
         let train = toy_data(16, 9);
-        let spec = NetworkSpec::new(vec![
-            LayerSpec::Flatten,
-            LayerSpec::Dense { in_dim: 16, out_dim: 2 },
-        ]);
+        let spec =
+            NetworkSpec::new(vec![LayerSpec::Flatten, LayerSpec::Dense { in_dim: 16, out_dim: 2 }]);
         let cfg = TrainConfig { epochs: 5, patience: None, ..TrainConfig::default() };
         let mut a = Network::new(spec.clone(), 4);
         let mut b = Network::new(spec, 4);
@@ -305,10 +300,8 @@ mod tests {
 
     #[test]
     fn predict_proba_sums_to_one() {
-        let spec = NetworkSpec::new(vec![
-            LayerSpec::Flatten,
-            LayerSpec::Dense { in_dim: 16, out_dim: 3 },
-        ]);
+        let spec =
+            NetworkSpec::new(vec![LayerSpec::Flatten, LayerSpec::Dense { in_dim: 16, out_dim: 3 }]);
         let mut net = Network::new(spec, 1);
         let p = predict_proba(&mut net, &Mat::zeros(8, 2));
         assert_eq!(p.len(), 3);

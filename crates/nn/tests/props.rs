@@ -7,8 +7,7 @@ use nn::{Mat, Network, NetworkSpec};
 use proptest::prelude::*;
 
 fn mat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
-    prop::collection::vec(-3.0f32..3.0, rows * cols)
-        .prop_map(move |v| Mat::from_vec(rows, cols, v))
+    prop::collection::vec(-3.0f32..3.0, rows * cols).prop_map(move |v| Mat::from_vec(rows, cols, v))
 }
 
 proptest! {

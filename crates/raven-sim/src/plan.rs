@@ -163,9 +163,7 @@ mod tests {
     #[test]
     fn gesture_sequence_matches_fig3b() {
         let plan = BlockTransferPlan;
-        let seq: Vec<Gesture> = (0..100)
-            .map(|i| plan.gesture(i as f32 / 99.0))
-            .collect();
+        let seq: Vec<Gesture> = (0..100).map(|i| plan.gesture(i as f32 / 99.0)).collect();
         let mut collapsed = Vec::new();
         for g in seq {
             if collapsed.last() != Some(&g) {

@@ -7,9 +7,7 @@ use crate::features::{flatten, RAVEN_FEATURES};
 use crate::plan::{schedule, BlockTransferPlan, Commands};
 use crate::world::{GraspPhysics, World, WorldEvent};
 use gestures::Task;
-use kinematics::{
-    Demonstration, ErrorAnnotation, KinematicSample, ManipulatorState, Mat3, Vec3,
-};
+use kinematics::{Demonstration, ErrorAnnotation, KinematicSample, ManipulatorState, Mat3, Vec3};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};

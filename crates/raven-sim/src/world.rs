@@ -183,7 +183,8 @@ impl World {
                 if self.block_position.z <= layout::TABLE_Z {
                     self.block_position.z = layout::TABLE_Z;
                     let in_receptacle = self.in_receptacle(self.block_position);
-                    let ev = WorldEvent::Landed { tick, position: self.block_position, in_receptacle };
+                    let ev =
+                        WorldEvent::Landed { tick, position: self.block_position, in_receptacle };
                     self.landed = Some(ev);
                     self.events.push(ev);
                     self.block_state = BlockState::Resting;
@@ -305,11 +306,8 @@ mod tests {
     #[test]
     fn landed_block_cannot_be_regrasped() {
         let mut w = world();
-        w.landed = Some(WorldEvent::Landed {
-            tick: 0,
-            position: w.block_position,
-            in_receptacle: false,
-        });
+        w.landed =
+            Some(WorldEvent::Landed { tick: 0, position: w.block_position, in_receptacle: false });
         let near = w.block_position + Vec3::new(0.0, 0.0, 2.0);
         w.step(1, DT, &[(near, 0.1), (Vec3::zero(), 1.2)]);
         assert_eq!(w.block_state, BlockState::Resting);

@@ -64,11 +64,8 @@ pub fn render_video(trial: &Trial, cfg: &VisionConfig) -> (Vec<Frame>, Vec<usize
     let mut frames = Vec::new();
     let mut ticks = Vec::new();
     for (tick, block) in trial.block_trace.iter().enumerate().step_by(step) {
-        let arms: Vec<Vec3> = trial.demo.frames[tick]
-            .manipulators
-            .iter()
-            .map(|m| m.position)
-            .collect();
+        let arms: Vec<Vec3> =
+            trial.demo.frames[tick].manipulators.iter().map(|m| m.position).collect();
         frames.push(cfg.camera.render(*block, layout::RECEPTACLE, &arms));
         ticks.push(tick);
     }
@@ -89,14 +86,10 @@ fn block_mask_frame(frame: &Frame, min: u8) -> Frame {
 /// at pick-up; the settle check rejects transient command jumps (e.g. a
 /// Cartesian fault ending) where the block never reaches the table.
 pub fn detect_drop_frame(frames: &[Frame], cfg: &VisionConfig) -> Option<usize> {
-    let masks: Vec<Frame> = frames
-        .iter()
-        .map(|f| block_mask_frame(f, cfg.block_threshold))
-        .collect();
-    let centroids: Vec<Option<(f32, f32)>> = frames
-        .iter()
-        .map(|f| track_brightest(f, cfg.block_threshold))
-        .collect();
+    let masks: Vec<Frame> =
+        frames.iter().map(|f| block_mask_frame(f, cfg.block_threshold)).collect();
+    let centroids: Vec<Option<(f32, f32)>> =
+        frames.iter().map(|f| track_brightest(f, cfg.block_threshold)).collect();
     // Image row of a block resting on the table.
     let table_row = cfg
         .camera
@@ -113,9 +106,8 @@ pub fn detect_drop_frame(frames: &[Frame], cfg: &VisionConfig) -> Option<usize> 
         if s < cfg.ssim_drop_threshold && falling {
             // Settle check: within the next 5 frames the block must sit at
             // table level (a real fall completes in 1-2 frames at 30 fps).
-            let settled = (t..(t + 5).min(centroids.len())).any(|u| {
-                matches!(centroids[u], Some((_, y)) if (y - table_row).abs() <= 3.0)
-            });
+            let settled = (t..(t + 5).min(centroids.len()))
+                .any(|u| matches!(centroids[u], Some((_, y)) if (y - table_row).abs() <= 3.0));
             if settled {
                 return Some(t);
             }
@@ -204,8 +196,7 @@ pub fn tracking_error_px(trial: &Trial, cfg: &VisionConfig) -> f32 {
     for (f, &tick) in frames.iter().zip(ticks.iter()) {
         if let (Some((cx, cy)), Some((px, py))) = (
             track_brightest(f, cfg.block_threshold),
-            cfg.camera
-                .project(trial.block_trace[tick] + Vec3::new(0.0, 0.0, 2.0)),
+            cfg.camera.project(trial.block_trace[tick] + Vec3::new(0.0, 0.0, 2.0)),
         ) {
             let dx = cx - px as f32;
             let dy = cy - py as f32;
@@ -286,7 +277,8 @@ mod tests {
         let cfg = VisionConfig::default();
         let reference = reference_trace(&run_block_transfer(&sim_cfg(17), &mut NoFaults), &cfg);
         let clean = label_trial(&run_block_transfer(&sim_cfg(18), &mut NoFaults), &reference, &cfg);
-        let faulty = label_trial(&run_block_transfer(&sim_cfg(19), &mut PinClosed), &reference, &cfg);
+        let faulty =
+            label_trial(&run_block_transfer(&sim_cfg(19), &mut PinClosed), &reference, &cfg);
         assert!(
             faulty.dtw_distance > clean.dtw_distance,
             "faulty {} <= clean {}",

@@ -13,11 +13,7 @@ const C2: f64 = (0.03 * 255.0) * (0.03 * 255.0);
 ///
 /// Panics if the frames differ in size.
 pub fn ssim(a: &Frame, b: &Frame) -> f64 {
-    assert_eq!(
-        (a.width(), a.height()),
-        (b.width(), b.height()),
-        "ssim: frame size mismatch"
-    );
+    assert_eq!((a.width(), a.height()), (b.width(), b.height()), "ssim: frame size mismatch");
     ssim_slices(a.bytes(), b.bytes())
 }
 
@@ -28,11 +24,7 @@ pub fn ssim(a: &Frame, b: &Frame) -> f64 {
 ///
 /// Panics if the frames differ in size or `win == 0`.
 pub fn ssim_windowed(a: &Frame, b: &Frame, win: usize) -> f64 {
-    assert_eq!(
-        (a.width(), a.height()),
-        (b.width(), b.height()),
-        "ssim: frame size mismatch"
-    );
+    assert_eq!((a.width(), a.height()), (b.width(), b.height()), "ssim: frame size mismatch");
     assert!(win > 0, "window must be positive");
     let (w, h) = (a.width(), a.height());
     let mut total = 0.0f64;

@@ -6,7 +6,9 @@
 //! cargo run --release --example fault_injection_campaign
 //! ```
 
-use faults::{run_campaign, run_injection, CampaignConfig, CartesianFault, FaultSpec, GrasperFault};
+use faults::{
+    run_campaign, run_injection, CampaignConfig, CartesianFault, FaultSpec, GrasperFault,
+};
 use raven_sim::{run_block_transfer, NoFaults, SimConfig, WorldEvent};
 use vision::{label_trial, reference_trace, VisionConfig};
 
@@ -32,7 +34,9 @@ fn main() {
     println!("fault first active at tick {:?}", injector.first_active_tick());
     for ev in &trial.events {
         match ev {
-            WorldEvent::Grasped { tick, arm } => println!("tick {tick:>4}: block grasped by arm {arm}"),
+            WorldEvent::Grasped { tick, arm } => {
+                println!("tick {tick:>4}: block grasped by arm {arm}")
+            }
             WorldEvent::Released { tick, grasper_angle } => {
                 println!("tick {tick:>4}: block released (grasper at {grasper_angle:.2} rad)")
             }

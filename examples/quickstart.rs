@@ -41,7 +41,12 @@ fn main() {
     for (t, frame) in demo.frames.iter().enumerate() {
         if let Some(out) = monitor.push(frame) {
             if last_gesture != Some(out.gesture) {
-                println!("t={:>5.2}s  context -> {} ({})", t as f32 / demo.hz, out.gesture, out.gesture.description());
+                println!(
+                    "t={:>5.2}s  context -> {} ({})",
+                    t as f32 / demo.hz,
+                    out.gesture,
+                    out.gesture.description()
+                );
                 last_gesture = Some(out.gesture);
             }
             if out.alert {

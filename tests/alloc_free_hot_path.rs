@@ -1,0 +1,95 @@
+//! Proves the acceptance criterion "no per-window heap allocation in the
+//! steady-state hot path" by counting real allocator calls around
+//! `SafetyMonitor::push` after warm-up.
+//!
+//! This file must contain exactly one test: the counting allocator is
+//! process-global, and a concurrently running test would pollute the count.
+
+use context_monitor::{ContextMode, MonitorConfig, SafetyMonitor, TrainedPipeline};
+use gestures::Task;
+use jigsaws::{generate, GeneratorConfig};
+use kinematics::FeatureSet;
+use nn::Mat;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_monitor_push_performs_no_heap_allocation() {
+    let ds = generate(&GeneratorConfig::fast(Task::Suturing).with_seed(17));
+    let mut cfg = MonitorConfig::fast(FeatureSet::CRG).with_seed(9);
+    cfg.train.epochs = 2;
+    cfg.train_stride = 6;
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let mut pipeline = TrainedPipeline::train(&ds, &idx, &cfg);
+
+    // Pre-warm every error classifier's internal scratch buffers: routing
+    // may switch classifiers mid-stream, and the first forward pass through
+    // a network sizes its ping-pong buffers.
+    let warm_window = Mat::zeros(cfg.window.width, pipeline.in_dim);
+    let dedicated: Vec<usize> = pipeline.error_nets.keys().copied().collect();
+    for g in dedicated {
+        let _ = pipeline.score_window(&warm_window, g, ContextMode::Predicted);
+    }
+    let _ = pipeline.score_window(&warm_window, usize::MAX, ContextMode::Predicted); // global fallback
+    let _ = pipeline.score_window(&warm_window, 0, ContextMode::NoContext);
+
+    let demo = &ds.demos[0];
+    let warm = cfg.window.width.max(cfg.gesture_window);
+    let measured = 64usize;
+    assert!(demo.len() > warm + 2 * measured, "demo too short for a steady-state measurement");
+
+    let mut monitor = SafetyMonitor::new(pipeline, ContextMode::Predicted);
+    // Warm-up: fill the windows, the smoothing filter, and every scratch
+    // buffer along the per-frame path.
+    for frame in demo.frames.iter().take(warm + measured) {
+        let _ = monitor.push(frame);
+    }
+
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    let mut emitted = 0usize;
+    let mut score_acc = 0.0f32;
+    for frame in demo.frames.iter().skip(warm + measured).take(measured) {
+        if let Some(out) = monitor.push(frame) {
+            emitted += 1;
+            score_acc += out.unsafe_probability;
+        }
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocations = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(emitted, measured, "monitor should be warm throughout");
+    assert!(score_acc.is_finite());
+    assert_eq!(
+        allocations, 0,
+        "steady-state push allocated {allocations} times over {measured} frames"
+    );
+}

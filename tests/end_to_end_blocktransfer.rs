@@ -3,7 +3,9 @@
 //! with the vision pipeline as the orthogonal labeling cross-check.
 
 use context_monitor::{evaluate_pipeline, ContextMode, MonitorConfig, TrainedPipeline};
-use faults::{build_block_transfer_dataset, run_injection, sample_spec, table3_grid, BlockTransferDataConfig};
+use faults::{
+    build_block_transfer_dataset, run_injection, sample_spec, table3_grid, BlockTransferDataConfig,
+};
 use gestures::Gesture;
 use kinematics::FeatureSet;
 use rand::rngs::SmallRng;

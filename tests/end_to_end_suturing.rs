@@ -6,7 +6,9 @@
 //! upper bound is at least as good as predicted context, and the streaming
 //! monitor agrees with the offline evaluation.
 
-use context_monitor::{evaluate_pipeline, ContextMode, MonitorConfig, SafetyMonitor, TrainedPipeline};
+use context_monitor::{
+    evaluate_pipeline, ContextMode, MonitorConfig, SafetyMonitor, TrainedPipeline,
+};
 use gestures::Task;
 use jigsaws::{generate, GeneratorConfig};
 use kinematics::FeatureSet;
@@ -36,14 +38,9 @@ fn monitor_detects_unsafe_events_above_chance() {
     let perfect = evaluate_pipeline(&mut pipeline, &dataset, &fold.test, ContextMode::Perfect);
     let auc = perfect.auc_summary();
     assert!(auc.n > 0, "no demo with a defined AUC");
-    assert!(
-        auc.mean > 0.65,
-        "perfect-boundary AUC {} should be clearly above chance",
-        auc.mean
-    );
+    assert!(auc.mean > 0.65, "perfect-boundary AUC {} should be clearly above chance", auc.mean);
 
-    let predicted =
-        evaluate_pipeline(&mut pipeline, &dataset, &fold.test, ContextMode::Predicted);
+    let predicted = evaluate_pipeline(&mut pipeline, &dataset, &fold.test, ContextMode::Predicted);
     // Upper bound property (Table VIII): perfect boundaries >= predicted,
     // with slack for the small fast-scale models.
     assert!(

@@ -1,6 +1,8 @@
 //! Property-based integration tests spanning crates: format roundtrips,
-//! online/offline window equivalence, metric invariants on generated data.
+//! online/offline window equivalence, streaming/replay engine agreement,
+//! metric invariants on generated data.
 
+use context_monitor::{ContextMode, MonitorConfig, MonitorPool, SafetyMonitor, TrainedPipeline};
 use eval::{auc, js_discrete, segments};
 use gestures::{Gesture, MarkovChain, Task, ALL_TASKS};
 use jigsaws::{generate, GeneratorConfig};
@@ -51,7 +53,7 @@ proptest! {
         let mut online = Vec::new();
         for r in 0..rows {
             if let Some(w) = sw.push(m.row(r)) {
-                online.push((w, r));
+                online.push((w.clone(), r));
             }
         }
         prop_assert_eq!(offline, online);
@@ -133,4 +135,105 @@ proptest! {
             prop_assert_eq!(m.rows(), demo.len());
         }
     }
+}
+
+/// Trains a deliberately tiny pipeline (enough to exercise both stages,
+/// cheap enough to repeat across seeds).
+fn tiny_pipeline(seed: u64) -> (TrainedPipeline, kinematics::Dataset) {
+    let ds = generate(&GeneratorConfig::fast(Task::Suturing).with_seed(seed));
+    let mut cfg = MonitorConfig::fast(FeatureSet::CRG).with_seed(seed ^ 0xA5);
+    cfg.train.epochs = 2;
+    cfg.train_stride = 6;
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    (TrainedPipeline::train(&ds, &idx, &cfg), ds)
+}
+
+/// Offline replay and online streaming are the same `InferenceEngine`, so
+/// from the first emitted frame onward they must agree **bit-exactly** — no
+/// tolerance — in every context mode and across training seeds.
+#[test]
+fn offline_and_online_agree_bit_exactly_across_modes_and_seeds() {
+    for seed in [11u64, 29, 47] {
+        let (mut pipeline, ds) = tiny_pipeline(seed);
+        assert!(
+            !pipeline.error_nets.is_empty(),
+            "seed {seed}: expected at least one dedicated error classifier"
+        );
+        let demo = &ds.demos[0];
+        for mode in [ContextMode::Predicted, ContextMode::Perfect, ContextMode::NoContext] {
+            let offline = pipeline.run_demo(demo, mode);
+
+            let mut monitor = SafetyMonitor::new(pipeline, mode);
+            let mut gestures_online = Vec::new();
+            let mut scores_online = Vec::new();
+            for (frame, &truth) in demo.frames.iter().zip(demo.gestures.iter()) {
+                let out = match mode {
+                    ContextMode::Perfect => monitor.push_with_context(frame, truth),
+                    _ => monitor.push(frame),
+                };
+                if let Some(out) = out {
+                    gestures_online.push(out.gesture.index());
+                    scores_online.push(out.unsafe_probability);
+                }
+            }
+            assert!(!scores_online.is_empty(), "seed {seed} {mode}: nothing emitted");
+            let start = demo.len() - scores_online.len();
+            assert_eq!(
+                &offline.gesture_pred[start..],
+                &gestures_online[..],
+                "seed {seed} {mode}: gesture disagreement"
+            );
+            // Exact equality (acceptance criterion): not within-epsilon.
+            assert_eq!(
+                &offline.unsafe_score[start..],
+                &scores_online[..],
+                "seed {seed} {mode}: score disagreement"
+            );
+            pipeline = monitor.into_pipeline();
+        }
+    }
+}
+
+/// Sessions multiplexed through one `MonitorPool` — fed in a deliberately
+/// bursty, uneven interleaving — produce exactly what each demo produces
+/// through its own dedicated monitor.
+#[test]
+fn pool_interleaved_sessions_match_isolated_runs() {
+    let (pipeline, ds) = tiny_pipeline(23);
+    let demos: Vec<_> = ds.demos.iter().take(3).collect();
+
+    let mut pipeline = pipeline;
+    let mut isolated: Vec<Vec<(usize, f32, bool)>> = Vec::new();
+    for demo in &demos {
+        let mut monitor = SafetyMonitor::new(pipeline, ContextMode::Predicted);
+        isolated.push(
+            demo.frames
+                .iter()
+                .filter_map(|f| monitor.push(f))
+                .map(|o| (o.gesture.index(), o.unsafe_probability, o.alert))
+                .collect(),
+        );
+        pipeline = monitor.into_pipeline();
+    }
+
+    let mut pool = MonitorPool::with_sessions(pipeline, ContextMode::Predicted, demos.len());
+    let mut pooled: Vec<Vec<(usize, f32, bool)>> = vec![Vec::new(); demos.len()];
+    let mut cursors = vec![0usize; demos.len()];
+    // Bursty schedule: session s advances in bursts of s + 1 frames.
+    let mut remaining = demos.iter().map(|d| d.len()).sum::<usize>();
+    let mut s = 0usize;
+    while remaining > 0 {
+        for _ in 0..=s {
+            if cursors[s] < demos[s].len() {
+                if let Some(out) = pool.push(s, &demos[s].frames[cursors[s]]) {
+                    pooled[s].push((out.gesture.index(), out.unsafe_probability, out.alert));
+                }
+                cursors[s] += 1;
+                remaining -= 1;
+            }
+        }
+        s = (s + 1) % demos.len();
+    }
+
+    assert_eq!(isolated, pooled, "interleaving changed session outputs");
 }

@@ -1,0 +1,170 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! `Criterion::bench_function` with `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Statistics are intentionally simple — per-iteration means over a few
+//! timed batches with min/max spread — but the harness shape, the measured
+//! closures, and the reported units match what the real criterion would
+//! drive, so relative comparisons between benchmarks remain meaningful.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 30, measurement_time: Duration::from_millis(600) }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to collect per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            budget: self.measurement_time,
+            target_samples: self.sample_size,
+        };
+        f(&mut bencher);
+        report(name, &bencher.samples);
+        self
+    }
+}
+
+/// Passed to the benchmark closure; times the measured routine.
+pub struct Bencher {
+    samples: Vec<f64>, // per-iteration nanoseconds
+    budget: Duration,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting per-iteration wall-clock samples.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate: how many iterations fit in ~1/20 of the budget?
+        let probe_start = Instant::now();
+        let mut probe_iters = 0u64;
+        while probe_start.elapsed() < self.budget / 20 || probe_iters < 1 {
+            black_box(routine());
+            probe_iters += 1;
+        }
+        let per_iter = probe_start.elapsed().as_secs_f64() / probe_iters as f64;
+        let batch = ((self.budget.as_secs_f64() / self.target_samples as f64) / per_iter)
+            .ceil()
+            .max(1.0) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / batch as f64);
+        }
+    }
+}
+
+fn report(name: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = sorted[sorted.len() / 2];
+    let lo = sorted[0];
+    let hi = sorted[sorted.len() - 1];
+    println!("{name:<40} time: [{} {} {}]", fmt_ns(lo), fmt_ns(median), fmt_ns(hi));
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group: either the flat form
+/// `criterion_group!(name, target1, target2)` or the configured form with
+/// `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(30));
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn formats_cover_magnitudes() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(12_000_000_000.0).contains('s'));
+    }
+}

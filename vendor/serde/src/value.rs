@@ -1,0 +1,139 @@
+//! The value tree shared by serialization, deserialization, and JSON I/O.
+
+/// A dynamically typed value tree (the JSON data model plus an integer
+/// split that preserves full `u64`/`i64` precision).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for non-finite floats and `None`).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Negative (or any signed) integer.
+    Int(i64),
+    /// Non-negative integer, full `u64` range.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Ordered key-value mapping (insertion order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// String contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64`, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(n) => Some(n),
+            Value::Int(n) => u64::try_from(n).ok(),
+            Value::Float(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => {
+                Some(x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `i64`, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(n) => Some(n),
+            Value::UInt(n) => i64::try_from(n).ok(),
+            Value::Float(x) if x.fract() == 0.0 && x.abs() <= i64::MAX as f64 => Some(x as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(x) => Some(x),
+            Value::Int(n) => Some(n as f64),
+            Value::UInt(n) => Some(n as f64),
+            _ => None,
+        }
+    }
+
+    /// Short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Looks up a required object field (derive-generated code calls this).
+///
+/// # Errors
+///
+/// Returns a [`DeError`] if `v` is not an object or lacks `name`.
+pub fn field<'v>(v: &'v Value, name: &str) -> Result<&'v Value, DeError> {
+    let obj = v.as_object().ok_or_else(|| DeError::expected("object", v))?;
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, val)| val)
+        .ok_or_else(|| DeError::new(format!("missing field `{name}`")))
+}
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+
+    /// Creates a "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Self::new(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// Prefixes the message with surrounding context (e.g. a field name).
+    #[must_use]
+    pub fn context(self, ctx: &str) -> Self {
+        Self::new(format!("{ctx}: {}", self.message))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}

@@ -1,0 +1,421 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! value-tree `serde` stand-in.
+//!
+//! The macros parse the item declaration directly from the token stream (no
+//! `syn`), supporting the shapes this workspace actually declares:
+//!
+//! * structs with named fields, unit structs, tuple structs,
+//! * enums with unit, tuple (incl. newtype), and struct variants,
+//! * simple type parameters (`struct Segment<T> { ... }`).
+//!
+//! Serialized form mirrors serde's defaults: structs become objects keyed by
+//! field name; unit enum variants become strings; data-carrying variants
+//! become single-key objects (`{"Variant": ...}`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Impl::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Impl::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Impl {
+    Serialize,
+    Deserialize,
+}
+
+/// The parsed shape of the deriving item.
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    body: Body,
+}
+
+enum Body {
+    UnitStruct,
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, which: Impl) -> TokenStream {
+    let item = parse_item(input);
+    let code = match which {
+        Impl::Serialize => gen_serialize(&item),
+        Impl::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().expect("serde_derive: generated code failed to parse")
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`#[...]`, incl. doc comments) and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The bracketed attribute body.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                // `pub(crate)` and friends carry a parenthesized group.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+
+    // Optional `<T, U>` generic parameter list (simple idents only).
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            iter.next();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                    Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                    Some(TokenTree::Ident(id)) if depth == 1 => generics.push(id.to_string()),
+                    Some(_) => {}
+                    None => panic!("serde_derive: unclosed generic parameter list"),
+                }
+            }
+        }
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+
+    Item { name, generics, body }
+}
+
+/// Extracts field names from a named-field body, skipping attributes,
+/// visibility, and types (commas inside `<...>` are depth-tracked).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(field)) = iter.next() else {
+            break;
+        };
+        fields.push(field.to_string());
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+        }
+        skip_type_until_comma(&mut iter);
+    }
+    fields
+}
+
+/// Advances past a type (or discriminant expression) up to and including the
+/// next top-level comma.
+fn skip_type_until_comma(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut angle = 0i32;
+    for tt in iter.by_ref() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+    }
+}
+
+/// Number of fields in a tuple body (top-level comma count, trailing comma
+/// tolerated).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for tt in stream {
+        any = true;
+        trailing_comma = false;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes (e.g. `#[default]`, doc comments).
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '#' {
+                iter.next();
+                iter.next();
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            break;
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = VariantFields::Named(parse_named_fields(g.stream()));
+                iter.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = VariantFields::Tuple(count_tuple_fields(g.stream()));
+                iter.next();
+                f
+            }
+            _ => VariantFields::Unit,
+        };
+        variants.push(Variant { name: name.to_string(), fields });
+        // Skip a discriminant (`= expr`) and/or the separating comma.
+        skip_type_until_comma(&mut iter);
+    }
+    variants
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {} ", item.name)
+    } else {
+        let bounded: Vec<String> =
+            item.generics.iter().map(|g| format!("{g}: ::serde::{trait_name}")).collect();
+        let plain = item.generics.join(", ");
+        format!("impl<{}> ::serde::{trait_name} for {}<{plain}> ", bounded.join(", "), item.name)
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.body {
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::NamedStruct(fields) => named_to_value(fields, "self."),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "Self::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "Self::{vname}({}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {payload})]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let inner = named_to_value(fields, "");
+                            format!(
+                                "Self::{vname} {{ {} }} => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {inner})]),",
+                                fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{header}{{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        header = impl_header(item, "Serialize")
+    )
+}
+
+fn named_to_value(fields: &[String], prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&{prefix}{f}))"))
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => "Ok(Self)".to_string(),
+        Body::NamedStruct(fields) => named_from_value(fields, "Self", "v"),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", v))?; \
+                 if __arr.len() != {n} {{ return Err(::serde::DeError::new(\"wrong tuple arity for {name}\")); }} \
+                 Ok(Self({}))",
+                items.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| format!("\"{0}\" => Ok(Self::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Tuple(n) if *n == 1 => Some(format!(
+                            "\"{vname}\" => Ok(Self::{vname}(::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__arr[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{ \
+                                   let __arr = __inner.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", __inner))?; \
+                                   if __arr.len() != {n} {{ return Err(::serde::DeError::new(\"wrong arity for {name}::{vname}\")); }} \
+                                   Ok(Self::{vname}({})) }},",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantFields::Named(fields) => Some(format!(
+                            "\"{vname}\" => {{ {} }},",
+                            named_from_value(fields, &format!("Self::{vname}"), "__inner")
+                        )),
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{ \
+                   ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                     {unit} \
+                     __other => Err(::serde::DeError::new(format!(\"unknown {name} variant `{{__other}}`\"))), \
+                   }}, \
+                   ::serde::Value::Object(__o) if __o.len() == 1 => {{ \
+                     let (__tag, __inner) = &__o[0]; \
+                     match __tag.as_str() {{ \
+                       {data} \
+                       __other => Err(::serde::DeError::new(format!(\"unknown {name} variant `{{__other}}`\"))), \
+                     }} \
+                   }}, \
+                   _ => Err(::serde::DeError::expected(\"{name} variant\", v)), \
+                 }}",
+                unit = unit_arms.join(" "),
+                data = data_arms.join(" "),
+            )
+        }
+    };
+    format!(
+        "{header}{{ fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}",
+        header = impl_header(item, "Deserialize")
+    )
+}
+
+fn named_from_value(fields: &[String], constructor: &str, source: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::field({source}, \"{f}\")?) \
+                 .map_err(|e| e.context(\"field `{f}`\"))?"
+            )
+        })
+        .collect();
+    format!("Ok({constructor} {{ {} }})", entries.join(", "))
+}
