@@ -6,9 +6,9 @@
 //! path (`Network::predict`, fresh activation buffers per window — what
 //! both the offline and online code used before the `InferenceEngine`
 //! refactor) and once through the allocation-free path
-//! (`Network::predict_into` / `score_window_into`, reused scratch buffers)
-//! that the engine drives. The `_alloc` rows are the pre-refactor baseline
-//! the acceptance criterion compares against.
+//! (`Network::predict_scratch` / `score_window_scratch`, caller-owned
+//! scratch buffers) that the engine drives. The `_alloc` rows are the
+//! pre-refactor baseline the acceptance criterion compares against.
 
 use bench::{jigsaws_dataset, suturing_monitor_cfg, Scale};
 use context_monitor::{ContextMode, MonitorPool, SafetyMonitor, TrainedPipeline};
@@ -38,9 +38,10 @@ fn bench_inference(c: &mut Criterion) {
         b.iter(|| black_box(pipeline.gesture_net.predict(black_box(&gwindow))))
     });
     let mut logits = Mat::zeros(0, 0);
+    let mut gscratch = pipeline.gesture_net.make_scratch();
     c.bench_function("gesture_window_into (engine path)", |b| {
         b.iter(|| {
-            pipeline.gesture_net.predict_into(black_box(&gwindow), &mut logits);
+            pipeline.gesture_net.predict_scratch(black_box(&gwindow), &mut logits, &mut gscratch);
             black_box(logits.argmax_row(0))
         })
     });
@@ -54,14 +55,16 @@ fn bench_inference(c: &mut Criterion) {
         b.iter(|| black_box(nn::predict_proba(net, black_box(&window))[1]))
     });
     let mut probs = [0.0f32; 2];
+    let mut escratch = pipeline.error_scratch();
     c.bench_function("error_window_into (engine path)", |b| {
         b.iter(|| {
-            black_box(pipeline.score_window_into(
+            black_box(pipeline.score_window_scratch(
                 black_box(&window),
                 g,
                 ContextMode::Perfect,
                 &mut logits,
                 &mut probs,
+                &mut escratch,
             ))
         })
     });
@@ -69,14 +72,15 @@ fn bench_inference(c: &mut Criterion) {
     // Full two-stage decision per window.
     c.bench_function("full_pipeline_window (engine path)", |b| {
         b.iter(|| {
-            pipeline.gesture_net.predict_into(black_box(&gwindow), &mut logits);
+            pipeline.gesture_net.predict_scratch(black_box(&gwindow), &mut logits, &mut gscratch);
             let g = logits.argmax_row(0);
-            black_box(pipeline.score_window_into(
+            black_box(pipeline.score_window_scratch(
                 &window,
                 g,
                 ContextMode::Predicted,
                 &mut logits,
                 &mut probs,
+                &mut escratch,
             ))
         })
     });

@@ -1,0 +1,135 @@
+//! Serving throughput: decisions/sec of the sharded multi-threaded
+//! `ShardedMonitorPool` vs. the single-threaded sequential `MonitorPool`
+//! baseline, across session count × worker count.
+//!
+//! The acceptance criterion for the serving layer is **≥ 2× decisions/sec
+//! over the single-threaded baseline at 16 sessions on 4 worker threads**;
+//! the table printed by a full run shows where that lands on the current
+//! host.
+//!
+//! ```sh
+//! cargo bench -p bench --bench throughput            # full measurement
+//! cargo bench -p bench --bench throughput -- --smoke # CI: one tiny pass
+//! ```
+
+use bench::{jigsaws_dataset, suturing_monitor_cfg, Scale};
+use context_monitor::serve::{ServeConfig, ShardedMonitorPool};
+use context_monitor::{ContextMode, MonitorPool, TrainedPipeline};
+use gestures::Task;
+use kinematics::KinematicSample;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Workload {
+    /// Per-session frame streams (cycled out of one demo).
+    frames: Vec<KinematicSample>,
+    frames_per_session: usize,
+}
+
+impl Workload {
+    fn frame(&self, t: usize) -> &KinematicSample {
+        &self.frames[t % self.frames.len()]
+    }
+}
+
+/// Sequential baseline: every frame of every session through the
+/// single-threaded pool, round-robin over sessions per time step (the same
+/// submission order the sharded pool receives).
+fn run_sequential(
+    pipeline: TrainedPipeline,
+    sessions: usize,
+    w: &Workload,
+) -> (TrainedPipeline, f64, usize) {
+    let mut pool = MonitorPool::with_sessions(pipeline, ContextMode::Predicted, sessions);
+    let start = Instant::now();
+    let mut decisions = 0usize;
+    for t in 0..w.frames_per_session {
+        for s in 0..sessions {
+            if pool.push(s, w.frame(t)).expect("Predicted mode").is_some() {
+                decisions += 1;
+            }
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    (pool.into_pipeline(), decisions as f64 / elapsed, decisions)
+}
+
+/// Sharded pool: identical submission order; throughput measured from the
+/// first submit to the last flushed decision.
+fn run_sharded(
+    pipeline: Arc<TrainedPipeline>,
+    sessions: usize,
+    workers: usize,
+    w: &Workload,
+) -> (f64, usize) {
+    let cfg = ServeConfig { workers, threshold: 0.5 };
+    let mut pool =
+        ShardedMonitorPool::with_sessions(pipeline, ContextMode::Predicted, cfg, sessions);
+    let start = Instant::now();
+    for t in 0..w.frames_per_session {
+        for s in 0..sessions {
+            pool.submit(s, w.frame(t)).expect("Predicted mode");
+        }
+    }
+    let decisions = pool.flush().iter().filter(|d| d.output.is_some()).count();
+    let elapsed = start.elapsed().as_secs_f64();
+    (decisions as f64 / elapsed, decisions)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let ds = jigsaws_dataset(Task::Suturing, Scale::Fast);
+    let mut cfg = suturing_monitor_cfg(Scale::Fast);
+    cfg.train.epochs = 2; // weights don't affect latency
+    cfg.train_stride = 6;
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let mut pipeline = TrainedPipeline::train(&ds, &idx, &cfg);
+
+    let workload = Workload {
+        frames: ds.demos[0].frames.clone(),
+        frames_per_session: if smoke { 80 } else { 600 },
+    };
+    let session_counts: &[usize] = if smoke { &[4] } else { &[4, 16] };
+    let worker_counts: &[usize] = if smoke { &[2] } else { &[1, 2, 4] };
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "serving throughput ({} frames/session, Suturing fast config, {} core(s)){}",
+        workload.frames_per_session,
+        cores,
+        if smoke { " [smoke]" } else { "" }
+    );
+    if cores < 4 {
+        println!(
+            "note: host exposes {cores} core(s); worker threads time-slice instead of \
+             running in parallel, so speedups above ~1x require >= workers cores"
+        );
+    }
+    println!("{:<38} {:>14} {:>10}", "configuration", "decisions/s", "speedup");
+
+    for &sessions in session_counts {
+        let (returned, baseline_rate, baseline_n) = run_sequential(pipeline, sessions, &workload);
+        pipeline = returned;
+        println!(
+            "{:<38} {:>14.0} {:>9.2}x",
+            format!("sequential MonitorPool, {sessions} sessions"),
+            baseline_rate,
+            1.0
+        );
+        let shared = Arc::new(pipeline);
+        for &workers in worker_counts {
+            let (rate, n) = run_sharded(Arc::clone(&shared), sessions, workers, &workload);
+            assert_eq!(
+                n, baseline_n,
+                "sharded pool must emit exactly the baseline's decision count"
+            );
+            println!(
+                "{:<38} {:>14.0} {:>9.2}x",
+                format!("sharded, {sessions} sessions x {workers} workers"),
+                rate,
+                rate / baseline_rate
+            );
+        }
+        pipeline = Arc::try_unwrap(shared).ok().expect("workers joined");
+    }
+}

@@ -13,7 +13,7 @@ fn main() {
     let cfg = block_transfer_monitor_cfg(scale);
     let folds = ds.loso_folds();
     let fold = &folds[0];
-    let mut pipeline = TrainedPipeline::train(&ds, &fold.train, &cfg);
+    let pipeline = TrainedPipeline::train(&ds, &fold.train, &cfg);
 
     // Pick a test demo with an annotated error; fall back to the first.
     let demo_idx =

@@ -16,8 +16,8 @@ fn main() {
     for mode in [ContextMode::Predicted, ContextMode::NoContext] {
         let mut pooled: Option<PipelineEval> = None;
         for fold in folds.iter().take(n_folds) {
-            let mut pipeline = TrainedPipeline::train(&ds, &fold.train, &cfg);
-            let eval = evaluate_pipeline(&mut pipeline, &ds, &fold.test, mode);
+            let pipeline = TrainedPipeline::train(&ds, &fold.train, &cfg);
+            let eval = evaluate_pipeline(&pipeline, &ds, &fold.test, mode);
             pooled = Some(match pooled.take() {
                 None => eval,
                 Some(mut acc) => {

@@ -89,7 +89,7 @@ fn evaluate_task(
 
     for fold in folds.iter().take(n_folds) {
         // Ours: stacked-LSTM gesture classifier (stage 1 only).
-        let (mut pipeline, _) =
+        let (pipeline, _) =
             TrainedPipeline::train_stages(ds, &fold.train, &cfg, TrainStages::GESTURE_ONLY);
         let mut correct = 0usize;
         let mut total = 0usize;

@@ -30,7 +30,7 @@ fn main() {
         let n_folds = folds_to_run(scale, folds.len());
         let mut counts = BinaryCounts::default();
         for fold in folds.iter().take(n_folds) {
-            let (mut pipeline, _) =
+            let (pipeline, _) =
                 TrainedPipeline::train_stages(&ds, &fold.train, &cfg, TrainStages::ERRORS_ONLY);
             let mode = if specific { ContextMode::Perfect } else { ContextMode::NoContext };
             for &i in &fold.test {

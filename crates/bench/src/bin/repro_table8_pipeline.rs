@@ -75,8 +75,8 @@ fn run_task(ds: &Dataset, cfg: &MonitorConfig, scale: Scale) -> Vec<PipelineEval
     for mode in [ContextMode::Perfect, ContextMode::Predicted, ContextMode::NoContext] {
         let mut pooled: Option<PipelineEval> = None;
         for fold in folds.iter().take(n_folds) {
-            let mut pipeline = TrainedPipeline::train(ds, &fold.train, cfg);
-            let eval = evaluate_pipeline(&mut pipeline, ds, &fold.test, mode);
+            let pipeline = TrainedPipeline::train(ds, &fold.train, cfg);
+            let eval = evaluate_pipeline(&pipeline, ds, &fold.test, mode);
             pooled = Some(match pooled.take() {
                 None => eval,
                 Some(mut acc) => {

@@ -34,10 +34,10 @@ fn main() {
 fn run_task(ds: &Dataset, cfg: &MonitorConfig) {
     let folds = ds.loso_folds();
     let fold = &folds[0];
-    let mut pipeline = TrainedPipeline::train(ds, &fold.train, cfg);
+    let pipeline = TrainedPipeline::train(ds, &fold.train, cfg);
 
-    let perfect = per_gesture_report(&mut pipeline, ds, &fold.test, ContextMode::Perfect);
-    let predicted = per_gesture_report(&mut pipeline, ds, &fold.test, ContextMode::Predicted);
+    let perfect = per_gesture_report(&pipeline, ds, &fold.test, ContextMode::Perfect);
+    let predicted = per_gesture_report(&pipeline, ds, &fold.test, ContextMode::Predicted);
 
     println!(
         "{:<5} | {:>11} {:>8} | {:>8} {:>11} {:>11} {:>8} | {:>6}",

@@ -18,11 +18,36 @@
 //! lets one process multiplex many concurrent surgical sessions
 //! ([`MonitorPool`](crate::monitor::MonitorPool)) at that budget.
 
-use crate::pipeline::{ContextMode, TrainedPipeline};
-use gestures::NUM_GESTURES;
+use crate::pipeline::{ContextMode, ErrorRoute, TrainedPipeline};
+use gestures::{Gesture, NUM_GESTURES};
 use kinematics::{KinematicSample, SlidingWindow};
-use nn::Mat;
+use nn::loss::softmax_into;
+use nn::{Mat, NetworkScratch};
 use std::collections::VecDeque;
+
+/// Typed error for the streaming decision path: a misconfigured caller gets
+/// a value it can handle instead of a panic that would take down a serving
+/// process hosting other sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineError {
+    /// [`InferenceEngine::step`] (or a monitor `push`) was called on a
+    /// [`ContextMode::Perfect`] engine, which needs externally supplied
+    /// gesture boundaries (`step_with_context` / `push_with_context`).
+    MissingContext,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::MissingContext => f.write_str(
+                "ContextMode::Perfect requires externally supplied gesture context \
+                 (use step_with_context / push_with_context)",
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// Causal majority filter over a bounded trailing window with O(1) updates.
 ///
@@ -131,17 +156,22 @@ impl MajorityFilter {
 ///   on (immediately in [`ContextMode::Perfect`]).
 /// * `unsafe_score` — the erroneous-gesture probability, from the first
 ///   frame where both the error window and the required context exist.
+///
+/// The gesture is a typed [`Gesture`], not a raw class index: the engine
+/// proves the index in-range at the single point where it leaves the
+/// bounded [`MajorityFilter`], so downstream consumers can never observe
+/// (or silently "repair") an out-of-range context.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineStep {
-    /// Smoothed operational context (gesture class index), once available.
-    pub gesture: Option<usize>,
+    /// Smoothed operational context, once available.
+    pub gesture: Option<Gesture>,
     /// Probability that the current window is unsafe, once available.
     pub unsafe_score: Option<f32>,
 }
 
 impl EngineStep {
     /// Both stages warm: `(gesture, unsafe_score)`.
-    pub fn complete(&self) -> Option<(usize, f32)> {
+    pub fn complete(&self) -> Option<(Gesture, f32)> {
         match (self.gesture, self.unsafe_score) {
             (Some(g), Some(s)) => Some((g, s)),
             _ => None,
@@ -167,13 +197,20 @@ pub struct InferenceEngine {
     /// Causal smoothing over raw stage-1 predictions.
     filter: MajorityFilter,
     /// Last smoothed gesture (stage-2 routing context).
-    gesture: Option<usize>,
+    gesture: Option<Gesture>,
     frames_seen: usize,
     // Scratch buffers (reused every frame; no steady-state allocation).
+    // The network scratch lives here — not in the shared networks — so one
+    // read-only `TrainedPipeline` can serve many engines across threads.
     feat: Vec<f32>,
     gfeat: Vec<f32>,
     logits: Mat,
     probs: [f32; 2],
+    /// Inference scratch for the stage-1 gesture classifier.
+    gscratch: NetworkScratch,
+    /// Inference scratch for the stage-2 error classifiers (they share one
+    /// architecture, so one scratch serves every route without reshaping).
+    escratch: NetworkScratch,
 }
 
 impl InferenceEngine {
@@ -191,6 +228,8 @@ impl InferenceEngine {
             gfeat: Vec::with_capacity(pipeline.gesture_in_dim),
             logits: Mat::zeros(1, NUM_GESTURES),
             probs: [0.0; 2],
+            gscratch: pipeline.gesture_net.make_scratch(),
+            escratch: pipeline.error_scratch(),
         }
     }
 
@@ -215,51 +254,64 @@ impl InferenceEngine {
 
     /// Feeds one frame, inferring the gesture context with stage 1.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics in [`ContextMode::Perfect`] — perfect boundaries must be
-    /// supplied via [`step_with_context`](Self::step_with_context).
-    pub fn step(&mut self, pipeline: &mut TrainedPipeline, frame: &KinematicSample) -> EngineStep {
-        assert!(self.mode != ContextMode::Perfect, "Perfect mode requires step_with_context");
-        self.step_inner(pipeline, frame, None)
+    /// Returns [`EngineError::MissingContext`] in [`ContextMode::Perfect`]
+    /// — perfect boundaries must be supplied via
+    /// [`step_with_context`](Self::step_with_context). The frame is **not**
+    /// consumed on error (no window or counter advances).
+    pub fn step(
+        &mut self,
+        pipeline: &TrainedPipeline,
+        frame: &KinematicSample,
+    ) -> Result<EngineStep, EngineError> {
+        if self.mode == ContextMode::Perfect {
+            return Err(EngineError::MissingContext);
+        }
+        Ok(self.step_inner(pipeline, frame, None))
     }
 
     /// Feeds one frame with externally supplied context (the
-    /// perfect-boundary upper bound).
+    /// perfect-boundary upper bound). In the other modes the supplied
+    /// context is ignored and stage 1 infers it as usual.
     pub fn step_with_context(
         &mut self,
-        pipeline: &mut TrainedPipeline,
+        pipeline: &TrainedPipeline,
         frame: &KinematicSample,
-        gesture: usize,
+        gesture: Gesture,
     ) -> EngineStep {
         self.step_inner(pipeline, frame, Some(gesture))
     }
 
     fn step_inner(
         &mut self,
-        pipeline: &mut TrainedPipeline,
+        pipeline: &TrainedPipeline,
         frame: &KinematicSample,
-        context: Option<usize>,
+        context: Option<Gesture>,
     ) -> EngineStep {
         self.frames_seen += 1;
 
         // Stage 1: operational context.
-        self.gesture = match (self.mode, context) {
-            (ContextMode::Perfect, Some(g)) => Some(g),
-            (ContextMode::Perfect, None) => panic!("Perfect mode requires step_with_context"),
-            _ => {
-                frame.to_feature_vec_into(&pipeline.config.gesture_features, &mut self.gfeat);
-                pipeline.gesture_normalizer.apply_frame_inplace(&mut self.gfeat);
-                match self.gesture_window.push(&self.gfeat) {
-                    Some(gwindow) => {
-                        pipeline.gesture_net.predict_into(gwindow, &mut self.logits);
-                        let raw = self.logits.argmax_row(0);
-                        Some(self.filter.push(raw))
-                    }
-                    // Not warm yet: keep the previous smoothed value (always
-                    // `None` here, since stage 1 warms before it cools).
-                    None => self.gesture,
+        self.gesture = if self.mode == ContextMode::Perfect {
+            // `step` rejects Perfect mode, so context is always Some here.
+            debug_assert!(context.is_some(), "Perfect mode requires context");
+            context
+        } else {
+            frame.to_feature_vec_into(&pipeline.config.gesture_features, &mut self.gfeat);
+            pipeline.gesture_normalizer.apply_frame_inplace(&mut self.gfeat);
+            match self.gesture_window.push(&self.gfeat) {
+                Some(gwindow) => {
+                    pipeline.gesture_net.predict_scratch(
+                        gwindow,
+                        &mut self.logits,
+                        &mut self.gscratch,
+                    );
+                    debug_assert_eq!(self.logits.cols(), NUM_GESTURES);
+                    Some(self.smooth_raw_class(self.logits.argmax_row(0)))
                 }
+                // Not warm yet: keep the previous smoothed value (always
+                // `None` here, since stage 1 warms before it cools).
+                None => self.gesture,
             }
         };
 
@@ -270,20 +322,244 @@ impl InferenceEngine {
         pipeline.normalizer.apply_frame_inplace(&mut self.feat);
         let routing = match self.mode {
             ContextMode::NoContext => Some(0),
-            _ => self.gesture,
+            _ => self.gesture.map(Gesture::index),
         };
         let unsafe_score = match (self.window.push(&self.feat), routing) {
-            (Some(window), Some(route)) => Some(pipeline.score_window_into(
+            (Some(window), Some(route)) => Some(pipeline.score_window_scratch(
                 window,
                 route,
                 self.mode,
                 &mut self.logits,
                 &mut self.probs,
+                &mut self.escratch,
             )),
             _ => None,
         };
 
         EngineStep { gesture: self.gesture, unsafe_score }
+    }
+
+    /// Smooths a raw stage-1 class index and converts it to a typed
+    /// [`Gesture`], the **only** place a class index crosses into the typed
+    /// domain. In-range is an invariant, not a hope: `MajorityFilter::push`
+    /// asserts `raw < NUM_GESTURES` on entry and only ever returns values it
+    /// admitted, so the conversion cannot fail — a malformed gesture
+    /// classifier (logit width ≠ `NUM_GESTURES`) is rejected loudly here
+    /// instead of being silently mapped to `Gesture::G1` downstream.
+    fn smooth_raw_class(&mut self, raw: usize) -> Gesture {
+        let smoothed = self.filter.push(raw);
+        Gesture::from_index(smoothed).expect("MajorityFilter output is bounded by NUM_GESTURES")
+    }
+}
+
+/// One engine+frame pair inside a micro-batched tick ([`step_batch`]).
+///
+/// The engine is referenced by **index** into the engine slice passed to
+/// `step_batch` (not by `&mut`), which lets a long-running worker keep one
+/// reusable `Vec<BatchJob>` across ticks — the serving hot path performs no
+/// per-tick allocation.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// Index of the per-session engine in the tick's engine slice. An
+    /// engine may appear **at most once** per tick: its sliding window is
+    /// consumed by the batched forward pass.
+    pub engine: usize,
+    /// The frame to feed.
+    pub frame: KinematicSample,
+    /// Externally supplied context — required for engines in
+    /// [`ContextMode::Perfect`], ignored otherwise.
+    pub context: Option<Gesture>,
+}
+
+/// Reusable buffers for [`step_batch`]: stacked window matrices, batched
+/// logits, network scratch for both stages, and tick bookkeeping. One per
+/// shard worker; everything grows to a high-water mark and is reused.
+#[derive(Debug)]
+pub struct BatchScratch {
+    gwindows: Mat,
+    glogits: Mat,
+    gscratch: NetworkScratch,
+    ewindows: Mat,
+    elogits: Mat,
+    escratch: NetworkScratch,
+    gmembers: Vec<usize>,
+    eready: Vec<bool>,
+    pending: Vec<(usize, ErrorRoute)>,
+    scores: Vec<Option<f32>>,
+    seen: Vec<bool>,
+}
+
+impl BatchScratch {
+    /// Creates scratch sized for `pipeline`'s two classifier stages.
+    pub fn new(pipeline: &TrainedPipeline) -> Self {
+        Self {
+            gwindows: Mat::zeros(0, 0),
+            glogits: Mat::zeros(0, 0),
+            gscratch: pipeline.gesture_net.make_scratch(),
+            ewindows: Mat::zeros(0, 0),
+            elogits: Mat::zeros(0, 0),
+            escratch: pipeline.error_scratch(),
+            gmembers: Vec::new(),
+            eready: Vec::new(),
+            pending: Vec::new(),
+            scores: Vec::new(),
+            seen: Vec::new(),
+        }
+    }
+}
+
+/// Advances several sessions by one frame each with **cross-session
+/// micro-batching**: all warm stage-1 windows run through one batched
+/// gesture-net forward pass, and stage-2 windows are grouped by the error
+/// classifier they route to and batched per group.
+///
+/// Exactly equivalent — bit-for-bit, per session — to calling
+/// [`InferenceEngine::step`] / [`InferenceEngine::step_with_context`] on
+/// each job in order: every batched row is the same dot-product sequence as
+/// its unbatched counterpart (see `nn::Network::predict_batch_into`), and
+/// per-session state (windows, majority filter) is untouched by batching.
+/// `outputs` is cleared and refilled with one [`EngineStep`] per job, in
+/// job order.
+///
+/// All engines must come from (engines configured identically to)
+/// `pipeline`.
+///
+/// # Panics
+///
+/// Panics when a job references an out-of-range or duplicated engine
+/// index, or when an engine in [`ContextMode::Perfect`] is given no
+/// context — the same invariant [`InferenceEngine::step`] reports as
+/// [`EngineError::MissingContext`]; the serving layer rejects such
+/// submissions before they ever reach a worker, and a loud panic here
+/// beats silently suppressing a session's output in release builds.
+pub fn step_batch(
+    pipeline: &TrainedPipeline,
+    engines: &mut [InferenceEngine],
+    jobs: &[BatchJob],
+    scratch: &mut BatchScratch,
+    outputs: &mut Vec<EngineStep>,
+) {
+    outputs.clear();
+    if jobs.is_empty() {
+        return;
+    }
+    let BatchScratch {
+        gwindows,
+        glogits,
+        gscratch,
+        ewindows,
+        elogits,
+        escratch,
+        gmembers,
+        eready,
+        pending,
+        scores,
+        seen,
+    } = scratch;
+
+    seen.clear();
+    seen.resize(engines.len(), false);
+    for job in jobs.iter() {
+        assert!(job.engine < engines.len(), "step_batch: unknown engine {}", job.engine);
+        assert!(!seen[job.engine], "step_batch: engine {} appears twice in one tick", job.engine);
+        seen[job.engine] = true;
+    }
+
+    // Phase 1: ingest every frame into its engine's windows (no inference).
+    gmembers.clear();
+    eready.clear();
+    for (j, job) in jobs.iter().enumerate() {
+        let e = &mut engines[job.engine];
+        e.frames_seen += 1;
+        if e.mode == ContextMode::Perfect {
+            assert!(job.context.is_some(), "Perfect mode requires context (see EngineError)");
+            e.gesture = job.context;
+        } else {
+            job.frame.to_feature_vec_into(&pipeline.config.gesture_features, &mut e.gfeat);
+            pipeline.gesture_normalizer.apply_frame_inplace(&mut e.gfeat);
+            if e.gesture_window.push(&e.gfeat).is_some() {
+                gmembers.push(j);
+            }
+        }
+        job.frame.to_feature_vec_into(&pipeline.config.features, &mut e.feat);
+        pipeline.normalizer.apply_frame_inplace(&mut e.feat);
+        eready.push(e.window.push(&e.feat).is_some());
+    }
+
+    // Phase 2: one batched stage-1 forward pass for every warm gesture
+    // window, then the per-session smoothing filters.
+    if !gmembers.is_empty() {
+        let n = gmembers.len();
+        let first = &engines[jobs[gmembers[0]].engine];
+        let gw = first.gesture_window.width();
+        let gd = first.gesture_window.dims();
+        gwindows.resize(n * gw, gd);
+        for (b, &j) in gmembers.iter().enumerate() {
+            let e = &engines[jobs[j].engine];
+            let copied = e.gesture_window.copy_current_into(gwindows, b * gw);
+            debug_assert!(copied, "warm window expected");
+        }
+        pipeline.gesture_net.predict_batch_into(gwindows, n, glogits, gscratch);
+        debug_assert_eq!(glogits.cols(), NUM_GESTURES);
+        for (b, &j) in gmembers.iter().enumerate() {
+            let raw = glogits.argmax_row(b);
+            let e = &mut engines[jobs[j].engine];
+            e.gesture = Some(e.smooth_raw_class(raw));
+        }
+    }
+
+    // Phase 3: stage-2 scoring, batched per routed classifier. Grouping by
+    // route is safe because every batched row only depends on its own
+    // window; the stable sort keeps job order within each group.
+    scores.clear();
+    scores.resize(jobs.len(), None);
+    pending.clear();
+    for (j, job) in jobs.iter().enumerate() {
+        if !eready[j] {
+            continue;
+        }
+        let e = &engines[job.engine];
+        let routing = match e.mode {
+            ContextMode::NoContext => Some(0),
+            _ => e.gesture.map(Gesture::index),
+        };
+        let Some(route_class) = routing else { continue };
+        match pipeline.error_route(route_class, e.mode) {
+            // No classifier for this route: scored 0, like score_window.
+            None => scores[j] = Some(0.0),
+            Some(route) => pending.push((j, route)),
+        }
+    }
+    pending.sort_by_key(|&(_, route)| route);
+    let mut i = 0usize;
+    while i < pending.len() {
+        let route = pending[i].1;
+        let mut end = i + 1;
+        while end < pending.len() && pending[end].1 == route {
+            end += 1;
+        }
+        let n = end - i;
+        let first = &engines[jobs[pending[i].0].engine];
+        let w = first.window.width();
+        let d = first.window.dims();
+        ewindows.resize(n * w, d);
+        for (b, &(j, _)) in pending[i..end].iter().enumerate() {
+            let e = &engines[jobs[j].engine];
+            let copied = e.window.copy_current_into(ewindows, b * w);
+            debug_assert!(copied, "warm window expected");
+        }
+        pipeline.error_net(route).predict_batch_into(ewindows, n, elogits, escratch);
+        for (b, &(j, _)) in pending[i..end].iter().enumerate() {
+            let e = &mut engines[jobs[j].engine];
+            softmax_into(elogits.row(b), &mut e.probs);
+            scores[j] = Some(e.probs[1]);
+        }
+        i = end;
+    }
+
+    // Phase 4: assemble per-job steps in submission order.
+    for (j, job) in jobs.iter().enumerate() {
+        outputs.push(EngineStep { gesture: engines[job.engine].gesture, unsafe_score: scores[j] });
     }
 }
 

@@ -25,13 +25,17 @@
 //! // Stream kinematics through the online monitor.
 //! let mut monitor = SafetyMonitor::new(pipeline, ContextMode::Predicted);
 //! for frame in &dataset.demos[fold.test[0]].frames {
-//!     if let Some(out) = monitor.push(frame) {
+//!     if let Some(out) = monitor.push(frame).expect("Predicted mode needs no context") {
 //!         if out.alert {
 //!             println!("unsafe {} (p={:.2})", out.gesture, out.unsafe_probability);
 //!         }
 //!     }
 //! }
 //! ```
+//!
+//! For production-scale serving — many concurrent sessions sharded across
+//! worker threads over one shared read-only pipeline, with cross-session
+//! micro-batching — see [`serve::ShardedMonitorPool`].
 
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)] // indexed loops mirror the math in numeric kernels
@@ -42,15 +46,20 @@ pub mod models;
 pub mod monitor;
 pub mod pipeline;
 pub mod report;
+pub mod serve;
 
 pub use config::{ErrorModelKind, MonitorConfig};
-pub use engine::{EngineStep, InferenceEngine, MajorityFilter};
+pub use engine::{
+    step_batch, BatchJob, BatchScratch, EngineError, EngineStep, InferenceEngine, MajorityFilter,
+};
 pub use models::{error_classifier_spec, gesture_classifier_spec};
 pub use monitor::{MonitorOutput, MonitorPool, SafetyMonitor, SessionId};
 pub use pipeline::{
-    ContextMode, GestureTrainStats, MonitorRun, SavedPipeline, TrainStages, TrainedPipeline,
+    ContextMode, ErrorRoute, GestureTrainStats, MonitorRun, SavedPipeline, TrainStages,
+    TrainedPipeline,
 };
 pub use report::{
     error_events, evaluate_pipeline, evaluate_run, per_gesture_report, DemoEval, GestureRow,
     PipelineEval, REACTION_LOOKBACK_S,
 };
+pub use serve::{parallel_map, Decision, ServeConfig, ShardedMonitorPool};

@@ -10,7 +10,7 @@
 //! of an extra concurrent procedure is a few kilobytes rather than a copy
 //! of the model weights.
 
-use crate::engine::{EngineStep, InferenceEngine};
+use crate::engine::{EngineError, EngineStep, InferenceEngine};
 use crate::pipeline::{ContextMode, TrainedPipeline};
 use gestures::Gesture;
 use kinematics::KinematicSample;
@@ -31,15 +31,18 @@ pub struct MonitorOutput {
     pub compute_ms: f32,
 }
 
-/// Converts a warm engine step into a monitor decision.
-fn output_from_step(step: &EngineStep, threshold: f32, compute_ms: f32) -> Option<MonitorOutput> {
+/// Converts a warm engine step into a monitor decision. The engine emits a
+/// typed [`Gesture`] (provably in-range at the filter boundary), so no
+/// index-to-gesture fallback exists on this path any more — an earlier
+/// revision mapped out-of-range indices to `Gesture::G1` via `unwrap_or`,
+/// silently reporting a wrong operational context.
+pub(crate) fn output_from_step(
+    step: &EngineStep,
+    threshold: f32,
+    compute_ms: f32,
+) -> Option<MonitorOutput> {
     let (gesture, score) = step.complete()?;
-    Some(MonitorOutput {
-        gesture: Gesture::from_index(gesture).unwrap_or(Gesture::G1),
-        unsafe_probability: score,
-        alert: score > threshold,
-        compute_ms,
-    })
+    Some(MonitorOutput { gesture, unsafe_probability: score, alert: score > threshold, compute_ms })
 }
 
 fn checked_threshold(threshold: f32) -> f32 {
@@ -71,13 +74,18 @@ impl SafetyMonitor {
         self.threshold = checked_threshold(threshold);
     }
 
-    /// Feeds one frame; returns a decision once both stages are warm.
-    /// With [`ContextMode::Perfect`] the caller must use
-    /// [`SafetyMonitor::push_with_context`] instead.
-    pub fn push(&mut self, frame: &KinematicSample) -> Option<MonitorOutput> {
+    /// Feeds one frame; returns `Ok(Some(..))` once both stages are warm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::MissingContext`] in [`ContextMode::Perfect`]
+    /// (use [`SafetyMonitor::push_with_context`]); the frame is not
+    /// consumed, so a misconfigured caller degrades gracefully instead of
+    /// crashing a serving process.
+    pub fn push(&mut self, frame: &KinematicSample) -> Result<Option<MonitorOutput>, EngineError> {
         let start = Instant::now();
-        let step = self.engine.step(&mut self.pipeline, frame);
-        self.finish(step, start)
+        let step = self.engine.step(&self.pipeline, frame)?;
+        Ok(self.finish(step, start))
     }
 
     /// Feeds one frame with externally supplied context (used for the
@@ -88,7 +96,7 @@ impl SafetyMonitor {
         gesture: Gesture,
     ) -> Option<MonitorOutput> {
         let start = Instant::now();
-        let step = self.engine.step_with_context(&mut self.pipeline, frame, gesture.index());
+        let step = self.engine.step_with_context(&self.pipeline, frame, gesture);
         self.finish(step, start)
     }
 
@@ -175,18 +183,28 @@ impl MonitorPool {
         self.threshold = checked_threshold(threshold);
     }
 
-    /// Feeds one frame of `session`; returns a decision once that session
-    /// is warm.
+    /// Feeds one frame of `session`; returns `Ok(Some(..))` once that
+    /// session is warm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::MissingContext`] in [`ContextMode::Perfect`]
+    /// (use [`MonitorPool::push_with_context`]) without consuming the
+    /// frame — one misconfigured caller cannot crash a pool hosting other
+    /// sessions.
     ///
     /// # Panics
     ///
-    /// Panics on an unknown session id, or in [`ContextMode::Perfect`]
-    /// (use [`MonitorPool::push_with_context`]).
-    pub fn push(&mut self, session: SessionId, frame: &KinematicSample) -> Option<MonitorOutput> {
+    /// Panics on an unknown session id.
+    pub fn push(
+        &mut self,
+        session: SessionId,
+        frame: &KinematicSample,
+    ) -> Result<Option<MonitorOutput>, EngineError> {
         let start = Instant::now();
-        let step = self.sessions[session].step(&mut self.pipeline, frame);
+        let step = self.sessions[session].step(&self.pipeline, frame)?;
         let compute_ms = start.elapsed().as_secs_f32() * 1000.0;
-        output_from_step(&step, self.threshold, compute_ms)
+        Ok(output_from_step(&step, self.threshold, compute_ms))
     }
 
     /// Feeds one frame of `session` with externally supplied context.
@@ -201,8 +219,7 @@ impl MonitorPool {
         gesture: Gesture,
     ) -> Option<MonitorOutput> {
         let start = Instant::now();
-        let step =
-            self.sessions[session].step_with_context(&mut self.pipeline, frame, gesture.index());
+        let step = self.sessions[session].step_with_context(&self.pipeline, frame, gesture);
         let compute_ms = start.elapsed().as_secs_f32() * 1000.0;
         output_from_step(&step, self.threshold, compute_ms)
     }
@@ -246,7 +263,7 @@ mod tests {
 
     #[test]
     fn streaming_monitor_matches_offline_run() {
-        let (mut pipeline, ds) = trained();
+        let (pipeline, ds) = trained();
         let demo = &ds.demos[0];
         let offline = pipeline.run_demo(demo, ContextMode::Predicted);
 
@@ -254,7 +271,7 @@ mod tests {
         let mut online_gestures = Vec::new();
         let mut online_scores = Vec::new();
         for frame in &demo.frames {
-            if let Some(out) = monitor.push(frame) {
+            if let Some(out) = monitor.push(frame).expect("Predicted mode cannot fail") {
                 online_gestures.push(out.gesture.index());
                 online_scores.push(out.unsafe_probability);
             }
@@ -272,7 +289,7 @@ mod tests {
         let warm = pipeline.config.window.width.max(pipeline.config.gesture_window);
         let mut monitor = SafetyMonitor::new(pipeline, ContextMode::Predicted);
         for (i, frame) in ds.demos[0].frames.iter().enumerate().take(warm) {
-            let out = monitor.push(frame);
+            let out = monitor.push(frame).expect("Predicted mode cannot fail");
             assert_eq!(out.is_some(), i + 1 >= warm, "frame {i}");
         }
     }
@@ -287,7 +304,7 @@ mod tests {
         assert_eq!(monitor.frames_seen(), 10);
         monitor.reset();
         assert_eq!(monitor.frames_seen(), 0);
-        assert!(monitor.push(&ds.demos[0].frames[0]).is_none());
+        assert!(monitor.push(&ds.demos[0].frames[0]).unwrap().is_none());
     }
 
     #[test]
@@ -310,7 +327,7 @@ mod tests {
         let mut lax_alerts = 0usize;
         let mut strict_alerts = 0usize;
         for frame in &ds.demos[2].frames {
-            if let Some(out) = strict.push(frame) {
+            if let Some(out) = strict.push(frame).unwrap() {
                 strict_alerts += out.alert as usize;
                 lax_alerts += (out.unsafe_probability > 0.1) as usize;
             }
@@ -326,7 +343,7 @@ mod tests {
         let mut pipeline = pipeline;
         for demo in ds.demos.iter().take(3) {
             let mut monitor = SafetyMonitor::new(pipeline, ContextMode::Predicted);
-            let outs = demo.frames.iter().filter_map(|f| monitor.push(f)).collect();
+            let outs = demo.frames.iter().filter_map(|f| monitor.push(f).unwrap()).collect();
             reference.push(outs);
             pipeline = monitor.into_pipeline();
         }
@@ -338,7 +355,7 @@ mod tests {
         for t in 0..longest {
             for (s, demo) in ds.demos.iter().take(3).enumerate() {
                 if let Some(frame) = demo.frames.get(t) {
-                    if let Some(out) = pool.push(s, frame) {
+                    if let Some(out) = pool.push(s, frame).unwrap() {
                         pooled[s].push(out);
                     }
                 }
@@ -366,14 +383,14 @@ mod tests {
             let _ = pool.push(0, frame);
             let _ = pool.push(1, frame);
         }
-        assert!(pool.push(0, &ds.demos[0].frames[warm + 3]).is_some(), "session 0 warm");
-        assert!(pool.push(1, &ds.demos[0].frames[warm + 3]).is_some(), "session 1 warm");
+        assert!(pool.push(0, &ds.demos[0].frames[warm + 3]).unwrap().is_some(), "session 0 warm");
+        assert!(pool.push(1, &ds.demos[0].frames[warm + 3]).unwrap().is_some(), "session 1 warm");
 
         pool.reset_session(0);
         // Session 0 is cold again; session 1 keeps emitting from its state.
-        assert!(pool.push(0, &ds.demos[0].frames[0]).is_none(), "session 0 reset");
+        assert!(pool.push(0, &ds.demos[0].frames[0]).unwrap().is_none(), "session 0 reset");
         assert!(
-            pool.push(1, &ds.demos[0].frames[warm + 4]).is_some(),
+            pool.push(1, &ds.demos[0].frames[warm + 4]).unwrap().is_some(),
             "session 1 unaffected by session 0's reset"
         );
         assert_eq!(pool.session_count(), 2);

@@ -11,7 +11,7 @@ use crate::models::{error_classifier_spec, gesture_classifier_spec};
 use gestures::{Gesture, NUM_GESTURES};
 use kinematics::{windows_with_positions, Dataset, Demonstration, Normalizer};
 use nn::loss::{inverse_frequency_weights, softmax_into};
-use nn::{train_classifier, Mat, Network, Sample, SavedNetwork, TrainConfig};
+use nn::{train_classifier, Mat, Network, NetworkScratch, Sample, SavedNetwork, TrainConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -38,7 +38,26 @@ impl std::fmt::Display for ContextMode {
     }
 }
 
+/// Identity of the stage-2 classifier a window routes to — the grouping key
+/// for cross-session micro-batching ([`crate::engine::step_batch`] stacks
+/// all windows sharing a route into one batched forward pass). `Ord` so
+/// pending work can be grouped with a stable sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ErrorRoute {
+    /// The dedicated classifier of one gesture class.
+    Dedicated(usize),
+    /// The single non-gesture-specific classifier (the `NoContext` path and
+    /// the fallback for gestures without a dedicated classifier).
+    Global,
+}
+
 /// The trained two-stage pipeline.
+///
+/// All inference entry points take `&self`: the pipeline is read-only at
+/// serving time (mutable inference scratch lives with each
+/// [`crate::engine::InferenceEngine`]), so one instance behind an
+/// `Arc<TrainedPipeline>` can be shared by every shard worker of a
+/// [`crate::serve::ShardedMonitorPool`].
 pub struct TrainedPipeline {
     /// Configuration it was trained with.
     pub config: MonitorConfig,
@@ -277,11 +296,10 @@ impl TrainedPipeline {
     /// # Panics
     ///
     /// Panics if the demonstration is shorter than either stage's window.
-    pub fn run_demo(&mut self, demo: &Demonstration, mode: ContextMode) -> MonitorRun {
+    pub fn run_demo(&self, demo: &Demonstration, mode: ContextMode) -> MonitorRun {
         let w = self.config.window.width;
         let gw = self.config.gesture_window;
         assert!(demo.len() >= w.max(gw), "demonstration shorter than window");
-        let truth = demo.gesture_indices();
         let started = Instant::now();
 
         let mut engine = InferenceEngine::new(self, mode);
@@ -291,12 +309,12 @@ impl TrainedPipeline {
         let mut first_score = None;
         for (pos, frame) in demo.frames.iter().enumerate() {
             let step = match mode {
-                ContextMode::Perfect => engine.step_with_context(self, frame, truth[pos]),
-                _ => engine.step(self, frame),
+                ContextMode::Perfect => engine.step_with_context(self, frame, demo.gestures[pos]),
+                _ => engine.step(self, frame).expect("step only fails in Perfect mode"),
             };
             if let Some(g) = step.gesture {
                 first_gesture.get_or_insert(pos);
-                gesture_pred[pos] = g;
+                gesture_pred[pos] = g.index();
             }
             if let Some(s) = step.unsafe_score {
                 first_score.get_or_insert(pos);
@@ -318,33 +336,82 @@ impl TrainedPipeline {
         MonitorRun { gesture_pred, unsafe_score, unsafe_pred, compute_ms }
     }
 
+    /// Resolves which stage-2 classifier `gesture` routes to in `mode`:
+    /// the dedicated per-gesture classifier with global fallback, or the
+    /// global classifier alone in [`ContextMode::NoContext`]. `None` when
+    /// no classifier exists at all (the score then defaults to 0).
+    pub fn error_route(&self, gesture: usize, mode: ContextMode) -> Option<ErrorRoute> {
+        match mode {
+            ContextMode::NoContext => self.global_error_net.is_some().then_some(ErrorRoute::Global),
+            _ => {
+                if self.error_nets.contains_key(&gesture) {
+                    Some(ErrorRoute::Dedicated(gesture))
+                } else if self.global_error_net.is_some() {
+                    Some(ErrorRoute::Global)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The classifier behind a route returned by
+    /// [`TrainedPipeline::error_route`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the route does not exist in this pipeline (routes must
+    /// come from `error_route` on the same pipeline).
+    pub fn error_net(&self, route: ErrorRoute) -> &Network {
+        match route {
+            ErrorRoute::Dedicated(g) => &self.error_nets[&g],
+            ErrorRoute::Global => {
+                self.global_error_net.as_ref().expect("route resolved against this pipeline")
+            }
+        }
+    }
+
+    /// Creates inference scratch fitting any of the stage-2 classifiers
+    /// (they are built from one spec, so a single scratch serves every
+    /// route). Empty scratch when no error classifier was trained.
+    pub fn error_scratch(&self) -> NetworkScratch {
+        self.error_nets
+            .values()
+            .next()
+            .or(self.global_error_net.as_ref())
+            .map(Network::make_scratch)
+            .unwrap_or_default()
+    }
+
     /// Scores one window's unsafe probability, routing to the
     /// gesture-specific classifier (with global fallback) or the global
-    /// classifier depending on `mode`.
-    pub fn score_window(&mut self, window: &Mat, gesture: usize, mode: ContextMode) -> f32 {
+    /// classifier depending on `mode`. Convenience wrapper that allocates
+    /// fresh scratch; the hot path uses
+    /// [`TrainedPipeline::score_window_scratch`].
+    pub fn score_window(&self, window: &Mat, gesture: usize, mode: ContextMode) -> f32 {
         let mut logits = Mat::zeros(0, 0);
         let mut probs = [0.0f32; 2];
-        self.score_window_into(window, gesture, mode, &mut logits, &mut probs)
+        let mut scratch = self.error_scratch();
+        self.score_window_scratch(window, gesture, mode, &mut logits, &mut probs, &mut scratch)
     }
 
     /// Allocation-free [`TrainedPipeline::score_window`]: the forward pass
-    /// writes into `logits` and the softmax into `probs`, both reused by the
-    /// caller across frames. Bit-identical results to `score_window`.
-    pub fn score_window_into(
-        &mut self,
+    /// writes into `logits`, the softmax into `probs`, and all intermediate
+    /// activations into the caller's `scratch`, so the pipeline itself
+    /// stays immutable (shareable across threads). Bit-identical results to
+    /// `score_window`.
+    pub fn score_window_scratch(
+        &self,
         window: &Mat,
         gesture: usize,
         mode: ContextMode,
         logits: &mut Mat,
         probs: &mut [f32; 2],
+        scratch: &mut NetworkScratch,
     ) -> f32 {
-        let net = match mode {
-            ContextMode::NoContext => self.global_error_net.as_mut(),
-            _ => self.error_nets.get_mut(&gesture).or(self.global_error_net.as_mut()),
-        };
-        match net {
-            Some(net) => {
-                net.predict_into(window, logits);
+        match self.error_route(gesture, mode) {
+            Some(route) => {
+                self.error_net(route).predict_scratch(window, logits, scratch);
                 softmax_into(logits.row(0), probs);
                 probs[1]
             }
@@ -419,7 +486,7 @@ mod tests {
     fn pipeline_trains_and_runs() {
         let ds = tiny_dataset();
         let idx: Vec<usize> = (0..ds.len()).collect();
-        let (mut p, stats) = TrainedPipeline::train_with_stats(&ds, &idx, &tiny_cfg());
+        let (p, stats) = TrainedPipeline::train_with_stats(&ds, &idx, &tiny_cfg());
         assert!(!stats.is_empty());
         assert!(!p.error_nets.is_empty(), "no dedicated error classifiers trained");
         assert!(p.global_error_net.is_some());
@@ -435,7 +502,7 @@ mod tests {
     fn perfect_mode_uses_ground_truth_gestures() {
         let ds = tiny_dataset();
         let idx: Vec<usize> = (0..ds.len()).collect();
-        let mut p = TrainedPipeline::train(&ds, &idx, &tiny_cfg());
+        let p = TrainedPipeline::train(&ds, &idx, &tiny_cfg());
         let run = p.run_demo(&ds.demos[1], ContextMode::Perfect);
         let truth = ds.demos[1].gesture_indices();
         // After the warm-up, predictions equal ground truth exactly.
@@ -451,7 +518,7 @@ mod tests {
         let before = p.run_demo(&ds.demos[0], ContextMode::Predicted);
         let json = serde_json::to_string(&p.save()).unwrap();
         let saved: SavedPipeline = serde_json::from_str(&json).unwrap();
-        let mut restored = TrainedPipeline::from_saved(saved);
+        let restored = TrainedPipeline::from_saved(saved);
         let after = restored.run_demo(&ds.demos[0], ContextMode::Predicted);
         assert_eq!(before.gesture_pred, after.gesture_pred);
         assert_eq!(before.unsafe_pred, after.unsafe_pred);
@@ -461,8 +528,8 @@ mod tests {
     fn training_is_deterministic() {
         let ds = tiny_dataset();
         let idx: Vec<usize> = (0..ds.len()).collect();
-        let mut a = TrainedPipeline::train(&ds, &idx, &tiny_cfg());
-        let mut b = TrainedPipeline::train(&ds, &idx, &tiny_cfg());
+        let a = TrainedPipeline::train(&ds, &idx, &tiny_cfg());
+        let b = TrainedPipeline::train(&ds, &idx, &tiny_cfg());
         let ra = a.run_demo(&ds.demos[2], ContextMode::Predicted);
         let rb = b.run_demo(&ds.demos[2], ContextMode::Predicted);
         // compute_ms is wall-clock time and legitimately differs.

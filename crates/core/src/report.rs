@@ -96,7 +96,7 @@ pub fn evaluate_run(demo: &Demonstration, run: &MonitorRun) -> DemoEval {
 
 /// Runs and evaluates the pipeline over the selected test demonstrations.
 pub fn evaluate_pipeline(
-    pipeline: &mut TrainedPipeline,
+    pipeline: &TrainedPipeline,
     dataset: &Dataset,
     test_idx: &[usize],
     mode: ContextMode,
@@ -199,7 +199,7 @@ pub struct GestureRow {
 
 /// Computes the Table IX per-gesture breakdown over a test fold.
 pub fn per_gesture_report(
-    pipeline: &mut TrainedPipeline,
+    pipeline: &TrainedPipeline,
     dataset: &Dataset,
     test_idx: &[usize],
     mode: ContextMode,
@@ -288,8 +288,8 @@ mod tests {
 
     #[test]
     fn evaluation_produces_finite_metrics() {
-        let (mut p, ds, _, test) = setup();
-        let eval = evaluate_pipeline(&mut p, &ds, &test, ContextMode::Predicted);
+        let (p, ds, _, test) = setup();
+        let eval = evaluate_pipeline(&p, &ds, &test, ContextMode::Predicted);
         assert_eq!(eval.demos.len(), test.len());
         let auc = eval.auc_summary();
         assert!(auc.n > 0, "no demo produced a defined AUC");
@@ -300,8 +300,8 @@ mod tests {
 
     #[test]
     fn perfect_context_is_at_least_as_good_on_gestures() {
-        let (mut p, ds, _, test) = setup();
-        let rows_perfect = per_gesture_report(&mut p, &ds, &test, ContextMode::Perfect);
+        let (p, ds, _, test) = setup();
+        let rows_perfect = per_gesture_report(&p, &ds, &test, ContextMode::Perfect);
         // With perfect boundaries, gesture detection accuracy is 1 for all
         // gestures (modulo the warm-up backfill).
         for r in &rows_perfect {
@@ -316,8 +316,8 @@ mod tests {
 
     #[test]
     fn per_gesture_rows_cover_observed_gestures() {
-        let (mut p, ds, _, test) = setup();
-        let rows = per_gesture_report(&mut p, &ds, &test, ContextMode::Predicted);
+        let (p, ds, _, test) = setup();
+        let rows = per_gesture_report(&p, &ds, &test, ContextMode::Predicted);
         assert!(!rows.is_empty());
         for r in &rows {
             assert!(r.segments > 0);
@@ -327,8 +327,8 @@ mod tests {
 
     #[test]
     fn roc_curves_are_sorted_by_auc() {
-        let (mut p, ds, _, test) = setup();
-        let eval = evaluate_pipeline(&mut p, &ds, &test, ContextMode::Predicted);
+        let (p, ds, _, test) = setup();
+        let eval = evaluate_pipeline(&p, &ds, &test, ContextMode::Predicted);
         let curves = eval.roc_curves();
         for w in curves.windows(2) {
             assert!(w[0].1.auc() <= w[1].1.auc() + 1e-6);

@@ -1,0 +1,535 @@
+//! Sharded, multi-threaded serving: many concurrent surgical sessions
+//! partitioned across worker threads over one shared read-only model.
+//!
+//! [`ShardedMonitorPool`] is the production form of
+//! [`MonitorPool`](crate::monitor::MonitorPool): sessions are assigned
+//! round-robin to `workers` shard threads, frames travel to their shard
+//! over a crossbeam channel (ingress), and decisions come back tagged with
+//! their session on a shared egress channel. Each worker owns only the
+//! **per-session** state (a `Vec` of [`InferenceEngine`]s plus batch
+//! scratch); the [`TrainedPipeline`] — the model weights — is shared
+//! read-only behind an `Arc`, which the `&self` inference paths
+//! (`Network::predict_scratch` and friends) make safe.
+//!
+//! Within a shard, frames are processed in **micro-batched ticks**: the
+//! worker drains its ingress queue and advances every distinct session one
+//! frame via [`engine::step_batch`], which fuses the stage-1 forward passes
+//! of all warm sessions into one batched network evaluation and groups
+//! stage-2 windows by their routed error classifier. Determinism is part of
+//! the contract: per session, the emitted decisions are **bit-exactly** the
+//! ones the sequential `MonitorPool` produces, for every `ContextMode` —
+//! batching changes wall-clock, never floats (asserted by
+//! `tests/serve_equivalence.rs`).
+//!
+//! The module also hosts the workspace's one audited fork-join primitive,
+//! [`parallel_map`], reused by the fault-injection campaign
+//! (`faults::campaign`) so batch workloads and serving share a single
+//! parallel-execution path.
+
+use crate::engine::{step_batch, BatchJob, BatchScratch, EngineError, EngineStep, InferenceEngine};
+use crate::monitor::{output_from_step, MonitorOutput, SessionId};
+use crate::pipeline::{ContextMode, TrainedPipeline};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use gestures::Gesture;
+use kinematics::KinematicSample;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Configuration of a [`ShardedMonitorPool`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Number of shard worker threads (each owns `sessions / workers`
+    /// engines). Clamped to at least 1.
+    pub workers: usize,
+    /// Alert threshold applied by every worker, in `(0, 1)`.
+    pub threshold: f32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { workers: 4, threshold: 0.5 }
+    }
+}
+
+/// One per-frame result coming back over the egress channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// The session the frame belonged to.
+    pub session: SessionId,
+    /// Zero-based index of the frame within its session's stream.
+    pub frame: usize,
+    /// The monitor decision, once the session is warm (`None` during
+    /// warm-up, exactly like `MonitorPool::push` returning `Ok(None)`).
+    pub output: Option<MonitorOutput>,
+}
+
+enum Job {
+    Frame { slot: usize, frame: KinematicSample, context: Option<Gesture> },
+    AddSession,
+    Barrier { token: u64 },
+}
+
+enum Event {
+    Decision(Decision),
+    BarrierAck { token: u64 },
+}
+
+/// N concurrent sessions sharded across worker threads over one shared
+/// read-only [`TrainedPipeline`], with cross-session micro-batching inside
+/// each shard.
+///
+/// Per-session decisions are bit-exactly equal to the sequential
+/// [`MonitorPool`](crate::monitor::MonitorPool); frames of one session are
+/// processed in submission order, and decisions for one session arrive in
+/// frame order (cross-session arrival order is unspecified — use
+/// [`Decision::session`] / [`Decision::frame`] to demultiplex).
+///
+/// ```no_run
+/// use context_monitor::serve::{ServeConfig, ShardedMonitorPool};
+/// use context_monitor::{ContextMode, TrainedPipeline};
+/// # fn pipeline() -> TrainedPipeline { unimplemented!() }
+/// let mut pool = ShardedMonitorPool::new(
+///     std::sync::Arc::new(pipeline()),
+///     ContextMode::Predicted,
+///     ServeConfig::default(),
+/// );
+/// let a = pool.add_session();
+/// # let frame = kinematics::KinematicSample::default();
+/// pool.submit(a, &frame).unwrap();
+/// for decision in pool.flush() {
+///     if decision.output.is_some_and(|o| o.alert) {
+///         eprintln!("session {} unsafe at frame {}", decision.session, decision.frame);
+///     }
+/// }
+/// ```
+pub struct ShardedMonitorPool {
+    mode: ContextMode,
+    ingress: Vec<Sender<Job>>,
+    egress: Receiver<Event>,
+    handles: Vec<JoinHandle<()>>,
+    sessions: usize,
+    /// Per-session frame counters (frames submitted so far).
+    submitted: Vec<usize>,
+    barrier_token: u64,
+}
+
+impl ShardedMonitorPool {
+    /// Spawns `config.workers` shard threads over the shared pipeline.
+    /// Add sessions with [`ShardedMonitorPool::add_session`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is not within `(0, 1)`.
+    pub fn new(pipeline: Arc<TrainedPipeline>, mode: ContextMode, config: ServeConfig) -> Self {
+        assert!(config.threshold > 0.0 && config.threshold < 1.0, "threshold must be in (0,1)");
+        let workers = config.workers.max(1);
+        let (egress_tx, egress_rx) = unbounded();
+        let mut ingress = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for shard in 0..workers {
+            let (tx, rx) = unbounded();
+            let pipeline = Arc::clone(&pipeline);
+            let egress = egress_tx.clone();
+            let threshold = config.threshold;
+            let topology = ShardTopology { shard, workers };
+            handles.push(std::thread::spawn(move || {
+                worker_loop(&pipeline, mode, threshold, topology, &rx, &egress);
+            }));
+            ingress.push(tx);
+        }
+        Self {
+            mode,
+            ingress,
+            egress: egress_rx,
+            handles,
+            sessions: 0,
+            submitted: Vec::new(),
+            barrier_token: 0,
+        }
+    }
+
+    /// Convenience: a pool with `n` sessions already open.
+    pub fn with_sessions(
+        pipeline: Arc<TrainedPipeline>,
+        mode: ContextMode,
+        config: ServeConfig,
+        n: usize,
+    ) -> Self {
+        let mut pool = Self::new(pipeline, mode, config);
+        for _ in 0..n {
+            pool.add_session();
+        }
+        pool
+    }
+
+    /// Opens a new session and returns its id. Sessions are assigned to
+    /// shards round-robin.
+    pub fn add_session(&mut self) -> SessionId {
+        let id = self.sessions;
+        self.send(id % self.ingress.len(), Job::AddSession);
+        self.sessions += 1;
+        self.submitted.push(0);
+        id
+    }
+
+    /// Number of open sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions
+    }
+
+    /// Number of shard worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.ingress.len()
+    }
+
+    /// Frames submitted so far for `session` (every one of which produces
+    /// exactly one [`Decision`] by the next [`ShardedMonitorPool::flush`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown session id.
+    pub fn frames_submitted(&self, session: SessionId) -> usize {
+        self.submitted[session]
+    }
+
+    /// Enqueues one frame of `session` for its shard. Returns immediately;
+    /// the decision arrives via [`ShardedMonitorPool::poll`] /
+    /// [`ShardedMonitorPool::flush`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::MissingContext`] (without enqueueing) when
+    /// the pool runs in [`ContextMode::Perfect`] — use
+    /// [`ShardedMonitorPool::submit_with_context`]. A misconfigured caller
+    /// cannot crash or wedge the shard workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown session id.
+    pub fn submit(
+        &mut self,
+        session: SessionId,
+        frame: &KinematicSample,
+    ) -> Result<(), EngineError> {
+        if self.mode == ContextMode::Perfect {
+            return Err(EngineError::MissingContext);
+        }
+        self.submit_inner(session, frame, None);
+        Ok(())
+    }
+
+    /// Enqueues one frame with externally supplied context (the
+    /// perfect-boundary upper bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown session id.
+    pub fn submit_with_context(
+        &mut self,
+        session: SessionId,
+        frame: &KinematicSample,
+        gesture: Gesture,
+    ) {
+        self.submit_inner(session, frame, Some(gesture));
+    }
+
+    fn submit_inner(
+        &mut self,
+        session: SessionId,
+        frame: &KinematicSample,
+        context: Option<Gesture>,
+    ) {
+        assert!(session < self.sessions, "unknown session {session}");
+        self.submitted[session] += 1;
+        let shard = session % self.ingress.len();
+        let slot = session / self.ingress.len();
+        self.send(shard, Job::Frame { slot, frame: frame.clone(), context });
+    }
+
+    /// Non-blocking drain of the decisions that are ready right now.
+    pub fn poll(&mut self) -> Vec<Decision> {
+        let mut out = Vec::new();
+        loop {
+            match self.egress.try_recv() {
+                Ok(Event::Decision(d)) => out.push(d),
+                Ok(Event::BarrierAck { .. }) => {
+                    unreachable!("barrier acks are consumed by flush")
+                }
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+            }
+        }
+        out
+    }
+
+    /// Waits until every frame submitted so far has been processed and
+    /// returns all pending decisions. Decisions of one session appear in
+    /// frame order.
+    pub fn flush(&mut self) -> Vec<Decision> {
+        self.barrier_token += 1;
+        let token = self.barrier_token;
+        for shard in 0..self.ingress.len() {
+            self.send(shard, Job::Barrier { token });
+        }
+        let mut out = Vec::new();
+        let mut acked = 0usize;
+        while acked < self.ingress.len() {
+            match self.egress.recv() {
+                Ok(Event::Decision(d)) => out.push(d),
+                Ok(Event::BarrierAck { token: t }) if t == token => acked += 1,
+                Ok(Event::BarrierAck { .. }) => {}
+                Err(_) => panic!("shard worker exited while frames were in flight"),
+            }
+        }
+        out
+    }
+
+    fn send(&self, shard: usize, job: Job) {
+        self.ingress[shard]
+            .send(job)
+            .unwrap_or_else(|_| panic!("shard worker {shard} exited while the pool was alive"));
+    }
+}
+
+impl Drop for ShardedMonitorPool {
+    fn drop(&mut self) {
+        // Closing the ingress channels is the shutdown signal.
+        self.ingress.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A worker's place in the pool: sessions are dealt round-robin, so global
+/// session id = `slot * workers + shard`.
+#[derive(Debug, Clone, Copy)]
+struct ShardTopology {
+    shard: usize,
+    workers: usize,
+}
+
+impl ShardTopology {
+    fn session_of(self, slot: usize) -> SessionId {
+        slot * self.workers + self.shard
+    }
+}
+
+/// One shard: owns its sessions' engines, drains the ingress queue into
+/// micro-batched ticks, and reports decisions on the egress channel.
+fn worker_loop(
+    pipeline: &TrainedPipeline,
+    mode: ContextMode,
+    threshold: f32,
+    topology: ShardTopology,
+    ingress: &Receiver<Job>,
+    egress: &Sender<Event>,
+) {
+    let mut engines: Vec<InferenceEngine> = Vec::new();
+    let mut frames_done: Vec<usize> = Vec::new();
+    let mut scratch = BatchScratch::new(pipeline);
+    let mut steps: Vec<EngineStep> = Vec::new();
+    // The tick under construction (at most one job per session). The
+    // buffer is reused across ticks — the steady-state worker loop
+    // performs no per-tick allocation.
+    let mut tick: Vec<BatchJob> = Vec::new();
+    let mut in_tick: Vec<bool> = Vec::new();
+
+    // `recv` blocks for work and errors once the pool drops its senders.
+    while let Ok(first) = ingress.recv() {
+        // Drain whatever else is already queued so co-resident sessions
+        // land in the same micro-batched tick.
+        let mut next = Some(first);
+        loop {
+            let Some(job) = next.take() else {
+                match ingress.try_recv() {
+                    Ok(job) => next = Some(job),
+                    Err(_) => break,
+                }
+                continue;
+            };
+            match job {
+                Job::AddSession => {
+                    engines.push(InferenceEngine::new(pipeline, mode));
+                    frames_done.push(0);
+                    in_tick.push(false);
+                }
+                Job::Barrier { token } => {
+                    // Everything before the barrier must be visible.
+                    run_tick(
+                        pipeline,
+                        threshold,
+                        topology,
+                        &mut engines,
+                        &mut frames_done,
+                        &mut tick,
+                        &mut in_tick,
+                        &mut scratch,
+                        &mut steps,
+                        egress,
+                    );
+                    let _ = egress.send(Event::BarrierAck { token });
+                }
+                Job::Frame { slot, frame, context } => {
+                    if in_tick[slot] {
+                        // Second frame of the same session: the current
+                        // tick must complete first to keep per-session
+                        // frame order (and window validity).
+                        run_tick(
+                            pipeline,
+                            threshold,
+                            topology,
+                            &mut engines,
+                            &mut frames_done,
+                            &mut tick,
+                            &mut in_tick,
+                            &mut scratch,
+                            &mut steps,
+                            egress,
+                        );
+                    }
+                    in_tick[slot] = true;
+                    tick.push(BatchJob { engine: slot, frame, context });
+                }
+            }
+        }
+        run_tick(
+            pipeline,
+            threshold,
+            topology,
+            &mut engines,
+            &mut frames_done,
+            &mut tick,
+            &mut in_tick,
+            &mut scratch,
+            &mut steps,
+            egress,
+        );
+    }
+}
+
+/// Runs one micro-batched tick and emits its decisions.
+#[allow(clippy::too_many_arguments)] // worker-local state, called from one place
+fn run_tick(
+    pipeline: &TrainedPipeline,
+    threshold: f32,
+    topology: ShardTopology,
+    engines: &mut [InferenceEngine],
+    frames_done: &mut [usize],
+    tick: &mut Vec<BatchJob>,
+    in_tick: &mut [bool],
+    scratch: &mut BatchScratch,
+    steps: &mut Vec<EngineStep>,
+    egress: &Sender<Event>,
+) {
+    if tick.is_empty() {
+        return;
+    }
+    let start = Instant::now();
+    step_batch(pipeline, engines, tick, scratch, steps);
+    let per_frame_ms = start.elapsed().as_secs_f32() * 1000.0 / tick.len() as f32;
+    for (job, step) in tick.iter().zip(steps.iter()) {
+        let slot = job.engine;
+        let frame_idx = frames_done[slot];
+        frames_done[slot] += 1;
+        in_tick[slot] = false;
+        let _ = egress.send(Event::Decision(Decision {
+            session: topology.session_of(slot),
+            frame: frame_idx,
+            output: output_from_step(step, threshold, per_frame_ms),
+        }));
+    }
+    tick.clear();
+}
+
+/// Splits `0..len` into at most `parts` contiguous chunks whose sizes
+/// differ by **at most one** (the first `len % parts` chunks are one longer)
+/// — the audited work-partitioning rule shared by the shard workers and the
+/// fault-injection campaign. An earlier `div_ceil`-based split could leave
+/// the last worker with a fraction of everyone else's load.
+pub fn balanced_chunks(len: usize, parts: usize) -> impl Iterator<Item = std::ops::Range<usize>> {
+    let parts = parts.max(1).min(len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut start = 0usize;
+    (0..parts).filter_map(move |i| {
+        let size = base + usize::from(i < extra);
+        let range = start..start + size;
+        start += size;
+        (!range.is_empty()).then_some(range)
+    })
+}
+
+/// Fork-join parallel map over a slice: `items` are split with
+/// [`balanced_chunks`] across `threads` scoped workers and the results are
+/// returned **in input order** regardless of which worker computed them.
+/// This is the one parallel-execution path batch workloads in this
+/// workspace use (see `faults::campaign`).
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    crossbeam::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = balanced_chunks(items.len(), threads)
+            .map(|range| {
+                let chunk = &items[range];
+                s.spawn(move |_| chunk.iter().map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for handle in handles {
+            out.extend(handle.join().expect("parallel_map worker panicked"));
+        }
+        out
+    })
+    .expect("parallel_map scope")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_chunks_cover_everything_with_sizes_within_one() {
+        for len in [0usize, 1, 2, 7, 16, 100, 101] {
+            for parts in [1usize, 2, 3, 4, 7, 16] {
+                let chunks: Vec<_> = balanced_chunks(len, parts).collect();
+                let covered: usize = chunks.iter().map(|c| c.len()).sum();
+                assert_eq!(covered, len, "len={len} parts={parts}");
+                // Contiguous and ordered.
+                let mut expect = 0usize;
+                for c in &chunks {
+                    assert_eq!(c.start, expect, "len={len} parts={parts}");
+                    expect = c.end;
+                }
+                if let (Some(max), Some(min)) =
+                    (chunks.iter().map(|c| c.len()).max(), chunks.iter().map(|c| c.len()).min())
+                {
+                    assert!(max - min <= 1, "uneven split {chunks:?} for len={len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..137).collect();
+        for threads in [1usize, 2, 4, 5] {
+            let got = parallel_map(&items, threads, |&x| x * 3 + 1);
+            let want: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_on_empty_input() {
+        let got: Vec<u32> = parallel_map(&[] as &[u32], 4, |&x| x);
+        assert!(got.is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for `MajorityFilter`: random push sequences checked
+//! against a brute-force recount oracle, pinning the earliest-seen
+//! tie-break and the eviction behavior at capacity boundaries forever.
+
+use context_monitor::MajorityFilter;
+use proptest::prelude::*;
+
+/// Brute-force oracle: most frequent value in a non-empty slice, the value
+/// whose class first attains the maximal count winning ties — the exact
+/// rule the historical `mode_of` recount enforced.
+fn recount(values: &[usize]) -> usize {
+    assert!(!values.is_empty());
+    let mut counts = std::collections::BTreeMap::new();
+    for &v in values {
+        *counts.entry(v).or_insert(0usize) += 1;
+    }
+    let mut best = values[0];
+    let mut best_n = 0usize;
+    for &v in values {
+        let n = counts[&v];
+        if n > best_n {
+            best = v;
+            best_n = n;
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Every push returns exactly what a full recount over the trailing
+    /// `capacity` values returns, for arbitrary capacities, class counts,
+    /// and streams.
+    #[test]
+    fn push_matches_recount_oracle(
+        capacity in 1usize..12,
+        classes in 1usize..9,
+        raw in prop::collection::vec(0usize..10_000, 1..120),
+    ) {
+        let stream: Vec<usize> = raw.iter().map(|r| r % classes).collect();
+        let mut filter = MajorityFilter::new(capacity, classes);
+        for (i, &v) in stream.iter().enumerate() {
+            let got = filter.push(v);
+            let lo = (i + 1).saturating_sub(capacity);
+            let expected = recount(&stream[lo..=i]);
+            prop_assert_eq!(
+                got, expected,
+                "capacity={}, classes={}, i={}, window={:?}",
+                capacity, classes, i, &stream[lo..=i]
+            );
+            prop_assert_eq!(filter.majority(), Some(expected));
+        }
+    }
+
+    /// The window never grows past its capacity, and exactly the oldest
+    /// value is forgotten when it would: after `capacity` pushes of a
+    /// second class, the first class is fully evicted.
+    #[test]
+    fn eviction_at_capacity_boundary(
+        capacity in 1usize..10,
+        fill in 1usize..20,
+    ) {
+        let mut filter = MajorityFilter::new(capacity, 2);
+        for _ in 0..fill {
+            filter.push(0);
+            prop_assert!(filter.len() <= capacity);
+        }
+        prop_assert_eq!(filter.len(), fill.min(capacity));
+        // Push `capacity` of class 1: every 0 must have been evicted, so 1
+        // is the unambiguous majority.
+        for _ in 0..capacity {
+            filter.push(1);
+        }
+        prop_assert_eq!(filter.len(), capacity);
+        prop_assert_eq!(filter.majority(), Some(1));
+    }
+
+    /// Ties break toward the class seen earliest in the *current window*,
+    /// not earliest overall: construct an exact tie and compare to the
+    /// oracle (which scans the window left to right).
+    #[test]
+    fn tie_break_is_earliest_seen_in_window(
+        capacity in 2usize..10,
+        raw in prop::collection::vec(0usize..2, 30..60),
+    ) {
+        let mut filter = MajorityFilter::new(capacity, 2);
+        for (i, &v) in raw.iter().enumerate() {
+            let got = filter.push(v);
+            let lo = (i + 1).saturating_sub(capacity);
+            let window = &raw[lo..=i];
+            let ones = window.iter().filter(|&&x| x == 1).count();
+            if 2 * ones == window.len() {
+                // Exact tie: the winner must be the first value in the
+                // window (earliest seen of the tied classes).
+                prop_assert_eq!(got, window[0], "tied window {:?}", window);
+            }
+            prop_assert_eq!(got, recount(window));
+        }
+    }
+
+    /// `clear` resets to a genuinely empty filter: no stale counts or
+    /// tie-break state survive.
+    #[test]
+    fn clear_is_equivalent_to_fresh(
+        capacity in 1usize..8,
+        classes in 2usize..6,
+        before in prop::collection::vec(0usize..100, 0..30),
+        after in prop::collection::vec(0usize..100, 1..30),
+    ) {
+        let mut reused = MajorityFilter::new(capacity, classes);
+        for &v in &before {
+            reused.push(v % classes);
+        }
+        reused.clear();
+        prop_assert!(reused.is_empty());
+        prop_assert_eq!(reused.majority(), None);
+
+        let mut fresh = MajorityFilter::new(capacity, classes);
+        for &v in &after {
+            prop_assert_eq!(reused.push(v % classes), fresh.push(v % classes));
+        }
+    }
+}

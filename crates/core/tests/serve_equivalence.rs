@@ -1,0 +1,173 @@
+//! The serving determinism guarantee: a `ShardedMonitorPool` (multiple
+//! worker threads, cross-session micro-batching, channel transport) must
+//! produce **bit-exactly** the decisions of the sequential `MonitorPool`,
+//! per session, across every `ContextMode` and multiple training seeds.
+//! This is the acceptance criterion CI enforces under `--release`.
+
+use context_monitor::serve::{ServeConfig, ShardedMonitorPool};
+use context_monitor::{
+    step_batch, BatchJob, BatchScratch, ContextMode, EngineError, InferenceEngine, MonitorConfig,
+    MonitorPool, SafetyMonitor, TrainedPipeline,
+};
+use gestures::Task;
+use jigsaws::{generate, GeneratorConfig};
+use kinematics::{Dataset, FeatureSet};
+use std::sync::Arc;
+
+fn tiny_pipeline(seed: u64) -> (TrainedPipeline, Dataset) {
+    let ds = generate(&GeneratorConfig::fast(Task::Suturing).with_seed(seed));
+    let mut cfg = MonitorConfig::fast(FeatureSet::CRG).with_seed(seed ^ 0xA5);
+    cfg.train.epochs = 2;
+    cfg.train_stride = 6;
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    (TrainedPipeline::train(&ds, &idx, &cfg), ds)
+}
+
+/// (gesture, score bits, alert) triple — the deterministic fields of a
+/// decision (`compute_ms` is wall-clock and legitimately differs).
+type Key = (usize, u32, bool);
+
+fn sequential_reference(
+    pipeline: TrainedPipeline,
+    ds: &Dataset,
+    mode: ContextMode,
+    sessions: usize,
+) -> (TrainedPipeline, Vec<Vec<Key>>) {
+    let mut pool = MonitorPool::with_sessions(pipeline, mode, sessions);
+    let mut outs: Vec<Vec<Key>> = vec![Vec::new(); sessions];
+    let longest = ds.demos.iter().take(sessions).map(|d| d.len()).max().unwrap();
+    for t in 0..longest {
+        for (s, demo) in ds.demos.iter().take(sessions).enumerate() {
+            let Some(frame) = demo.frames.get(t) else { continue };
+            let out = match mode {
+                ContextMode::Perfect => pool.push_with_context(s, frame, demo.gestures[t]),
+                _ => pool.push(s, frame).expect("non-Perfect push cannot fail"),
+            };
+            if let Some(o) = out {
+                outs[s].push((o.gesture.index(), o.unsafe_probability.to_bits(), o.alert));
+            }
+        }
+    }
+    (pool.into_pipeline(), outs)
+}
+
+fn sharded_run(
+    pipeline: Arc<TrainedPipeline>,
+    ds: &Dataset,
+    mode: ContextMode,
+    sessions: usize,
+    workers: usize,
+) -> Vec<Vec<Key>> {
+    let cfg = ServeConfig { workers, threshold: 0.5 };
+    let mut pool = ShardedMonitorPool::with_sessions(pipeline, mode, cfg, sessions);
+    assert_eq!(pool.session_count(), sessions);
+    assert_eq!(pool.worker_count(), workers);
+    let longest = ds.demos.iter().take(sessions).map(|d| d.len()).max().unwrap();
+    for t in 0..longest {
+        for (s, demo) in ds.demos.iter().take(sessions).enumerate() {
+            let Some(frame) = demo.frames.get(t) else { continue };
+            match mode {
+                ContextMode::Perfect => pool.submit_with_context(s, frame, demo.gestures[t]),
+                _ => pool.submit(s, frame).expect("non-Perfect submit cannot fail"),
+            }
+        }
+    }
+    let mut outs: Vec<Vec<(usize, Key)>> = vec![Vec::new(); sessions];
+    for d in pool.flush() {
+        if let Some(o) = d.output {
+            outs[d.session]
+                .push((d.frame, (o.gesture.index(), o.unsafe_probability.to_bits(), o.alert)));
+        }
+    }
+    // Per-session frame order is guaranteed; verify rather than assume.
+    for (s, session_outs) in outs.iter().enumerate() {
+        for pair in session_outs.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "session {s}: decisions out of frame order");
+        }
+    }
+    outs.into_iter().map(|v| v.into_iter().map(|(_, k)| k).collect()).collect()
+}
+
+/// The headline guarantee: sharded + batched == sequential, bit for bit,
+/// for all three context modes and three training seeds.
+#[test]
+fn sharded_pool_is_bit_exactly_equal_to_sequential_pool() {
+    for seed in [11u64, 29, 47] {
+        let (mut pipeline, ds) = tiny_pipeline(seed);
+        assert!(!pipeline.error_nets.is_empty(), "seed {seed}: no dedicated classifiers");
+        let sessions = 6.min(ds.demos.len());
+        for mode in [ContextMode::Predicted, ContextMode::Perfect, ContextMode::NoContext] {
+            let (returned, reference) = sequential_reference(pipeline, &ds, mode, sessions);
+            let shared = Arc::new(returned);
+            for workers in [1usize, 3] {
+                let sharded = sharded_run(Arc::clone(&shared), &ds, mode, sessions, workers);
+                assert_eq!(
+                    reference, sharded,
+                    "seed {seed}, {mode}, {workers} workers: sharded output diverged"
+                );
+            }
+            pipeline = Arc::try_unwrap(shared).ok().expect("workers joined, sole owner");
+        }
+    }
+}
+
+/// `step_batch` (the micro-batching core the shard workers run) advanced
+/// engines must match engines stepped one at a time, bit for bit.
+#[test]
+fn step_batch_matches_sequential_steps() {
+    let (pipeline, ds) = tiny_pipeline(23);
+    let n = 4.min(ds.demos.len());
+
+    // Reference: each demo stepped frame by frame through its own engine.
+    let mut ref_engines: Vec<InferenceEngine> =
+        (0..n).map(|_| InferenceEngine::new(&pipeline, ContextMode::Predicted)).collect();
+    // Batched: the same demos advanced via step_batch ticks.
+    let mut batch_engines: Vec<InferenceEngine> =
+        (0..n).map(|_| InferenceEngine::new(&pipeline, ContextMode::Predicted)).collect();
+    let mut scratch = BatchScratch::new(&pipeline);
+    let mut steps = Vec::new();
+
+    let frames = ds.demos.iter().take(n).map(|d| d.len()).min().unwrap();
+    for t in 0..frames {
+        let mut expected = Vec::new();
+        for (s, engine) in ref_engines.iter_mut().enumerate() {
+            expected.push(engine.step(&pipeline, &ds.demos[s].frames[t]).expect("Predicted mode"));
+        }
+        let jobs: Vec<BatchJob> = (0..n)
+            .map(|s| BatchJob { engine: s, frame: ds.demos[s].frames[t].clone(), context: None })
+            .collect();
+        step_batch(&pipeline, &mut batch_engines, &jobs, &mut scratch, &mut steps);
+        assert_eq!(steps, expected, "tick {t}: batched steps diverged");
+    }
+}
+
+/// A misconfigured caller gets a typed error, not a crash, and the other
+/// sessions keep working (the satellite bugfix for the Perfect-mode panic).
+#[test]
+fn missing_context_is_a_typed_error_not_a_panic() {
+    let (pipeline, ds) = tiny_pipeline(31);
+    let frame = &ds.demos[0].frames[0];
+
+    let mut monitor = SafetyMonitor::new(pipeline, ContextMode::Perfect);
+    assert_eq!(monitor.push(frame), Err(EngineError::MissingContext));
+    // The failed push consumed nothing: the engine state is untouched.
+    assert_eq!(monitor.frames_seen(), 0);
+    // The correctly supplied path still works afterwards.
+    let _ = monitor.push_with_context(frame, ds.demos[0].gestures[0]);
+    assert_eq!(monitor.frames_seen(), 1);
+
+    // Same contract on the sharded pool: submit is rejected up front and
+    // the pool (with its worker threads) stays fully operational.
+    let pipeline = Arc::new(monitor.into_pipeline());
+    let mut pool = ShardedMonitorPool::with_sessions(
+        pipeline,
+        ContextMode::Perfect,
+        ServeConfig { workers: 2, threshold: 0.5 },
+        2,
+    );
+    assert_eq!(pool.submit(0, frame), Err(EngineError::MissingContext));
+    pool.submit_with_context(1, frame, ds.demos[0].gestures[0]);
+    let decisions = pool.flush();
+    assert_eq!(decisions.len(), 1, "only the well-formed submission was processed");
+    assert_eq!(decisions[0].session, 1);
+}

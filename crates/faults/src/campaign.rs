@@ -5,7 +5,7 @@
 //! Cartesian-deviation buckets, with the paper's per-cell injection counts.
 
 use crate::spec::{CartesianFault, FaultInjector, FaultSpec, GrasperFault};
-use crossbeam::thread;
+use context_monitor::serve::parallel_map;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use raven_sim::{run_block_transfer, FailureMode, SimConfig, Trial};
@@ -194,28 +194,20 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         }
     }
 
-    let threads = cfg.threads.max(1);
-    let chunk = work.len().div_ceil(threads);
-    let outcomes: Vec<(usize, Option<FailureMode>)> = thread::scope(|s| {
-        let mut handles = Vec::new();
-        for part in work.chunks(chunk.max(1)) {
-            let grid = &grid;
-            let sim = cfg.sim;
-            handles.push(s.spawn(move |_| {
-                part.iter()
-                    .map(|&(ci, seed)| {
-                        let mut trial_rng = SmallRng::seed_from_u64(seed);
-                        let spec = sample_spec(&grid[ci], &mut trial_rng);
-                        let sim_cfg = SimConfig { seed, ..sim };
-                        let (trial, _) = run_injection(&sim_cfg, spec);
-                        (ci, trial.outcome.failure)
-                    })
-                    .collect::<Vec<_>>()
-            }));
-        }
-        handles.into_iter().flat_map(|h| h.join().expect("campaign worker panicked")).collect()
-    })
-    .expect("campaign scope");
+    // The campaign rides the same audited fork-join primitive as the
+    // serving layer; `parallel_map`'s balanced chunking replaced a
+    // hand-rolled `div_ceil` split that could leave the last worker with a
+    // fraction of everyone else's load. Results come back in work order, so
+    // the report is deterministic regardless of thread count.
+    let sim = cfg.sim;
+    let outcomes: Vec<(usize, Option<FailureMode>)> =
+        parallel_map(&work, cfg.threads.max(1), |&(ci, seed)| {
+            let mut trial_rng = SmallRng::seed_from_u64(seed);
+            let spec = sample_spec(&grid[ci], &mut trial_rng);
+            let sim_cfg = SimConfig { seed, ..sim };
+            let (trial, _) = run_injection(&sim_cfg, spec);
+            (ci, trial.outcome.failure)
+        });
 
     let mut cells: Vec<CellResult> = grid
         .iter()

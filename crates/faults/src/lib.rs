@@ -6,7 +6,8 @@
 //!   variables (Grasper Angle ramps, Cartesian deviations of `δ/√3` per
 //!   axis) over trajectory-fraction intervals,
 //! * [`campaign`] — the Table III grid (651 injections across 28 cells)
-//!   with a crossbeam-parallel runner,
+//!   run in parallel via `context_monitor::serve::parallel_map` (the same
+//!   audited fork-join path the serving layer uses),
 //! * [`dataset`] — the 115-demonstration Block Transfer training set with
 //!   gesture-level error labels derived from injection + manifestation
 //!   times.

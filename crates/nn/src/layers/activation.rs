@@ -1,6 +1,6 @@
 //! Element-wise activation layers: ReLU, tanh, sigmoid.
 
-use crate::layers::{Mode, SeqLayer};
+use crate::layers::{LayerScratch, Mode, SeqLayer};
 use crate::mat::Mat;
 use crate::param::Param;
 
@@ -18,7 +18,9 @@ impl Relu {
 }
 
 /// Writes `f` applied to every element of `x` into `out` without
-/// allocating (shared by the activation layers' `forward_into`).
+/// allocating (shared by the activation layers' `infer_into`). Element-wise,
+/// so the default batched path (treating the stacked batch as one matrix)
+/// is exact.
 fn map_into(x: &Mat, out: &mut Mat, f: impl Fn(f32) -> f32) {
     out.resize(x.rows(), x.cols());
     for (o, &v) in out.as_mut_slice().iter_mut().zip(x.as_slice().iter()) {
@@ -32,7 +34,7 @@ impl SeqLayer for Relu {
         x.map(|v| v.max(0.0))
     }
 
-    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
+    fn infer_into(&self, x: &Mat, out: &mut Mat, _scratch: &mut LayerScratch) {
         map_into(x, out, |v| v.max(0.0));
     }
 
@@ -68,7 +70,7 @@ impl SeqLayer for TanhLayer {
         y
     }
 
-    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
+    fn infer_into(&self, x: &Mat, out: &mut Mat, _scratch: &mut LayerScratch) {
         map_into(x, out, f32::tanh);
     }
 
@@ -114,7 +116,7 @@ impl SeqLayer for SigmoidLayer {
         y
     }
 
-    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
+    fn infer_into(&self, x: &Mat, out: &mut Mat, _scratch: &mut LayerScratch) {
         map_into(x, out, sigmoid);
     }
 

@@ -1,7 +1,7 @@
 //! 1-D convolution over the time axis.
 
 use crate::init;
-use crate::layers::{Mode, Padding, SeqLayer};
+use crate::layers::{LayerScratch, Mode, Padding, SeqLayer};
 use crate::mat::Mat;
 use crate::param::Param;
 use rand::Rng;
@@ -22,8 +22,6 @@ pub struct Conv1d {
     padding: Padding,
     cached_patches: Option<Mat>, // (T', k*Cin)
     cached_input_rows: usize,
-    /// Reused patch buffer for the allocation-free inference path.
-    scratch_patches: Mat,
 }
 
 impl Conv1d {
@@ -49,7 +47,6 @@ impl Conv1d {
             padding,
             cached_patches: None,
             cached_input_rows: 0,
-            scratch_patches: Mat::zeros(0, 0),
         }
     }
 
@@ -113,14 +110,33 @@ impl Conv1d {
     /// the allocation-free inference paths).
     fn patches_into(x: &Mat, lo: usize, k: usize, cin: usize, out: &mut Mat) {
         let t = x.rows();
+        let t_out = out.rows();
         out.fill(0.0);
-        for o in 0..out.rows() {
-            let row = out.row_mut(o);
+        Self::patch_block(x, 0, t, lo, k, cin, out, 0, t_out);
+    }
+
+    /// Writes the patch rows of one sequence — `t` input rows of `x`
+    /// starting at `x_row0` — into `t_out` rows of `out` starting at
+    /// `out_row0`. `out` must be pre-zeroed; padding rows stay zero.
+    #[allow(clippy::too_many_arguments)] // im2col geometry is inherently wide
+    fn patch_block(
+        x: &Mat,
+        x_row0: usize,
+        t: usize,
+        lo: usize,
+        k: usize,
+        cin: usize,
+        out: &mut Mat,
+        out_row0: usize,
+        t_out: usize,
+    ) {
+        for o in 0..t_out {
+            let row = out.row_mut(out_row0 + o);
             for j in 0..k {
                 // Index into the *unpadded* input; out-of-range rows are zero.
                 let src = (o + j) as isize - lo as isize;
                 if src >= 0 && (src as usize) < t {
-                    row[j * cin..(j + 1) * cin].copy_from_slice(x.row(src as usize));
+                    row[j * cin..(j + 1) * cin].copy_from_slice(x.row(x_row0 + src as usize));
                 }
             }
         }
@@ -144,7 +160,11 @@ impl SeqLayer for Conv1d {
         y
     }
 
-    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
+    fn infer_into(&self, x: &Mat, out: &mut Mat, scratch: &mut LayerScratch) {
+        self.infer_batch_into(x, 1, out, scratch);
+    }
+
+    fn infer_batch_into(&self, x: &Mat, batch: usize, out: &mut Mat, scratch: &mut LayerScratch) {
         assert_eq!(
             x.cols(),
             self.in_channels,
@@ -152,10 +172,30 @@ impl SeqLayer for Conv1d {
             self.in_channels,
             x.cols()
         );
-        let (lo, _hi) = self.pad_amounts(x.rows());
-        self.scratch_patches.resize(self.output_len(x.rows()), self.kernel * self.in_channels);
-        Self::patches_into(x, lo, self.kernel, self.in_channels, &mut self.scratch_patches);
-        self.scratch_patches.matmul_into(&self.weight.value, out);
+        assert!(batch > 0 && x.rows().is_multiple_of(batch), "Conv1d: batch does not divide rows");
+        let t = x.rows() / batch;
+        let (lo, _hi) = self.pad_amounts(t);
+        let t_out = self.output_len(t);
+        // One stacked patch matrix for every sequence, then a single fused
+        // matmul — each output row is the same dot product as in the
+        // unbatched path, so results are bit-identical per sequence.
+        let patches = &mut scratch.m;
+        patches.resize(batch * t_out, self.kernel * self.in_channels);
+        patches.fill(0.0);
+        for b in 0..batch {
+            Self::patch_block(
+                x,
+                b * t,
+                t,
+                lo,
+                self.kernel,
+                self.in_channels,
+                patches,
+                b * t_out,
+                t_out,
+            );
+        }
+        patches.matmul_into(&self.weight.value, out);
         out.add_row_inplace(self.bias.value.row(0));
     }
 

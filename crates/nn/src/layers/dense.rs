@@ -1,7 +1,7 @@
 //! Fully connected layer, applied independently to every time step.
 
 use crate::init;
-use crate::layers::{Mode, SeqLayer};
+use crate::layers::{LayerScratch, Mode, SeqLayer};
 use crate::mat::Mat;
 use crate::param::Param;
 use rand::Rng;
@@ -47,7 +47,9 @@ impl SeqLayer for Dense {
         y
     }
 
-    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
+    // Row-wise: the default `infer_batch_into` (one stacked matmul over all
+    // sequences) is both correct and the batched fast path.
+    fn infer_into(&self, x: &Mat, out: &mut Mat, _scratch: &mut LayerScratch) {
         x.matmul_into(&self.weight.value, out);
         out.add_row_inplace(self.bias.value.row(0));
     }

@@ -1,6 +1,6 @@
 //! Inverted dropout regularization.
 
-use crate::layers::{Mode, SeqLayer};
+use crate::layers::{LayerScratch, Mode, SeqLayer};
 use crate::mat::Mat;
 use crate::param::Param;
 use rand::rngs::SmallRng;
@@ -57,8 +57,8 @@ impl SeqLayer for Dropout {
         }
     }
 
-    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
-        // Inference-mode dropout is the identity.
+    fn infer_into(&self, x: &Mat, out: &mut Mat, _scratch: &mut LayerScratch) {
+        // Inference-mode dropout is the identity (batch-safe as-is).
         out.copy_from(x);
     }
 

@@ -1,7 +1,7 @@
 //! Long short-term memory layer with full backpropagation through time.
 
 use crate::init;
-use crate::layers::{Mode, SeqLayer};
+use crate::layers::{LayerScratch, Mode, SeqLayer};
 use crate::mat::Mat;
 use crate::param::Param;
 use rand::Rng;
@@ -24,16 +24,6 @@ pub struct Lstm {
     hidden: usize,
     return_sequences: bool,
     cache: Option<Cache>,
-    scratch: Scratch,
-}
-
-/// Reused buffers for the allocation-free inference path.
-#[derive(Debug, Default)]
-struct Scratch {
-    xw: Mat,      // (T, 4H)
-    hu: Vec<f32>, // (4H): h_{t-1} * U
-    h: Vec<f32>,  // (H)
-    c: Vec<f32>,  // (H)
 }
 
 #[derive(Debug)]
@@ -67,7 +57,6 @@ impl Lstm {
             hidden,
             return_sequences,
             cache: None,
-            scratch: Scratch::default(),
         }
     }
 
@@ -154,9 +143,14 @@ impl SeqLayer for Lstm {
         }
     }
 
-    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
-        let t_len = x.rows();
+    fn infer_into(&self, x: &Mat, out: &mut Mat, scratch: &mut LayerScratch) {
+        self.infer_batch_into(x, 1, out, scratch);
+    }
+
+    fn infer_batch_into(&self, x: &Mat, batch: usize, out: &mut Mat, scratch: &mut LayerScratch) {
         let h = self.hidden;
+        assert!(batch > 0 && x.rows().is_multiple_of(batch), "Lstm: batch does not divide rows");
+        let t_len = x.rows() / batch;
         assert!(t_len > 0, "Lstm: empty input sequence");
         assert_eq!(
             x.cols(),
@@ -166,54 +160,65 @@ impl SeqLayer for Lstm {
             x.cols()
         );
 
-        x.matmul_into(&self.w.value, &mut self.scratch.xw); // (T, 4H)
-        self.scratch.hu.resize(4 * h, 0.0);
-        self.scratch.h.clear();
-        self.scratch.h.resize(h, 0.0);
-        self.scratch.c.clear();
-        self.scratch.c.resize(h, 0.0);
+        // The input projection of *every* sequence in one fused matmul
+        // (the dominant cost); each row's dot product is independent of the
+        // other rows, so per-sequence results stay bit-identical to the
+        // unbatched path. Only the cheap recurrence below runs per sequence.
+        let xw = &mut scratch.m;
+        x.matmul_into(&self.w.value, xw); // (batch*T, 4H)
+        let hu = &mut scratch.v1;
+        let h_state = &mut scratch.v2;
+        let c_state = &mut scratch.v3;
+        hu.resize(4 * h, 0.0);
+        h_state.resize(h, 0.0);
+        c_state.resize(h, 0.0);
         if self.return_sequences {
-            out.resize(t_len, h);
+            out.resize(batch * t_len, h);
         } else {
-            out.resize(1, h);
+            out.resize(batch, h);
         }
 
         let u = &self.u.value;
         let b_row = self.b.value.row(0);
-        for t in 0..t_len {
-            // hu = h_{t-1} * U, with the same skip-zero accumulation order
-            // as Mat::matmul so results match `forward` bit-for-bit.
-            self.scratch.hu.fill(0.0);
-            for (k, &a) in self.scratch.h.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        for seq in 0..batch {
+            h_state.fill(0.0);
+            c_state.fill(0.0);
+            for t in 0..t_len {
+                // hu = h_{t-1} * U, with the same skip-zero accumulation
+                // order as Mat::matmul so results match `forward`
+                // bit-for-bit.
+                hu.fill(0.0);
+                for (k, &a) in h_state.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let u_row = u.row(k);
+                    for (o, &w) in hu.iter_mut().zip(u_row.iter()) {
+                        *o += a * w;
+                    }
                 }
-                let u_row = u.row(k);
-                for (o, &w) in self.scratch.hu.iter_mut().zip(u_row.iter()) {
-                    *o += a * w;
-                }
-            }
 
-            let xw_row = self.scratch.xw.row(t);
-            for k in 0..h {
-                let zi = xw_row[k] + self.scratch.hu[k] + b_row[k];
-                let zf = xw_row[h + k] + self.scratch.hu[h + k] + b_row[h + k];
-                let zg = xw_row[2 * h + k] + self.scratch.hu[2 * h + k] + b_row[2 * h + k];
-                let zo = xw_row[3 * h + k] + self.scratch.hu[3 * h + k] + b_row[3 * h + k];
-                let i = Self::sigmoid(zi);
-                let f = Self::sigmoid(zf);
-                let g = zg.tanh();
-                let o = Self::sigmoid(zo);
-                let c_new = f * self.scratch.c[k] + i * g;
-                self.scratch.c[k] = c_new;
-                self.scratch.h[k] = o * c_new.tanh();
+                let xw_row = xw.row(seq * t_len + t);
+                for k in 0..h {
+                    let zi = xw_row[k] + hu[k] + b_row[k];
+                    let zf = xw_row[h + k] + hu[h + k] + b_row[h + k];
+                    let zg = xw_row[2 * h + k] + hu[2 * h + k] + b_row[2 * h + k];
+                    let zo = xw_row[3 * h + k] + hu[3 * h + k] + b_row[3 * h + k];
+                    let i = Self::sigmoid(zi);
+                    let f = Self::sigmoid(zf);
+                    let g = zg.tanh();
+                    let o = Self::sigmoid(zo);
+                    let c_new = f * c_state[k] + i * g;
+                    c_state[k] = c_new;
+                    h_state[k] = o * c_new.tanh();
+                }
+                if self.return_sequences {
+                    out.row_mut(seq * t_len + t).copy_from_slice(h_state);
+                }
             }
-            if self.return_sequences {
-                out.row_mut(t).copy_from_slice(&self.scratch.h);
+            if !self.return_sequences {
+                out.row_mut(seq).copy_from_slice(h_state);
             }
-        }
-        if !self.return_sequences {
-            out.row_mut(0).copy_from_slice(&self.scratch.h);
         }
     }
 

@@ -31,27 +31,63 @@ pub enum Mode {
     Eval,
 }
 
+/// Caller-owned scratch buffers for the allocation-free inference paths.
+///
+/// Layers used to own their inference scratch, which forced `&mut self` on
+/// the inference-only forward pass and made a shared network unusable from
+/// several threads. The scratch now travels with the **caller** (one per
+/// layer inside [`crate::network::NetworkScratch`]): the layer itself stays
+/// immutable during inference, so one read-only [`crate::network::Network`]
+/// can serve many engines/threads concurrently, each with its own scratch.
+///
+/// The fields are a small generic pool each layer uses as it sees fit
+/// (LSTM: `m` = input-projection matrix, `v1..v3` = gate/state vectors;
+/// Conv1d: `m` = im2col patch matrix). All buffers grow to a high-water
+/// mark and are reused, so steady-state inference performs no allocation.
+#[derive(Debug, Default, Clone)]
+pub struct LayerScratch {
+    /// Matrix scratch (LSTM input projection, Conv1d patches).
+    pub(crate) m: Mat,
+    /// Vector scratch #1 (LSTM: hidden-to-gate projection).
+    pub(crate) v1: Vec<f32>,
+    /// Vector scratch #2 (LSTM: hidden state).
+    pub(crate) v2: Vec<f32>,
+    /// Vector scratch #3 (LSTM: cell state).
+    pub(crate) v3: Vec<f32>,
+}
+
 /// A differentiable layer over `(time, features)` sequences.
 ///
 /// `backward` must be called immediately after the `forward` whose
 /// intermediate state it relies on; layers cache activations internally.
-pub trait SeqLayer: Send {
+/// Inference (`infer_into` / `infer_batch_into`) takes `&self` plus
+/// caller-owned [`LayerScratch`], so a trained layer is `Sync`-shareable.
+pub trait SeqLayer: Send + Sync {
     /// Computes the layer output for input `x`.
     fn forward(&mut self, x: &Mat, mode: Mode) -> Mat;
 
     /// Inference-only forward pass writing the output into `out`.
     ///
     /// Semantically identical (bit-for-bit) to `forward(x, Mode::Eval)`,
-    /// but caches nothing for `backward` and reuses layer-owned scratch
-    /// buffers plus the caller's `out` allocation, so the steady-state hot
-    /// path performs no heap allocation. `backward` must not be called
-    /// after `forward_into`.
+    /// but caches nothing for `backward` and reuses the caller's scratch
+    /// and `out` allocations, so the steady-state hot path performs no heap
+    /// allocation and the layer itself is not mutated.
+    fn infer_into(&self, x: &Mat, out: &mut Mat, scratch: &mut LayerScratch);
+
+    /// Batched inference over `batch` equally shaped sequences stacked
+    /// row-wise: `x` is `(batch * T, F)` and the output is
+    /// `(batch * T_out, F_out)` with each sequence's block bit-identical to
+    /// what [`SeqLayer::infer_into`] produces for that sequence alone.
     ///
-    /// The default implementation falls back to `forward` (allocating);
-    /// every layer in this crate overrides it.
-    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
-        let y = self.forward(x, Mode::Eval);
-        out.copy_from(&y);
+    /// The default forwards to `infer_into`, which is correct **only** for
+    /// layers that treat every row independently (dense, activations,
+    /// eval-mode norm/dropout). Layers that mix information across time
+    /// steps (LSTM, Conv1d, pooling, reductions) must override it with a
+    /// sequence-aware implementation or batches would leak across session
+    /// boundaries.
+    fn infer_batch_into(&self, x: &Mat, batch: usize, out: &mut Mat, scratch: &mut LayerScratch) {
+        debug_assert!(batch > 0 && x.rows().is_multiple_of(batch), "batch does not divide rows");
+        self.infer_into(x, out, scratch);
     }
 
     /// Propagates `grad_out` (d loss / d output) backwards, accumulating

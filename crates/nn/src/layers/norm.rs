@@ -5,9 +5,9 @@
 //! this layer normalizes each feature over the *time* axis of the window
 //! during training (the window plays the role of the mini-batch) and keeps
 //! running statistics for inference — the usual BatchNorm deltas documented
-//! in DESIGN.md §5.
+//! in DESIGN.md §6.
 
-use crate::layers::{Mode, SeqLayer};
+use crate::layers::{LayerScratch, Mode, SeqLayer};
 use crate::mat::Mat;
 use crate::param::Param;
 
@@ -107,7 +107,9 @@ impl SeqLayer for BatchNorm {
         y
     }
 
-    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
+    // Eval-mode normalization uses running statistics per row, so the
+    // default batched path over the stacked matrix is exact.
+    fn infer_into(&self, x: &Mat, out: &mut Mat, _scratch: &mut LayerScratch) {
         let dim = self.dim();
         assert_eq!(x.cols(), dim, "BatchNorm: expected {dim} features, got {}", x.cols());
         let t = x.rows();

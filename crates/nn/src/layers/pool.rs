@@ -1,6 +1,6 @@
 //! Pooling layers over the time axis.
 
-use crate::layers::{Mode, SeqLayer};
+use crate::layers::{LayerScratch, Mode, SeqLayer};
 use crate::mat::Mat;
 use crate::param::Param;
 
@@ -63,22 +63,32 @@ impl SeqLayer for MaxPool1d {
         y
     }
 
-    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
-        let t = x.rows();
+    fn infer_into(&self, x: &Mat, out: &mut Mat, scratch: &mut LayerScratch) {
+        self.infer_batch_into(x, 1, out, scratch);
+    }
+
+    fn infer_batch_into(&self, x: &Mat, batch: usize, out: &mut Mat, _scratch: &mut LayerScratch) {
+        assert!(
+            batch > 0 && x.rows().is_multiple_of(batch),
+            "MaxPool1d: batch does not divide rows"
+        );
+        let t = x.rows() / batch;
         let c = x.cols();
         let t_out = self.output_len(t);
-        out.resize(t_out, c);
-        for o in 0..t_out {
-            let start = o * self.kernel;
-            let end = (start + self.kernel).min(t);
-            for col in 0..c {
-                let mut best = x[(start, col)];
-                for r in start + 1..end {
-                    if x[(r, col)] > best {
-                        best = x[(r, col)];
+        out.resize(batch * t_out, c);
+        for seq in 0..batch {
+            for o in 0..t_out {
+                let start = o * self.kernel;
+                let end = (start + self.kernel).min(t);
+                for col in 0..c {
+                    let mut best = x[(seq * t + start, col)];
+                    for r in start + 1..end {
+                        if x[(seq * t + r, col)] > best {
+                            best = x[(seq * t + r, col)];
+                        }
                     }
+                    out[(seq * t_out + o, col)] = best;
                 }
-                out[(o, col)] = best;
             }
         }
     }
@@ -138,18 +148,29 @@ impl SeqLayer for GlobalMaxPool {
         y
     }
 
-    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
-        assert!(x.rows() > 0, "GlobalMaxPool: empty input");
+    fn infer_into(&self, x: &Mat, out: &mut Mat, scratch: &mut LayerScratch) {
+        self.infer_batch_into(x, 1, out, scratch);
+    }
+
+    fn infer_batch_into(&self, x: &Mat, batch: usize, out: &mut Mat, _scratch: &mut LayerScratch) {
+        assert!(
+            batch > 0 && x.rows().is_multiple_of(batch),
+            "GlobalMaxPool: batch does not divide rows"
+        );
+        let t = x.rows() / batch;
+        assert!(t > 0, "GlobalMaxPool: empty input");
         let c = x.cols();
-        out.resize(1, c);
-        for col in 0..c {
-            let mut best = x[(0, col)];
-            for r in 1..x.rows() {
-                if x[(r, col)] > best {
-                    best = x[(r, col)];
+        out.resize(batch, c);
+        for seq in 0..batch {
+            for col in 0..c {
+                let mut best = x[(seq * t, col)];
+                for r in 1..t {
+                    if x[(seq * t + r, col)] > best {
+                        best = x[(seq * t + r, col)];
+                    }
                 }
+                out[(seq, col)] = best;
             }
-            out[(0, col)] = best;
         }
     }
 
@@ -190,19 +211,32 @@ impl SeqLayer for GlobalAvgPool {
         x.mean_rows()
     }
 
-    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
-        assert!(x.rows() > 0, "GlobalAvgPool: empty input");
-        out.resize(1, x.cols());
+    fn infer_into(&self, x: &Mat, out: &mut Mat, scratch: &mut LayerScratch) {
+        self.infer_batch_into(x, 1, out, scratch);
+    }
+
+    fn infer_batch_into(&self, x: &Mat, batch: usize, out: &mut Mat, _scratch: &mut LayerScratch) {
+        assert!(
+            batch > 0 && x.rows().is_multiple_of(batch),
+            "GlobalAvgPool: batch does not divide rows"
+        );
+        let t = x.rows() / batch;
+        assert!(t > 0, "GlobalAvgPool: empty input");
+        let c = x.cols();
+        out.resize(batch, c);
         out.fill(0.0);
         // Same accumulate-then-scale order as `mean_rows` for bit-exactness.
-        for r in x.iter_rows() {
-            for (o, &v) in out.as_mut_slice().iter_mut().zip(r.iter()) {
-                *o += v;
+        let scale = 1.0 / t as f32;
+        for seq in 0..batch {
+            for r in 0..t {
+                let src = x.row(seq * t + r);
+                for (o, &v) in out.row_mut(seq).iter_mut().zip(src.iter()) {
+                    *o += v;
+                }
             }
-        }
-        let scale = 1.0 / x.rows() as f32;
-        for o in out.as_mut_slice() {
-            *o *= scale;
+            for o in out.row_mut(seq) {
+                *o *= scale;
+            }
         }
     }
 

@@ -1,6 +1,6 @@
 //! Shape-manipulation layers: take-last and flatten.
 
-use crate::layers::{Mode, SeqLayer};
+use crate::layers::{LayerScratch, Mode, SeqLayer};
 use crate::mat::Mat;
 use crate::param::Param;
 
@@ -25,10 +25,21 @@ impl SeqLayer for TakeLast {
         x.slice_rows(x.rows() - 1, x.rows())
     }
 
-    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
-        assert!(x.rows() > 0, "TakeLast: empty input");
-        out.resize(1, x.cols());
-        out.row_mut(0).copy_from_slice(x.row(x.rows() - 1));
+    fn infer_into(&self, x: &Mat, out: &mut Mat, scratch: &mut LayerScratch) {
+        self.infer_batch_into(x, 1, out, scratch);
+    }
+
+    fn infer_batch_into(&self, x: &Mat, batch: usize, out: &mut Mat, _scratch: &mut LayerScratch) {
+        assert!(
+            batch > 0 && x.rows().is_multiple_of(batch),
+            "TakeLast: batch does not divide rows"
+        );
+        let t = x.rows() / batch;
+        assert!(t > 0, "TakeLast: empty input");
+        out.resize(batch, x.cols());
+        for seq in 0..batch {
+            out.row_mut(seq).copy_from_slice(x.row((seq + 1) * t - 1));
+        }
     }
 
     fn backward(&mut self, grad_out: &Mat) -> Mat {
@@ -64,8 +75,15 @@ impl SeqLayer for Flatten {
         Mat::from_vec(1, x.len(), x.as_slice().to_vec())
     }
 
-    fn forward_into(&mut self, x: &Mat, out: &mut Mat) {
-        out.resize(1, x.len());
+    fn infer_into(&self, x: &Mat, out: &mut Mat, scratch: &mut LayerScratch) {
+        self.infer_batch_into(x, 1, out, scratch);
+    }
+
+    fn infer_batch_into(&self, x: &Mat, batch: usize, out: &mut Mat, _scratch: &mut LayerScratch) {
+        assert!(batch > 0 && x.rows().is_multiple_of(batch), "Flatten: batch does not divide rows");
+        // Row-major storage: flattening each sequence block is a straight
+        // reinterpretation of the stacked buffer.
+        out.resize(batch, x.len() / batch.max(1));
         out.as_mut_slice().copy_from_slice(x.as_slice());
     }
 

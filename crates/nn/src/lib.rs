@@ -56,8 +56,8 @@ pub mod optim;
 pub mod param;
 pub mod train;
 
-pub use layers::{LayerSpec, Mode, Padding, SeqLayer};
+pub use layers::{LayerScratch, LayerSpec, Mode, Padding, SeqLayer};
 pub use mat::Mat;
-pub use network::{Network, NetworkSpec, SavedNetwork};
+pub use network::{Network, NetworkScratch, NetworkSpec, SavedNetwork};
 pub use optim::{Adam, Sgd, StepDecay};
 pub use train::{evaluate, predict_proba, train_classifier, Sample, TrainConfig, TrainReport};

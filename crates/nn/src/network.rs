@@ -1,6 +1,6 @@
 //! Network container: an ordered stack of layers with (de)serialization.
 
-use crate::layers::{build_layer, LayerSpec, Mode, SeqLayer};
+use crate::layers::{build_layer, LayerScratch, LayerSpec, Mode, SeqLayer};
 use crate::mat::Mat;
 use crate::param::Param;
 use rand::rngs::SmallRng;
@@ -41,9 +41,64 @@ impl NetworkSpec {
 pub struct Network {
     spec: NetworkSpec,
     layers: Vec<Box<dyn SeqLayer>>,
-    /// Ping-pong activation buffers for [`Network::predict_into`], reused
-    /// across calls so steady-state inference does not allocate.
-    scratch: [Mat; 2],
+    /// Owned scratch backing the convenience [`Network::predict_into`];
+    /// the shareable inference paths ([`Network::predict_scratch`],
+    /// [`Network::predict_batch_into`]) take caller-owned scratch instead.
+    scratch: NetworkScratch,
+}
+
+/// Caller-owned buffers for the `&self` inference paths: ping-pong
+/// activation matrices plus one [`LayerScratch`] per layer.
+///
+/// Weights stay in the (shared, read-only) [`Network`]; everything mutable
+/// during inference lives here. Create one per engine/thread with
+/// [`Network::make_scratch`] and reuse it across calls — all buffers grow to
+/// a high-water mark, so steady-state inference performs no allocation.
+/// A scratch is shape-agnostic: the same instance may be reused across
+/// networks with the **same layer count** (e.g. the per-gesture error
+/// classifiers, which share one architecture).
+#[derive(Debug, Default, Clone)]
+pub struct NetworkScratch {
+    ping: Mat,
+    pong: Mat,
+    layers: Vec<LayerScratch>,
+}
+
+/// Shared driver for the allocation-free inference paths: runs `x` through
+/// `layers` (batched when `batch > 1`), ping-ponging activations through the
+/// scratch and writing the final activation into `out`.
+fn run_layers(
+    layers: &[Box<dyn SeqLayer>],
+    x: &Mat,
+    batch: usize,
+    out: &mut Mat,
+    scratch: &mut NetworkScratch,
+) {
+    assert!(batch > 0, "batch must be positive");
+    assert_eq!(x.rows() % batch, 0, "batch does not divide input rows");
+    if layers.is_empty() {
+        out.copy_from(x);
+        return;
+    }
+    assert_eq!(
+        scratch.layers.len(),
+        layers.len(),
+        "NetworkScratch layer count does not match the network"
+    );
+    let mut cur = 0usize;
+    for (i, layer) in layers.iter().enumerate() {
+        let ls = &mut scratch.layers[i];
+        if i == 0 {
+            layer.infer_batch_into(x, batch, &mut scratch.ping, ls);
+        } else if cur == 0 {
+            layer.infer_batch_into(&scratch.ping, batch, &mut scratch.pong, ls);
+            cur = 1;
+        } else {
+            layer.infer_batch_into(&scratch.pong, batch, &mut scratch.ping, ls);
+            cur = 0;
+        }
+    }
+    out.copy_from(if cur == 0 { &scratch.ping } else { &scratch.pong });
 }
 
 impl std::fmt::Debug for Network {
@@ -71,8 +126,25 @@ impl Network {
     /// Builds a network from `spec`, initializing weights from `seed`.
     pub fn new(spec: NetworkSpec, seed: u64) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let layers = spec.layers.iter().map(|s| build_layer(s, &mut rng)).collect();
-        Self { spec, layers, scratch: [Mat::zeros(0, 0), Mat::zeros(0, 0)] }
+        let layers: Vec<Box<dyn SeqLayer>> =
+            spec.layers.iter().map(|s| build_layer(s, &mut rng)).collect();
+        let scratch = NetworkScratch {
+            ping: Mat::zeros(0, 0),
+            pong: Mat::zeros(0, 0),
+            layers: vec![LayerScratch::default(); layers.len()],
+        };
+        Self { spec, layers, scratch }
+    }
+
+    /// Creates a caller-owned scratch sized for this network's layer stack,
+    /// for use with [`Network::predict_scratch`] /
+    /// [`Network::predict_batch_into`].
+    pub fn make_scratch(&self) -> NetworkScratch {
+        NetworkScratch {
+            ping: Mat::zeros(0, 0),
+            pong: Mat::zeros(0, 0),
+            layers: vec![LayerScratch::default(); self.layers.len()],
+        }
     }
 
     /// The architecture this network was built from.
@@ -128,30 +200,47 @@ impl Network {
         self.forward(x, Mode::Eval)
     }
 
-    /// Allocation-free inference: runs the eval-mode forward pass through
-    /// layer-owned scratch buffers, writing the logits into `out`.
+    /// Allocation-free inference through the network-owned scratch, writing
+    /// the logits into `out`.
     ///
     /// Produces bit-identical results to [`Network::predict`] but performs
-    /// no heap allocation once the internal buffers have warmed up to the
-    /// input shape (the engine hot path in `context-monitor` relies on
-    /// this). Unlike `forward`, no state for `backward` is recorded.
+    /// no heap allocation once the buffers have warmed up to the input
+    /// shape. Unlike `forward`, no state for `backward` is recorded. For a
+    /// network shared across engines or threads, use
+    /// [`Network::predict_scratch`] with caller-owned scratch instead.
     pub fn predict_into(&mut self, x: &Mat, out: &mut Mat) {
-        if self.layers.is_empty() {
-            out.copy_from(x);
-            return;
-        }
-        let mut cur = 0usize;
-        for (i, layer) in self.layers.iter_mut().enumerate() {
-            if i == 0 {
-                layer.forward_into(x, &mut self.scratch[0]);
-            } else {
-                let (a, b) = self.scratch.split_at_mut(1);
-                let (src, dst) = if cur == 0 { (&a[0], &mut b[0]) } else { (&b[0], &mut a[0]) };
-                layer.forward_into(src, dst);
-                cur ^= 1;
-            }
-        }
-        out.copy_from(&self.scratch[cur]);
+        let Self { layers, scratch, .. } = self;
+        run_layers(layers, x, 1, out, scratch);
+    }
+
+    /// Allocation-free inference with **caller-owned** scratch: the network
+    /// itself stays immutable, so one trained `Network` (it is `Sync`) can
+    /// serve many engines/threads concurrently, each holding its own
+    /// [`NetworkScratch`]. Bit-identical to [`Network::predict`].
+    pub fn predict_scratch(&self, x: &Mat, out: &mut Mat, scratch: &mut NetworkScratch) {
+        run_layers(&self.layers, x, 1, out, scratch);
+    }
+
+    /// Cross-sequence micro-batched inference: `x` holds `batch` equally
+    /// shaped `(T, F)` sequences stacked row-wise as `(batch * T, F)`, and
+    /// the output stacks each sequence's result the same way (for the
+    /// classifier heads in this workspace: one `(1, classes)` row per
+    /// sequence, so `out` is `(batch, classes)` and row `b` belongs to
+    /// sequence `b`).
+    ///
+    /// Each sequence's block is **bit-identical** to running that sequence
+    /// alone through [`Network::predict_scratch`]; the speedup comes from
+    /// fusing the row-independent matrix products (dense layers, LSTM input
+    /// projections, im2col convolutions) of all sequences into single
+    /// `matmul_into` calls instead of `batch` small ones.
+    pub fn predict_batch_into(
+        &self,
+        x: &Mat,
+        batch: usize,
+        out: &mut Mat,
+        scratch: &mut NetworkScratch,
+    ) {
+        run_layers(&self.layers, x, batch, out, scratch);
     }
 
     /// Copies all parameter values out (for early-stopping snapshots).
@@ -406,5 +495,107 @@ mod tests {
     fn debug_is_nonempty() {
         let net = Network::new(small_spec(), 1);
         assert!(!format!("{net:?}").is_empty());
+    }
+
+    /// A trained network must be shareable read-only across worker threads
+    /// (the sharded serving layer holds it behind an `Arc`).
+    #[test]
+    fn network_and_mat_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Mat>();
+        assert_send_sync::<Network>();
+        assert_send_sync::<NetworkScratch>();
+    }
+
+    #[test]
+    fn predict_scratch_matches_predict_into_with_shared_network() {
+        let mut net = Network::new(small_spec(), 5);
+        let mut scratch = net.make_scratch();
+        let mut a = Mat::zeros(0, 0);
+        let mut b = Mat::zeros(0, 0);
+        for t in [8usize, 12, 8] {
+            let x = Mat::from_vec(t, 3, (0..t * 3).map(|i| ((i as f32) * 0.29).sin()).collect());
+            net.predict_into(&x, &mut a);
+            let shared: &Network = &net;
+            shared.predict_scratch(&x, &mut b, &mut scratch);
+            assert_eq!(a, b, "mismatch at t={t}");
+        }
+    }
+
+    /// Batched inference must be bit-identical, per sequence, to running
+    /// each sequence alone — across every layer kind the workspace models
+    /// use (LSTM, Conv1d, pools, reductions, norm, activations, dense).
+    #[test]
+    fn predict_batch_into_is_bit_exact_per_sequence() {
+        let specs = vec![
+            small_spec(),
+            NetworkSpec::new(vec![
+                LayerSpec::Lstm { in_dim: 3, hidden: 6, return_sequences: true },
+                LayerSpec::Lstm { in_dim: 6, hidden: 4, return_sequences: false },
+                LayerSpec::Dense { in_dim: 4, out_dim: 5 },
+                LayerSpec::Relu,
+                LayerSpec::Dense { in_dim: 5, out_dim: 2 },
+            ]),
+            NetworkSpec::new(vec![
+                LayerSpec::BatchNorm { dim: 3 },
+                LayerSpec::Conv1d {
+                    in_channels: 3,
+                    out_channels: 4,
+                    kernel: 2,
+                    padding: Padding::Valid,
+                },
+                LayerSpec::Tanh,
+                LayerSpec::MaxPool1d { kernel: 2 },
+                LayerSpec::Sigmoid,
+                LayerSpec::GlobalAvgPool,
+                LayerSpec::Dense { in_dim: 4, out_dim: 4 },
+                LayerSpec::Dropout { rate: 0.5 },
+                LayerSpec::Flatten,
+                LayerSpec::Dense { in_dim: 4, out_dim: 2 },
+            ]),
+            NetworkSpec::new(vec![
+                LayerSpec::Lstm { in_dim: 3, hidden: 4, return_sequences: true },
+                LayerSpec::TakeLast,
+            ]),
+        ];
+        let t = 9usize;
+        for (si, spec) in specs.into_iter().enumerate() {
+            let net = Network::new(spec, 7 + si as u64);
+            let mut scratch = net.make_scratch();
+            let windows: Vec<Mat> = (0..3)
+                .map(|w| {
+                    Mat::from_vec(
+                        t,
+                        3,
+                        (0..t * 3).map(|i| ((i + w * 50) as f32 * 0.17).sin()).collect(),
+                    )
+                })
+                .collect();
+            // Reference: each window alone.
+            let mut singles = Vec::new();
+            for w in &windows {
+                let mut out = Mat::zeros(0, 0);
+                net.predict_scratch(w, &mut out, &mut scratch);
+                singles.push(out);
+            }
+            // Batched: stacked windows in one call.
+            let mut stacked = Mat::zeros(windows.len() * t, 3);
+            for (b, w) in windows.iter().enumerate() {
+                stacked.copy_rows_from(w, b * t);
+            }
+            let mut out = Mat::zeros(0, 0);
+            net.predict_batch_into(&stacked, windows.len(), &mut out, &mut scratch);
+            let rows_per_seq = out.rows() / windows.len();
+            for (b, single) in singles.iter().enumerate() {
+                assert_eq!(single.rows(), rows_per_seq, "spec {si}: row count");
+                for r in 0..rows_per_seq {
+                    assert_eq!(
+                        single.row(r),
+                        out.row(b * rows_per_seq + r),
+                        "spec {si}, sequence {b}, row {r}"
+                    );
+                }
+            }
+        }
     }
 }

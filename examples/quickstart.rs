@@ -39,7 +39,7 @@ fn main() {
     let mut alerts = 0usize;
     let mut last_gesture = None;
     for (t, frame) in demo.frames.iter().enumerate() {
-        if let Some(out) = monitor.push(frame) {
+        if let Some(out) = monitor.push(frame).expect("Predicted mode cannot fail") {
             if last_gesture != Some(out.gesture) {
                 println!(
                     "t={:>5.2}s  context -> {} ({})",

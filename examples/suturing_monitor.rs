@@ -25,11 +25,11 @@ fn main() {
     let folds = dataset.loso_folds();
     let fold = &folds[0];
     let cfg = MonitorConfig::fast(FeatureSet::CRG).with_seed(11);
-    let mut pipeline = TrainedPipeline::train(&dataset, &fold.train, &cfg);
+    let pipeline = TrainedPipeline::train(&dataset, &fold.train, &cfg);
 
     println!("-- overall pipeline (Table VIII style) --");
     for mode in [ContextMode::Perfect, ContextMode::Predicted, ContextMode::NoContext] {
-        let eval = evaluate_pipeline(&mut pipeline, &dataset, &fold.test, mode);
+        let eval = evaluate_pipeline(&pipeline, &dataset, &fold.test, mode);
         println!("{}", eval.table8_row(&mode.to_string()));
     }
 
@@ -38,7 +38,7 @@ fn main() {
         "{:<5} {:>9} {:>12} {:>12} {:>8} {:>7}",
         "Gest", "detect%", "jitter(ms)", "react(ms)", "F1err", "events"
     );
-    for row in per_gesture_report(&mut pipeline, &dataset, &fold.test, ContextMode::Predicted) {
+    for row in per_gesture_report(&pipeline, &dataset, &fold.test, ContextMode::Predicted) {
         println!(
             "{:<5} {:>8.1}% {:>12.0} {:>12.0} {:>8.2} {:>7}",
             Gesture::from_index(row.gesture).map(|g| g.to_string()).unwrap_or_default(),

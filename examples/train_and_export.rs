@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Reload and verify.
     let restored: SavedPipeline = serde_json::from_str(&std::fs::read_to_string(&path)?)?;
-    let mut reloaded = TrainedPipeline::from_saved(restored);
+    let reloaded = TrainedPipeline::from_saved(restored);
     let demo = &dataset.demos[fold.test[0]];
     let a = pipeline.run_demo(demo, ContextMode::Predicted);
     let b = reloaded.run_demo(demo, ContextMode::Predicted);

@@ -34,9 +34,9 @@ fn block_transfer_monitor_detects_injected_faults() {
     });
     dataset.validate().expect("valid dataset");
     let fold = dataset.loso_folds().into_iter().next().expect("fold");
-    let mut pipeline = TrainedPipeline::train(&dataset, &fold.train, &cfg());
+    let pipeline = TrainedPipeline::train(&dataset, &fold.train, &cfg());
 
-    let eval = evaluate_pipeline(&mut pipeline, &dataset, &fold.test, ContextMode::Perfect);
+    let eval = evaluate_pipeline(&pipeline, &dataset, &fold.test, ContextMode::Perfect);
     let auc = eval.auc_summary();
     assert!(auc.n > 0);
     assert!(auc.mean > 0.6, "Block Transfer AUC {} too low", auc.mean);
@@ -53,7 +53,7 @@ fn gesture_classifier_nails_the_deterministic_block_transfer_grammar() {
         seed: 778,
     });
     let fold = dataset.loso_folds().into_iter().next().expect("fold");
-    let mut pipeline = TrainedPipeline::train(&dataset, &fold.train, &cfg());
+    let pipeline = TrainedPipeline::train(&dataset, &fold.train, &cfg());
 
     let mut correct = 0usize;
     let mut total = 0usize;

@@ -33,14 +33,14 @@ fn setup() -> (kinematics::Dataset, kinematics::Fold, MonitorConfig) {
 #[test]
 fn monitor_detects_unsafe_events_above_chance() {
     let (dataset, fold, cfg) = setup();
-    let mut pipeline = TrainedPipeline::train(&dataset, &fold.train, &cfg);
+    let pipeline = TrainedPipeline::train(&dataset, &fold.train, &cfg);
 
-    let perfect = evaluate_pipeline(&mut pipeline, &dataset, &fold.test, ContextMode::Perfect);
+    let perfect = evaluate_pipeline(&pipeline, &dataset, &fold.test, ContextMode::Perfect);
     let auc = perfect.auc_summary();
     assert!(auc.n > 0, "no demo with a defined AUC");
     assert!(auc.mean > 0.65, "perfect-boundary AUC {} should be clearly above chance", auc.mean);
 
-    let predicted = evaluate_pipeline(&mut pipeline, &dataset, &fold.test, ContextMode::Predicted);
+    let predicted = evaluate_pipeline(&pipeline, &dataset, &fold.test, ContextMode::Predicted);
     // Upper bound property (Table VIII): perfect boundaries >= predicted,
     // with slack for the small fast-scale models.
     assert!(
@@ -54,8 +54,8 @@ fn monitor_detects_unsafe_events_above_chance() {
 #[test]
 fn pipeline_reports_timeliness_metrics() {
     let (dataset, fold, cfg) = setup();
-    let mut pipeline = TrainedPipeline::train(&dataset, &fold.train, &cfg);
-    let eval = evaluate_pipeline(&mut pipeline, &dataset, &fold.test, ContextMode::Perfect);
+    let pipeline = TrainedPipeline::train(&dataset, &fold.train, &cfg);
+    let eval = evaluate_pipeline(&pipeline, &dataset, &fold.test, ContextMode::Perfect);
 
     let events: usize = eval.demos.iter().map(|d| d.events).sum();
     let detected: usize = eval.demos.iter().map(|d| d.reaction_ms.len()).sum();
@@ -74,7 +74,7 @@ fn pipeline_reports_timeliness_metrics() {
 #[test]
 fn streaming_and_offline_agree_end_to_end() {
     let (dataset, fold, cfg) = setup();
-    let mut pipeline = TrainedPipeline::train(&dataset, &fold.train, &cfg);
+    let pipeline = TrainedPipeline::train(&dataset, &fold.train, &cfg);
     let demo = &dataset.demos[fold.test[0]];
     let offline = pipeline.run_demo(demo, ContextMode::Predicted);
 
@@ -82,7 +82,7 @@ fn streaming_and_offline_agree_end_to_end() {
     let mut monitor = SafetyMonitor::new(pipeline, ContextMode::Predicted);
     let mut online = Vec::new();
     for frame in &demo.frames {
-        if let Some(out) = monitor.push(frame) {
+        if let Some(out) = monitor.push(frame).expect("Predicted mode cannot fail") {
             online.push((out.gesture.index(), out.alert));
         }
     }

@@ -169,7 +169,7 @@ fn offline_and_online_agree_bit_exactly_across_modes_and_seeds() {
             for (frame, &truth) in demo.frames.iter().zip(demo.gestures.iter()) {
                 let out = match mode {
                     ContextMode::Perfect => monitor.push_with_context(frame, truth),
-                    _ => monitor.push(frame),
+                    _ => monitor.push(frame).expect("only Perfect mode fails"),
                 };
                 if let Some(out) = out {
                     gestures_online.push(out.gesture.index());
@@ -209,7 +209,7 @@ fn pool_interleaved_sessions_match_isolated_runs() {
         isolated.push(
             demo.frames
                 .iter()
-                .filter_map(|f| monitor.push(f))
+                .filter_map(|f| monitor.push(f).expect("Predicted mode cannot fail"))
                 .map(|o| (o.gesture.index(), o.unsafe_probability, o.alert))
                 .collect(),
         );
@@ -225,7 +225,8 @@ fn pool_interleaved_sessions_match_isolated_runs() {
     while remaining > 0 {
         for _ in 0..=s {
             if cursors[s] < demos[s].len() {
-                if let Some(out) = pool.push(s, &demos[s].frames[cursors[s]]) {
+                let out = pool.push(s, &demos[s].frames[cursors[s]]).expect("Predicted mode");
+                if let Some(out) = out {
                     pooled[s].push((out.gesture.index(), out.unsafe_probability, out.alert));
                 }
                 cursors[s] += 1;

@@ -1,7 +1,199 @@
 //! Offline stand-in for the subset of `crossbeam` this workspace uses:
-//! scoped threads. Since Rust 1.63 the standard library provides scoped
-//! threads natively, so this is a thin adapter that keeps crossbeam's
-//! `scope(|s| s.spawn(|_| ...))` call shape compiling unchanged.
+//! scoped threads and multi-producer multi-consumer channels. Since Rust
+//! 1.63 the standard library provides scoped threads natively, so that part
+//! is a thin adapter keeping crossbeam's `scope(|s| s.spawn(|_| ...))` call
+//! shape compiling unchanged; the channel module reimplements the
+//! `crossbeam-channel` unbounded API (cloneable `Sender`/`Receiver`,
+//! disconnection-aware `send`/`recv`/`try_recv`) over a mutex-guarded queue.
+
+/// MPMC channels (`crossbeam::channel`), unbounded flavour only.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Error returned by [`Sender::send`] when every receiver is gone; the
+    /// unsent message is handed back.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message available right now, but senders still exist.
+        Empty,
+        /// No message available and every sender is gone.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// The sending half of an unbounded channel. Cloning produces another
+    /// producer feeding the same queue.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of an unbounded channel. Cloning produces another
+    /// consumer competing for the same queue.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`, waking one blocked receiver.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message back if every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(msg));
+            }
+            self.shared.queue.lock().expect("channel poisoned").push_back(msg);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            Self { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: wake blocked receivers so they observe the
+                // disconnect. The notification must happen while holding
+                // the queue mutex — a receiver that already checked the
+                // sender count but has not yet parked in `wait` holds the
+                // lock at that point, so taking it here orders this wakeup
+                // after its park and the wakeup cannot be lost.
+                let _guard = self.shared.queue.lock();
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] once the queue is empty and every sender
+        /// has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.shared.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(msg) = queue.pop_front() {
+                    return Ok(msg);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self.shared.ready.wait(queue).expect("channel poisoned");
+            }
+        }
+
+        /// Dequeues a message if one is immediately available.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when the queue is empty but producers
+        /// remain; [`TryRecvError::Disconnected`] when it is empty for good.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.shared.queue.lock().expect("channel poisoned");
+            match queue.pop_front() {
+                Some(msg) => Ok(msg),
+                None if self.shared.senders.load(Ordering::Acquire) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocking iterator over incoming messages; ends at disconnection.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+            Self { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Blocking message iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+}
 
 /// Scoped threads (`crossbeam::thread`).
 pub mod thread {
@@ -55,7 +247,51 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
-    use super::thread;
+    use super::{channel, thread};
+
+    #[test]
+    fn channel_delivers_in_fifo_order() {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..5).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+    }
+
+    #[test]
+    fn channel_reports_disconnection() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(7u32).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+
+        let (tx, rx) = channel::unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(channel::SendError(1)));
+    }
+
+    #[test]
+    fn channel_works_across_threads_with_cloned_handles() {
+        let (tx, rx) = channel::unbounded();
+        let total: u64 = thread::scope(|s| {
+            for part in 0..4u64 {
+                let tx = tx.clone();
+                s.spawn(move |_| {
+                    for i in 0..10u64 {
+                        tx.send(part * 10 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            s.spawn(move |_| rx.iter().sum::<u64>()).join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, (0..40u64).sum());
+    }
 
     #[test]
     fn scope_joins_workers_and_collects_results() {
