@@ -1,0 +1,121 @@
+//! Criterion bench for the kernel layer: tiled GEMM (`nn::kernels`) vs the
+//! naive reference, on the pipeline's **real** shapes.
+//!
+//! The shapes below are exactly what the fast-profile monitor multiplies
+//! per frame / per training step:
+//!
+//! * `lstm_gate` — stage-1 LSTM input projection: `(15, 38) · (38, 192)`
+//!   (gesture window × ALL features, into 4·48 fused gates).
+//! * `lstm_gate_batch8` — the same projection micro-batched over 8 sessions
+//!   by the sharded serving tick: `(120, 38) · (38, 192)`.
+//! * `im2col` — stage-2 conv as a patch-matrix product:
+//!   `(5, 78) · (78, 16)` (error window × kernel·CRG channels).
+//! * `conv_dw` — conv weight gradient `AᵀB`: `(5, 78)ᵀ · (5, 16)`.
+//! * `lstm_dx` — LSTM input gradient `ABᵀ`: `(15, 192) · (38, 192)ᵀ`.
+//!
+//! Every tiled result is asserted bit-equal to its naive twin before
+//! timing, so the bench doubles as an end-to-end smoke of the
+//! accumulation-order contract.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nn::kernels::{gemm_ab, gemm_abt, gemm_atb, naive_ab, naive_abt, naive_atb, GemmScratch};
+
+/// `zero_every = 0` → fully dense (normalized kinematic windows, weights);
+/// otherwise ~1/`zero_every` exact zeros (post-ReLU activations, im2col
+/// padding).
+fn fill(len: usize, seed: u64, zero_every: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if zero_every > 0 && state.is_multiple_of(zero_every) {
+                0.0
+            } else {
+                ((state >> 33) as i32 as f32) / (1u32 << 30) as f32
+            }
+        })
+        .collect()
+}
+
+enum Variant {
+    Ab,
+    Abt,
+    Atb,
+}
+
+fn bench_pair(
+    c: &mut Criterion,
+    name: &str,
+    variant: Variant,
+    m: usize,
+    k: usize,
+    n: usize,
+    a_zero_every: u64,
+) {
+    let (a_len, b_len) = match variant {
+        Variant::Ab => (m * k, k * n),
+        Variant::Abt => (m * k, n * k),
+        Variant::Atb => (k * m, k * n),
+    };
+    let a = fill(a_len, 11 + m as u64, a_zero_every);
+    let b = fill(b_len, 23 + n as u64, 0);
+    let mut out = vec![0.0f32; m * n];
+    let mut reference = vec![0.0f32; m * n];
+    let mut scratch = GemmScratch::default();
+
+    // Smoke: tiled must be bit-equal to naive on this shape.
+    match variant {
+        Variant::Ab => {
+            naive_ab(m, k, n, &a, &b, &mut reference);
+            gemm_ab(m, k, n, &a, &b, &mut out, &mut scratch);
+        }
+        Variant::Abt => {
+            naive_abt(m, k, n, &a, &b, &mut reference);
+            gemm_abt(m, k, n, &a, &b, &mut out, &mut scratch);
+        }
+        Variant::Atb => {
+            naive_atb(m, k, n, &a, &b, &mut reference);
+            gemm_atb(m, k, n, &a, &b, &mut out, &mut scratch);
+        }
+    }
+    for (i, (g, w)) in out.iter().zip(reference.iter()).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "{name}: tiled != naive at element {i}");
+    }
+
+    c.bench_function(&format!("{name}_naive"), |bch| {
+        bch.iter(|| match variant {
+            Variant::Ab => naive_ab(m, k, n, black_box(&a), black_box(&b), &mut out),
+            Variant::Abt => naive_abt(m, k, n, black_box(&a), black_box(&b), &mut out),
+            Variant::Atb => naive_atb(m, k, n, black_box(&a), black_box(&b), &mut out),
+        })
+    });
+    c.bench_function(&format!("{name}_tiled"), |bch| {
+        bch.iter(|| match variant {
+            Variant::Ab => gemm_ab(m, k, n, black_box(&a), black_box(&b), &mut out, &mut scratch),
+            Variant::Abt => gemm_abt(m, k, n, black_box(&a), black_box(&b), &mut out, &mut scratch),
+            Variant::Atb => gemm_atb(m, k, n, black_box(&a), black_box(&b), &mut out, &mut scratch),
+        })
+    });
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    // Stage-1 LSTM input projection (the dominant per-frame matmul).
+    bench_pair(c, "lstm_gate (15x38 * 38x192)", Variant::Ab, 15, 38, 192, 0);
+    // The same, micro-batched over 8 sessions by a serving shard.
+    bench_pair(c, "lstm_gate_batch8 (120x38 * 38x192)", Variant::Ab, 120, 38, 192, 0);
+    // Stage-2 im2col convolution product.
+    bench_pair(c, "im2col (5x78 * 78x16)", Variant::Ab, 5, 78, 16, 8);
+    // Training-side contractions.
+    bench_pair(c, "conv_dw (78x5^T * 5x16)", Variant::Atb, 78, 5, 16, 8);
+    bench_pair(c, "lstm_dw (38x15^T * 15x192)", Variant::Atb, 38, 15, 192, 0);
+    bench_pair(c, "lstm_dx (15x192 * (38x192)^T)", Variant::Abt, 15, 192, 38, 0);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_gemm
+}
+criterion_main!(benches);

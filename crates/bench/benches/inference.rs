@@ -47,12 +47,12 @@ fn bench_inference(c: &mut Criterion) {
     });
 
     // Stage 2 per window. The baseline reproduces the literal pre-refactor
-    // implementation (`nn::predict_proba(net, window)[1]`): a caching
-    // `forward` pass plus a fresh softmax Vec per window.
+    // implementation (the historical `predict_proba`): a caching `forward`
+    // pass plus a fresh softmax Vec per window.
     let g = *pipeline.error_nets.keys().next().expect("a dedicated classifier");
     c.bench_function("error_window_alloc (pre-refactor)", |b| {
         let net = pipeline.error_nets.get_mut(&g).expect("dedicated classifier");
-        b.iter(|| black_box(nn::predict_proba(net, black_box(&window))[1]))
+        b.iter(|| black_box(nn::loss::softmax(net.predict(black_box(&window)).row(0))[1]))
     });
     let mut probs = [0.0f32; 2];
     let mut escratch = pipeline.error_scratch();

@@ -39,7 +39,7 @@ fn main() {
 fn run_task(ds: &Dataset, cfg: &MonitorConfig) {
     let folds = ds.loso_folds();
     let fold = &folds[0];
-    let (mut pipeline, stats) =
+    let (pipeline, stats) =
         TrainedPipeline::train_stages(ds, &fold.train, cfg, TrainStages::ERRORS_ONLY);
 
     // Harvest test windows grouped by ground-truth gesture.
@@ -59,9 +59,10 @@ fn run_task(ds: &Dataset, cfg: &MonitorConfig) {
         let (test_n, test_err, auc_str) = match test_windows.get(&g) {
             Some(wins) => {
                 let errs = wins.iter().filter(|(_, u)| *u).count();
-                let auc_val = pipeline.error_nets.get_mut(&g).and_then(|net| {
+                let auc_val = pipeline.error_nets.get(&g).and_then(|net| {
+                    let mut scratch = net.make_scratch();
                     let scores: Vec<f32> =
-                        wins.iter().map(|(w, _)| predict_proba(net, w)[1]).collect();
+                        wins.iter().map(|(w, _)| predict_proba(net, w, &mut scratch)[1]).collect();
                     let labels: Vec<bool> = wins.iter().map(|(_, u)| *u).collect();
                     auc(&scores, &labels)
                 });

@@ -52,7 +52,7 @@ pub struct MonitorConfig {
     /// Window width of the gesture classifier. The paper's stage 1 is a
     /// stateful LSTM with time-step 1 over the whole stream; our stateless
     /// equivalent gives stage 1 a longer window than stage 2 so it can see
-    /// gesture transitions (DESIGN.md §6).
+    /// gesture transitions (DESIGN.md §7).
     pub gesture_window: usize,
     /// Stacked-LSTM hidden sizes of the gesture classifier (paper: 512, 96).
     pub gesture_hidden: (usize, usize),
@@ -74,12 +74,17 @@ pub struct MonitorConfig {
     /// Minimum windows of a gesture class required to train a dedicated
     /// error classifier (smaller classes fall back to the global one).
     pub min_gesture_windows: usize,
+    /// Worker threads for stage-2 per-gesture classifier training (clamped
+    /// to at least 1). Each gesture trains from its own derived seed, so the
+    /// resulting weights are **bit-identical for every worker count** — this
+    /// only trades wall-clock for cores.
+    pub train_workers: usize,
     /// Weight-initialization / shuffling seed.
     pub seed: u64,
 }
 
 impl MonitorConfig {
-    /// Scaled-down defaults that train on CPU in seconds (DESIGN.md §6).
+    /// Scaled-down defaults that train on CPU in seconds (DESIGN.md §7).
     pub fn fast(features: FeatureSet) -> Self {
         Self {
             features,
@@ -101,6 +106,7 @@ impl MonitorConfig {
             },
             train_stride: 2,
             min_gesture_windows: 24,
+            train_workers: 2,
             seed: 7,
         }
     }
@@ -129,6 +135,7 @@ impl MonitorConfig {
             },
             train_stride: 1,
             min_gesture_windows: 50,
+            train_workers: 8,
             seed: 7,
         }
     }
@@ -149,6 +156,13 @@ impl MonitorConfig {
     /// Builder-style error-model override.
     pub fn with_error_model(mut self, kind: ErrorModelKind) -> Self {
         self.error_model = kind;
+        self
+    }
+
+    /// Builder-style training-worker override (weights stay bit-identical
+    /// for every value; see [`MonitorConfig::train_workers`]).
+    pub fn with_train_workers(mut self, workers: usize) -> Self {
+        self.train_workers = workers;
         self
     }
 }

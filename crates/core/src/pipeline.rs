@@ -230,27 +230,42 @@ impl TrainedPipeline {
             train_classifier(&mut gesture_net, &g_train, &g_val, &gesture_cfg);
         }
 
-        // Stage 2: per-gesture error classifiers.
+        // Stage 2: per-gesture error classifiers, trained in parallel over
+        // the workspace's one audited fork-join primitive. Each gesture is a
+        // self-contained job with its own derived seed (`cfg.seed ^ (g+1)`)
+        // and `train_classifier` touches no shared mutable state, so the
+        // trained weights are bit-identical for every worker count — the
+        // shard assignment only decides *which thread* runs a job, never
+        // *what* the job computes. `parallel_map` returns results in input
+        // order, so the stats table and the BTreeMap insertions stay in
+        // ascending gesture order too.
+        let empty = Vec::new();
+        let jobs: Vec<(usize, &Vec<Sample>)> = pg_train.iter().map(|(&g, s)| (g, s)).collect();
+        let trained =
+            crate::serve::parallel_map(&jobs, cfg.train_workers.max(1), |&(g, samples)| {
+                let positives = samples.iter().filter(|(_, y)| *y == 1).count();
+                let trainable = stages.errors
+                    && samples.len() >= cfg.min_gesture_windows
+                    && positives > 0
+                    && positives < samples.len();
+                let net = trainable.then(|| {
+                    let val = pg_val.get(&g).unwrap_or(&empty);
+                    train_binary(cfg, in_dim, samples, val, cfg.seed ^ (g as u64 + 1))
+                });
+                (g, positives, net)
+            });
         let mut error_nets = BTreeMap::new();
         let mut stats = Vec::new();
-        for (&g, samples) in &pg_train {
-            let positives = samples.iter().filter(|(_, y)| *y == 1).count();
-            let error_rate = positives as f32 / samples.len() as f32;
-            let trainable = stages.errors
-                && samples.len() >= cfg.min_gesture_windows
-                && positives > 0
-                && positives < samples.len();
-            if trainable {
-                let empty = Vec::new();
-                let val = pg_val.get(&g).unwrap_or(&empty);
-                let net = train_binary(cfg, in_dim, samples, val, cfg.seed ^ (g as u64 + 1));
+        for ((g, positives, net), &(_, samples)) in trained.into_iter().zip(jobs.iter()) {
+            let dedicated = net.is_some();
+            if let Some(net) = net {
                 error_nets.insert(g, net);
             }
             stats.push(GestureTrainStats {
                 gesture: g,
                 windows: samples.len(),
-                error_rate,
-                dedicated: trainable,
+                error_rate: positives as f32 / samples.len() as f32,
+                dedicated,
             });
         }
 

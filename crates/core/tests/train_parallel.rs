@@ -1,0 +1,58 @@
+//! Training-path smoke + determinism: `TrainedPipeline::train_stages` must
+//! produce **bit-identical** weights for every stage-2 worker count.
+//!
+//! Each per-gesture classifier trains from its own derived seed
+//! (`cfg.seed ^ (g + 1)`) with no shared mutable state, so parallelizing
+//! over `serve::parallel_map` may only change which thread runs a job —
+//! never what the job computes. This test is also the CI training smoke:
+//! one tiny end-to-end `train_stages` run per worker count.
+
+use context_monitor::{ContextMode, MonitorConfig, TrainStages, TrainedPipeline};
+use gestures::Task;
+use jigsaws::{generate, GeneratorConfig};
+use kinematics::FeatureSet;
+
+#[test]
+fn train_stages_is_bit_identical_for_any_worker_count() {
+    let ds = generate(&GeneratorConfig::fast(Task::Suturing).with_seed(23));
+    let mut cfg = MonitorConfig::fast(FeatureSet::CRG).with_seed(5);
+    cfg.train.epochs = 3;
+    cfg.train_stride = 4;
+    let idx: Vec<usize> = (0..ds.len()).collect();
+
+    let (mut reference, ref_stats) = TrainedPipeline::train_stages(
+        &ds,
+        &idx,
+        &cfg.clone().with_train_workers(1),
+        TrainStages::ALL,
+    );
+    assert!(!reference.error_nets.is_empty(), "no dedicated classifiers trained");
+    // The checkpoint embeds the config; neutralize the one field that is
+    // *supposed* to differ so the comparison is purely about weights.
+    let saved_with_workers_1 = |p: &mut TrainedPipeline| {
+        let mut saved = p.save();
+        saved.config.train_workers = 1;
+        serde_json::to_string(&saved).expect("serialize pipeline")
+    };
+    let ref_json = saved_with_workers_1(&mut reference);
+    let ref_run = reference.run_demo(&ds.demos[0], ContextMode::Predicted);
+
+    for workers in [2usize, 3, 8] {
+        let (mut p, stats) = TrainedPipeline::train_stages(
+            &ds,
+            &idx,
+            &cfg.clone().with_train_workers(workers),
+            TrainStages::ALL,
+        );
+        assert_eq!(stats, ref_stats, "stats differ at workers={workers}");
+        let json = saved_with_workers_1(&mut p);
+        assert_eq!(
+            json, ref_json,
+            "trained weights differ between 1 and {workers} training workers"
+        );
+        // And the composed pipeline behaves identically frame-for-frame.
+        let run = p.run_demo(&ds.demos[0], ContextMode::Predicted);
+        assert_eq!(run.gesture_pred, ref_run.gesture_pred, "workers={workers}");
+        assert_eq!(run.unsafe_score, ref_run.unsafe_score, "workers={workers}");
+    }
+}

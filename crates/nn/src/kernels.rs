@@ -1,0 +1,683 @@
+//! Blocked, cache-tiled f32 GEMM kernels — the one compute substrate every
+//! matrix product in the workspace routes through.
+//!
+//! Three contraction variants cover everything the layers need:
+//!
+//! * [`gemm_ab`] — `C = A·B` (forward passes: dense, LSTM gate projection,
+//!   im2col convolution),
+//! * [`gemm_abt`] — `C = A·Bᵀ` (backward input gradients: `dX = dY·Wᵀ`),
+//! * [`gemm_atb`] — `C = Aᵀ·B` (backward weight gradients: `dW = Xᵀ·dY`).
+//!
+//! Each has a naive reference twin ([`naive_ab`], [`naive_abt`],
+//! [`naive_atb`]) that is the *literal* pre-kernel-layer triple loop; the
+//! proptest suite (`tests/gemm_props.rs`) pins the tiled kernels to the
+//! references **bit-for-bit**.
+//!
+//! # The accumulation-order contract
+//!
+//! Every output element is produced by *exactly* the same sequence of IEEE
+//! operations as the historical `Mat` loops:
+//!
+//! * `C[i][j]` accumulates `A[i][k]·B[k][j]` terms in **ascending k**, in a
+//!   single serial chain starting from `0.0` — tiling over `k` keeps the
+//!   running sum resident (registers within a panel, the output buffer
+//!   across panels), never a per-panel partial that is re-associated later.
+//! * `AB` and `AᵀB` **skip** terms whose A-element compares equal to `0.0`
+//!   (the historical sparse shortcut — ReLU activations and im2col padding
+//!   make exact zeros common); `ABᵀ` never skips. Skipping is semantic, not
+//!   just fast: it suppresses `0·inf → NaN` exactly where the old code did.
+//!
+//! Float addition is not associative, so this contract is what lets the
+//! repo's equivalence tests (`props_cross_crate`, `serve_equivalence`,
+//! train/infer agreement) keep using `assert_eq!` with no epsilon.
+//! Vectorizing across *independent* output elements and reusing loaded
+//! operands is fair game; reassociating within one element is not.
+//!
+//! # Tiling scheme
+//!
+//! `AB` / `AᵀB`: `for k-panel (KC) → for col-block (NC, packed B panel once
+//! column-blocked) → for row-quad (MR) → fused microkernel`. The
+//! microkernel advances MR=4 output rows through the panel at once — every
+//! loaded B row is reused four times, the four output rows stay resident in
+//! L1, and the zero-skip check is hoisted to one branch per k step
+//! (amortized over `4·n` multiply-adds) with a per-row fallback when a zero
+//! actually occurs. B panels are packed into contiguous `kc × NC` strips
+//! only when the product is genuinely column-blocked (`n > NC`); below
+//! that — every shape this pipeline multiplies — the row-major panel is
+//! already contiguous and packing would be a pure copy tax.
+//!
+//! `ABᵀ`: B rows become output columns, so the panel *is* packed (k-major
+//! 4-wide strips); the microkernel holds an `MR×4` register tile whose four
+//! accumulator chains per row break the serial-dependency latency wall of
+//! the naive one-dot-product-at-a-time loop.
+//! Row tails (`m % MR`) and short products (`m < MR`, e.g. the
+//! per-timestep LSTM recurrence) run the reference row loop over the same
+//! panels.
+//!
+//! # Scratch ownership
+//!
+//! Packing needs a buffer; the kernels never allocate one behind the
+//! caller's back. Every entry point takes a caller-owned [`GemmScratch`]
+//! that grows to a high-water mark and is reused — layers pass the one
+//! inside their [`crate::layers::LayerScratch`] (inference) or their own
+//! training scratch, and the `Mat` convenience wrappers fall back to a
+//! thread-local instance so ad-hoc callers stay allocation-free in steady
+//! state too.
+
+use crate::mat::Mat;
+
+/// Rows per register tile (A rows processed together by the microkernel).
+pub const MR: usize = 4;
+/// k-panel depth: B rows kept hot (and packed, once column-blocked) per
+/// outer iteration.
+pub const KC: usize = 256;
+/// Column-block width: above this, B panels are packed into contiguous
+/// `kc × NC` strips so the microkernel never strides a huge row. At or
+/// below it, the row-major panel is already contiguous enough and is
+/// consumed in place (packing would be a pure copy tax — every shape the
+/// pipeline actually multiplies lands here).
+pub const NC: usize = 512;
+
+/// Caller-owned packing scratch for the tiled kernels.
+///
+/// Holds the packed B panel (at most `KC × NC` floats for `AB`/`AᵀB`, `KC ×
+/// 4·⌈n/4⌉` for `ABᵀ`). Reusable across calls and across differently shaped
+/// products; all growth is amortized, so steady-state kernel calls perform
+/// no heap allocation.
+#[derive(Debug, Default, Clone)]
+pub struct GemmScratch {
+    packed: Vec<f32>,
+}
+
+impl GemmScratch {
+    /// Ensures capacity for `len` packed floats and returns the buffer.
+    fn packed(&mut self, len: usize) -> &mut [f32] {
+        if self.packed.len() < len {
+            self.packed.resize(len, 0.0);
+        }
+        &mut self.packed[..len]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Naive reference kernels — the literal pre-kernel-layer `Mat` loops.
+// ---------------------------------------------------------------------------
+
+/// Reference `C = A·B`: `a` is `(m, k)`, `b` is `(k, n)`, `out` is `(m, n)`,
+/// all row-major. Skips A-elements equal to `0.0`. Overwrites `out`.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its dimensions.
+pub fn naive_ab(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    check_dims(m, k, n, a.len(), b.len(), out.len(), k * n);
+    out.fill(0.0);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Reference `C = A·Bᵀ`: `a` is `(m, k)`, `b` is `(n, k)`, `out` is
+/// `(m, n)`. Each element is one serial dot product; no zero-skip.
+/// Overwrites `out`.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its dimensions.
+pub fn naive_abt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    check_dims(m, k, n, a.len(), b.len(), out.len(), n * k);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// Reference `C = Aᵀ·B`: `a` is `(k, m)`, `b` is `(k, n)`, `out` is
+/// `(m, n)`. Skips A-elements equal to `0.0`. Overwrites `out`.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its dimensions.
+pub fn naive_atb(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    check_dims(m, k, n, a.len(), b.len(), out.len(), k * n);
+    out.fill(0.0);
+    for kk in 0..k {
+        let a_row = &a[kk * m..(kk + 1) * m];
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tiled kernels.
+// ---------------------------------------------------------------------------
+
+/// Tiled `C = A·B` (see [`naive_ab`] for the layout and semantics).
+/// Bit-identical to the reference; uses `scratch` for the packed B panel.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its dimensions.
+pub fn gemm_ab(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    scratch: &mut GemmScratch,
+) {
+    check_dims(m, k, n, a.len(), b.len(), out.len(), k * n);
+    out.fill(0.0);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    for pc in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc);
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            // Pack only when actually column-blocked; otherwise consume the
+            // row-major panel in place (see [`NC`]).
+            let (panel, stride): (&[f32], usize) = if nc < n {
+                let packed = scratch.packed(kc * nc);
+                pack_panel(b, n, pc, jc, kc, nc, packed);
+                (&*packed, nc)
+            } else {
+                (&b[pc * n..], n)
+            };
+            for i0 in (0..m).step_by(MR) {
+                let mr = MR.min(m - i0);
+                let out_block = &mut out[i0 * n + jc..];
+                if mr == MR {
+                    let a_rows = [
+                        &a[i0 * k + pc..i0 * k + pc + kc],
+                        &a[(i0 + 1) * k + pc..(i0 + 1) * k + pc + kc],
+                        &a[(i0 + 2) * k + pc..(i0 + 2) * k + pc + kc],
+                        &a[(i0 + 3) * k + pc..(i0 + 3) * k + pc + kc],
+                    ];
+                    quad_rows(a_rows, panel, stride, out_block, n, nc, kc);
+                } else {
+                    for r in 0..mr {
+                        let a_row = &a[(i0 + r) * k + pc..(i0 + r) * k + pc + kc];
+                        axpy_row(a_row, panel, stride, &mut out_block[r * n..r * n + nc]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Tiled `C = A·Bᵀ` (see [`naive_abt`] for the layout and semantics).
+/// Bit-identical to the reference; uses `scratch` for the packed Bᵀ panel.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its dimensions.
+pub fn gemm_abt(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    scratch: &mut GemmScratch,
+) {
+    check_dims(m, k, n, a.len(), b.len(), out.len(), n * k);
+    out.fill(0.0);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    // B rows become output columns: pack k-major strips of ABT_NR B-rows so
+    // the k-loop reads one contiguous line regardless of the B row stride.
+    const ABT_NR: usize = 4;
+    let strips = n.div_ceil(ABT_NR);
+    for pc in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc);
+        let packed = scratch.packed(strips * kc * ABT_NR);
+        // packed[s][kk][c] = B[s*ABT_NR + c][pc + kk] (zero-padded strip).
+        for s in 0..strips {
+            let j0 = s * ABT_NR;
+            let nr = ABT_NR.min(n - j0);
+            let dst = &mut packed[s * kc * ABT_NR..(s + 1) * kc * ABT_NR];
+            for kk in 0..kc {
+                for c in 0..ABT_NR {
+                    dst[kk * ABT_NR + c] = if c < nr { b[(j0 + c) * k + pc + kk] } else { 0.0 };
+                }
+            }
+        }
+        for i0 in (0..m).step_by(MR) {
+            let mr = MR.min(m - i0);
+            for s in 0..strips {
+                let j0 = s * ABT_NR;
+                let nr = ABT_NR.min(n - j0);
+                let bp = &packed[s * kc * ABT_NR..(s + 1) * kc * ABT_NR];
+                // MR×ABT_NR accumulator tile, loaded from C so the serial
+                // k-chain continues across panels.
+                let mut acc = [[0.0f32; ABT_NR]; MR];
+                for (r, acc_row) in acc.iter_mut().enumerate().take(mr) {
+                    for (c, slot) in acc_row.iter_mut().enumerate().take(nr) {
+                        *slot = out[(i0 + r) * n + j0 + c];
+                    }
+                }
+                for kk in 0..kc {
+                    let bv = &bp[kk * ABT_NR..(kk + 1) * ABT_NR];
+                    for (r, acc_row) in acc.iter_mut().enumerate().take(mr) {
+                        let av = a[(i0 + r) * k + pc + kk];
+                        for (slot, &bvv) in acc_row.iter_mut().zip(bv.iter()) {
+                            *slot += av * bvv;
+                        }
+                    }
+                }
+                for (r, acc_row) in acc.iter().enumerate().take(mr) {
+                    for (c, &slot) in acc_row.iter().enumerate().take(nr) {
+                        out[(i0 + r) * n + j0 + c] = slot;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Tiled `C = Aᵀ·B` (see [`naive_atb`] for the layout and semantics).
+/// Bit-identical to the reference; uses `scratch` for the packed B panel.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its dimensions.
+pub fn gemm_atb(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    scratch: &mut GemmScratch,
+) {
+    check_dims(m, k, n, a.len(), b.len(), out.len(), k * n);
+    out.fill(0.0);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    for pc in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc);
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            let (panel, stride): (&[f32], usize) = if nc < n {
+                let packed = scratch.packed(kc * nc);
+                pack_panel(b, n, pc, jc, kc, nc, packed);
+                (&*packed, nc)
+            } else {
+                (&b[pc * n..], n)
+            };
+            for i0 in (0..m).step_by(MR) {
+                let mr = MR.min(m - i0);
+                let out_block = &mut out[i0 * n + jc..];
+                if mr == MR {
+                    // The MR A-values of one k step sit contiguously in A's
+                    // row `pc+kk` at column i0 — gathered per step below.
+                    quad_cols(a, m, i0, pc, kc, panel, stride, out_block, n, nc);
+                } else {
+                    for r in 0..mr {
+                        let out_row = &mut out_block[r * n..r * n + nc];
+                        for kk in 0..kc {
+                            let av = a[(pc + kk) * m + i0 + r];
+                            if av == 0.0 {
+                                continue;
+                            }
+                            let b_row = &panel[kk * stride..kk * stride + nc];
+                            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                                *o += av * bv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `kc × nc` sub-panel of row-major `b` (full width `n`) starting
+/// at `(pc, jc)` into a contiguous `nc`-stride buffer.
+fn pack_panel(b: &[f32], n: usize, pc: usize, jc: usize, kc: usize, nc: usize, packed: &mut [f32]) {
+    for kk in 0..kc {
+        let src = &b[(pc + kk) * n + jc..(pc + kk) * n + jc + nc];
+        packed[kk * nc..kk * nc + nc].copy_from_slice(src);
+    }
+}
+
+/// The shared quad microkernel body: advances four output rows through one
+/// k-panel, re-using every loaded B row four times. `gather` supplies the
+/// four A values of k step `kk` (the only thing that differs between the
+/// `AB` and `AᵀB` variants). The common all-nonzero case runs one fused
+/// branch-free update (four independent SIMD-friendly streams); any zero A
+/// element falls back to per-row updates with the per-row skip, which is
+/// the identical per-element operation sequence — this skip logic is
+/// bit-exactness-critical and intentionally exists exactly once.
+#[inline(always)]
+fn quad_panel(
+    gather: impl Fn(usize) -> [f32; MR],
+    panel: &[f32],
+    stride: usize,
+    out_block: &mut [f32],
+    n: usize,
+    nc: usize,
+    kc: usize,
+) {
+    let (o0, rest) = out_block.split_at_mut(n);
+    let (o1, rest) = rest.split_at_mut(n);
+    let (o2, rest) = rest.split_at_mut(n);
+    let o3 = &mut rest[..nc];
+    let (o0, o1, o2) = (&mut o0[..nc], &mut o1[..nc], &mut o2[..nc]);
+    for kk in 0..kc {
+        let [x0, x1, x2, x3] = gather(kk);
+        let bv = &panel[kk * stride..kk * stride + nc];
+        if x0 != 0.0 && x1 != 0.0 && x2 != 0.0 && x3 != 0.0 {
+            for j in 0..nc {
+                o0[j] += x0 * bv[j];
+                o1[j] += x1 * bv[j];
+                o2[j] += x2 * bv[j];
+                o3[j] += x3 * bv[j];
+            }
+        } else {
+            // Mixed zeros: per-row skips, same per-element sequence.
+            for (o, x) in [(&mut *o0, x0), (&mut *o1, x1), (&mut *o2, x2), (&mut *o3, x3)] {
+                if x == 0.0 {
+                    continue;
+                }
+                for (oj, &bj) in o.iter_mut().zip(bv.iter()) {
+                    *oj += x * bj;
+                }
+            }
+        }
+    }
+}
+
+/// [`quad_panel`] for `AB`: the four A values of k step `kk` come from four
+/// row slices of A.
+#[inline]
+fn quad_rows(
+    a_rows: [&[f32]; MR],
+    panel: &[f32],
+    stride: usize,
+    out_block: &mut [f32],
+    n: usize,
+    nc: usize,
+    kc: usize,
+) {
+    quad_panel(
+        |kk| [a_rows[0][kk], a_rows[1][kk], a_rows[2][kk], a_rows[3][kk]],
+        panel,
+        stride,
+        out_block,
+        n,
+        nc,
+        kc,
+    );
+}
+
+/// [`quad_panel`] for `AᵀB`: the four A values of k step `kk` sit
+/// contiguously in A's row `pc+kk` at column `i0`.
+#[allow(clippy::too_many_arguments)] // a GEMM tile is inherently this wide
+#[inline]
+fn quad_cols(
+    a: &[f32],
+    lda: usize,
+    i0: usize,
+    pc: usize,
+    kc: usize,
+    panel: &[f32],
+    stride: usize,
+    out_block: &mut [f32],
+    n: usize,
+    nc: usize,
+) {
+    quad_panel(
+        |kk| {
+            let av = &a[(pc + kk) * lda + i0..(pc + kk) * lda + i0 + MR];
+            [av[0], av[1], av[2], av[3]]
+        },
+        panel,
+        stride,
+        out_block,
+        n,
+        nc,
+        kc,
+    );
+}
+
+/// Single-row panel update with the zero-skip: `out_row += Σ_k a_row[kk] ·
+/// panel[kk]` — the reference operation sequence, used for row tails and
+/// short-A products.
+fn axpy_row(a_row: &[f32], panel: &[f32], stride: usize, out_row: &mut [f32]) {
+    let nc = out_row.len();
+    for (kk, &av) in a_row.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        let b_row = &panel[kk * stride..kk * stride + nc];
+        for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+            *o += av * bv;
+        }
+    }
+}
+
+#[track_caller]
+fn check_dims(
+    m: usize,
+    k: usize,
+    n: usize,
+    a_len: usize,
+    b_len: usize,
+    out_len: usize,
+    b_expect: usize,
+) {
+    assert_eq!(a_len, m * k, "gemm: A length {a_len} != {m}x{k}");
+    assert_eq!(b_len, b_expect, "gemm: B length {b_len} does not match dims (k={k}, n={n})");
+    assert_eq!(out_len, m * n, "gemm: C length {out_len} != {m}x{n}");
+}
+
+// ---------------------------------------------------------------------------
+// Mat-level entry points (resize + dimension checks; layers call these with
+// their own scratch, `Mat`'s methods call them with a thread-local one).
+// ---------------------------------------------------------------------------
+
+/// `out = a · b` with caller-owned packing scratch. Resizes `out`; no
+/// allocation when `out` and `scratch` have warmed capacity.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul_into(a: &Mat, b: &Mat, out: &mut Mat, scratch: &mut GemmScratch) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dimensions differ ({}x{} * {}x{})",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    out.resize(a.rows(), b.cols());
+    gemm_ab(a.rows(), a.cols(), b.cols(), a.as_slice(), b.as_slice(), out.as_mut_slice(), scratch);
+}
+
+/// `out = a · bᵀ` with caller-owned packing scratch. Resizes `out`.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.cols()`.
+pub fn matmul_transpose_into(a: &Mat, b: &Mat, out: &mut Mat, scratch: &mut GemmScratch) {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_transpose: inner dimensions differ ({}x{} * ({}x{})^T)",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    out.resize(a.rows(), b.rows());
+    gemm_abt(a.rows(), a.cols(), b.rows(), a.as_slice(), b.as_slice(), out.as_mut_slice(), scratch);
+}
+
+/// `out = aᵀ · b` with caller-owned packing scratch. Resizes `out`.
+///
+/// # Panics
+///
+/// Panics if `a.rows() != b.rows()`.
+pub fn transpose_matmul_into(a: &Mat, b: &Mat, out: &mut Mat, scratch: &mut GemmScratch) {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "transpose_matmul: inner dimensions differ (({}x{})^T * {}x{})",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    out.resize(a.cols(), b.cols());
+    gemm_atb(a.cols(), a.rows(), b.cols(), a.as_slice(), b.as_slice(), out.as_mut_slice(), scratch);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                // Mix in exact zeros to exercise the skip path.
+                if state.is_multiple_of(7) {
+                    0.0
+                } else {
+                    ((state >> 33) as i32 as f32) / (1u32 << 30) as f32
+                }
+            })
+            .collect()
+    }
+
+    fn assert_bits_eq(got: &[f32], want: &[f32], what: &str) {
+        assert_eq!(got.len(), want.len(), "{what}: length");
+        for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "{what}: element {i}: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn tiled_matches_naive_on_awkward_shapes() {
+        // Shapes straddling every blocking boundary: MR, NR, KC edges.
+        let shapes = [
+            (1, 1, 1),
+            (1, 48, 192),
+            (3, 17, 16),
+            (4, 16, 16),
+            (5, 31, 33),
+            (15, 38, 192),
+            (7, 300, 21),
+            (17, 257, 49),
+            (64, 5, 2),
+        ];
+        for &(m, k, n) in &shapes {
+            let a = fill(m * k, (m * 31 + k * 7 + n) as u64);
+            let b = fill(k * n, (m + k * 13 + n * 3) as u64);
+            let bt = fill(n * k, (m * 5 + k + n * 11) as u64);
+            let at = fill(k * m, (m + k * 29 + n * 17) as u64);
+            let mut want = vec![0.0; m * n];
+            let mut got = vec![0.0; m * n];
+            let mut scratch = GemmScratch::default();
+
+            naive_ab(m, k, n, &a, &b, &mut want);
+            gemm_ab(m, k, n, &a, &b, &mut got, &mut scratch);
+            assert_bits_eq(&got, &want, &format!("ab {m}x{k}x{n}"));
+
+            naive_abt(m, k, n, &a, &bt, &mut want);
+            gemm_abt(m, k, n, &a, &bt, &mut got, &mut scratch);
+            assert_bits_eq(&got, &want, &format!("abt {m}x{k}x{n}"));
+
+            naive_atb(m, k, n, &at, &b, &mut want);
+            gemm_atb(m, k, n, &at, &b, &mut got, &mut scratch);
+            assert_bits_eq(&got, &want, &format!("atb {m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn zero_k_zeroes_the_output() {
+        let mut out = vec![7.0f32; 6];
+        let mut scratch = GemmScratch::default();
+        gemm_ab(2, 0, 3, &[], &[], &mut out, &mut scratch);
+        assert!(out.iter().all(|&x| x == 0.0));
+        out.fill(7.0);
+        gemm_abt(2, 0, 3, &[], &[], &mut out, &mut scratch);
+        assert!(out.iter().all(|&x| x == 0.0));
+        out.fill(7.0);
+        gemm_atb(2, 0, 3, &[], &[], &mut out, &mut scratch);
+        assert!(out.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn zero_skip_suppresses_nan_like_the_reference() {
+        // 0·inf must stay skipped in AB/AᵀB and must produce NaN in ABᵀ —
+        // exactly the historical Mat semantics.
+        let a = [0.0f32, 1.0];
+        let b = [f32::INFINITY, 2.0];
+        let mut scratch = GemmScratch::default();
+        let mut out = [0.0f32];
+        gemm_ab(1, 2, 1, &a, &b, &mut out, &mut scratch);
+        assert_eq!(out[0], 2.0);
+        gemm_abt(1, 2, 1, &a, &b, &mut out, &mut scratch);
+        assert!(out[0].is_nan());
+    }
+
+    #[test]
+    fn mat_level_wrappers_resize_and_match() {
+        let a = Mat::from_rows(&[&[1., 2.], &[3., 4.], &[5., 6.]]);
+        let b = Mat::from_rows(&[&[7., 8.], &[9., 1.]]);
+        let mut scratch = GemmScratch::default();
+        let mut out = Mat::zeros(0, 0);
+        matmul_into(&a, &b, &mut out, &mut scratch);
+        assert_eq!(out, a.matmul(&b));
+        matmul_transpose_into(&a, &b, &mut out, &mut scratch);
+        assert_eq!(out, a.matmul(&b.transpose()));
+        let c = Mat::from_rows(&[&[1., 2.], &[3., 4.], &[5., 6.]]);
+        transpose_matmul_into(&a, &c, &mut out, &mut scratch);
+        assert_eq!(out, a.transpose().matmul(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn wrapper_rejects_dimension_mismatch() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        let mut out = Mat::zeros(0, 0);
+        matmul_into(&a, &b, &mut out, &mut GemmScratch::default());
+    }
+}

@@ -1,6 +1,7 @@
 //! 1-D convolution over the time axis.
 
 use crate::init;
+use crate::kernels::{self, GemmScratch};
 use crate::layers::{LayerScratch, Mode, Padding, SeqLayer};
 use crate::mat::Mat;
 use crate::param::Param;
@@ -20,8 +21,15 @@ pub struct Conv1d {
     in_channels: usize,
     kernel: usize,
     padding: Padding,
-    cached_patches: Option<Mat>, // (T', k*Cin)
+    cached_patches: Option<Mat>, // (T', k*Cin); buffer reused across steps
     cached_input_rows: usize,
+    /// Training-side GEMM packing scratch (inference uses the caller's
+    /// [`LayerScratch`]).
+    gemm: GemmScratch,
+    /// Weight-gradient staging buffer, reused across steps.
+    dw: Mat,
+    /// Patch-gradient staging buffer (`dY · Wᵀ`), reused across steps.
+    dpatches: Mat,
 }
 
 impl Conv1d {
@@ -47,6 +55,9 @@ impl Conv1d {
             padding,
             cached_patches: None,
             cached_input_rows: 0,
+            gemm: GemmScratch::default(),
+            dw: Mat::zeros(0, 0),
+            dpatches: Mat::zeros(0, 0),
         }
     }
 
@@ -93,21 +104,9 @@ impl Conv1d {
         padded - self.kernel + 1
     }
 
-    /// Extracts the im2col patch matrix `(T', k*Cin)` from a padded view of x.
-    fn patches(&self, x: &Mat) -> Mat {
-        let mut out = Mat::zeros(self.output_len(x.rows()), self.kernel * self.in_channels);
-        Self::patches_into(
-            x,
-            self.pad_amounts(x.rows()).0,
-            self.kernel,
-            self.in_channels,
-            &mut out,
-        );
-        out
-    }
-
-    /// Fills `out` with the im2col patch matrix (shared by the training and
-    /// the allocation-free inference paths).
+    /// Fills `out` with the im2col patch matrix `(T', k*Cin)` (shared by the
+    /// training and the allocation-free inference paths). `out` must already
+    /// have the patch shape.
     fn patches_into(x: &Mat, lo: usize, k: usize, cin: usize, out: &mut Mat) {
         let t = x.rows();
         let t_out = out.rows();
@@ -152,8 +151,19 @@ impl SeqLayer for Conv1d {
             self.in_channels,
             x.cols()
         );
-        let patches = self.patches(x);
-        let mut y = patches.matmul(&self.weight.value);
+        // Reuse the cached patch buffer across training steps — im2col was
+        // the one per-step allocation the inference refactor never covered.
+        let mut patches = self.cached_patches.take().unwrap_or_default();
+        patches.resize(self.output_len(x.rows()), self.kernel * self.in_channels);
+        Self::patches_into(
+            x,
+            self.pad_amounts(x.rows()).0,
+            self.kernel,
+            self.in_channels,
+            &mut patches,
+        );
+        let mut y = Mat::zeros(0, 0);
+        kernels::matmul_into(&patches, &self.weight.value, &mut y, &mut self.gemm);
         y.add_row_inplace(self.bias.value.row(0));
         self.cached_input_rows = x.rows();
         self.cached_patches = Some(patches);
@@ -195,19 +205,25 @@ impl SeqLayer for Conv1d {
                 t_out,
             );
         }
-        patches.matmul_into(&self.weight.value, out);
+        kernels::matmul_into(patches, &self.weight.value, out, &mut scratch.gemm);
         out.add_row_inplace(self.bias.value.row(0));
     }
 
     fn backward(&mut self, grad_out: &Mat) -> Mat {
         let patches = self.cached_patches.as_ref().expect("Conv1d::backward called before forward");
         // dW = patches^T * dY; db = column sums of dY.
-        let dw = patches.transpose_matmul(grad_out);
-        self.weight.grad.add_scaled_inplace(&dw, 1.0);
+        kernels::transpose_matmul_into(patches, grad_out, &mut self.dw, &mut self.gemm);
+        self.weight.grad.add_scaled_inplace(&self.dw, 1.0);
         self.bias.grad.add_scaled_inplace(&grad_out.sum_rows(), 1.0);
 
         // dPatches = dY * W^T, then scatter back to input rows.
-        let dpatches = grad_out.matmul_transpose(&self.weight.value);
+        kernels::matmul_transpose_into(
+            grad_out,
+            &self.weight.value,
+            &mut self.dpatches,
+            &mut self.gemm,
+        );
+        let dpatches = &self.dpatches;
         let t = self.cached_input_rows;
         let (lo, _hi) = self.pad_amounts(t);
         let k = self.kernel;

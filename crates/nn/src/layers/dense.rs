@@ -1,6 +1,7 @@
 //! Fully connected layer, applied independently to every time step.
 
 use crate::init;
+use crate::kernels::{self, GemmScratch};
 use crate::layers::{LayerScratch, Mode, SeqLayer};
 use crate::mat::Mat;
 use crate::param::Param;
@@ -16,6 +17,12 @@ pub struct Dense {
     weight: Param, // (in_dim, out_dim)
     bias: Param,   // (1, out_dim)
     cached_input: Option<Mat>,
+    /// Training-side GEMM packing scratch (inference uses the caller's
+    /// [`LayerScratch`] instead; `backward` takes `&mut self`, so the layer
+    /// owning its training scratch is fine).
+    gemm: GemmScratch,
+    /// Weight-gradient staging buffer, reused across steps.
+    dw: Mat,
 }
 
 impl Dense {
@@ -25,6 +32,8 @@ impl Dense {
             weight: Param::new(init::he_uniform(rng, in_dim, in_dim, out_dim)),
             bias: Param::new(Mat::zeros(1, out_dim)),
             cached_input: None,
+            gemm: GemmScratch::default(),
+            dw: Mat::zeros(0, 0),
         }
     }
 
@@ -41,7 +50,8 @@ impl Dense {
 
 impl SeqLayer for Dense {
     fn forward(&mut self, x: &Mat, _mode: Mode) -> Mat {
-        let mut y = x.matmul(&self.weight.value);
+        let mut y = Mat::zeros(0, 0);
+        kernels::matmul_into(x, &self.weight.value, &mut y, &mut self.gemm);
         y.add_row_inplace(self.bias.value.row(0));
         self.cached_input = Some(x.clone());
         y
@@ -49,18 +59,20 @@ impl SeqLayer for Dense {
 
     // Row-wise: the default `infer_batch_into` (one stacked matmul over all
     // sequences) is both correct and the batched fast path.
-    fn infer_into(&self, x: &Mat, out: &mut Mat, _scratch: &mut LayerScratch) {
-        x.matmul_into(&self.weight.value, out);
+    fn infer_into(&self, x: &Mat, out: &mut Mat, scratch: &mut LayerScratch) {
+        kernels::matmul_into(x, &self.weight.value, out, &mut scratch.gemm);
         out.add_row_inplace(self.bias.value.row(0));
     }
 
     fn backward(&mut self, grad_out: &Mat) -> Mat {
         let x = self.cached_input.as_ref().expect("Dense::backward called before forward");
         // dW = x^T * dY ; db = sum over rows of dY ; dX = dY * W^T
-        let dw = x.transpose_matmul(grad_out);
-        self.weight.grad.add_scaled_inplace(&dw, 1.0);
+        kernels::transpose_matmul_into(x, grad_out, &mut self.dw, &mut self.gemm);
+        self.weight.grad.add_scaled_inplace(&self.dw, 1.0);
         self.bias.grad.add_scaled_inplace(&grad_out.sum_rows(), 1.0);
-        grad_out.matmul_transpose(&self.weight.value)
+        let mut dx = Mat::zeros(0, 0);
+        kernels::matmul_transpose_into(grad_out, &self.weight.value, &mut dx, &mut self.gemm);
+        dx
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

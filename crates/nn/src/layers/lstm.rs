@@ -1,6 +1,7 @@
 //! Long short-term memory layer with full backpropagation through time.
 
 use crate::init;
+use crate::kernels::{self, GemmScratch};
 use crate::layers::{LayerScratch, Mode, SeqLayer};
 use crate::mat::Mat;
 use crate::param::Param;
@@ -24,9 +25,30 @@ pub struct Lstm {
     hidden: usize,
     return_sequences: bool,
     cache: Option<Cache>,
+    /// Training-side GEMM packing scratch (inference uses the caller's
+    /// [`LayerScratch`]).
+    gemm: GemmScratch,
+    /// Per-step hidden→gate projection `h_{t-1}·U`, reused across steps.
+    hu: Vec<f32>,
+    /// Input→gate projection `x·W` of the whole sequence, reused across
+    /// steps.
+    xw: Mat,
+    /// Running hidden state, reused across steps.
+    h_state: Vec<f32>,
+    /// Running cell state, reused across steps.
+    c_state: Vec<f32>,
+    /// Pre-activation gate gradients `(T, 4H)`, reused across steps.
+    dz: Mat,
+    /// Expanded per-step output gradient `(T, H)`, reused across steps.
+    dh_seq: Mat,
+    /// Weight-gradient staging buffer, reused across steps.
+    dwbuf: Mat,
 }
 
-#[derive(Debug)]
+/// BPTT activations. The buffers live on after `backward` and are reused by
+/// the next `forward` (every element is overwritten), so steady-state
+/// training steps allocate nothing here.
+#[derive(Debug, Default)]
 struct Cache {
     x: Mat,      // (T, in_dim)
     h_prev: Mat, // (T, hidden): h_{t-1} rows (row 0 = zeros)
@@ -57,6 +79,14 @@ impl Lstm {
             hidden,
             return_sequences,
             cache: None,
+            gemm: GemmScratch::default(),
+            hu: Vec::new(),
+            xw: Mat::zeros(0, 0),
+            h_state: Vec::new(),
+            c_state: Vec::new(),
+            dz: Mat::zeros(0, 0),
+            dh_seq: Mat::zeros(0, 0),
+            dwbuf: Mat::zeros(0, 0),
         }
     }
 
@@ -88,53 +118,71 @@ impl SeqLayer for Lstm {
             x.cols()
         );
 
-        // Pre-compute the input contribution for every step at once.
-        let xw = x.matmul(&self.w.value); // (T, 4H)
+        // Pre-compute the input contribution for every step at once, into
+        // the reused projection buffer.
+        kernels::matmul_into(x, &self.w.value, &mut self.xw, &mut self.gemm); // (T, 4H)
 
-        let mut h_prev = Mat::zeros(t_len, h);
-        let mut c_prev = Mat::zeros(t_len, h);
-        let mut gi = Mat::zeros(t_len, h);
-        let mut gf = Mat::zeros(t_len, h);
-        let mut gg = Mat::zeros(t_len, h);
-        let mut go = Mat::zeros(t_len, h);
-        let mut tanh_c = Mat::zeros(t_len, h);
+        // Reuse the previous step's cache buffers: every element of every
+        // buffer is overwritten below, so resizing without zeroing is safe.
+        let mut cache = self.cache.take().unwrap_or_default();
+        cache.x.copy_from(x);
+        cache.h_prev.resize(t_len, h);
+        cache.c_prev.resize(t_len, h);
+        cache.i.resize(t_len, h);
+        cache.f.resize(t_len, h);
+        cache.g.resize(t_len, h);
+        cache.o.resize(t_len, h);
+        cache.tanh_c.resize(t_len, h);
         let mut hs = Mat::zeros(t_len, h);
 
-        let mut h_t = vec![0.0f32; h];
-        let mut c_t = vec![0.0f32; h];
+        self.h_state.resize(h, 0.0);
+        self.c_state.resize(h, 0.0);
+        self.h_state.fill(0.0);
+        self.c_state.fill(0.0);
+        self.hu.resize(4 * h, 0.0);
 
         for t in 0..t_len {
-            h_prev.row_mut(t).copy_from_slice(&h_t);
-            c_prev.row_mut(t).copy_from_slice(&c_t);
+            cache.h_prev.row_mut(t).copy_from_slice(&self.h_state);
+            cache.c_prev.row_mut(t).copy_from_slice(&self.c_state);
 
-            // z = xw[t] + h_{t-1} U + b
-            let hu = Mat::row_vector(&h_t).matmul(&self.u.value); // (1, 4H)
-            let xw_row = xw.row(t);
+            // z = xw[t] + h_{t-1} U + b. The projection goes through the
+            // same skip-zero kernel as every other matmul, so it is
+            // bit-identical to the historical `Mat::row_vector(h).matmul(U)`.
+            kernels::gemm_ab(
+                1,
+                h,
+                4 * h,
+                &self.h_state,
+                self.u.value.as_slice(),
+                &mut self.hu,
+                &mut self.gemm,
+            );
+            let hu = &self.hu;
+            let xw_row = self.xw.row(t);
             let b_row = self.b.value.row(0);
             for k in 0..h {
-                let zi = xw_row[k] + hu[(0, k)] + b_row[k];
-                let zf = xw_row[h + k] + hu[(0, h + k)] + b_row[h + k];
-                let zg = xw_row[2 * h + k] + hu[(0, 2 * h + k)] + b_row[2 * h + k];
-                let zo = xw_row[3 * h + k] + hu[(0, 3 * h + k)] + b_row[3 * h + k];
+                let zi = xw_row[k] + hu[k] + b_row[k];
+                let zf = xw_row[h + k] + hu[h + k] + b_row[h + k];
+                let zg = xw_row[2 * h + k] + hu[2 * h + k] + b_row[2 * h + k];
+                let zo = xw_row[3 * h + k] + hu[3 * h + k] + b_row[3 * h + k];
                 let i = Self::sigmoid(zi);
                 let f = Self::sigmoid(zf);
                 let g = zg.tanh();
                 let o = Self::sigmoid(zo);
-                let c_new = f * c_t[k] + i * g;
+                let c_new = f * self.c_state[k] + i * g;
                 let tc = c_new.tanh();
-                gi[(t, k)] = i;
-                gf[(t, k)] = f;
-                gg[(t, k)] = g;
-                go[(t, k)] = o;
-                tanh_c[(t, k)] = tc;
-                c_t[k] = c_new;
-                h_t[k] = o * tc;
+                cache.i[(t, k)] = i;
+                cache.f[(t, k)] = f;
+                cache.g[(t, k)] = g;
+                cache.o[(t, k)] = o;
+                cache.tanh_c[(t, k)] = tc;
+                self.c_state[k] = c_new;
+                self.h_state[k] = o * tc;
             }
-            hs.row_mut(t).copy_from_slice(&h_t);
+            hs.row_mut(t).copy_from_slice(&self.h_state);
         }
 
-        self.cache =
-            Some(Cache { x: x.clone(), h_prev, c_prev, i: gi, f: gf, g: gg, o: go, tanh_c });
+        self.cache = Some(cache);
 
         if self.return_sequences {
             hs
@@ -165,7 +213,7 @@ impl SeqLayer for Lstm {
         // other rows, so per-sequence results stay bit-identical to the
         // unbatched path. Only the cheap recurrence below runs per sequence.
         let xw = &mut scratch.m;
-        x.matmul_into(&self.w.value, xw); // (batch*T, 4H)
+        kernels::matmul_into(x, &self.w.value, xw, &mut scratch.gemm); // (batch*T, 4H)
         let hu = &mut scratch.v1;
         let h_state = &mut scratch.v2;
         let c_state = &mut scratch.v3;
@@ -184,19 +232,9 @@ impl SeqLayer for Lstm {
             h_state.fill(0.0);
             c_state.fill(0.0);
             for t in 0..t_len {
-                // hu = h_{t-1} * U, with the same skip-zero accumulation
-                // order as Mat::matmul so results match `forward`
-                // bit-for-bit.
-                hu.fill(0.0);
-                for (k, &a) in h_state.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let u_row = u.row(k);
-                    for (o, &w) in hu.iter_mut().zip(u_row.iter()) {
-                        *o += a * w;
-                    }
-                }
+                // hu = h_{t-1} * U through the same skip-zero kernel as
+                // `forward`, so results match it bit-for-bit.
+                kernels::gemm_ab(1, h, 4 * h, h_state, u.as_slice(), hu, &mut scratch.gemm);
 
                 let xw_row = xw.row(seq * t_len + t);
                 for k in 0..h {
@@ -227,23 +265,27 @@ impl SeqLayer for Lstm {
         let t_len = cache.x.rows();
         let h = self.hidden;
 
-        // Expand grad_out to a per-step (T, H) gradient.
-        let mut dh_seq = Mat::zeros(t_len, h);
+        // Expand grad_out to a per-step (T, H) gradient (reused buffer).
+        let dh_seq = &mut self.dh_seq;
+        dh_seq.resize(t_len, h);
         if self.return_sequences {
             assert_eq!(grad_out.shape(), (t_len, h), "Lstm: bad grad_out shape");
-            dh_seq = grad_out.clone();
+            dh_seq.copy_from(grad_out);
         } else {
             assert_eq!(grad_out.shape(), (1, h), "Lstm: bad grad_out shape");
+            dh_seq.fill(0.0);
             dh_seq.row_mut(t_len - 1).copy_from_slice(grad_out.row(0));
         }
 
-        let mut dz = Mat::zeros(t_len, 4 * h); // pre-activation gate grads
+        // Pre-activation gate grads (reused buffer; every element is
+        // assigned below before it is read).
+        self.dz.resize(t_len, 4 * h);
         let mut dh_next = vec![0.0f32; h];
         let mut dc_next = vec![0.0f32; h];
 
         for t in (0..t_len).rev() {
             for k in 0..h {
-                let dh = dh_seq[(t, k)] + dh_next[k];
+                let dh = self.dh_seq[(t, k)] + dh_next[k];
                 let o = cache.o[(t, k)];
                 let tc = cache.tanh_c[(t, k)];
                 let dct = dh * o * (1.0 - tc * tc) + dc_next[k];
@@ -254,27 +296,36 @@ impl SeqLayer for Lstm {
                 let di = dct * g;
                 let df = dct * cache.c_prev[(t, k)];
                 let dg = dct * i;
-                dz[(t, k)] = di * i * (1.0 - i);
-                dz[(t, h + k)] = df * f * (1.0 - f);
-                dz[(t, 2 * h + k)] = dg * (1.0 - g * g);
-                dz[(t, 3 * h + k)] = do_ * o * (1.0 - o);
+                self.dz[(t, k)] = di * i * (1.0 - i);
+                self.dz[(t, h + k)] = df * f * (1.0 - f);
+                self.dz[(t, 2 * h + k)] = dg * (1.0 - g * g);
+                self.dz[(t, 3 * h + k)] = do_ * o * (1.0 - o);
                 dc_next[k] = dct * f;
             }
-            // dh_next = dz[t] * U^T
-            let dz_row = Mat::row_vector(dz.row(t));
-            let dh_prev = dz_row.matmul_transpose(&self.u.value); // (1, H)
-            dh_next.copy_from_slice(dh_prev.row(0));
+            // dh_next = dz[t] * U^T, straight through the ABᵀ kernel into
+            // the reused state vector (dz[t] is complete at this point).
+            kernels::gemm_abt(
+                1,
+                4 * h,
+                h,
+                self.dz.row(t),
+                self.u.value.as_slice(),
+                &mut dh_next,
+                &mut self.gemm,
+            );
         }
 
         // Parameter gradients from the assembled dz.
-        let dw = cache.x.transpose_matmul(&dz);
-        self.w.grad.add_scaled_inplace(&dw, 1.0);
-        let du = cache.h_prev.transpose_matmul(&dz);
-        self.u.grad.add_scaled_inplace(&du, 1.0);
-        self.b.grad.add_scaled_inplace(&dz.sum_rows(), 1.0);
+        kernels::transpose_matmul_into(&cache.x, &self.dz, &mut self.dwbuf, &mut self.gemm);
+        self.w.grad.add_scaled_inplace(&self.dwbuf, 1.0);
+        kernels::transpose_matmul_into(&cache.h_prev, &self.dz, &mut self.dwbuf, &mut self.gemm);
+        self.u.grad.add_scaled_inplace(&self.dwbuf, 1.0);
+        self.b.grad.add_scaled_inplace(&self.dz.sum_rows(), 1.0);
 
         // Input gradient.
-        dz.matmul_transpose(&self.w.value)
+        let mut dx = Mat::zeros(0, 0);
+        kernels::matmul_transpose_into(&self.dz, &self.w.value, &mut dx, &mut self.gemm);
+        dx
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

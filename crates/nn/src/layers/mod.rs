@@ -42,8 +42,10 @@ pub enum Mode {
 ///
 /// The fields are a small generic pool each layer uses as it sees fit
 /// (LSTM: `m` = input-projection matrix, `v1..v3` = gate/state vectors;
-/// Conv1d: `m` = im2col patch matrix). All buffers grow to a high-water
-/// mark and are reused, so steady-state inference performs no allocation.
+/// Conv1d: `m` = im2col patch matrix; every matmul-bearing layer: `gemm` =
+/// panel-packing scratch for the tiled kernels). All buffers grow to a
+/// high-water mark and are reused, so steady-state inference performs no
+/// allocation.
 #[derive(Debug, Default, Clone)]
 pub struct LayerScratch {
     /// Matrix scratch (LSTM input projection, Conv1d patches).
@@ -54,6 +56,9 @@ pub struct LayerScratch {
     pub(crate) v2: Vec<f32>,
     /// Vector scratch #3 (LSTM: cell state).
     pub(crate) v3: Vec<f32>,
+    /// Packing scratch for the tiled GEMM kernels ([`crate::kernels`]) —
+    /// caller-owned so the inference forward passes allocate nothing.
+    pub(crate) gemm: crate::kernels::GemmScratch,
 }
 
 /// A differentiable layer over `(time, features)` sequences.

@@ -48,6 +48,7 @@
 
 pub mod gradcheck;
 pub mod init;
+pub mod kernels;
 pub mod layers;
 pub mod loss;
 pub mod mat;
@@ -56,6 +57,7 @@ pub mod optim;
 pub mod param;
 pub mod train;
 
+pub use kernels::GemmScratch;
 pub use layers::{LayerScratch, LayerSpec, Mode, Padding, SeqLayer};
 pub use mat::Mat;
 pub use network::{Network, NetworkScratch, NetworkSpec, SavedNetwork};

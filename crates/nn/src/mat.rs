@@ -2,11 +2,29 @@
 //!
 //! Sequence data flows through layers as a [`Mat`] of shape `(time, features)`;
 //! plain vectors are represented as `(1, features)` matrices. The type is
-//! deliberately small: the models in the paper (stacked LSTMs with at most a
-//! few hundred units, 4-layer 1D-CNNs) do not need BLAS to train at the scale
-//! this reproduction runs at.
+//! deliberately small; every matrix product is a thin wrapper over the
+//! blocked, cache-tiled kernels in [`crate::kernels`] (bit-identical to the
+//! historical naive loops — see the accumulation-order contract there).
+//! The wrappers use a thread-local [`GemmScratch`] for panel packing, so
+//! they stay allocation-free in steady state without threading scratch
+//! through every call site; hot paths that want explicit scratch ownership
+//! call `kernels::{matmul_into, matmul_transpose_into, transpose_matmul_into}`
+//! directly.
 
+use crate::kernels::{self, GemmScratch};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Packing scratch behind the `Mat` convenience wrappers; grows to a
+    /// high-water mark per thread.
+    static MAT_GEMM_SCRATCH: RefCell<GemmScratch> = RefCell::new(GemmScratch::default());
+}
+
+/// Runs `f` with the thread-local GEMM packing scratch.
+fn with_gemm_scratch<R>(f: impl FnOnce(&mut GemmScratch) -> R) -> R {
+    MAT_GEMM_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
 
 /// Dense row-major matrix of `f32`.
 ///
@@ -186,39 +204,23 @@ impl Mat {
     ///
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Mat) -> Mat {
-        let mut out = Mat::zeros(self.rows, other.cols);
+        // The kernel resizes and fully overwrites `out`; starting empty
+        // avoids a redundant zero-fill.
+        let mut out = Mat::default();
         self.matmul_into(other, &mut out);
         out
     }
 
     /// Matrix product `self * other` written into `out` (resized as needed,
     /// no allocation when `out` has capacity). Bit-identical to
-    /// [`Mat::matmul`]: the accumulation order is the same.
+    /// [`Mat::matmul`]: the accumulation order is the same (see
+    /// [`crate::kernels`] for the contract).
     ///
     /// # Panics
     ///
     /// Panics if `self.cols != other.rows`.
     pub fn matmul_into(&self, other: &Mat, out: &mut Mat) {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul: inner dimensions differ ({}x{} * {}x{})",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        out.resize(self.rows, other.cols);
-        out.fill(0.0);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        with_gemm_scratch(|s| kernels::matmul_into(self, other, out, s));
     }
 
     /// Matrix product `self * other^T`.
@@ -227,24 +229,20 @@ impl Mat {
     ///
     /// Panics if `self.cols != other.cols`.
     pub fn matmul_transpose(&self, other: &Mat) -> Mat {
-        assert_eq!(
-            self.cols, other.cols,
-            "matmul_transpose: inner dimensions differ ({}x{} * ({}x{})^T)",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Mat::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out[(i, j)] = acc;
-            }
-        }
+        let mut out = Mat::default();
+        self.matmul_transpose_into(other, &mut out);
         out
+    }
+
+    /// Matrix product `self * other^T` written into `out` (resized as
+    /// needed, no allocation when `out` has capacity). Bit-identical to
+    /// [`Mat::matmul_transpose`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_transpose_into(&self, other: &Mat, out: &mut Mat) {
+        with_gemm_scratch(|s| kernels::matmul_transpose_into(self, other, out, s));
     }
 
     /// Matrix product `self^T * other`.
@@ -253,26 +251,20 @@ impl Mat {
     ///
     /// Panics if `self.rows != other.rows`.
     pub fn transpose_matmul(&self, other: &Mat) -> Mat {
-        assert_eq!(
-            self.rows, other.rows,
-            "transpose_matmul: inner dimensions differ (({}x{})^T * {}x{})",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Mat::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = other.row(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        let mut out = Mat::default();
+        self.transpose_matmul_into(other, &mut out);
         out
+    }
+
+    /// Matrix product `self^T * other` written into `out` (resized as
+    /// needed, no allocation when `out` has capacity). Bit-identical to
+    /// [`Mat::transpose_matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows`.
+    pub fn transpose_matmul_into(&self, other: &Mat, out: &mut Mat) {
+        with_gemm_scratch(|s| kernels::transpose_matmul_into(self, other, out, s));
     }
 
     /// Returns the transpose.

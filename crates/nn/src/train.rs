@@ -4,7 +4,7 @@
 use crate::layers::Mode;
 use crate::loss::cross_entropy_weighted;
 use crate::mat::Mat;
-use crate::network::Network;
+use crate::network::{Network, NetworkScratch};
 use crate::optim::{Adam, StepDecay};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -111,6 +111,7 @@ pub fn train_classifier(
     let mut since_best = 0usize;
     let mut history = Vec::with_capacity(cfg.epochs);
     let mut adam = Adam::new();
+    let mut eval_scratch = net.make_scratch();
 
     for epoch in 0..cfg.epochs {
         let lr = cfg.schedule.lr(epoch);
@@ -134,8 +135,11 @@ pub fn train_classifier(
         }
         let train_loss = (epoch_loss / train.len() as f64) as f32;
 
-        let (val_loss, val_accuracy) =
-            if val.is_empty() { (train_loss, f32::NAN) } else { evaluate(net, val, weights) };
+        let (val_loss, val_accuracy) = if val.is_empty() {
+            (train_loss, f32::NAN)
+        } else {
+            evaluate(net, val, weights, &mut eval_scratch)
+        };
         history.push(EpochStats { epoch, train_loss, val_loss, val_accuracy, lr });
 
         if val_loss < best_val {
@@ -162,14 +166,27 @@ pub fn train_classifier(
 }
 
 /// Evaluates `net` on `data`, returning `(mean loss, accuracy)`.
-pub fn evaluate(net: &mut Network, data: &[Sample], class_weights: Option<&[f32]>) -> (f32, f32) {
+///
+/// Takes the network by shared reference plus caller-owned
+/// [`NetworkScratch`] — the same contract as the serving-side inference
+/// paths — so evaluation can run over a network shared across threads
+/// (e.g. the parallel per-gesture training workers) and allocates nothing
+/// per window once the scratch is warm. Bit-identical to the historical
+/// `forward(x, Mode::Eval)` loop.
+pub fn evaluate(
+    net: &Network,
+    data: &[Sample],
+    class_weights: Option<&[f32]>,
+    scratch: &mut NetworkScratch,
+) -> (f32, f32) {
     if data.is_empty() {
         return (f32::NAN, f32::NAN);
     }
     let mut loss = 0.0f64;
     let mut correct = 0usize;
+    let mut logits = Mat::zeros(0, 0);
     for (x, y) in data {
-        let logits = net.forward(x, Mode::Eval);
+        net.predict_scratch(x, &mut logits, scratch);
         let (l, _) = cross_entropy_weighted(&logits, *y, class_weights);
         loss += l as f64;
         if logits.argmax_row(0) == *y {
@@ -179,9 +196,11 @@ pub fn evaluate(net: &mut Network, data: &[Sample], class_weights: Option<&[f32]
     ((loss / data.len() as f64) as f32, correct as f32 / data.len() as f32)
 }
 
-/// Class-probability prediction for a single window.
-pub fn predict_proba(net: &mut Network, x: &Mat) -> Vec<f32> {
-    let logits = net.forward(x, Mode::Eval);
+/// Class-probability prediction for a single window. Shared-reference +
+/// caller-owned scratch, like [`evaluate`].
+pub fn predict_proba(net: &Network, x: &Mat, scratch: &mut NetworkScratch) -> Vec<f32> {
+    let mut logits = Mat::zeros(0, 0);
+    net.predict_scratch(x, &mut logits, scratch);
     crate::loss::softmax(logits.row(0))
 }
 
@@ -228,7 +247,7 @@ mod tests {
             ..TrainConfig::default()
         };
         let report = train_classifier(&mut net, &train, &val, &cfg);
-        let (_, acc) = evaluate(&mut net, &val, None);
+        let (_, acc) = evaluate(&net, &val, None, &mut net.make_scratch());
         assert!(acc > 0.9, "validation accuracy {acc} too low; report {report:?}");
     }
 
@@ -256,7 +275,7 @@ mod tests {
             ..TrainConfig::default()
         };
         train_classifier(&mut net, &train, &val, &cfg);
-        let (_, acc) = evaluate(&mut net, &val, None);
+        let (_, acc) = evaluate(&net, &val, None, &mut net.make_scratch());
         assert!(acc > 0.9, "validation accuracy {acc} too low");
     }
 
@@ -276,7 +295,7 @@ mod tests {
         };
         let report = train_classifier(&mut net, &train, &val, &cfg);
         // The net now holds best-epoch weights: its val loss matches the report.
-        let (val_loss, _) = evaluate(&mut net, &val, None);
+        let (val_loss, _) = evaluate(&net, &val, None, &mut net.make_scratch());
         assert!(
             (val_loss - report.best_val_loss).abs() < 1e-4,
             "restored val loss {val_loss} != best {}",
@@ -302,8 +321,8 @@ mod tests {
     fn predict_proba_sums_to_one() {
         let spec =
             NetworkSpec::new(vec![LayerSpec::Flatten, LayerSpec::Dense { in_dim: 16, out_dim: 3 }]);
-        let mut net = Network::new(spec, 1);
-        let p = predict_proba(&mut net, &Mat::zeros(8, 2));
+        let net = Network::new(spec, 1);
+        let p = predict_proba(&net, &Mat::zeros(8, 2), &mut net.make_scratch());
         assert_eq!(p.len(), 3);
         assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
     }

@@ -1,0 +1,177 @@
+//! Property suite pinning the tiled GEMM kernels (`nn::kernels`) to their
+//! naive references **bit-for-bit** over random shapes and values.
+//!
+//! This is the load-bearing guarantee of the kernel layer: every equivalence
+//! test in the workspace (`props_cross_crate`, `serve_equivalence`,
+//! train/infer agreement) uses `assert_eq!` with no epsilon, which only
+//! stays sound if tiling never reassociates a single output element's
+//! k-chain. Comparison here is on raw bit patterns (`to_bits`), strictly
+//! stronger than `==` (it distinguishes `-0.0` from `0.0` and never lets
+//! NaN slip through an equality).
+
+use nn::kernels::{gemm_ab, gemm_abt, gemm_atb, naive_ab, naive_abt, naive_atb, GemmScratch};
+use nn::Mat;
+use proptest::prelude::*;
+
+/// Deterministic matrix data with a controlled density of **exact zeros**
+/// (probability ~1/4) so the skip-zero path is exercised as hard as the
+/// dense path. Values span several binades to surface any reassociation.
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            match state % 4 {
+                0 => 0.0,
+                1 => ((state >> 40) as i32 as f32) * 1e-3,
+                2 => ((state >> 33) as i32 as f32) / (1u32 << 30) as f32,
+                _ => ((state >> 48) as i16 as f32) * 64.0,
+            }
+        })
+        .collect()
+}
+
+fn assert_bits_eq(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "{what}: element {i} differs in bits: {g} vs {w}");
+    }
+}
+
+/// Runs all three variants at `(m, k, n)` against their references.
+fn check_all(m: usize, k: usize, n: usize, seed: u64) {
+    let a = fill(m * k, seed);
+    let b = fill(k * n, seed.wrapping_add(1));
+    let bt = fill(n * k, seed.wrapping_add(2));
+    let at = fill(k * m, seed.wrapping_add(3));
+    let mut want = vec![0.0f32; m * n];
+    // Pre-poison the outputs: the kernels must fully overwrite them.
+    let mut got = vec![f32::NAN; m * n];
+    let mut scratch = GemmScratch::default();
+
+    naive_ab(m, k, n, &a, &b, &mut want);
+    gemm_ab(m, k, n, &a, &b, &mut got, &mut scratch);
+    assert_bits_eq(&got, &want, &format!("AB m={m} k={k} n={n}"));
+
+    got.fill(f32::NAN);
+    naive_abt(m, k, n, &a, &bt, &mut want);
+    gemm_abt(m, k, n, &a, &bt, &mut got, &mut scratch);
+    assert_bits_eq(&got, &want, &format!("ABt m={m} k={k} n={n}"));
+
+    got.fill(f32::NAN);
+    naive_atb(m, k, n, &at, &b, &mut want);
+    gemm_atb(m, k, n, &at, &b, &mut got, &mut scratch);
+    assert_bits_eq(&got, &want, &format!("AtB m={m} k={k} n={n}"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random shapes across every blocking boundary (MR=4, KC=256),
+    /// including degenerate zero-sized dimensions.
+    #[test]
+    fn tiled_kernels_are_bit_exact(
+        m in 0usize..48,
+        k in 0usize..300,
+        n in 0usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        check_all(m, k, n, seed);
+    }
+
+    /// Row-vector products (`1×N`): the LSTM recurrence shape, which takes
+    /// the unpacked small-m path.
+    #[test]
+    fn row_vector_products_are_bit_exact(k in 0usize..200, n in 0usize..64, seed in 0u64..100_000) {
+        check_all(1, k, n, seed);
+    }
+
+    /// Column-shaped products (`N×1` outputs and `k = 0/1` edges).
+    #[test]
+    fn degenerate_edges_are_bit_exact(m in 0usize..40, k in 0usize..2, seed in 0u64..100_000) {
+        check_all(m, k, 1, seed);
+        check_all(m, k, 0, seed.wrapping_add(7));
+    }
+
+    /// The `Mat` wrappers (thread-local scratch) agree with explicit
+    /// transposition computed through the reference path.
+    #[test]
+    fn mat_wrappers_agree_with_explicit_transpose(
+        m in 1usize..12,
+        k in 1usize..24,
+        n in 1usize..12,
+        seed in 0u64..100_000,
+    ) {
+        let a = Mat::from_vec(m, k, fill(m * k, seed));
+        let b = Mat::from_vec(k, n, fill(k * n, seed.wrapping_add(1)));
+        let bt = Mat::from_vec(n, k, fill(n * k, seed.wrapping_add(2)));
+        let at = Mat::from_vec(k, m, fill(k * m, seed.wrapping_add(3)));
+
+        // matmul against the raw reference kernel.
+        let mut want = vec![0.0f32; m * n];
+        naive_ab(m, k, n, a.as_slice(), b.as_slice(), &mut want);
+        assert_bits_eq(a.matmul(&b).as_slice(), &want, "Mat::matmul");
+
+        let mut out = Mat::zeros(0, 0);
+        a.matmul_into(&b, &mut out);
+        assert_bits_eq(out.as_slice(), &want, "Mat::matmul_into");
+
+        naive_abt(m, k, n, a.as_slice(), bt.as_slice(), &mut want);
+        a.matmul_transpose_into(&bt, &mut out);
+        assert_bits_eq(out.as_slice(), &want, "Mat::matmul_transpose_into");
+        assert_bits_eq(a.matmul_transpose(&bt).as_slice(), &want, "Mat::matmul_transpose");
+
+        naive_atb(m, k, n, at.as_slice(), b.as_slice(), &mut want);
+        at.transpose_matmul_into(&b, &mut out);
+        assert_bits_eq(out.as_slice(), &want, "Mat::transpose_matmul_into");
+        assert_bits_eq(at.transpose_matmul(&b).as_slice(), &want, "Mat::transpose_matmul");
+    }
+}
+
+/// Non-random pins for the exact boundary shapes the blocking constants
+/// create, so a future constant change cannot silently shrink coverage.
+#[test]
+fn blocking_boundary_shapes_are_bit_exact() {
+    for &(m, k, n) in &[
+        (4, 16, 16),   // exactly one MR x NR tile, one k step short of nothing
+        (5, 16, 17),   // one past both register-tile edges
+        (3, 64, 64),   // below MR: unpacked path
+        (4, 256, 16),  // exactly one KC panel
+        (4, 257, 16),  // KC panel + 1-deep tail panel
+        (8, 512, 32),  // two full KC panels
+        (1, 300, 1),   // serial chain crossing a panel boundary
+        (48, 1, 48),   // k=1: single term per element
+        (6, 40, 600),  // n > NC: the packed-panel column-blocked path
+        (9, 300, 530), // packed panels AND a KC tail panel together
+    ] {
+        check_all(m, k, n, (m * 1_000_003 + k * 1_009 + n) as u64);
+    }
+}
+
+/// `0·inf` handling must match the references: skipped (suppressed) in AB
+/// and AᵀB, propagated to NaN in ABᵀ.
+#[test]
+fn nonfinite_semantics_match_reference() {
+    let a = vec![0.0f32, 2.0];
+    let b = vec![f32::INFINITY, 3.0]; // (2,1) for AB / AtB, (1,2) row for ABt
+    let mut scratch = GemmScratch::default();
+    let mut got = [f32::NAN];
+    let mut want = [f32::NAN];
+
+    naive_ab(1, 2, 1, &a, &b, &mut want);
+    gemm_ab(1, 2, 1, &a, &b, &mut got, &mut scratch);
+    assert_eq!((got[0].to_bits(), want[0].to_bits()), (6.0f32.to_bits(), 6.0f32.to_bits()));
+
+    naive_abt(1, 2, 1, &a, &b, &mut want);
+    gemm_abt(1, 2, 1, &a, &b, &mut got, &mut scratch);
+    assert!(got[0].is_nan() && want[0].is_nan());
+
+    let mut got2 = [f32::NAN, f32::NAN];
+    let mut want2 = [f32::NAN, f32::NAN];
+    naive_atb(2, 1, 1, &a, &b[..1], &mut want2);
+    gemm_atb(2, 1, 1, &a, &b[..1], &mut got2, &mut scratch);
+    assert_eq!(got2[0].to_bits(), want2[0].to_bits());
+    assert_eq!(got2[1].to_bits(), want2[1].to_bits());
+}
