@@ -61,7 +61,7 @@ fn run_sharded(
     sessions: usize,
     workers: usize,
     w: &Workload,
-) -> (f64, usize) {
+) -> (f64, usize, context_monitor::LatencyStats) {
     let cfg = ServeConfig { workers, threshold: 0.5 };
     let mut pool =
         ShardedMonitorPool::with_sessions(pipeline, ContextMode::Predicted, cfg, sessions);
@@ -73,7 +73,7 @@ fn run_sharded(
     }
     let decisions = pool.flush().iter().filter(|d| d.output.is_some()).count();
     let elapsed = start.elapsed().as_secs_f64();
-    (decisions as f64 / elapsed, decisions)
+    (decisions as f64 / elapsed, decisions, pool.stats())
 }
 
 fn main() {
@@ -118,17 +118,19 @@ fn main() {
         );
         let shared = Arc::new(pipeline);
         for &workers in worker_counts {
-            let (rate, n) = run_sharded(Arc::clone(&shared), sessions, workers, &workload);
+            let (rate, n, stats) = run_sharded(Arc::clone(&shared), sessions, workers, &workload);
             assert_eq!(
                 n, baseline_n,
                 "sharded pool must emit exactly the baseline's decision count"
             );
+            assert_eq!(stats.count, n, "telemetry must cover every warm decision");
             println!(
                 "{:<38} {:>14.0} {:>9.2}x",
                 format!("sharded, {sessions} sessions x {workers} workers"),
                 rate,
                 rate / baseline_rate
             );
+            println!("{:<38} {stats}", "");
         }
         pipeline = Arc::try_unwrap(shared).ok().expect("workers joined");
     }

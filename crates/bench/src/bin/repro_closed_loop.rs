@@ -1,0 +1,128 @@
+//! Closed-loop safety reactor — the paper's headline claim, acted on.
+//!
+//! The paper reports that the context-aware monitor detects unsafe events
+//! with enough time margin to stop the robot (mean reaction time 1.69 s
+//! ahead of the unsafe event on Block Transfer, Table VIII). This binary
+//! closes the loop the paper argues for: every Table III injection is run
+//! **twice** with identical seeds — unmonitored, and with a
+//! `reactor::SafetyReactor` gating the command stream — and the twin runs
+//! yield prevention rate, false-stop rate, and the reaction-time-margin
+//! distribution per mitigation policy.
+//!
+//! `--smoke` runs a small fixed-seed grid twice and asserts (a) the report
+//! is bit-identical across invocations and (b) the prevention rate is
+//! strictly above the unmonitored baseline (which prevents nothing by
+//! construction). CI runs this on every PR.
+
+use bench::{block_transfer_dataset, block_transfer_monitor_cfg, compare, header, Scale};
+use context_monitor::TrainedPipeline;
+use faults::{run_closed_loop_campaign, CampaignConfig, ClosedLoopConfig};
+use raven_sim::SimConfig;
+use reactor::{MitigationPolicy, ReactorConfig};
+use std::sync::Arc;
+
+fn train_pipeline(scale: Scale) -> Arc<TrainedPipeline> {
+    let ds = block_transfer_dataset(scale);
+    let cfg = block_transfer_monitor_cfg(scale);
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    Arc::new(TrainedPipeline::train(&ds, &idx, &cfg))
+}
+
+fn campaign(sim: SimConfig, scale: f32, policy: MitigationPolicy) -> ClosedLoopConfig {
+    ClosedLoopConfig {
+        campaign: CampaignConfig { sim, seed: bench::SEED, scale, threads: 8 },
+        reactor: ReactorConfig { policy, ..ReactorConfig::default() },
+    }
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+
+    let scale = Scale::from_env();
+    let (sim, grid_scale, pause) = match scale {
+        // The campaign simulates at the rate the pipeline was trained on.
+        Scale::Fast => (SimConfig { hz: 50.0, duration_s: 5.0, seed: 0, tremor: 0.3 }, 0.25, 25),
+        Scale::Full => (SimConfig::default(), 1.0, 50),
+    };
+
+    header("training the Block Transfer monitor");
+    let pipeline = train_pipeline(scale);
+    println!(
+        "trained on {} demos ({} dedicated gesture classifiers)",
+        block_transfer_dataset(scale).len(),
+        pipeline.dedicated_gestures().len()
+    );
+
+    let mut stop_and_hold = None;
+    for policy in [
+        MitigationPolicy::LogOnly,
+        MitigationPolicy::StopAndHold,
+        MitigationPolicy::PauseTicks(pause),
+    ] {
+        header(&format!("closed-loop campaign — policy {policy}"));
+        let report = run_closed_loop_campaign(&campaign(sim, grid_scale, policy), &pipeline);
+        print!("{}", report.render());
+        if policy == MitigationPolicy::StopAndHold {
+            stop_and_hold = Some(report);
+        }
+    }
+
+    // The default threshold (0.5, debounce 2) is the safety-first operating
+    // point: maximal prevention at the cost of stopping on benign faults.
+    // Raising the bar trades prevention for precision — the policy
+    // auto-tuning follow-on in ROADMAP.md closes this knob automatically.
+    header("high-precision operating point (threshold 0.8, debounce 3)");
+    let mut precise = campaign(sim, grid_scale, MitigationPolicy::StopAndHold);
+    precise.reactor.threshold = 0.8;
+    precise.reactor.debounce = 3;
+    let precise_report = run_closed_loop_campaign(&precise, &pipeline);
+    print!("{}", precise_report.summary().render());
+
+    header("paper vs measured (reaction-time margin, Table VIII)");
+    let s = stop_and_hold.expect("StopAndHold campaign ran").summary();
+    compare(
+        "BlockTransfer mean reaction ahead of event",
+        "1693 ms",
+        &format!("{:+.0} ms (first alert -> counterfactual drop)", eval::mean(&s.margins_ms)),
+    );
+    compare(
+        "early detection",
+        "97.9% of events",
+        &format!("{:.1}% of margins positive", 100.0 * s.early_fraction()),
+    );
+    compare(
+        "prevention rate (not measurable open-loop)",
+        "-",
+        &format!("{:.1}% of baseline block drops", 100.0 * s.prevention_rate()),
+    );
+}
+
+/// Small fixed-seed closed-loop campaign, run twice: the CI gate for the
+/// determinism and prevention acceptance criteria.
+fn smoke() {
+    header("closed-loop smoke (small grid, fixed seeds)");
+    let sim = SimConfig { hz: 50.0, duration_s: 5.0, seed: 0, tremor: 0.3 };
+    let pipeline = train_pipeline(Scale::Fast);
+    let cfg = campaign(sim, 0.05, MitigationPolicy::StopAndHold);
+
+    let report = run_closed_loop_campaign(&cfg, &pipeline);
+    let again = run_closed_loop_campaign(&cfg, &pipeline);
+    assert_eq!(report, again, "closed-loop campaign must be deterministic across invocations");
+
+    let s = report.summary();
+    print!("{}", report.render());
+    assert!(s.baseline_unsafe > 0, "smoke grid produced no baseline unsafe events");
+    assert!(
+        s.prevented > 0,
+        "prevention rate must be strictly above the unmonitored baseline (0%)"
+    );
+    println!(
+        "smoke OK: deterministic, prevented {}/{} ({}% > unmonitored 0%)",
+        s.prevented,
+        s.baseline_unsafe,
+        (100.0 * s.prevention_rate()).round()
+    );
+}

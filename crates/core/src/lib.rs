@@ -59,7 +59,7 @@ pub use pipeline::{
     TrainedPipeline,
 };
 pub use report::{
-    error_events, evaluate_pipeline, evaluate_run, per_gesture_report, DemoEval, GestureRow,
-    PipelineEval, REACTION_LOOKBACK_S,
+    error_events, evaluate_pipeline, evaluate_run, per_gesture_report, percentile,
+    ClosedLoopSummary, DemoEval, GestureRow, LatencyStats, PipelineEval, REACTION_LOOKBACK_S,
 };
 pub use serve::{parallel_map, Decision, ServeConfig, ShardedMonitorPool};

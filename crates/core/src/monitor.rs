@@ -145,13 +145,16 @@ pub struct MonitorPool {
     mode: ContextMode,
     threshold: f32,
     sessions: Vec<InferenceEngine>,
+    /// Per-session alert counters (same contract as
+    /// [`SafetyMonitor::alerts`]).
+    alerts: Vec<usize>,
 }
 
 impl MonitorPool {
     /// Creates an empty pool; add sessions with
     /// [`MonitorPool::add_session`].
     pub fn new(pipeline: TrainedPipeline, mode: ContextMode) -> Self {
-        Self { pipeline, mode, threshold: 0.5, sessions: Vec::new() }
+        Self { pipeline, mode, threshold: 0.5, sessions: Vec::new(), alerts: Vec::new() }
     }
 
     /// Creates a pool with `n` sessions.
@@ -166,6 +169,7 @@ impl MonitorPool {
     /// Opens a new session and returns its id.
     pub fn add_session(&mut self) -> SessionId {
         self.sessions.push(InferenceEngine::new(&self.pipeline, self.mode));
+        self.alerts.push(0);
         self.sessions.len() - 1
     }
 
@@ -204,7 +208,7 @@ impl MonitorPool {
         let start = Instant::now();
         let step = self.sessions[session].step(&self.pipeline, frame)?;
         let compute_ms = start.elapsed().as_secs_f32() * 1000.0;
-        Ok(output_from_step(&step, self.threshold, compute_ms))
+        Ok(self.finish(session, step, compute_ms))
     }
 
     /// Feeds one frame of `session` with externally supplied context.
@@ -221,16 +225,43 @@ impl MonitorPool {
         let start = Instant::now();
         let step = self.sessions[session].step_with_context(&self.pipeline, frame, gesture);
         let compute_ms = start.elapsed().as_secs_f32() * 1000.0;
-        output_from_step(&step, self.threshold, compute_ms)
+        self.finish(session, step, compute_ms)
     }
 
-    /// Clears one session's state (call between procedures).
+    fn finish(
+        &mut self,
+        session: SessionId,
+        step: EngineStep,
+        compute_ms: f32,
+    ) -> Option<MonitorOutput> {
+        let out = output_from_step(&step, self.threshold, compute_ms);
+        if let Some(o) = &out {
+            self.alerts[session] += o.alert as usize;
+        }
+        out
+    }
+
+    /// Alerts raised by `session` since it was opened or last reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown session id.
+    pub fn alerts(&self, session: SessionId) -> usize {
+        self.alerts[session]
+    }
+
+    /// Clears one session's state (call between procedures): the engine's
+    /// sliding windows, the gesture majority filter, **and** the session's
+    /// alert counter — a reset session is indistinguishable from a fresh
+    /// one (an earlier revision reset only the engine, so alert counts
+    /// leaked across procedures).
     ///
     /// # Panics
     ///
     /// Panics on an unknown session id.
     pub fn reset_session(&mut self, session: SessionId) {
         self.sessions[session].reset();
+        self.alerts[session] = 0;
     }
 
     /// The shared pipeline.
@@ -371,6 +402,75 @@ mod tests {
                 assert_eq!(x.alert, y.alert, "session {s}");
             }
         }
+    }
+
+    /// The deterministic fields of an output stream (compute_ms is
+    /// wall-clock and legitimately differs between runs).
+    fn run_fresh_monitor(
+        pipeline: TrainedPipeline,
+        frames: &[KinematicSample],
+    ) -> (TrainedPipeline, Vec<(usize, u32, bool)>, usize) {
+        let mut monitor = SafetyMonitor::new(pipeline, ContextMode::Predicted);
+        let outs: Vec<(usize, u32, bool)> = frames
+            .iter()
+            .filter_map(|f| monitor.push(f).unwrap())
+            .map(|o| (o.gesture.index(), o.unsafe_probability.to_bits(), o.alert))
+            .collect();
+        let alerts = monitor.alerts();
+        (monitor.into_pipeline(), outs, alerts)
+    }
+
+    #[test]
+    fn monitor_reset_is_bit_equal_to_a_fresh_session() {
+        let (pipeline, ds) = trained();
+        let frames = &ds.demos[0].frames;
+        let (pipeline, fresh, fresh_alerts) = run_fresh_monitor(pipeline, frames);
+
+        // Same monitor, dirtied by a partial run of a *different* demo
+        // (windows, majority filter, and alert counter all populated),
+        // then reset.
+        let mut monitor = SafetyMonitor::new(pipeline, ContextMode::Predicted);
+        monitor.set_threshold(0.5);
+        for frame in ds.demos[1].frames.iter().take(40) {
+            let _ = monitor.push(frame);
+        }
+        monitor.reset();
+        assert_eq!(monitor.alerts(), 0, "reset must clear the alert counter");
+        assert_eq!(monitor.frames_seen(), 0);
+
+        let replay: Vec<(usize, u32, bool)> = frames
+            .iter()
+            .filter_map(|f| monitor.push(f).unwrap())
+            .map(|o| (o.gesture.index(), o.unsafe_probability.to_bits(), o.alert))
+            .collect();
+        assert_eq!(replay, fresh, "post-reset output must be bit-equal to a fresh session");
+        assert_eq!(monitor.alerts(), fresh_alerts);
+    }
+
+    #[test]
+    fn pool_reset_session_is_bit_equal_to_a_fresh_session() {
+        let (pipeline, ds) = trained();
+        let frames = &ds.demos[0].frames;
+        let (pipeline, fresh, fresh_alerts) = run_fresh_monitor(pipeline, frames);
+
+        let mut pool = MonitorPool::with_sessions(pipeline, ContextMode::Predicted, 2);
+        // Dirty both sessions, then reset only session 0.
+        for frame in ds.demos[1].frames.iter().take(40) {
+            let _ = pool.push(0, frame);
+            let _ = pool.push(1, frame);
+        }
+        let session1_alerts = pool.alerts(1);
+        pool.reset_session(0);
+        assert_eq!(pool.alerts(0), 0, "reset_session must clear the alert counter");
+        assert_eq!(pool.alerts(1), session1_alerts, "other sessions keep their counters");
+
+        let replay: Vec<(usize, u32, bool)> = frames
+            .iter()
+            .filter_map(|f| pool.push(0, f).unwrap())
+            .map(|o| (o.gesture.index(), o.unsafe_probability.to_bits(), o.alert))
+            .collect();
+        assert_eq!(replay, fresh, "post-reset session must be bit-equal to a fresh one");
+        assert_eq!(pool.alerts(0), fresh_alerts);
     }
 
     #[test]

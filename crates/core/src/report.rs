@@ -267,6 +267,150 @@ pub fn overall_early_rate(reactions: &[eval::ReactionMeasurement]) -> f32 {
     early_detection_rate(reactions)
 }
 
+/// Nearest-rank percentile — re-exported from the workspace's one
+/// statistics home ([`eval::percentile`], next to `mean`/`median`) for the
+/// report renderers below.
+pub use eval::percentile;
+
+/// Per-decision latency distribution of a serving pool — the Table VIII
+/// "average computation time" claim, upgraded from a mean to the tail
+/// percentiles a production deployment is actually provisioned against.
+/// Produced by `serve::ShardedMonitorPool::stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Decisions measured (warm frames only; warm-up frames carry no
+    /// compute time).
+    pub count: usize,
+    /// Mean per-decision compute time (ms).
+    pub mean_ms: f32,
+    /// Median (ms). Histogram-quantized: reported as the containing
+    /// bucket's upper edge, ≤ ~6% above the true quantile.
+    pub p50_ms: f32,
+    /// 99th percentile (ms). Histogram-quantized: reported as the
+    /// containing bucket's upper edge, ≤ ~6% above the true quantile.
+    pub p99_ms: f32,
+    /// Exact maximum (ms).
+    pub max_ms: f32,
+}
+
+impl LatencyStats {
+    /// An empty measurement (no decisions yet).
+    pub fn empty() -> Self {
+        Self { count: 0, mean_ms: f32::NAN, p50_ms: f32::NAN, p99_ms: f32::NAN, max_ms: f32::NAN }
+    }
+}
+
+impl std::fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.count == 0 {
+            return f.write_str("latency: no decisions measured");
+        }
+        write!(
+            f,
+            "latency over {} decisions: mean {:.3} ms  p50 {:.3} ms  p99 {:.3} ms  max {:.3} ms",
+            self.count, self.mean_ms, self.p50_ms, self.p99_ms, self.max_ms
+        )
+    }
+}
+
+/// Headline numbers of a closed-loop (twin-run) fault-injection campaign:
+/// how often the reactor prevented the unsafe event the unmonitored twin
+/// suffered, how often it stopped a trial that would have succeeded, and
+/// how much reaction-time margin the alerts left. Filled in by
+/// `faults::ClosedLoopReport::summary` and rendered by the
+/// `repro_closed_loop` bench binary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClosedLoopSummary {
+    /// Twin-run injections.
+    pub injections: usize,
+    /// Unmonitored twins that suffered the preventable unsafe event (a
+    /// block drop).
+    pub baseline_unsafe: usize,
+    /// Of those, trials whose monitored twin did **not** drop the block.
+    pub prevented: usize,
+    /// Unmonitored twins that completed the task successfully.
+    pub baseline_successes: usize,
+    /// Of those, trials where the reactor engaged mitigation anyway.
+    pub false_stops: usize,
+    /// Monitored twins that raised at least one alert.
+    pub alerted: usize,
+    /// Reaction-time margins (ms): first alert to the counterfactual unsafe
+    /// event of the unmonitored twin; positive = the alert came early.
+    pub margins_ms: Vec<f32>,
+}
+
+impl ClosedLoopSummary {
+    /// Prevented unsafe events over baseline unsafe events. The unmonitored
+    /// baseline prevents nothing by construction, so any positive value
+    /// beats it. `NaN` when the baseline had no unsafe events.
+    pub fn prevention_rate(&self) -> f32 {
+        if self.baseline_unsafe == 0 {
+            return f32::NAN;
+        }
+        self.prevented as f32 / self.baseline_unsafe as f32
+    }
+
+    /// Mitigations engaged on would-have-succeeded trials, over baseline
+    /// successes. `NaN` when the baseline never succeeded.
+    pub fn false_stop_rate(&self) -> f32 {
+        if self.baseline_successes == 0 {
+            return f32::NAN;
+        }
+        self.false_stops as f32 / self.baseline_successes as f32
+    }
+
+    /// Fraction of measured margins that are positive (alert strictly
+    /// before the counterfactual unsafe event).
+    pub fn early_fraction(&self) -> f32 {
+        if self.margins_ms.is_empty() {
+            return f32::NAN;
+        }
+        self.margins_ms.iter().filter(|&&m| m > 0.0).count() as f32 / self.margins_ms.len() as f32
+    }
+
+    /// Renders the summary block of the reaction-time table. Undefined
+    /// rates (no baseline unsafe events / no baseline successes) render as
+    /// `n/a` instead of `NaN%`.
+    pub fn render(&self) -> String {
+        let pct = |rate: f32| {
+            if rate.is_nan() {
+                "n/a".to_string()
+            } else {
+                format!("{:.1}%", 100.0 * rate)
+            }
+        };
+        let margins = &self.margins_ms;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "closed loop over {} twin-run injections\n\
+             prevention:  {}/{} baseline block-drops prevented ({}; unmonitored baseline: 0%)\n\
+             false stops: {}/{} baseline successes interrupted ({})\n",
+            self.injections,
+            self.prevented,
+            self.baseline_unsafe,
+            pct(self.prevention_rate()),
+            self.false_stops,
+            self.baseline_successes,
+            pct(self.false_stop_rate()),
+        ));
+        if margins.is_empty() {
+            out.push_str("reaction margin: no alerted baseline-unsafe trials\n");
+        } else {
+            out.push_str(&format!(
+                "reaction margin ({} events): mean {:+.0} ms  p50 {:+.0} ms  min {:+.0} ms  \
+                 max {:+.0} ms  early {:.1}%\n",
+                margins.len(),
+                eval::mean(margins),
+                percentile(margins, 0.5),
+                margins.iter().copied().fold(f32::INFINITY, f32::min),
+                margins.iter().copied().fold(f32::NEG_INFINITY, f32::max),
+                100.0 * self.early_fraction(),
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +467,47 @@ mod tests {
             assert!(r.segments > 0);
             assert!((0.0..=1.0).contains(&r.detection_accuracy) || r.detection_accuracy.is_nan());
         }
+    }
+
+    #[test]
+    fn latency_stats_render_without_panicking() {
+        assert!(LatencyStats::empty().to_string().contains("no decisions"));
+        let s = LatencyStats { count: 10, mean_ms: 1.0, p50_ms: 0.9, p99_ms: 2.0, max_ms: 2.5 };
+        let text = s.to_string();
+        assert!(text.contains("p99") && text.contains("10 decisions"));
+    }
+
+    #[test]
+    fn closed_loop_summary_rates_and_rendering() {
+        let s = ClosedLoopSummary {
+            injections: 20,
+            baseline_unsafe: 10,
+            prevented: 7,
+            baseline_successes: 6,
+            false_stops: 1,
+            alerted: 12,
+            margins_ms: vec![300.0, -40.0, 120.0, 500.0],
+        };
+        assert!((s.prevention_rate() - 0.7).abs() < 1e-6);
+        assert!((s.false_stop_rate() - 1.0 / 6.0).abs() < 1e-6);
+        assert!((s.early_fraction() - 0.75).abs() < 1e-6);
+        let text = s.render();
+        assert!(text.contains("7/10") && text.contains("1/6"));
+
+        let empty = ClosedLoopSummary {
+            injections: 0,
+            baseline_unsafe: 0,
+            prevented: 0,
+            baseline_successes: 0,
+            false_stops: 0,
+            alerted: 0,
+            margins_ms: Vec::new(),
+        };
+        assert!(empty.prevention_rate().is_nan());
+        assert!(empty.false_stop_rate().is_nan());
+        let text = empty.render();
+        assert!(text.contains("no alerted"));
+        assert!(text.contains("(n/a;") && !text.contains("NaN"), "undefined rates render as n/a");
     }
 
     #[test]

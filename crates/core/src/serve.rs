@@ -29,6 +29,7 @@
 use crate::engine::{step_batch, BatchJob, BatchScratch, EngineError, EngineStep, InferenceEngine};
 use crate::monitor::{output_from_step, MonitorOutput, SessionId};
 use crate::pipeline::{ContextMode, TrainedPipeline};
+use crate::report::LatencyStats;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use gestures::Gesture;
 use kinematics::KinematicSample;
@@ -68,6 +69,95 @@ enum Job {
     Frame { slot: usize, frame: KinematicSample, context: Option<Gesture> },
     AddSession,
     Barrier { token: u64 },
+}
+
+/// Log-scale bucket count of the latency histogram: 6 decades
+/// (10⁻⁴ … 10² ms) at 40 buckets per decade, ≈ 5.9% relative resolution.
+const LATENCY_BUCKETS: usize = 240;
+const LATENCY_LOG_LO: f32 = -4.0;
+const LATENCY_DECADES: f32 = 6.0;
+
+/// Per-decision latency accumulator over `compute_ms`. One fixed-size
+/// buffer allocated at pool construction and reused forever, so recording
+/// inside [`ShardedMonitorPool::poll`] / [`ShardedMonitorPool::flush`]
+/// stays allocation-free; quantiles are answered from the histogram
+/// (≤ ~6% relative error), the maximum is tracked exactly.
+#[derive(Debug, Clone)]
+struct LatencyTelemetry {
+    buckets: Vec<u64>,
+    count: usize,
+    sum_ms: f64,
+    max_ms: f32,
+}
+
+impl LatencyTelemetry {
+    fn new() -> Self {
+        Self { buckets: vec![0; LATENCY_BUCKETS], count: 0, sum_ms: 0.0, max_ms: 0.0 }
+    }
+
+    fn record(&mut self, ms: f32) {
+        if !ms.is_finite() || ms < 0.0 {
+            return;
+        }
+        let idx = if ms <= 0.0 {
+            0
+        } else {
+            let pos = (ms.log10() - LATENCY_LOG_LO) / LATENCY_DECADES * LATENCY_BUCKETS as f32;
+            (pos.floor().max(0.0) as usize).min(LATENCY_BUCKETS - 1)
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ms += ms as f64;
+        self.max_ms = self.max_ms.max(ms);
+    }
+
+    /// Upper edge of bucket `i` in ms.
+    fn bucket_edge(i: usize) -> f32 {
+        10f32.powf(LATENCY_LOG_LO + LATENCY_DECADES * (i + 1) as f32 / LATENCY_BUCKETS as f32)
+    }
+
+    /// Nearest-rank quantile from the histogram, capped at the exact max.
+    /// The final bucket is the overflow bucket (everything ≥ 100 ms lands
+    /// there with no resolution), so a quantile falling in it reports the
+    /// exact maximum — an honest upper bound — rather than silently
+    /// under-reporting at the 100 ms edge.
+    fn quantile(&self, q: f32) -> f32 {
+        if self.count == 0 {
+            return f32::NAN;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f32).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                if i == LATENCY_BUCKETS - 1 {
+                    break; // overflow bucket: no resolution, report the max
+                }
+                return Self::bucket_edge(i).min(self.max_ms);
+            }
+        }
+        self.max_ms
+    }
+
+    fn stats(&self) -> LatencyStats {
+        if self.count == 0 {
+            return LatencyStats::empty();
+        }
+        LatencyStats {
+            count: self.count,
+            mean_ms: (self.sum_ms / self.count as f64) as f32,
+            p50_ms: self.quantile(0.5),
+            p99_ms: self.quantile(0.99),
+            max_ms: self.max_ms,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.buckets.fill(0);
+        self.count = 0;
+        self.sum_ms = 0.0;
+        self.max_ms = 0.0;
+    }
 }
 
 enum Event {
@@ -112,6 +202,7 @@ pub struct ShardedMonitorPool {
     /// Per-session frame counters (frames submitted so far).
     submitted: Vec<usize>,
     barrier_token: u64,
+    telemetry: LatencyTelemetry,
 }
 
 impl ShardedMonitorPool {
@@ -146,6 +237,7 @@ impl ShardedMonitorPool {
             sessions: 0,
             submitted: Vec::new(),
             barrier_token: 0,
+            telemetry: LatencyTelemetry::new(),
         }
     }
 
@@ -252,7 +344,10 @@ impl ShardedMonitorPool {
         let mut out = Vec::new();
         loop {
             match self.egress.try_recv() {
-                Ok(Event::Decision(d)) => out.push(d),
+                Ok(Event::Decision(d)) => {
+                    self.record(&d);
+                    out.push(d);
+                }
                 Ok(Event::BarrierAck { .. }) => {
                     unreachable!("barrier acks are consumed by flush")
                 }
@@ -260,6 +355,26 @@ impl ShardedMonitorPool {
             }
         }
         out
+    }
+
+    /// Per-decision latency distribution (p50/p99/max over `compute_ms`)
+    /// of every decision drained so far via [`ShardedMonitorPool::poll`] /
+    /// [`ShardedMonitorPool::flush`]. Warm-up frames (no output) are not
+    /// measured. Render with the [`LatencyStats`] `Display` impl.
+    pub fn stats(&self) -> LatencyStats {
+        self.telemetry.stats()
+    }
+
+    /// Clears the latency telemetry (e.g. between load phases). The fixed
+    /// histogram buffer is kept, so this never allocates.
+    pub fn reset_stats(&mut self) {
+        self.telemetry.reset();
+    }
+
+    fn record(&mut self, d: &Decision) {
+        if let Some(o) = &d.output {
+            self.telemetry.record(o.compute_ms);
+        }
     }
 
     /// Waits until every frame submitted so far has been processed and
@@ -275,7 +390,10 @@ impl ShardedMonitorPool {
         let mut acked = 0usize;
         while acked < self.ingress.len() {
             match self.egress.recv() {
-                Ok(Event::Decision(d)) => out.push(d),
+                Ok(Event::Decision(d)) => {
+                    self.record(&d);
+                    out.push(d);
+                }
                 Ok(Event::BarrierAck { token: t }) if t == token => acked += 1,
                 Ok(Event::BarrierAck { .. }) => {}
                 Err(_) => panic!("shard worker exited while frames were in flight"),
@@ -531,5 +649,55 @@ mod tests {
     fn parallel_map_on_empty_input() {
         let got: Vec<u32> = parallel_map(&[] as &[u32], 4, |&x| x);
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn latency_telemetry_orders_quantiles_and_tracks_exact_max() {
+        let mut t = LatencyTelemetry::new();
+        assert_eq!(t.stats().count, 0, "empty telemetry (NaN quantiles compare unequal)");
+        // 100 decisions at ~1 ms, one straggler at 50 ms.
+        for i in 0..100 {
+            t.record(1.0 + 0.001 * i as f32);
+        }
+        t.record(50.0);
+        let s = t.stats();
+        assert_eq!(s.count, 101);
+        assert!(s.p50_ms <= s.p99_ms && s.p99_ms <= s.max_ms, "{s:?}");
+        assert_eq!(s.max_ms, 50.0, "max is exact");
+        // p50 lands in the ~1 ms band (≤ ~6% bucket quantization).
+        assert!((0.9..=1.2).contains(&s.p50_ms), "p50 {}", s.p50_ms);
+        assert!(s.mean_ms > s.p50_ms, "straggler pulls the mean above the median");
+        t.reset();
+        assert_eq!(t.stats().count, 0);
+        assert!(t.stats().p50_ms.is_nan());
+    }
+
+    #[test]
+    fn latency_telemetry_clamps_out_of_range_samples() {
+        let mut t = LatencyTelemetry::new();
+        t.record(0.0); // below the first bucket edge
+        t.record(1e-6);
+        t.record(1e5); // beyond the last bucket edge
+        t.record(f32::NAN); // ignored
+        t.record(-1.0); // ignored
+        let s = t.stats();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max_ms, 1e5);
+        assert!(s.p99_ms <= s.max_ms);
+    }
+
+    #[test]
+    fn latency_telemetry_overflow_quantiles_report_the_exact_max() {
+        // Every sample beyond the histogram range: the overflow bucket has
+        // no resolution, so quantiles must report the exact max instead of
+        // under-reporting at the 100 ms top edge.
+        let mut t = LatencyTelemetry::new();
+        for _ in 0..10 {
+            t.record(500.0);
+        }
+        let s = t.stats();
+        assert_eq!(s.p50_ms, 500.0, "overflow p50 must not cap at the 100 ms edge");
+        assert_eq!(s.p99_ms, 500.0);
+        assert_eq!(s.max_ms, 500.0);
     }
 }

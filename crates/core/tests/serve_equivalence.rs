@@ -166,8 +166,55 @@ fn missing_context_is_a_typed_error_not_a_panic() {
         2,
     );
     assert_eq!(pool.submit(0, frame), Err(EngineError::MissingContext));
+    // The rejected frame was not consumed: nothing was enqueued for the
+    // session and no decision ever comes back for it.
+    assert_eq!(pool.frames_submitted(0), 0, "failed submit must not consume the frame");
+    assert!(pool.flush().is_empty(), "no decision may exist for a rejected frame");
+
     pool.submit_with_context(1, frame, ds.demos[0].gestures[0]);
     let decisions = pool.flush();
     assert_eq!(decisions.len(), 1, "only the well-formed submission was processed");
     assert_eq!(decisions[0].session, 1);
+    assert_eq!(pool.frames_submitted(1), 1);
+
+    // The session whose submit failed is intact: its next well-formed
+    // frame is frame 0, as if the failed call never happened.
+    pool.submit_with_context(0, frame, ds.demos[0].gestures[0]);
+    let decisions = pool.flush();
+    assert_eq!(decisions.len(), 1);
+    assert_eq!((decisions[0].session, decisions[0].frame), (0, 0));
+}
+
+/// Satellite: the pool-level latency telemetry measures every warm
+/// decision drained through `poll`/`flush` and keeps its quantiles ordered.
+#[test]
+fn latency_stats_cover_drained_decisions() {
+    let (pipeline, ds) = tiny_pipeline(37);
+    let warm = pipeline.config.window.width.max(pipeline.config.gesture_window);
+    let mut pool = ShardedMonitorPool::with_sessions(
+        Arc::new(pipeline),
+        ContextMode::Predicted,
+        ServeConfig { workers: 2, threshold: 0.5 },
+        3,
+    );
+    assert_eq!(pool.stats().count, 0, "no decisions measured before any flush");
+
+    let frames = 2 * warm;
+    for t in 0..frames {
+        for s in 0..3 {
+            pool.submit(s, &ds.demos[s].frames[t]).expect("Predicted mode");
+        }
+    }
+    let decisions = pool.flush();
+    let warm_decisions = decisions.iter().filter(|d| d.output.is_some()).count();
+    assert!(warm_decisions > 0, "sessions should have warmed up");
+
+    let stats = pool.stats();
+    assert_eq!(stats.count, warm_decisions, "exactly the warm decisions are measured");
+    assert!(stats.p50_ms <= stats.p99_ms && stats.p99_ms <= stats.max_ms, "{stats:?}");
+    assert!(stats.mean_ms > 0.0 && stats.mean_ms.is_finite());
+    assert!(stats.to_string().contains("p99"), "stats render via core::report::LatencyStats");
+
+    pool.reset_stats();
+    assert_eq!(pool.stats().count, 0, "reset_stats clears the telemetry");
 }

@@ -28,7 +28,7 @@ pub use divergence::{js_discrete, js_divergence_kde, kl_discrete};
 pub use dtw::{dtw, dtw_1d, DtwResult};
 pub use kde::GaussianKde;
 pub use roc::{auc, RocCurve, RocPoint};
-pub use stats::{mean, median, std_dev, Summary};
+pub use stats::{mean, median, percentile, std_dev, Summary};
 pub use timing::{
     early_detection_rate, frames_to_ms, gesture_jitter, measure_reactions, segments, ErrorEvent,
     JitterMeasurement, ReactionMeasurement, Segment,

@@ -34,6 +34,21 @@ pub fn median(xs: &[f32]) -> f32 {
     }
 }
 
+/// Nearest-rank percentile (by sorting a copy); `NaN` for empty input.
+/// `percentile(v, 0.5)` is the nearest-rank median, `percentile(v, 0.99)`
+/// the p99. Always returns an **observed sample value**, so on even-length
+/// input the p50 is the lower of the two middle samples and differs from
+/// the interpolated [`median`].
+pub fn percentile(xs: &[f32], q: f32) -> f32 {
+    if xs.is_empty() {
+        return f32::NAN;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((q.clamp(0.0, 1.0) * v.len() as f32).ceil() as usize).max(1) - 1;
+    v[rank.min(v.len() - 1)]
+}
+
 /// A `mean ± std` pair, as reported in the paper's Table VIII.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Summary {
@@ -73,6 +88,19 @@ mod tests {
     fn median_odd_even() {
         assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
         assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [5.0f32, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+        assert_eq!(percentile(&v, 0.99), 5.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+        // Nearest-rank returns an observed sample: lower middle on even n
+        // (the interpolated `median` would say 150).
+        assert_eq!(percentile(&[100.0, 200.0], 0.5), 100.0);
+        assert!(percentile(&[], 0.5).is_nan());
     }
 
     #[test]

@@ -1,15 +1,26 @@
-//! The Table III fault-injection campaign.
+//! The Table III fault-injection campaign — open loop and closed loop.
 //!
 //! Reproduces the paper's grid of 651 injections over the Block Transfer
 //! task: 7 grasper-angle buckets × 2 injection-interval variants × 2
 //! Cartesian-deviation buckets, with the paper's per-cell injection counts.
+//!
+//! [`run_closed_loop_campaign`] runs every grid cell **twice** with the
+//! same seeds and fault specs — an unmonitored twin and a twin guarded by a
+//! [`reactor::SafetyReactor`] — and reports per-cell prevention rate,
+//! false-stop rate, and the distribution of reaction-time margin (ticks
+//! between the first alert and the counterfactual unsafe event of the
+//! unmonitored twin). This is the measurement the paper's headline claim
+//! rests on: detection early enough to *act*.
 
 use crate::spec::{CartesianFault, FaultInjector, FaultSpec, GrasperFault};
 use context_monitor::serve::parallel_map;
+use context_monitor::{ClosedLoopSummary, TrainedPipeline};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use raven_sim::{run_block_transfer, FailureMode, SimConfig, Trial};
+use reactor::{Guarded, ReactorConfig, SafetyReactor};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One cell of the Table III grid.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -181,10 +192,11 @@ pub fn run_injection(sim: &SimConfig, spec: FaultSpec) -> (Trial, FaultInjector)
     (trial, injector)
 }
 
-/// Runs the campaign over the Table III grid.
-pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
-    let grid = table3_grid();
-    // Flatten into (cell_index, trial_seed) work items.
+/// Flattens the grid into `(cell_index, trial_seed)` work items. Both the
+/// open-loop and the closed-loop campaign derive their seeds here, so for a
+/// given `(seed, scale)` the closed-loop campaign's unmonitored twins are
+/// trial-for-trial the open-loop campaign's trials.
+fn grid_work(grid: &[GridCell], cfg: &CampaignConfig) -> Vec<(usize, u64)> {
     let mut work = Vec::new();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     for (ci, cell) in grid.iter().enumerate() {
@@ -193,6 +205,13 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
             work.push((ci, rng.gen::<u64>()));
         }
     }
+    work
+}
+
+/// Runs the campaign over the Table III grid.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let grid = table3_grid();
+    let work = grid_work(&grid, cfg);
 
     // The campaign rides the same audited fork-join primitive as the
     // serving layer; `parallel_map`'s balanced chunking replaced a
@@ -222,6 +241,288 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         }
     }
     CampaignReport { cells }
+}
+
+/// Closed-loop campaign configuration: the same grid, seed derivation, and
+/// scaling as [`CampaignConfig`], plus the reactor guarding the monitored
+/// twin of every injection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClosedLoopConfig {
+    /// Grid/seed/scale/threads of the underlying campaign.
+    pub campaign: CampaignConfig,
+    /// Reactor configuration (threshold, debounce, actuation latency,
+    /// mitigation policy) for the monitored twin.
+    pub reactor: ReactorConfig,
+}
+
+/// Outcome of one twin-run injection: the same seed and fault spec, run
+/// once unmonitored and once behind the reactor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwinOutcome {
+    /// Index into [`table3_grid`].
+    pub cell: usize,
+    /// Failure of the unmonitored twin.
+    pub baseline_failure: Option<FailureMode>,
+    /// Tick at which the unmonitored twin's error became observable — the
+    /// counterfactual unsafe event the margin is measured against.
+    pub baseline_error_tick: Option<usize>,
+    /// Failure of the monitored twin (`None` = the task completed).
+    pub monitored_failure: Option<FailureMode>,
+    /// First alert tick of the monitored twin's reactor.
+    pub first_alert_tick: Option<usize>,
+    /// Tick at which mitigation was scheduled to gate, if it engaged.
+    pub engaged_tick: Option<usize>,
+    /// Ticks whose commands the reactor actually gated (0 when mitigation
+    /// was scheduled too late to act before the trial ended).
+    pub ticks_gated: usize,
+}
+
+impl TwinOutcome {
+    /// Whether the baseline suffered the preventable unsafe event (a block
+    /// drop; a dropoff failure is a liveness failure a safety stop cannot
+    /// avert — stopping *is* not dropping off).
+    pub fn baseline_unsafe(&self) -> bool {
+        self.baseline_failure == Some(FailureMode::BlockDrop)
+    }
+
+    /// Whether the reactor prevented the baseline's unsafe event: the
+    /// unmonitored twin dropped the block, the monitored twin did not.
+    pub fn prevented(&self) -> bool {
+        self.baseline_unsafe() && self.monitored_failure != Some(FailureMode::BlockDrop)
+    }
+
+    /// Whether mitigation actually interrupted a trial that would have
+    /// succeeded unmonitored (an unnecessary intervention). Requires
+    /// gated ticks, not just a scheduled engagement: a gate scheduled past
+    /// the end of the trial never touched a command and interrupted
+    /// nothing.
+    pub fn false_stop(&self) -> bool {
+        self.baseline_failure.is_none() && self.ticks_gated > 0
+    }
+
+    /// Reaction-time margin in ticks: counterfactual unsafe-event tick
+    /// minus first-alert tick (positive = the alert came early enough to
+    /// matter). Measured only against **observable unsafe events** —
+    /// baseline block drops, the same population prevention is scored on.
+    /// A dropoff failure's `error_tick` is the synthetic end of the
+    /// expected landing window, not an observable event, and would
+    /// systematically inflate the margins; it is excluded. `None` when the
+    /// baseline did not drop the block or no alert fired.
+    ///
+    /// The margin is detection-time margin (the paper's reaction-time
+    /// convention): it is measured from the **first alert**, before
+    /// debounce confirmation and actuation. Mitigation gates commands
+    /// `(debounce - 1) + 1 + actuation_latency` ticks after that alert, so
+    /// the actionable margin is smaller by exactly that much.
+    pub fn margin_ticks(&self) -> Option<i64> {
+        if !self.baseline_unsafe() {
+            return None;
+        }
+        match (self.baseline_error_tick, self.first_alert_tick) {
+            (Some(err), Some(alert)) => Some(err as i64 - alert as i64),
+            _ => None,
+        }
+    }
+}
+
+/// Per-cell tallies of the closed-loop campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClosedLoopCell {
+    /// The grid cell.
+    pub cell: GridCell,
+    /// Twin-run injections in this cell.
+    pub injections: usize,
+    /// Unmonitored-twin successes.
+    pub baseline_successes: usize,
+    /// Unmonitored-twin block drops.
+    pub baseline_block_drops: usize,
+    /// Unmonitored-twin dropoff failures.
+    pub baseline_dropoffs: usize,
+    /// Monitored-twin successes.
+    pub monitored_successes: usize,
+    /// Monitored-twin block drops (drops the reactor failed to prevent).
+    pub monitored_block_drops: usize,
+    /// Monitored-twin dropoff failures (includes intentional safety
+    /// stops, which leave the block held — see [`TwinOutcome::prevented`]).
+    pub monitored_dropoffs: usize,
+    /// Baseline block drops the monitored twin avoided.
+    pub prevented: usize,
+    /// Mitigations engaged on would-have-succeeded trials.
+    pub false_stops: usize,
+    /// Monitored twins that raised at least one alert.
+    pub alerted: usize,
+    /// Reaction-time margins (ticks), in work order.
+    pub margin_ticks: Vec<i64>,
+}
+
+/// Full closed-loop campaign result. Bit-identical across runs for a given
+/// config (the twins share seeds; `parallel_map` returns in work order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClosedLoopReport {
+    /// Per-cell tallies, in [`table3_grid`] order.
+    pub cells: Vec<ClosedLoopCell>,
+    /// Simulation rate, for margin-to-ms conversion.
+    pub hz: f32,
+    /// The reactor configuration the monitored twins ran.
+    pub reactor: ReactorConfig,
+}
+
+impl ClosedLoopReport {
+    /// Total twin-run injections.
+    pub fn total_injections(&self) -> usize {
+        self.cells.iter().map(|c| c.injections).sum()
+    }
+
+    /// Total baseline block drops (preventable unsafe events).
+    pub fn total_baseline_unsafe(&self) -> usize {
+        self.cells.iter().map(|c| c.baseline_block_drops).sum()
+    }
+
+    /// Total prevented unsafe events.
+    pub fn total_prevented(&self) -> usize {
+        self.cells.iter().map(|c| c.prevented).sum()
+    }
+
+    /// All margins in ticks, cell-major in work order.
+    pub fn margins_ticks(&self) -> Vec<i64> {
+        self.cells.iter().flat_map(|c| c.margin_ticks.iter().copied()).collect()
+    }
+
+    /// The headline numbers, with margins converted to milliseconds.
+    pub fn summary(&self) -> ClosedLoopSummary {
+        let ms_per_tick = 1000.0 / self.hz;
+        ClosedLoopSummary {
+            injections: self.total_injections(),
+            baseline_unsafe: self.total_baseline_unsafe(),
+            prevented: self.total_prevented(),
+            baseline_successes: self.cells.iter().map(|c| c.baseline_successes).sum(),
+            false_stops: self.cells.iter().map(|c| c.false_stops).sum(),
+            alerted: self.cells.iter().map(|c| c.alerted).sum(),
+            margins_ms: self.margins_ticks().iter().map(|&t| t as f32 * ms_per_tick).collect(),
+        }
+    }
+
+    /// Renders the reaction-time table: one row per grid cell, then the
+    /// campaign-level summary block.
+    pub fn render(&self) -> String {
+        let ms_per_tick = 1000.0 / self.hz;
+        let mut out = String::new();
+        out.push_str(
+            "Grasper(rad)  GrasperDur  #Inj  Unmonitored(BD/DO)  Monitored(BD/DO)  \
+             Prevented  FalseStop  Margin(ms)\n",
+        );
+        for c in &self.cells {
+            let cell = c.cell;
+            let margin = if c.margin_ticks.is_empty() {
+                "      -".to_string()
+            } else {
+                let mean = c.margin_ticks.iter().sum::<i64>() as f32 / c.margin_ticks.len() as f32
+                    * ms_per_tick;
+                format!("{mean:>+7.0}")
+            };
+            out.push_str(&format!(
+                "{:.2}-{:.2}     {:.2}-{:.2}   {:>4}  {:>8}/{:<8}   {:>7}/{:<7}   \
+                 {:>5}/{:<3}  {:>5}/{:<3}  {margin}\n",
+                cell.grasper.0,
+                cell.grasper.1,
+                cell.grasper_interval.0,
+                cell.grasper_interval.1,
+                c.injections,
+                c.baseline_block_drops,
+                c.baseline_dropoffs,
+                c.monitored_block_drops,
+                c.monitored_dropoffs,
+                c.prevented,
+                c.baseline_block_drops,
+                c.false_stops,
+                c.baseline_successes,
+            ));
+        }
+        out.push_str(&self.summary().render());
+        out
+    }
+}
+
+/// Runs the closed-loop (twin-run) campaign: every grid cell's injections
+/// executed twice with identical seeds and fault specs — once unmonitored,
+/// once with a fresh [`SafetyReactor`] (sharing `pipeline`) downstream of
+/// the fault injector. Deterministic for a given config: same seeds →
+/// bit-identical report, regardless of thread count.
+pub fn run_closed_loop_campaign(
+    cfg: &ClosedLoopConfig,
+    pipeline: &Arc<TrainedPipeline>,
+) -> ClosedLoopReport {
+    let grid = table3_grid();
+    let work = grid_work(&grid, &cfg.campaign);
+    let sim = cfg.campaign.sim;
+    let reactor_cfg = cfg.reactor;
+
+    let outcomes: Vec<TwinOutcome> =
+        parallel_map(&work, cfg.campaign.threads.max(1), |&(ci, seed)| {
+            let mut trial_rng = SmallRng::seed_from_u64(seed);
+            let spec = sample_spec(&grid[ci], &mut trial_rng);
+            let sim_cfg = SimConfig { seed, ..sim };
+
+            // Unmonitored twin: the counterfactual.
+            let (baseline, _) = run_injection(&sim_cfg, spec);
+
+            // Monitored twin: same seed and spec, reactor at the last
+            // computational stage (downstream of the injector).
+            let mut guarded = Guarded::new(
+                FaultInjector::new(spec),
+                SafetyReactor::new(Arc::clone(pipeline), reactor_cfg),
+            );
+            let monitored = run_block_transfer(&sim_cfg, &mut guarded);
+
+            TwinOutcome {
+                cell: ci,
+                baseline_failure: baseline.outcome.failure,
+                baseline_error_tick: baseline.outcome.error_tick,
+                monitored_failure: monitored.outcome.failure,
+                first_alert_tick: guarded.reactor.first_alert_tick(),
+                engaged_tick: guarded.reactor.engaged_tick(),
+                ticks_gated: guarded.reactor.ticks_gated(),
+            }
+        });
+
+    let mut cells: Vec<ClosedLoopCell> = grid
+        .iter()
+        .map(|&cell| ClosedLoopCell {
+            cell,
+            injections: 0,
+            baseline_successes: 0,
+            baseline_block_drops: 0,
+            baseline_dropoffs: 0,
+            monitored_successes: 0,
+            monitored_block_drops: 0,
+            monitored_dropoffs: 0,
+            prevented: 0,
+            false_stops: 0,
+            alerted: 0,
+            margin_ticks: Vec::new(),
+        })
+        .collect();
+    for t in outcomes {
+        let c = &mut cells[t.cell];
+        c.injections += 1;
+        match t.baseline_failure {
+            None => c.baseline_successes += 1,
+            Some(FailureMode::BlockDrop) => c.baseline_block_drops += 1,
+            Some(FailureMode::DropoffFailure) => c.baseline_dropoffs += 1,
+        }
+        match t.monitored_failure {
+            None => c.monitored_successes += 1,
+            Some(FailureMode::BlockDrop) => c.monitored_block_drops += 1,
+            Some(FailureMode::DropoffFailure) => c.monitored_dropoffs += 1,
+        }
+        c.prevented += t.prevented() as usize;
+        c.false_stops += t.false_stop() as usize;
+        c.alerted += t.first_alert_tick.is_some() as usize;
+        if let Some(m) = t.margin_ticks() {
+            c.margin_ticks.push(m);
+        }
+    }
+    ClosedLoopReport { cells, hz: sim.hz, reactor: reactor_cfg }
 }
 
 #[cfg(test)]
@@ -299,6 +600,89 @@ mod tests {
         let text = report.render();
         assert!(text.contains("Total:"));
         assert_eq!(text.lines().count(), 1 + 28 + 1);
+    }
+
+    use crate::dataset::{build_block_transfer_dataset, BlockTransferDataConfig};
+    use context_monitor::MonitorConfig;
+    use kinematics::FeatureSet;
+    use reactor::MitigationPolicy;
+    use std::sync::OnceLock;
+
+    fn closed_loop_sim() -> SimConfig {
+        SimConfig { hz: 50.0, duration_s: 4.0, seed: 0, tremor: 0.3 }
+    }
+
+    /// One Block Transfer pipeline shared by every closed-loop test in this
+    /// binary (training it takes seconds; the tests only read it).
+    fn bt_pipeline() -> Arc<TrainedPipeline> {
+        static PIPELINE: OnceLock<Arc<TrainedPipeline>> = OnceLock::new();
+        Arc::clone(PIPELINE.get_or_init(|| {
+            let ds = build_block_transfer_dataset(&BlockTransferDataConfig {
+                fault_free: 6,
+                faulty: 18,
+                sim: closed_loop_sim(),
+                seed: 4242,
+            });
+            let mut cfg = MonitorConfig::fast(FeatureSet::CG).with_seed(9).with_window(10, 1);
+            cfg.train.epochs = 8;
+            cfg.train_stride = 3;
+            let idx: Vec<usize> = (0..ds.len()).collect();
+            Arc::new(TrainedPipeline::train(&ds, &idx, &cfg))
+        }))
+    }
+
+    fn closed_loop_cfg(scale: f32, policy: MitigationPolicy) -> ClosedLoopConfig {
+        ClosedLoopConfig {
+            campaign: CampaignConfig { sim: closed_loop_sim(), seed: 42, scale, threads: 4 },
+            reactor: ReactorConfig { policy, ..ReactorConfig::default() },
+        }
+    }
+
+    #[test]
+    fn closed_loop_campaign_is_deterministic_and_prevents_drops() {
+        let pipeline = bt_pipeline();
+        let cfg = closed_loop_cfg(0.04, MitigationPolicy::StopAndHold);
+        let report = run_closed_loop_campaign(&cfg, &pipeline);
+        let again = run_closed_loop_campaign(&cfg, &pipeline);
+        assert_eq!(report, again, "same seeds must give a bit-identical report");
+
+        // The unmonitored twins are trial-for-trial the open-loop campaign.
+        let open = run_campaign(&cfg.campaign);
+        for (c, o) in report.cells.iter().zip(open.cells.iter()) {
+            assert_eq!(c.injections, o.injections);
+            assert_eq!(c.baseline_block_drops, o.block_drops, "cell {:?}", c.cell.grasper);
+            assert_eq!(c.baseline_dropoffs, o.dropoffs, "cell {:?}", c.cell.grasper);
+        }
+
+        // The acceptance criterion: the reactor prevents unsafe events the
+        // unmonitored baseline (prevention rate 0 by construction) suffers.
+        let summary = report.summary();
+        assert!(summary.baseline_unsafe > 0, "grid too small to produce block drops");
+        assert!(summary.prevented > 0, "closed loop prevented nothing: {}", report.render());
+        assert!(
+            report.cells.iter().map(|c| c.monitored_block_drops).sum::<usize>()
+                < summary.baseline_unsafe,
+            "monitored twins should drop the block less often than the baseline"
+        );
+        // Margins are measured and the summary renders.
+        assert_eq!(summary.margins_ms.len(), report.margins_ticks().len());
+        assert!(report.render().contains("prevention:"));
+    }
+
+    #[test]
+    fn log_only_reactor_leaves_the_twin_bit_identical() {
+        let pipeline = bt_pipeline();
+        let cfg = closed_loop_cfg(0.02, MitigationPolicy::LogOnly);
+        let report = run_closed_loop_campaign(&cfg, &pipeline);
+        for c in &report.cells {
+            // A log-only reactor observes but never gates, so the monitored
+            // twin replays the baseline exactly.
+            assert_eq!(c.monitored_block_drops, c.baseline_block_drops, "{:?}", c.cell.grasper);
+            assert_eq!(c.monitored_dropoffs, c.baseline_dropoffs, "{:?}", c.cell.grasper);
+            assert_eq!(c.monitored_successes, c.baseline_successes, "{:?}", c.cell.grasper);
+            assert_eq!(c.prevented, 0);
+            assert_eq!(c.false_stops, 0, "log-only never engages");
+        }
     }
 
     #[test]

@@ -7,7 +7,11 @@
 //!   axis) over trajectory-fraction intervals,
 //! * [`campaign`] — the Table III grid (651 injections across 28 cells)
 //!   run in parallel via `context_monitor::serve::parallel_map` (the same
-//!   audited fork-join path the serving layer uses),
+//!   audited fork-join path the serving layer uses), plus the **closed-loop
+//!   twin-run campaign** ([`run_closed_loop_campaign`]): every injection
+//!   executed unmonitored and behind a `reactor::SafetyReactor` with the
+//!   same seeds, yielding prevention rate, false-stop rate, and
+//!   reaction-time margins,
 //! * [`dataset`] — the 115-demonstration Block Transfer training set with
 //!   gesture-level error labels derived from injection + manifestation
 //!   times.
@@ -19,8 +23,9 @@ pub mod dataset;
 pub mod spec;
 
 pub use campaign::{
-    run_campaign, run_injection, sample_spec, table3_grid, CampaignConfig, CampaignReport,
-    CellResult, GridCell,
+    run_campaign, run_closed_loop_campaign, run_injection, sample_spec, table3_grid,
+    CampaignConfig, CampaignReport, CellResult, ClosedLoopCell, ClosedLoopConfig, ClosedLoopReport,
+    GridCell, TwinOutcome,
 };
 pub use dataset::{build_block_transfer_dataset, relabel_with_injection, BlockTransferDataConfig};
 pub use spec::{CartesianFault, FaultInjector, FaultSpec, GrasperFault, TARGET_ARM};

@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Simulation rate (Hz). The paper's simulator logs at 1 kHz; the
-    /// default here is 100 Hz (see DESIGN.md §7), and all timings are
+    /// default here is 100 Hz (see DESIGN.md §8), and all timings are
     /// expressed in trajectory fractions so the rate is transparent.
     pub hz: f32,
     /// Total trial duration in seconds.
@@ -40,12 +40,29 @@ impl SimConfig {
     }
 }
 
-/// A fault-injection hook: mutates the commanded kinematic state variables
+/// A command-stream hook: mutates the commanded kinematic state variables
 /// before they reach the robot control loop (the paper's software fault
-/// injector perturbs exactly these packets).
+/// injector perturbs exactly these packets), and observes the resulting
+/// robot state after each physics step.
+///
+/// The two methods model the two halves of a monitor-in-the-control-loop
+/// deployment (Fig. 4): [`observe`](CommandFilter::observe) is the sensing
+/// path (the logged kinematic frame of tick `t`, delivered **after** the
+/// arms and world have stepped), and [`apply`](CommandFilter::apply) is the
+/// actuation path (the next tick's commands). A safety reactor therefore
+/// acts on tick `t`'s state no earlier than tick `t + 1` — one tick of
+/// sensing delay is built into the loop, and any additional actuation
+/// latency is modeled on top by the filter itself.
 pub trait CommandFilter {
     /// Perturbs `commands` at the given tick / normalized progress.
     fn apply(&mut self, tick: usize, progress: f32, commands: &mut Commands);
+
+    /// Observes the robot state logged at `tick` (called after the physics
+    /// step, before the next tick's [`apply`](CommandFilter::apply)). The
+    /// default is a no-op so pure fault injectors stay untouched.
+    fn observe(&mut self, tick: usize, state: &KinematicSample) {
+        let _ = (tick, state);
+    }
 }
 
 /// The identity filter: a fault-free trial.
@@ -144,7 +161,9 @@ pub fn run_block_transfer(cfg: &SimConfig, filter: &mut dyn CommandFilter) -> Tr
         );
 
         features.push(flatten(tick, dt, progress, &arms));
-        frames.push(KinematicSample::new(vec![to_state(&arms[0]), to_state(&arms[1])]));
+        let sample = KinematicSample::new(vec![to_state(&arms[0]), to_state(&arms[1])]);
+        filter.observe(tick, &sample);
+        frames.push(sample);
         gestures.push(plan.gesture(progress));
         block_trace.push(world.block_position);
     }

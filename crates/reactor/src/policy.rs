@@ -1,0 +1,96 @@
+//! Mitigation policies and reactor configuration.
+
+use context_monitor::ContextMode;
+use serde::{Deserialize, Serialize};
+
+/// What the reactor does to the command stream once an alert has been
+/// confirmed (after [`ReactorConfig::debounce`] consecutive alert frames)
+/// and the modeled actuation latency has elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MitigationPolicy {
+    /// Record alerts but never touch the commands (open-loop telemetry —
+    /// the deployment shape every earlier PR stopped at).
+    LogOnly,
+    /// Freeze the command stream at the last un-gated setpoint for the rest
+    /// of the trial: the robot holds position and grasper angle — the
+    /// paper's "enough time margin to stop the robot".
+    StopAndHold,
+    /// Freeze the command stream for `n` ticks, then hand control back to
+    /// the (possibly still faulty) plan. A later alert re-engages the
+    /// pause, so a fault outliving the pause is re-mitigated.
+    PauseTicks(usize),
+}
+
+impl std::fmt::Display for MitigationPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MitigationPolicy::LogOnly => f.write_str("log-only"),
+            MitigationPolicy::StopAndHold => f.write_str("stop-and-hold"),
+            MitigationPolicy::PauseTicks(n) => write!(f, "pause({n})"),
+        }
+    }
+}
+
+/// Configuration of a [`SafetyReactor`](crate::SafetyReactor).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReactorConfig {
+    /// Context mode of the in-loop engine. Must not be
+    /// [`ContextMode::Perfect`]: a reactor in the control loop has no
+    /// oracle gesture boundaries — stage 1 infers them, exactly like the
+    /// streaming monitor.
+    pub mode: ContextMode,
+    /// Alert threshold on the unsafe probability, in `(0, 1)`.
+    pub threshold: f32,
+    /// Consecutive alert frames required before mitigation engages (≥ 1).
+    /// Debouncing trades a few ticks of reaction time for robustness
+    /// against single-frame score spikes (false stops).
+    pub debounce: usize,
+    /// Modeled actuation latency: ticks between the engage decision and
+    /// commands actually gating. `0` still implies one tick of sensing
+    /// delay (see the crate docs) — the loop can never act on the tick it
+    /// observed.
+    pub actuation_latency: usize,
+    /// The mitigation applied once engaged.
+    pub policy: MitigationPolicy,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        Self {
+            mode: ContextMode::Predicted,
+            threshold: 0.5,
+            debounce: 2,
+            actuation_latency: 2,
+            policy: MitigationPolicy::StopAndHold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_closed_loop() {
+        let cfg = ReactorConfig::default();
+        assert_eq!(cfg.policy, MitigationPolicy::StopAndHold);
+        assert_eq!(cfg.mode, ContextMode::Predicted);
+        assert!(cfg.debounce >= 1);
+    }
+
+    #[test]
+    fn policies_render_for_reports() {
+        assert_eq!(MitigationPolicy::LogOnly.to_string(), "log-only");
+        assert_eq!(MitigationPolicy::StopAndHold.to_string(), "stop-and-hold");
+        assert_eq!(MitigationPolicy::PauseTicks(25).to_string(), "pause(25)");
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let cfg =
+            ReactorConfig { policy: MitigationPolicy::PauseTicks(40), ..ReactorConfig::default() };
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ReactorConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,422 @@
+//! The reactor itself: an [`InferenceEngine`] in the command path.
+
+use crate::policy::{MitigationPolicy, ReactorConfig};
+use context_monitor::{ContextMode, InferenceEngine, TrainedPipeline};
+use kinematics::KinematicSample;
+use raven_sim::{CommandFilter, Commands};
+use std::sync::Arc;
+
+/// A safety monitor closed around the robot's command stream.
+///
+/// As a [`CommandFilter`], the reactor receives every logged kinematic
+/// frame via [`observe`](CommandFilter::observe) (the sensing path) and
+/// every tick's commands via [`apply`](CommandFilter::apply) (the actuation
+/// path). Each observed frame is stepped through the shared allocation-free
+/// [`InferenceEngine`]; once the unsafe score exceeds the threshold for
+/// [`ReactorConfig::debounce`] consecutive frames, the configured
+/// [`MitigationPolicy`] is scheduled and — after
+/// [`ReactorConfig::actuation_latency`] further ticks — gates the command
+/// stream.
+///
+/// Compose with a fault injector via [`Guarded`] to run the paper's
+/// injections *through* the reactor (the monitored twin of the closed-loop
+/// campaign).
+pub struct SafetyReactor {
+    pipeline: Arc<TrainedPipeline>,
+    engine: InferenceEngine,
+    cfg: ReactorConfig,
+    /// Ticks observed since construction / the last reset.
+    ticks_seen: usize,
+    /// Alert frames seen (score above threshold).
+    alerts: usize,
+    /// Tick of the first alert frame.
+    first_alert: Option<usize>,
+    /// Current consecutive-alert streak.
+    streak: usize,
+    /// Tick from which gating is (or will be) active, once scheduled.
+    gate_from: Option<usize>,
+    /// Tick at which mitigation was first scheduled (never cleared; this is
+    /// what "the reactor intervened" means for false-stop accounting).
+    engaged: Option<usize>,
+    /// Frozen command snapshot while gating.
+    hold: Option<Commands>,
+    /// Last commands that passed through un-gated.
+    last_cmds: Option<Commands>,
+    /// Ticks actually gated so far.
+    ticks_gated: usize,
+}
+
+impl SafetyReactor {
+    /// Creates a reactor over a shared trained pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is not within `(0, 1)`, if `debounce == 0`,
+    /// or if the mode is [`ContextMode::Perfect`] (an in-loop reactor has
+    /// no oracle gesture boundaries to supply).
+    pub fn new(pipeline: Arc<TrainedPipeline>, cfg: ReactorConfig) -> Self {
+        assert!(cfg.threshold > 0.0 && cfg.threshold < 1.0, "threshold must be in (0,1)");
+        assert!(cfg.debounce >= 1, "debounce must be at least 1 frame");
+        assert!(
+            cfg.mode != ContextMode::Perfect,
+            "SafetyReactor cannot run in ContextMode::Perfect: the control loop has no \
+             external gesture oracle (use Predicted or NoContext)"
+        );
+        let engine = InferenceEngine::new(&pipeline, cfg.mode);
+        Self {
+            pipeline,
+            engine,
+            cfg,
+            ticks_seen: 0,
+            alerts: 0,
+            first_alert: None,
+            streak: 0,
+            gate_from: None,
+            engaged: None,
+            hold: None,
+            last_cmds: None,
+            ticks_gated: 0,
+        }
+    }
+
+    /// The configuration this reactor runs.
+    pub fn config(&self) -> &ReactorConfig {
+        &self.cfg
+    }
+
+    /// The shared pipeline.
+    pub fn pipeline(&self) -> &Arc<TrainedPipeline> {
+        &self.pipeline
+    }
+
+    /// Ticks observed since construction or the last reset.
+    pub fn ticks_seen(&self) -> usize {
+        self.ticks_seen
+    }
+
+    /// Alert frames seen (unsafe score above threshold).
+    pub fn alerts(&self) -> usize {
+        self.alerts
+    }
+
+    /// Tick of the first alert frame, if any — the timestamp reaction-time
+    /// margins are measured from.
+    pub fn first_alert_tick(&self) -> Option<usize> {
+        self.first_alert
+    }
+
+    /// Tick at which mitigation was first scheduled (`None` for
+    /// [`MitigationPolicy::LogOnly`] or when no alert was confirmed).
+    pub fn engaged_tick(&self) -> Option<usize> {
+        self.engaged
+    }
+
+    /// Ticks whose commands were actually gated so far.
+    pub fn ticks_gated(&self) -> usize {
+        self.ticks_gated
+    }
+
+    /// Clears all per-trial state (engine windows, smoothing filter, alert
+    /// and gating bookkeeping) so the reactor can guard another trial.
+    pub fn reset(&mut self) {
+        self.engine.reset();
+        self.ticks_seen = 0;
+        self.alerts = 0;
+        self.first_alert = None;
+        self.streak = 0;
+        self.gate_from = None;
+        self.engaged = None;
+        self.hold = None;
+        self.last_cmds = None;
+        self.ticks_gated = 0;
+    }
+
+    /// Whether gating is active at `tick`, retiring an expired pause.
+    fn gating_active(&mut self, tick: usize) -> bool {
+        let Some(from) = self.gate_from else { return false };
+        if tick < from {
+            return false;
+        }
+        match self.cfg.policy {
+            // LogOnly never schedules a gate, so `gate_from` stays None.
+            MitigationPolicy::LogOnly => false,
+            MitigationPolicy::StopAndHold => true,
+            MitigationPolicy::PauseTicks(n) => {
+                if tick < from + n {
+                    true
+                } else {
+                    // Pause over: hand control back and allow a later
+                    // confirmed alert to re-engage.
+                    self.gate_from = None;
+                    self.hold = None;
+                    self.streak = 0;
+                    false
+                }
+            }
+        }
+    }
+}
+
+impl CommandFilter for SafetyReactor {
+    fn apply(&mut self, tick: usize, _progress: f32, commands: &mut Commands) {
+        if self.gating_active(tick) {
+            // Freeze at the last un-gated setpoint (falling back to the
+            // current commands if gating engaged before any passed).
+            let hold = match self.hold {
+                Some(h) => h,
+                None => {
+                    let h = self.last_cmds.unwrap_or(*commands);
+                    self.hold = Some(h);
+                    h
+                }
+            };
+            *commands = hold;
+            self.ticks_gated += 1;
+        } else {
+            self.last_cmds = Some(*commands);
+        }
+    }
+
+    fn observe(&mut self, tick: usize, state: &KinematicSample) {
+        self.ticks_seen += 1;
+        let step = self
+            .engine
+            .step(&self.pipeline, state)
+            .expect("non-Perfect mode enforced at construction");
+        let alert = step.unsafe_score.is_some_and(|s| s > self.cfg.threshold);
+        if !alert {
+            self.streak = 0;
+            return;
+        }
+        self.alerts += 1;
+        if self.first_alert.is_none() {
+            self.first_alert = Some(tick);
+        }
+        self.streak += 1;
+        let engage =
+            self.streak >= self.cfg.debounce && self.cfg.policy != MitigationPolicy::LogOnly;
+        if engage && self.gate_from.is_none() {
+            // A decision made from tick `t`'s state can first affect the
+            // commands of tick `t + 1`; actuation latency stacks on top.
+            let from = tick + 1 + self.cfg.actuation_latency;
+            self.gate_from = Some(from);
+            if self.engaged.is_none() {
+                self.engaged = Some(from);
+            }
+        }
+    }
+}
+
+/// A fault injector and a reactor sharing one command path, in the order of
+/// the real system: faults corrupt the trajectory packets first, then the
+/// reactor — "the last computational stage in the robot control system" —
+/// gets the final word.
+pub struct Guarded<F> {
+    /// The upstream filter (typically a `faults::FaultInjector`).
+    pub fault: F,
+    /// The reactor guarding the stream.
+    pub reactor: SafetyReactor,
+}
+
+impl<F: CommandFilter> Guarded<F> {
+    /// Composes `fault` upstream of `reactor`.
+    pub fn new(fault: F, reactor: SafetyReactor) -> Self {
+        Self { fault, reactor }
+    }
+}
+
+impl<F: CommandFilter> CommandFilter for Guarded<F> {
+    fn apply(&mut self, tick: usize, progress: f32, commands: &mut Commands) {
+        self.fault.apply(tick, progress, commands);
+        self.reactor.apply(tick, progress, commands);
+    }
+
+    fn observe(&mut self, tick: usize, state: &KinematicSample) {
+        self.fault.observe(tick, state);
+        self.reactor.observe(tick, state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use context_monitor::MonitorConfig;
+    use gestures::Task;
+    use jigsaws::{generate, GeneratorConfig};
+    use kinematics::{Dataset, FeatureSet};
+    use raven_sim::ArmCommand;
+
+    fn trained() -> (Arc<TrainedPipeline>, Dataset) {
+        let ds = generate(&GeneratorConfig::fast(Task::Suturing).with_seed(61));
+        let mut cfg = MonitorConfig::fast(FeatureSet::CRG).with_seed(13);
+        cfg.train.epochs = 2;
+        cfg.train_stride = 6;
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        (Arc::new(TrainedPipeline::train(&ds, &idx, &cfg)), ds)
+    }
+
+    fn plan_commands(p: f32) -> Commands {
+        let arm = ArmCommand {
+            position: kinematics::Vec3::new(10.0 * p, -5.0 * p, 20.0),
+            grasper: 0.12,
+            euler: (0.0, 0.0, 0.0),
+        };
+        Commands { arms: [arm, arm] }
+    }
+
+    /// Drives `reactor` over a demo's frames like the simulator would:
+    /// apply tick t, then observe tick t. Returns the commands each tick
+    /// actually carried.
+    fn drive(reactor: &mut SafetyReactor, ds: &Dataset, n: usize) -> Vec<Commands> {
+        let demo = &ds.demos[0];
+        let mut out = Vec::new();
+        for t in 0..n.min(demo.len()) {
+            let p = t as f32 / (n - 1) as f32;
+            let mut cmds = plan_commands(p);
+            reactor.apply(t, p, &mut cmds);
+            reactor.observe(t, &demo.frames[t]);
+            out.push(cmds);
+        }
+        out
+    }
+
+    fn trigger_happy(policy: MitigationPolicy) -> ReactorConfig {
+        // A threshold this low alerts on every warm frame, making the
+        // engage timeline deterministic regardless of what the tiny test
+        // model learned.
+        ReactorConfig {
+            threshold: 1e-6,
+            debounce: 2,
+            actuation_latency: 3,
+            policy,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn log_only_never_touches_commands() {
+        let (pipeline, ds) = trained();
+        let mut reactor = SafetyReactor::new(pipeline, trigger_happy(MitigationPolicy::LogOnly));
+        let n = 60;
+        let carried = drive(&mut reactor, &ds, n);
+        for (t, cmds) in carried.iter().enumerate() {
+            assert_eq!(*cmds, plan_commands(t as f32 / (n - 1) as f32), "tick {t} mutated");
+        }
+        assert!(reactor.alerts() > 0, "trigger-happy threshold should alert");
+        assert_eq!(reactor.engaged_tick(), None);
+        assert_eq!(reactor.ticks_gated(), 0);
+    }
+
+    #[test]
+    fn stop_and_hold_freezes_commands_after_latency() {
+        let (pipeline, ds) = trained();
+        let cfg = trigger_happy(MitigationPolicy::StopAndHold);
+        let mut reactor = SafetyReactor::new(Arc::clone(&pipeline), cfg);
+        let n = 80;
+        let carried = drive(&mut reactor, &ds, n);
+
+        let warm = pipeline.config.window.width.max(pipeline.config.gesture_window);
+        // First score (and alert) at tick warm-1; debounce confirms one
+        // frame later; gate engages after 1 tick of sensing delay plus the
+        // modeled actuation latency.
+        let confirm = warm - 1 + (cfg.debounce - 1);
+        let expect_gate = confirm + 1 + cfg.actuation_latency;
+        assert_eq!(reactor.first_alert_tick(), Some(warm - 1));
+        assert_eq!(reactor.engaged_tick(), Some(expect_gate));
+
+        // Before the gate: plan passes through. From the gate on: frozen at
+        // the last un-gated setpoint.
+        let held = carried[expect_gate - 1];
+        for (t, cmds) in carried.iter().enumerate() {
+            if t < expect_gate {
+                assert_eq!(*cmds, plan_commands(t as f32 / (n - 1) as f32), "tick {t}");
+            } else {
+                assert_eq!(*cmds, held, "tick {t} should hold the pre-gate setpoint");
+            }
+        }
+        assert_eq!(reactor.ticks_gated(), n - expect_gate);
+    }
+
+    #[test]
+    fn pause_hands_control_back_after_n_ticks() {
+        let (pipeline, ds) = trained();
+        let pause = 5usize;
+        let cfg = trigger_happy(MitigationPolicy::PauseTicks(pause));
+        let mut reactor = SafetyReactor::new(Arc::clone(&pipeline), cfg);
+        let n = 80;
+        let carried = drive(&mut reactor, &ds, n);
+
+        let gate = reactor.engaged_tick().expect("pause engages");
+        // Gated for exactly `pause` ticks...
+        let held = carried[gate - 1];
+        for (t, cmds) in carried.iter().enumerate().skip(gate).take(pause) {
+            assert_eq!(*cmds, held, "tick {t} inside the pause");
+        }
+        // ...then the plan flows again (until the still-alerting stream
+        // re-engages after another debounce run-up).
+        let resume = gate + pause;
+        assert_eq!(carried[resume], plan_commands(resume as f32 / (n - 1) as f32));
+        assert!(reactor.ticks_gated() > pause, "trigger-happy stream re-engages the pause");
+    }
+
+    #[test]
+    fn reset_restores_a_cold_reactor() {
+        let (pipeline, ds) = trained();
+        let cfg = trigger_happy(MitigationPolicy::StopAndHold);
+        let mut reactor = SafetyReactor::new(Arc::clone(&pipeline), cfg);
+        let first = drive(&mut reactor, &ds, 70);
+        assert!(reactor.engaged_tick().is_some());
+
+        reactor.reset();
+        assert_eq!(reactor.ticks_seen(), 0);
+        assert_eq!(reactor.alerts(), 0);
+        assert_eq!(reactor.first_alert_tick(), None);
+        assert_eq!(reactor.engaged_tick(), None);
+        assert_eq!(reactor.ticks_gated(), 0);
+
+        // A reset reactor replays the exact same trajectory as a fresh one.
+        let second = drive(&mut reactor, &ds, 70);
+        assert_eq!(first, second, "post-reset run must be bit-equal to the first");
+    }
+
+    #[test]
+    #[should_panic(expected = "Perfect")]
+    fn perfect_mode_is_rejected_at_construction() {
+        let (pipeline, _) = trained();
+        let cfg = ReactorConfig { mode: ContextMode::Perfect, ..ReactorConfig::default() };
+        let _ = SafetyReactor::new(pipeline, cfg);
+    }
+
+    #[test]
+    fn guarded_runs_fault_before_reactor() {
+        struct Offset;
+        impl CommandFilter for Offset {
+            fn apply(&mut self, _t: usize, _p: f32, c: &mut Commands) {
+                c.arms[1].grasper += 1.0;
+            }
+        }
+        let (pipeline, ds) = trained();
+        let mut guarded = Guarded::new(
+            Offset,
+            SafetyReactor::new(pipeline, trigger_happy(MitigationPolicy::StopAndHold)),
+        );
+        let demo = &ds.demos[0];
+        let mut frozen: Option<Commands> = None;
+        for t in 0..70 {
+            let mut cmds = plan_commands(t as f32 / 69.0);
+            guarded.apply(t, t as f32 / 69.0, &mut cmds);
+            guarded.observe(t, &demo.frames[t]);
+            match guarded.reactor.engaged_tick() {
+                Some(gate) if t >= gate => {
+                    // Held commands are the *faulted* stream: the reactor is
+                    // downstream of the injector, like the real system.
+                    let f = *frozen.get_or_insert(cmds);
+                    assert_eq!(cmds, f, "tick {t}");
+                    assert!((f.arms[1].grasper - 1.12).abs() < 1e-6);
+                }
+                _ => assert!((cmds.arms[1].grasper - 1.12).abs() < 1e-6, "fault applies"),
+            }
+        }
+        assert!(frozen.is_some(), "reactor should have engaged");
+    }
+}

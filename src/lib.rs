@@ -18,4 +18,5 @@ pub use jigsaws;
 pub use kinematics;
 pub use nn;
 pub use raven_sim;
+pub use reactor;
 pub use vision;

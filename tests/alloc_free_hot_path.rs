@@ -1,6 +1,9 @@
 //! Proves the acceptance criterion "no per-window heap allocation in the
 //! steady-state hot path" by counting real allocator calls around
-//! `SafetyMonitor::push` after warm-up.
+//! `SafetyMonitor::push` after warm-up — and around the closed-loop
+//! reactor's per-tick `apply` + `observe` path, measured with its
+//! mitigation engaged (the worst case: alert bookkeeping plus command
+//! gating on every tick).
 //!
 //! This file must contain exactly one test: the counting allocator is
 //! process-global, and a concurrently running test would pollute the count.
@@ -8,9 +11,12 @@
 use context_monitor::{ContextMode, MonitorConfig, SafetyMonitor, TrainedPipeline};
 use gestures::Task;
 use jigsaws::{generate, GeneratorConfig};
-use kinematics::FeatureSet;
+use kinematics::{FeatureSet, Vec3};
+use raven_sim::{ArmCommand, CommandFilter, Commands};
+use reactor::{MitigationPolicy, ReactorConfig, SafetyReactor};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 struct CountingAllocator;
 
@@ -84,5 +90,55 @@ fn steady_state_monitor_push_performs_no_heap_allocation() {
     assert_eq!(
         allocations, 0,
         "steady-state push allocated {allocations} times over {measured} frames"
+    );
+
+    // Part 2: the closed-loop reactor's per-tick path. A threshold of 1e-6
+    // alerts on every warm frame, so by the end of warm-up the mitigation
+    // has engaged and the measured phase covers the full worst case:
+    // engine step + alert bookkeeping + gated command stream.
+    let pipeline = Arc::new(monitor.into_pipeline());
+    let mut reactor = SafetyReactor::new(
+        Arc::clone(&pipeline),
+        ReactorConfig {
+            threshold: 1e-6,
+            policy: MitigationPolicy::StopAndHold,
+            ..ReactorConfig::default()
+        },
+    );
+    // A moving setpoint, so a gated tick is distinguishable from a
+    // pass-through tick (the hold freezes an *earlier* plan point).
+    let plan = |p: f32| {
+        let arm = ArmCommand {
+            position: Vec3::new(10.0 * p, -5.0 * p, 20.0),
+            grasper: 0.12,
+            euler: (0.0, 0.0, 0.0),
+        };
+        Commands { arms: [arm, arm] }
+    };
+    let n = demo.len() as f32 - 1.0;
+    for (t, frame) in demo.frames.iter().enumerate().take(warm + measured) {
+        let mut cmds = plan(t as f32 / n);
+        reactor.apply(t, t as f32 / n, &mut cmds);
+        reactor.observe(t, frame);
+    }
+    assert!(reactor.engaged_tick().is_some(), "mitigation must be engaged before measuring");
+    assert!(reactor.ticks_gated() > 0);
+
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    let mut gated = 0usize;
+    for (t, frame) in demo.frames.iter().enumerate().skip(warm + measured).take(measured) {
+        let mut cmds = plan(t as f32 / n);
+        reactor.apply(t, t as f32 / n, &mut cmds);
+        reactor.observe(t, frame);
+        gated += (cmds != plan(t as f32 / n)) as usize;
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocations = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(gated, measured, "stop-and-hold should gate every measured tick");
+    assert_eq!(
+        allocations, 0,
+        "steady-state reactor tick allocated {allocations} times over {measured} ticks"
     );
 }
