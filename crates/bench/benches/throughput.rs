@@ -61,7 +61,7 @@ fn run_sharded(
     sessions: usize,
     workers: usize,
     w: &Workload,
-) -> (f64, usize, context_monitor::LatencyStats) {
+) -> (f64, usize, context_monitor::PoolStats) {
     let cfg = ServeConfig { workers, threshold: 0.5 };
     let mut pool =
         ShardedMonitorPool::with_sessions(pipeline, ContextMode::Predicted, cfg, sessions);
@@ -123,14 +123,20 @@ fn main() {
                 n, baseline_n,
                 "sharded pool must emit exactly the baseline's decision count"
             );
-            assert_eq!(stats.count, n, "telemetry must cover every warm decision");
+            assert_eq!(stats.compute.count, n, "telemetry must cover every warm decision");
+            assert_eq!(
+                stats.queue.count,
+                sessions * workload.frames_per_session,
+                "queueing telemetry must cover every frame, warm-up included"
+            );
             println!(
                 "{:<38} {:>14.0} {:>9.2}x",
                 format!("sharded, {sessions} sessions x {workers} workers"),
                 rate,
                 rate / baseline_rate
             );
-            println!("{:<38} {stats}", "");
+            println!("{:<38} {}", "", stats.compute);
+            println!("{:<38} queueing (submit→drain) p99 {:.3} ms", "", stats.queue.p99_ms);
         }
         pipeline = Arc::try_unwrap(shared).ok().expect("workers joined");
     }

@@ -63,7 +63,8 @@ fn main() {
         MitigationPolicy::PauseTicks(pause),
     ] {
         header(&format!("closed-loop campaign — policy {policy}"));
-        let report = run_closed_loop_campaign(&campaign(sim, grid_scale, policy), &pipeline);
+        let report = run_closed_loop_campaign(&campaign(sim, grid_scale, policy), &pipeline)
+            .expect("default reactor configs are valid");
         print!("{}", report.render());
         if policy == MitigationPolicy::StopAndHold {
             stop_and_hold = Some(report);
@@ -78,7 +79,8 @@ fn main() {
     let mut precise = campaign(sim, grid_scale, MitigationPolicy::StopAndHold);
     precise.reactor.threshold = 0.8;
     precise.reactor.debounce = 3;
-    let precise_report = run_closed_loop_campaign(&precise, &pipeline);
+    let precise_report =
+        run_closed_loop_campaign(&precise, &pipeline).expect("precision operating point is valid");
     print!("{}", precise_report.summary().render());
 
     header("paper vs measured (reaction-time margin, Table VIII)");
@@ -108,8 +110,8 @@ fn smoke() {
     let pipeline = train_pipeline(Scale::Fast);
     let cfg = campaign(sim, 0.05, MitigationPolicy::StopAndHold);
 
-    let report = run_closed_loop_campaign(&cfg, &pipeline);
-    let again = run_closed_loop_campaign(&cfg, &pipeline);
+    let report = run_closed_loop_campaign(&cfg, &pipeline).expect("smoke config is valid");
+    let again = run_closed_loop_campaign(&cfg, &pipeline).expect("smoke config is valid");
     assert_eq!(report, again, "closed-loop campaign must be deterministic across invocations");
 
     let s = report.summary();

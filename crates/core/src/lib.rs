@@ -60,6 +60,7 @@ pub use pipeline::{
 };
 pub use report::{
     error_events, evaluate_pipeline, evaluate_run, per_gesture_report, percentile,
-    ClosedLoopSummary, DemoEval, GestureRow, LatencyStats, PipelineEval, REACTION_LOOKBACK_S,
+    ClosedLoopSummary, DemoEval, GestureRow, LatencyStats, PipelineEval, PoolStats,
+    REACTION_LOOKBACK_S,
 };
 pub use serve::{parallel_map, Decision, ServeConfig, ShardedMonitorPool};

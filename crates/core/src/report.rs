@@ -313,6 +313,29 @@ impl std::fmt::Display for LatencyStats {
     }
 }
 
+/// Latency decomposition of a serving pool: per-decision **compute** (the
+/// micro-batched forward passes, amortized per frame) and **ingress-to-egress
+/// queueing** (frame submit → decision drain, wall clock), so the closed-loop
+/// reaction-time margin can be decomposed into model time vs. load-induced
+/// waiting under fleet traffic. Produced by
+/// `serve::ShardedMonitorPool::stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Per-decision compute time. Warm decisions only: warm-up frames carry
+    /// no compute measurement.
+    pub compute: LatencyStats,
+    /// Ingress-to-egress latency of **every** drained decision (warm-up
+    /// frames queue like any other), measured from the `submit` call to the
+    /// moment the decision left the egress channel.
+    pub queue: LatencyStats,
+}
+
+impl std::fmt::Display for PoolStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "compute  | {}\nqueueing | {}", self.compute, self.queue)
+    }
+}
+
 /// Headline numbers of a closed-loop (twin-run) fault-injection campaign:
 /// how often the reactor prevented the unsafe event the unmonitored twin
 /// suffered, how often it stopped a trial that would have succeeded, and

@@ -29,13 +29,13 @@
 use crate::engine::{step_batch, BatchJob, BatchScratch, EngineError, EngineStep, InferenceEngine};
 use crate::monitor::{output_from_step, MonitorOutput, SessionId};
 use crate::pipeline::{ContextMode, TrainedPipeline};
-use crate::report::LatencyStats;
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crate::report::{LatencyStats, PoolStats};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use gestures::Gesture;
 use kinematics::KinematicSample;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`ShardedMonitorPool`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,9 +66,24 @@ pub struct Decision {
 }
 
 enum Job {
-    Frame { slot: usize, frame: KinematicSample, context: Option<Gesture> },
+    Frame {
+        slot: usize,
+        frame: KinematicSample,
+        context: Option<Gesture>,
+        submitted: Instant,
+    },
     AddSession,
-    Barrier { token: u64 },
+    ResetSession {
+        slot: usize,
+    },
+    /// Chaos hook: the worker sleeps before processing anything queued
+    /// behind this job — see [`ShardedMonitorPool::inject_stall`].
+    Stall {
+        dur: Duration,
+    },
+    Barrier {
+        token: u64,
+    },
 }
 
 /// Log-scale bucket count of the latency histogram: 6 decades
@@ -161,7 +176,7 @@ impl LatencyTelemetry {
 }
 
 enum Event {
-    Decision(Decision),
+    Decision { decision: Decision, submitted: Instant },
     BarrierAck { token: u64 },
 }
 
@@ -197,12 +212,20 @@ pub struct ShardedMonitorPool {
     mode: ContextMode,
     ingress: Vec<Sender<Job>>,
     egress: Receiver<Event>,
+    /// Frame buffers handed back by the workers after consumption, reused
+    /// by the next `submit` so the steady-state ingress path allocates
+    /// nothing (a fresh clone happens only while the in-flight high-water
+    /// mark is still growing).
+    recycle: Receiver<KinematicSample>,
     handles: Vec<JoinHandle<()>>,
     sessions: usize,
     /// Per-session frame counters (frames submitted so far).
     submitted: Vec<usize>,
+    /// Frames submitted whose decision has not been drained yet.
+    in_flight: usize,
     barrier_token: u64,
-    telemetry: LatencyTelemetry,
+    compute_telemetry: LatencyTelemetry,
+    queue_telemetry: LatencyTelemetry,
 }
 
 impl ShardedMonitorPool {
@@ -216,16 +239,18 @@ impl ShardedMonitorPool {
         assert!(config.threshold > 0.0 && config.threshold < 1.0, "threshold must be in (0,1)");
         let workers = config.workers.max(1);
         let (egress_tx, egress_rx) = unbounded();
+        let (recycle_tx, recycle_rx) = unbounded();
         let mut ingress = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for shard in 0..workers {
             let (tx, rx) = unbounded();
             let pipeline = Arc::clone(&pipeline);
             let egress = egress_tx.clone();
+            let recycle = recycle_tx.clone();
             let threshold = config.threshold;
             let topology = ShardTopology { shard, workers };
             handles.push(std::thread::spawn(move || {
-                worker_loop(&pipeline, mode, threshold, topology, &rx, &egress);
+                worker_loop(&pipeline, mode, threshold, topology, &rx, &egress, &recycle);
             }));
             ingress.push(tx);
         }
@@ -233,11 +258,14 @@ impl ShardedMonitorPool {
             mode,
             ingress,
             egress: egress_rx,
+            recycle: recycle_rx,
             handles,
             sessions: 0,
             submitted: Vec::new(),
+            in_flight: 0,
             barrier_token: 0,
-            telemetry: LatencyTelemetry::new(),
+            compute_telemetry: LatencyTelemetry::new(),
+            queue_telemetry: LatencyTelemetry::new(),
         }
     }
 
@@ -334,19 +362,78 @@ impl ShardedMonitorPool {
     ) {
         assert!(session < self.sessions, "unknown session {session}");
         self.submitted[session] += 1;
+        self.in_flight += 1;
         let shard = session % self.ingress.len();
         let slot = session / self.ingress.len();
-        self.send(shard, Job::Frame { slot, frame: frame.clone(), context });
+        // Reuse a frame buffer the workers handed back; `Vec::clone_from`
+        // copies in place when the manipulator count matches, so the
+        // steady-state submit path performs no heap allocation.
+        let frame = match self.recycle.try_recv() {
+            Ok(mut buf) => {
+                buf.manipulators.clone_from(&frame.manipulators);
+                buf
+            }
+            Err(_) => frame.clone(),
+        };
+        self.send(shard, Job::Frame { slot, frame, context, submitted: Instant::now() });
+    }
+
+    /// Restores `session` to a cold, freshly added state: the engine's
+    /// windows and smoothing filter are cleared and its frame counter
+    /// rewinds to 0, so the next submitted frame is frame 0 again — the
+    /// sharded counterpart of `MonitorPool::reset_session`, letting a fleet
+    /// driver reuse pool sessions across trials instead of growing the pool
+    /// forever.
+    ///
+    /// The reset is queued behind the session's in-flight frames (shard jobs
+    /// execute in submission order), but decisions for frames submitted
+    /// before the reset keep their pre-reset frame indices — drain them
+    /// (e.g. [`ShardedMonitorPool::flush`]) before reusing the session if
+    /// frame numbering matters to you.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown session id.
+    pub fn reset_session(&mut self, session: SessionId) {
+        assert!(session < self.sessions, "unknown session {session}");
+        self.submitted[session] = 0;
+        let shard = session % self.ingress.len();
+        let slot = session / self.ingress.len();
+        self.send(shard, Job::ResetSession { slot });
+    }
+
+    /// Chaos hook: makes shard `shard` sleep for `dur` at the point the
+    /// stall reaches it in job order. Every decision the shard has not yet
+    /// computed is delayed — frames queued behind the stall *and* frames
+    /// already drained into the micro-tick under construction (the worker
+    /// sleeps before running that tick). Nothing is lost; all decisions
+    /// arrive late. This is the deterministic way to force
+    /// decision-deadline misses in fail-safe drills
+    /// (`faults::run_forced_miss_drill`) and tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range shard index.
+    pub fn inject_stall(&mut self, shard: usize, dur: Duration) {
+        assert!(shard < self.ingress.len(), "unknown shard {shard}");
+        self.send(shard, Job::Stall { dur });
     }
 
     /// Non-blocking drain of the decisions that are ready right now.
     pub fn poll(&mut self) -> Vec<Decision> {
         let mut out = Vec::new();
+        self.poll_into(&mut out);
+        out
+    }
+
+    /// Non-blocking drain appending into a caller-owned buffer (no
+    /// allocation once the buffer is warm).
+    pub fn poll_into(&mut self, out: &mut Vec<Decision>) {
         loop {
             match self.egress.try_recv() {
-                Ok(Event::Decision(d)) => {
-                    self.record(&d);
-                    out.push(d);
+                Ok(Event::Decision { decision, submitted }) => {
+                    self.record(&decision, submitted);
+                    out.push(decision);
                 }
                 Ok(Event::BarrierAck { .. }) => {
                     unreachable!("barrier acks are consumed by flush")
@@ -354,26 +441,65 @@ impl ShardedMonitorPool {
                 Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
             }
         }
-        out
     }
 
-    /// Per-decision latency distribution (p50/p99/max over `compute_ms`)
-    /// of every decision drained so far via [`ShardedMonitorPool::poll`] /
-    /// [`ShardedMonitorPool::flush`]. Warm-up frames (no output) are not
-    /// measured. Render with the [`LatencyStats`] `Display` impl.
-    pub fn stats(&self) -> LatencyStats {
-        self.telemetry.stats()
+    /// Blocking drain with a deadline: appends decisions into `out` until
+    /// every submitted frame has produced one (returns `true`) or `deadline`
+    /// passes (returns `false`, with whatever arrived in time already in
+    /// `out`). A deadline already in the past still sweeps the decisions
+    /// sitting in the egress queue — it just never waits.
+    ///
+    /// This is the serving tick of the deadline-gated closed loop: the
+    /// fleet reactor drains with its per-tick budget and fails safe for
+    /// every decision that misses it (`reactor::PooledReactor`).
+    pub fn drain_deadline(&mut self, deadline: Instant, out: &mut Vec<Decision>) -> bool {
+        while self.in_flight > 0 {
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            match self.egress.recv_timeout(timeout) {
+                Ok(Event::Decision { decision, submitted }) => {
+                    self.record(&decision, submitted);
+                    out.push(decision);
+                }
+                Ok(Event::BarrierAck { .. }) => {
+                    unreachable!("barrier acks are consumed by flush")
+                }
+                Err(RecvTimeoutError::Timeout) => return false,
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("shard worker exited while frames were in flight")
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of submitted frames whose decision has not been drained yet.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Latency decomposition of every decision drained so far via
+    /// [`ShardedMonitorPool::poll`] / [`ShardedMonitorPool::flush`] /
+    /// [`ShardedMonitorPool::drain_deadline`]: per-decision **compute**
+    /// (`compute_ms`, warm frames only — warm-up frames carry no compute
+    /// measurement) and **ingress-to-egress queueing** (submit timestamp →
+    /// decision drain, every frame). Render with the [`PoolStats`] /
+    /// [`LatencyStats`] `Display` impls.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats { compute: self.compute_telemetry.stats(), queue: self.queue_telemetry.stats() }
     }
 
     /// Clears the latency telemetry (e.g. between load phases). The fixed
-    /// histogram buffer is kept, so this never allocates.
+    /// histogram buffers are kept, so this never allocates.
     pub fn reset_stats(&mut self) {
-        self.telemetry.reset();
+        self.compute_telemetry.reset();
+        self.queue_telemetry.reset();
     }
 
-    fn record(&mut self, d: &Decision) {
+    fn record(&mut self, d: &Decision, submitted: Instant) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        self.queue_telemetry.record(submitted.elapsed().as_secs_f32() * 1000.0);
         if let Some(o) = &d.output {
-            self.telemetry.record(o.compute_ms);
+            self.compute_telemetry.record(o.compute_ms);
         }
     }
 
@@ -381,25 +507,31 @@ impl ShardedMonitorPool {
     /// returns all pending decisions. Decisions of one session appear in
     /// frame order.
     pub fn flush(&mut self) -> Vec<Decision> {
+        let mut out = Vec::new();
+        self.flush_into(&mut out);
+        out
+    }
+
+    /// [`ShardedMonitorPool::flush`] appending into a caller-owned buffer
+    /// (no allocation once the buffer is warm).
+    pub fn flush_into(&mut self, out: &mut Vec<Decision>) {
         self.barrier_token += 1;
         let token = self.barrier_token;
         for shard in 0..self.ingress.len() {
             self.send(shard, Job::Barrier { token });
         }
-        let mut out = Vec::new();
         let mut acked = 0usize;
         while acked < self.ingress.len() {
             match self.egress.recv() {
-                Ok(Event::Decision(d)) => {
-                    self.record(&d);
-                    out.push(d);
+                Ok(Event::Decision { decision, submitted }) => {
+                    self.record(&decision, submitted);
+                    out.push(decision);
                 }
                 Ok(Event::BarrierAck { token: t }) if t == token => acked += 1,
                 Ok(Event::BarrierAck { .. }) => {}
                 Err(_) => panic!("shard worker exited while frames were in flight"),
             }
         }
-        out
     }
 
     fn send(&self, shard: usize, job: Job) {
@@ -433,6 +565,21 @@ impl ShardTopology {
     }
 }
 
+/// The per-shard state a [`run_tick`] call consumes: the tick under
+/// construction plus per-session bookkeeping. All buffers are reused across
+/// ticks — the steady-state worker loop performs no per-tick allocation.
+struct ShardState {
+    engines: Vec<InferenceEngine>,
+    frames_done: Vec<usize>,
+    scratch: BatchScratch,
+    steps: Vec<EngineStep>,
+    /// The tick under construction (at most one job per session) and each
+    /// job's ingress timestamp, index-aligned.
+    tick: Vec<BatchJob>,
+    tick_submitted: Vec<Instant>,
+    in_tick: Vec<bool>,
+}
+
 /// One shard: owns its sessions' engines, drains the ingress queue into
 /// micro-batched ticks, and reports decisions on the egress channel.
 fn worker_loop(
@@ -442,16 +589,17 @@ fn worker_loop(
     topology: ShardTopology,
     ingress: &Receiver<Job>,
     egress: &Sender<Event>,
+    recycle: &Sender<KinematicSample>,
 ) {
-    let mut engines: Vec<InferenceEngine> = Vec::new();
-    let mut frames_done: Vec<usize> = Vec::new();
-    let mut scratch = BatchScratch::new(pipeline);
-    let mut steps: Vec<EngineStep> = Vec::new();
-    // The tick under construction (at most one job per session). The
-    // buffer is reused across ticks — the steady-state worker loop
-    // performs no per-tick allocation.
-    let mut tick: Vec<BatchJob> = Vec::new();
-    let mut in_tick: Vec<bool> = Vec::new();
+    let mut state = ShardState {
+        engines: Vec::new(),
+        frames_done: Vec::new(),
+        scratch: BatchScratch::new(pipeline),
+        steps: Vec::new(),
+        tick: Vec::new(),
+        tick_submitted: Vec::new(),
+        in_tick: Vec::new(),
+    };
 
     // `recv` blocks for work and errors once the pool drops its senders.
     while let Ok(first) = ingress.recv() {
@@ -468,96 +616,79 @@ fn worker_loop(
             };
             match job {
                 Job::AddSession => {
-                    engines.push(InferenceEngine::new(pipeline, mode));
-                    frames_done.push(0);
-                    in_tick.push(false);
+                    state.engines.push(InferenceEngine::new(pipeline, mode));
+                    state.frames_done.push(0);
+                    state.in_tick.push(false);
                 }
+                Job::ResetSession { slot } => {
+                    if state.in_tick[slot] {
+                        // The session's current frame must be scored (and
+                        // its decision emitted) before the state rewinds.
+                        run_tick(pipeline, threshold, topology, &mut state, egress, recycle);
+                    }
+                    state.engines[slot].reset();
+                    state.frames_done[slot] = 0;
+                }
+                Job::Stall { dur } => std::thread::sleep(dur),
                 Job::Barrier { token } => {
                     // Everything before the barrier must be visible.
-                    run_tick(
-                        pipeline,
-                        threshold,
-                        topology,
-                        &mut engines,
-                        &mut frames_done,
-                        &mut tick,
-                        &mut in_tick,
-                        &mut scratch,
-                        &mut steps,
-                        egress,
-                    );
+                    run_tick(pipeline, threshold, topology, &mut state, egress, recycle);
                     let _ = egress.send(Event::BarrierAck { token });
                 }
-                Job::Frame { slot, frame, context } => {
-                    if in_tick[slot] {
+                Job::Frame { slot, frame, context, submitted } => {
+                    if state.in_tick[slot] {
                         // Second frame of the same session: the current
                         // tick must complete first to keep per-session
                         // frame order (and window validity).
-                        run_tick(
-                            pipeline,
-                            threshold,
-                            topology,
-                            &mut engines,
-                            &mut frames_done,
-                            &mut tick,
-                            &mut in_tick,
-                            &mut scratch,
-                            &mut steps,
-                            egress,
-                        );
+                        run_tick(pipeline, threshold, topology, &mut state, egress, recycle);
                     }
-                    in_tick[slot] = true;
-                    tick.push(BatchJob { engine: slot, frame, context });
+                    state.in_tick[slot] = true;
+                    state.tick.push(BatchJob { engine: slot, frame, context });
+                    state.tick_submitted.push(submitted);
                 }
             }
         }
-        run_tick(
-            pipeline,
-            threshold,
-            topology,
-            &mut engines,
-            &mut frames_done,
-            &mut tick,
-            &mut in_tick,
-            &mut scratch,
-            &mut steps,
-            egress,
-        );
+        run_tick(pipeline, threshold, topology, &mut state, egress, recycle);
     }
 }
 
 /// Runs one micro-batched tick and emits its decisions.
-#[allow(clippy::too_many_arguments)] // worker-local state, called from one place
 fn run_tick(
     pipeline: &TrainedPipeline,
     threshold: f32,
     topology: ShardTopology,
-    engines: &mut [InferenceEngine],
-    frames_done: &mut [usize],
-    tick: &mut Vec<BatchJob>,
-    in_tick: &mut [bool],
-    scratch: &mut BatchScratch,
-    steps: &mut Vec<EngineStep>,
+    state: &mut ShardState,
     egress: &Sender<Event>,
+    recycle: &Sender<KinematicSample>,
 ) {
-    if tick.is_empty() {
+    if state.tick.is_empty() {
         return;
     }
     let start = Instant::now();
-    step_batch(pipeline, engines, tick, scratch, steps);
-    let per_frame_ms = start.elapsed().as_secs_f32() * 1000.0 / tick.len() as f32;
-    for (job, step) in tick.iter().zip(steps.iter()) {
+    step_batch(pipeline, &mut state.engines, &state.tick, &mut state.scratch, &mut state.steps);
+    let per_frame_ms = start.elapsed().as_secs_f32() * 1000.0 / state.tick.len() as f32;
+    for ((job, step), &submitted) in
+        state.tick.iter().zip(state.steps.iter()).zip(state.tick_submitted.iter())
+    {
         let slot = job.engine;
-        let frame_idx = frames_done[slot];
-        frames_done[slot] += 1;
-        in_tick[slot] = false;
-        let _ = egress.send(Event::Decision(Decision {
-            session: topology.session_of(slot),
-            frame: frame_idx,
-            output: output_from_step(step, threshold, per_frame_ms),
-        }));
+        let frame_idx = state.frames_done[slot];
+        state.frames_done[slot] += 1;
+        state.in_tick[slot] = false;
+        let _ = egress.send(Event::Decision {
+            decision: Decision {
+                session: topology.session_of(slot),
+                frame: frame_idx,
+                output: output_from_step(step, threshold, per_frame_ms),
+            },
+            submitted,
+        });
     }
-    tick.clear();
+    // Hand the consumed frame buffers back to the pool for the next
+    // `submit` to reuse (the pool may already be gone at shutdown).
+    for job in state.tick.drain(..) {
+        let _ = recycle.send(job.frame);
+    }
+    state.tick_submitted.clear();
 }
 
 /// Splits `0..len` into at most `parts` contiguous chunks whose sizes
@@ -670,6 +801,27 @@ mod tests {
         t.reset();
         assert_eq!(t.stats().count, 0);
         assert!(t.stats().p50_ms.is_nan());
+    }
+
+    #[test]
+    fn quantile_reports_the_containing_buckets_upper_edge() {
+        // Pin the quantile readout to the *upper* edge of the bucket the
+        // target rank lands in: a lower-edge readout under-reports by up to
+        // one bucket width (~6%), which matters when the p99 provisions a
+        // real-time decision deadline. All mass sits mid-bucket, and the
+        // max lives in a higher bucket so the `.min(max_ms)` cap cannot
+        // mask a lower-edge regression.
+        let mut t = LatencyTelemetry::new();
+        let v = 1.05f32; // strictly inside a bucket of the 40/decade layout
+        for _ in 0..100 {
+            t.record(v);
+        }
+        t.record(80.0);
+        let s = t.stats();
+        assert!(s.p50_ms >= v, "p50 {} under-reports the true quantile {v}", s.p50_ms);
+        assert!(s.p50_ms <= v * 1.07, "p50 {} more than a bucket above {v}", s.p50_ms);
+        assert!(s.p99_ms >= v && s.p99_ms <= v * 1.07, "p99 {} off the {v} bucket", s.p99_ms);
+        assert_eq!(s.max_ms, 80.0);
     }
 
     #[test]

@@ -186,7 +186,8 @@ fn missing_context_is_a_typed_error_not_a_panic() {
 }
 
 /// Satellite: the pool-level latency telemetry measures every warm
-/// decision drained through `poll`/`flush` and keeps its quantiles ordered.
+/// decision drained through `poll`/`flush` — compute per warm decision,
+/// ingress-to-egress queueing per frame — and keeps its quantiles ordered.
 #[test]
 fn latency_stats_cover_drained_decisions() {
     let (pipeline, ds) = tiny_pipeline(37);
@@ -197,7 +198,8 @@ fn latency_stats_cover_drained_decisions() {
         ServeConfig { workers: 2, threshold: 0.5 },
         3,
     );
-    assert_eq!(pool.stats().count, 0, "no decisions measured before any flush");
+    assert_eq!(pool.stats().compute.count, 0, "no decisions measured before any flush");
+    assert_eq!(pool.stats().queue.count, 0);
 
     let frames = 2 * warm;
     for t in 0..frames {
@@ -205,16 +207,108 @@ fn latency_stats_cover_drained_decisions() {
             pool.submit(s, &ds.demos[s].frames[t]).expect("Predicted mode");
         }
     }
+    assert_eq!(pool.in_flight(), 3 * frames, "every submit is pending before the flush");
     let decisions = pool.flush();
+    assert_eq!(pool.in_flight(), 0, "flush drains every pending decision");
     let warm_decisions = decisions.iter().filter(|d| d.output.is_some()).count();
     assert!(warm_decisions > 0, "sessions should have warmed up");
 
     let stats = pool.stats();
-    assert_eq!(stats.count, warm_decisions, "exactly the warm decisions are measured");
-    assert!(stats.p50_ms <= stats.p99_ms && stats.p99_ms <= stats.max_ms, "{stats:?}");
-    assert!(stats.mean_ms > 0.0 && stats.mean_ms.is_finite());
-    assert!(stats.to_string().contains("p99"), "stats render via core::report::LatencyStats");
+    assert_eq!(stats.compute.count, warm_decisions, "exactly the warm decisions are measured");
+    assert_eq!(
+        stats.queue.count,
+        3 * frames,
+        "every frame is measured ingress-to-egress, warm-up included"
+    );
+    let c = stats.compute;
+    assert!(c.p50_ms <= c.p99_ms && c.p99_ms <= c.max_ms, "{c:?}");
+    assert!(c.mean_ms > 0.0 && c.mean_ms.is_finite());
+    let q = stats.queue;
+    assert!(q.p50_ms <= q.p99_ms && q.p99_ms <= q.max_ms, "{q:?}");
+    assert!(
+        q.mean_ms >= c.mean_ms,
+        "queueing (submit→drain) contains compute: {} < {}",
+        q.mean_ms,
+        c.mean_ms
+    );
+    let text = stats.to_string();
+    assert!(text.contains("compute") && text.contains("queueing"), "{text}");
 
     pool.reset_stats();
-    assert_eq!(pool.stats().count, 0, "reset_stats clears the telemetry");
+    assert_eq!(pool.stats().compute.count, 0, "reset_stats clears the telemetry");
+    assert_eq!(pool.stats().queue.count, 0);
+}
+
+/// `reset_session` on the sharded pool restores a cold session: the same
+/// frames replayed after a reset produce bit-exactly the decisions of a
+/// fresh session, and frame numbering restarts at 0.
+#[test]
+fn sharded_reset_session_replays_bit_equal() {
+    let (pipeline, ds) = tiny_pipeline(53);
+    let mut pool = ShardedMonitorPool::with_sessions(
+        Arc::new(pipeline),
+        ContextMode::Predicted,
+        ServeConfig { workers: 2, threshold: 0.5 },
+        3,
+    );
+    let frames = 48usize;
+    let run = |pool: &mut ShardedMonitorPool| -> Vec<Vec<(usize, Key)>> {
+        for t in 0..frames {
+            for s in 0..3 {
+                pool.submit(s, &ds.demos[s].frames[t]).expect("Predicted mode");
+            }
+        }
+        let mut outs: Vec<Vec<(usize, Key)>> = vec![Vec::new(); 3];
+        for d in pool.flush() {
+            if let Some(o) = d.output {
+                outs[d.session]
+                    .push((d.frame, (o.gesture.index(), o.unsafe_probability.to_bits(), o.alert)));
+            }
+        }
+        outs
+    };
+
+    let first = run(&mut pool);
+    assert!(first.iter().any(|s| !s.is_empty()), "sessions should warm up");
+    for s in 0..3 {
+        pool.reset_session(s);
+        assert_eq!(pool.frames_submitted(s), 0, "reset rewinds the frame counter");
+    }
+    let second = run(&mut pool);
+    assert_eq!(first, second, "a reset session must replay bit-equal to a fresh one");
+}
+
+/// A deliberately stalled shard delays its decisions past a deadline-gated
+/// drain; the late decisions still arrive (exactly once, in frame order) on
+/// the next drain, and nothing is lost.
+#[test]
+fn drain_deadline_leaves_stalled_decisions_for_the_next_drain() {
+    use std::time::{Duration, Instant};
+    let (pipeline, ds) = tiny_pipeline(59);
+    let mut pool = ShardedMonitorPool::with_sessions(
+        Arc::new(pipeline),
+        ContextMode::Predicted,
+        ServeConfig { workers: 2, threshold: 0.5 },
+        2, // session 0 -> shard 0, session 1 -> shard 1
+    );
+    pool.inject_stall(0, Duration::from_millis(150));
+    for s in 0..2 {
+        pool.submit(s, &ds.demos[s].frames[0]).expect("Predicted mode");
+    }
+    let mut out = Vec::new();
+    let drained = pool.drain_deadline(Instant::now() + Duration::from_millis(30), &mut out);
+    assert!(!drained, "the stalled shard cannot make the deadline");
+    assert!(pool.in_flight() > 0, "the stalled frame is still pending");
+    assert!(
+        out.iter().all(|d| d.session != 0),
+        "no decision from the stalled shard inside the budget"
+    );
+
+    // The late decision arrives on a later (generous) drain, exactly once.
+    let fully = pool.drain_deadline(Instant::now() + Duration::from_secs(10), &mut out);
+    assert!(fully, "late decisions arrive once the stall clears");
+    assert_eq!(pool.in_flight(), 0);
+    let from_stalled: Vec<_> = out.iter().filter(|d| d.session == 0).collect();
+    assert_eq!(from_stalled.len(), 1, "the delayed frame produces exactly one decision");
+    assert_eq!(from_stalled[0].frame, 0);
 }

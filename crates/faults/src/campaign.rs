@@ -196,7 +196,7 @@ pub fn run_injection(sim: &SimConfig, spec: FaultSpec) -> (Trial, FaultInjector)
 /// open-loop and the closed-loop campaign derive their seeds here, so for a
 /// given `(seed, scale)` the closed-loop campaign's unmonitored twins are
 /// trial-for-trial the open-loop campaign's trials.
-fn grid_work(grid: &[GridCell], cfg: &CampaignConfig) -> Vec<(usize, u64)> {
+pub(crate) fn grid_work(grid: &[GridCell], cfg: &CampaignConfig) -> Vec<(usize, u64)> {
     let mut work = Vec::new();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     for (ci, cell) in grid.iter().enumerate() {
@@ -443,48 +443,16 @@ impl ClosedLoopReport {
     }
 }
 
-/// Runs the closed-loop (twin-run) campaign: every grid cell's injections
-/// executed twice with identical seeds and fault specs — once unmonitored,
-/// once with a fresh [`SafetyReactor`] (sharing `pipeline`) downstream of
-/// the fault injector. Deterministic for a given config: same seeds →
-/// bit-identical report, regardless of thread count.
-pub fn run_closed_loop_campaign(
-    cfg: &ClosedLoopConfig,
-    pipeline: &Arc<TrainedPipeline>,
+/// Tallies per-trial twin outcomes into the per-cell report — shared by the
+/// single-robot campaign below and the fleet campaign
+/// ([`crate::run_fleet_campaign`]), so both produce the **same**
+/// `ClosedLoopReport` for the same outcomes, bit for bit.
+pub(crate) fn tally_closed_loop(
+    grid: &[GridCell],
+    outcomes: Vec<TwinOutcome>,
+    hz: f32,
+    reactor_cfg: ReactorConfig,
 ) -> ClosedLoopReport {
-    let grid = table3_grid();
-    let work = grid_work(&grid, &cfg.campaign);
-    let sim = cfg.campaign.sim;
-    let reactor_cfg = cfg.reactor;
-
-    let outcomes: Vec<TwinOutcome> =
-        parallel_map(&work, cfg.campaign.threads.max(1), |&(ci, seed)| {
-            let mut trial_rng = SmallRng::seed_from_u64(seed);
-            let spec = sample_spec(&grid[ci], &mut trial_rng);
-            let sim_cfg = SimConfig { seed, ..sim };
-
-            // Unmonitored twin: the counterfactual.
-            let (baseline, _) = run_injection(&sim_cfg, spec);
-
-            // Monitored twin: same seed and spec, reactor at the last
-            // computational stage (downstream of the injector).
-            let mut guarded = Guarded::new(
-                FaultInjector::new(spec),
-                SafetyReactor::new(Arc::clone(pipeline), reactor_cfg),
-            );
-            let monitored = run_block_transfer(&sim_cfg, &mut guarded);
-
-            TwinOutcome {
-                cell: ci,
-                baseline_failure: baseline.outcome.failure,
-                baseline_error_tick: baseline.outcome.error_tick,
-                monitored_failure: monitored.outcome.failure,
-                first_alert_tick: guarded.reactor.first_alert_tick(),
-                engaged_tick: guarded.reactor.engaged_tick(),
-                ticks_gated: guarded.reactor.ticks_gated(),
-            }
-        });
-
     let mut cells: Vec<ClosedLoopCell> = grid
         .iter()
         .map(|&cell| ClosedLoopCell {
@@ -522,7 +490,61 @@ pub fn run_closed_loop_campaign(
             c.margin_ticks.push(m);
         }
     }
-    ClosedLoopReport { cells, hz: sim.hz, reactor: reactor_cfg }
+    ClosedLoopReport { cells, hz, reactor: reactor_cfg }
+}
+
+/// Runs the closed-loop (twin-run) campaign: every grid cell's injections
+/// executed twice with identical seeds and fault specs — once unmonitored,
+/// once with a fresh [`SafetyReactor`] (sharing `pipeline`) downstream of
+/// the fault injector. Deterministic for a given config: same seeds →
+/// bit-identical report, regardless of thread count.
+///
+/// # Errors
+///
+/// [`reactor::ConfigError`] when the reactor configuration is invalid for
+/// `pipeline` — validated **once up front**, so a bad sweep point fails
+/// this one campaign call with a typed error instead of panicking a worker
+/// thread (and with it the whole process) mid-campaign.
+pub fn run_closed_loop_campaign(
+    cfg: &ClosedLoopConfig,
+    pipeline: &Arc<TrainedPipeline>,
+) -> Result<ClosedLoopReport, reactor::ConfigError> {
+    cfg.reactor.validate_for(pipeline)?;
+    let grid = table3_grid();
+    let work = grid_work(&grid, &cfg.campaign);
+    let sim = cfg.campaign.sim;
+    let reactor_cfg = cfg.reactor;
+
+    let outcomes: Vec<TwinOutcome> =
+        parallel_map(&work, cfg.campaign.threads.max(1), |&(ci, seed)| {
+            let mut trial_rng = SmallRng::seed_from_u64(seed);
+            let spec = sample_spec(&grid[ci], &mut trial_rng);
+            let sim_cfg = SimConfig { seed, ..sim };
+
+            // Unmonitored twin: the counterfactual.
+            let (baseline, _) = run_injection(&sim_cfg, spec);
+
+            // Monitored twin: same seed and spec, reactor at the last
+            // computational stage (downstream of the injector). The config
+            // was validated above, so construction cannot panic here.
+            let mut guarded = Guarded::new(
+                FaultInjector::new(spec),
+                SafetyReactor::new(Arc::clone(pipeline), reactor_cfg),
+            );
+            let monitored = run_block_transfer(&sim_cfg, &mut guarded);
+
+            TwinOutcome {
+                cell: ci,
+                baseline_failure: baseline.outcome.failure,
+                baseline_error_tick: baseline.outcome.error_tick,
+                monitored_failure: monitored.outcome.failure,
+                first_alert_tick: guarded.reactor.first_alert_tick(),
+                engaged_tick: guarded.reactor.engaged_tick(),
+                ticks_gated: guarded.reactor.ticks_gated(),
+            }
+        });
+
+    Ok(tally_closed_loop(&grid, outcomes, sim.hz, reactor_cfg))
 }
 
 #[cfg(test)]
@@ -602,34 +624,8 @@ mod tests {
         assert_eq!(text.lines().count(), 1 + 28 + 1);
     }
 
-    use crate::dataset::{build_block_transfer_dataset, BlockTransferDataConfig};
-    use context_monitor::MonitorConfig;
-    use kinematics::FeatureSet;
+    use crate::testutil::{bt_pipeline, closed_loop_sim};
     use reactor::MitigationPolicy;
-    use std::sync::OnceLock;
-
-    fn closed_loop_sim() -> SimConfig {
-        SimConfig { hz: 50.0, duration_s: 4.0, seed: 0, tremor: 0.3 }
-    }
-
-    /// One Block Transfer pipeline shared by every closed-loop test in this
-    /// binary (training it takes seconds; the tests only read it).
-    fn bt_pipeline() -> Arc<TrainedPipeline> {
-        static PIPELINE: OnceLock<Arc<TrainedPipeline>> = OnceLock::new();
-        Arc::clone(PIPELINE.get_or_init(|| {
-            let ds = build_block_transfer_dataset(&BlockTransferDataConfig {
-                fault_free: 6,
-                faulty: 18,
-                sim: closed_loop_sim(),
-                seed: 4242,
-            });
-            let mut cfg = MonitorConfig::fast(FeatureSet::CG).with_seed(9).with_window(10, 1);
-            cfg.train.epochs = 8;
-            cfg.train_stride = 3;
-            let idx: Vec<usize> = (0..ds.len()).collect();
-            Arc::new(TrainedPipeline::train(&ds, &idx, &cfg))
-        }))
-    }
 
     fn closed_loop_cfg(scale: f32, policy: MitigationPolicy) -> ClosedLoopConfig {
         ClosedLoopConfig {
@@ -639,11 +635,30 @@ mod tests {
     }
 
     #[test]
+    fn invalid_reactor_config_is_a_typed_campaign_error() {
+        use reactor::ConfigError;
+        let pipeline = bt_pipeline();
+        let mut cfg = closed_loop_cfg(0.02, MitigationPolicy::StopAndHold);
+        cfg.reactor.threshold = 2.0;
+        assert_eq!(
+            run_closed_loop_campaign(&cfg, &pipeline).err(),
+            Some(ConfigError::Threshold(2.0)),
+            "a bad sweep point must fail the campaign call, not panic the process"
+        );
+        cfg.reactor.threshold = 0.5;
+        cfg.reactor.debounce = 10_000;
+        assert!(matches!(
+            run_closed_loop_campaign(&cfg, &pipeline).unwrap_err(),
+            ConfigError::DebounceBeyondWarmup { .. }
+        ));
+    }
+
+    #[test]
     fn closed_loop_campaign_is_deterministic_and_prevents_drops() {
         let pipeline = bt_pipeline();
         let cfg = closed_loop_cfg(0.04, MitigationPolicy::StopAndHold);
-        let report = run_closed_loop_campaign(&cfg, &pipeline);
-        let again = run_closed_loop_campaign(&cfg, &pipeline);
+        let report = run_closed_loop_campaign(&cfg, &pipeline).expect("valid config");
+        let again = run_closed_loop_campaign(&cfg, &pipeline).expect("valid config");
         assert_eq!(report, again, "same seeds must give a bit-identical report");
 
         // The unmonitored twins are trial-for-trial the open-loop campaign.
@@ -673,7 +688,7 @@ mod tests {
     fn log_only_reactor_leaves_the_twin_bit_identical() {
         let pipeline = bt_pipeline();
         let cfg = closed_loop_cfg(0.02, MitigationPolicy::LogOnly);
-        let report = run_closed_loop_campaign(&cfg, &pipeline);
+        let report = run_closed_loop_campaign(&cfg, &pipeline).expect("valid config");
         for c in &report.cells {
             // A log-only reactor observes but never gates, so the monitored
             // twin replays the baseline exactly.

@@ -12,6 +12,11 @@
 //!   executed unmonitored and behind a `reactor::SafetyReactor` with the
 //!   same seeds, yielding prevention rate, false-stop rate, and
 //!   reaction-time margins,
+//! * [`fleet`] — the fleet-scale closed loop ([`run_fleet_campaign`]): N
+//!   concurrent guarded procedures in lockstep over **one** shared
+//!   `ShardedMonitorPool`, with a per-tick decision deadline, fail-safe
+//!   holds on misses ([`run_forced_miss_drill`]), and a bit-identical
+//!   report across pool worker counts,
 //! * [`dataset`] — the 115-demonstration Block Transfer training set with
 //!   gesture-level error labels derived from injection + manifestation
 //!   times.
@@ -20,7 +25,10 @@
 
 pub mod campaign;
 pub mod dataset;
+pub mod fleet;
 pub mod spec;
+#[cfg(test)]
+pub(crate) mod testutil;
 
 pub use campaign::{
     run_campaign, run_closed_loop_campaign, run_injection, sample_spec, table3_grid,
@@ -28,4 +36,5 @@ pub use campaign::{
     GridCell, TwinOutcome,
 };
 pub use dataset::{build_block_transfer_dataset, relabel_with_injection, BlockTransferDataConfig};
+pub use fleet::{run_fleet_campaign, run_forced_miss_drill, DrillReport, FleetConfig, FleetStats};
 pub use spec::{CartesianFault, FaultInjector, FaultSpec, GrasperFault, TARGET_ARM};

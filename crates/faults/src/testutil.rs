@@ -1,0 +1,33 @@
+//! Shared fixtures for this crate's closed-loop tests: one trained Block
+//! Transfer pipeline per test binary (training takes seconds; every test
+//! only reads it).
+
+use crate::dataset::{build_block_transfer_dataset, BlockTransferDataConfig};
+use context_monitor::{MonitorConfig, TrainedPipeline};
+use kinematics::FeatureSet;
+use raven_sim::SimConfig;
+use std::sync::{Arc, OnceLock};
+
+/// The simulator configuration every closed-loop test campaign runs at.
+pub(crate) fn closed_loop_sim() -> SimConfig {
+    SimConfig { hz: 50.0, duration_s: 4.0, seed: 0, tremor: 0.3 }
+}
+
+/// One Block Transfer pipeline shared by every closed-loop test in this
+/// binary.
+pub(crate) fn bt_pipeline() -> Arc<TrainedPipeline> {
+    static PIPELINE: OnceLock<Arc<TrainedPipeline>> = OnceLock::new();
+    Arc::clone(PIPELINE.get_or_init(|| {
+        let ds = build_block_transfer_dataset(&BlockTransferDataConfig {
+            fault_free: 6,
+            faulty: 18,
+            sim: closed_loop_sim(),
+            seed: 4242,
+        });
+        let mut cfg = MonitorConfig::fast(FeatureSet::CG).with_seed(9).with_window(10, 1);
+        cfg.train.epochs = 8;
+        cfg.train_stride = 3;
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        Arc::new(TrainedPipeline::train(&ds, &idx, &cfg))
+    }))
+}

@@ -30,7 +30,7 @@ pub use arm::Arm;
 pub use features::RAVEN_FEATURES;
 pub use plan::{ArmCommand, BlockTransferPlan, Commands};
 pub use sim::{
-    classify_outcome, run_block_transfer, CommandFilter, FailureMode, NoFaults, SimConfig, Trial,
-    TrialOutcome,
+    classify_outcome, run_block_transfer, BlockTransferSim, CommandFilter, FailureMode, NoFaults,
+    SimConfig, Trial, TrialOutcome,
 };
 pub use world::{layout, BlockState, GraspPhysics, World, WorldEvent};

@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Simulation rate (Hz). The paper's simulator logs at 1 kHz; the
-    /// default here is 100 Hz (see DESIGN.md §8), and all timings are
+    /// default here is 100 Hz (see DESIGN.md §9), and all timings are
     /// expressed in trajectory fractions so the rate is transparent.
     pub hz: f32,
     /// Total trial duration in seconds.
@@ -123,55 +123,143 @@ pub struct Trial {
 
 /// Runs one Block Transfer trial through `filter`.
 pub fn run_block_transfer(cfg: &SimConfig, filter: &mut dyn CommandFilter) -> Trial {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let n = (cfg.hz * cfg.duration_s).round() as usize;
-    assert!(n >= 10, "trial too short: {n} ticks");
-    let dt = 1.0 / cfg.hz;
-    let plan = BlockTransferPlan;
+    let mut sim = BlockTransferSim::new(cfg);
+    while !sim.done() {
+        sim.step(filter);
+    }
+    sim.finish()
+}
 
-    let mut arms = [Arm::new(Vec3::new(-40.0, 0.0, 25.0)), Arm::new(Vec3::new(40.0, 0.0, 25.0))];
-    let mut world = World::new(GraspPhysics::jittered(&mut rng));
+/// A resumable Block Transfer trial: the loop body of [`run_block_transfer`]
+/// exposed one tick at a time, so a fleet driver can interleave N concurrent
+/// guarded procedures in lockstep over one shared serving pool — each tick,
+/// every live trial advances one physics step, its logged frame goes to the
+/// pool, and the pool's decisions gate the *next* tick's commands.
+///
+/// Behavior is bit-identical to [`run_block_transfer`] for the same config
+/// and filter: the RNG call order, physics, logging, and outcome
+/// classification are literally the same code.
+pub struct BlockTransferSim {
+    cfg: SimConfig,
+    rng: SmallRng,
+    n: usize,
+    dt: f32,
+    plan: BlockTransferPlan,
+    arms: [Arm; 2],
+    world: World,
+    features: Vec<Vec<f32>>,
+    frames: Vec<KinematicSample>,
+    gestures: Vec<gestures::Gesture>,
+    block_trace: Vec<Vec3>,
+    tick: usize,
+}
 
-    let mut features = Vec::with_capacity(n);
-    let mut frames = Vec::with_capacity(n);
-    let mut gestures = Vec::with_capacity(n);
-    let mut block_trace = Vec::with_capacity(n);
+impl BlockTransferSim {
+    /// Prepares a trial (seeding the RNG and jittering the grasp physics
+    /// exactly like [`run_block_transfer`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz * duration_s` yields fewer than 10 ticks.
+    pub fn new(cfg: &SimConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let n = (cfg.hz * cfg.duration_s).round() as usize;
+        assert!(n >= 10, "trial too short: {n} ticks");
+        let world = World::new(GraspPhysics::jittered(&mut rng));
+        Self {
+            cfg: *cfg,
+            rng,
+            n,
+            dt: 1.0 / cfg.hz,
+            plan: BlockTransferPlan,
+            arms: [Arm::new(Vec3::new(-40.0, 0.0, 25.0)), Arm::new(Vec3::new(40.0, 0.0, 25.0))],
+            world,
+            features: Vec::with_capacity(n),
+            frames: Vec::with_capacity(n),
+            gestures: Vec::with_capacity(n),
+            block_trace: Vec::with_capacity(n),
+            tick: 0,
+        }
+    }
 
-    for tick in 0..n {
-        let progress = tick as f32 / (n - 1) as f32;
-        let mut cmds = plan.commands(progress);
+    /// Total ticks this trial will run.
+    pub fn ticks(&self) -> usize {
+        self.n
+    }
+
+    /// The next tick [`BlockTransferSim::step`] will execute.
+    pub fn tick(&self) -> usize {
+        self.tick
+    }
+
+    /// Whether every tick has been executed.
+    pub fn done(&self) -> bool {
+        self.tick >= self.n
+    }
+
+    /// Executes one tick: plan → tremor → `filter.apply` → arm/world physics
+    /// → logging → `filter.observe`, returning the kinematic frame logged at
+    /// this tick (the frame a serving pool scores for the *next* tick's
+    /// gating decision).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`BlockTransferSim::done`].
+    pub fn step(&mut self, filter: &mut dyn CommandFilter) -> &KinematicSample {
+        assert!(!self.done(), "trial already ran its {} ticks", self.n);
+        let tick = self.tick;
+        let progress = tick as f32 / (self.n - 1) as f32;
+        let mut cmds = self.plan.commands(progress);
         // Tele-operation tremor on commanded positions.
         for arm in &mut cmds.arms {
             arm.position = arm.position
                 + Vec3::new(
-                    tremor(&mut rng, cfg.tremor),
-                    tremor(&mut rng, cfg.tremor),
-                    tremor(&mut rng, cfg.tremor * 0.5),
+                    tremor(&mut self.rng, self.cfg.tremor),
+                    tremor(&mut self.rng, self.cfg.tremor),
+                    tremor(&mut self.rng, self.cfg.tremor * 0.5),
                 );
         }
         filter.apply(tick, progress, &mut cmds);
 
-        for (i, arm) in arms.iter_mut().enumerate() {
-            arm.step(cmds.arms[i], dt);
+        for (i, arm) in self.arms.iter_mut().enumerate() {
+            arm.step(cmds.arms[i], self.dt);
         }
-        world.step(
+        self.world.step(
             tick,
-            dt,
-            &[(arms[0].position, arms[0].grasper), (arms[1].position, arms[1].grasper)],
+            self.dt,
+            &[
+                (self.arms[0].position, self.arms[0].grasper),
+                (self.arms[1].position, self.arms[1].grasper),
+            ],
         );
 
-        features.push(flatten(tick, dt, progress, &arms));
-        let sample = KinematicSample::new(vec![to_state(&arms[0]), to_state(&arms[1])]);
+        self.features.push(flatten(tick, self.dt, progress, &self.arms));
+        let sample = KinematicSample::new(vec![to_state(&self.arms[0]), to_state(&self.arms[1])]);
         filter.observe(tick, &sample);
-        frames.push(sample);
-        gestures.push(plan.gesture(progress));
-        block_trace.push(world.block_position);
+        self.frames.push(sample);
+        self.gestures.push(self.plan.gesture(progress));
+        self.block_trace.push(self.world.block_position);
+        self.tick += 1;
+        self.frames.last().expect("frame just pushed")
     }
 
-    let outcome = classify_outcome(world.events(), n);
-    let demo = build_demo(cfg, frames, gestures, &outcome);
-
-    Trial { demo, features, events: world.events().to_vec(), block_trace, outcome }
+    /// Classifies the outcome and packages the completed trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trial has remaining ticks.
+    pub fn finish(self) -> Trial {
+        assert!(self.done(), "trial has {} ticks left", self.n - self.tick);
+        let outcome = classify_outcome(self.world.events(), self.n);
+        let demo = build_demo(&self.cfg, self.frames, self.gestures, &outcome);
+        Trial {
+            demo,
+            features: self.features,
+            events: self.world.events().to_vec(),
+            block_trace: self.block_trace,
+            outcome,
+        }
+    }
 }
 
 fn tremor(rng: &mut SmallRng, amp: f32) -> f32 {
@@ -383,5 +471,33 @@ mod tests {
         let a = run_block_transfer(&SimConfig::fast(6), &mut NoFaults);
         let b = run_block_transfer(&SimConfig::fast(6), &mut NoFaults);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stepped_sim_is_bit_identical_to_the_closed_form_run() {
+        // The fleet driver interleaves trials tick-by-tick; that must not
+        // change a single bit of any trial. Checked fault-free and with a
+        // command-mutating filter.
+        let cfg = SimConfig::fast(7);
+        let whole = run_block_transfer(&cfg, &mut NoFaults);
+        let mut sim = BlockTransferSim::new(&cfg);
+        assert_eq!(sim.ticks(), whole.demo.len());
+        let mut frames_seen = 0usize;
+        while !sim.done() {
+            let t = sim.tick();
+            let frame = sim.step(&mut NoFaults);
+            assert_eq!(frame, &whole.demo.frames[t], "frame {t} diverged");
+            frames_seen += 1;
+        }
+        assert_eq!(frames_seen, whole.demo.len());
+        assert_eq!(sim.finish(), whole);
+
+        let faulted = run_block_transfer(&SimConfig::fast(4), &mut ForceOpen);
+        let mut sim = BlockTransferSim::new(&SimConfig::fast(4));
+        let mut filter = ForceOpen;
+        while !sim.done() {
+            sim.step(&mut filter);
+        }
+        assert_eq!(sim.finish(), faulted);
     }
 }

@@ -52,8 +52,10 @@
 
 #![warn(missing_docs)]
 
+pub mod gate;
 pub mod policy;
 pub mod safety;
 
-pub use policy::{MitigationPolicy, ReactorConfig};
+pub use gate::{AlertGate, PooledReactor};
+pub use policy::{ConfigError, MitigationPolicy, ReactorConfig};
 pub use safety::{Guarded, SafetyReactor};

@@ -1,7 +1,57 @@
 //! Mitigation policies and reactor configuration.
 
-use context_monitor::ContextMode;
+use context_monitor::{ContextMode, TrainedPipeline};
 use serde::{Deserialize, Serialize};
+
+/// Typed rejection of an invalid [`ReactorConfig`].
+///
+/// Construction used to `assert!` these invariants, which meant one bad
+/// sweep point in a fleet campaign took down the whole process (a panic
+/// inside a scoped worker aborts every in-flight trial). A typed error lets
+/// the campaign fail that one configuration and keep sweeping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// The alert threshold is outside the open interval `(0, 1)`.
+    Threshold(f32),
+    /// `debounce == 0`: no alert streak can ever confirm.
+    ZeroDebounce,
+    /// `debounce` exceeds the engine warm-up (`window.width` vs
+    /// `gesture_window`, whichever is larger): the configuration spends
+    /// longer confirming its first alert than the entire window of context
+    /// the decision is made from — on a sweep grid this is a silent
+    /// "mitigation can never engage in time" point, so it is rejected
+    /// loudly instead.
+    DebounceBeyondWarmup {
+        /// The configured debounce.
+        debounce: usize,
+        /// The pipeline's warm-up in frames.
+        warmup: usize,
+    },
+    /// [`ContextMode::Perfect`] has no in-loop gesture oracle.
+    PerfectContext,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Threshold(t) => {
+                write!(f, "threshold must be in (0,1), got {t}")
+            }
+            ConfigError::ZeroDebounce => f.write_str("debounce must be at least 1 frame"),
+            ConfigError::DebounceBeyondWarmup { debounce, warmup } => write!(
+                f,
+                "debounce {debounce} exceeds the {warmup}-frame window warm-up: the first \
+                 alert could never confirm within the context window it was decided from"
+            ),
+            ConfigError::PerfectContext => f.write_str(
+                "reactor cannot run in ContextMode::Perfect: the control loop has no \
+                 external gesture oracle (use Predicted or NoContext)",
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// What the reactor does to the command stream once an alert has been
 /// confirmed (after [`ReactorConfig::debounce`] consecutive alert frames)
@@ -63,6 +113,42 @@ impl Default for ReactorConfig {
             actuation_latency: 2,
             policy: MitigationPolicy::StopAndHold,
         }
+    }
+}
+
+impl ReactorConfig {
+    /// Validates everything checkable without a pipeline: threshold in
+    /// `(0, 1)`, `debounce >= 1`, a non-[`ContextMode::Perfect`] mode.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.threshold > 0.0 && self.threshold < 1.0) {
+            return Err(ConfigError::Threshold(self.threshold));
+        }
+        if self.debounce == 0 {
+            return Err(ConfigError::ZeroDebounce);
+        }
+        if self.mode == ContextMode::Perfect {
+            return Err(ConfigError::PerfectContext);
+        }
+        Ok(())
+    }
+
+    /// Full validation against the pipeline the reactor will run:
+    /// [`ReactorConfig::validate`] plus the warm-up bound on `debounce`.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a typed [`ConfigError`].
+    pub fn validate_for(&self, pipeline: &TrainedPipeline) -> Result<(), ConfigError> {
+        self.validate()?;
+        let warmup = pipeline.config.window.width.max(pipeline.config.gesture_window);
+        if self.debounce > warmup {
+            return Err(ConfigError::DebounceBeyondWarmup { debounce: self.debounce, warmup });
+        }
+        Ok(())
     }
 }
 

@@ -1,7 +1,8 @@
 //! The reactor itself: an [`InferenceEngine`] in the command path.
 
-use crate::policy::{MitigationPolicy, ReactorConfig};
-use context_monitor::{ContextMode, InferenceEngine, TrainedPipeline};
+use crate::gate::AlertGate;
+use crate::policy::{ConfigError, ReactorConfig};
+use context_monitor::{InferenceEngine, TrainedPipeline};
 use kinematics::KinematicSample;
 use raven_sim::{CommandFilter, Commands};
 use std::sync::Arc;
@@ -24,64 +25,53 @@ use std::sync::Arc;
 pub struct SafetyReactor {
     pipeline: Arc<TrainedPipeline>,
     engine: InferenceEngine,
-    cfg: ReactorConfig,
+    /// The debounce/engage/gate state machine — shared, literally, with the
+    /// pool-fed [`PooledReactor`](crate::PooledReactor).
+    gate: AlertGate,
     /// Ticks observed since construction / the last reset.
     ticks_seen: usize,
-    /// Alert frames seen (score above threshold).
-    alerts: usize,
-    /// Tick of the first alert frame.
-    first_alert: Option<usize>,
-    /// Current consecutive-alert streak.
-    streak: usize,
-    /// Tick from which gating is (or will be) active, once scheduled.
-    gate_from: Option<usize>,
-    /// Tick at which mitigation was first scheduled (never cleared; this is
-    /// what "the reactor intervened" means for false-stop accounting).
-    engaged: Option<usize>,
-    /// Frozen command snapshot while gating.
-    hold: Option<Commands>,
-    /// Last commands that passed through un-gated.
-    last_cmds: Option<Commands>,
-    /// Ticks actually gated so far.
-    ticks_gated: usize,
 }
 
 impl SafetyReactor {
     /// Creates a reactor over a shared trained pipeline.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the threshold is not within `(0, 1)`, if `debounce == 0`,
-    /// or if the mode is [`ContextMode::Perfect`] (an in-loop reactor has
-    /// no oracle gesture boundaries to supply).
-    pub fn new(pipeline: Arc<TrainedPipeline>, cfg: ReactorConfig) -> Self {
-        assert!(cfg.threshold > 0.0 && cfg.threshold < 1.0, "threshold must be in (0,1)");
-        assert!(cfg.debounce >= 1, "debounce must be at least 1 frame");
-        assert!(
-            cfg.mode != ContextMode::Perfect,
-            "SafetyReactor cannot run in ContextMode::Perfect: the control loop has no \
-             external gesture oracle (use Predicted or NoContext)"
-        );
+    /// [`ConfigError`] when the configuration fails
+    /// [`ReactorConfig::validate_for`] — threshold outside `(0, 1)`,
+    /// `debounce == 0` or beyond the pipeline warm-up, or
+    /// [`ContextMode::Perfect`](context_monitor::ContextMode::Perfect) (an
+    /// in-loop reactor has no oracle gesture boundaries to supply). A fleet
+    /// campaign sweeping configurations handles the error; it is never a
+    /// process-killing panic.
+    pub fn try_new(
+        pipeline: Arc<TrainedPipeline>,
+        cfg: ReactorConfig,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate_for(&pipeline)?;
         let engine = InferenceEngine::new(&pipeline, cfg.mode);
-        Self {
+        Ok(Self {
             pipeline,
             engine,
-            cfg,
+            gate: AlertGate::new(cfg).expect("validated above"),
             ticks_seen: 0,
-            alerts: 0,
-            first_alert: None,
-            streak: 0,
-            gate_from: None,
-            engaged: None,
-            hold: None,
-            last_cmds: None,
-            ticks_gated: 0,
-        }
+        })
+    }
+
+    /// [`SafetyReactor::try_new`], panicking on an invalid configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`] message if the threshold is not
+    /// within `(0, 1)`, if `debounce == 0` or exceeds the pipeline warm-up,
+    /// or if the mode is `ContextMode::Perfect`.
+    pub fn new(pipeline: Arc<TrainedPipeline>, cfg: ReactorConfig) -> Self {
+        Self::try_new(pipeline, cfg).unwrap_or_else(|e| panic!("invalid ReactorConfig: {e}"))
     }
 
     /// The configuration this reactor runs.
     pub fn config(&self) -> &ReactorConfig {
-        &self.cfg
+        self.gate.config()
     }
 
     /// The shared pipeline.
@@ -96,85 +86,39 @@ impl SafetyReactor {
 
     /// Alert frames seen (unsafe score above threshold).
     pub fn alerts(&self) -> usize {
-        self.alerts
+        self.gate.alerts()
     }
 
     /// Tick of the first alert frame, if any — the timestamp reaction-time
     /// margins are measured from.
     pub fn first_alert_tick(&self) -> Option<usize> {
-        self.first_alert
+        self.gate.first_alert_tick()
     }
 
     /// Tick at which mitigation was first scheduled (`None` for
-    /// [`MitigationPolicy::LogOnly`] or when no alert was confirmed).
+    /// [`MitigationPolicy::LogOnly`](crate::MitigationPolicy::LogOnly) or
+    /// when no alert was confirmed).
     pub fn engaged_tick(&self) -> Option<usize> {
-        self.engaged
+        self.gate.engaged_tick()
     }
 
     /// Ticks whose commands were actually gated so far.
     pub fn ticks_gated(&self) -> usize {
-        self.ticks_gated
+        self.gate.ticks_gated()
     }
 
     /// Clears all per-trial state (engine windows, smoothing filter, alert
     /// and gating bookkeeping) so the reactor can guard another trial.
     pub fn reset(&mut self) {
         self.engine.reset();
+        self.gate.reset();
         self.ticks_seen = 0;
-        self.alerts = 0;
-        self.first_alert = None;
-        self.streak = 0;
-        self.gate_from = None;
-        self.engaged = None;
-        self.hold = None;
-        self.last_cmds = None;
-        self.ticks_gated = 0;
-    }
-
-    /// Whether gating is active at `tick`, retiring an expired pause.
-    fn gating_active(&mut self, tick: usize) -> bool {
-        let Some(from) = self.gate_from else { return false };
-        if tick < from {
-            return false;
-        }
-        match self.cfg.policy {
-            // LogOnly never schedules a gate, so `gate_from` stays None.
-            MitigationPolicy::LogOnly => false,
-            MitigationPolicy::StopAndHold => true,
-            MitigationPolicy::PauseTicks(n) => {
-                if tick < from + n {
-                    true
-                } else {
-                    // Pause over: hand control back and allow a later
-                    // confirmed alert to re-engage.
-                    self.gate_from = None;
-                    self.hold = None;
-                    self.streak = 0;
-                    false
-                }
-            }
-        }
     }
 }
 
 impl CommandFilter for SafetyReactor {
     fn apply(&mut self, tick: usize, _progress: f32, commands: &mut Commands) {
-        if self.gating_active(tick) {
-            // Freeze at the last un-gated setpoint (falling back to the
-            // current commands if gating engaged before any passed).
-            let hold = match self.hold {
-                Some(h) => h,
-                None => {
-                    let h = self.last_cmds.unwrap_or(*commands);
-                    self.hold = Some(h);
-                    h
-                }
-            };
-            *commands = hold;
-            self.ticks_gated += 1;
-        } else {
-            self.last_cmds = Some(*commands);
-        }
+        self.gate.gate_commands(tick, commands);
     }
 
     fn observe(&mut self, tick: usize, state: &KinematicSample) {
@@ -183,27 +127,16 @@ impl CommandFilter for SafetyReactor {
             .engine
             .step(&self.pipeline, state)
             .expect("non-Perfect mode enforced at construction");
-        let alert = step.unsafe_score.is_some_and(|s| s > self.cfg.threshold);
-        if !alert {
-            self.streak = 0;
-            return;
-        }
-        self.alerts += 1;
-        if self.first_alert.is_none() {
-            self.first_alert = Some(tick);
-        }
-        self.streak += 1;
-        let engage =
-            self.streak >= self.cfg.debounce && self.cfg.policy != MitigationPolicy::LogOnly;
-        if engage && self.gate_from.is_none() {
-            // A decision made from tick `t`'s state can first affect the
-            // commands of tick `t + 1`; actuation latency stacks on top.
-            let from = tick + 1 + self.cfg.actuation_latency;
-            self.gate_from = Some(from);
-            if self.engaged.is_none() {
-                self.engaged = Some(from);
-            }
-        }
+        // Alert on the *complete* decision product — the same
+        // (gesture, score) pair the serving pool emits as `MonitorOutput` —
+        // so the in-process and pool-fed reactors share one timeline in
+        // every mode. In `NoContext` mode the error stage can warm before
+        // the gesture stage; a score from that gap is not yet a decision
+        // either deployment shape may act on (an earlier revision alerted
+        // on the raw score here, silently diverging from the pooled shape
+        // for exactly those warm-up ticks).
+        let alert = step.complete().is_some_and(|(_, s)| s > self.config().threshold);
+        self.gate.on_score(tick, alert);
     }
 }
 
@@ -211,21 +144,25 @@ impl CommandFilter for SafetyReactor {
 /// the real system: faults corrupt the trajectory packets first, then the
 /// reactor — "the last computational stage in the robot control system" —
 /// gets the final word.
-pub struct Guarded<F> {
+///
+/// The reactor defaults to the in-process [`SafetyReactor`]; the fleet
+/// campaign instantiates it with a pool-fed
+/// [`PooledReactor`](crate::PooledReactor) instead.
+pub struct Guarded<F, R = SafetyReactor> {
     /// The upstream filter (typically a `faults::FaultInjector`).
     pub fault: F,
     /// The reactor guarding the stream.
-    pub reactor: SafetyReactor,
+    pub reactor: R,
 }
 
-impl<F: CommandFilter> Guarded<F> {
+impl<F: CommandFilter, R: CommandFilter> Guarded<F, R> {
     /// Composes `fault` upstream of `reactor`.
-    pub fn new(fault: F, reactor: SafetyReactor) -> Self {
+    pub fn new(fault: F, reactor: R) -> Self {
         Self { fault, reactor }
     }
 }
 
-impl<F: CommandFilter> CommandFilter for Guarded<F> {
+impl<F: CommandFilter, R: CommandFilter> CommandFilter for Guarded<F, R> {
     fn apply(&mut self, tick: usize, progress: f32, commands: &mut Commands) {
         self.fault.apply(tick, progress, commands);
         self.reactor.apply(tick, progress, commands);
@@ -240,7 +177,8 @@ impl<F: CommandFilter> CommandFilter for Guarded<F> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use context_monitor::MonitorConfig;
+    use crate::policy::MitigationPolicy;
+    use context_monitor::{ContextMode, MonitorConfig};
     use gestures::Task;
     use jigsaws::{generate, GeneratorConfig};
     use kinematics::{Dataset, FeatureSet};
@@ -385,6 +323,136 @@ mod tests {
         let (pipeline, _) = trained();
         let cfg = ReactorConfig { mode: ContextMode::Perfect, ..ReactorConfig::default() };
         let _ = SafetyReactor::new(pipeline, cfg);
+    }
+
+    /// Satellite regression: bad configurations are typed errors through
+    /// `try_new`, so a campaign sweeping ReactorConfigs fails one sweep
+    /// point instead of panicking the process — including a debounce no
+    /// trial could ever confirm within the pipeline's warm-up.
+    #[test]
+    fn try_new_returns_typed_config_errors() {
+        use crate::policy::ConfigError;
+        let (pipeline, _) = trained();
+        let warmup = pipeline.config.window.width.max(pipeline.config.gesture_window);
+
+        let bad_threshold = ReactorConfig { threshold: 1.5, ..ReactorConfig::default() };
+        assert_eq!(
+            SafetyReactor::try_new(Arc::clone(&pipeline), bad_threshold).err(),
+            Some(ConfigError::Threshold(1.5))
+        );
+
+        let zero_debounce = ReactorConfig { debounce: 0, ..ReactorConfig::default() };
+        assert_eq!(
+            SafetyReactor::try_new(Arc::clone(&pipeline), zero_debounce).err(),
+            Some(ConfigError::ZeroDebounce)
+        );
+
+        let perfect = ReactorConfig { mode: ContextMode::Perfect, ..ReactorConfig::default() };
+        assert_eq!(
+            SafetyReactor::try_new(Arc::clone(&pipeline), perfect).err(),
+            Some(ConfigError::PerfectContext)
+        );
+
+        let beyond = ReactorConfig { debounce: warmup + 1, ..ReactorConfig::default() };
+        assert_eq!(
+            SafetyReactor::try_new(Arc::clone(&pipeline), beyond).err(),
+            Some(ConfigError::DebounceBeyondWarmup { debounce: warmup + 1, warmup })
+        );
+
+        let at_warmup = ReactorConfig { debounce: warmup, ..ReactorConfig::default() };
+        assert!(
+            SafetyReactor::try_new(Arc::clone(&pipeline), at_warmup).is_ok(),
+            "debounce == warm-up is the largest confirmable streak and must pass"
+        );
+    }
+
+    /// Satellite regression (`PauseTicks` hand-back audit): the alert
+    /// streak accrued *during* a pause must reset at hand-back, so the
+    /// first post-pause frame can never instantly re-trigger mitigation —
+    /// re-engaging requires a fresh debounce run-up.
+    #[test]
+    fn pause_handback_resets_the_streak_before_reengaging() {
+        let (pipeline, ds) = trained();
+        let pause = 6usize;
+        let cfg = ReactorConfig {
+            threshold: 1e-6, // alerts on every warm frame: worst case for a stale streak
+            debounce: 3,
+            actuation_latency: 2,
+            policy: MitigationPolicy::PauseTicks(pause),
+            ..Default::default()
+        };
+        let mut reactor = SafetyReactor::new(Arc::clone(&pipeline), cfg);
+        let n = 80;
+        let carried = drive(&mut reactor, &ds, n);
+
+        let gate = reactor.engaged_tick().expect("pause engages");
+        let resume = gate + pause;
+        // The streak kept alerting all through the pause; a stale streak
+        // would re-gate at `resume` immediately. Instead the hand-back
+        // must let the plan through for a full debounce run-up plus the
+        // sensing + actuation delay before the re-engaged gate can land.
+        let regate = resume + (cfg.debounce - 1) + 1 + cfg.actuation_latency;
+        for (t, cmds) in carried.iter().enumerate().take(regate.min(n)).skip(resume) {
+            assert_eq!(
+                *cmds,
+                plan_commands(t as f32 / (n - 1) as f32),
+                "tick {t}: hand-back must not be re-gated before a fresh debounce confirms"
+            );
+        }
+        assert!(regate < n, "trial long enough to observe the re-engage");
+        assert_eq!(carried[regate], carried[regate - 1], "re-engaged gate holds again");
+    }
+
+    /// The two deployment shapes — in-process engine vs. pool-fed gate —
+    /// must produce identical gating timelines over the same frames, in
+    /// `Predicted` *and* `NoContext` mode. `NoContext` is the regression
+    /// case: its error stage warms before its gesture stage, and an
+    /// earlier revision alerted on the raw score there, diverging from the
+    /// pooled shape for exactly those warm-up ticks.
+    #[test]
+    fn pooled_reactor_matches_in_process_reactor_bit_for_bit() {
+        use crate::PooledReactor;
+        use context_monitor::serve::{Decision, ServeConfig, ShardedMonitorPool};
+
+        let (pipeline, ds) = trained();
+        let demo = &ds.demos[0];
+        let n = 70usize;
+        for mode in [ContextMode::Predicted, ContextMode::NoContext] {
+            let cfg = ReactorConfig { mode, ..trigger_happy(MitigationPolicy::StopAndHold) };
+            let mut reactor = SafetyReactor::new(Arc::clone(&pipeline), cfg);
+            let in_process = drive(&mut reactor, &ds, n);
+
+            let mut pool = ShardedMonitorPool::with_sessions(
+                Arc::clone(&pipeline),
+                mode,
+                ServeConfig { workers: 1, threshold: 0.5 },
+                1,
+            );
+            let mut gate = PooledReactor::new(cfg, 0).expect("valid config");
+            let mut pooled = Vec::new();
+            let mut decisions: Vec<Decision> = Vec::new();
+            for t in 0..n {
+                let p = t as f32 / (n - 1) as f32;
+                let mut cmds = plan_commands(p);
+                gate.apply(t, p, &mut cmds);
+                pool.submit(0, &demo.frames[t]).expect("non-Perfect mode");
+                decisions.clear();
+                pool.flush_into(&mut decisions);
+                for d in &decisions {
+                    gate.on_decision(d);
+                }
+                pooled.push(cmds);
+            }
+
+            assert_eq!(in_process, pooled, "{mode}: command timelines diverged");
+            assert_eq!(gate.deadline_misses(), 0, "barrier drain never misses");
+            let g = gate.gate();
+            assert_eq!(g.first_alert_tick(), reactor.first_alert_tick(), "{mode}");
+            assert_eq!(g.engaged_tick(), reactor.engaged_tick(), "{mode}");
+            assert_eq!(g.ticks_gated(), reactor.ticks_gated(), "{mode}");
+            assert_eq!(g.alerts(), reactor.alerts(), "{mode}");
+            assert!(reactor.engaged_tick().is_some(), "{mode}: trigger-happy stream engages");
+        }
     }
 
     #[test]

@@ -1,19 +1,22 @@
 //! Proves the acceptance criterion "no per-window heap allocation in the
 //! steady-state hot path" by counting real allocator calls around
-//! `SafetyMonitor::push` after warm-up — and around the closed-loop
+//! `SafetyMonitor::push` after warm-up — around the closed-loop
 //! reactor's per-tick `apply` + `observe` path, measured with its
 //! mitigation engaged (the worst case: alert bookkeeping plus command
-//! gating on every tick).
+//! gating on every tick) — and around the **pooled** reactor tick
+//! (gate apply → pool submit → barrier drain → decision routing), where
+//! the counting allocator also observes the shard worker thread.
 //!
 //! This file must contain exactly one test: the counting allocator is
 //! process-global, and a concurrently running test would pollute the count.
 
+use context_monitor::serve::{Decision, ServeConfig, ShardedMonitorPool};
 use context_monitor::{ContextMode, MonitorConfig, SafetyMonitor, TrainedPipeline};
 use gestures::Task;
 use jigsaws::{generate, GeneratorConfig};
 use kinematics::{FeatureSet, Vec3};
 use raven_sim::{ArmCommand, CommandFilter, Commands};
-use reactor::{MitigationPolicy, ReactorConfig, SafetyReactor};
+use reactor::{MitigationPolicy, PooledReactor, ReactorConfig, SafetyReactor};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -140,5 +143,60 @@ fn steady_state_monitor_push_performs_no_heap_allocation() {
     assert_eq!(
         allocations, 0,
         "steady-state reactor tick allocated {allocations} times over {measured} ticks"
+    );
+
+    // Part 3: the pooled reactor tick — the fleet deployment shape. Each
+    // tick: gate apply (mitigation engaged, worst case) → pool submit
+    // (recycled frame buffer) → barrier drain into a reused buffer →
+    // decision routing into the gate. The allocator is process-global, so
+    // the shard worker's micro-batched forward pass is measured too; the
+    // whole loop must be allocation-free once warm.
+    let mut pool = ShardedMonitorPool::with_sessions(
+        Arc::clone(&pipeline),
+        ContextMode::Predicted,
+        ServeConfig { workers: 1, threshold: 0.5 },
+        1,
+    );
+    let mut gate = PooledReactor::new(
+        ReactorConfig {
+            threshold: 1e-6,
+            policy: MitigationPolicy::StopAndHold,
+            ..ReactorConfig::default()
+        },
+        0,
+    )
+    .expect("valid config");
+    let mut decisions: Vec<Decision> = Vec::new();
+    let mut tick = |t: usize, gate: &mut PooledReactor, pool: &mut ShardedMonitorPool| {
+        let mut cmds = plan(t as f32 / n);
+        gate.apply(t, t as f32 / n, &mut cmds);
+        pool.submit(0, &demo.frames[t]).expect("Predicted mode");
+        decisions.clear();
+        pool.flush_into(&mut decisions);
+        for d in &decisions {
+            gate.on_decision(d);
+        }
+        cmds
+    };
+    for t in 0..warm + measured {
+        let _ = tick(t, &mut gate, &mut pool);
+    }
+    assert!(gate.gate().engaged_tick().is_some(), "mitigation engaged before measuring");
+    assert_eq!(gate.deadline_misses(), 0, "barrier drain never misses");
+
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    let mut gated = 0usize;
+    for t in warm + measured..warm + 2 * measured {
+        let cmds = tick(t, &mut gate, &mut pool);
+        gated += (cmds != plan(t as f32 / n)) as usize;
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocations = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(gated, measured, "pooled stop-and-hold should gate every measured tick");
+    assert_eq!(
+        allocations, 0,
+        "steady-state pooled reactor tick allocated {allocations} times over {measured} ticks"
     );
 }

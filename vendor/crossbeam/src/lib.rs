@@ -58,6 +58,28 @@ pub mod channel {
 
     impl std::error::Error for TryRecvError {}
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed before a message arrived.
+        Timeout,
+        /// No message available and every sender is gone.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
@@ -160,6 +182,45 @@ pub mod channel {
                     Err(TryRecvError::Disconnected)
                 }
                 None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocks until a message arrives or `timeout` elapses.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] once the deadline passes with the
+        /// queue still empty; [`RecvTimeoutError::Disconnected`] when the
+        /// queue is empty and every sender is gone.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            // A timeout too large to represent as an Instant (e.g.
+            // `Duration::MAX`, the "effectively no timeout" idiom) degrades
+            // to an unbounded wait instead of overflowing — matching real
+            // crossbeam rather than panicking.
+            let deadline = std::time::Instant::now().checked_add(timeout);
+            let mut queue = self.shared.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(msg) = queue.pop_front() {
+                    return Ok(msg);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let left = match deadline {
+                    None => std::time::Duration::from_secs(86_400), // unbounded: re-park daily
+                    Some(d) => {
+                        let now = std::time::Instant::now();
+                        match d.checked_duration_since(now).filter(|l| !l.is_zero()) {
+                            Some(l) => l,
+                            None => return Err(RecvTimeoutError::Timeout),
+                        }
+                    }
+                };
+                let (guard, _timed_out) =
+                    self.shared.ready.wait_timeout(queue, left).expect("channel poisoned");
+                // Re-check the queue even on timeout: a message may have
+                // raced in between the wakeup and re-acquiring the lock.
+                queue = guard;
             }
         }
 
@@ -272,6 +333,25 @@ mod tests {
         let (tx, rx) = channel::unbounded::<u32>();
         drop(rx);
         assert_eq!(tx.send(1), Err(channel::SendError(1)));
+    }
+
+    #[test]
+    fn recv_timeout_returns_messages_then_times_out() {
+        use std::time::{Duration, Instant};
+        let (tx, rx) = channel::unbounded();
+        tx.send(3u32).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(50)), Ok(3));
+        let start = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(15), "must actually wait");
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
