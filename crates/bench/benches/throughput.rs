@@ -99,6 +99,7 @@ fn main() {
         cores,
         if smoke { " [smoke]" } else { "" }
     );
+    println!("gemm backend: {}", nn::kernels::gemm_backend_label());
     if cores < 4 {
         println!(
             "note: host exposes {cores} core(s); worker threads time-slice instead of \

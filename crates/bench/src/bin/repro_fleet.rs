@@ -70,6 +70,7 @@ fn main() {
     let pipeline = train_pipeline(scale);
 
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("gemm backend: {}", nn::kernels::gemm_backend_label());
     for (workers, fleet) in [(1usize, 4usize), (4, 16)] {
         header(&format!(
             "fleet campaign — {fleet} concurrent procedures x {workers} pool workers \
@@ -101,6 +102,7 @@ fn main() {
 /// determinism, single-robot equivalence, and deadline-miss fail-safety.
 fn smoke() {
     header("fleet smoke (small grid, fixed seeds)");
+    println!("gemm backend: {}", nn::kernels::gemm_backend_label());
     let sim = SimConfig { hz: 50.0, duration_s: 5.0, seed: 0, tremor: 0.3 };
     let pipeline = train_pipeline(Scale::Fast);
     let cl = closed_loop(sim, 0.05);

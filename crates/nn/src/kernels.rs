@@ -10,7 +10,7 @@
 //!
 //! Each has a naive reference twin ([`naive_ab`], [`naive_abt`],
 //! [`naive_atb`]) that is the *literal* pre-kernel-layer triple loop; the
-//! proptest suite (`tests/gemm_props.rs`) pins the tiled kernels to the
+//! proptest suite (`tests/gemm_props.rs`) pins every backend to the
 //! references **bit-for-bit**.
 //!
 //! # The accumulation-order contract
@@ -33,6 +33,32 @@
 //! Vectorizing across *independent* output elements and reusing loaded
 //! operands is fair game; reassociating within one element is not.
 //!
+//! # Backends and runtime dispatch
+//!
+//! Two implementations satisfy the contract:
+//!
+//! * the **scalar** cache-tiled kernels (the universal fallback, and the
+//!   executable specification of the tiling scheme below), and
+//! * **SIMD** microkernels (AVX2 on x86_64, NEON on aarch64) that
+//!   vectorize **across output columns**: one vector register holds 8 (AVX2)
+//!   or 4 (NEON) *adjacent output elements of the same row*, so each lane
+//!   carries exactly one element's serial ascending-k chain. The broadcast
+//!   A element is uniform across the vector, which keeps the zero-skip
+//!   predicate uniform per k step, and every update is a separate IEEE
+//!   multiply then add (`mul_ps`/`add_ps`, `vmulq`/`vaddq`) — **never FMA**,
+//!   whose single rounding would diverge from the scalar chain.
+//!
+//! The backend is picked once, on first use, through a function-pointer
+//! dispatch table: the `GEMM_BACKEND` environment variable
+//! (`auto`/`scalar`/`simd`) or a [`set_gemm_backend`] call requests a
+//! [`GemmBackend`], runtime feature detection
+//! (`is_x86_feature_detected!("avx2")` / aarch64 `neon`) resolves it to a
+//! [`GemmIsa`], and a forced `Simd` silently falls back to scalar when the
+//! ISA is absent (so a CI matrix can force both paths everywhere).
+//! [`gemm_backend_label`] renders the resolution for bench/fleet headers,
+//! and the `gemm_*_with` entry points run one explicit backend without
+//! touching the global dispatch (how tests compare backends race-free).
+//!
 //! # Tiling scheme
 //!
 //! `AB` / `AᵀB`: `for k-panel (KC) → for col-block (NC, packed B panel once
@@ -47,7 +73,8 @@
 //! already contiguous and packing would be a pure copy tax.
 //!
 //! `ABᵀ`: B rows become output columns, so the panel *is* packed (k-major
-//! 4-wide strips); the microkernel holds an `MR×4` register tile whose four
+//! strips as wide as the backend's vector: 4 scalar/NEON, 8 AVX2); the
+//! microkernel holds an `MR×width` register tile whose independent
 //! accumulator chains per row break the serial-dependency latency wall of
 //! the naive one-dot-product-at-a-time loop.
 //! Row tails (`m % MR`) and short products (`m < MR`, e.g. the
@@ -62,9 +89,11 @@
 //! inside their [`crate::layers::LayerScratch`] (inference) or their own
 //! training scratch, and the `Mat` convenience wrappers fall back to a
 //! thread-local instance so ad-hoc callers stay allocation-free in steady
-//! state too.
+//! state too. The packed region is **64-byte aligned** so the SIMD
+//! backends' k-major `ABᵀ` strips can use aligned vector loads.
 
 use crate::mat::Mat;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Rows per register tile (A rows processed together by the microkernel).
 pub const MR: usize = 4;
@@ -80,22 +109,237 @@ pub const NC: usize = 512;
 
 /// Caller-owned packing scratch for the tiled kernels.
 ///
-/// Holds the packed B panel (at most `KC × NC` floats for `AB`/`AᵀB`, `KC ×
-/// 4·⌈n/4⌉` for `ABᵀ`). Reusable across calls and across differently shaped
-/// products; all growth is amortized, so steady-state kernel calls perform
-/// no heap allocation.
+/// Holds the packed B panel (at most `KC × NC` floats for `AB`/`AᵀB`,
+/// `KC × width·⌈n/width⌉` for `ABᵀ`), carved out of one buffer at a
+/// 64-byte-aligned offset so SIMD backends can use aligned loads on packed
+/// strips. Reusable across calls, across differently shaped products, and
+/// across backends; all growth is amortized, so steady-state kernel calls
+/// perform no heap allocation.
 #[derive(Debug, Default, Clone)]
 pub struct GemmScratch {
-    packed: Vec<f32>,
+    raw: Vec<f32>,
 }
 
+/// Alignment (bytes) of the packed region — one cache line, and a multiple
+/// of every vector width the SIMD backends load.
+const PACK_ALIGN: usize = 64;
+
 impl GemmScratch {
-    /// Ensures capacity for `len` packed floats and returns the buffer.
+    /// Ensures capacity for `len` packed floats and returns the buffer,
+    /// starting at a 64-byte-aligned offset.
     fn packed(&mut self, len: usize) -> &mut [f32] {
-        if self.packed.len() < len {
-            self.packed.resize(len, 0.0);
+        const PAD: usize = PACK_ALIGN / size_of::<f32>();
+        if self.raw.len() < len + PAD {
+            self.raw.resize(len + PAD, 0.0);
         }
-        &mut self.packed[..len]
+        let off = self.raw.as_ptr().align_offset(PACK_ALIGN);
+        debug_assert!(off < PAD, "aligning a 4-byte-aligned base needs < {PAD} elements");
+        &mut self.raw[off..off + len]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend selection: requested backend -> resolved ISA -> dispatch table.
+// ---------------------------------------------------------------------------
+
+/// Requested GEMM backend (what the caller or environment asks for).
+///
+/// `Auto` (the default) uses the best SIMD ISA the host supports, falling
+/// back to the scalar tiles; `Scalar` and `Simd` force one side so tests
+/// and CI can exercise both paths. A forced `Simd` on a host without a
+/// supported ISA resolves to scalar (graceful skip) — check [`simd_isa`]
+/// to tell the difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GemmBackend {
+    /// Runtime detection: SIMD when available, scalar otherwise.
+    #[default]
+    Auto,
+    /// Always the scalar cache-tiled kernels.
+    Scalar,
+    /// The SIMD microkernels when the ISA is present; scalar fallback.
+    Simd,
+}
+
+/// The instruction set a GEMM call actually executes with (the *resolved*
+/// side of [`GemmBackend`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmIsa {
+    /// Scalar cache-tiled kernels (every host).
+    Scalar,
+    /// AVX2 256-bit microkernels (x86_64, runtime-detected).
+    Avx2,
+    /// NEON 128-bit microkernels (aarch64, runtime-detected).
+    Neon,
+}
+
+impl GemmIsa {
+    /// Lower-case name for headers and JSON summaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            GemmIsa::Scalar => "scalar",
+            GemmIsa::Avx2 => "avx2",
+            GemmIsa::Neon => "neon",
+        }
+    }
+}
+
+/// One GEMM variant entry in the dispatch table: `(m, k, n, a, b, out,
+/// scratch)` with the layout documented on the public wrapper.
+type GemmFn = fn(usize, usize, usize, &[f32], &[f32], &mut [f32], &mut GemmScratch);
+
+/// The per-ISA dispatch table: one function pointer per contraction
+/// variant. Resolved once (first GEMM call or [`set_gemm_backend`]) and
+/// then read lock-free on every call.
+struct Dispatch {
+    ab: GemmFn,
+    abt: GemmFn,
+    atb: GemmFn,
+}
+
+static SCALAR_TABLE: Dispatch = Dispatch { ab: scalar_ab, abt: scalar_abt, atb: scalar_atb };
+#[cfg(target_arch = "x86_64")]
+static AVX2_TABLE: Dispatch = Dispatch { ab: avx2_ab, abt: avx2_abt, atb: avx2_atb };
+#[cfg(target_arch = "aarch64")]
+static NEON_TABLE: Dispatch = Dispatch { ab: neon_ab, abt: neon_abt, atb: neon_atb };
+
+/// Resolved ISA: 0 = unresolved, otherwise `encode_isa`.
+static ACTIVE_ISA: AtomicU8 = AtomicU8::new(0);
+/// Last requested backend (`GemmBackend` discriminant + 1) for the label.
+static REQUESTED: AtomicU8 = AtomicU8::new(0);
+/// Where the request came from, for the label.
+static SOURCE: AtomicU8 = AtomicU8::new(SRC_DEFAULT);
+
+const SRC_DEFAULT: u8 = 0;
+const SRC_ENV: u8 = 1;
+const SRC_API: u8 = 2;
+
+fn encode_isa(isa: GemmIsa) -> u8 {
+    match isa {
+        GemmIsa::Scalar => 1,
+        GemmIsa::Avx2 => 2,
+        GemmIsa::Neon => 3,
+    }
+}
+
+fn decode_isa(v: u8) -> GemmIsa {
+    match v {
+        1 => GemmIsa::Scalar,
+        2 => GemmIsa::Avx2,
+        3 => GemmIsa::Neon,
+        _ => unreachable!("ACTIVE_ISA only ever stores encoded ISAs"),
+    }
+}
+
+/// The SIMD ISA this host supports (runtime feature detection), regardless
+/// of any override. `None` on hosts with neither AVX2 nor NEON — there the
+/// scalar tiles are the only backend and `Simd` requests fall back.
+pub fn simd_isa() -> Option<GemmIsa> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Some(GemmIsa::Avx2);
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return Some(GemmIsa::Neon);
+        }
+    }
+    None
+}
+
+/// Installs `request` as the process-wide GEMM backend and returns the ISA
+/// it resolved to. Intended for startup and tests; concurrent GEMM calls
+/// keep working (dispatch is an atomic read) but may straddle the switch.
+pub fn set_gemm_backend(request: GemmBackend) -> GemmIsa {
+    install(request, SRC_API)
+}
+
+/// The currently active ISA, resolving the backend on first use: an
+/// explicit [`set_gemm_backend`] wins, then the `GEMM_BACKEND` environment
+/// variable (`auto`/`scalar`/`simd`), then auto-detection.
+pub fn active_gemm_isa() -> GemmIsa {
+    match ACTIVE_ISA.load(Ordering::Acquire) {
+        0 => resolve_from_env(),
+        v => decode_isa(v),
+    }
+}
+
+/// One-line description of the dispatch resolution — detected ISA plus the
+/// effective override — for bench and fleet headers, e.g.
+/// `avx2 (auto-detected)` or `scalar (forced by GEMM_BACKEND=scalar)`.
+pub fn gemm_backend_label() -> String {
+    let isa = active_gemm_isa();
+    let req = match REQUESTED.load(Ordering::Relaxed) {
+        1 => GemmBackend::Auto,
+        2 => GemmBackend::Scalar,
+        3 => GemmBackend::Simd,
+        _ => GemmBackend::Auto,
+    };
+    let via = match SOURCE.load(Ordering::Relaxed) {
+        SRC_ENV => "GEMM_BACKEND",
+        SRC_API => "set_gemm_backend",
+        _ => "default",
+    };
+    let how = match (req, isa) {
+        (GemmBackend::Auto, GemmIsa::Scalar) => "auto: no SIMD ISA detected".to_string(),
+        (GemmBackend::Auto, _) => "auto-detected".to_string(),
+        (GemmBackend::Simd, GemmIsa::Scalar) => {
+            format!("simd requested by {via}, ISA unavailable — scalar fallback")
+        }
+        (GemmBackend::Scalar, _) | (GemmBackend::Simd, _) => format!("forced by {via}"),
+    };
+    format!("{} ({how})", isa.name())
+}
+
+fn resolve_from_env() -> GemmIsa {
+    let (request, src) = match std::env::var("GEMM_BACKEND").as_deref() {
+        Ok("scalar") => (GemmBackend::Scalar, SRC_ENV),
+        Ok("simd") => (GemmBackend::Simd, SRC_ENV),
+        Ok("auto") => (GemmBackend::Auto, SRC_ENV),
+        _ => (GemmBackend::Auto, SRC_DEFAULT),
+    };
+    install(request, src)
+}
+
+fn install(request: GemmBackend, src: u8) -> GemmIsa {
+    let isa = match request {
+        GemmBackend::Scalar => GemmIsa::Scalar,
+        GemmBackend::Auto | GemmBackend::Simd => simd_isa().unwrap_or(GemmIsa::Scalar),
+    };
+    let req_code = match request {
+        GemmBackend::Auto => 1,
+        GemmBackend::Scalar => 2,
+        GemmBackend::Simd => 3,
+    };
+    REQUESTED.store(req_code, Ordering::Relaxed);
+    SOURCE.store(src, Ordering::Relaxed);
+    ACTIVE_ISA.store(encode_isa(isa), Ordering::Release);
+    isa
+}
+
+/// Dispatch table for `isa`.
+///
+/// # Panics
+///
+/// Panics if `isa` is not compiled into this binary (wrong architecture).
+fn isa_table(isa: GemmIsa) -> &'static Dispatch {
+    match isa {
+        GemmIsa::Scalar => &SCALAR_TABLE,
+        #[cfg(target_arch = "x86_64")]
+        GemmIsa::Avx2 => &AVX2_TABLE,
+        #[cfg(target_arch = "aarch64")]
+        GemmIsa::Neon => &NEON_TABLE,
+        #[allow(unreachable_patterns)] // reachable only for foreign-arch ISAs
+        other => panic!("GEMM backend {other:?} is not available on this architecture"),
+    }
+}
+
+/// Asserts `isa` actually runs on this host (compiled in *and* detected).
+fn assert_isa_available(isa: GemmIsa) {
+    if isa != GemmIsa::Scalar && simd_isa() != Some(isa) {
+        panic!("GEMM backend {isa:?} is not available on this host (see kernels::simd_isa)");
     }
 }
 
@@ -174,11 +418,12 @@ pub fn naive_atb(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [
 }
 
 // ---------------------------------------------------------------------------
-// Tiled kernels.
+// Dispatching entry points.
 // ---------------------------------------------------------------------------
 
-/// Tiled `C = A·B` (see [`naive_ab`] for the layout and semantics).
-/// Bit-identical to the reference; uses `scratch` for the packed B panel.
+/// Tiled `C = A·B` (see [`naive_ab`] for the layout and semantics) on the
+/// active backend. Bit-identical to the reference on every backend; uses
+/// `scratch` for the packed B panel.
 ///
 /// # Panics
 ///
@@ -193,6 +438,127 @@ pub fn gemm_ab(
     scratch: &mut GemmScratch,
 ) {
     check_dims(m, k, n, a.len(), b.len(), out.len(), k * n);
+    (isa_table(active_gemm_isa()).ab)(m, k, n, a, b, out, scratch);
+}
+
+/// Tiled `C = A·Bᵀ` (see [`naive_abt`] for the layout and semantics) on the
+/// active backend. Bit-identical to the reference on every backend; uses
+/// `scratch` for the packed Bᵀ panel.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its dimensions.
+pub fn gemm_abt(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    scratch: &mut GemmScratch,
+) {
+    check_dims(m, k, n, a.len(), b.len(), out.len(), n * k);
+    (isa_table(active_gemm_isa()).abt)(m, k, n, a, b, out, scratch);
+}
+
+/// Tiled `C = Aᵀ·B` (see [`naive_atb`] for the layout and semantics) on the
+/// active backend. Bit-identical to the reference on every backend; uses
+/// `scratch` for the packed B panel.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its dimensions.
+pub fn gemm_atb(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    scratch: &mut GemmScratch,
+) {
+    check_dims(m, k, n, a.len(), b.len(), out.len(), k * n);
+    (isa_table(active_gemm_isa()).atb)(m, k, n, a, b, out, scratch);
+}
+
+/// [`gemm_ab`] on one explicit backend, ignoring the global dispatch — how
+/// tests and benches compare backends without racing on process state.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch or if `isa` is unavailable on this host.
+#[allow(clippy::too_many_arguments)] // a GEMM call + backend is inherently this wide
+pub fn gemm_ab_with(
+    isa: GemmIsa,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    scratch: &mut GemmScratch,
+) {
+    check_dims(m, k, n, a.len(), b.len(), out.len(), k * n);
+    assert_isa_available(isa);
+    (isa_table(isa).ab)(m, k, n, a, b, out, scratch);
+}
+
+/// [`gemm_abt`] on one explicit backend, ignoring the global dispatch.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch or if `isa` is unavailable on this host.
+#[allow(clippy::too_many_arguments)] // a GEMM call + backend is inherently this wide
+pub fn gemm_abt_with(
+    isa: GemmIsa,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    scratch: &mut GemmScratch,
+) {
+    check_dims(m, k, n, a.len(), b.len(), out.len(), n * k);
+    assert_isa_available(isa);
+    (isa_table(isa).abt)(m, k, n, a, b, out, scratch);
+}
+
+/// [`gemm_atb`] on one explicit backend, ignoring the global dispatch.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch or if `isa` is unavailable on this host.
+#[allow(clippy::too_many_arguments)] // a GEMM call + backend is inherently this wide
+pub fn gemm_atb_with(
+    isa: GemmIsa,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    scratch: &mut GemmScratch,
+) {
+    check_dims(m, k, n, a.len(), b.len(), out.len(), k * n);
+    assert_isa_available(isa);
+    (isa_table(isa).atb)(m, k, n, a, b, out, scratch);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar tiled kernels (the universal fallback).
+// ---------------------------------------------------------------------------
+
+/// Scalar tiled `C = A·B`; dimension checks live in the public wrappers.
+fn scalar_ab(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    scratch: &mut GemmScratch,
+) {
     out.fill(0.0);
     if m == 0 || n == 0 || k == 0 {
         return;
@@ -232,13 +598,8 @@ pub fn gemm_ab(
     }
 }
 
-/// Tiled `C = A·Bᵀ` (see [`naive_abt`] for the layout and semantics).
-/// Bit-identical to the reference; uses `scratch` for the packed Bᵀ panel.
-///
-/// # Panics
-///
-/// Panics if a slice length does not match its dimensions.
-pub fn gemm_abt(
+/// Scalar tiled `C = A·Bᵀ`; dimension checks live in the public wrappers.
+fn scalar_abt(
     m: usize,
     k: usize,
     n: usize,
@@ -247,7 +608,6 @@ pub fn gemm_abt(
     out: &mut [f32],
     scratch: &mut GemmScratch,
 ) {
-    check_dims(m, k, n, a.len(), b.len(), out.len(), n * k);
     out.fill(0.0);
     if m == 0 || n == 0 || k == 0 {
         return;
@@ -303,13 +663,8 @@ pub fn gemm_abt(
     }
 }
 
-/// Tiled `C = Aᵀ·B` (see [`naive_atb`] for the layout and semantics).
-/// Bit-identical to the reference; uses `scratch` for the packed B panel.
-///
-/// # Panics
-///
-/// Panics if a slice length does not match its dimensions.
-pub fn gemm_atb(
+/// Scalar tiled `C = Aᵀ·B`; dimension checks live in the public wrappers.
+fn scalar_atb(
     m: usize,
     k: usize,
     n: usize,
@@ -318,7 +673,6 @@ pub fn gemm_atb(
     out: &mut [f32],
     scratch: &mut GemmScratch,
 ) {
-    check_dims(m, k, n, a.len(), b.len(), out.len(), k * n);
     out.fill(0.0);
     if m == 0 || n == 0 || k == 0 {
         return;
@@ -502,6 +856,898 @@ fn check_dims(
 }
 
 // ---------------------------------------------------------------------------
+// AVX2 microkernels (x86_64): 8-wide across output columns.
+// ---------------------------------------------------------------------------
+
+/// Dispatch-table entry for AVX2 `AB`.
+#[cfg(target_arch = "x86_64")]
+fn avx2_ab(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    scratch: &mut GemmScratch,
+) {
+    // SAFETY: this entry is only reachable through a dispatch table / ISA
+    // assertion that verified `is_x86_feature_detected!("avx2")`.
+    unsafe { avx2::gemm_ab(m, k, n, a, b, out, scratch) }
+}
+
+/// Dispatch-table entry for AVX2 `ABᵀ`.
+#[cfg(target_arch = "x86_64")]
+fn avx2_abt(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    scratch: &mut GemmScratch,
+) {
+    // SAFETY: reachable only after runtime AVX2 detection (see `avx2_ab`).
+    unsafe { avx2::gemm_abt(m, k, n, a, b, out, scratch) }
+}
+
+/// Dispatch-table entry for AVX2 `AᵀB`.
+#[cfg(target_arch = "x86_64")]
+fn avx2_atb(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    scratch: &mut GemmScratch,
+) {
+    // SAFETY: reachable only after runtime AVX2 detection (see `avx2_ab`).
+    unsafe { avx2::gemm_atb(m, k, n, a, b, out, scratch) }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! AVX2 column-vectorized microkernels.
+    //!
+    //! One `__m256` holds 8 adjacent output columns of a single row; the
+    //! broadcast A element is uniform across the vector, so each lane runs
+    //! exactly the scalar kernels' per-element serial ascending-k chain and
+    //! the zero-skip predicate stays uniform per k step. Updates are a
+    //! separate `_mm256_mul_ps` then `_mm256_add_ps` — never FMA, whose
+    //! fused rounding would diverge from the scalar chain. Column tails
+    //! (`nc % 8`) run the identical scalar per-element update.
+
+    use super::{pack_panel, GemmScratch, KC, MR, NC};
+    use core::arch::x86_64::{
+        __m256, _mm256_add_ps, _mm256_load_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps,
+        _mm256_setzero_ps, _mm256_storeu_ps,
+    };
+
+    /// Output columns per vector register.
+    const LANES: usize = 8;
+
+    /// AVX2 tiled `C = A·B` — the scalar tiling scheme with the microkernel
+    /// inner loops 8-wide across columns.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be available at runtime; dimension checks are the public
+    /// wrappers' job.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gemm_ab(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        scratch: &mut GemmScratch,
+    ) {
+        out.fill(0.0);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            for jc in (0..n).step_by(NC) {
+                let nc = NC.min(n - jc);
+                if nc < n {
+                    let packed = scratch.packed(kc * nc);
+                    pack_panel(b, n, pc, jc, kc, nc, packed);
+                    ab_panel(a, k, m, pc, kc, packed, nc, out, n, jc, nc);
+                } else {
+                    ab_panel(a, k, m, pc, kc, &b[pc * n..], n, out, n, jc, nc);
+                }
+            }
+        }
+    }
+
+    /// AVX2 tiled `C = Aᵀ·B`.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be available at runtime; dimension checks are the public
+    /// wrappers' job.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gemm_atb(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        scratch: &mut GemmScratch,
+    ) {
+        out.fill(0.0);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            for jc in (0..n).step_by(NC) {
+                let nc = NC.min(n - jc);
+                if nc < n {
+                    let packed = scratch.packed(kc * nc);
+                    pack_panel(b, n, pc, jc, kc, nc, packed);
+                    atb_panel(a, m, pc, kc, packed, nc, out, n, jc, nc);
+                } else {
+                    atb_panel(a, m, pc, kc, &b[pc * n..], n, out, n, jc, nc);
+                }
+            }
+        }
+    }
+
+    /// AVX2 tiled `C = A·Bᵀ`: k-major 8-wide packed strips (aligned loads)
+    /// and an `MR×8` register accumulator tile.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be available at runtime; dimension checks are the public
+    /// wrappers' job.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gemm_abt(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        scratch: &mut GemmScratch,
+    ) {
+        out.fill(0.0);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        let strips = n.div_ceil(LANES);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let packed = scratch.packed(strips * kc * LANES);
+            // packed[s][kk][c] = B[s*LANES + c][pc + kk] (zero-padded strip);
+            // pad lanes are discarded on writeback, so their values never
+            // reach an output element.
+            for s in 0..strips {
+                let j0 = s * LANES;
+                let nr = LANES.min(n - j0);
+                let dst = &mut packed[s * kc * LANES..(s + 1) * kc * LANES];
+                for kk in 0..kc {
+                    for c in 0..LANES {
+                        dst[kk * LANES + c] = if c < nr { b[(j0 + c) * k + pc + kk] } else { 0.0 };
+                    }
+                }
+            }
+            for i0 in (0..m).step_by(MR) {
+                let mr = MR.min(m - i0);
+                for s in 0..strips {
+                    let j0 = s * LANES;
+                    let nr = LANES.min(n - j0);
+                    let bp = &packed[s * kc * LANES..(s + 1) * kc * LANES];
+                    abt_tile(a, k, i0, mr, pc, kc, bp, out, n, j0, nr);
+                }
+            }
+        }
+    }
+
+    /// One `mr × 8` `ABᵀ` accumulator tile: lanes continue their serial
+    /// k-chains from `out` across k-panels, exactly like the scalar
+    /// `MR×ABT_NR` tile.
+    #[allow(clippy::too_many_arguments)] // a GEMM tile is inherently this wide
+    #[target_feature(enable = "avx2")]
+    fn abt_tile(
+        a: &[f32],
+        k: usize,
+        i0: usize,
+        mr: usize,
+        pc: usize,
+        kc: usize,
+        bp: &[f32],
+        out: &mut [f32],
+        n: usize,
+        j0: usize,
+        nr: usize,
+    ) {
+        let mut acc = [_mm256_setzero_ps(); MR];
+        for (r, slot) in acc.iter_mut().enumerate().take(mr) {
+            *slot = load_row(&out[(i0 + r) * n + j0..], nr);
+        }
+        if mr == MR {
+            for kk in 0..kc {
+                // SAFETY: `bp` holds `kc * LANES` floats carved from the
+                // 64-byte-aligned packing buffer at a strip offset that is a
+                // multiple of 32 bytes, so `kk * LANES` is 32-byte aligned
+                // and in bounds (kk < kc).
+                let bv = unsafe { _mm256_load_ps(bp.as_ptr().add(kk * LANES)) };
+                let base = pc + kk;
+                acc[0] = _mm256_add_ps(acc[0], _mm256_mul_ps(_mm256_set1_ps(a[i0 * k + base]), bv));
+                acc[1] = _mm256_add_ps(
+                    acc[1],
+                    _mm256_mul_ps(_mm256_set1_ps(a[(i0 + 1) * k + base]), bv),
+                );
+                acc[2] = _mm256_add_ps(
+                    acc[2],
+                    _mm256_mul_ps(_mm256_set1_ps(a[(i0 + 2) * k + base]), bv),
+                );
+                acc[3] = _mm256_add_ps(
+                    acc[3],
+                    _mm256_mul_ps(_mm256_set1_ps(a[(i0 + 3) * k + base]), bv),
+                );
+            }
+        } else {
+            for kk in 0..kc {
+                // SAFETY: as above — aligned, in-bounds strip row.
+                let bv = unsafe { _mm256_load_ps(bp.as_ptr().add(kk * LANES)) };
+                for (r, slot) in acc.iter_mut().enumerate().take(mr) {
+                    let xv = _mm256_set1_ps(a[(i0 + r) * k + pc + kk]);
+                    *slot = _mm256_add_ps(*slot, _mm256_mul_ps(xv, bv));
+                }
+            }
+        }
+        for (r, slot) in acc.iter().enumerate().take(mr) {
+            store_row(&mut out[(i0 + r) * n + j0..], nr, *slot);
+        }
+    }
+
+    /// Loads `nr` floats (`nr <= 8`) into a vector, zero-padding the rest.
+    #[target_feature(enable = "avx2")]
+    fn load_row(row: &[f32], nr: usize) -> __m256 {
+        if nr == LANES {
+            // SAFETY: the caller's row slice holds at least LANES floats.
+            unsafe { _mm256_loadu_ps(row.as_ptr()) }
+        } else {
+            let mut lane = [0.0f32; LANES];
+            lane[..nr].copy_from_slice(&row[..nr]);
+            // SAFETY: `lane` is LANES floats on the stack.
+            unsafe { _mm256_loadu_ps(lane.as_ptr()) }
+        }
+    }
+
+    /// Stores the first `nr` lanes (`nr <= 8`) of `v` into `row`.
+    #[target_feature(enable = "avx2")]
+    fn store_row(row: &mut [f32], nr: usize, v: __m256) {
+        if nr == LANES {
+            // SAFETY: the caller's row slice holds at least LANES floats.
+            unsafe { _mm256_storeu_ps(row.as_mut_ptr(), v) };
+        } else {
+            let mut lane = [0.0f32; LANES];
+            // SAFETY: `lane` is LANES floats on the stack.
+            unsafe { _mm256_storeu_ps(lane.as_mut_ptr(), v) };
+            row[..nr].copy_from_slice(&lane[..nr]);
+        }
+    }
+
+    /// `AB` panel sweep: fused quads over full row-quads, skip-aware row
+    /// updates for the `m % MR` tail — the scalar structure, 8-wide inside.
+    #[allow(clippy::too_many_arguments)] // a GEMM tile is inherently this wide
+    #[target_feature(enable = "avx2")]
+    fn ab_panel(
+        a: &[f32],
+        k: usize,
+        m: usize,
+        pc: usize,
+        kc: usize,
+        panel: &[f32],
+        stride: usize,
+        out: &mut [f32],
+        n: usize,
+        jc: usize,
+        nc: usize,
+    ) {
+        for i0 in (0..m).step_by(MR) {
+            let mr = MR.min(m - i0);
+            if mr == MR {
+                let a_rows = [
+                    &a[i0 * k + pc..i0 * k + pc + kc],
+                    &a[(i0 + 1) * k + pc..(i0 + 1) * k + pc + kc],
+                    &a[(i0 + 2) * k + pc..(i0 + 2) * k + pc + kc],
+                    &a[(i0 + 3) * k + pc..(i0 + 3) * k + pc + kc],
+                ];
+                let o = quad_out_ptrs(out, i0, n, jc, nc);
+                for kk in 0..kc {
+                    let x = [a_rows[0][kk], a_rows[1][kk], a_rows[2][kk], a_rows[3][kk]];
+                    quad_step(x, &panel[kk * stride..kk * stride + nc], o, nc);
+                }
+            } else {
+                for r in 0..mr {
+                    let a_row = &a[(i0 + r) * k + pc..(i0 + r) * k + pc + kc];
+                    let orow = &mut out[(i0 + r) * n + jc..(i0 + r) * n + jc + nc];
+                    axpy_row(a_row, panel, stride, orow);
+                }
+            }
+        }
+    }
+
+    /// `AᵀB` panel sweep: identical to [`ab_panel`] except the four A
+    /// values of k step `kk` sit contiguously in A's row `pc+kk` at column
+    /// `i0` (`lda = m`).
+    #[allow(clippy::too_many_arguments)] // a GEMM tile is inherently this wide
+    #[target_feature(enable = "avx2")]
+    fn atb_panel(
+        a: &[f32],
+        lda: usize,
+        pc: usize,
+        kc: usize,
+        panel: &[f32],
+        stride: usize,
+        out: &mut [f32],
+        n: usize,
+        jc: usize,
+        nc: usize,
+    ) {
+        let m = lda;
+        for i0 in (0..m).step_by(MR) {
+            let mr = MR.min(m - i0);
+            if mr == MR {
+                let o = quad_out_ptrs(out, i0, n, jc, nc);
+                for kk in 0..kc {
+                    let av = &a[(pc + kk) * lda + i0..(pc + kk) * lda + i0 + MR];
+                    let x = [av[0], av[1], av[2], av[3]];
+                    quad_step(x, &panel[kk * stride..kk * stride + nc], o, nc);
+                }
+            } else {
+                for r in 0..mr {
+                    let orow = &mut out[(i0 + r) * n + jc..(i0 + r) * n + jc + nc];
+                    let op = orow.as_mut_ptr();
+                    for kk in 0..kc {
+                        let av = a[(pc + kk) * lda + i0 + r];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        axpy_cols(av, &panel[kk * stride..kk * stride + nc], op, nc);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Raw pointers to the four output rows of quad `i0` at column `jc`,
+    /// each addressing `nc` valid floats.
+    #[target_feature(enable = "avx2")]
+    fn quad_out_ptrs(out: &mut [f32], i0: usize, n: usize, jc: usize, nc: usize) -> [*mut f32; MR] {
+        // Bounds: row i0+3 exists (caller checked mr == MR) and jc+nc <= n.
+        assert!((i0 + 3) * n + jc + nc <= out.len(), "quad rows out of bounds");
+        let po = out.as_mut_ptr();
+        // SAFETY: the assert above proves every offset (and the nc floats
+        // after it) is inside `out`.
+        unsafe {
+            [
+                po.add(i0 * n + jc),
+                po.add((i0 + 1) * n + jc),
+                po.add((i0 + 2) * n + jc),
+                po.add((i0 + 3) * n + jc),
+            ]
+        }
+    }
+
+    /// One fused-quad k step: `o[r][0..nc] += x[r] * b_row`, all four `x`
+    /// nonzero when called on the fast path; the mixed-zero fallback routes
+    /// through [`axpy_cols`] per row. Same per-element sequence either way.
+    #[target_feature(enable = "avx2")]
+    fn quad_step(x: [f32; MR], b_row: &[f32], o: [*mut f32; MR], nc: usize) {
+        if x[0] != 0.0 && x[1] != 0.0 && x[2] != 0.0 && x[3] != 0.0 {
+            let xv = [
+                _mm256_set1_ps(x[0]),
+                _mm256_set1_ps(x[1]),
+                _mm256_set1_ps(x[2]),
+                _mm256_set1_ps(x[3]),
+            ];
+            let pb = b_row.as_ptr();
+            let mut j = 0;
+            while j + LANES <= nc {
+                // SAFETY: j + LANES <= nc, `b_row` holds nc floats, and each
+                // `o[r]` addresses nc valid floats (see `quad_out_ptrs`).
+                unsafe {
+                    let bv = _mm256_loadu_ps(pb.add(j));
+                    for r in 0..MR {
+                        let ov = _mm256_loadu_ps(o[r].add(j));
+                        _mm256_storeu_ps(o[r].add(j), _mm256_add_ps(ov, _mm256_mul_ps(xv[r], bv)));
+                    }
+                }
+                j += LANES;
+            }
+            while j < nc {
+                // SAFETY: j < nc; same bounds as above.
+                unsafe {
+                    let bj = *pb.add(j);
+                    for r in 0..MR {
+                        *o[r].add(j) += x[r] * bj;
+                    }
+                }
+                j += 1;
+            }
+        } else {
+            // Mixed zeros: per-row skips, same per-element sequence.
+            for r in 0..MR {
+                if x[r] == 0.0 {
+                    continue;
+                }
+                axpy_cols(x[r], b_row, o[r], nc);
+            }
+        }
+    }
+
+    /// Skip-aware row update over one k-panel: the reference
+    /// `out_row += Σ_k a_row[kk] · panel[kk]` with the column loop 8-wide.
+    #[target_feature(enable = "avx2")]
+    fn axpy_row(a_row: &[f32], panel: &[f32], stride: usize, out_row: &mut [f32]) {
+        let nc = out_row.len();
+        let op = out_row.as_mut_ptr();
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            axpy_cols(av, &panel[kk * stride..kk * stride + nc], op, nc);
+        }
+    }
+
+    /// `o[0..nc] += x * b_row[0..nc]`, 8 columns per step, scalar tail —
+    /// separate multiply and add per lane, each lane one output element.
+    #[target_feature(enable = "avx2")]
+    fn axpy_cols(x: f32, b_row: &[f32], o: *mut f32, nc: usize) {
+        debug_assert!(b_row.len() >= nc);
+        let xv = _mm256_set1_ps(x);
+        let pb = b_row.as_ptr();
+        let mut j = 0;
+        while j + LANES <= nc {
+            // SAFETY: j + LANES <= nc and both pointers address nc valid
+            // floats (the caller derived `o` from an nc-long row).
+            unsafe {
+                let bv = _mm256_loadu_ps(pb.add(j));
+                let ov = _mm256_loadu_ps(o.add(j));
+                _mm256_storeu_ps(o.add(j), _mm256_add_ps(ov, _mm256_mul_ps(xv, bv)));
+            }
+            j += LANES;
+        }
+        while j < nc {
+            // SAFETY: j < nc; same bounds as above.
+            unsafe { *o.add(j) += x * *pb.add(j) };
+            j += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NEON microkernels (aarch64): 4-wide across output columns.
+// ---------------------------------------------------------------------------
+
+/// Dispatch-table entry for NEON `AB`.
+#[cfg(target_arch = "aarch64")]
+fn neon_ab(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    scratch: &mut GemmScratch,
+) {
+    // SAFETY: this entry is only reachable through a dispatch table / ISA
+    // assertion that verified `is_aarch64_feature_detected!("neon")`.
+    unsafe { neon::gemm_ab(m, k, n, a, b, out, scratch) }
+}
+
+/// Dispatch-table entry for NEON `ABᵀ`.
+#[cfg(target_arch = "aarch64")]
+fn neon_abt(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    scratch: &mut GemmScratch,
+) {
+    // SAFETY: reachable only after runtime NEON detection (see `neon_ab`).
+    unsafe { neon::gemm_abt(m, k, n, a, b, out, scratch) }
+}
+
+/// Dispatch-table entry for NEON `AᵀB`.
+#[cfg(target_arch = "aarch64")]
+fn neon_atb(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    scratch: &mut GemmScratch,
+) {
+    // SAFETY: reachable only after runtime NEON detection (see `neon_ab`).
+    unsafe { neon::gemm_atb(m, k, n, a, b, out, scratch) }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    //! NEON column-vectorized microkernels — the AVX2 module's structure at
+    //! 4 lanes. One `float32x4_t` holds 4 adjacent output columns of one
+    //! row; the broadcast A element keeps the zero-skip predicate uniform,
+    //! and every update is a separate `vmulq_f32` then `vaddq_f32` — never
+    //! `vfmaq`, whose fused rounding would diverge from the scalar chain.
+
+    use super::{pack_panel, GemmScratch, KC, MR, NC};
+    use core::arch::aarch64::{
+        float32x4_t, vaddq_f32, vdupq_n_f32, vld1q_f32, vmulq_f32, vst1q_f32,
+    };
+
+    /// Output columns per vector register.
+    const LANES: usize = 4;
+
+    /// NEON tiled `C = A·B`.
+    ///
+    /// # Safety
+    ///
+    /// NEON must be available at runtime; dimension checks are the public
+    /// wrappers' job.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn gemm_ab(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        scratch: &mut GemmScratch,
+    ) {
+        out.fill(0.0);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            for jc in (0..n).step_by(NC) {
+                let nc = NC.min(n - jc);
+                if nc < n {
+                    let packed = scratch.packed(kc * nc);
+                    pack_panel(b, n, pc, jc, kc, nc, packed);
+                    ab_panel(a, k, m, pc, kc, packed, nc, out, n, jc, nc);
+                } else {
+                    ab_panel(a, k, m, pc, kc, &b[pc * n..], n, out, n, jc, nc);
+                }
+            }
+        }
+    }
+
+    /// NEON tiled `C = Aᵀ·B`.
+    ///
+    /// # Safety
+    ///
+    /// NEON must be available at runtime; dimension checks are the public
+    /// wrappers' job.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn gemm_atb(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        scratch: &mut GemmScratch,
+    ) {
+        out.fill(0.0);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            for jc in (0..n).step_by(NC) {
+                let nc = NC.min(n - jc);
+                if nc < n {
+                    let packed = scratch.packed(kc * nc);
+                    pack_panel(b, n, pc, jc, kc, nc, packed);
+                    atb_panel(a, m, pc, kc, packed, nc, out, n, jc, nc);
+                } else {
+                    atb_panel(a, m, pc, kc, &b[pc * n..], n, out, n, jc, nc);
+                }
+            }
+        }
+    }
+
+    /// NEON tiled `C = A·Bᵀ`: k-major 4-wide packed strips and an `MR×4`
+    /// register accumulator tile.
+    ///
+    /// # Safety
+    ///
+    /// NEON must be available at runtime; dimension checks are the public
+    /// wrappers' job.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn gemm_abt(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        scratch: &mut GemmScratch,
+    ) {
+        out.fill(0.0);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        let strips = n.div_ceil(LANES);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let packed = scratch.packed(strips * kc * LANES);
+            // packed[s][kk][c] = B[s*LANES + c][pc + kk] (zero-padded strip);
+            // pad lanes are discarded on writeback.
+            for s in 0..strips {
+                let j0 = s * LANES;
+                let nr = LANES.min(n - j0);
+                let dst = &mut packed[s * kc * LANES..(s + 1) * kc * LANES];
+                for kk in 0..kc {
+                    for c in 0..LANES {
+                        dst[kk * LANES + c] = if c < nr { b[(j0 + c) * k + pc + kk] } else { 0.0 };
+                    }
+                }
+            }
+            for i0 in (0..m).step_by(MR) {
+                let mr = MR.min(m - i0);
+                for s in 0..strips {
+                    let j0 = s * LANES;
+                    let nr = LANES.min(n - j0);
+                    let bp = &packed[s * kc * LANES..(s + 1) * kc * LANES];
+                    abt_tile(a, k, i0, mr, pc, kc, bp, out, n, j0, nr);
+                }
+            }
+        }
+    }
+
+    /// One `mr × 4` `ABᵀ` accumulator tile; lanes continue their serial
+    /// k-chains from `out` across k-panels.
+    #[allow(clippy::too_many_arguments)] // a GEMM tile is inherently this wide
+    #[target_feature(enable = "neon")]
+    fn abt_tile(
+        a: &[f32],
+        k: usize,
+        i0: usize,
+        mr: usize,
+        pc: usize,
+        kc: usize,
+        bp: &[f32],
+        out: &mut [f32],
+        n: usize,
+        j0: usize,
+        nr: usize,
+    ) {
+        let mut acc = [vdupq_n_f32(0.0); MR];
+        for (r, slot) in acc.iter_mut().enumerate().take(mr) {
+            *slot = load_row(&out[(i0 + r) * n + j0..], nr);
+        }
+        for kk in 0..kc {
+            // SAFETY: `bp` holds `kc * LANES` floats and kk < kc.
+            let bv = unsafe { vld1q_f32(bp.as_ptr().add(kk * LANES)) };
+            for (r, slot) in acc.iter_mut().enumerate().take(mr) {
+                let xv = vdupq_n_f32(a[(i0 + r) * k + pc + kk]);
+                *slot = vaddq_f32(*slot, vmulq_f32(xv, bv));
+            }
+        }
+        for (r, slot) in acc.iter().enumerate().take(mr) {
+            store_row(&mut out[(i0 + r) * n + j0..], nr, *slot);
+        }
+    }
+
+    /// Loads `nr` floats (`nr <= 4`) into a vector, zero-padding the rest.
+    #[target_feature(enable = "neon")]
+    fn load_row(row: &[f32], nr: usize) -> float32x4_t {
+        if nr == LANES {
+            // SAFETY: the caller's row slice holds at least LANES floats.
+            unsafe { vld1q_f32(row.as_ptr()) }
+        } else {
+            let mut lane = [0.0f32; LANES];
+            lane[..nr].copy_from_slice(&row[..nr]);
+            // SAFETY: `lane` is LANES floats on the stack.
+            unsafe { vld1q_f32(lane.as_ptr()) }
+        }
+    }
+
+    /// Stores the first `nr` lanes (`nr <= 4`) of `v` into `row`.
+    #[target_feature(enable = "neon")]
+    fn store_row(row: &mut [f32], nr: usize, v: float32x4_t) {
+        if nr == LANES {
+            // SAFETY: the caller's row slice holds at least LANES floats.
+            unsafe { vst1q_f32(row.as_mut_ptr(), v) };
+        } else {
+            let mut lane = [0.0f32; LANES];
+            // SAFETY: `lane` is LANES floats on the stack.
+            unsafe { vst1q_f32(lane.as_mut_ptr(), v) };
+            row[..nr].copy_from_slice(&lane[..nr]);
+        }
+    }
+
+    /// `AB` panel sweep — the scalar structure, 4-wide inside.
+    #[allow(clippy::too_many_arguments)] // a GEMM tile is inherently this wide
+    #[target_feature(enable = "neon")]
+    fn ab_panel(
+        a: &[f32],
+        k: usize,
+        m: usize,
+        pc: usize,
+        kc: usize,
+        panel: &[f32],
+        stride: usize,
+        out: &mut [f32],
+        n: usize,
+        jc: usize,
+        nc: usize,
+    ) {
+        for i0 in (0..m).step_by(MR) {
+            let mr = MR.min(m - i0);
+            if mr == MR {
+                let a_rows = [
+                    &a[i0 * k + pc..i0 * k + pc + kc],
+                    &a[(i0 + 1) * k + pc..(i0 + 1) * k + pc + kc],
+                    &a[(i0 + 2) * k + pc..(i0 + 2) * k + pc + kc],
+                    &a[(i0 + 3) * k + pc..(i0 + 3) * k + pc + kc],
+                ];
+                let o = quad_out_ptrs(out, i0, n, jc, nc);
+                for kk in 0..kc {
+                    let x = [a_rows[0][kk], a_rows[1][kk], a_rows[2][kk], a_rows[3][kk]];
+                    quad_step(x, &panel[kk * stride..kk * stride + nc], o, nc);
+                }
+            } else {
+                for r in 0..mr {
+                    let a_row = &a[(i0 + r) * k + pc..(i0 + r) * k + pc + kc];
+                    let orow = &mut out[(i0 + r) * n + jc..(i0 + r) * n + jc + nc];
+                    axpy_row(a_row, panel, stride, orow);
+                }
+            }
+        }
+    }
+
+    /// `AᵀB` panel sweep (`lda = m`; A values of a k step are contiguous).
+    #[allow(clippy::too_many_arguments)] // a GEMM tile is inherently this wide
+    #[target_feature(enable = "neon")]
+    fn atb_panel(
+        a: &[f32],
+        lda: usize,
+        pc: usize,
+        kc: usize,
+        panel: &[f32],
+        stride: usize,
+        out: &mut [f32],
+        n: usize,
+        jc: usize,
+        nc: usize,
+    ) {
+        let m = lda;
+        for i0 in (0..m).step_by(MR) {
+            let mr = MR.min(m - i0);
+            if mr == MR {
+                let o = quad_out_ptrs(out, i0, n, jc, nc);
+                for kk in 0..kc {
+                    let av = &a[(pc + kk) * lda + i0..(pc + kk) * lda + i0 + MR];
+                    let x = [av[0], av[1], av[2], av[3]];
+                    quad_step(x, &panel[kk * stride..kk * stride + nc], o, nc);
+                }
+            } else {
+                for r in 0..mr {
+                    let orow = &mut out[(i0 + r) * n + jc..(i0 + r) * n + jc + nc];
+                    let op = orow.as_mut_ptr();
+                    for kk in 0..kc {
+                        let av = a[(pc + kk) * lda + i0 + r];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        axpy_cols(av, &panel[kk * stride..kk * stride + nc], op, nc);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Raw pointers to the four output rows of quad `i0` at column `jc`.
+    #[target_feature(enable = "neon")]
+    fn quad_out_ptrs(out: &mut [f32], i0: usize, n: usize, jc: usize, nc: usize) -> [*mut f32; MR] {
+        assert!((i0 + 3) * n + jc + nc <= out.len(), "quad rows out of bounds");
+        let po = out.as_mut_ptr();
+        // SAFETY: the assert above proves every offset (and the nc floats
+        // after it) is inside `out`.
+        unsafe {
+            [
+                po.add(i0 * n + jc),
+                po.add((i0 + 1) * n + jc),
+                po.add((i0 + 2) * n + jc),
+                po.add((i0 + 3) * n + jc),
+            ]
+        }
+    }
+
+    /// One fused-quad k step; mixed zeros route through [`axpy_cols`].
+    #[target_feature(enable = "neon")]
+    fn quad_step(x: [f32; MR], b_row: &[f32], o: [*mut f32; MR], nc: usize) {
+        if x[0] != 0.0 && x[1] != 0.0 && x[2] != 0.0 && x[3] != 0.0 {
+            let xv = [vdupq_n_f32(x[0]), vdupq_n_f32(x[1]), vdupq_n_f32(x[2]), vdupq_n_f32(x[3])];
+            let pb = b_row.as_ptr();
+            let mut j = 0;
+            while j + LANES <= nc {
+                // SAFETY: j + LANES <= nc, `b_row` holds nc floats, and each
+                // `o[r]` addresses nc valid floats (see `quad_out_ptrs`).
+                unsafe {
+                    let bv = vld1q_f32(pb.add(j));
+                    for r in 0..MR {
+                        let ov = vld1q_f32(o[r].add(j));
+                        vst1q_f32(o[r].add(j), vaddq_f32(ov, vmulq_f32(xv[r], bv)));
+                    }
+                }
+                j += LANES;
+            }
+            while j < nc {
+                // SAFETY: j < nc; same bounds as above.
+                unsafe {
+                    let bj = *pb.add(j);
+                    for r in 0..MR {
+                        *o[r].add(j) += x[r] * bj;
+                    }
+                }
+                j += 1;
+            }
+        } else {
+            // Mixed zeros: per-row skips, same per-element sequence.
+            for r in 0..MR {
+                if x[r] == 0.0 {
+                    continue;
+                }
+                axpy_cols(x[r], b_row, o[r], nc);
+            }
+        }
+    }
+
+    /// Skip-aware row update over one k-panel, 4-wide columns.
+    #[target_feature(enable = "neon")]
+    fn axpy_row(a_row: &[f32], panel: &[f32], stride: usize, out_row: &mut [f32]) {
+        let nc = out_row.len();
+        let op = out_row.as_mut_ptr();
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            axpy_cols(av, &panel[kk * stride..kk * stride + nc], op, nc);
+        }
+    }
+
+    /// `o[0..nc] += x * b_row[0..nc]`, 4 columns per step, scalar tail.
+    #[target_feature(enable = "neon")]
+    fn axpy_cols(x: f32, b_row: &[f32], o: *mut f32, nc: usize) {
+        debug_assert!(b_row.len() >= nc);
+        let xv = vdupq_n_f32(x);
+        let pb = b_row.as_ptr();
+        let mut j = 0;
+        while j + LANES <= nc {
+            // SAFETY: j + LANES <= nc and both pointers address nc valid
+            // floats (the caller derived `o` from an nc-long row).
+            unsafe {
+                let bv = vld1q_f32(pb.add(j));
+                let ov = vld1q_f32(o.add(j));
+                vst1q_f32(o.add(j), vaddq_f32(ov, vmulq_f32(xv, bv)));
+            }
+            j += LANES;
+        }
+        while j < nc {
+            // SAFETY: j < nc; same bounds as above.
+            unsafe { *o.add(j) += x * *pb.add(j) };
+            j += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Mat-level entry points (resize + dimension checks; layers call these with
 // their own scratch, `Mat`'s methods call them with a thread-local one).
 // ---------------------------------------------------------------------------
@@ -592,9 +1838,17 @@ mod tests {
         }
     }
 
+    /// Every backend available on this host, scalar first.
+    fn backends() -> Vec<GemmIsa> {
+        let mut isas = vec![GemmIsa::Scalar];
+        isas.extend(simd_isa());
+        isas
+    }
+
     #[test]
     fn tiled_matches_naive_on_awkward_shapes() {
-        // Shapes straddling every blocking boundary: MR, NR, KC edges.
+        // Shapes straddling every blocking boundary: MR, NR, KC edges — and
+        // column tails not divisible by any vector width (8 AVX2, 4 NEON).
         let shapes = [
             (1, 1, 1),
             (1, 48, 192),
@@ -606,55 +1860,86 @@ mod tests {
             (17, 257, 49),
             (64, 5, 2),
         ];
-        for &(m, k, n) in &shapes {
-            let a = fill(m * k, (m * 31 + k * 7 + n) as u64);
-            let b = fill(k * n, (m + k * 13 + n * 3) as u64);
-            let bt = fill(n * k, (m * 5 + k + n * 11) as u64);
-            let at = fill(k * m, (m + k * 29 + n * 17) as u64);
-            let mut want = vec![0.0; m * n];
-            let mut got = vec![0.0; m * n];
-            let mut scratch = GemmScratch::default();
+        for isa in backends() {
+            for &(m, k, n) in &shapes {
+                let a = fill(m * k, (m * 31 + k * 7 + n) as u64);
+                let b = fill(k * n, (m + k * 13 + n * 3) as u64);
+                let bt = fill(n * k, (m * 5 + k + n * 11) as u64);
+                let at = fill(k * m, (m + k * 29 + n * 17) as u64);
+                let mut want = vec![0.0; m * n];
+                let mut got = vec![0.0; m * n];
+                let mut scratch = GemmScratch::default();
 
-            naive_ab(m, k, n, &a, &b, &mut want);
-            gemm_ab(m, k, n, &a, &b, &mut got, &mut scratch);
-            assert_bits_eq(&got, &want, &format!("ab {m}x{k}x{n}"));
+                naive_ab(m, k, n, &a, &b, &mut want);
+                gemm_ab_with(isa, m, k, n, &a, &b, &mut got, &mut scratch);
+                assert_bits_eq(&got, &want, &format!("{} ab {m}x{k}x{n}", isa.name()));
 
-            naive_abt(m, k, n, &a, &bt, &mut want);
-            gemm_abt(m, k, n, &a, &bt, &mut got, &mut scratch);
-            assert_bits_eq(&got, &want, &format!("abt {m}x{k}x{n}"));
+                naive_abt(m, k, n, &a, &bt, &mut want);
+                gemm_abt_with(isa, m, k, n, &a, &bt, &mut got, &mut scratch);
+                assert_bits_eq(&got, &want, &format!("{} abt {m}x{k}x{n}", isa.name()));
 
-            naive_atb(m, k, n, &at, &b, &mut want);
-            gemm_atb(m, k, n, &at, &b, &mut got, &mut scratch);
-            assert_bits_eq(&got, &want, &format!("atb {m}x{k}x{n}"));
+                naive_atb(m, k, n, &at, &b, &mut want);
+                gemm_atb_with(isa, m, k, n, &at, &b, &mut got, &mut scratch);
+                assert_bits_eq(&got, &want, &format!("{} atb {m}x{k}x{n}", isa.name()));
+            }
         }
     }
 
     #[test]
     fn zero_k_zeroes_the_output() {
-        let mut out = vec![7.0f32; 6];
-        let mut scratch = GemmScratch::default();
-        gemm_ab(2, 0, 3, &[], &[], &mut out, &mut scratch);
-        assert!(out.iter().all(|&x| x == 0.0));
-        out.fill(7.0);
-        gemm_abt(2, 0, 3, &[], &[], &mut out, &mut scratch);
-        assert!(out.iter().all(|&x| x == 0.0));
-        out.fill(7.0);
-        gemm_atb(2, 0, 3, &[], &[], &mut out, &mut scratch);
-        assert!(out.iter().all(|&x| x == 0.0));
+        for isa in backends() {
+            let mut out = vec![7.0f32; 6];
+            let mut scratch = GemmScratch::default();
+            gemm_ab_with(isa, 2, 0, 3, &[], &[], &mut out, &mut scratch);
+            assert!(out.iter().all(|&x| x == 0.0));
+            out.fill(7.0);
+            gemm_abt_with(isa, 2, 0, 3, &[], &[], &mut out, &mut scratch);
+            assert!(out.iter().all(|&x| x == 0.0));
+            out.fill(7.0);
+            gemm_atb_with(isa, 2, 0, 3, &[], &[], &mut out, &mut scratch);
+            assert!(out.iter().all(|&x| x == 0.0));
+        }
     }
 
     #[test]
     fn zero_skip_suppresses_nan_like_the_reference() {
         // 0·inf must stay skipped in AB/AᵀB and must produce NaN in ABᵀ —
-        // exactly the historical Mat semantics.
-        let a = [0.0f32, 1.0];
-        let b = [f32::INFINITY, 2.0];
+        // exactly the historical Mat semantics, on every backend.
+        for isa in backends() {
+            let a = [0.0f32, 1.0];
+            let b = [f32::INFINITY, 2.0];
+            let mut scratch = GemmScratch::default();
+            let mut out = [0.0f32];
+            gemm_ab_with(isa, 1, 2, 1, &a, &b, &mut out, &mut scratch);
+            assert_eq!(out[0], 2.0, "{}", isa.name());
+            gemm_abt_with(isa, 1, 2, 1, &a, &b, &mut out, &mut scratch);
+            assert!(out[0].is_nan(), "{}", isa.name());
+        }
+    }
+
+    #[test]
+    fn packing_scratch_is_cache_line_aligned() {
         let mut scratch = GemmScratch::default();
-        let mut out = [0.0f32];
-        gemm_ab(1, 2, 1, &a, &b, &mut out, &mut scratch);
-        assert_eq!(out[0], 2.0);
-        gemm_abt(1, 2, 1, &a, &b, &mut out, &mut scratch);
-        assert!(out[0].is_nan());
+        for len in [1, 7, 64, 1000] {
+            let packed = scratch.packed(len);
+            assert_eq!(packed.len(), len);
+            assert_eq!(packed.as_ptr() as usize % PACK_ALIGN, 0, "len {len}");
+        }
+    }
+
+    #[test]
+    fn backend_resolution_is_forcible_and_labeled() {
+        let detected = simd_isa();
+        assert_eq!(set_gemm_backend(GemmBackend::Scalar), GemmIsa::Scalar);
+        assert_eq!(active_gemm_isa(), GemmIsa::Scalar);
+        assert!(gemm_backend_label().starts_with("scalar"), "{}", gemm_backend_label());
+
+        let resolved = set_gemm_backend(GemmBackend::Simd);
+        assert_eq!(resolved, detected.unwrap_or(GemmIsa::Scalar));
+        assert!(gemm_backend_label().starts_with(resolved.name()), "{}", gemm_backend_label());
+
+        let auto = set_gemm_backend(GemmBackend::Auto);
+        assert_eq!(auto, detected.unwrap_or(GemmIsa::Scalar));
     }
 
     #[test]

@@ -44,6 +44,8 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(clippy::undocumented_unsafe_blocks)] // every unsafe block carries a SAFETY: comment
 #![allow(clippy::needless_range_loop)] // indexed loops mirror the math in numeric kernels
 
 pub mod gradcheck;
@@ -57,7 +59,9 @@ pub mod optim;
 pub mod param;
 pub mod train;
 
-pub use kernels::GemmScratch;
+pub use kernels::{
+    active_gemm_isa, gemm_backend_label, set_gemm_backend, GemmBackend, GemmIsa, GemmScratch,
+};
 pub use layers::{LayerScratch, LayerSpec, Mode, Padding, SeqLayer};
 pub use mat::Mat;
 pub use network::{Network, NetworkScratch, NetworkSpec, SavedNetwork};

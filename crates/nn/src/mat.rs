@@ -3,8 +3,10 @@
 //! Sequence data flows through layers as a [`Mat`] of shape `(time, features)`;
 //! plain vectors are represented as `(1, features)` matrices. The type is
 //! deliberately small; every matrix product is a thin wrapper over the
-//! blocked, cache-tiled kernels in [`crate::kernels`] (bit-identical to the
-//! historical naive loops — see the accumulation-order contract there).
+//! blocked, cache-tiled kernels in [`crate::kernels`] — runtime-dispatched
+//! to SIMD microkernels (AVX2/NEON) when the host supports them, and
+//! bit-identical to the historical naive loops on every backend (see the
+//! accumulation-order contract there).
 //! The wrappers use a thread-local [`GemmScratch`] for panel packing, so
 //! they stay allocation-free in steady state without threading scratch
 //! through every call site; hot paths that want explicit scratch ownership

@@ -8,10 +8,26 @@
 //! k-chain. Comparison here is on raw bit patterns (`to_bits`), strictly
 //! stronger than `==` (it distinguishes `-0.0` from `0.0` and never lets
 //! NaN slip through an equality).
+//!
+//! Every property runs under **every backend available on this host** —
+//! the scalar tiles always, plus the SIMD microkernels (AVX2/NEON) when
+//! runtime detection finds them — through the explicit `gemm_*_with` entry
+//! points, so forced-Scalar and forced-Simd coverage does not depend on
+//! process-global dispatch state (tests run in parallel).
 
-use nn::kernels::{gemm_ab, gemm_abt, gemm_atb, naive_ab, naive_abt, naive_atb, GemmScratch};
+use nn::kernels::{
+    gemm_ab_with, gemm_abt_with, gemm_atb_with, naive_ab, naive_abt, naive_atb, simd_isa, GemmIsa,
+    GemmScratch,
+};
 use nn::Mat;
 use proptest::prelude::*;
+
+/// Scalar first, then the detected SIMD ISA (if any).
+fn backends() -> Vec<GemmIsa> {
+    let mut isas = vec![GemmIsa::Scalar];
+    isas.extend(simd_isa());
+    isas
+}
 
 /// Deterministic matrix data with a controlled density of **exact zeros**
 /// (probability ~1/4) so the skip-zero path is exercised as hard as the
@@ -40,7 +56,8 @@ fn assert_bits_eq(got: &[f32], want: &[f32], what: &str) {
     }
 }
 
-/// Runs all three variants at `(m, k, n)` against their references.
+/// Runs all three variants at `(m, k, n)` against their references, on
+/// every available backend.
 fn check_all(m: usize, k: usize, n: usize, seed: u64) {
     let a = fill(m * k, seed);
     let b = fill(k * n, seed.wrapping_add(1));
@@ -51,19 +68,24 @@ fn check_all(m: usize, k: usize, n: usize, seed: u64) {
     let mut got = vec![f32::NAN; m * n];
     let mut scratch = GemmScratch::default();
 
-    naive_ab(m, k, n, &a, &b, &mut want);
-    gemm_ab(m, k, n, &a, &b, &mut got, &mut scratch);
-    assert_bits_eq(&got, &want, &format!("AB m={m} k={k} n={n}"));
+    for isa in backends() {
+        let tag = isa.name();
 
-    got.fill(f32::NAN);
-    naive_abt(m, k, n, &a, &bt, &mut want);
-    gemm_abt(m, k, n, &a, &bt, &mut got, &mut scratch);
-    assert_bits_eq(&got, &want, &format!("ABt m={m} k={k} n={n}"));
+        got.fill(f32::NAN);
+        naive_ab(m, k, n, &a, &b, &mut want);
+        gemm_ab_with(isa, m, k, n, &a, &b, &mut got, &mut scratch);
+        assert_bits_eq(&got, &want, &format!("{tag} AB m={m} k={k} n={n}"));
 
-    got.fill(f32::NAN);
-    naive_atb(m, k, n, &at, &b, &mut want);
-    gemm_atb(m, k, n, &at, &b, &mut got, &mut scratch);
-    assert_bits_eq(&got, &want, &format!("AtB m={m} k={k} n={n}"));
+        got.fill(f32::NAN);
+        naive_abt(m, k, n, &a, &bt, &mut want);
+        gemm_abt_with(isa, m, k, n, &a, &bt, &mut got, &mut scratch);
+        assert_bits_eq(&got, &want, &format!("{tag} ABt m={m} k={k} n={n}"));
+
+        got.fill(f32::NAN);
+        naive_atb(m, k, n, &at, &b, &mut want);
+        gemm_atb_with(isa, m, k, n, &at, &b, &mut got, &mut scratch);
+        assert_bits_eq(&got, &want, &format!("{tag} AtB m={m} k={k} n={n}"));
+    }
 }
 
 proptest! {
@@ -145,33 +167,41 @@ fn blocking_boundary_shapes_are_bit_exact() {
         (48, 1, 48),   // k=1: single term per element
         (6, 40, 600),  // n > NC: the packed-panel column-blocked path
         (9, 300, 530), // packed panels AND a KC tail panel together
+        (4, 16, 9),    // column tail: 9 = 8 + 1 (one past an AVX2 vector)
+        (4, 16, 12),   // column tail: 12 = 8 + 4 (a NEON vector past AVX2)
+        (5, 33, 15),   // tails in every dimension at once (m, k, n odd)
+        (8, 20, 7),    // n below every vector width: scalar-tail-only columns
+        (12, 40, 613), // packed panel whose tail block is itself tail-width
     ] {
         check_all(m, k, n, (m * 1_000_003 + k * 1_009 + n) as u64);
     }
 }
 
-/// `0·inf` handling must match the references: skipped (suppressed) in AB
-/// and AᵀB, propagated to NaN in ABᵀ.
+/// `0·inf` handling must match the references on every backend: skipped
+/// (suppressed) in AB and AᵀB, propagated to NaN in ABᵀ.
 #[test]
 fn nonfinite_semantics_match_reference() {
     let a = vec![0.0f32, 2.0];
     let b = vec![f32::INFINITY, 3.0]; // (2,1) for AB / AtB, (1,2) row for ABt
     let mut scratch = GemmScratch::default();
-    let mut got = [f32::NAN];
-    let mut want = [f32::NAN];
 
-    naive_ab(1, 2, 1, &a, &b, &mut want);
-    gemm_ab(1, 2, 1, &a, &b, &mut got, &mut scratch);
-    assert_eq!((got[0].to_bits(), want[0].to_bits()), (6.0f32.to_bits(), 6.0f32.to_bits()));
+    for isa in backends() {
+        let mut got = [f32::NAN];
+        let mut want = [f32::NAN];
 
-    naive_abt(1, 2, 1, &a, &b, &mut want);
-    gemm_abt(1, 2, 1, &a, &b, &mut got, &mut scratch);
-    assert!(got[0].is_nan() && want[0].is_nan());
+        naive_ab(1, 2, 1, &a, &b, &mut want);
+        gemm_ab_with(isa, 1, 2, 1, &a, &b, &mut got, &mut scratch);
+        assert_eq!((got[0].to_bits(), want[0].to_bits()), (6.0f32.to_bits(), 6.0f32.to_bits()));
 
-    let mut got2 = [f32::NAN, f32::NAN];
-    let mut want2 = [f32::NAN, f32::NAN];
-    naive_atb(2, 1, 1, &a, &b[..1], &mut want2);
-    gemm_atb(2, 1, 1, &a, &b[..1], &mut got2, &mut scratch);
-    assert_eq!(got2[0].to_bits(), want2[0].to_bits());
-    assert_eq!(got2[1].to_bits(), want2[1].to_bits());
+        naive_abt(1, 2, 1, &a, &b, &mut want);
+        gemm_abt_with(isa, 1, 2, 1, &a, &b, &mut got, &mut scratch);
+        assert!(got[0].is_nan() && want[0].is_nan(), "{}", isa.name());
+
+        let mut got2 = [f32::NAN, f32::NAN];
+        let mut want2 = [f32::NAN, f32::NAN];
+        naive_atb(2, 1, 1, &a, &b[..1], &mut want2);
+        gemm_atb_with(isa, 2, 1, 1, &a, &b[..1], &mut got2, &mut scratch);
+        assert_eq!(got2[0].to_bits(), want2[0].to_bits());
+        assert_eq!(got2[1].to_bits(), want2[1].to_bits());
+    }
 }

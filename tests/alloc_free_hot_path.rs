@@ -31,10 +31,14 @@ unsafe impl GlobalAlloc for CountingAllocator {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: forwarding the caller's layout unchanged to the system
+        // allocator upholds the same contract we were called under.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` came from our `alloc`, which forwarded to
+        // `System`, so they are valid for `System.dealloc`.
         unsafe { System.dealloc(ptr, layout) }
     }
 
@@ -42,6 +46,8 @@ unsafe impl GlobalAlloc for CountingAllocator {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: `ptr`/`layout` came from our `alloc` (backed by `System`),
+        // and `new_size` is forwarded unchanged.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -51,6 +57,70 @@ static ALLOCATOR: CountingAllocator = CountingAllocator;
 
 #[test]
 fn steady_state_monitor_push_performs_no_heap_allocation() {
+    // Part 0: the kernel layer itself. Backend resolution (env read +
+    // dispatch-table install) and the 64-byte-aligned packing scratch both
+    // allocate only on first use; a warmed GEMM call must not touch the
+    // allocator on any backend this host offers.
+    let label = nn::kernels::gemm_backend_label(); // resolves dispatch now
+    let mut backends = vec![nn::GemmIsa::Scalar];
+    backends.extend(nn::kernels::simd_isa());
+    // Pipeline shapes plus one n > NC product so the packed-panel path
+    // (scratch growth) is warmed and measured too.
+    let shapes = [(15usize, 38usize, 192usize), (6, 40, 600)];
+    let mut scratch = nn::GemmScratch::default();
+    let max = |f: &dyn Fn(&(usize, usize, usize)) -> usize| shapes.iter().map(f).max().unwrap();
+    let a = vec![0.5f32; max(&|&(m, k, _)| m * k)];
+    let b = vec![0.25f32; max(&|&(_, k, n)| k * n)];
+    let bt = vec![0.25f32; max(&|&(_, k, n)| n * k)];
+    let at = vec![0.5f32; max(&|&(m, k, _)| k * m)];
+    let mut out = vec![0.0f32; max(&|&(m, _, n)| m * n)];
+    let mut kernel_pass = || {
+        for &isa in &backends {
+            for &(m, k, n) in &shapes {
+                nn::kernels::gemm_ab_with(
+                    isa,
+                    m,
+                    k,
+                    n,
+                    &a[..m * k],
+                    &b[..k * n],
+                    &mut out[..m * n],
+                    &mut scratch,
+                );
+                nn::kernels::gemm_abt_with(
+                    isa,
+                    m,
+                    k,
+                    n,
+                    &a[..m * k],
+                    &bt[..n * k],
+                    &mut out[..m * n],
+                    &mut scratch,
+                );
+                nn::kernels::gemm_atb_with(
+                    isa,
+                    m,
+                    k,
+                    n,
+                    &at[..k * m],
+                    &b[..k * n],
+                    &mut out[..m * n],
+                    &mut scratch,
+                );
+            }
+        }
+    };
+    kernel_pass(); // warm-up: scratch high-water mark + dispatch resolution
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    kernel_pass();
+    COUNTING.store(false, Ordering::SeqCst);
+    let kernel_allocs = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        kernel_allocs, 0,
+        "warmed GEMM calls (backend {label}) allocated {kernel_allocs} times"
+    );
+
     let ds = generate(&GeneratorConfig::fast(Task::Suturing).with_seed(17));
     let mut cfg = MonitorConfig::fast(FeatureSet::CRG).with_seed(9);
     cfg.train.epochs = 2;

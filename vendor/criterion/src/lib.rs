@@ -39,7 +39,19 @@ impl Criterion {
     }
 
     /// Runs a named benchmark.
-    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_stats(name, None, f);
+        self
+    }
+
+    /// Runs a named benchmark and returns its statistics. When `flops` is
+    /// given (floating-point operations per iteration), the report line
+    /// also shows the achieved MFLOP/s so speedups are comparable across
+    /// differently sized problems.
+    pub fn bench_stats<F>(&mut self, name: &str, flops: Option<u64>, mut f: F) -> BenchStats
     where
         F: FnMut(&mut Bencher),
     {
@@ -49,8 +61,44 @@ impl Criterion {
             target_samples: self.sample_size,
         };
         f(&mut bencher);
-        report(name, &bencher.samples);
-        self
+        let stats = BenchStats::from_samples(&bencher.samples);
+        report(name, &bencher.samples, flops);
+        stats
+    }
+}
+
+/// Summary statistics of one benchmark, in per-iteration nanoseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BenchStats {
+    /// Median per-iteration time.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+}
+
+impl BenchStats {
+    fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        Self {
+            median_ns: sorted[sorted.len() / 2],
+            min_ns: sorted[0],
+            max_ns: sorted[sorted.len() - 1],
+        }
+    }
+
+    /// Achieved MFLOP/s given `flops` floating-point operations per
+    /// iteration (0.0 when no samples were collected).
+    pub fn mflops(&self, flops: u64) -> f64 {
+        if self.median_ns == 0.0 {
+            return 0.0;
+        }
+        flops as f64 / self.median_ns * 1_000.0
     }
 }
 
@@ -91,17 +139,22 @@ impl Bencher {
     }
 }
 
-fn report(name: &str, samples: &[f64]) {
+fn report(name: &str, samples: &[f64], flops: Option<u64>) {
     if samples.is_empty() {
         println!("{name:<40} (no samples)");
         return;
     }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    let median = sorted[sorted.len() / 2];
-    let lo = sorted[0];
-    let hi = sorted[sorted.len() - 1];
-    println!("{name:<40} time: [{} {} {}]", fmt_ns(lo), fmt_ns(median), fmt_ns(hi));
+    let stats = BenchStats::from_samples(samples);
+    let rate = match flops {
+        Some(f) if stats.median_ns > 0.0 => format!("  {:>9.1} MFLOP/s", stats.mflops(f)),
+        _ => String::new(),
+    };
+    println!(
+        "{name:<40} time: [{} {} {}]{rate}",
+        fmt_ns(stats.min_ns),
+        fmt_ns(stats.median_ns),
+        fmt_ns(stats.max_ns)
+    );
 }
 
 fn fmt_ns(ns: f64) -> String {
