@@ -1,6 +1,6 @@
 //! # `bench` — the reproduction harness
 //!
-//! One `repro_*` binary per table/figure of the paper (see DESIGN.md §8 for
+//! One `repro_*` binary per table/figure of the paper (see DESIGN.md §9 for
 //! the index) plus Criterion benches for the compute-time claims. This
 //! library holds the shared scaffolding: scaled dataset builders, monitor
 //! configurations per task, and table formatting.

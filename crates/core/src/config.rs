@@ -52,7 +52,7 @@ pub struct MonitorConfig {
     /// Window width of the gesture classifier. The paper's stage 1 is a
     /// stateful LSTM with time-step 1 over the whole stream; our stateless
     /// equivalent gives stage 1 a longer window than stage 2 so it can see
-    /// gesture transitions (DESIGN.md §9).
+    /// gesture transitions (DESIGN.md §10).
     pub gesture_window: usize,
     /// Stacked-LSTM hidden sizes of the gesture classifier (paper: 512, 96).
     pub gesture_hidden: (usize, usize),
@@ -84,7 +84,7 @@ pub struct MonitorConfig {
 }
 
 impl MonitorConfig {
-    /// Scaled-down defaults that train on CPU in seconds (DESIGN.md §9).
+    /// Scaled-down defaults that train on CPU in seconds (DESIGN.md §10).
     pub fn fast(features: FeatureSet) -> Self {
         Self {
             features,

@@ -94,17 +94,24 @@ impl MajorityFilter {
     /// # Panics
     ///
     /// Panics if `value` is out of the class range.
+    // lint: hot-path
     pub fn push(&mut self, value: usize) -> usize {
         assert!(value < self.counts.len(), "MajorityFilter: class {value} out of range");
         if self.values.len() == self.capacity {
+            // lint: allow(panic, reason = "window is at capacity, so pop_front cannot fail")
             let evicted = self.values.pop_front().expect("non-empty at capacity");
-            self.counts[evicted] -= 1;
+            // Covers this line and the next: evicted was admitted through
+            // the entry assert, so it indexes in range.
+            self.counts[evicted] -= 1; // lint: allow(panic, reason = "evicted passed the entry assert; counts/positions share its range")
             self.positions[evicted].pop_front();
         }
         self.values.push_back(value);
-        self.counts[value] += 1;
+        // Covers this line and the next: value < counts.len() is asserted
+        // at entry and positions has the same length.
+        self.counts[value] += 1; // lint: allow(panic, reason = "value < counts.len() asserted at entry; positions same length")
         self.positions[value].push_back(self.next_index);
         self.next_index += 1;
+        // lint: allow(panic, reason = "a value was just pushed, so the window cannot be empty")
         self.majority().expect("filter non-empty after push")
     }
 
@@ -116,6 +123,7 @@ impl MajorityFilter {
             if count == 0 {
                 continue;
             }
+            // lint: allow(panic, reason = "class enumerates counts, positions has the same length, and count > 0 means a position exists")
             let first = *self.positions[class].front().expect("count > 0");
             let better = match best {
                 None => true,
@@ -260,6 +268,7 @@ impl InferenceEngine {
     /// — perfect boundaries must be supplied via
     /// [`step_with_context`](Self::step_with_context). The frame is **not**
     /// consumed on error (no window or counter advances).
+    // lint: hot-path
     pub fn step(
         &mut self,
         pipeline: &TrainedPipeline,
@@ -274,6 +283,7 @@ impl InferenceEngine {
     /// Feeds one frame with externally supplied context (the
     /// perfect-boundary upper bound). In the other modes the supplied
     /// context is ignored and stage 1 infers it as usual.
+    // lint: hot-path
     pub fn step_with_context(
         &mut self,
         pipeline: &TrainedPipeline,
@@ -283,6 +293,7 @@ impl InferenceEngine {
         self.step_inner(pipeline, frame, Some(gesture))
     }
 
+    // lint: hot-path
     fn step_inner(
         &mut self,
         pipeline: &TrainedPipeline,
@@ -348,6 +359,7 @@ impl InferenceEngine {
     /// instead of being silently mapped to `Gesture::G1` downstream.
     fn smooth_raw_class(&mut self, raw: usize) -> Gesture {
         let smoothed = self.filter.push(raw);
+        // lint: allow(panic, reason = "the filter only returns values it admitted, all < NUM_GESTURES; a malformed classifier must fail loud")
         Gesture::from_index(smoothed).expect("MajorityFilter output is bounded by NUM_GESTURES")
     }
 }
@@ -432,6 +444,7 @@ impl BatchScratch {
 /// [`EngineError::MissingContext`]; the serving layer rejects such
 /// submissions before they ever reach a worker, and a loud panic here
 /// beats silently suppressing a session's output in release builds.
+// lint: hot-path
 pub fn step_batch(
     pipeline: &TrainedPipeline,
     engines: &mut [InferenceEngine],
@@ -461,7 +474,9 @@ pub fn step_batch(
     seen.resize(engines.len(), false);
     for job in jobs.iter() {
         assert!(job.engine < engines.len(), "step_batch: unknown engine {}", job.engine);
-        assert!(!seen[job.engine], "step_batch: engine {} appears twice in one tick", job.engine);
+        // Covers this line and the next: seen was just resized to
+        // engines.len() and job.engine passed the bound assert above.
+        assert!(!seen[job.engine], "step_batch: engine {} appears twice in one tick", job.engine); // lint: allow(panic, reason = "seen is engines.len() long and job.engine passed the bound assert")
         seen[job.engine] = true;
     }
 
@@ -469,6 +484,7 @@ pub fn step_batch(
     gmembers.clear();
     eready.clear();
     for (j, job) in jobs.iter().enumerate() {
+        // lint: allow(panic, reason = "every job.engine passed the entry bound assert")
         let e = &mut engines[job.engine];
         e.frames_seen += 1;
         if e.mode == ContextMode::Perfect {
@@ -490,11 +506,13 @@ pub fn step_batch(
     // window, then the per-session smoothing filters.
     if !gmembers.is_empty() {
         let n = gmembers.len();
+        // lint: allow(panic, reason = "gmembers is non-empty here and holds indices of jobs; every job.engine passed the entry bound assert")
         let first = &engines[jobs[gmembers[0]].engine];
         let gw = first.gesture_window.width();
         let gd = first.gesture_window.dims();
         gwindows.resize(n * gw, gd);
         for (b, &j) in gmembers.iter().enumerate() {
+            // lint: allow(panic, reason = "gmembers holds indices of jobs; every job.engine passed the entry bound assert")
             let e = &engines[jobs[j].engine];
             let copied = e.gesture_window.copy_current_into(gwindows, b * gw);
             debug_assert!(copied, "warm window expected");
@@ -503,6 +521,7 @@ pub fn step_batch(
         debug_assert_eq!(glogits.cols(), NUM_GESTURES);
         for (b, &j) in gmembers.iter().enumerate() {
             let raw = glogits.argmax_row(b);
+            // lint: allow(panic, reason = "gmembers holds indices of jobs; every job.engine passed the entry bound assert")
             let e = &mut engines[jobs[j].engine];
             e.gesture = Some(e.smooth_raw_class(raw));
         }
@@ -515,9 +534,11 @@ pub fn step_batch(
     scores.resize(jobs.len(), None);
     pending.clear();
     for (j, job) in jobs.iter().enumerate() {
+        // lint: allow(panic, reason = "eready got one push per job in phase 1, so j is in range")
         if !eready[j] {
             continue;
         }
+        // lint: allow(panic, reason = "every job.engine passed the entry bound assert")
         let e = &engines[job.engine];
         let routing = match e.mode {
             ContextMode::NoContext => Some(0),
@@ -526,6 +547,7 @@ pub fn step_batch(
         let Some(route_class) = routing else { continue };
         match pipeline.error_route(route_class, e.mode) {
             // No classifier for this route: scored 0, like score_window.
+            // lint: allow(panic, reason = "scores was resized to jobs.len(), so j is in range")
             None => scores[j] = Some(0.0),
             Some(route) => pending.push((j, route)),
         }
@@ -533,25 +555,35 @@ pub fn step_batch(
     pending.sort_by_key(|&(_, route)| route);
     let mut i = 0usize;
     while i < pending.len() {
+        // lint: allow(panic, reason = "the loop condition holds i < pending.len()")
         let route = pending[i].1;
         let mut end = i + 1;
+        // lint: allow(panic, reason = "the while condition holds end < pending.len()")
         while end < pending.len() && pending[end].1 == route {
             end += 1;
         }
         let n = end - i;
+        // lint: allow(panic, reason = "pending holds (job index, route) pairs; every job.engine passed the entry bound assert")
         let first = &engines[jobs[pending[i].0].engine];
         let w = first.window.width();
         let d = first.window.dims();
         ewindows.resize(n * w, d);
+        // lint: allow(panic, reason = "i..end is a scanned run inside pending")
         for (b, &(j, _)) in pending[i..end].iter().enumerate() {
+            // lint: allow(panic, reason = "pending holds job indices; every job.engine passed the entry bound assert")
             let e = &engines[jobs[j].engine];
             let copied = e.window.copy_current_into(ewindows, b * w);
             debug_assert!(copied, "warm window expected");
         }
         pipeline.error_net(route).predict_batch_into(ewindows, n, elogits, escratch);
+        // lint: allow(panic, reason = "i..end is a scanned run inside pending")
         for (b, &(j, _)) in pending[i..end].iter().enumerate() {
-            let e = &mut engines[jobs[j].engine];
+            // Covers this line and the next: pending holds job indices,
+            // every job.engine passed the entry assert, and probs/scores
+            // are sized by construction (binary head, jobs.len()).
+            let e = &mut engines[jobs[j].engine]; // lint: allow(panic, reason = "pending holds job indices bounded by the entry assert; probs/scores sized by construction")
             softmax_into(elogits.row(b), &mut e.probs);
+            // lint: allow(panic, reason = "probs is the binary head (len 2); scores was resized to jobs.len()")
             scores[j] = Some(e.probs[1]);
         }
         i = end;
@@ -559,6 +591,7 @@ pub fn step_batch(
 
     // Phase 4: assemble per-job steps in submission order.
     for (j, job) in jobs.iter().enumerate() {
+        // lint: allow(panic, reason = "every job.engine passed the entry bound assert; scores was resized to jobs.len()")
         outputs.push(EngineStep { gesture: engines[job.engine].gesture, unsafe_score: scores[j] });
     }
 }

@@ -110,6 +110,7 @@ impl LatencyTelemetry {
         Self { buckets: vec![0; LATENCY_BUCKETS], count: 0, sum_ms: 0.0, max_ms: 0.0 }
     }
 
+    // lint: hot-path
     fn record(&mut self, ms: f32) {
         if !ms.is_finite() || ms < 0.0 {
             return;
@@ -120,6 +121,7 @@ impl LatencyTelemetry {
             let pos = (ms.log10() - LATENCY_LOG_LO) / LATENCY_DECADES * LATENCY_BUCKETS as f32;
             (pos.floor().max(0.0) as usize).min(LATENCY_BUCKETS - 1)
         };
+        // lint: allow(panic, reason = "idx is clamped to LATENCY_BUCKETS - 1 right above")
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum_ms += ms as f64;
@@ -310,6 +312,7 @@ impl ShardedMonitorPool {
     ///
     /// Panics on an unknown session id.
     pub fn frames_submitted(&self, session: SessionId) -> usize {
+        // lint: allow(panic, reason = "documented panic on an unknown session id")
         self.submitted[session]
     }
 
@@ -354,6 +357,7 @@ impl ShardedMonitorPool {
         self.submit_inner(session, frame, Some(gesture));
     }
 
+    // lint: hot-path
     fn submit_inner(
         &mut self,
         session: SessionId,
@@ -361,6 +365,7 @@ impl ShardedMonitorPool {
         context: Option<Gesture>,
     ) {
         assert!(session < self.sessions, "unknown session {session}");
+        // lint: allow(panic, reason = "submitted is sessions long and session passed the assert above")
         self.submitted[session] += 1;
         self.in_flight += 1;
         let shard = session % self.ingress.len();
@@ -373,6 +378,7 @@ impl ShardedMonitorPool {
                 buf.manipulators.clone_from(&frame.manipulators);
                 buf
             }
+            // lint: allow(alloc, reason = "cold branch: allocates only while the in-flight high-water mark is still growing")
             Err(_) => frame.clone(),
         };
         self.send(shard, Job::Frame { slot, frame, context, submitted: Instant::now() });
@@ -396,6 +402,7 @@ impl ShardedMonitorPool {
     /// Panics on an unknown session id.
     pub fn reset_session(&mut self, session: SessionId) {
         assert!(session < self.sessions, "unknown session {session}");
+        // lint: allow(panic, reason = "submitted is sessions long and session passed the assert above")
         self.submitted[session] = 0;
         let shard = session % self.ingress.len();
         let slot = session / self.ingress.len();
@@ -428,6 +435,7 @@ impl ShardedMonitorPool {
 
     /// Non-blocking drain appending into a caller-owned buffer (no
     /// allocation once the buffer is warm).
+    // lint: hot-path
     pub fn poll_into(&mut self, out: &mut Vec<Decision>) {
         loop {
             match self.egress.try_recv() {
@@ -436,6 +444,7 @@ impl ShardedMonitorPool {
                     out.push(decision);
                 }
                 Ok(Event::BarrierAck { .. }) => {
+                    // lint: allow(panic, reason = "acks exist only while flush_into is blocking; one leaking here is a protocol bug, fail loud")
                     unreachable!("barrier acks are consumed by flush")
                 }
                 Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
@@ -452,6 +461,7 @@ impl ShardedMonitorPool {
     /// This is the serving tick of the deadline-gated closed loop: the
     /// fleet reactor drains with its per-tick budget and fails safe for
     /// every decision that misses it (`reactor::PooledReactor`).
+    // lint: hot-path
     pub fn drain_deadline(&mut self, deadline: Instant, out: &mut Vec<Decision>) -> bool {
         while self.in_flight > 0 {
             let timeout = deadline.saturating_duration_since(Instant::now());
@@ -461,10 +471,12 @@ impl ShardedMonitorPool {
                     out.push(decision);
                 }
                 Ok(Event::BarrierAck { .. }) => {
+                    // lint: allow(panic, reason = "acks exist only while flush_into is blocking; one leaking here is a protocol bug, fail loud")
                     unreachable!("barrier acks are consumed by flush")
                 }
                 Err(RecvTimeoutError::Timeout) => return false,
                 Err(RecvTimeoutError::Disconnected) => {
+                    // lint: allow(panic, reason = "a dead shard worker while frames are in flight means lost decisions; the monitor must not limp on")
                     panic!("shard worker exited while frames were in flight")
                 }
             }
@@ -514,6 +526,7 @@ impl ShardedMonitorPool {
 
     /// [`ShardedMonitorPool::flush`] appending into a caller-owned buffer
     /// (no allocation once the buffer is warm).
+    // lint: hot-path
     pub fn flush_into(&mut self, out: &mut Vec<Decision>) {
         self.barrier_token += 1;
         let token = self.barrier_token;
@@ -529,14 +542,16 @@ impl ShardedMonitorPool {
                 }
                 Ok(Event::BarrierAck { token: t }) if t == token => acked += 1,
                 Ok(Event::BarrierAck { .. }) => {}
+                // lint: allow(panic, reason = "a dead shard worker while frames are in flight means lost decisions; the monitor must not limp on")
                 Err(_) => panic!("shard worker exited while frames were in flight"),
             }
         }
     }
 
     fn send(&self, shard: usize, job: Job) {
-        self.ingress[shard]
+        self.ingress[shard] // lint: allow(panic, reason = "shard is session % ingress.len() at every call site")
             .send(job)
+            // lint: allow(panic, reason = "a worker exits only on pool drop; losing one while the pool is alive must fail loud")
             .unwrap_or_else(|_| panic!("shard worker {shard} exited while the pool was alive"));
     }
 }
@@ -621,12 +636,13 @@ fn worker_loop(
                     state.in_tick.push(false);
                 }
                 Job::ResetSession { slot } => {
+                    // lint: allow(panic, reason = "the pool only routes slots it created via AddSession at construction")
                     if state.in_tick[slot] {
                         // The session's current frame must be scored (and
                         // its decision emitted) before the state rewinds.
                         run_tick(pipeline, threshold, topology, &mut state, egress, recycle);
                     }
-                    state.engines[slot].reset();
+                    state.engines[slot].reset(); // lint: allow(panic, reason = "the pool only routes slots it created via AddSession at construction")
                     state.frames_done[slot] = 0;
                 }
                 Job::Stall { dur } => std::thread::sleep(dur),
@@ -636,12 +652,14 @@ fn worker_loop(
                     let _ = egress.send(Event::BarrierAck { token });
                 }
                 Job::Frame { slot, frame, context, submitted } => {
+                    // lint: allow(panic, reason = "the pool only routes slots it created via AddSession at construction")
                     if state.in_tick[slot] {
                         // Second frame of the same session: the current
                         // tick must complete first to keep per-session
                         // frame order (and window validity).
                         run_tick(pipeline, threshold, topology, &mut state, egress, recycle);
                     }
+                    // lint: allow(panic, reason = "the pool only routes slots it created via AddSession at construction")
                     state.in_tick[slot] = true;
                     state.tick.push(BatchJob { engine: slot, frame, context });
                     state.tick_submitted.push(submitted);
@@ -653,6 +671,7 @@ fn worker_loop(
 }
 
 /// Runs one micro-batched tick and emits its decisions.
+// lint: hot-path
 fn run_tick(
     pipeline: &TrainedPipeline,
     threshold: f32,
@@ -671,9 +690,9 @@ fn run_tick(
         state.tick.iter().zip(state.steps.iter()).zip(state.tick_submitted.iter())
     {
         let slot = job.engine;
-        let frame_idx = state.frames_done[slot];
+        let frame_idx = state.frames_done[slot]; // lint: allow(panic, reason = "tick jobs carry slots the pool created via AddSession; per-slot vecs grow in lockstep")
         state.frames_done[slot] += 1;
-        state.in_tick[slot] = false;
+        state.in_tick[slot] = false; // lint: allow(panic, reason = "tick jobs carry slots the pool created via AddSession; per-slot vecs grow in lockstep")
         let _ = egress.send(Event::Decision {
             decision: Decision {
                 session: topology.session_of(slot),
@@ -727,16 +746,19 @@ where
         let f = &f;
         let handles: Vec<_> = balanced_chunks(items.len(), threads)
             .map(|range| {
+                // lint: allow(panic, reason = "balanced_chunks yields ranges inside 0..items.len() by construction")
                 let chunk = &items[range];
                 s.spawn(move |_| chunk.iter().map(f).collect::<Vec<R>>())
             })
             .collect();
         let mut out = Vec::with_capacity(items.len());
         for handle in handles {
+            // lint: allow(panic, reason = "a worker panic already poisoned the batch result; re-raising it on the caller is the only honest outcome")
             out.extend(handle.join().expect("parallel_map worker panicked"));
         }
         out
     })
+    // lint: allow(panic, reason = "scope errors only propagate worker panics, re-raised above")
     .expect("parallel_map scope")
 }
 

@@ -49,7 +49,13 @@ use std::time::{Duration, Instant};
 /// Derives one monitored trial from a `(cell, seed)` work item: the same
 /// rng → spec → sim seeding as the unmonitored baselines, shared by the
 /// campaign and the drill so the two can never diverge on what a "trial"
-/// is. The caller must have validated `reactor_cfg` against the pipeline.
+/// is.
+///
+/// # Errors
+///
+/// [`ConfigError`] when `reactor_cfg` fails [`ReactorConfig::validate`]
+/// (callers pre-validate against the pipeline, so this propagates rather
+/// than fires in practice).
 fn make_guarded_trial(
     grid: &[GridCell],
     ci: usize,
@@ -57,16 +63,14 @@ fn make_guarded_trial(
     sim: SimConfig,
     reactor_cfg: ReactorConfig,
     deadline_ticks: usize,
-) -> (BlockTransferSim, Guarded<FaultInjector, PooledReactor>) {
+) -> Result<(BlockTransferSim, Guarded<FaultInjector, PooledReactor>), ConfigError> {
     let mut trial_rng = SmallRng::seed_from_u64(seed);
+    // lint: allow(panic, reason = "ci is produced by grid_work over this same grid, in-range by construction")
     let spec = sample_spec(&grid[ci], &mut trial_rng);
-    (
+    Ok((
         BlockTransferSim::new(&SimConfig { seed, ..sim }),
-        Guarded::new(
-            FaultInjector::new(spec),
-            PooledReactor::new(reactor_cfg, deadline_ticks).expect("config validated by caller"),
-        ),
-    )
+        Guarded::new(FaultInjector::new(spec), PooledReactor::new(reactor_cfg, deadline_ticks)?),
+    ))
 }
 
 /// Drains one serving tick into `decisions` (cleared first): a blocking
@@ -175,6 +179,7 @@ pub fn run_fleet_campaign(
         cfg.closed_loop.campaign.threads.max(1),
         |&(ci, seed)| {
             let mut trial_rng = SmallRng::seed_from_u64(seed);
+            // lint: allow(panic, reason = "ci is produced by grid_work over this same grid, in-range by construction")
             let spec = sample_spec(&grid[ci], &mut trial_rng);
             let sim_cfg = SimConfig { seed, ..sim };
             let (trial, _) = run_injection(&sim_cfg, spec);
@@ -195,26 +200,32 @@ pub fn run_fleet_campaign(
     let mut decisions: Vec<Decision> = Vec::new();
     let mut deadline_misses = 0usize;
     let mut frames = 0usize;
+    // Baselines were computed over `work` in order; waves consume them in
+    // the same order, so this pairing can never misalign.
+    let mut baseline_iter = baselines.into_iter();
 
     for wave in work.chunks(fleet) {
         let mut sims: Vec<BlockTransferSim> = Vec::with_capacity(wave.len());
         let mut guards: Vec<Guarded<FaultInjector, PooledReactor>> = Vec::with_capacity(wave.len());
         for &(ci, seed) in wave {
             let (sim_run, guard) =
-                make_guarded_trial(&grid, ci, seed, sim, reactor_cfg, cfg.deadline_ticks);
+                make_guarded_trial(&grid, ci, seed, sim, reactor_cfg, cfg.deadline_ticks)?;
             sims.push(sim_run);
             guards.push(guard);
         }
 
-        let ticks = sims[0].ticks(); // every trial shares hz × duration
+        let ticks = sims.first().map_or(0, BlockTransferSim::ticks); // shared hz × duration
         for _ in 0..ticks {
-            for s in 0..sims.len() {
-                let frame = sims[s].step(&mut guards[s]);
-                pool.submit(s, frame).expect("non-Perfect mode validated above");
+            for (s, (sim_run, guard)) in sims.iter_mut().zip(guards.iter_mut()).enumerate() {
+                let frame = sim_run.step(guard);
+                // Non-Perfect mode was validated above, the sole way submit
+                // can fail — surface it as the config error it is.
+                pool.submit(s, frame).map_err(|_| ConfigError::PerfectContext)?;
                 frames += 1;
             }
             drain_serving_tick(&mut pool, cfg.tick_budget_ms, &mut decisions);
             for d in &decisions {
+                // lint: allow(panic, reason = "a decision routed to an out-of-range session is a pool bug; fail loud, never misroute a gating decision")
                 guards[d.session].reactor.on_decision(d);
             }
         }
@@ -225,17 +236,20 @@ pub fn run_fleet_campaign(
         decisions.clear();
         pool.flush_into(&mut decisions);
         for d in &decisions {
+            // lint: allow(panic, reason = "a decision routed to an out-of-range session is a pool bug; fail loud, never misroute a gating decision")
             guards[d.session].reactor.on_decision(d);
         }
 
-        for (s, (sim_done, guard)) in sims.into_iter().zip(guards).enumerate() {
+        for (((sim_done, guard), &(cell, _seed)), baseline) in
+            sims.into_iter().zip(guards).zip(wave).zip(baseline_iter.by_ref())
+        {
             let trial = sim_done.finish();
             let gate = guard.reactor.gate();
             deadline_misses += guard.reactor.deadline_misses();
             outcomes.push(TwinOutcome {
-                cell: wave[s].0,
-                baseline_failure: baselines[outcomes.len()].0,
-                baseline_error_tick: baselines[outcomes.len()].1,
+                cell,
+                baseline_failure: baseline.0,
+                baseline_error_tick: baseline.1,
                 monitored_failure: trial.outcome.failure,
                 first_alert_tick: gate.first_alert_tick(),
                 engaged_tick: gate.engaged_tick(),
@@ -331,7 +345,7 @@ pub fn run_forced_miss_drill(
     let mut recs: Vec<Recorder> = Vec::with_capacity(fleet);
     for &(ci, seed) in work.iter().cycle().take(fleet) {
         let (sim_run, guard) =
-            make_guarded_trial(&grid, ci, seed, sim, reactor_cfg, cfg.deadline_ticks);
+            make_guarded_trial(&grid, ci, seed, sim, reactor_cfg, cfg.deadline_ticks)?;
         recs.push(Recorder {
             guard,
             carried: Vec::with_capacity(sim_run.ticks()),
@@ -340,19 +354,22 @@ pub fn run_forced_miss_drill(
         sims.push(sim_run);
     }
 
-    let ticks = sims[0].ticks();
+    let ticks = sims.first().map_or(0, BlockTransferSim::ticks);
     let stall_at = ticks / 3;
     let mut decisions: Vec<Decision> = Vec::new();
     for t in 0..ticks {
         if t == stall_at {
             pool.inject_stall(0, stall);
         }
-        for s in 0..fleet {
-            let frame = sims[s].step(&mut recs[s]);
-            pool.submit(s, frame).expect("non-Perfect mode validated above");
+        for (s, (sim_run, rec)) in sims.iter_mut().zip(recs.iter_mut()).enumerate() {
+            let frame = sim_run.step(rec);
+            // Non-Perfect mode was validated above, the sole way submit can
+            // fail — surface it as the config error it is.
+            pool.submit(s, frame).map_err(|_| ConfigError::PerfectContext)?;
         }
         drain_serving_tick(&mut pool, Some(budget_ms), &mut decisions);
         for d in &decisions {
+            // lint: allow(panic, reason = "a decision routed to an out-of-range session is a pool bug; fail loud, never misroute a gating decision")
             recs[d.session].guard.reactor.on_decision(d);
         }
     }
@@ -360,12 +377,14 @@ pub fn run_forced_miss_drill(
     decisions.clear();
     pool.flush_into(&mut decisions);
     for d in &decisions {
+        // lint: allow(panic, reason = "a decision routed to an out-of-range session is a pool bug; fail loud, never misroute a gating decision")
         recs[d.session].guard.reactor.on_decision(d);
     }
 
     // Audit every trial: a fail-safe-held tick must carry its
-    // predecessor's command — the frozen setpoint — bit for bit. (Tick 0
-    // never requires a decision, so `t-1` exists for every held tick.)
+    // predecessor's command — the frozen setpoint — bit for bit. The
+    // shifted zip starts the audit at tick 1: tick 0 never requires a
+    // decision, so it can never be fail-safe-held.
     let mut deadline_misses = 0usize;
     let mut ungated_during_miss = 0usize;
     let mut decisions_applied = 0usize;
@@ -373,8 +392,12 @@ pub fn run_forced_miss_drill(
         let _ = sim_run.finish();
         deadline_misses += rec.guard.reactor.deadline_misses();
         decisions_applied += rec.guard.reactor.decisions_applied();
-        ungated_during_miss +=
-            (0..ticks).filter(|&t| rec.failsafe[t] && rec.carried[t] != rec.carried[t - 1]).count();
+        ungated_during_miss += rec
+            .carried
+            .iter()
+            .zip(rec.carried.iter().skip(1).zip(rec.failsafe.iter().skip(1)))
+            .filter(|(prev, (cur, &held))| held && cur != prev)
+            .count();
     }
 
     Ok(DrillReport {

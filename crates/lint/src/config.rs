@@ -1,0 +1,192 @@
+//! `lint.toml` loading.
+//!
+//! The lint crate is dependency-free, so this is a tiny TOML-subset parser
+//! covering exactly what the config needs: `[section]` headers, `key =
+//! "string"` and `key = ["a", "b"]` values (arrays may span lines), and `#`
+//! comments. Anything else is a hard error — config typos must not silently
+//! relax a gate.
+
+use std::collections::BTreeMap;
+
+/// Parsed lint configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Directories (workspace-relative) to walk for `.rs` files.
+    pub roots: Vec<String>,
+    /// Path prefixes excluded from every rule (e.g. the linter's own
+    /// known-bad fixtures).
+    pub exclude: Vec<String>,
+    /// Files covered by the accumulation-order (no-FMA) rule.
+    pub fma_paths: Vec<String>,
+    /// Path scopes covered by the no-panic decision-path rule.
+    pub panic_paths: Vec<String>,
+    /// Workspace-relative path of the unsafe inventory file.
+    pub inventory: String,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            roots: vec!["crates".into(), "src".into(), "tests".into(), "examples".into()],
+            exclude: Vec::new(),
+            fma_paths: Vec::new(),
+            panic_paths: Vec::new(),
+            inventory: "UNSAFE_INVENTORY.md".into(),
+        }
+    }
+}
+
+impl Config {
+    /// Parses `lint.toml` text. Unknown sections or keys are errors.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut tables: BTreeMap<String, BTreeMap<String, Value>> = BTreeMap::new();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                tables.entry(section.clone()).or_default();
+                continue;
+            }
+            let Some(eq) = line.find('=') else {
+                return Err(format!("lint.toml:{}: expected `key = value`", idx + 1));
+            };
+            let key = line[..eq].trim().to_string();
+            let mut val = line[eq + 1..].trim().to_string();
+            // Multiline arrays: keep consuming until brackets balance.
+            while val.starts_with('[') && !bracket_balanced(&val) {
+                let Some((_, next)) = lines.next() else {
+                    return Err(format!("lint.toml:{}: unterminated array", idx + 1));
+                };
+                val.push(' ');
+                val.push_str(strip_comment(next).trim());
+            }
+            let value = parse_value(&val).map_err(|e| format!("lint.toml:{}: {e}", idx + 1))?;
+            tables.entry(section.clone()).or_default().insert(key, value);
+        }
+        Self::from_tables(tables)
+    }
+
+    fn from_tables(tables: BTreeMap<String, BTreeMap<String, Value>>) -> Result<Self, String> {
+        let mut cfg = Self::default();
+        for (section, entries) in tables {
+            for (key, value) in entries {
+                match (section.as_str(), key.as_str()) {
+                    ("scan", "roots") => cfg.roots = value.into_array()?,
+                    ("scan", "exclude") => cfg.exclude = value.into_array()?,
+                    ("fma", "paths") => cfg.fma_paths = value.into_array()?,
+                    ("panic", "paths") => cfg.panic_paths = value.into_array()?,
+                    ("unsafe", "inventory") => cfg.inventory = value.into_string()?,
+                    _ => return Err(format!("lint.toml: unknown key `[{section}] {key}`")),
+                }
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+#[derive(Debug)]
+enum Value {
+    Str(String),
+    Array(Vec<String>),
+}
+
+impl Value {
+    fn into_array(self) -> Result<Vec<String>, String> {
+        match self {
+            Value::Array(a) => Ok(a),
+            Value::Str(_) => Err("expected an array".into()),
+        }
+    }
+
+    fn into_string(self) -> Result<String, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            Value::Array(_) => Err("expected a string".into()),
+        }
+    }
+}
+
+fn parse_value(val: &str) -> Result<Value, String> {
+    if let Some(inner) = val.strip_prefix('[').and_then(|v| v.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(parse_string(part)?);
+        }
+        Ok(Value::Array(items))
+    } else {
+        parse_string(val).map(Value::Str)
+    }
+}
+
+fn parse_string(s: &str) -> Result<String, String> {
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected a quoted string, got `{s}`"))
+}
+
+/// Strips a `#` comment, ignoring `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn bracket_balanced(s: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_comments() {
+        let cfg = Config::parse(
+            "# header\n[scan]\nroots = [\"crates\", \"src\"] # trailing\nexclude = [\n    \
+             \"crates/lint/tests/fixtures\",\n]\n[fma]\npaths = [\"crates/nn/src/kernels.rs\"]\n\
+             [unsafe]\ninventory = \"INV.md\"\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.roots, ["crates", "src"]);
+        assert_eq!(cfg.exclude, ["crates/lint/tests/fixtures"]);
+        assert_eq!(cfg.fma_paths, ["crates/nn/src/kernels.rs"]);
+        assert_eq!(cfg.inventory, "INV.md");
+    }
+
+    #[test]
+    fn unknown_keys_are_errors() {
+        assert!(Config::parse("[scan]\nrootz = [\"x\"]\n").is_err());
+        assert!(Config::parse("[typo]\nroots = [\"x\"]\n").is_err());
+    }
+
+    #[test]
+    fn unquoted_values_are_errors() {
+        assert!(Config::parse("[unsafe]\ninventory = INV.md\n").is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! Workspace invariant linter.
+//!
+//! Statically enforces the contracts the safety case rests on (DESIGN.md
+//! §8): the kernels' serial ascending-k / no-FMA accumulation order, the
+//! no-panic decision path, the allocation-free hot path, and a justified
+//! `unsafe` inventory. See `lint.toml` for scopes and `README.md` for
+//! usage; the binary front-end is `src/main.rs`.
+//!
+//! Deliberately dependency-free: the tool that checks the safety contracts
+//! must not itself pull in code the contracts do not cover.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod inventory;
+pub mod rules;
+pub mod scan;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use config::Config;
+use rules::{Diagnostic, UnsafeSite, UsedAllow};
+use scan::SourceFile;
+
+/// The result of linting a whole tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All violations, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every exercised `// lint: allow(...)`, sorted — the exemption audit.
+    pub allows: Vec<UsedAllow>,
+    /// Every unsafe site, sorted — the inventory input.
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the tree passes.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Renders the current inventory markdown.
+    pub fn inventory_markdown(&self) -> String {
+        inventory::render(&self.unsafe_sites)
+    }
+}
+
+/// Lints every `.rs` file under the configured roots of `root`.
+pub fn check_tree(root: &Path, cfg: &Config) -> Result<Report, String> {
+    let mut report = Report::default();
+    for rel in collect_files(root, cfg)? {
+        let abs = root.join(&rel);
+        let raw = fs::read_to_string(&abs).map_err(|e| format!("{}: {e}", abs.display()))?;
+        let file = SourceFile::new(rel.clone(), raw);
+        let fma_scoped = in_scope(&rel, &cfg.fma_paths);
+        let panic_scoped = in_scope(&rel, &cfg.panic_paths);
+        let findings = rules::check_file(&file, fma_scoped, panic_scoped);
+        report.diagnostics.extend(findings.diagnostics);
+        report.allows.extend(findings.allows);
+        report.unsafe_sites.extend(findings.unsafe_sites);
+        report.files_scanned += 1;
+    }
+    report.diagnostics.sort();
+    report.allows.sort();
+    report.unsafe_sites.sort();
+    Ok(report)
+}
+
+/// Loads `lint.toml` from `root` (hard error if missing: running without
+/// config would silently check nothing).
+pub fn load_config(root: &Path, explicit: Option<&Path>) -> Result<Config, String> {
+    let path = explicit.map(PathBuf::from).unwrap_or_else(|| root.join("lint.toml"));
+    let text = fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read config {}: {e}", path.display()))?;
+    Config::parse(&text)
+}
+
+/// Whether `rel` (workspace-relative, `/`-separated) falls under one of the
+/// `scopes` (exact file or directory prefix).
+fn in_scope(rel: &str, scopes: &[String]) -> bool {
+    scopes.iter().any(|s| rel == s || rel.starts_with(&format!("{s}/")))
+}
+
+/// Collects workspace-relative paths of every `.rs` file under the
+/// configured roots, excluding `cfg.exclude` prefixes and anything under a
+/// `target/` directory. Sorted for deterministic output.
+fn collect_files(root: &Path, cfg: &Config) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for scan_root in &cfg.roots {
+        let dir = root.join(scan_root);
+        if dir.is_dir() {
+            walk(&dir, root, cfg, &mut out)?;
+        }
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+fn walk(dir: &Path, root: &Path, cfg: &Config, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut children: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        children.push(entry.map_err(|e| format!("{}: {e}", dir.display()))?.path());
+    }
+    children.sort();
+    for path in children {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name == "target" || name.starts_with('.') {
+            continue;
+        }
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => continue,
+        };
+        if in_scope(&rel, &cfg.exclude) {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, root, cfg, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_matching_is_prefix_or_exact() {
+        let scopes = vec!["crates/reactor/src".to_string(), "crates/core/src/serve.rs".into()];
+        assert!(in_scope("crates/reactor/src/gate.rs", &scopes));
+        assert!(in_scope("crates/core/src/serve.rs", &scopes));
+        assert!(!in_scope("crates/core/src/engine.rs", &scopes));
+        assert!(!in_scope("crates/reactor/srcx/gate.rs", &scopes));
+    }
+}

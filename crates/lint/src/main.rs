@@ -1,0 +1,119 @@
+//! CLI front-end: `cargo run -p lint -- --check | --write-inventory`.
+//!
+//! Exit codes: 0 clean, 1 violations found (or inventory drift in
+//! `--check`), 2 usage/config/io error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<bool, String> {
+    let mut check = false;
+    let mut write_inventory = false;
+    let mut root = default_root();
+    let mut config_path: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--write-inventory" => write_inventory = true,
+            "--root" => root = PathBuf::from(it.next().ok_or("--root needs a directory argument")?),
+            "--config" => {
+                config_path =
+                    Some(PathBuf::from(it.next().ok_or("--config needs a file argument")?))
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    if !check && !write_inventory {
+        return Err(format!("pass --check and/or --write-inventory\n{USAGE}"));
+    }
+
+    let cfg = lint::load_config(&root, config_path.as_deref())?;
+    let report = lint::check_tree(&root, &cfg)?;
+
+    if write_inventory {
+        let path = root.join(&cfg.inventory);
+        std::fs::write(&path, report.inventory_markdown())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("lint: wrote {} ({} unsafe sites)", cfg.inventory, report.unsafe_sites.len());
+    }
+
+    let mut clean = true;
+    if check {
+        for d in &report.diagnostics {
+            println!("{}:{}: [{}] {}", d.file, d.line, d.rule, d.message);
+        }
+        if !report.diagnostics.is_empty() {
+            clean = false;
+        }
+        // Drift check only makes sense when not also rewriting the file.
+        if !write_inventory {
+            let path = root.join(&cfg.inventory);
+            let committed = std::fs::read_to_string(&path).unwrap_or_default();
+            if committed != report.inventory_markdown() {
+                println!(
+                    "{}: [unsafe] inventory is stale — run `cargo run -p lint -- \
+                     --write-inventory` and commit the diff",
+                    cfg.inventory
+                );
+                clean = false;
+            }
+        }
+        println!(
+            "lint: {} files scanned, {} diagnostics, {} allows in use, {} unsafe sites",
+            report.files_scanned,
+            report.diagnostics.len(),
+            report.allows.len(),
+            report.unsafe_sites.len()
+        );
+        if !report.allows.is_empty() {
+            println!("lint: exemptions in use:");
+            for a in &report.allows {
+                println!("  {}:{}: allow({}) — {}", a.file, a.line, a.rule, a.reason);
+            }
+        }
+    }
+    Ok(clean)
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR/../..` when run via cargo, else
+/// the current directory.
+fn default_root() -> PathBuf {
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => {
+            let p = Path::new(&dir);
+            p.parent().and_then(Path::parent).map(PathBuf::from).unwrap_or_else(|| p.into())
+        }
+        Err(_) => PathBuf::from("."),
+    }
+}
+
+const USAGE: &str = "\
+usage: cargo run -p lint -- [--check] [--write-inventory] [--root DIR] [--config FILE]
+
+  --check            lint the tree; nonzero exit + file:line diagnostics on violations,
+                     also fails if UNSAFE_INVENTORY.md is stale
+  --write-inventory  regenerate UNSAFE_INVENTORY.md from the current tree
+  --root DIR         workspace root (default: the lint crate's grandparent)
+  --config FILE      config path (default: <root>/lint.toml)
+";

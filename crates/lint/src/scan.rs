@@ -1,0 +1,630 @@
+//! The lexer-grade source scanner every rule family is built on.
+//!
+//! [`SourceFile`] classifies every byte of a Rust source file as **code**,
+//! **comment**, or **literal** (string/char contents) in a single pass, then
+//! derives the structural facts the rules need:
+//!
+//! * a *masked* view of the source — comments and literal contents blanked
+//!   with spaces, newlines preserved — so pattern scans can never be fooled
+//!   by a forbidden token inside a string or a doc comment;
+//! * brace-matched **test regions** (`#[cfg(test)]` / `#[test]` items),
+//!   which the no-panic and hot-path rules exempt;
+//! * brace-matched **function bodies** for `// lint: hot-path` tags;
+//! * the `// lint:` **directives** themselves (tags and allows).
+//!
+//! This is deliberately not a Rust parser: the gated paths contain no
+//! macro-generated items, so lexical analysis over the masked text is
+//! sufficient (see DESIGN.md §8 for the argument), and a ~400-line scanner
+//! with zero dependencies is itself auditable — the property a trusted
+//! checker needs most.
+
+/// Byte classes produced by the masking pass.
+const CODE: u8 = 0;
+const COMMENT: u8 = 1;
+const LITERAL: u8 = 2;
+
+/// A `// lint:` directive found in a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Directive {
+    /// `// lint: hot-path` — the next `fn` is allocation-audited.
+    HotPath {
+        /// 1-based line of the tag comment.
+        line: usize,
+    },
+    /// `// lint: allow(<rule>, reason = "...")` — suppresses diagnostics of
+    /// that rule family on the same line and the line below.
+    Allow {
+        /// 1-based line of the allow comment.
+        line: usize,
+        /// Rule family the allow targets (`panic`, `alloc`, ...).
+        rule: String,
+        /// The mandatory human-readable justification.
+        reason: String,
+    },
+    /// A `lint:` comment the scanner could not parse — always a diagnostic,
+    /// never silently ignored.
+    Malformed {
+        /// 1-based line of the malformed directive.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+/// One scanned source file plus the structural indexes derived from it.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// The raw source text.
+    pub raw: String,
+    /// Same length as `raw`: comments and literal contents replaced by
+    /// spaces, newlines kept, code bytes untouched.
+    pub masked: String,
+    /// Per-byte class (CODE / COMMENT / LITERAL).
+    kind: Vec<u8>,
+    /// Byte offset at which each 0-based line starts.
+    line_starts: Vec<usize>,
+    /// Byte spans of test-only items (merged, sorted by start).
+    test_spans: Vec<(usize, usize)>,
+    /// Parsed `// lint:` directives in line order.
+    pub directives: Vec<Directive>,
+}
+
+impl SourceFile {
+    /// Scans one file.
+    pub fn new(rel: String, raw: String) -> Self {
+        let kind = classify(&raw);
+        let masked = mask(&raw, &kind);
+        let line_starts = line_starts(&raw);
+        let mut file = Self {
+            rel,
+            raw,
+            masked,
+            kind,
+            line_starts,
+            test_spans: Vec::new(),
+            directives: Vec::new(),
+        };
+        file.test_spans = file.find_test_spans();
+        file.directives = file.find_directives();
+        file
+    }
+
+    /// 1-based line number of byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Number of lines in the file.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// Byte range of 1-based line `line` (excluding the newline).
+    fn line_span(&self, line: usize) -> (usize, usize) {
+        let start = self.line_starts[line - 1];
+        let end = self.line_starts.get(line).map_or(self.raw.len(), |&next| next.saturating_sub(1));
+        (start, end)
+    }
+
+    /// The comment text of 1-based line `line`: every byte classified as
+    /// comment, with the `//` / `/*` introducers included as written.
+    pub fn comment_text(&self, line: usize) -> &str {
+        let (start, end) = self.line_span(line);
+        let bytes = &self.raw.as_bytes()[start..end];
+        let kinds = &self.kind[start..end];
+        let first = kinds.iter().position(|&k| k == COMMENT);
+        let last = kinds.iter().rposition(|&k| k == COMMENT);
+        match (first, last) {
+            (Some(a), Some(b)) => std::str::from_utf8(&bytes[a..=b]).unwrap_or(""),
+            _ => "",
+        }
+    }
+
+    /// The masked **code** text of 1-based line `line`.
+    pub fn code_text(&self, line: usize) -> &str {
+        let (start, end) = self.line_span(line);
+        &self.masked[start..end]
+    }
+
+    /// Whether byte `offset` lies inside a test-only item.
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.test_spans.iter().any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// Finds `#[cfg(test)]` / `#[test]`-attributed items and returns their
+    /// brace-matched byte spans.
+    fn find_test_spans(&self) -> Vec<(usize, usize)> {
+        let b = self.masked.as_bytes();
+        let mut spans = Vec::new();
+        let mut i = 0usize;
+        while i < b.len() {
+            if b[i] != b'#' {
+                i += 1;
+                continue;
+            }
+            let mut j = i + 1;
+            // Inner attributes (`#![...]`) configure the enclosing scope,
+            // not a following item — skip them.
+            if j < b.len() && b[j] == b'!' {
+                i += 1;
+                continue;
+            }
+            while j < b.len() && (b[j] as char).is_whitespace() {
+                j += 1;
+            }
+            if j >= b.len() || b[j] != b'[' {
+                i += 1;
+                continue;
+            }
+            let Some(close) = matching(b, j, b'[', b']') else { break };
+            let content = &self.masked[j + 1..close];
+            if attr_is_test(content) {
+                if let Some(span) = self.item_span(close + 1) {
+                    spans.push((i, span));
+                    i = span;
+                    continue;
+                }
+            }
+            i = close + 1;
+        }
+        merge_spans(spans)
+    }
+
+    /// Byte offset one past the end of the item starting at/after `from`:
+    /// the matching `}` of its first body brace, or its terminating `;`,
+    /// whichever comes first in the token stream.
+    fn item_span(&self, from: usize) -> Option<usize> {
+        let b = self.masked.as_bytes();
+        let mut i = from;
+        while i < b.len() {
+            match b[i] {
+                b'{' => return matching(b, i, b'{', b'}').map(|e| e + 1),
+                b';' => return Some(i + 1),
+                // A further attribute between the test attr and the item.
+                b'#' => {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j] as char).is_whitespace() {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j] == b'[' {
+                        i = matching(b, j, b'[', b']')? + 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+        None
+    }
+
+    /// Parses every `lint:` comment in the file. A directive must start the
+    /// comment's content (`// lint: ...`); prose that merely *mentions*
+    /// `lint:` mid-sentence — e.g. this scanner's own documentation — is
+    /// not a directive.
+    fn find_directives(&self) -> Vec<Directive> {
+        let mut out = Vec::new();
+        for line in 1..=self.line_count() {
+            let comment = self.comment_text(line);
+            let content = comment.trim_start_matches(['/', '!', '*']).trim_start();
+            let Some(body) = content.strip_prefix("lint:").map(str::trim) else { continue };
+            if body == "hot-path" {
+                out.push(Directive::HotPath { line });
+            } else if let Some(rest) = body.strip_prefix("allow(") {
+                out.push(parse_allow(line, rest));
+            } else {
+                out.push(Directive::Malformed {
+                    line,
+                    message: format!(
+                        "unrecognized lint directive `{body}` (expected `hot-path` or \
+                         `allow(<rule>, reason = \"...\")`)"
+                    ),
+                });
+            }
+        }
+        out
+    }
+
+    /// All `fn` token offsets in masked code (token-boundary matched).
+    pub fn fn_tokens(&self) -> Vec<usize> {
+        token_offsets(&self.masked, "fn")
+    }
+
+    /// Resolves a hot-path tag on `tag_line` to the tagged function:
+    /// `(name, body_start, body_end, fn_line)` for the first `fn` token at
+    /// or after the tag line's start.
+    pub fn tagged_fn(&self, tag_line: usize) -> Result<TaggedFn, String> {
+        let (line_start, _) = self.line_span(tag_line);
+        let b = self.masked.as_bytes();
+        let fn_off = self
+            .fn_tokens()
+            .into_iter()
+            .find(|&o| o >= line_start)
+            .ok_or_else(|| "dangling `lint: hot-path` tag: no fn follows it".to_string())?;
+        // Name: the identifier after `fn`.
+        let mut i = fn_off + 2;
+        while i < b.len() && (b[i] as char).is_whitespace() {
+            i += 1;
+        }
+        let name_start = i;
+        while i < b.len() && is_ident(b[i]) {
+            i += 1;
+        }
+        let name = self.masked[name_start..i].to_string();
+        // Body: first `{` before any `;` at the item level.
+        let mut j = i;
+        let (open, close) = loop {
+            if j >= b.len() {
+                return Err(format!("hot-path fn `{name}`: no body found"));
+            }
+            match b[j] {
+                b'{' => {
+                    let close = matching(b, j, b'{', b'}')
+                        .ok_or_else(|| format!("hot-path fn `{name}`: unbalanced braces"))?;
+                    break (j, close);
+                }
+                b';' => {
+                    return Err(format!(
+                        "hot-path tag on bodyless fn `{name}` (trait method declaration?)"
+                    ))
+                }
+                _ => j += 1,
+            }
+        };
+        Ok(TaggedFn { name, line: self.line_of(fn_off), body_start: open, body_end: close })
+    }
+}
+
+/// A function resolved from a `// lint: hot-path` tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaggedFn {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of its `fn` token.
+    pub line: usize,
+    /// Byte offset of the body's `{`.
+    pub body_start: usize,
+    /// Byte offset of the body's matching `}`.
+    pub body_end: usize,
+}
+
+/// Parses the tail of `allow(<rule>, reason = "...")` (after the `(`).
+fn parse_allow(line: usize, rest: &str) -> Directive {
+    let Some(close) = rest.rfind(')') else {
+        return Directive::Malformed { line, message: "allow(...) is missing its `)`".into() };
+    };
+    let inner = &rest[..close];
+    let (rule, tail) = match inner.find(',') {
+        Some(c) => (inner[..c].trim(), inner[c + 1..].trim()),
+        None => (inner.trim(), ""),
+    };
+    if rule.is_empty() {
+        return Directive::Malformed { line, message: "allow(...) names no rule".into() };
+    }
+    let reason = tail
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|t| t.strip_prefix('='))
+        .map(str::trim)
+        .and_then(|t| t.strip_prefix('"'))
+        .and_then(|t| t.strip_suffix('"'))
+        .unwrap_or("");
+    if reason.is_empty() {
+        return Directive::Malformed {
+            line,
+            message: format!(
+                "allow({rule}) without a reason — every escape hatch must say why \
+                 (`// lint: allow({rule}, reason = \"...\")`)"
+            ),
+        };
+    }
+    Directive::Allow { line, rule: rule.to_string(), reason: reason.to_string() }
+}
+
+/// Whether attribute content (masked) marks a test-only item: the word
+/// `test` appears as a standalone token (`#[test]`, `#[cfg(test)]`,
+/// `#[cfg(all(test, ...))]`, ...).
+fn attr_is_test(content: &str) -> bool {
+    let b = content.as_bytes();
+    let mut i = 0usize;
+    while i < b.len() {
+        if is_ident(b[i]) {
+            let start = i;
+            while i < b.len() && is_ident(b[i]) {
+                i += 1;
+            }
+            if &content[start..i] == "test" {
+                return true;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    false
+}
+
+/// Offset of the bracket matching `b[open]`, honoring nesting.
+fn matching(b: &[u8], open: usize, lhs: u8, rhs: u8) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, &c) in b.iter().enumerate().skip(open) {
+        if c == lhs {
+            depth += 1;
+        } else if c == rhs {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+fn merge_spans(mut spans: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+    spans.sort_unstable();
+    let mut out: Vec<(usize, usize)> = Vec::new();
+    for (s, e) in spans {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Whether `c` can be part of an identifier.
+pub fn is_ident(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// Offsets of every occurrence of identifier `word` in `text` with token
+/// boundaries on both sides.
+pub fn token_offsets(text: &str, word: &str) -> Vec<usize> {
+    let b = text.as_bytes();
+    let w = word.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = text[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident(b[at - 1]);
+        let after = at + w.len();
+        let after_ok = after >= b.len() || !is_ident(b[after]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + w.len().max(1);
+    }
+    out
+}
+
+/// First non-whitespace byte at or after `from`, with its offset.
+pub fn next_token(b: &[u8], from: usize) -> Option<(usize, u8)> {
+    (from..b.len()).map(|i| (i, b[i])).find(|&(_, c)| !(c as char).is_whitespace())
+}
+
+fn line_starts(src: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, c) in src.bytes().enumerate() {
+        if c == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    if starts.last() == Some(&src.len()) && src.ends_with('\n') {
+        starts.pop();
+    }
+    starts
+}
+
+/// Single-pass byte classification: comments (line, nested block), string
+/// literals (plain, raw `r#".."#`, byte), char literals, and the char
+/// literal / lifetime ambiguity.
+fn classify(src: &str) -> Vec<u8> {
+    let b = src.as_bytes();
+    let mut kind = vec![CODE; b.len()];
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            kind[start..i].fill(COMMENT);
+        } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let start = i;
+            let mut depth = 1usize;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            kind[start..i.min(b.len())].fill(COMMENT);
+        } else if let Some(end) = raw_string_end(b, i) {
+            kind[i..end].fill(LITERAL);
+            i = end;
+        } else if c == b'"'
+            || (c == b'b' && i + 1 < b.len() && b[i + 1] == b'"' && !prev_ident(b, i))
+        {
+            let start = i;
+            i += if c == b'b' { 2 } else { 1 };
+            while i < b.len() {
+                match b[i] {
+                    b'\\' => i += 2,
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            kind[start..i.min(b.len())].fill(LITERAL);
+        } else if c == b'b' && i + 1 < b.len() && b[i + 1] == b'\'' && !prev_ident(b, i) {
+            let start = i;
+            i = char_literal_end(b, i + 1);
+            kind[start..i.min(b.len())].fill(LITERAL);
+        } else if c == b'\'' {
+            if i + 1 < b.len() && b[i + 1] == b'\\' {
+                let start = i;
+                i = char_literal_end(b, i);
+                kind[start..i.min(b.len())].fill(LITERAL);
+            } else if i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                // 'x' — a one-byte char literal. ('aa, 'a> etc. fall through
+                // to the lifetime branch below.)
+                kind[i..i + 3].fill(LITERAL);
+                i += 3;
+            } else {
+                // Lifetime / loop label: skip the quote (and its identifier
+                // implicitly — identifiers are never rescanned as quotes).
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    kind
+}
+
+/// If a raw (byte) string literal starts at `i`, its one-past-the-end
+/// offset: `r"..."`, `r#"..."#` (any number of `#`), `br"..."`.
+fn raw_string_end(b: &[u8], i: usize) -> Option<usize> {
+    if prev_ident(b, i) {
+        return None;
+    }
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'"' {
+        return None;
+    }
+    j += 1;
+    while j < b.len() {
+        if b[j] == b'"' && b[j + 1..].iter().take(hashes).filter(|&&c| c == b'#').count() == hashes
+        {
+            return Some(j + 1 + hashes);
+        }
+        j += 1;
+    }
+    Some(b.len())
+}
+
+/// One past the closing quote of the char literal whose opening `'` is at
+/// `i`.
+fn char_literal_end(b: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    b.len()
+}
+
+fn prev_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && is_ident(b[i - 1])
+}
+
+fn mask(src: &str, kind: &[u8]) -> String {
+    let out: Vec<u8> = src
+        .bytes()
+        .zip(kind.iter())
+        .map(|(c, &k)| if k == CODE || c == b'\n' { c } else { b' ' })
+        .collect();
+    // Only ASCII bytes are ever replaced, so the result stays valid UTF-8.
+    String::from_utf8(out).expect("masking preserves UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new("test.rs".into(), src.into())
+    }
+
+    #[test]
+    fn masks_comments_and_strings_but_not_code() {
+        let f = file("let x = \"panic!\"; // panic!\nlet y = panic!(\"\");\n");
+        assert!(!f.masked.contains("panic!\""));
+        assert!(f.code_text(2).contains("panic!"));
+        assert_eq!(f.comment_text(1), "// panic!");
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_are_masked() {
+        let f = file("let s = r#\"unsafe { \"quote\" }\"#; let c = '{'; let l: &'static str = s;");
+        assert!(!f.masked.contains("unsafe"));
+        assert!(!f.masked.contains('{'), "brace inside char literal must be masked");
+        assert!(f.masked.contains("static"), "lifetimes stay code");
+    }
+
+    #[test]
+    fn nested_block_comments_are_masked() {
+        let f = file("/* a /* nested */ still comment */ fn x() {}\n");
+        assert!(f.masked.trim_start().starts_with("fn x"));
+    }
+
+    #[test]
+    fn test_spans_cover_cfg_test_modules_and_test_fns() {
+        let src = "fn live() { v[0]; }\n#[cfg(test)]\nmod tests {\n    fn helper() { v[0]; }\n}\n";
+        let f = file(src);
+        let live = src.find("live").unwrap();
+        let helper = src.find("helper").unwrap();
+        assert!(!f.in_test(live));
+        assert!(f.in_test(helper));
+    }
+
+    #[test]
+    fn directives_parse_and_malformed_ones_are_reported() {
+        let src = "// lint: hot-path\nfn f() {}\n// lint: allow(panic, reason = \"why\")\n\
+                   // lint: allow(panic)\n// lint: frobnicate\n";
+        let f = file(src);
+        assert_eq!(f.directives.len(), 4);
+        assert_eq!(f.directives[0], Directive::HotPath { line: 1 });
+        assert!(matches!(&f.directives[1],
+            Directive::Allow { line: 3, rule, reason } if rule == "panic" && reason == "why"));
+        assert!(matches!(&f.directives[2], Directive::Malformed { line: 4, .. }));
+        assert!(matches!(&f.directives[3], Directive::Malformed { line: 5, .. }));
+    }
+
+    #[test]
+    fn tagged_fn_resolves_name_and_body() {
+        let src = "// lint: hot-path\npub fn hot(&mut self) -> usize {\n    let x = 1;\n    x\n}\n\
+                   fn cold() {}\n";
+        let f = file(src);
+        let tag = f.tagged_fn(1).unwrap();
+        assert_eq!(tag.name, "hot");
+        assert_eq!(tag.line, 2);
+        let body = &f.masked[tag.body_start..=tag.body_end];
+        assert!(body.contains("let x"));
+        assert!(!body.contains("cold"));
+    }
+
+    #[test]
+    fn token_offsets_respect_boundaries() {
+        let t = "unsafe_probability unsafe { } my_unsafe unsafe";
+        assert_eq!(token_offsets(t, "unsafe").len(), 2);
+    }
+}

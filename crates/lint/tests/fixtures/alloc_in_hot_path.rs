@@ -1,0 +1,19 @@
+// Lint fixture: allocation inside a hot-path tagged fn. Never compiled —
+// this directory is excluded in lint.toml and cargo ignores test subdirs.
+
+pub struct Buf {
+    data: Vec<u8>,
+}
+
+impl Buf {
+    // lint: hot-path
+    pub fn step(&mut self, src: &[u8]) -> Vec<u8> {
+        let copy = src.to_vec();
+        let _msg = format!("len = {}", copy.len());
+        self.data.clone()
+    }
+
+    pub fn cold(&mut self) {
+        self.data = Vec::new();
+    }
+}

@@ -1,0 +1,10 @@
+// Lint fixture: unsafe code without a justifying comment. Never compiled —
+// this directory is excluded in lint.toml and cargo ignores test subdirs.
+
+pub fn read_first(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub unsafe fn no_doc_contract(p: *const u8) -> u8 {
+    *p
+}

@@ -1,0 +1,18 @@
+// Lint fixture: fully conforming file — every rule family finds nothing.
+
+// lint: hot-path
+pub fn accumulate(acc: &mut f32, xs: &[f32]) {
+    for x in xs {
+        *acc += *x;
+    }
+}
+
+/// Reads one byte.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+pub unsafe fn read(p: *const u8) -> u8 {
+    // SAFETY: the caller upholds the doc contract above.
+    unsafe { *p }
+}

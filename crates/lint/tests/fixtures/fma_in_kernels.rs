@@ -1,0 +1,20 @@
+// Lint fixture: FMA patterns inside the kernels scope. Never compiled —
+// this directory is excluded in lint.toml and cargo ignores test subdirs.
+
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        acc = x.mul_add(*y, acc);
+    }
+    acc
+}
+
+/// Fused tail of an AVX2 dot product.
+///
+/// # Safety
+///
+/// Both pointers must be valid for 8 aligned reads.
+pub unsafe fn dot_avx2(a: *const f32, b: *const f32, acc: __m256) -> __m256 {
+    // SAFETY: fixture only; the imagined caller upholds the doc contract.
+    unsafe { _mm256_fmadd_ps(_mm256_loadu_ps(a), _mm256_loadu_ps(b), acc) }
+}

@@ -1,0 +1,22 @@
+// Lint fixture: panics in the decision path. Never compiled —
+// this directory is excluded in lint.toml and cargo ignores test subdirs.
+
+pub fn decide(scores: &[f32], idx: usize) -> f32 {
+    if idx >= scores.len() {
+        panic!("bad index");
+    }
+    scores[idx]
+}
+
+pub fn first(scores: &[f32]) -> f32 {
+    scores.first().copied().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn indexing_and_unwrap_in_tests_are_fine() {
+        let v = [1.0f32];
+        assert_eq!(v[0], v.first().copied().unwrap());
+    }
+}

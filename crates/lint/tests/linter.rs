@@ -1,0 +1,123 @@
+//! Fixture self-tests and the clean-tree gate.
+//!
+//! The fixtures under `tests/fixtures/` are deliberately violating sources
+//! (excluded from the real scan by `lint.toml`); each test pins the exact
+//! diagnostics the linter must produce so a rule regression — missed
+//! violation or new false positive — fails here, inside tier-1 `cargo test`.
+//! The last two tests run the linter on the real workspace: the tree must be
+//! clean and the committed `UNSAFE_INVENTORY.md` must match what the scan
+//! produces today.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use lint::rules::{check_file, FileFindings};
+use lint::scan::SourceFile;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
+}
+
+/// Lints one fixture under the given scope flags, labelling it `rel` (the
+/// path it would have if it sat inside the scoped tree).
+fn lint_fixture(name: &str, rel: &str, fma: bool, panic: bool) -> FileFindings {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    let raw = fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    check_file(&SourceFile::new(rel.to_string(), raw), fma, panic)
+}
+
+fn lines_and_rules(f: &FileFindings) -> Vec<(usize, &'static str)> {
+    f.diagnostics.iter().map(|d| (d.line, d.rule)).collect()
+}
+
+#[test]
+fn fma_fixture_flags_mul_add_and_intrinsic_with_no_escape_hatch() {
+    let f = lint_fixture("fma_in_kernels.rs", "crates/nn/src/kernels.rs", true, false);
+    assert_eq!(lines_and_rules(&f), [(7, "fma"), (19, "fma")], "{:#?}", f.diagnostics);
+    assert!(f.diagnostics[0].message.contains("`mul_add`"), "{}", f.diagnostics[0].message);
+    assert!(f.diagnostics[1].message.contains("`fmadd`"), "{}", f.diagnostics[1].message);
+    assert!(f.diagnostics[1].message.contains("no allow exists"), "{}", f.diagnostics[1].message);
+    // The documented unsafe fn and SAFETY'd block still inventory cleanly.
+    assert_eq!(f.unsafe_sites.len(), 2, "{:#?}", f.unsafe_sites);
+}
+
+#[test]
+fn bare_unsafe_fixture_flags_block_and_fn_sites() {
+    let f = lint_fixture("bare_unsafe.rs", "crates/nn/src/simd.rs", false, false);
+    assert_eq!(lines_and_rules(&f), [(5, "unsafe"), (8, "unsafe")], "{:#?}", f.diagnostics);
+    assert!(f.diagnostics[0].message.contains("unsafe block"), "{}", f.diagnostics[0].message);
+    assert!(f.diagnostics[1].message.contains("unsafe fn"), "{}", f.diagnostics[1].message);
+    assert!(
+        f.diagnostics[1].message.contains("# Safety"),
+        "fn sites must mention the doc-section alternative: {}",
+        f.diagnostics[1].message
+    );
+    assert!(f.unsafe_sites.is_empty(), "unjustified sites must not be inventoried");
+}
+
+#[test]
+fn alloc_fixture_flags_every_allocation_in_the_tagged_body_only() {
+    let f = lint_fixture("alloc_in_hot_path.rs", "crates/core/src/hot.rs", false, false);
+    assert_eq!(
+        lines_and_rules(&f),
+        [(11, "alloc"), (12, "alloc"), (13, "alloc")],
+        "{:#?}",
+        f.diagnostics
+    );
+    for (d, pat) in f.diagnostics.iter().zip(["`.to_vec(`", "`format!`", "`.clone(`"]) {
+        assert!(d.message.contains(pat), "expected {pat} in: {}", d.message);
+        assert!(d.message.contains("hot-path fn `step`"), "{}", d.message);
+    }
+    // `Vec::new()` in the untagged `cold` fn stays legal.
+}
+
+#[test]
+fn panic_fixture_flags_macro_index_and_unwrap_but_not_tests() {
+    let f = lint_fixture("panic_in_decision_path.rs", "crates/reactor/src/safety.rs", false, true);
+    assert_eq!(
+        lines_and_rules(&f),
+        [(6, "panic"), (8, "panic"), (12, "panic")],
+        "{:#?}",
+        f.diagnostics
+    );
+    assert!(f.diagnostics[0].message.contains("`panic!`"), "{}", f.diagnostics[0].message);
+    assert!(f.diagnostics[1].message.contains("index"), "{}", f.diagnostics[1].message);
+    assert!(f.diagnostics[2].message.contains("`unwrap()`"), "{}", f.diagnostics[2].message);
+}
+
+#[test]
+fn clean_fixture_passes_every_rule_family() {
+    let f = lint_fixture("clean.rs", "crates/nn/src/kernels.rs", true, true);
+    assert!(f.diagnostics.is_empty(), "{:#?}", f.diagnostics);
+    assert_eq!(f.unsafe_sites.len(), 2, "{:#?}", f.unsafe_sites);
+    assert_eq!(f.unsafe_sites[0].justification, "# Safety (doc section)");
+    assert_eq!(f.unsafe_sites[1].justification, "the caller upholds the doc contract above.");
+}
+
+#[test]
+fn real_workspace_tree_is_clean() {
+    let root = workspace_root();
+    let cfg = lint::load_config(&root, None).expect("lint.toml parses");
+    let report = lint::check_tree(&root, &cfg).expect("tree scan");
+    assert!(report.files_scanned > 50, "suspiciously small scan: {}", report.files_scanned);
+    let rendered: Vec<String> = report
+        .diagnostics
+        .iter()
+        .map(|d| format!("{}:{}: [{}] {}", d.file, d.line, d.rule, d.message))
+        .collect();
+    assert!(report.is_clean(), "workspace has lint violations:\n{}", rendered.join("\n"));
+}
+
+#[test]
+fn committed_unsafe_inventory_matches_the_tree() {
+    let root = workspace_root();
+    let cfg = lint::load_config(&root, None).expect("lint.toml parses");
+    let report = lint::check_tree(&root, &cfg).expect("tree scan");
+    let committed = fs::read_to_string(root.join(&cfg.inventory))
+        .expect("UNSAFE_INVENTORY.md is committed; run `cargo run -p lint -- --write-inventory`");
+    assert_eq!(
+        committed,
+        report.inventory_markdown(),
+        "UNSAFE_INVENTORY.md is stale — run `cargo run -p lint -- --write-inventory` and commit"
+    );
+}

@@ -428,6 +428,7 @@ pub fn naive_atb(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [
 /// # Panics
 ///
 /// Panics if a slice length does not match its dimensions.
+// lint: hot-path
 pub fn gemm_ab(
     m: usize,
     k: usize,
@@ -448,6 +449,7 @@ pub fn gemm_ab(
 /// # Panics
 ///
 /// Panics if a slice length does not match its dimensions.
+// lint: hot-path
 pub fn gemm_abt(
     m: usize,
     k: usize,
@@ -468,6 +470,7 @@ pub fn gemm_abt(
 /// # Panics
 ///
 /// Panics if a slice length does not match its dimensions.
+// lint: hot-path
 pub fn gemm_atb(
     m: usize,
     k: usize,
@@ -488,6 +491,7 @@ pub fn gemm_atb(
 ///
 /// Panics on dimension mismatch or if `isa` is unavailable on this host.
 #[allow(clippy::too_many_arguments)] // a GEMM call + backend is inherently this wide
+                                     // lint: hot-path
 pub fn gemm_ab_with(
     isa: GemmIsa,
     m: usize,
@@ -509,6 +513,7 @@ pub fn gemm_ab_with(
 ///
 /// Panics on dimension mismatch or if `isa` is unavailable on this host.
 #[allow(clippy::too_many_arguments)] // a GEMM call + backend is inherently this wide
+                                     // lint: hot-path
 pub fn gemm_abt_with(
     isa: GemmIsa,
     m: usize,
@@ -530,6 +535,7 @@ pub fn gemm_abt_with(
 ///
 /// Panics on dimension mismatch or if `isa` is unavailable on this host.
 #[allow(clippy::too_many_arguments)] // a GEMM call + backend is inherently this wide
+                                     // lint: hot-path
 pub fn gemm_atb_with(
     isa: GemmIsa,
     m: usize,
@@ -1758,6 +1764,7 @@ mod neon {
 /// # Panics
 ///
 /// Panics if `a.cols() != b.rows()`.
+// lint: hot-path
 pub fn matmul_into(a: &Mat, b: &Mat, out: &mut Mat, scratch: &mut GemmScratch) {
     assert_eq!(
         a.cols(),
@@ -1777,6 +1784,7 @@ pub fn matmul_into(a: &Mat, b: &Mat, out: &mut Mat, scratch: &mut GemmScratch) {
 /// # Panics
 ///
 /// Panics if `a.cols() != b.cols()`.
+// lint: hot-path
 pub fn matmul_transpose_into(a: &Mat, b: &Mat, out: &mut Mat, scratch: &mut GemmScratch) {
     assert_eq!(
         a.cols(),
@@ -1796,6 +1804,7 @@ pub fn matmul_transpose_into(a: &Mat, b: &Mat, out: &mut Mat, scratch: &mut Gemm
 /// # Panics
 ///
 /// Panics if `a.rows() != b.rows()`.
+// lint: hot-path
 pub fn transpose_matmul_into(a: &Mat, b: &Mat, out: &mut Mat, scratch: &mut GemmScratch) {
     assert_eq!(
         a.rows(),

@@ -5,7 +5,7 @@
 //! this layer normalizes each feature over the *time* axis of the window
 //! during training (the window plays the role of the mini-batch) and keeps
 //! running statistics for inference — the usual BatchNorm deltas documented
-//! in DESIGN.md §9.
+//! in DESIGN.md §10.
 
 use crate::layers::{LayerScratch, Mode, SeqLayer};
 use crate::mat::Mat;

@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Simulation rate (Hz). The paper's simulator logs at 1 kHz; the
-    /// default here is 100 Hz (see DESIGN.md §9), and all timings are
+    /// default here is 100 Hz (see DESIGN.md §10), and all timings are
     /// expressed in trajectory fractions so the rate is transparent.
     pub hz: f32,
     /// Total trial duration in seconds.

@@ -118,6 +118,7 @@ impl AlertGate {
     /// Feeds the score decision made from the state of `tick`: alert
     /// bookkeeping, debounce, and — once the streak confirms — scheduling
     /// of the mitigation gate.
+    // lint: hot-path
     pub fn on_score(&mut self, tick: usize, alert: bool) {
         if !alert {
             self.streak = 0;
@@ -142,6 +143,7 @@ impl AlertGate {
     }
 
     /// Gates (or passes through) the commands of `tick`.
+    // lint: hot-path
     pub fn gate_commands(&mut self, tick: usize, commands: &mut Commands) {
         if self.gating_active(tick) {
             // Freeze at the last un-gated setpoint (falling back to the
@@ -292,6 +294,7 @@ impl PooledReactor {
     /// # Panics
     ///
     /// Panics when `decision.frame` is not the next expected frame.
+    // lint: hot-path
     pub fn on_decision(&mut self, decision: &Decision) {
         assert_eq!(
             decision.frame, self.decided,
@@ -309,6 +312,7 @@ impl PooledReactor {
 impl CommandFilter for PooledReactor {
     /// Gates the commands of `tick`, failing safe when the decision for
     /// frame `tick - 1 - deadline_ticks` has not been applied yet.
+    // lint: hot-path
     fn apply(&mut self, tick: usize, _progress: f32, commands: &mut Commands) {
         if let Some(required_frame) = tick.checked_sub(1 + self.deadline_ticks) {
             if self.decided <= required_frame {

@@ -50,12 +50,7 @@ impl SafetyReactor {
     ) -> Result<Self, ConfigError> {
         cfg.validate_for(&pipeline)?;
         let engine = InferenceEngine::new(&pipeline, cfg.mode);
-        Ok(Self {
-            pipeline,
-            engine,
-            gate: AlertGate::new(cfg).expect("validated above"),
-            ticks_seen: 0,
-        })
+        Ok(Self { pipeline, engine, gate: AlertGate::new(cfg)?, ticks_seen: 0 })
     }
 
     /// [`SafetyReactor::try_new`], panicking on an invalid configuration.
@@ -66,6 +61,7 @@ impl SafetyReactor {
     /// within `(0, 1)`, if `debounce == 0` or exceeds the pipeline warm-up,
     /// or if the mode is `ContextMode::Perfect`.
     pub fn new(pipeline: Arc<TrainedPipeline>, cfg: ReactorConfig) -> Self {
+        // lint: allow(panic, reason = "documented panicking constructor; fallible path is try_new")
         Self::try_new(pipeline, cfg).unwrap_or_else(|e| panic!("invalid ReactorConfig: {e}"))
     }
 
@@ -117,15 +113,18 @@ impl SafetyReactor {
 }
 
 impl CommandFilter for SafetyReactor {
+    // lint: hot-path
     fn apply(&mut self, tick: usize, _progress: f32, commands: &mut Commands) {
         self.gate.gate_commands(tick, commands);
     }
 
+    // lint: hot-path
     fn observe(&mut self, tick: usize, state: &KinematicSample) {
         self.ticks_seen += 1;
         let step = self
             .engine
             .step(&self.pipeline, state)
+            // lint: allow(panic, reason = "CommandFilter::observe cannot return Result; Perfect mode is rejected by try_new, so step cannot fail")
             .expect("non-Perfect mode enforced at construction");
         // Alert on the *complete* decision product — the same
         // (gesture, score) pair the serving pool emits as `MonitorOutput` —

@@ -26,7 +26,11 @@ struct CountingAllocator;
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 static COUNTING: AtomicBool = AtomicBool::new(false);
 
+// SAFETY: every method forwards to the `System` allocator with arguments
+// unchanged; the counter update has no effect on the returned memory, so
+// `System`'s GlobalAlloc guarantees carry over verbatim.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: see the impl-level comment — pure pass-through to `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
@@ -36,12 +40,14 @@ unsafe impl GlobalAlloc for CountingAllocator {
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: see the impl-level comment — pure pass-through to `System`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         // SAFETY: `ptr`/`layout` came from our `alloc`, which forwarded to
         // `System`, so they are valid for `System.dealloc`.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: see the impl-level comment — pure pass-through to `System`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
