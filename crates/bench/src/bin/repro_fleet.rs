@@ -18,7 +18,7 @@
 //!    un-gated commands escape and every late decision applies exactly once.
 
 use bench::{block_transfer_dataset, block_transfer_monitor_cfg, header, Scale};
-use context_monitor::TrainedPipeline;
+use context_monitor::{Precision, TrainedPipeline};
 use faults::{
     run_closed_loop_campaign, run_fleet_campaign, run_forced_miss_drill, CampaignConfig,
     ClosedLoopConfig, FleetConfig,
@@ -28,18 +28,35 @@ use reactor::{MitigationPolicy, ReactorConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
-fn train_pipeline(scale: Scale) -> Arc<TrainedPipeline> {
+/// Numeric tier for every engine in the campaign, from the
+/// `MONITOR_PRECISION` env knob (`f32` default, `int8`/`i8` for the
+/// quantized tier). An unrecognized value fails loud — a CI matrix row that
+/// silently fell back to f32 would fake quantized coverage.
+fn monitor_precision() -> Precision {
+    match std::env::var("MONITOR_PRECISION") {
+        Ok(v) => Precision::parse(&v)
+            .unwrap_or_else(|| panic!("MONITOR_PRECISION={v}: expected f32, int8, or i8")),
+        Err(_) => Precision::F32,
+    }
+}
+
+fn train_pipeline(scale: Scale, precision: Precision) -> Arc<TrainedPipeline> {
     let ds = block_transfer_dataset(scale);
     let cfg = block_transfer_monitor_cfg(scale);
     let idx: Vec<usize> = (0..ds.len()).collect();
-    Arc::new(TrainedPipeline::train(&ds, &idx, &cfg))
+    let mut pipeline = TrainedPipeline::train(&ds, &idx, &cfg);
+    if precision == Precision::Int8 {
+        pipeline.quantize(&ds, &idx).expect("built-in specs are quantizable");
+    }
+    Arc::new(pipeline)
 }
 
-fn closed_loop(sim: SimConfig, scale: f32) -> ClosedLoopConfig {
+fn closed_loop(sim: SimConfig, scale: f32, precision: Precision) -> ClosedLoopConfig {
     ClosedLoopConfig {
         campaign: CampaignConfig { sim, seed: bench::SEED, scale, threads: 8 },
         reactor: ReactorConfig {
             policy: MitigationPolicy::StopAndHold,
+            precision,
             ..ReactorConfig::default()
         },
     }
@@ -66,23 +83,24 @@ fn main() {
         Scale::Full => (SimConfig::default(), 1.0),
     };
 
+    let precision = monitor_precision();
     header("training the Block Transfer monitor");
-    let pipeline = train_pipeline(scale);
+    let pipeline = train_pipeline(scale, precision);
 
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    println!("gemm backend: {}", nn::kernels::gemm_backend_label());
+    println!("gemm backend: {} | tier: {precision}", nn::kernels::gemm_backend_label());
     for (workers, fleet) in [(1usize, 4usize), (4, 16)] {
         header(&format!(
             "fleet campaign — {fleet} concurrent procedures x {workers} pool workers \
-             ({cores} host core(s))"
+             ({cores} host core(s), {precision} tier)"
         ));
-        let cfg = FleetConfig::barrier(closed_loop(sim, grid_scale), workers, fleet);
+        let cfg = FleetConfig::barrier(closed_loop(sim, grid_scale, precision), workers, fleet);
         let (report, stats) = run_fleet_campaign(&cfg, &pipeline).expect("valid config");
         print_fleet(&report, &stats);
     }
 
     header("forced deadline miss (stalled shard, 2 ms budget)");
-    let mut cfg = FleetConfig::barrier(closed_loop(sim, grid_scale), 2, 2);
+    let mut cfg = FleetConfig::barrier(closed_loop(sim, grid_scale, precision), 2, 2);
     cfg.tick_budget_ms = Some(2.0);
     let drill =
         run_forced_miss_drill(&cfg, &pipeline, Duration::from_millis(150)).expect("valid config");
@@ -101,11 +119,12 @@ fn main() {
 /// Small fixed-seed fleet campaign: the CI gate for worker-count
 /// determinism, single-robot equivalence, and deadline-miss fail-safety.
 fn smoke() {
+    let precision = monitor_precision();
     header("fleet smoke (small grid, fixed seeds)");
-    println!("gemm backend: {}", nn::kernels::gemm_backend_label());
+    println!("gemm backend: {} | tier: {precision}", nn::kernels::gemm_backend_label());
     let sim = SimConfig { hz: 50.0, duration_s: 5.0, seed: 0, tremor: 0.3 };
-    let pipeline = train_pipeline(Scale::Fast);
-    let cl = closed_loop(sim, 0.05);
+    let pipeline = train_pipeline(Scale::Fast, precision);
+    let cl = closed_loop(sim, 0.05, precision);
 
     let (one, _) = run_fleet_campaign(&FleetConfig::barrier(cl, 1, 3), &pipeline)
         .expect("smoke config is valid");

@@ -37,6 +37,46 @@ impl std::fmt::Display for ErrorModelKind {
     }
 }
 
+/// Numeric tier the monitor serves at.
+///
+/// `F32` is the training substrate and the accuracy reference. `Int8`
+/// serves the post-training-quantized twin of the pipeline
+/// ([`crate::pipeline::TrainedPipeline::quantize`]): per-channel int8
+/// weights and calibrated activation scales over exact integer GEMMs
+/// (`nn::quant`), trading a bounded, parity-gated accuracy delta for
+/// higher sessions-per-core density. Both tiers keep the workspace's
+/// determinism contract — outputs are bit-identical across GEMM backends,
+/// batch sizes, and worker counts *within* a tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Precision {
+    /// Full-precision f32 inference (default; the accuracy reference).
+    #[default]
+    F32,
+    /// Calibrated int8 inference over the quantized pipeline tier.
+    Int8,
+}
+
+impl Precision {
+    /// Parses the spellings accepted by the `MONITOR_PRECISION` environment
+    /// knob (`"f32"` / `"int8"`, case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "f32" => Some(Precision::F32),
+            "int8" | "i8" => Some(Precision::Int8),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Precision::F32 => f.write_str("f32"),
+            Precision::Int8 => f.write_str("int8"),
+        }
+    }
+}
+
 /// Full monitor configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MonitorConfig {

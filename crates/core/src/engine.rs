@@ -18,12 +18,21 @@
 //! lets one process multiplex many concurrent surgical sessions
 //! ([`MonitorPool`](crate::monitor::MonitorPool)) at that budget.
 
-use crate::pipeline::{ContextMode, ErrorRoute, TrainedPipeline};
+use crate::config::Precision;
+use crate::pipeline::{ContextMode, ErrorRoute, QuantizedPipeline, TrainedPipeline};
 use gestures::{Gesture, NUM_GESTURES};
 use kinematics::{KinematicSample, SlidingWindow};
 use nn::loss::softmax_into;
-use nn::{Mat, NetworkScratch};
+use nn::{Mat, NetworkScratch, QuantScratch};
 use std::collections::VecDeque;
+
+/// The quantized twin an [`Precision::Int8`] engine infers through.
+/// Engines assert its presence at construction, so a miss here is a
+/// caller swapping pipelines mid-session.
+fn quantized(pipeline: &TrainedPipeline) -> &QuantizedPipeline {
+    // lint: allow(panic, reason = "with_precision asserts the quantized twin exists; losing it mid-session means the caller swapped pipelines and must fail loud")
+    pipeline.quantized.as_ref().expect("Precision::Int8 requires TrainedPipeline::quantize()")
+}
 
 /// Typed error for the streaming decision path: a misconfigured caller gets
 /// a value it can handle instead of a panic that would take down a serving
@@ -198,6 +207,8 @@ impl EngineStep {
 #[derive(Debug)]
 pub struct InferenceEngine {
     mode: ContextMode,
+    /// Numeric tier the forward passes run at.
+    precision: Precision,
     /// Error-stage sliding window over normalized features.
     window: SlidingWindow,
     /// Gesture-stage sliding window over normalized features.
@@ -219,14 +230,40 @@ pub struct InferenceEngine {
     /// Inference scratch for the stage-2 error classifiers (they share one
     /// architecture, so one scratch serves every route without reshaping).
     escratch: NetworkScratch,
+    /// Int8-tier inference scratch (both stages; every buffer is
+    /// high-water, so one scratch serves them sequentially). Empty and
+    /// untouched on the f32 tier.
+    qscratch: QuantScratch,
 }
 
 impl InferenceEngine {
-    /// Creates a fresh (cold) engine for one session.
+    /// Creates a fresh (cold) engine for one session on the default
+    /// [`Precision::F32`] tier.
     pub fn new(pipeline: &TrainedPipeline, mode: ContextMode) -> Self {
+        Self::with_precision(pipeline, mode, Precision::F32)
+    }
+
+    /// Creates a fresh engine on a chosen numeric tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics when asked for [`Precision::Int8`] before
+    /// [`TrainedPipeline::quantize`](crate::pipeline::TrainedPipeline::quantize)
+    /// populated the pipeline's quantized twin — a misconfiguration that
+    /// must fail at session setup, not on the first warm frame.
+    pub fn with_precision(
+        pipeline: &TrainedPipeline,
+        mode: ContextMode,
+        precision: Precision,
+    ) -> Self {
+        assert!(
+            precision == Precision::F32 || pipeline.quantized.is_some(),
+            "Precision::Int8 requires TrainedPipeline::quantize() before engine creation"
+        );
         let cfg = &pipeline.config;
         Self {
             mode,
+            precision,
             window: SlidingWindow::new(cfg.window.width, pipeline.in_dim),
             gesture_window: SlidingWindow::new(cfg.gesture_window, pipeline.gesture_in_dim),
             filter: MajorityFilter::new(cfg.gesture_smoothing.max(1), NUM_GESTURES),
@@ -238,12 +275,18 @@ impl InferenceEngine {
             probs: [0.0; 2],
             gscratch: pipeline.gesture_net.make_scratch(),
             escratch: pipeline.error_scratch(),
+            qscratch: QuantScratch::default(),
         }
     }
 
     /// The context mode this engine evaluates.
     pub fn mode(&self) -> ContextMode {
         self.mode
+    }
+
+    /// The numeric tier this engine infers at.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Frames consumed since construction or the last [`reset`](Self::reset).
@@ -312,11 +355,18 @@ impl InferenceEngine {
             pipeline.gesture_normalizer.apply_frame_inplace(&mut self.gfeat);
             match self.gesture_window.push(&self.gfeat) {
                 Some(gwindow) => {
-                    pipeline.gesture_net.predict_scratch(
-                        gwindow,
-                        &mut self.logits,
-                        &mut self.gscratch,
-                    );
+                    match self.precision {
+                        Precision::F32 => pipeline.gesture_net.predict_scratch(
+                            gwindow,
+                            &mut self.logits,
+                            &mut self.gscratch,
+                        ),
+                        Precision::Int8 => quantized(pipeline).gesture_net.predict_scratch(
+                            gwindow,
+                            &mut self.logits,
+                            &mut self.qscratch,
+                        ),
+                    }
                     debug_assert_eq!(self.logits.cols(), NUM_GESTURES);
                     Some(self.smooth_raw_class(self.logits.argmax_row(0)))
                 }
@@ -336,14 +386,24 @@ impl InferenceEngine {
             _ => self.gesture.map(Gesture::index),
         };
         let unsafe_score = match (self.window.push(&self.feat), routing) {
-            (Some(window), Some(route)) => Some(pipeline.score_window_scratch(
-                window,
-                route,
-                self.mode,
-                &mut self.logits,
-                &mut self.probs,
-                &mut self.escratch,
-            )),
+            (Some(window), Some(route)) => Some(match self.precision {
+                Precision::F32 => pipeline.score_window_scratch(
+                    window,
+                    route,
+                    self.mode,
+                    &mut self.logits,
+                    &mut self.probs,
+                    &mut self.escratch,
+                ),
+                Precision::Int8 => pipeline.score_window_scratch_q(
+                    window,
+                    route,
+                    self.mode,
+                    &mut self.logits,
+                    &mut self.probs,
+                    &mut self.qscratch,
+                ),
+            }),
             _ => None,
         };
 
@@ -394,6 +454,8 @@ pub struct BatchScratch {
     ewindows: Mat,
     elogits: Mat,
     escratch: NetworkScratch,
+    /// Int8-tier scratch (both stages, sequential use). Empty on f32 ticks.
+    qscratch: QuantScratch,
     gmembers: Vec<usize>,
     eready: Vec<bool>,
     pending: Vec<(usize, ErrorRoute)>,
@@ -411,6 +473,7 @@ impl BatchScratch {
             ewindows: Mat::zeros(0, 0),
             elogits: Mat::zeros(0, 0),
             escratch: pipeline.error_scratch(),
+            qscratch: QuantScratch::default(),
             gmembers: Vec::new(),
             eready: Vec::new(),
             pending: Vec::new(),
@@ -463,6 +526,7 @@ pub fn step_batch(
         ewindows,
         elogits,
         escratch,
+        qscratch,
         gmembers,
         eready,
         pending,
@@ -479,6 +543,11 @@ pub fn step_batch(
         assert!(!seen[job.engine], "step_batch: engine {} appears twice in one tick", job.engine); // lint: allow(panic, reason = "seen is engines.len() long and job.engine passed the bound assert")
         seen[job.engine] = true;
     }
+    // One batched forward pass serves the whole tick, so every engine in
+    // it must run at one numeric tier (the serving layer configures a pool
+    // uniformly; mixing tiers requires separate pools).
+    // lint: allow(panic, reason = "jobs is non-empty here and jobs[0].engine passed the entry bound assert")
+    let precision = engines[jobs[0].engine].precision;
 
     // Phase 1: ingest every frame into its engine's windows (no inference).
     gmembers.clear();
@@ -486,6 +555,7 @@ pub fn step_batch(
     for (j, job) in jobs.iter().enumerate() {
         // lint: allow(panic, reason = "every job.engine passed the entry bound assert")
         let e = &mut engines[job.engine];
+        assert!(e.precision == precision, "step_batch: mixed-precision tick");
         e.frames_seen += 1;
         if e.mode == ContextMode::Perfect {
             assert!(job.context.is_some(), "Perfect mode requires context (see EngineError)");
@@ -517,7 +587,14 @@ pub fn step_batch(
             let copied = e.gesture_window.copy_current_into(gwindows, b * gw);
             debug_assert!(copied, "warm window expected");
         }
-        pipeline.gesture_net.predict_batch_into(gwindows, n, glogits, gscratch);
+        match precision {
+            Precision::F32 => {
+                pipeline.gesture_net.predict_batch_into(gwindows, n, glogits, gscratch)
+            }
+            Precision::Int8 => {
+                quantized(pipeline).gesture_net.predict_batch_into(gwindows, n, glogits, qscratch)
+            }
+        }
         debug_assert_eq!(glogits.cols(), NUM_GESTURES);
         for (b, &j) in gmembers.iter().enumerate() {
             let raw = glogits.argmax_row(b);
@@ -575,7 +652,14 @@ pub fn step_batch(
             let copied = e.window.copy_current_into(ewindows, b * w);
             debug_assert!(copied, "warm window expected");
         }
-        pipeline.error_net(route).predict_batch_into(ewindows, n, elogits, escratch);
+        match precision {
+            Precision::F32 => {
+                pipeline.error_net(route).predict_batch_into(ewindows, n, elogits, escratch)
+            }
+            Precision::Int8 => quantized(pipeline)
+                .error_net(route)
+                .predict_batch_into(ewindows, n, elogits, qscratch),
+        }
         // lint: allow(panic, reason = "i..end is a scanned run inside pending")
         for (b, &(j, _)) in pending[i..end].iter().enumerate() {
             // Covers this line and the next: pending holds job indices,

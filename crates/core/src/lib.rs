@@ -48,15 +48,15 @@ pub mod pipeline;
 pub mod report;
 pub mod serve;
 
-pub use config::{ErrorModelKind, MonitorConfig};
+pub use config::{ErrorModelKind, MonitorConfig, Precision};
 pub use engine::{
     step_batch, BatchJob, BatchScratch, EngineError, EngineStep, InferenceEngine, MajorityFilter,
 };
 pub use models::{error_classifier_spec, gesture_classifier_spec};
 pub use monitor::{MonitorOutput, MonitorPool, SafetyMonitor, SessionId};
 pub use pipeline::{
-    ContextMode, ErrorRoute, GestureTrainStats, MonitorRun, SavedPipeline, TrainStages,
-    TrainedPipeline,
+    ContextMode, ErrorRoute, GestureTrainStats, MonitorRun, QuantizedPipeline, SavedPipeline,
+    TrainStages, TrainedPipeline,
 };
 pub use report::{
     error_events, evaluate_pipeline, evaluate_run, per_gesture_report, percentile,

@@ -5,13 +5,16 @@
 //! at evaluation/inference time, where the predicted gesture routes each
 //! window to its gesture-specific classifier.
 
-use crate::config::MonitorConfig;
+use crate::config::{MonitorConfig, Precision};
 use crate::engine::InferenceEngine;
 use crate::models::{error_classifier_spec, gesture_classifier_spec};
 use gestures::{Gesture, NUM_GESTURES};
-use kinematics::{windows_with_positions, Dataset, Demonstration, Normalizer};
+use kinematics::{windows_with_positions, Dataset, Demonstration, Normalizer, WindowConfig};
 use nn::loss::{inverse_frequency_weights, softmax_into};
-use nn::{train_classifier, Mat, Network, NetworkScratch, Sample, SavedNetwork, TrainConfig};
+use nn::{
+    train_classifier, Mat, Network, NetworkScratch, QuantError, QuantScratch, QuantizedNetwork,
+    Sample, SavedNetwork, TrainConfig,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -75,6 +78,44 @@ pub struct TrainedPipeline {
     pub in_dim: usize,
     /// Gesture-stage input feature width.
     pub gesture_in_dim: usize,
+    /// The calibrated int8 twin serving [`Precision::Int8`], populated by
+    /// [`TrainedPipeline::quantize`]. A derived artifact — rebuilt from the
+    /// f32 weights on demand, never serialized with the checkpoint.
+    pub quantized: Option<QuantizedPipeline>,
+}
+
+/// The post-training-quantized twin of a [`TrainedPipeline`]: the same
+/// two-stage topology with every classifier replaced by its calibrated
+/// int8 [`QuantizedNetwork`]. Routing (which gesture maps to which
+/// classifier) stays with the parent pipeline — the twin mirrors its key
+/// set exactly, so [`TrainedPipeline::error_route`] resolves for both
+/// tiers.
+pub struct QuantizedPipeline {
+    /// Stage 1: quantized gesture classifier.
+    pub gesture_net: QuantizedNetwork,
+    /// Stage 2: quantized per-gesture error classifiers (same keys as the
+    /// f32 `error_nets`).
+    pub error_nets: BTreeMap<usize, QuantizedNetwork>,
+    /// Quantized fallback / baseline classifier.
+    pub global_error_net: Option<QuantizedNetwork>,
+}
+
+impl QuantizedPipeline {
+    /// The quantized classifier behind a route resolved by
+    /// [`TrainedPipeline::error_route`] on the parent pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the route does not exist (routes must come from the
+    /// pipeline this twin was quantized from).
+    pub fn error_net(&self, route: ErrorRoute) -> &QuantizedNetwork {
+        match route {
+            ErrorRoute::Dedicated(g) => &self.error_nets[&g],
+            ErrorRoute::Global => {
+                self.global_error_net.as_ref().expect("route resolved against the parent pipeline")
+            }
+        }
+    }
 }
 
 /// Serializable checkpoint of a [`TrainedPipeline`].
@@ -288,6 +329,7 @@ impl TrainedPipeline {
                 global_error_net,
                 in_dim,
                 gesture_in_dim,
+                quantized: None,
             },
             stats,
         )
@@ -312,12 +354,31 @@ impl TrainedPipeline {
     ///
     /// Panics if the demonstration is shorter than either stage's window.
     pub fn run_demo(&self, demo: &Demonstration, mode: ContextMode) -> MonitorRun {
+        self.run_demo_with(demo, mode, Precision::F32)
+    }
+
+    /// [`TrainedPipeline::run_demo`] on a chosen numeric tier. The
+    /// [`Precision::Int8`] path replays through the quantized twin (the
+    /// same engine code, quantized forward passes) — this is what the
+    /// parity gate evaluates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the demonstration is shorter than either stage's window,
+    /// or when asked for [`Precision::Int8`] before
+    /// [`TrainedPipeline::quantize`] populated the quantized twin.
+    pub fn run_demo_with(
+        &self,
+        demo: &Demonstration,
+        mode: ContextMode,
+        precision: Precision,
+    ) -> MonitorRun {
         let w = self.config.window.width;
         let gw = self.config.gesture_window;
         assert!(demo.len() >= w.max(gw), "demonstration shorter than window");
         let started = Instant::now();
 
-        let mut engine = InferenceEngine::new(self, mode);
+        let mut engine = InferenceEngine::with_precision(self, mode, precision);
         let mut gesture_pred = vec![0usize; demo.len()];
         let mut unsafe_score = vec![0.0f32; demo.len()];
         let mut first_gesture = None;
@@ -459,6 +520,83 @@ impl TrainedPipeline {
             global_error_net: saved.global.as_ref().map(Network::from_saved),
             in_dim: saved.in_dim,
             gesture_in_dim: saved.gesture_in_dim,
+            quantized: None,
+        }
+    }
+
+    /// Builds the calibrated int8 twin serving [`Precision::Int8`]
+    /// (quantize-after-train), calibrating activation scales from the
+    /// demonstrations selected by `calib_idx` (typically the training
+    /// fold — calibration must never see test data). Windows are harvested
+    /// non-overlapping through the same normalizers the engines apply at
+    /// serving time, so calibration sees exactly the serving input
+    /// distribution.
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::NoCalibration`] when `calib_idx` selects no windows;
+    /// [`QuantError::Unsupported`] if a classifier architecture falls
+    /// outside the quantizable layer set (the built-in specs never do).
+    pub fn quantize(&mut self, dataset: &Dataset, calib_idx: &[usize]) -> Result<(), QuantError> {
+        let cfg = self.config.clone();
+        let mut gesture_cal: Vec<Mat> = Vec::new();
+        let mut error_cal: Vec<Mat> = Vec::new();
+        for &i in calib_idx {
+            let d = &dataset.demos[i];
+            let gfeats = self.gesture_normalizer.apply(&d.feature_matrix(&cfg.gesture_features));
+            let gw = WindowConfig::new(cfg.gesture_window, cfg.gesture_window);
+            for (w, _) in windows_with_positions(&gfeats, gw) {
+                gesture_cal.push(w);
+            }
+            let feats = self.normalizer.apply(&d.feature_matrix(&cfg.features));
+            let ew = WindowConfig::new(cfg.window.width, cfg.window.width);
+            for (w, _) in windows_with_positions(&feats, ew) {
+                error_cal.push(w);
+            }
+        }
+        let gesture_net = QuantizedNetwork::quantize(&mut self.gesture_net, &gesture_cal)?;
+        let mut error_nets = BTreeMap::new();
+        for (&g, net) in self.error_nets.iter_mut() {
+            error_nets.insert(g, QuantizedNetwork::quantize(net, &error_cal)?);
+        }
+        let global_error_net = match self.global_error_net.as_mut() {
+            Some(net) => Some(QuantizedNetwork::quantize(net, &error_cal)?),
+            None => None,
+        };
+        self.quantized = Some(QuantizedPipeline { gesture_net, error_nets, global_error_net });
+        Ok(())
+    }
+
+    /// Scratch fitting any quantized stage-2 classifier (all buffers are
+    /// high-water; one scratch serves every route).
+    pub fn quant_scratch(&self) -> QuantScratch {
+        QuantScratch::default()
+    }
+
+    /// [`TrainedPipeline::score_window_scratch`] on the int8 tier: same
+    /// routing, quantized forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`TrainedPipeline::quantize`] has not populated the
+    /// quantized twin (engines validate this at construction).
+    pub fn score_window_scratch_q(
+        &self,
+        window: &Mat,
+        gesture: usize,
+        mode: ContextMode,
+        logits: &mut Mat,
+        probs: &mut [f32; 2],
+        scratch: &mut QuantScratch,
+    ) -> f32 {
+        match self.error_route(gesture, mode) {
+            Some(route) => {
+                let quantized = self.quantized.as_ref().expect("quantize() before Int8 scoring");
+                quantized.error_net(route).predict_scratch(window, logits, scratch);
+                softmax_into(logits.row(0), probs);
+                probs[1]
+            }
+            None => 0.0,
         }
     }
 }

@@ -26,6 +26,7 @@
 //! (`faults::campaign`) so batch workloads and serving share a single
 //! parallel-execution path.
 
+use crate::config::Precision;
 use crate::engine::{step_batch, BatchJob, BatchScratch, EngineError, EngineStep, InferenceEngine};
 use crate::monitor::{output_from_step, MonitorOutput, SessionId};
 use crate::pipeline::{ContextMode, TrainedPipeline};
@@ -45,11 +46,16 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Alert threshold applied by every worker, in `(0, 1)`.
     pub threshold: f32,
+    /// Numeric tier every session of the pool infers at.
+    /// [`Precision::Int8`] requires the pipeline's quantized twin
+    /// ([`TrainedPipeline::quantize`]) and buys sessions-per-core density
+    /// for a parity-gated accuracy delta.
+    pub precision: Precision,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { workers: 4, threshold: 0.5 }
+        Self { workers: 4, threshold: 0.5, precision: Precision::F32 }
     }
 }
 
@@ -236,9 +242,17 @@ impl ShardedMonitorPool {
     ///
     /// # Panics
     ///
-    /// Panics if the threshold is not within `(0, 1)`.
+    /// Panics if the threshold is not within `(0, 1)`, or if
+    /// [`Precision::Int8`] is requested on a pipeline whose quantized twin
+    /// was never built ([`TrainedPipeline::quantize`]) — the
+    /// misconfiguration must fail at pool construction, not inside a shard
+    /// worker.
     pub fn new(pipeline: Arc<TrainedPipeline>, mode: ContextMode, config: ServeConfig) -> Self {
         assert!(config.threshold > 0.0 && config.threshold < 1.0, "threshold must be in (0,1)");
+        assert!(
+            config.precision == Precision::F32 || pipeline.quantized.is_some(),
+            "Precision::Int8 requires TrainedPipeline::quantize() before pool construction"
+        );
         let workers = config.workers.max(1);
         let (egress_tx, egress_rx) = unbounded();
         let (recycle_tx, recycle_rx) = unbounded();
@@ -250,9 +264,12 @@ impl ShardedMonitorPool {
             let egress = egress_tx.clone();
             let recycle = recycle_tx.clone();
             let threshold = config.threshold;
+            let precision = config.precision;
             let topology = ShardTopology { shard, workers };
             handles.push(std::thread::spawn(move || {
-                worker_loop(&pipeline, mode, threshold, topology, &rx, &egress, &recycle);
+                worker_loop(
+                    &pipeline, mode, threshold, precision, topology, &rx, &egress, &recycle,
+                );
             }));
             ingress.push(tx);
         }
@@ -597,10 +614,12 @@ struct ShardState {
 
 /// One shard: owns its sessions' engines, drains the ingress queue into
 /// micro-batched ticks, and reports decisions on the egress channel.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     pipeline: &TrainedPipeline,
     mode: ContextMode,
     threshold: f32,
+    precision: Precision,
     topology: ShardTopology,
     ingress: &Receiver<Job>,
     egress: &Sender<Event>,
@@ -631,7 +650,7 @@ fn worker_loop(
             };
             match job {
                 Job::AddSession => {
-                    state.engines.push(InferenceEngine::new(pipeline, mode));
+                    state.engines.push(InferenceEngine::with_precision(pipeline, mode, precision));
                     state.frames_done.push(0);
                     state.in_tick.push(false);
                 }

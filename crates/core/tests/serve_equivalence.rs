@@ -7,7 +7,7 @@
 use context_monitor::serve::{ServeConfig, ShardedMonitorPool};
 use context_monitor::{
     step_batch, BatchJob, BatchScratch, ContextMode, EngineError, InferenceEngine, MonitorConfig,
-    MonitorPool, SafetyMonitor, TrainedPipeline,
+    MonitorPool, Precision, SafetyMonitor, TrainedPipeline,
 };
 use gestures::Task;
 use jigsaws::{generate, GeneratorConfig};
@@ -57,8 +57,9 @@ fn sharded_run(
     mode: ContextMode,
     sessions: usize,
     workers: usize,
+    precision: Precision,
 ) -> Vec<Vec<Key>> {
-    let cfg = ServeConfig { workers, threshold: 0.5 };
+    let cfg = ServeConfig { workers, threshold: 0.5, precision };
     let mut pool = ShardedMonitorPool::with_sessions(pipeline, mode, cfg, sessions);
     assert_eq!(pool.session_count(), sessions);
     assert_eq!(pool.worker_count(), workers);
@@ -100,7 +101,8 @@ fn sharded_pool_is_bit_exactly_equal_to_sequential_pool() {
             let (returned, reference) = sequential_reference(pipeline, &ds, mode, sessions);
             let shared = Arc::new(returned);
             for workers in [1usize, 3] {
-                let sharded = sharded_run(Arc::clone(&shared), &ds, mode, sessions, workers);
+                let sharded =
+                    sharded_run(Arc::clone(&shared), &ds, mode, sessions, workers, Precision::F32);
                 assert_eq!(
                     reference, sharded,
                     "seed {seed}, {mode}, {workers} workers: sharded output diverged"
@@ -109,6 +111,65 @@ fn sharded_pool_is_bit_exactly_equal_to_sequential_pool() {
             pipeline = Arc::try_unwrap(shared).ok().expect("workers joined, sole owner");
         }
     }
+}
+
+/// The quantized tier's own determinism guarantee: int8 decisions are
+/// bit-identical across batch size 1 (a lone engine stepped frame by frame)
+/// and the sharded pool's variable micro-batches, across worker counts.
+/// Int8 is *not* bit-equal to f32 — the parity gate bounds that accuracy
+/// delta — but within the tier every execution shape must agree exactly.
+#[test]
+fn int8_tier_is_bit_identical_across_workers_and_batch_sizes() {
+    let (mut pipeline, ds) = tiny_pipeline(61);
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    pipeline.quantize(&ds, &idx).expect("built-in specs are quantizable");
+    let sessions = 4.min(ds.demos.len());
+
+    // Reference: per-session engines on the int8 tier, batch size 1.
+    let mut engines: Vec<InferenceEngine> = (0..sessions)
+        .map(|_| {
+            InferenceEngine::with_precision(&pipeline, ContextMode::Predicted, Precision::Int8)
+        })
+        .collect();
+    let mut reference: Vec<Vec<Key>> = vec![Vec::new(); sessions];
+    let longest = ds.demos.iter().take(sessions).map(|d| d.len()).max().unwrap();
+    for t in 0..longest {
+        for s in 0..sessions {
+            let Some(frame) = ds.demos[s].frames.get(t) else { continue };
+            let step = engines[s].step(&pipeline, frame).expect("Predicted mode");
+            if let Some((gesture, score)) = step.complete() {
+                reference[s].push((gesture.index(), score.to_bits(), score > 0.5));
+            }
+        }
+    }
+    assert!(reference.iter().any(|s| !s.is_empty()), "sessions should warm up");
+
+    let shared = Arc::new(pipeline);
+    for workers in [1usize, 3] {
+        let sharded = sharded_run(
+            Arc::clone(&shared),
+            &ds,
+            ContextMode::Predicted,
+            sessions,
+            workers,
+            Precision::Int8,
+        );
+        assert_eq!(
+            reference, sharded,
+            "{workers} workers: int8 sharded output diverged from the single-engine reference"
+        );
+    }
+}
+
+/// Asking the pool for the int8 tier on a pipeline whose quantized twin was
+/// never built must fail at construction, not at the first frame.
+#[test]
+#[should_panic(expected = "quantize")]
+fn int8_pool_on_unquantized_pipeline_fails_at_construction() {
+    let (pipeline, _ds) = tiny_pipeline(67);
+    let cfg = ServeConfig { workers: 1, threshold: 0.5, precision: Precision::Int8 };
+    let _pool =
+        ShardedMonitorPool::with_sessions(Arc::new(pipeline), ContextMode::Predicted, cfg, 1);
 }
 
 /// `step_batch` (the micro-batching core the shard workers run) advanced
@@ -162,7 +223,7 @@ fn missing_context_is_a_typed_error_not_a_panic() {
     let mut pool = ShardedMonitorPool::with_sessions(
         pipeline,
         ContextMode::Perfect,
-        ServeConfig { workers: 2, threshold: 0.5 },
+        ServeConfig { workers: 2, threshold: 0.5, precision: Precision::F32 },
         2,
     );
     assert_eq!(pool.submit(0, frame), Err(EngineError::MissingContext));
@@ -195,7 +256,7 @@ fn latency_stats_cover_drained_decisions() {
     let mut pool = ShardedMonitorPool::with_sessions(
         Arc::new(pipeline),
         ContextMode::Predicted,
-        ServeConfig { workers: 2, threshold: 0.5 },
+        ServeConfig { workers: 2, threshold: 0.5, precision: Precision::F32 },
         3,
     );
     assert_eq!(pool.stats().compute.count, 0, "no decisions measured before any flush");
@@ -248,7 +309,7 @@ fn sharded_reset_session_replays_bit_equal() {
     let mut pool = ShardedMonitorPool::with_sessions(
         Arc::new(pipeline),
         ContextMode::Predicted,
-        ServeConfig { workers: 2, threshold: 0.5 },
+        ServeConfig { workers: 2, threshold: 0.5, precision: Precision::F32 },
         3,
     );
     let frames = 48usize;
@@ -288,7 +349,7 @@ fn drain_deadline_leaves_stalled_decisions_for_the_next_drain() {
     let mut pool = ShardedMonitorPool::with_sessions(
         Arc::new(pipeline),
         ContextMode::Predicted,
-        ServeConfig { workers: 2, threshold: 0.5 },
+        ServeConfig { workers: 2, threshold: 0.5, precision: Precision::F32 },
         2, // session 0 -> shard 0, session 1 -> shard 1
     );
     pool.inject_stall(0, Duration::from_millis(150));

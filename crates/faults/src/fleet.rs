@@ -192,7 +192,11 @@ pub fn run_fleet_campaign(
     let mut pool = ShardedMonitorPool::with_sessions(
         Arc::clone(pipeline),
         reactor_cfg.mode,
-        ServeConfig { workers: cfg.workers.max(1), threshold: reactor_cfg.threshold },
+        ServeConfig {
+            workers: cfg.workers.max(1),
+            threshold: reactor_cfg.threshold,
+            precision: reactor_cfg.precision,
+        },
         fleet,
     );
 
@@ -337,7 +341,11 @@ pub fn run_forced_miss_drill(
     let mut pool = ShardedMonitorPool::with_sessions(
         Arc::clone(pipeline),
         reactor_cfg.mode,
-        ServeConfig { workers: cfg.workers.max(1), threshold: reactor_cfg.threshold },
+        ServeConfig {
+            workers: cfg.workers.max(1),
+            threshold: reactor_cfg.threshold,
+            precision: reactor_cfg.precision,
+        },
         fleet,
     );
 

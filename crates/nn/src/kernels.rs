@@ -95,6 +95,8 @@
 use crate::mat::Mat;
 use std::sync::atomic::{AtomicU8, Ordering};
 
+pub mod int8;
+
 /// Rows per register tile (A rows processed together by the microkernel).
 pub const MR: usize = 4;
 /// k-panel depth: B rows kept hot (and packed, once column-blocked) per
@@ -266,11 +268,16 @@ pub fn active_gemm_isa() -> GemmIsa {
     }
 }
 
-/// One-line description of the dispatch resolution — detected ISA plus the
-/// effective override — for bench and fleet headers, e.g.
-/// `avx2 (auto-detected)` or `scalar (forced by GEMM_BACKEND=scalar)`.
+/// One-line description of the dispatch resolution — the ISA each kernel
+/// family (f32, int8) resolved to plus the effective override — for bench
+/// and fleet headers, e.g. `f32 avx2 / int8 avx2 (auto-detected)` or
+/// `f32 scalar / int8 scalar (forced by GEMM_BACKEND=scalar)`. The two
+/// dtypes resolve from the *same* backend request but are reported
+/// separately: with two kernel families a single ISA name would be
+/// ambiguous the moment their hardware requirements diverge.
 pub fn gemm_backend_label() -> String {
     let isa = active_gemm_isa();
+    let i8_isa = int8::active_gemm_i8_isa();
     let req = match REQUESTED.load(Ordering::Relaxed) {
         1 => GemmBackend::Auto,
         2 => GemmBackend::Scalar,
@@ -290,7 +297,7 @@ pub fn gemm_backend_label() -> String {
         }
         (GemmBackend::Scalar, _) | (GemmBackend::Simd, _) => format!("forced by {via}"),
     };
-    format!("{} ({how})", isa.name())
+    format!("f32 {} / int8 {} ({how})", isa.name(), i8_isa.name())
 }
 
 fn resolve_from_env() -> GemmIsa {
@@ -1941,11 +1948,17 @@ mod tests {
         let detected = simd_isa();
         assert_eq!(set_gemm_backend(GemmBackend::Scalar), GemmIsa::Scalar);
         assert_eq!(active_gemm_isa(), GemmIsa::Scalar);
-        assert!(gemm_backend_label().starts_with("scalar"), "{}", gemm_backend_label());
+        assert!(
+            gemm_backend_label().starts_with("f32 scalar / int8 scalar"),
+            "{}",
+            gemm_backend_label()
+        );
 
         let resolved = set_gemm_backend(GemmBackend::Simd);
         assert_eq!(resolved, detected.unwrap_or(GemmIsa::Scalar));
-        assert!(gemm_backend_label().starts_with(resolved.name()), "{}", gemm_backend_label());
+        let prefix =
+            format!("f32 {} / int8 {}", resolved.name(), int8::active_gemm_i8_isa().name());
+        assert!(gemm_backend_label().starts_with(&prefix), "{}", gemm_backend_label());
 
         let auto = set_gemm_backend(GemmBackend::Auto);
         assert_eq!(auto, detected.unwrap_or(GemmIsa::Scalar));

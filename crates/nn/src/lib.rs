@@ -57,8 +57,10 @@ pub mod mat;
 pub mod network;
 pub mod optim;
 pub mod param;
+pub mod quant;
 pub mod train;
 
+pub use kernels::int8::{active_gemm_i8_isa, gemm_i8_abt, gemm_i8_abt_with, naive_i8_abt};
 pub use kernels::{
     active_gemm_isa, gemm_backend_label, set_gemm_backend, GemmBackend, GemmIsa, GemmScratch,
 };
@@ -66,4 +68,5 @@ pub use layers::{LayerScratch, LayerSpec, Mode, Padding, SeqLayer};
 pub use mat::Mat;
 pub use network::{Network, NetworkScratch, NetworkSpec, SavedNetwork};
 pub use optim::{Adam, Sgd, StepDecay};
+pub use quant::{QuantError, QuantScratch, QuantizedNetwork};
 pub use train::{evaluate, predict_proba, train_classifier, Sample, TrainConfig, TrainReport};

@@ -74,6 +74,23 @@ fn run_layers(
     out: &mut Mat,
     scratch: &mut NetworkScratch,
 ) {
+    run_layers_observed(layers, x, batch, out, scratch, &mut |_, _| {});
+}
+
+/// [`run_layers`] with an observation hook: `observe(i, input)` fires with
+/// each layer's *input* activation right before the layer runs. The hook
+/// is how the quantized tier's activation calibration records per-layer
+/// input ranges ([`Network::predict_traced`]) without the network exposing
+/// layer internals; the computation itself is bit-identical to the
+/// unobserved path.
+fn run_layers_observed(
+    layers: &[Box<dyn SeqLayer>],
+    x: &Mat,
+    batch: usize,
+    out: &mut Mat,
+    scratch: &mut NetworkScratch,
+    observe: &mut dyn FnMut(usize, &Mat),
+) {
     assert!(batch > 0, "batch must be positive");
     assert_eq!(x.rows() % batch, 0, "batch does not divide input rows");
     if layers.is_empty() {
@@ -89,11 +106,14 @@ fn run_layers(
     for (i, layer) in layers.iter().enumerate() {
         let ls = &mut scratch.layers[i];
         if i == 0 {
+            observe(i, x);
             layer.infer_batch_into(x, batch, &mut scratch.ping, ls);
         } else if cur == 0 {
+            observe(i, &scratch.ping);
             layer.infer_batch_into(&scratch.ping, batch, &mut scratch.pong, ls);
             cur = 1;
         } else {
+            observe(i, &scratch.pong);
             layer.infer_batch_into(&scratch.pong, batch, &mut scratch.ping, ls);
             cur = 0;
         }
@@ -241,6 +261,21 @@ impl Network {
         scratch: &mut NetworkScratch,
     ) {
         run_layers(&self.layers, x, batch, out, scratch);
+    }
+
+    /// [`Network::predict_scratch`] plus an observation hook:
+    /// `observe(i, input)` fires with layer `i`'s input activation right
+    /// before that layer runs. Used by the quantized tier's activation
+    /// calibration ([`crate::quant`]) to record per-layer input ranges;
+    /// the outputs are bit-identical to the unobserved path.
+    pub fn predict_traced(
+        &self,
+        x: &Mat,
+        out: &mut Mat,
+        scratch: &mut NetworkScratch,
+        observe: &mut dyn FnMut(usize, &Mat),
+    ) {
+        run_layers_observed(&self.layers, x, 1, out, scratch, observe);
     }
 
     /// Copies all parameter values out (for early-stopping snapshots).

@@ -15,6 +15,7 @@
 //! points, so forced-Scalar and forced-Simd coverage does not depend on
 //! process-global dispatch state (tests run in parallel).
 
+use nn::kernels::int8::{gemm_i8_abt_with, naive_i8_abt, K_ALIGN, MAX_K};
 use nn::kernels::{
     gemm_ab_with, gemm_abt_with, gemm_atb_with, naive_ab, naive_abt, naive_atb, simd_isa, GemmIsa,
     GemmScratch,
@@ -88,6 +89,36 @@ fn check_all(m: usize, k: usize, n: usize, seed: u64) {
     }
 }
 
+/// Deterministic i8 data covering the full range, including `-128` (the
+/// magnitude the saturation-freedom argument is written against).
+fn fill_i8(len: usize, seed: u64) -> Vec<i8> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state & 0xFF) as u8 as i8
+        })
+        .collect()
+}
+
+/// Runs the int8 ABᵀ contraction at `(m, k, n)` against its reference on
+/// every available backend — `assert_eq!` on i32 is already bit equality.
+fn check_i8(m: usize, k: usize, n: usize, seed: u64) {
+    let a = fill_i8(m * k, seed);
+    let b = fill_i8(n * k, seed.wrapping_add(1));
+    let mut want = vec![0i32; m * n];
+    // Pre-poison the outputs: the kernels must fully overwrite them.
+    let mut got = vec![i32::MIN; m * n];
+    naive_i8_abt(m, k, n, &a, &b, &mut want);
+    for isa in backends() {
+        got.fill(i32::MIN);
+        gemm_i8_abt_with(isa, m, k, n, &a, &b, &mut got);
+        assert_eq!(got, want, "{} i8 ABt m={m} k={k} n={n}", isa.name());
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -115,6 +146,32 @@ proptest! {
     fn degenerate_edges_are_bit_exact(m in 0usize..40, k in 0usize..2, seed in 0u64..100_000) {
         check_all(m, k, 1, seed);
         check_all(m, k, 0, seed.wrapping_add(7));
+    }
+
+    /// int8 ABᵀ over random shapes crossing every vector boundary: the
+    /// k-step (16 AVX2 / 8 NEON), the 8-/4-output reduction groups, and
+    /// their tails, on every backend. i32 equality is exact, so this pins
+    /// the quantized tier's cross-backend bit-identity at the kernel level.
+    #[test]
+    fn int8_kernels_are_bit_exact(
+        m in 0usize..48,
+        k in 0usize..100,
+        n in 0usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        check_i8(m, k, n, seed);
+    }
+
+    /// int8 row-vector products (`1×N`): the quantized LSTM recurrence
+    /// shape, plus the K_ALIGN-padded widths quant.rs actually stages.
+    #[test]
+    fn int8_row_vector_products_are_bit_exact(
+        kp in 0usize..12,
+        n in 0usize..64,
+        seed in 0u64..100_000,
+    ) {
+        check_i8(1, kp * K_ALIGN, n, seed);
+        check_i8(1, kp * K_ALIGN + 3, n, seed.wrapping_add(7));
     }
 
     /// The `Mat` wrappers (thread-local scratch) agree with explicit
@@ -176,6 +233,30 @@ fn blocking_boundary_shapes_are_bit_exact() {
         check_all(m, k, n, (m * 1_000_003 + k * 1_009 + n) as u64);
     }
 }
+
+/// Non-random pins for the int8 kernels' own boundary shapes (reduction
+/// group widths JB=8/4, k-steps 16/8, and the pipeline's padded widths).
+#[test]
+fn int8_boundary_shapes_are_bit_exact() {
+    for &(m, k, n) in &[
+        (1, 16, 8),    // one vector step, one full AVX2 reduction group
+        (1, 16, 9),    // reduction-group tail of 1
+        (3, 48, 192),  // the padded gesture-LSTM input projection width
+        (15, 48, 192), // ...at the streaming window batch
+        (1, 48, 192),  // the gesture-LSTM recurrence shape
+        (5, 80, 16),   // the padded im2col conv shape
+        (4, 38, 7),    // unpadded k tail + n below every reduction group
+        (2, 0, 4),     // k=0: all outputs exactly zero
+        (7, 15, 13),   // below one vector step: scalar-tail-only k
+        (9, 31, 12),   // k tail of 15 (max AVX2 tail) x NEON group boundary
+    ] {
+        check_i8(m, k, n, (m * 1_000_003 + k * 1_009 + n) as u64);
+    }
+}
+
+// The saturation bound is a checked contract on every public entry; the
+// pipeline's widest contraction must sit far inside it.
+const _: () = assert!(MAX_K > 100_000);
 
 /// `0·inf` handling must match the references on every backend: skipped
 /// (suppressed) in AB and AᵀB, propagated to NaN in ABᵀ.

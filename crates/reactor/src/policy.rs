@@ -1,6 +1,6 @@
 //! Mitigation policies and reactor configuration.
 
-use context_monitor::{ContextMode, TrainedPipeline};
+use context_monitor::{ContextMode, Precision, TrainedPipeline};
 use serde::{Deserialize, Serialize};
 
 /// Typed rejection of an invalid [`ReactorConfig`].
@@ -29,6 +29,11 @@ pub enum ConfigError {
     },
     /// [`ContextMode::Perfect`] has no in-loop gesture oracle.
     PerfectContext,
+    /// [`Precision::Int8`] was requested on a pipeline whose quantized twin
+    /// was never built (`TrainedPipeline::quantize`). Rejected here so a
+    /// sweep point asking for the int8 tier fails as a configuration
+    /// error instead of panicking inside pool construction.
+    QuantizedTierMissing,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -46,6 +51,10 @@ impl std::fmt::Display for ConfigError {
             ConfigError::PerfectContext => f.write_str(
                 "reactor cannot run in ContextMode::Perfect: the control loop has no \
                  external gesture oracle (use Predicted or NoContext)",
+            ),
+            ConfigError::QuantizedTierMissing => f.write_str(
+                "Precision::Int8 requires TrainedPipeline::quantize() before reactor \
+                 construction (the pipeline has no quantized twin)",
             ),
         }
     }
@@ -102,6 +111,13 @@ pub struct ReactorConfig {
     pub actuation_latency: usize,
     /// The mitigation applied once engaged.
     pub policy: MitigationPolicy,
+    /// Numeric tier the in-loop engine infers at. [`Precision::Int8`]
+    /// requires the pipeline's quantized twin
+    /// (`TrainedPipeline::quantize`). Defaults to [`Precision::F32`] —
+    /// also when deserializing configs written before the quantized tier
+    /// existed.
+    #[serde(default)]
+    pub precision: Precision,
 }
 
 impl Default for ReactorConfig {
@@ -112,6 +128,7 @@ impl Default for ReactorConfig {
             debounce: 2,
             actuation_latency: 2,
             policy: MitigationPolicy::StopAndHold,
+            precision: Precision::F32,
         }
     }
 }
@@ -147,6 +164,9 @@ impl ReactorConfig {
         let warmup = pipeline.config.window.width.max(pipeline.config.gesture_window);
         if self.debounce > warmup {
             return Err(ConfigError::DebounceBeyondWarmup { debounce: self.debounce, warmup });
+        }
+        if self.precision == Precision::Int8 && pipeline.quantized.is_none() {
+            return Err(ConfigError::QuantizedTierMissing);
         }
         Ok(())
     }

@@ -49,7 +49,7 @@ impl SafetyReactor {
         cfg: ReactorConfig,
     ) -> Result<Self, ConfigError> {
         cfg.validate_for(&pipeline)?;
-        let engine = InferenceEngine::new(&pipeline, cfg.mode);
+        let engine = InferenceEngine::with_precision(&pipeline, cfg.mode, cfg.precision);
         Ok(Self { pipeline, engine, gate: AlertGate::new(cfg)?, ticks_seen: 0 })
     }
 
@@ -424,7 +424,7 @@ mod tests {
             let mut pool = ShardedMonitorPool::with_sessions(
                 Arc::clone(&pipeline),
                 mode,
-                ServeConfig { workers: 1, threshold: 0.5 },
+                ServeConfig { workers: 1, threshold: 0.5, precision: cfg.precision },
                 1,
             );
             let mut gate = PooledReactor::new(cfg, 0).expect("valid config");

@@ -11,7 +11,7 @@
 //! process-global, and a concurrently running test would pollute the count.
 
 use context_monitor::serve::{Decision, ServeConfig, ShardedMonitorPool};
-use context_monitor::{ContextMode, MonitorConfig, SafetyMonitor, TrainedPipeline};
+use context_monitor::{ContextMode, MonitorConfig, Precision, SafetyMonitor, TrainedPipeline};
 use gestures::Task;
 use jigsaws::{generate, GeneratorConfig};
 use kinematics::{FeatureSet, Vec3};
@@ -230,7 +230,7 @@ fn steady_state_monitor_push_performs_no_heap_allocation() {
     let mut pool = ShardedMonitorPool::with_sessions(
         Arc::clone(&pipeline),
         ContextMode::Predicted,
-        ServeConfig { workers: 1, threshold: 0.5 },
+        ServeConfig { workers: 1, threshold: 0.5, precision: Precision::F32 },
         1,
     );
     let mut gate = PooledReactor::new(
@@ -274,5 +274,45 @@ fn steady_state_monitor_push_performs_no_heap_allocation() {
     assert_eq!(
         allocations, 0,
         "steady-state pooled reactor tick allocated {allocations} times over {measured} ticks"
+    );
+
+    // Part 4: the quantized tier. The same pooled loop on Precision::Int8 —
+    // per-tick activation quantization, i8 im2col patches, and i32
+    // accumulators all live in high-water QuantScratch buffers, so the warm
+    // int8 path must be exactly as allocation-free as f32.
+    drop(pool);
+    drop(reactor);
+    let mut pipeline = Arc::try_unwrap(pipeline).ok().expect("pool workers joined");
+    pipeline.quantize(&ds, &idx).expect("built-in specs are quantizable");
+    let pipeline = Arc::new(pipeline);
+    let mut pool = ShardedMonitorPool::with_sessions(
+        Arc::clone(&pipeline),
+        ContextMode::Predicted,
+        ServeConfig { workers: 1, threshold: 0.5, precision: Precision::Int8 },
+        1,
+    );
+    let mut q_tick = |t: usize, pool: &mut ShardedMonitorPool| {
+        pool.submit(0, &demo.frames[t]).expect("Predicted mode");
+        decisions.clear();
+        pool.flush_into(&mut decisions);
+        decisions.iter().filter(|d| d.output.is_some()).count()
+    };
+    for t in 0..warm + measured {
+        let _ = q_tick(t, &mut pool);
+    }
+
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    let mut emitted = 0usize;
+    for t in warm + measured..warm + 2 * measured {
+        emitted += q_tick(t, &mut pool);
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocations = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(emitted, measured, "int8 pool should be warm throughout");
+    assert_eq!(
+        allocations, 0,
+        "steady-state int8 pooled tick allocated {allocations} times over {measured} ticks"
     );
 }

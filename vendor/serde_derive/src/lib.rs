@@ -6,7 +6,10 @@
 //!
 //! * structs with named fields, unit structs, tuple structs,
 //! * enums with unit, tuple (incl. newtype), and struct variants,
-//! * simple type parameters (`struct Segment<T> { ... }`).
+//! * simple type parameters (`struct Segment<T> { ... }`),
+//! * `#[serde(default)]` on named fields: a field missing from the input
+//!   deserializes to `Default::default()` instead of erroring, so configs
+//!   written before the field existed keep loading.
 //!
 //! Serialized form mirrors serde's defaults: structs become objects keyed by
 //! field name; unit enum variants become strings; data-carrying variants
@@ -14,12 +17,12 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, Impl::Serialize)
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, Impl::Deserialize)
 }
@@ -39,9 +42,17 @@ struct Item {
 
 enum Body {
     UnitStruct,
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     Enum(Vec<Variant>),
+}
+
+/// A named field plus the one field attribute the stand-in honors.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: deserialize a missing field to
+    /// `Default::default()` instead of erroring.
+    default: bool,
 }
 
 struct Variant {
@@ -52,7 +63,7 @@ struct Variant {
 enum VariantFields {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 fn expand(input: TokenStream, which: Impl) -> TokenStream {
@@ -139,18 +150,22 @@ fn parse_item(input: TokenStream) -> Item {
     Item { name, generics, body }
 }
 
-/// Extracts field names from a named-field body, skipping attributes,
-/// visibility, and types (commas inside `<...>` are depth-tracked).
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Extracts field names from a named-field body, skipping visibility and
+/// types (commas inside `<...>` are depth-tracked). Attributes are skipped
+/// too, except `#[serde(default)]`, which is recorded on the field.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut iter = stream.into_iter().peekable();
     loop {
         // Skip attributes and visibility before the field name.
+        let mut default = false;
         loop {
             match iter.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     iter.next();
-                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.next() {
+                        default |= is_serde_default(g.stream());
+                    }
                 }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     iter.next();
@@ -166,7 +181,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
         let Some(TokenTree::Ident(field)) = iter.next() else {
             break;
         };
-        fields.push(field.to_string());
+        fields.push(Field { name: field.to_string(), default });
         match iter.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => panic!("serde_derive: expected `:` after field, got {other:?}"),
@@ -174,6 +189,26 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
         skip_type_until_comma(&mut iter);
     }
     fields
+}
+
+/// Whether a bracketed attribute body is exactly `serde(default)`. Any other
+/// `serde(...)` content is unsupported by the stand-in and rejected loudly
+/// rather than silently ignored.
+fn is_serde_default(attr_body: TokenStream) -> bool {
+    let mut iter = attr_body.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    let Some(TokenTree::Group(args)) = iter.next() else {
+        return false;
+    };
+    let inner: Vec<String> = args.stream().into_iter().map(|t| t.to_string()).collect();
+    if inner == ["default"] {
+        true
+    } else {
+        panic!("serde_derive: unsupported serde attribute `serde({})`", inner.join(""))
+    }
 }
 
 /// Advances past a type (or discriminant expression) up to and including the
@@ -304,9 +339,11 @@ fn gen_serialize(item: &Item) -> String {
                         }
                         VariantFields::Named(fields) => {
                             let inner = named_to_value(fields, "");
+                            let names: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
                             format!(
                                 "Self::{vname} {{ {} }} => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {inner})]),",
-                                fields.join(", ")
+                                names.join(", ")
                             )
                         }
                     }
@@ -321,10 +358,15 @@ fn gen_serialize(item: &Item) -> String {
     )
 }
 
-fn named_to_value(fields: &[String], prefix: &str) -> String {
+fn named_to_value(fields: &[Field], prefix: &str) -> String {
     let entries: Vec<String> = fields
         .iter()
-        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&{prefix}{f}))"))
+        .map(|f| {
+            format!(
+                "(\"{name}\".to_string(), ::serde::Serialize::to_value(&{prefix}{name}))",
+                name = f.name
+            )
+        })
         .collect();
     format!("::serde::Value::Object(vec![{}])", entries.join(", "))
 }
@@ -407,14 +449,26 @@ fn gen_deserialize(item: &Item) -> String {
     )
 }
 
-fn named_from_value(fields: &[String], constructor: &str, source: &str) -> String {
+fn named_from_value(fields: &[Field], constructor: &str, source: &str) -> String {
     let entries: Vec<String> = fields
         .iter()
         .map(|f| {
-            format!(
-                "{f}: ::serde::Deserialize::from_value(::serde::field({source}, \"{f}\")?) \
-                 .map_err(|e| e.context(\"field `{f}`\"))?"
-            )
+            let name = &f.name;
+            if f.default {
+                // `#[serde(default)]`: a missing field is not an error.
+                format!(
+                    "{name}: match ::serde::field({source}, \"{name}\") {{ \
+                       Ok(__fv) => ::serde::Deserialize::from_value(__fv) \
+                         .map_err(|e| e.context(\"field `{name}`\"))?, \
+                       Err(_) => ::std::default::Default::default(), \
+                     }}"
+                )
+            } else {
+                format!(
+                    "{name}: ::serde::Deserialize::from_value(::serde::field({source}, \"{name}\")?) \
+                     .map_err(|e| e.context(\"field `{name}`\"))?"
+                )
+            }
         })
         .collect();
     format!("Ok({constructor} {{ {} }})", entries.join(", "))
