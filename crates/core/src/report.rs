@@ -319,7 +319,7 @@ impl std::fmt::Display for LatencyStats {
 /// reaction-time margin can be decomposed into model time vs. load-induced
 /// waiting under fleet traffic. Produced by
 /// `serve::ShardedMonitorPool::stats`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PoolStats {
     /// Per-decision compute time. Warm decisions only: warm-up frames carry
     /// no compute measurement.
@@ -328,11 +328,21 @@ pub struct PoolStats {
     /// frames queue like any other), measured from the `submit` call to the
     /// moment the decision left the egress channel.
     pub queue: LatencyStats,
+    /// Live sessions per shard at the moment of the snapshot — the
+    /// occupancy the elastic placement policy balances (sessions land on
+    /// the least-occupied shard; removals free their slot). Sums to the
+    /// pool's live session count.
+    pub occupancy: Vec<usize>,
 }
 
 impl std::fmt::Display for PoolStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "compute  | {}\nqueueing | {}", self.compute, self.queue)
+        let live: usize = self.occupancy.iter().sum();
+        write!(
+            f,
+            "compute  | {}\nqueueing | {}\nshards   | occupancy {:?} ({live} live session(s))",
+            self.compute, self.queue, self.occupancy
+        )
     }
 }
 

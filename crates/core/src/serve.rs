@@ -2,10 +2,16 @@
 //! partitioned across worker threads over one shared read-only model.
 //!
 //! [`ShardedMonitorPool`] is the production form of
-//! [`MonitorPool`](crate::monitor::MonitorPool): sessions are assigned
-//! round-robin to `workers` shard threads, frames travel to their shard
-//! over a crossbeam channel (ingress), and decisions come back tagged with
-//! their session on a shared egress channel. Each worker owns only the
+//! [`MonitorPool`](crate::monitor::MonitorPool): sessions are placed on the
+//! least-occupied of `workers` shard threads (round-robin while nobody
+//! leaves), frames travel to their shard over a crossbeam channel
+//! (ingress), and decisions come back tagged with their session on a shared
+//! egress channel. The fleet is **elastic**: sessions can be
+//! [removed](ShardedMonitorPool::remove_session) at any time — their engine
+//! slot is recycled by the next [`add_session`](ShardedMonitorPool::add_session)
+//! while decisions already in flight drain normally — so clients of a
+//! long-running pool can connect and leave at will (the network ingress
+//! service in `crates/ingress` rides exactly this surface). Each worker owns only the
 //! **per-session** state (a `Vec` of [`InferenceEngine`]s plus batch
 //! scratch); the [`TrainedPipeline`] — the model weights — is shared
 //! read-only behind an `Arc`, which the `&self` inference paths
@@ -78,7 +84,21 @@ enum Job {
         context: Option<Gesture>,
         submitted: Instant,
     },
-    AddSession,
+    /// Binds `session` to engine slot `slot` of this shard: a fresh slot
+    /// (`slot == engines.len()`) grows the shard, a recycled slot is reset
+    /// first. Queued in job order, so frames of the slot's previous tenant
+    /// (all enqueued before the [`Job::Unbind`] that freed it) are scored
+    /// and emitted under the old session id before the new tenant starts.
+    Bind {
+        slot: usize,
+        session: SessionId,
+    },
+    /// Frees a slot on session removal: the tick in flight (if the slot is
+    /// in it) runs first so the session's last queued frame still emits its
+    /// decision, then the engine resets for the next tenant.
+    Unbind {
+        slot: usize,
+    },
     ResetSession {
         slot: usize,
     },
@@ -226,7 +246,20 @@ pub struct ShardedMonitorPool {
     /// mark is still growing).
     recycle: Receiver<KinematicSample>,
     handles: Vec<JoinHandle<()>>,
-    sessions: usize,
+    /// Placement of every session id ever opened: `Some((shard, slot))`
+    /// while live, `None` once removed. Session ids are never reused
+    /// (decisions in flight at removal stay unambiguous); engine slots are.
+    assignments: Vec<Option<(usize, usize)>>,
+    /// Live sessions per shard — the occupancy the placement policy
+    /// balances and [`PoolStats`] exposes.
+    occupancy: Vec<usize>,
+    /// Engine slots ever created per shard (grow-only high-water mark).
+    shard_slots: Vec<usize>,
+    /// Freed engine slots per shard, reused LIFO by the next
+    /// [`ShardedMonitorPool::add_session`].
+    free: Vec<Vec<usize>>,
+    /// Live session count (`assignments` minus the removed ones).
+    live: usize,
     /// Per-session frame counters (frames submitted so far).
     submitted: Vec<usize>,
     /// Frames submitted whose decision has not been drained yet.
@@ -258,18 +291,15 @@ impl ShardedMonitorPool {
         let (recycle_tx, recycle_rx) = unbounded();
         let mut ingress = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
-        for shard in 0..workers {
+        for _ in 0..workers {
             let (tx, rx) = unbounded();
             let pipeline = Arc::clone(&pipeline);
             let egress = egress_tx.clone();
             let recycle = recycle_tx.clone();
             let threshold = config.threshold;
             let precision = config.precision;
-            let topology = ShardTopology { shard, workers };
             handles.push(std::thread::spawn(move || {
-                worker_loop(
-                    &pipeline, mode, threshold, precision, topology, &rx, &egress, &recycle,
-                );
+                worker_loop(&pipeline, mode, threshold, precision, &rx, &egress, &recycle);
             }));
             ingress.push(tx);
         }
@@ -279,7 +309,11 @@ impl ShardedMonitorPool {
             egress: egress_rx,
             recycle: recycle_rx,
             handles,
-            sessions: 0,
+            assignments: Vec::new(),
+            occupancy: vec![0; workers],
+            shard_slots: vec![0; workers],
+            free: vec![Vec::new(); workers],
+            live: 0,
             submitted: Vec::new(),
             in_flight: 0,
             barrier_token: 0,
@@ -302,19 +336,91 @@ impl ShardedMonitorPool {
         pool
     }
 
-    /// Opens a new session and returns its id. Sessions are assigned to
-    /// shards round-robin.
+    /// Opens a new session and returns its id. Placement balances shard
+    /// occupancy: the new session lands on the least-occupied shard (ties
+    /// to the lowest index — with no removals this reproduces the
+    /// historical round-robin deal exactly), reusing a freed engine slot
+    /// when one exists. Session ids are never reused; engine slots are.
     pub fn add_session(&mut self) -> SessionId {
-        let id = self.sessions;
-        self.send(id % self.ingress.len(), Job::AddSession);
-        self.sessions += 1;
+        let id = self.assignments.len();
+        let shard = self
+            .occupancy
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, occ)| occ)
+            .map(|(s, _)| s)
+            .unwrap_or(0);
+        // lint: allow(panic, reason = "shard comes from the occupancy index range; all per-shard vecs are workers long")
+        let slot = self.free[shard].pop().unwrap_or_else(|| {
+            let fresh = self.shard_slots[shard]; // lint: allow(panic, reason = "shard comes from the occupancy index range; all per-shard vecs are workers long")
+            self.shard_slots[shard] += 1; // lint: allow(panic, reason = "shard comes from the occupancy index range; all per-shard vecs are workers long")
+            fresh
+        });
+        self.send(shard, Job::Bind { slot, session: id });
+        self.assignments.push(Some((shard, slot)));
         self.submitted.push(0);
+        self.occupancy[shard] += 1; // lint: allow(panic, reason = "shard comes from the occupancy index range; all per-shard vecs are workers long")
+        self.live += 1;
         id
     }
 
-    /// Number of open sessions.
+    /// Removes `session` from the pool: its engine slot is freed for the
+    /// next [`ShardedMonitorPool::add_session`] (recycled slots go back to
+    /// the least-occupied shard's pool) and the freed capacity stops
+    /// counting toward shard occupancy. Decisions for frames submitted
+    /// before the removal are **not** lost — they drain through
+    /// [`ShardedMonitorPool::poll`] / [`ShardedMonitorPool::flush`] as
+    /// usual, tagged with the removed session's id (ids are never reused,
+    /// so late decisions stay unambiguous). Submitting to (or resetting) a
+    /// removed session panics.
+    ///
+    /// Surviving sessions are unaffected bit-for-bit: their decision
+    /// streams equal a pool that never saw the removed session (asserted
+    /// in `tests/serve_equivalence.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown or already-removed session id.
+    pub fn remove_session(&mut self, session: SessionId) {
+        let (shard, slot) = self.assignment(session);
+        // lint: allow(panic, reason = "assignment() above already panicked on unknown/removed ids; session is in range")
+        self.assignments[session] = None;
+        self.occupancy[shard] -= 1; // lint: allow(panic, reason = "shard stored by add_session, within the workers range")
+        self.live -= 1;
+        self.free[shard].push(slot); // lint: allow(panic, reason = "shard stored by add_session, within the workers range")
+        self.send(shard, Job::Unbind { slot });
+    }
+
+    /// Number of live (added and not removed) sessions.
     pub fn session_count(&self) -> usize {
-        self.sessions
+        self.live
+    }
+
+    /// Session ids handed out so far, removed ones included — the exclusive
+    /// upper bound of every id this pool ever tagged a decision with.
+    pub fn sessions_opened(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Whether `session` is currently live (opened and not removed).
+    /// Unknown ids are not live.
+    pub fn is_live(&self, session: SessionId) -> bool {
+        matches!(self.assignments.get(session), Some(Some(_)))
+    }
+
+    /// The live placement of `session`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown or removed session id.
+    fn assignment(&self, session: SessionId) -> (usize, usize) {
+        match self.assignments.get(session) {
+            Some(Some(a)) => *a,
+            // lint: allow(panic, reason = "documented panic on a removed session id")
+            Some(None) => panic!("session {session} was removed"),
+            // lint: allow(panic, reason = "documented panic on an unknown session id")
+            None => panic!("unknown session {session}"),
+        }
     }
 
     /// Number of shard worker threads.
@@ -381,12 +487,10 @@ impl ShardedMonitorPool {
         frame: &KinematicSample,
         context: Option<Gesture>,
     ) {
-        assert!(session < self.sessions, "unknown session {session}");
-        // lint: allow(panic, reason = "submitted is sessions long and session passed the assert above")
+        let (shard, slot) = self.assignment(session);
+        // lint: allow(panic, reason = "submitted grows in lockstep with assignments; assignment() above vouched for session")
         self.submitted[session] += 1;
         self.in_flight += 1;
-        let shard = session % self.ingress.len();
-        let slot = session / self.ingress.len();
         // Reuse a frame buffer the workers handed back; `Vec::clone_from`
         // copies in place when the manipulator count matches, so the
         // steady-state submit path performs no heap allocation.
@@ -416,13 +520,11 @@ impl ShardedMonitorPool {
     ///
     /// # Panics
     ///
-    /// Panics on an unknown session id.
+    /// Panics on an unknown or removed session id.
     pub fn reset_session(&mut self, session: SessionId) {
-        assert!(session < self.sessions, "unknown session {session}");
-        // lint: allow(panic, reason = "submitted is sessions long and session passed the assert above")
+        let (shard, slot) = self.assignment(session);
+        // lint: allow(panic, reason = "submitted grows in lockstep with assignments; assignment() above vouched for session")
         self.submitted[session] = 0;
-        let shard = session % self.ingress.len();
-        let slot = session / self.ingress.len();
         self.send(shard, Job::ResetSession { slot });
     }
 
@@ -514,7 +616,18 @@ impl ShardedMonitorPool {
     /// decision drain, every frame). Render with the [`PoolStats`] /
     /// [`LatencyStats`] `Display` impls.
     pub fn stats(&self) -> PoolStats {
-        PoolStats { compute: self.compute_telemetry.stats(), queue: self.queue_telemetry.stats() }
+        PoolStats {
+            compute: self.compute_telemetry.stats(),
+            queue: self.queue_telemetry.stats(),
+            occupancy: self.occupancy.clone(),
+        }
+    }
+
+    /// Live sessions per shard, index-aligned with the shard workers — the
+    /// occupancy [`ShardedMonitorPool::add_session`] balances. Sums to
+    /// [`ShardedMonitorPool::session_count`].
+    pub fn shard_occupancy(&self) -> &[usize] {
+        &self.occupancy
     }
 
     /// Clears the latency telemetry (e.g. between load phases). The fixed
@@ -583,26 +696,16 @@ impl Drop for ShardedMonitorPool {
     }
 }
 
-/// A worker's place in the pool: sessions are dealt round-robin, so global
-/// session id = `slot * workers + shard`.
-#[derive(Debug, Clone, Copy)]
-struct ShardTopology {
-    shard: usize,
-    workers: usize,
-}
-
-impl ShardTopology {
-    fn session_of(self, slot: usize) -> SessionId {
-        slot * self.workers + self.shard
-    }
-}
-
 /// The per-shard state a [`run_tick`] call consumes: the tick under
 /// construction plus per-session bookkeeping. All buffers are reused across
 /// ticks — the steady-state worker loop performs no per-tick allocation.
+/// Slots are recycled across sessions ([`Job::Bind`] / [`Job::Unbind`]);
+/// `session_ids[slot]` is the current tenant every emitted decision is
+/// tagged with.
 struct ShardState {
     engines: Vec<InferenceEngine>,
     frames_done: Vec<usize>,
+    session_ids: Vec<SessionId>,
     scratch: BatchScratch,
     steps: Vec<EngineStep>,
     /// The tick under construction (at most one job per session) and each
@@ -620,7 +723,6 @@ fn worker_loop(
     mode: ContextMode,
     threshold: f32,
     precision: Precision,
-    topology: ShardTopology,
     ingress: &Receiver<Job>,
     egress: &Sender<Event>,
     recycle: &Sender<KinematicSample>,
@@ -628,6 +730,7 @@ fn worker_loop(
     let mut state = ShardState {
         engines: Vec::new(),
         frames_done: Vec::new(),
+        session_ids: Vec::new(),
         scratch: BatchScratch::new(pipeline),
         steps: Vec::new(),
         tick: Vec::new(),
@@ -649,43 +752,71 @@ fn worker_loop(
                 continue;
             };
             match job {
-                Job::AddSession => {
-                    state.engines.push(InferenceEngine::with_precision(pipeline, mode, precision));
-                    state.frames_done.push(0);
-                    state.in_tick.push(false);
+                Job::Bind { slot, session } => {
+                    if slot == state.engines.len() {
+                        state
+                            .engines
+                            .push(InferenceEngine::with_precision(pipeline, mode, precision));
+                        state.frames_done.push(0);
+                        state.session_ids.push(session);
+                        state.in_tick.push(false);
+                    } else {
+                        // Recycled slot: frames of the previous tenant were
+                        // all enqueued before the Unbind that freed it, so
+                        // the engine is already reset and out of the tick —
+                        // but reset defensively anyway; a stale window
+                        // leaking into a new session would corrupt silently.
+                        // lint: allow(panic, reason = "the pool binds only freed slots or the one fresh slot at engines.len()")
+                        if state.in_tick[slot] {
+                            run_tick(pipeline, threshold, &mut state, egress, recycle);
+                        }
+                        state.engines[slot].reset(); // lint: allow(panic, reason = "the pool binds only freed slots or the one fresh slot at engines.len()")
+                        state.frames_done[slot] = 0;
+                        state.session_ids[slot] = session; // lint: allow(panic, reason = "the pool binds only freed slots or the one fresh slot at engines.len()")
+                    }
+                }
+                Job::Unbind { slot } => {
+                    // lint: allow(panic, reason = "the pool only unbinds slots it bound earlier")
+                    if state.in_tick[slot] {
+                        // The session's last queued frame must still emit
+                        // its decision before the slot is recycled.
+                        run_tick(pipeline, threshold, &mut state, egress, recycle);
+                    }
+                    state.engines[slot].reset(); // lint: allow(panic, reason = "the pool only unbinds slots it bound earlier")
+                    state.frames_done[slot] = 0;
                 }
                 Job::ResetSession { slot } => {
-                    // lint: allow(panic, reason = "the pool only routes slots it created via AddSession at construction")
+                    // lint: allow(panic, reason = "the pool only routes slots it bound via Bind")
                     if state.in_tick[slot] {
                         // The session's current frame must be scored (and
                         // its decision emitted) before the state rewinds.
-                        run_tick(pipeline, threshold, topology, &mut state, egress, recycle);
+                        run_tick(pipeline, threshold, &mut state, egress, recycle);
                     }
-                    state.engines[slot].reset(); // lint: allow(panic, reason = "the pool only routes slots it created via AddSession at construction")
+                    state.engines[slot].reset(); // lint: allow(panic, reason = "the pool only routes slots it bound via Bind")
                     state.frames_done[slot] = 0;
                 }
                 Job::Stall { dur } => std::thread::sleep(dur),
                 Job::Barrier { token } => {
                     // Everything before the barrier must be visible.
-                    run_tick(pipeline, threshold, topology, &mut state, egress, recycle);
+                    run_tick(pipeline, threshold, &mut state, egress, recycle);
                     let _ = egress.send(Event::BarrierAck { token });
                 }
                 Job::Frame { slot, frame, context, submitted } => {
-                    // lint: allow(panic, reason = "the pool only routes slots it created via AddSession at construction")
+                    // lint: allow(panic, reason = "the pool only routes slots it bound via Bind")
                     if state.in_tick[slot] {
                         // Second frame of the same session: the current
                         // tick must complete first to keep per-session
                         // frame order (and window validity).
-                        run_tick(pipeline, threshold, topology, &mut state, egress, recycle);
+                        run_tick(pipeline, threshold, &mut state, egress, recycle);
                     }
-                    // lint: allow(panic, reason = "the pool only routes slots it created via AddSession at construction")
+                    // lint: allow(panic, reason = "the pool only routes slots it bound via Bind")
                     state.in_tick[slot] = true;
                     state.tick.push(BatchJob { engine: slot, frame, context });
                     state.tick_submitted.push(submitted);
                 }
             }
         }
-        run_tick(pipeline, threshold, topology, &mut state, egress, recycle);
+        run_tick(pipeline, threshold, &mut state, egress, recycle);
     }
 }
 
@@ -694,7 +825,6 @@ fn worker_loop(
 fn run_tick(
     pipeline: &TrainedPipeline,
     threshold: f32,
-    topology: ShardTopology,
     state: &mut ShardState,
     egress: &Sender<Event>,
     recycle: &Sender<KinematicSample>,
@@ -714,7 +844,7 @@ fn run_tick(
         state.in_tick[slot] = false; // lint: allow(panic, reason = "tick jobs carry slots the pool created via AddSession; per-slot vecs grow in lockstep")
         let _ = egress.send(Event::Decision {
             decision: Decision {
-                session: topology.session_of(slot),
+                session: state.session_ids[slot], // lint: allow(panic, reason = "tick jobs carry slots the pool bound via Bind; per-slot vecs grow in lockstep")
                 frame: frame_idx,
                 output: output_from_step(step, threshold, per_frame_ms),
             },

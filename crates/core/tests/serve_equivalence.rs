@@ -373,3 +373,99 @@ fn drain_deadline_leaves_stalled_decisions_for_the_next_drain() {
     assert_eq!(from_stalled.len(), 1, "the delayed frame produces exactly one decision");
     assert_eq!(from_stalled[0].frame, 0);
 }
+
+/// Fleet elasticity: removing a session mid-stream leaves every surviving
+/// session's decision stream bit-identical to a pool that never saw the
+/// removed one, the removed session's in-flight decisions still drain
+/// (exactly one per submitted frame), and the freed slot is recycled by the
+/// next `add_session` with a cold engine.
+#[test]
+fn remove_session_leaves_survivors_bit_identical() {
+    let (pipeline, ds) = tiny_pipeline(71);
+    let shared = Arc::new(pipeline);
+    let cfg = ServeConfig { workers: 2, threshold: 0.5, precision: Precision::F32 };
+    let frames = 60usize;
+    let half = frames / 2;
+
+    let collect = |pool: &mut ShardedMonitorPool, n: usize| -> Vec<Vec<Key>> {
+        let mut outs: Vec<Vec<Key>> = vec![Vec::new(); n];
+        for d in pool.flush() {
+            if let Some(o) = d.output {
+                outs[d.session].push((o.gesture.index(), o.unsafe_probability.to_bits(), o.alert));
+            }
+        }
+        outs
+    };
+
+    // Elastic pool: three sessions, session 1 leaves at the halfway point
+    // with frames still in flight (no drain before the removal).
+    let mut pool =
+        ShardedMonitorPool::with_sessions(Arc::clone(&shared), ContextMode::Predicted, cfg, 3);
+    assert_eq!(pool.stats().occupancy, vec![2, 1], "3 sessions over 2 shards");
+    for t in 0..half {
+        for s in 0..3 {
+            pool.submit(s, &ds.demos[s].frames[t]).expect("Predicted mode");
+        }
+    }
+    pool.remove_session(1);
+    assert!(!pool.is_live(1));
+    assert_eq!(pool.session_count(), 2);
+    assert_eq!(pool.sessions_opened(), 3, "ids are never reused");
+    assert_eq!(pool.stats().occupancy, vec![2, 0], "the freed slot stops counting");
+    for t in half..frames {
+        for s in [0usize, 2] {
+            pool.submit(s, &ds.demos[s].frames[t]).expect("Predicted mode");
+        }
+    }
+    let mut elastic = collect(&mut pool, 3);
+    let removed = elastic.remove(1);
+    assert!(!removed.is_empty(), "in-flight decisions of the removed session still drain");
+
+    // Reference pool: only the two survivors, same frame schedule.
+    let mut reference_pool =
+        ShardedMonitorPool::new(Arc::clone(&shared), ContextMode::Predicted, cfg);
+    let a = reference_pool.add_session();
+    let b = reference_pool.add_session();
+    for t in 0..frames {
+        reference_pool.submit(a, &ds.demos[0].frames[t]).expect("Predicted mode");
+        reference_pool.submit(b, &ds.demos[2].frames[t]).expect("Predicted mode");
+    }
+    let reference = collect(&mut reference_pool, 2);
+    assert_eq!(
+        elastic,
+        vec![reference[0].clone(), reference[1].clone()],
+        "survivors must be bit-identical to a pool that never saw the removed session"
+    );
+
+    // The freed slot is recycled: the next add_session lands on the
+    // just-freed shard and starts cold — bit-identical to a fresh pool.
+    let id = pool.add_session();
+    assert_eq!(id, 3, "session ids keep growing");
+    assert_eq!(pool.stats().occupancy, vec![2, 1], "recycled slot fills the gap");
+    for t in 0..half {
+        pool.submit(id, &ds.demos[1].frames[t]).expect("Predicted mode");
+    }
+    let recycled = collect(&mut pool, 4).remove(3);
+    let mut fresh_pool =
+        ShardedMonitorPool::with_sessions(Arc::clone(&shared), ContextMode::Predicted, cfg, 1);
+    for t in 0..half {
+        fresh_pool.submit(0, &ds.demos[1].frames[t]).expect("Predicted mode");
+    }
+    let fresh = collect(&mut fresh_pool, 1).remove(0);
+    assert_eq!(recycled, fresh, "a recycled slot must start as cold as a fresh pool");
+}
+
+/// Submitting to a removed session is a programming error and dies loud.
+#[test]
+#[should_panic(expected = "removed")]
+fn submit_to_removed_session_panics() {
+    let (pipeline, ds) = tiny_pipeline(73);
+    let mut pool = ShardedMonitorPool::with_sessions(
+        Arc::new(pipeline),
+        ContextMode::Predicted,
+        ServeConfig { workers: 2, threshold: 0.5, precision: Precision::F32 },
+        2,
+    );
+    pool.remove_session(0);
+    let _ = pool.submit(0, &ds.demos[0].frames[0]);
+}

@@ -133,7 +133,7 @@ impl FleetConfig {
 /// Serving-side accounting of a fleet campaign: how the reaction-time
 /// margin decomposes into compute vs. queueing, and how often the deadline
 /// gate had to fail safe.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetStats {
     /// Guarded procedures run.
     pub trials: usize,
@@ -267,6 +267,202 @@ pub fn run_fleet_campaign(
 
     let stats = FleetStats { trials: work.len(), frames, deadline_misses, pool: pool.stats() };
     Ok((tally_closed_loop(&grid, outcomes, sim.hz, reactor_cfg), stats))
+}
+
+/// Per-trial result of an elastic wave ([`run_elastic_wave`]): the
+/// deterministic fields of the trial's closed loop plus its warm
+/// decision keys, comparable bit-for-bit across fleet shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticOutcome {
+    /// Ticks this trial ran (its own duration — trials differ).
+    pub ticks: usize,
+    /// Failure observed by the monitored run, if any.
+    pub monitored_failure: Option<FailureMode>,
+    /// First alert tick of the trial's gate.
+    pub first_alert_tick: Option<usize>,
+    /// Tick mitigation engaged, if it did.
+    pub engaged_tick: Option<usize>,
+    /// Ticks spent gated.
+    pub ticks_gated: usize,
+    /// `(frame, gesture index, score bits, alert)` of every warm
+    /// decision, in frame order — the bit-equality payload.
+    pub decision_keys: Vec<(usize, usize, u32, bool)>,
+}
+
+/// Serving-side accounting of an elastic wave.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticStats {
+    /// Trials run (one per duration entry).
+    pub trials: usize,
+    /// Frames submitted across all trials.
+    pub frames: usize,
+    /// Most sessions live at once (≤ [`FleetConfig::fleet`]).
+    pub peak_live: usize,
+    /// Session ids the pool handed out — equals `trials`: every trial got
+    /// a fresh session, finished ones were removed, slots recycled.
+    pub sessions_opened: usize,
+    /// Per-shard live-session occupancy after the wave — all zeros when
+    /// every trial drained cleanly.
+    pub final_occupancy: Vec<usize>,
+}
+
+/// Runs a **variable-length** trial cohort through one pool with elastic
+/// session membership: at most [`FleetConfig::fleet`] trials run
+/// concurrently in lockstep, each lasting `durations_s[i]` seconds of
+/// sim time. When a trial ends, its session is **removed** from the pool
+/// ([`ShardedMonitorPool::remove_session`]) and the freed slot admits
+/// the next pending trial — the fixed-wave chunking of
+/// [`run_fleet_campaign`] (which pads every wave to the longest trial)
+/// is replaced by drain-and-readmit.
+///
+/// With the barrier drain (the default), every trial's
+/// [`ElasticOutcome`] is **bit-identical** regardless of fleet size,
+/// worker count, or which sessions it shared the pool with — the
+/// elasticity machinery (occupancy-based placement, slot recycling) is
+/// invisible in the decisions. The `faults::fleet` test suite pins this
+/// against solo runs.
+///
+/// # Errors
+///
+/// [`ConfigError`] when the reactor configuration is invalid for
+/// `pipeline`.
+pub fn run_elastic_wave(
+    cfg: &FleetConfig,
+    pipeline: &Arc<TrainedPipeline>,
+    durations_s: &[f32],
+) -> Result<(Vec<ElasticOutcome>, ElasticStats), ConfigError> {
+    let reactor_cfg = cfg.closed_loop.reactor;
+    reactor_cfg.validate_for(pipeline)?;
+    let grid = table3_grid();
+    let work = grid_work(&grid, &cfg.closed_loop.campaign);
+    let base_sim = cfg.closed_loop.campaign.sim;
+    let fleet = cfg.fleet.max(1);
+
+    let mut pool = ShardedMonitorPool::new(
+        Arc::clone(pipeline),
+        reactor_cfg.mode,
+        ServeConfig {
+            workers: cfg.workers.max(1),
+            threshold: reactor_cfg.threshold,
+            precision: reactor_cfg.precision,
+        },
+    );
+
+    struct Live {
+        trial: usize,
+        session: usize,
+        ticks: usize,
+        stepped: usize,
+        sim: BlockTransferSim,
+        guard: Guarded<FaultInjector, PooledReactor>,
+        keys: Vec<(usize, usize, u32, bool)>,
+    }
+
+    /// Routes a drained batch to the live cohort: gate feedback plus the
+    /// warm-key record. Linear session lookup — the cohort is fleet-sized.
+    fn route_elastic(decisions: &[Decision], live: &mut [Live]) {
+        for d in decisions {
+            if let Some(l) = live.iter_mut().find(|l| l.session == d.session) {
+                l.guard.reactor.on_decision(d);
+                if let Some(o) = d.output {
+                    l.keys.push((
+                        d.frame,
+                        o.gesture.index(),
+                        o.unsafe_probability.to_bits(),
+                        o.alert,
+                    ));
+                }
+            }
+        }
+    }
+
+    let mut outcomes: Vec<Option<ElasticOutcome>> = vec![None; durations_s.len()];
+    let mut live: Vec<Live> = Vec::new();
+    let mut next_trial = 0usize;
+    let mut frames = 0usize;
+    let mut peak_live = 0usize;
+    let mut decisions: Vec<Decision> = Vec::new();
+
+    loop {
+        // Admit pending trials into freed (or fresh) capacity. Session
+        // ids are never reused; engine slots are — that recycling is
+        // exactly what this wave exercises.
+        while live.len() < fleet && next_trial < durations_s.len() {
+            let (ci, seed) = work[next_trial % work.len().max(1)]; // lint: allow(panic, reason = "index is taken modulo the non-empty work list's length")
+            let trial_sim = SimConfig { duration_s: durations_s[next_trial], ..base_sim }; // lint: allow(panic, reason = "the admit loop condition bounds next_trial by durations_s.len()")
+            let (sim_run, guard) =
+                make_guarded_trial(&grid, ci, seed, trial_sim, reactor_cfg, cfg.deadline_ticks)?;
+            live.push(Live {
+                trial: next_trial,
+                session: pool.add_session(),
+                ticks: sim_run.ticks(),
+                stepped: 0,
+                sim: sim_run,
+                guard,
+                keys: Vec::new(),
+            });
+            next_trial += 1;
+        }
+        if live.is_empty() {
+            break;
+        }
+        peak_live = peak_live.max(live.len());
+
+        // One lockstep tick across whoever is live right now.
+        for l in &mut live {
+            let frame = l.sim.step(&mut l.guard);
+            // Non-Perfect mode was validated above, the sole way submit
+            // can fail — surface it as the config error it is.
+            pool.submit(l.session, frame).map_err(|_| ConfigError::PerfectContext)?;
+            l.stepped += 1;
+            frames += 1;
+        }
+        drain_serving_tick(&mut pool, cfg.tick_budget_ms, &mut decisions);
+        route_elastic(&decisions, &mut live);
+
+        // Budget mode can leave a finishing trial's decisions in flight;
+        // drain them before the session is removed so nothing is lost.
+        if cfg.tick_budget_ms.is_some() && live.iter().any(|l| l.stepped >= l.ticks) {
+            decisions.clear();
+            pool.flush_into(&mut decisions);
+            route_elastic(&decisions, &mut live);
+        }
+
+        // Retire finished trials: the barrier above delivered their last
+        // decisions, so removal drops nothing and frees the slot.
+        let mut i = 0;
+        while i < live.len() {
+            // lint: allow(panic, reason = "the retire loop condition bounds i by live.len()")
+            if live[i].stepped < live[i].ticks {
+                i += 1;
+                continue;
+            }
+            let l = live.swap_remove(i);
+            pool.remove_session(l.session);
+            let trial = l.sim.finish();
+            let gate = l.guard.reactor.gate();
+            // lint: allow(panic, reason = "trial index was minted from the outcomes range at admission")
+            outcomes[l.trial] = Some(ElasticOutcome {
+                ticks: l.ticks,
+                monitored_failure: trial.outcome.failure,
+                first_alert_tick: gate.first_alert_tick(),
+                engaged_tick: gate.engaged_tick(),
+                ticks_gated: gate.ticks_gated(),
+                decision_keys: l.keys,
+            });
+        }
+    }
+
+    let stats = ElasticStats {
+        trials: durations_s.len(),
+        frames,
+        peak_live,
+        sessions_opened: pool.sessions_opened(),
+        final_occupancy: pool.shard_occupancy().to_vec(),
+    };
+    let outcomes: Vec<ElasticOutcome> = outcomes.into_iter().flatten().collect();
+    assert_eq!(outcomes.len(), durations_s.len(), "every admitted trial must retire exactly once");
+    Ok((outcomes, stats))
 }
 
 /// Outcome of a forced-deadline-miss drill ([`run_forced_miss_drill`]).
@@ -484,6 +680,50 @@ mod tests {
         assert_eq!(
             report.decisions_applied, report.frames,
             "every late decision is applied exactly once"
+        );
+    }
+
+    #[test]
+    fn elastic_wave_mixed_lengths_bit_identical_to_solo_sessions() {
+        let pipeline = bt_pipeline();
+        // Five trials, four lengths: the short ones finish first, their
+        // sessions are removed mid-wave, and trial 5 is admitted into a
+        // recycled slot while the long trials are still streaming.
+        let durations = [2.0f32, 4.0, 3.0, 2.0, 3.0];
+
+        let wide = fleet_cfg(0.02, 3, 4);
+        let (out_wide, stats_wide) = run_elastic_wave(&wide, &pipeline, &durations).expect("valid");
+        let solo = fleet_cfg(0.02, 1, 1);
+        let (out_solo, stats_solo) = run_elastic_wave(&solo, &pipeline, &durations).expect("valid");
+
+        // The bit-equality proof: concurrency, mixed lengths, removal,
+        // and slot recycling change *nothing* about any trial's decision
+        // stream or closed-loop outcome.
+        assert_eq!(
+            out_wide, out_solo,
+            "elastic wave must be bit-identical to running every trial solo"
+        );
+        assert!(
+            out_wide.iter().any(|o| !o.decision_keys.is_empty()),
+            "no trial ever warmed up — the equality above would be vacuous"
+        );
+        assert_ne!(
+            out_wide.iter().map(|o| o.ticks).min(),
+            out_wide.iter().map(|o| o.ticks).max(),
+            "durations must actually differ for this test to exercise elasticity"
+        );
+
+        // Elasticity accounting: the wide wave really ran concurrently
+        // (and readmitted into freed capacity), the solo wave serially.
+        assert_eq!(stats_wide.peak_live, 4);
+        assert_eq!(stats_solo.peak_live, 1);
+        assert_eq!(stats_wide.sessions_opened, durations.len());
+        assert_eq!(stats_solo.sessions_opened, durations.len());
+        assert_eq!(stats_wide.frames, stats_solo.frames);
+        assert!(
+            stats_wide.final_occupancy.iter().all(|&n| n == 0),
+            "every session must have been removed: occupancy {:?}",
+            stats_wide.final_occupancy
         );
     }
 

@@ -36,5 +36,8 @@ pub use campaign::{
     GridCell, TwinOutcome,
 };
 pub use dataset::{build_block_transfer_dataset, relabel_with_injection, BlockTransferDataConfig};
-pub use fleet::{run_fleet_campaign, run_forced_miss_drill, DrillReport, FleetConfig, FleetStats};
+pub use fleet::{
+    run_elastic_wave, run_fleet_campaign, run_forced_miss_drill, DrillReport, ElasticOutcome,
+    ElasticStats, FleetConfig, FleetStats,
+};
 pub use spec::{CartesianFault, FaultInjector, FaultSpec, GrasperFault, TARGET_ARM};

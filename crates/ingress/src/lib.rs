@@ -1,0 +1,34 @@
+//! Network ingress: the [`ShardedMonitorPool`] as a real service.
+//!
+//! Everything before this crate multiplexes surgical-robot telemetry
+//! streams onto the monitor fleet *in process*. This crate puts a wire
+//! in the middle without giving up the repo's core guarantee: the
+//! decision stream a client reads off the socket is **bit-identical**
+//! to what an in-process pool produces for the same frames
+//! (`tests/e2e.rs`, gated in CI by `repro_serve --smoke`).
+//!
+//! - [`codec`] — length-prefixed versioned wire protocol on the
+//!   vendored `bytes`; allocation-free encode/decode on the per-frame
+//!   path; malformed input is a typed [`codec::ProtoError`], never a
+//!   panic.
+//! - [`server`] — std-net TCP front end: acceptor + per-connection
+//!   reader/writer threads bridged to the pool over crossbeam channels,
+//!   with an admission controller that *sheds* (typed BUSY) instead of
+//!   delaying admitted sessions.
+//! - [`client`] — blocking client used by tests and tools.
+//! - [`loadgen`] — closed-loop load generator: hundreds of concurrent
+//!   synthetic sessions, per-frame round-trip latency quantiles, shed
+//!   accounting (`BENCH_ingress.json` comes from `repro_serve`'s sweep
+//!   over it).
+//!
+//! [`ShardedMonitorPool`]: context_monitor::ShardedMonitorPool
+
+pub mod client;
+pub mod codec;
+pub mod loadgen;
+pub mod server;
+
+pub use client::{ClientError, Connection, ServerMsg};
+pub use codec::{DecisionMsg, Decoded, Decoder, ErrorCode, FrameMsg, ProtoError};
+pub use loadgen::{LatencySummary, LoadReport, LoadgenConfig};
+pub use server::{IngressServer, ServerConfig, ServerStats};

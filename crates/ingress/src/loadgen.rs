@@ -1,0 +1,321 @@
+//! Closed-loop load generator for the ingress service.
+//!
+//! Drives `sessions` concurrent synthetic sessions (multiplexed over a
+//! bounded number of driver threads — thousands of sessions do not need
+//! thousands of client threads), each keeping exactly one frame in
+//! flight: a session sends frame `n+1` only after frame `n`'s DECISION
+//! came back. Offered load therefore scales with admitted sessions and
+//! the sweep in `repro_serve` finds the knee by raising the session
+//! count, not by open-loop flooding (which would measure queue growth,
+//! not service latency).
+//!
+//! Latency samples are ingress-to-egress round trips (frame written →
+//! decision decoded) of **admitted** sessions only; shed sessions are
+//! counted, not timed — BUSY is a constant-time reply by design.
+
+use std::io;
+use std::time::{Duration, Instant};
+
+use kinematics::{KinematicSample, ManipulatorState, Mat3, Vec3};
+
+use crate::client::{ClientError, Connection, ServerMsg};
+
+/// One load point.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent sessions to offer.
+    pub sessions: usize,
+    /// Frames each admitted session streams before GOODBYE.
+    pub frames_per_session: usize,
+    /// Driver threads multiplexing the sessions (clamped to
+    /// `1..=sessions`).
+    pub threads: usize,
+    /// Manipulators per synthetic frame (must match the served
+    /// pipeline).
+    pub manipulators: usize,
+    /// Per-frame round-trip budget used for the deadline-miss count.
+    pub deadline_ms: f64,
+    /// Seed for the deterministic synthetic kinematics.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            sessions: 8,
+            frames_per_session: 100,
+            threads: 8,
+            manipulators: 2,
+            deadline_ms: 33.3,
+            seed: 2020,
+        }
+    }
+}
+
+/// Latency quantiles over admitted-session round trips, in ms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Worst observed.
+    pub max_ms: f64,
+    /// Mean.
+    pub mean_ms: f64,
+}
+
+/// What one load point measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Sessions offered (`LoadgenConfig::sessions`).
+    pub offered: usize,
+    /// Sessions admitted (WELCOME).
+    pub admitted: usize,
+    /// Sessions shed (BUSY).
+    pub shed: usize,
+    /// Sessions that failed with an unexpected socket/protocol error.
+    pub errors: usize,
+    /// Frames sent by admitted sessions.
+    pub frames_sent: u64,
+    /// Decisions received by admitted sessions.
+    pub decisions: u64,
+    /// Round trips above `LoadgenConfig::deadline_ms`.
+    pub deadline_misses: u64,
+    /// Round-trip quantiles (all-zero if nothing was admitted).
+    pub latency: LatencySummary,
+    /// Wall-clock of the whole load point, seconds.
+    pub elapsed_s: f64,
+    /// Decisions per second across all admitted sessions.
+    pub decisions_per_sec: f64,
+}
+
+/// splitmix64 — tiny deterministic generator for synthetic kinematics.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A float in `[-1, 1)` from the generator's top bits.
+fn unit(state: &mut u64) -> f32 {
+    ((splitmix(state) >> 40) as f32 / (1u64 << 23) as f32) * 2.0 - 1.0
+}
+
+/// Fills `out` with the deterministic synthetic frame `(seed, t)` —
+/// same inputs, bit-identical frame, on every thread and every run.
+pub fn synthetic_sample_into(seed: u64, t: u64, manipulators: usize, out: &mut KinematicSample) {
+    out.manipulators.clear();
+    for m in 0..manipulators as u64 {
+        let mut state =
+            seed ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ m.wrapping_mul(0xD134_2543_DE82_EF95);
+        let position = Vec3::new(unit(&mut state), unit(&mut state), unit(&mut state));
+        let mut rotation = Mat3::default();
+        for cell in &mut rotation.m {
+            *cell = unit(&mut state);
+        }
+        out.manipulators.push(ManipulatorState {
+            position,
+            rotation,
+            grasper_angle: unit(&mut state),
+            linear_velocity: Vec3::new(unit(&mut state), unit(&mut state), unit(&mut state)),
+            angular_velocity: Vec3::new(unit(&mut state), unit(&mut state), unit(&mut state)),
+        });
+    }
+}
+
+struct Session {
+    conn: Connection,
+    id: usize,
+    sent: u64,
+    got: u64,
+    in_flight: Option<Instant>,
+    done: bool,
+}
+
+#[derive(Default)]
+struct ThreadOut {
+    admitted: usize,
+    shed: usize,
+    errors: usize,
+    frames_sent: u64,
+    decisions: u64,
+    latencies_ms: Vec<f64>,
+}
+
+/// Runs one load point against a serving ingress at `addr`.
+pub fn run(addr: &str, cfg: &LoadgenConfig) -> io::Result<LoadReport> {
+    let threads = cfg.threads.clamp(1, cfg.sessions.max(1));
+    let start = Instant::now();
+    let mut merged = ThreadOut::default();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for worker in 0..threads {
+            let cfg = cfg.clone();
+            handles.push(scope.spawn(move || {
+                let ids: Vec<usize> =
+                    (0..cfg.sessions).filter(|id| id % threads == worker).collect();
+                drive_sessions(addr, &cfg, &ids)
+            }));
+        }
+        for handle in handles {
+            let out = handle.join().unwrap_or_default();
+            merged.admitted += out.admitted;
+            merged.shed += out.shed;
+            merged.errors += out.errors;
+            merged.frames_sent += out.frames_sent;
+            merged.decisions += out.decisions;
+            merged.latencies_ms.extend(out.latencies_ms);
+        }
+    });
+
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let mut lat = merged.latencies_ms;
+    lat.sort_by(|a, b| a.total_cmp(b));
+    let quantile = |q: f64| -> f64 {
+        if lat.is_empty() {
+            return 0.0;
+        }
+        let idx = ((lat.len() - 1) as f64 * q).round() as usize;
+        lat.get(idx).copied().unwrap_or(0.0)
+    };
+    let mean = if lat.is_empty() { 0.0 } else { lat.iter().sum::<f64>() / lat.len() as f64 };
+    let deadline_misses = lat.iter().filter(|&&ms| ms > cfg.deadline_ms).count() as u64;
+
+    Ok(LoadReport {
+        offered: cfg.sessions,
+        admitted: merged.admitted,
+        shed: merged.shed,
+        errors: merged.errors,
+        frames_sent: merged.frames_sent,
+        decisions: merged.decisions,
+        deadline_misses,
+        latency: LatencySummary {
+            p50_ms: quantile(0.50),
+            p99_ms: quantile(0.99),
+            max_ms: lat.last().copied().unwrap_or(0.0),
+            mean_ms: mean,
+        },
+        elapsed_s,
+        decisions_per_sec: if elapsed_s > 0.0 { merged.decisions as f64 / elapsed_s } else { 0.0 },
+    })
+}
+
+/// Drives this thread's share of the sessions: admit all, then
+/// round-robin the closed-loop send/receive until every admitted
+/// session has streamed its frames, then GOODBYE/BYE each one.
+fn drive_sessions(addr: &str, cfg: &LoadgenConfig, ids: &[usize]) -> ThreadOut {
+    let mut out = ThreadOut::default();
+    let mut sessions: Vec<Session> = Vec::new();
+
+    for &id in ids {
+        let mut conn = match Connection::connect(addr) {
+            Ok(c) => c,
+            Err(_) => {
+                out.errors += 1;
+                continue;
+            }
+        };
+        if conn.send_hello(false).is_err() {
+            out.errors += 1;
+            continue;
+        }
+        match conn.recv() {
+            Ok(ServerMsg::Welcome { .. }) => {
+                if conn.set_nonblocking(true).is_err() {
+                    out.errors += 1;
+                    continue;
+                }
+                out.admitted += 1;
+                sessions.push(Session { conn, id, sent: 0, got: 0, in_flight: None, done: false });
+            }
+            Ok(ServerMsg::Busy { .. }) => out.shed += 1,
+            _ => out.errors += 1,
+        }
+    }
+
+    let frames = cfg.frames_per_session as u64;
+    let mut sample = KinematicSample::default();
+    loop {
+        let mut progressed = false;
+        let mut remaining = false;
+        for sess in &mut sessions {
+            if sess.done {
+                continue;
+            }
+            if sess.in_flight.is_none() && sess.sent < frames {
+                let seed = cfg.seed ^ (sess.id as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+                synthetic_sample_into(seed, sess.sent, cfg.manipulators, &mut sample);
+                let sent_at = Instant::now();
+                if sess.conn.send_frame(sess.sent as u32, None, &sample).is_err() {
+                    out.errors += 1;
+                    sess.done = true;
+                    continue;
+                }
+                sess.sent += 1;
+                out.frames_sent += 1;
+                sess.in_flight = Some(sent_at);
+                progressed = true;
+            }
+            match sess.conn.try_recv() {
+                Ok(None) => {}
+                Ok(Some(ServerMsg::Decision(_))) => {
+                    if let Some(sent_at) = sess.in_flight.take() {
+                        out.latencies_ms.push(sent_at.elapsed().as_secs_f64() * 1e3);
+                    }
+                    sess.got += 1;
+                    out.decisions += 1;
+                    progressed = true;
+                }
+                Ok(Some(_)) | Err(_) => {
+                    out.errors += 1;
+                    sess.done = true;
+                    continue;
+                }
+            }
+            if sess.sent == frames && sess.got == frames {
+                sess.done = true;
+            } else {
+                remaining = true;
+            }
+        }
+        if !remaining {
+            break;
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+
+    // Clean teardown: GOODBYE, wait for BYE.
+    for sess in &mut sessions {
+        if sess.got != frames {
+            continue; // errored out above; socket drops on scope exit
+        }
+        if sess.conn.set_nonblocking(false).is_err()
+            || sess.conn.set_read_timeout(Some(Duration::from_secs(10))).is_err()
+            || sess.conn.send_goodbye().is_err()
+        {
+            out.errors += 1;
+            continue;
+        }
+        loop {
+            match sess.conn.recv() {
+                Ok(ServerMsg::Bye { .. }) => break,
+                Ok(ServerMsg::Decision(_)) => {}
+                Ok(_) | Err(ClientError::Io(_)) | Err(ClientError::Proto(_)) => {
+                    out.errors += 1;
+                    break;
+                }
+                Err(ClientError::Closed) => {
+                    out.errors += 1;
+                    break;
+                }
+            }
+        }
+    }
+    out
+}

@@ -273,8 +273,10 @@ fn check_panic(file: &SourceFile, allows: &mut AllowTable, out: &mut FileFinding
 
 /// Keywords that legitimately precede `[` without it being an index
 /// expression (array literals / types / patterns).
-const PRE_BRACKET_KEYWORDS: &[&str] =
-    &["mut", "in", "return", "break", "dyn", "as", "ref", "move", "else", "if", "match", "const"];
+const PRE_BRACKET_KEYWORDS: &[&str] = &[
+    "mut", "in", "return", "break", "dyn", "as", "ref", "move", "else", "if", "match", "const",
+    "let",
+];
 
 /// Flags `expr[...]` indexing (which panics out-of-bounds) outside tests.
 /// An index expression is a `[` directly preceded (modulo whitespace) by an
@@ -311,6 +313,11 @@ fn check_indexing(file: &SourceFile, allows: &mut AllowTable, out: &mut FileFind
             }
             let word = &file.masked[w..p];
             if PRE_BRACKET_KEYWORDS.contains(&word) {
+                continue;
+            }
+            // A lifetime is a type position, never an index base
+            // (`&'a [u8]`).
+            if w > 0 && b[w - 1] == b'\'' {
                 continue;
             }
         }
@@ -542,6 +549,16 @@ mod tests {
     #[test]
     fn unwrap_or_is_not_flagged() {
         let f = findings("fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n", false, true);
+        assert!(f.diagnostics.is_empty(), "{:?}", f.diagnostics);
+    }
+
+    #[test]
+    fn patterns_and_types_are_not_index_expressions() {
+        // `let` destructuring and lifetime-qualified slice types both put
+        // an identifier before `[` without any indexing happening.
+        let src = "fn f(v: kinematics::Vec3, s: &'a [u8]) {\n    \
+                   let [x, y, z] = v.to_array();\n    let _ = (x, y, z, s);\n}\n";
+        let f = findings(src, false, true);
         assert!(f.diagnostics.is_empty(), "{:?}", f.diagnostics);
     }
 

@@ -1,5 +1,10 @@
 //! Offline stand-in for the subset of the `bytes` crate this workspace uses:
-//! [`Bytes`] as a cheaply clonable, immutable byte buffer.
+//! [`Bytes`] as a cheaply clonable immutable byte buffer, plus the cursor
+//! API the ingress wire codec is built on — the [`Buf`] / [`BufMut`] traits
+//! and a growable [`BytesMut`] with `split_to`. Every method mirrors the
+//! real crate's documented semantics (panics included) and is pinned by the
+//! unit tests below; the real crate's zero-copy sharing is replaced by
+//! plain copies, which changes costs but never observable behavior.
 
 use std::sync::Arc;
 
@@ -62,6 +67,298 @@ impl std::fmt::Debug for Bytes {
     }
 }
 
+/// Read cursor over a contiguous byte region (the real crate's `Buf`,
+/// restricted to single-chunk buffers — `chunk()` always returns everything
+/// remaining).
+///
+/// Like the real crate, the `get_*` methods **panic** when fewer than the
+/// requested bytes remain; length-check with [`Buf::remaining`] first on
+/// untrusted input (the ingress codec does exactly that).
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// The remaining bytes, starting at the cursor.
+    fn chunk(&self) -> &[u8];
+
+    /// Advances the cursor by `cnt` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cnt > self.remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copies `dst.len()` bytes into `dst`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "copy_to_slice out of bounds");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Reads one byte, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no bytes remain.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u16`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 bytes remain.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 4 bytes remain.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 8 bytes remain.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f32` (IEEE-754 bit pattern preserved
+    /// exactly), advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 4 bytes remain.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past the end of the slice");
+        *self = &self[cnt..];
+    }
+}
+
+/// Write cursor appending to a growable buffer (the real crate's `BufMut`
+/// for the unbounded-capacity implementors this workspace uses — `Vec<u8>`
+/// and [`BytesMut`] grow on demand, so `put_*` never panics).
+pub trait BufMut {
+    /// Appends `src` verbatim.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a `u16` in little-endian order.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` in little-endian order.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` in little-endian order.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f32` in little-endian order (IEEE-754 bit pattern
+    /// preserved exactly).
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Growable byte buffer with a consuming read cursor — the stand-in for the
+/// real crate's `BytesMut`. Appends go through [`BufMut`], consumption
+/// through [`Buf`] / [`BytesMut::split_to`]. Consumed capacity is reclaimed
+/// by compacting in place before the next append, so a warm buffer reaches
+/// a steady state where neither reads nor writes allocate (the per-frame
+/// codec contract; the real crate achieves the same via its `reserve`
+/// recycling).
+#[derive(Default, Clone)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    /// Read cursor: `buf[off..]` is the live region.
+    off: usize,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { buf: Vec::with_capacity(cap), off: 0 }
+    }
+
+    /// Unconsumed length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.off
+    }
+
+    /// Whether everything has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discards all contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.off = 0;
+    }
+
+    /// Ensures room for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.compact();
+        self.buf.reserve(additional);
+    }
+
+    /// Appends `src` (alias of [`BufMut::put_slice`], matching the real
+    /// crate's inherent method).
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.put_slice(src);
+    }
+
+    /// Splits off and returns the first `at` unconsumed bytes; `self` keeps
+    /// the rest. Mirrors the real crate's `split_to`: afterwards `self`
+    /// contains `[at, len)` and the returned buffer `[0, at)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > self.len()`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds: {at} > {}", self.len());
+        let head = BytesMut { buf: self.buf[self.off..self.off + at].to_vec(), off: 0 };
+        self.off += at;
+        head
+    }
+
+    /// Freezes the unconsumed bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::copy_from_slice(&self.buf[self.off..])
+    }
+
+    /// Moves the live region back to the start of the allocation so
+    /// consumed capacity can be reused without reallocating.
+    fn compact(&mut self) {
+        if self.off == 0 {
+            return;
+        }
+        let len = self.len();
+        self.buf.copy_within(self.off.., 0);
+        self.buf.truncate(len);
+        self.off = 0;
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.buf[self.off..]
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past the end of the buffer: {cnt} > {}", self.len());
+        self.off += cnt;
+        if self.off == self.buf.len() {
+            // Fully consumed: rewind so the capacity is reused as-is.
+            self.buf.clear();
+            self.off = 0;
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(v: &[u8]) -> Self {
+        Self { buf: v.to_vec(), off: 0 }
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.len())
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self.chunk() == other.chunk()
+    }
+}
+
+impl Eq for BytesMut {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +371,125 @@ mod tests {
         assert_eq!(&b[..], &[1, 2, 3]);
         let c = b.clone();
         assert_eq!(b, c);
+    }
+
+    // --- Buf semantics, pinned to the real crate's documented behavior ---
+
+    #[test]
+    fn get_methods_read_little_endian_and_advance() {
+        // Real-crate doc example: b"\x08\x09\xA0 hello"[..].get_u8() == 8.
+        let mut buf: &[u8] = &[0x08, 0x09, 0xA0];
+        assert_eq!(buf.get_u8(), 0x08);
+        assert_eq!(buf.remaining(), 2);
+        assert_eq!(buf.get_u16_le(), 0xA009, "get_u16_le is little-endian");
+        assert!(!buf.has_remaining());
+
+        let mut buf: &[u8] = &0xDEADBEEFu32.to_le_bytes();
+        assert_eq!(buf.get_u32_le(), 0xDEADBEEF);
+
+        let mut buf: &[u8] = &0x0123_4567_89AB_CDEFu64.to_le_bytes();
+        assert_eq!(buf.get_u64_le(), 0x0123_4567_89AB_CDEF);
+
+        // f32 round-trips preserve the exact bit pattern, NaN included.
+        for bits in [0x7FC0_0001u32, 1.5f32.to_bits(), 0x8000_0000] {
+            let mut v = Vec::new();
+            v.put_f32_le(f32::from_bits(bits));
+            let mut r: &[u8] = &v;
+            assert_eq!(r.get_f32_le().to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn copy_to_slice_consumes_exactly() {
+        let mut buf: &[u8] = &[1, 2, 3, 4, 5];
+        let mut dst = [0u8; 3];
+        buf.copy_to_slice(&mut dst);
+        assert_eq!(dst, [1, 2, 3]);
+        assert_eq!(buf.chunk(), &[4, 5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn get_past_the_end_panics_like_the_real_crate() {
+        let mut buf: &[u8] = &[1];
+        let _ = buf.get_u32_le();
+    }
+
+    #[test]
+    #[should_panic]
+    fn advance_past_the_end_panics_like_the_real_crate() {
+        let mut b = BytesMut::from(&[1u8, 2][..]);
+        b.advance(3);
+    }
+
+    // --- BufMut semantics ---
+
+    #[test]
+    fn put_methods_append_little_endian() {
+        let mut b = BytesMut::new();
+        b.put_u8(0x01);
+        b.put_u16_le(0x0302);
+        b.put_u32_le(0x0706_0504);
+        b.put_u64_le(0x0F0E_0D0C_0B0A_0908);
+        assert_eq!(&b[..], (1u8..=15).collect::<Vec<u8>>().as_slice());
+    }
+
+    // --- BytesMut: split_to / advance / reuse ---
+
+    #[test]
+    fn split_to_returns_prefix_and_keeps_suffix() {
+        // Real-crate doc example: split_to(5) on b"hello world" leaves
+        // b" world" in place and returns b"hello".
+        let mut a = BytesMut::from(&b"hello world"[..]);
+        let b = a.split_to(5);
+        assert_eq!(&a[..], b" world");
+        assert_eq!(&b[..], b"hello");
+        // Splitting everything leaves an empty buffer.
+        let mut c = a;
+        let d = c.split_to(c.len());
+        assert!(c.is_empty());
+        assert_eq!(&d[..], b" world");
+    }
+
+    #[test]
+    #[should_panic]
+    fn split_to_past_the_end_panics() {
+        let mut a = BytesMut::from(&b"abc"[..]);
+        let _ = a.split_to(4);
+    }
+
+    #[test]
+    fn interleaved_reads_and_writes_preserve_stream_order() {
+        // The codec's actual usage: socket bytes appended while earlier
+        // frames are consumed off the front.
+        let mut b = BytesMut::new();
+        b.put_slice(&[1, 2, 3]);
+        assert_eq!(b.get_u8(), 1);
+        b.put_slice(&[4, 5]);
+        assert_eq!(&b[..], &[2, 3, 4, 5]);
+        b.advance(2);
+        assert_eq!(&b[..], &[4, 5]);
+        assert_eq!(b.get_u16_le(), 0x0504);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn warm_buffer_reaches_zero_allocation_steady_state() {
+        let mut b = BytesMut::with_capacity(64);
+        for round in 0..100 {
+            b.put_slice(&[round as u8; 48]);
+            while b.has_remaining() {
+                let _ = b.get_u8();
+            }
+            assert!(b.buf.capacity() >= 64, "capacity is retained across rounds");
+            assert_eq!(b.buf.capacity(), 64, "no growth past the high-water mark");
+        }
+    }
+
+    #[test]
+    fn freeze_captures_only_unconsumed_bytes() {
+        let mut b = BytesMut::from(&[9u8, 8, 7, 6][..]);
+        b.advance(2);
+        assert_eq!(&b.freeze()[..], &[7, 6]);
     }
 }
