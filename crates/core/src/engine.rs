@@ -29,6 +29,7 @@ use std::collections::VecDeque;
 /// The quantized twin an [`Precision::Int8`] engine infers through.
 /// Engines assert its presence at construction, so a miss here is a
 /// caller swapping pipelines mid-session.
+// lint: hot-path
 fn quantized(pipeline: &TrainedPipeline) -> &QuantizedPipeline {
     // lint: allow(panic, reason = "with_precision asserts the quantized twin exists; losing it mid-session means the caller swapped pipelines and must fail loud")
     pipeline.quantized.as_ref().expect("Precision::Int8 requires TrainedPipeline::quantize()")
@@ -126,6 +127,7 @@ impl MajorityFilter {
 
     /// The majority class of the current window (earliest-seen wins ties),
     /// or `None` when empty.
+    // lint: hot-path
     pub fn majority(&self) -> Option<usize> {
         let mut best: Option<(usize, usize, u64)> = None; // (class, count, first_idx)
         for (class, &count) in self.counts.iter().enumerate() {
@@ -142,6 +144,7 @@ impl MajorityFilter {
                 best = Some((class, count, first));
             }
         }
+        // lint: allow(hot-path, reason = "receiver is an Option, not a Mat -- std .map() name collision in the receiver-blind resolver")
         best.map(|(class, _, _)| class)
     }
 
@@ -188,6 +191,7 @@ pub struct EngineStep {
 
 impl EngineStep {
     /// Both stages warm: `(gesture, unsafe_score)`.
+    // lint: hot-path
     pub fn complete(&self) -> Option<(Gesture, f32)> {
         match (self.gesture, self.unsafe_score) {
             (Some(g), Some(s)) => Some((g, s)),
@@ -383,6 +387,7 @@ impl InferenceEngine {
         pipeline.normalizer.apply_frame_inplace(&mut self.feat);
         let routing = match self.mode {
             ContextMode::NoContext => Some(0),
+            // lint: allow(hot-path, reason = "receiver is an Option, not a Mat -- std .map() name collision in the receiver-blind resolver")
             _ => self.gesture.map(Gesture::index),
         };
         let unsafe_score = match (self.window.push(&self.feat), routing) {
@@ -417,6 +422,7 @@ impl InferenceEngine {
     /// admitted, so the conversion cannot fail — a malformed gesture
     /// classifier (logit width ≠ `NUM_GESTURES`) is rejected loudly here
     /// instead of being silently mapped to `Gesture::G1` downstream.
+    // lint: hot-path
     fn smooth_raw_class(&mut self, raw: usize) -> Gesture {
         let smoothed = self.filter.push(raw);
         // lint: allow(panic, reason = "the filter only returns values it admitted, all < NUM_GESTURES; a malformed classifier must fail loud")
@@ -619,6 +625,7 @@ pub fn step_batch(
         let e = &engines[job.engine];
         let routing = match e.mode {
             ContextMode::NoContext => Some(0),
+            // lint: allow(hot-path, reason = "receiver is an Option, not a Mat -- std .map() name collision in the receiver-blind resolver")
             _ => e.gesture.map(Gesture::index),
         };
         let Some(route_class) = routing else { continue };

@@ -36,6 +36,7 @@ pub struct MonitorOutput {
 /// index-to-gesture fallback exists on this path any more — an earlier
 /// revision mapped out-of-range indices to `Gesture::G1` via `unwrap_or`,
 /// silently reporting a wrong operational context.
+// lint: hot-path
 pub(crate) fn output_from_step(
     step: &EngineStep,
     threshold: f32,

@@ -112,6 +112,7 @@ impl QuantizedPipeline {
         match route {
             ErrorRoute::Dedicated(g) => &self.error_nets[&g],
             ErrorRoute::Global => {
+                // lint: allow(panic, reason = "error_route() yields Global only when the parent pipeline holds a global net; checked at construction")
                 self.global_error_net.as_ref().expect("route resolved against the parent pipeline")
             }
         }
@@ -416,6 +417,7 @@ impl TrainedPipeline {
     /// the dedicated per-gesture classifier with global fallback, or the
     /// global classifier alone in [`ContextMode::NoContext`]. `None` when
     /// no classifier exists at all (the score then defaults to 0).
+    // lint: hot-path
     pub fn error_route(&self, gesture: usize, mode: ContextMode) -> Option<ErrorRoute> {
         match mode {
             ContextMode::NoContext => self.global_error_net.is_some().then_some(ErrorRoute::Global),
@@ -442,6 +444,7 @@ impl TrainedPipeline {
         match route {
             ErrorRoute::Dedicated(g) => &self.error_nets[&g],
             ErrorRoute::Global => {
+                // lint: allow(panic, reason = "error_route() yields Global only when this pipeline holds a global net; checked at construction")
                 self.global_error_net.as_ref().expect("route resolved against this pipeline")
             }
         }
@@ -476,6 +479,7 @@ impl TrainedPipeline {
     /// activations into the caller's `scratch`, so the pipeline itself
     /// stays immutable (shareable across threads). Bit-identical results to
     /// `score_window`.
+    // lint: hot-path
     pub fn score_window_scratch(
         &self,
         window: &Mat,
@@ -580,6 +584,7 @@ impl TrainedPipeline {
     ///
     /// Panics if [`TrainedPipeline::quantize`] has not populated the
     /// quantized twin (engines validate this at construction).
+    // lint: hot-path
     pub fn score_window_scratch_q(
         &self,
         window: &Mat,
@@ -591,6 +596,7 @@ impl TrainedPipeline {
     ) -> f32 {
         match self.error_route(gesture, mode) {
             Some(route) => {
+                // lint: allow(panic, reason = "engines call quantize() before selecting Int8 precision; validated at engine construction")
                 let quantized = self.quantized.as_ref().expect("quantize() before Int8 scoring");
                 quantized.error_net(route).predict_scratch(window, logits, scratch);
                 softmax_into(logits.row(0), probs);

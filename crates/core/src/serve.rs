@@ -413,6 +413,7 @@ impl ShardedMonitorPool {
     /// # Panics
     ///
     /// Panics on an unknown or removed session id.
+    // lint: hot-path
     fn assignment(&self, session: SessionId) -> (usize, usize) {
         match self.assignments.get(session) {
             Some(Some(a)) => *a,
@@ -502,6 +503,7 @@ impl ShardedMonitorPool {
             // lint: allow(alloc, reason = "cold branch: allocates only while the in-flight high-water mark is still growing")
             Err(_) => frame.clone(),
         };
+        // lint: allow(determinism, reason = "latency telemetry timestamp; never feeds the decision value, which replays bit-identically")
         self.send(shard, Job::Frame { slot, frame, context, submitted: Instant::now() });
     }
 
@@ -583,6 +585,7 @@ impl ShardedMonitorPool {
     // lint: hot-path
     pub fn drain_deadline(&mut self, deadline: Instant, out: &mut Vec<Decision>) -> bool {
         while self.in_flight > 0 {
+            // lint: allow(determinism, reason = "deadline bookkeeping for the drain loop; decision values stay clock-free")
             let timeout = deadline.saturating_duration_since(Instant::now());
             match self.egress.recv_timeout(timeout) {
                 Ok(Event::Decision { decision, submitted }) => {
@@ -678,6 +681,7 @@ impl ShardedMonitorPool {
         }
     }
 
+    // lint: hot-path
     fn send(&self, shard: usize, job: Job) {
         self.ingress[shard] // lint: allow(panic, reason = "shard is session % ingress.len() at every call site")
             .send(job)
@@ -832,6 +836,7 @@ fn run_tick(
     if state.tick.is_empty() {
         return;
     }
+    // lint: allow(determinism, reason = "per-frame latency measurement around step_batch; the scores it brackets are clock-free")
     let start = Instant::now();
     step_batch(pipeline, &mut state.engines, &state.tick, &mut state.scratch, &mut state.steps);
     let per_frame_ms = start.elapsed().as_secs_f32() * 1000.0 / state.tick.len() as f32;

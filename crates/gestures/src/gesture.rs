@@ -55,6 +55,7 @@ impl Gesture {
     }
 
     /// Gesture for a zero-based class index.
+    // lint: hot-path
     pub fn from_index(index: usize) -> Option<Gesture> {
         ALL_GESTURES.get(index).copied()
     }

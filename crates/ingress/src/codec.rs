@@ -148,6 +148,7 @@ pub enum ErrorCode {
 
 impl ErrorCode {
     /// Decodes a wire byte back into a code.
+    // lint: hot-path
     pub fn from_u8(byte: u8) -> Option<ErrorCode> {
         match byte {
             1 => Some(ErrorCode::Malformed),
@@ -289,10 +290,12 @@ struct Cursor<'a> {
 }
 
 impl<'a> Cursor<'a> {
+    // lint: hot-path
     fn new(body: &'a [u8]) -> Cursor<'a> {
         Cursor { rest: body }
     }
 
+    // lint: hot-path
     fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
         if n > self.rest.len() {
             return Err(ProtoError::Truncated);
@@ -302,6 +305,7 @@ impl<'a> Cursor<'a> {
         Ok(head)
     }
 
+    // lint: hot-path
     fn u8(&mut self) -> Result<u8, ProtoError> {
         match self.rest.split_first() {
             Some((&byte, tail)) => {
@@ -312,18 +316,21 @@ impl<'a> Cursor<'a> {
         }
     }
 
+    // lint: hot-path
     fn u32(&mut self) -> Result<u32, ProtoError> {
         let mut raw = [0u8; 4];
         raw.copy_from_slice(self.take(4)?);
         Ok(u32::from_le_bytes(raw))
     }
 
+    // lint: hot-path
     fn u64(&mut self) -> Result<u64, ProtoError> {
         let mut raw = [0u8; 8];
         raw.copy_from_slice(self.take(8)?);
         Ok(u64::from_le_bytes(raw))
     }
 
+    // lint: hot-path
     fn f32(&mut self) -> Result<f32, ProtoError> {
         Ok(f32::from_bits(self.u32()?))
     }
@@ -395,6 +402,7 @@ impl Decoder {
             None => Err(ProtoError::Truncated),
         };
         self.buf.advance(body_len);
+        // lint: allow(hot-path, reason = "receiver is an Option, not a Mat -- std .map() name collision in the receiver-blind resolver")
         decoded.map(Some)
     }
 }

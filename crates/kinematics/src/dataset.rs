@@ -139,6 +139,7 @@ impl Normalizer {
     /// Panics if the column count differs from the fitted dimensionality.
     pub fn apply(&self, m: &Mat) -> Mat {
         assert_eq!(m.cols(), self.dims(), "Normalizer::apply: dimension mismatch");
+        // lint: allow(alloc, reason = "offline batch normalizer; hot code uses apply_frame_inplace -- reached only via the sim .step() name collision")
         let mut out = m.clone();
         self.apply_inplace(&mut out);
         out
@@ -175,6 +176,7 @@ impl Normalizer {
     /// # Panics
     ///
     /// Panics if the length differs from the fitted dimensionality.
+    // lint: hot-path
     pub fn apply_frame_inplace(&self, frame: &mut [f32]) {
         assert_eq!(frame.len(), self.dims(), "Normalizer::apply_frame_inplace: dimension mismatch");
         for (c, x) in frame.iter_mut().enumerate() {

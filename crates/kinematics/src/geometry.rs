@@ -15,6 +15,7 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// Creates a vector.
+    // lint: hot-path
     pub fn new(x: f32, y: f32, z: f32) -> Self {
         Self { x, y, z }
     }

@@ -62,6 +62,7 @@ impl ManipulatorState {
 
     /// Appends the selected variables to `out` without allocating (given
     /// sufficient capacity) — the streaming monitor's per-frame path.
+    // lint: hot-path
     pub fn append_feature_vec(&self, features: &FeatureSet, out: &mut Vec<f32>) {
         if features.cartesian {
             out.extend_from_slice(&self.position.to_array());
@@ -108,6 +109,7 @@ impl KinematicSample {
 
     /// Overwrites `out` with the flattened feature vector, reusing its
     /// allocation (no heap traffic in steady state).
+    // lint: hot-path
     pub fn to_feature_vec_into(&self, features: &FeatureSet, out: &mut Vec<f32>) {
         out.clear();
         for m in &self.manipulators {

@@ -110,6 +110,7 @@ impl SlidingWindow {
     /// # Panics
     ///
     /// Panics if the frame width does not match `dims`.
+    // lint: hot-path
     pub fn push(&mut self, frame: &[f32]) -> Option<&Mat> {
         assert_eq!(frame.len(), self.dims, "frame width mismatch");
         if self.filled == self.width {
@@ -129,6 +130,7 @@ impl SlidingWindow {
     }
 
     /// The current window, if warm (full).
+    // lint: hot-path
     pub fn current(&self) -> Option<&Mat> {
         if self.filled == self.width {
             Some(&self.window)
@@ -138,6 +140,7 @@ impl SlidingWindow {
     }
 
     /// Window width in frames (the row count of every emitted window).
+    // lint: hot-path
     pub fn width(&self) -> usize {
         self.width
     }
@@ -155,6 +158,7 @@ impl SlidingWindow {
     /// # Panics
     ///
     /// Panics if `dst` is narrower than `dims` or the rows do not fit.
+    // lint: hot-path
     pub fn copy_current_into(&self, dst: &mut Mat, at: usize) -> bool {
         match self.current() {
             Some(window) => {
@@ -176,6 +180,7 @@ impl SlidingWindow {
     }
 
     /// Clears the buffer (e.g. between demonstrations).
+    // lint: hot-path
     pub fn clear(&mut self) {
         self.filled = 0;
     }

@@ -18,8 +18,14 @@ pub struct Config {
     pub exclude: Vec<String>,
     /// Files covered by the accumulation-order (no-FMA) rule.
     pub fma_paths: Vec<String>,
-    /// Path scopes covered by the no-panic decision-path rule.
+    /// Path scopes covered by the no-panic decision-path rule. Non-test
+    /// fns defined in these files are also the decision-path *roots* of
+    /// the transitive panic-reachability pass.
     pub panic_paths: Vec<String>,
+    /// Path scopes covered by the determinism rule (bit-exactness-scoped
+    /// code: no hash-order iteration, no wall-clock values, no float
+    /// reduction reassociation).
+    pub determinism_paths: Vec<String>,
     /// Workspace-relative path of the unsafe inventory file.
     pub inventory: String,
 }
@@ -31,6 +37,7 @@ impl Default for Config {
             exclude: Vec::new(),
             fma_paths: Vec::new(),
             panic_paths: Vec::new(),
+            determinism_paths: Vec::new(),
             inventory: "UNSAFE_INVENTORY.md".into(),
         }
     }
@@ -80,6 +87,7 @@ impl Config {
                     ("scan", "exclude") => cfg.exclude = value.into_array()?,
                     ("fma", "paths") => cfg.fma_paths = value.into_array()?,
                     ("panic", "paths") => cfg.panic_paths = value.into_array()?,
+                    ("determinism", "paths") => cfg.determinism_paths = value.into_array()?,
                     ("unsafe", "inventory") => cfg.inventory = value.into_string()?,
                     _ => return Err(format!("lint.toml: unknown key `[{section}] {key}`")),
                 }

@@ -1,0 +1,189 @@
+//! Workspace crate-dependency map, used to gate call-graph resolution.
+//!
+//! Name-based resolution alone sprays edges across the whole workspace —
+//! a bare `run(` in a kernel would resolve to every free `run` anywhere,
+//! including crates the kernel's crate does not even depend on. Cargo
+//! forbids exactly that: code in crate A can only name items from crates
+//! A declares in `[dependencies]`. Filtering candidates by the (transitive)
+//! dependency closure is therefore a *sound* narrowing — it removes only
+//! edges the compiler itself would reject — while cutting the dominant
+//! source of false positives.
+//!
+//! `[dev-dependencies]` are deliberately excluded: only test code can use
+//! them, and test code never participates in reachability (integration
+//! test, example, and bench files are blanket-marked test-only by the
+//! analysis pipeline).
+//!
+//! The manifest reader covers the workspace's own conventions only:
+//! `[package] name = "..."`, `[dependencies]` entries in the
+//! `name.workspace = true`, `name = "ver"`, `name = { ... }`, and
+//! `[dependencies.name]` forms.
+
+use std::fs;
+use std::path::Path;
+
+/// Which crate each file belongs to and which crates it may call into.
+#[derive(Debug)]
+pub struct CrateMap {
+    /// Crate directory prefixes, workspace-relative (`crates/core`); the
+    /// last entry is the root package (matching everything else).
+    dirs: Vec<String>,
+    /// `visible[from][to]`: `from`'s transitive `[dependencies]` closure,
+    /// including itself.
+    visible: Vec<Vec<bool>>,
+}
+
+impl CrateMap {
+    /// A single-crate map where everything sees everything — used by the
+    /// in-memory fixture tests, which model one little workspace.
+    pub fn permissive() -> Self {
+        Self { dirs: vec![String::new()], visible: vec![vec![true]] }
+    }
+
+    /// Reads `crates/*/Cargo.toml` plus the root manifest under `root`.
+    /// Missing or unparsable manifests degrade to the permissive map —
+    /// the linter must never *gain* blind spots from a manifest problem.
+    pub fn load(root: &Path) -> Self {
+        let mut dirs: Vec<String> = Vec::new();
+        let mut names: Vec<String> = Vec::new();
+        let mut deps: Vec<Vec<String>> = Vec::new();
+        let crates_dir = root.join("crates");
+        let mut entries: Vec<_> = match fs::read_dir(&crates_dir) {
+            Ok(e) => e.filter_map(|e| e.ok().map(|e| e.path())).collect(),
+            Err(_) => return Self::permissive(),
+        };
+        entries.sort();
+        for dir in entries {
+            let Ok(text) = fs::read_to_string(dir.join("Cargo.toml")) else { continue };
+            let Some((name, dep_names)) = parse_manifest(&text) else { continue };
+            let rel = format!("crates/{}", dir.file_name().and_then(|n| n.to_str()).unwrap_or(""));
+            dirs.push(rel);
+            names.push(name);
+            deps.push(dep_names);
+        }
+        if dirs.is_empty() {
+            return Self::permissive();
+        }
+        // The root package owns top-level src/tests/examples; its empty dir
+        // prefix matches whatever no workspace crate claims.
+        let root_deps = fs::read_to_string(root.join("Cargo.toml"))
+            .ok()
+            .and_then(|t| parse_manifest(&t))
+            .map(|(_, d)| d)
+            .unwrap_or_default();
+        dirs.push(String::new());
+        names.push("<root>".into());
+        deps.push(root_deps);
+
+        let n = dirs.len();
+        let mut visible = vec![vec![false; n]; n];
+        for (i, row) in visible.iter_mut().enumerate() {
+            row[i] = true;
+            for dep in &deps[i] {
+                if let Some(j) = names.iter().position(|m| m == dep) {
+                    row[j] = true;
+                }
+            }
+        }
+        // Transitive closure: re-exports can surface a transitive dep's
+        // items, so the conservative direction is to include them.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                for j in 0..n {
+                    if !visible[i][j] {
+                        continue;
+                    }
+                    let via = visible[j].clone();
+                    for (vis, through) in visible[i].iter_mut().zip(via) {
+                        if through && !*vis {
+                            *vis = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        Self { dirs, visible }
+    }
+
+    /// The crate id owning `rel` (the root package for anything outside
+    /// `crates/*`).
+    pub fn crate_of(&self, rel: &str) -> usize {
+        self.dirs
+            .iter()
+            .position(|d| !d.is_empty() && rel.starts_with(&format!("{d}/")))
+            .unwrap_or(self.dirs.len() - 1)
+    }
+
+    /// Whether code in crate `from` may call into crate `to`.
+    pub fn visible(&self, from: usize, to: usize) -> bool {
+        self.visible[from][to]
+    }
+
+    /// Builds a map directly from parts — test support for the graph's
+    /// dependency-gating tests.
+    #[cfg(test)]
+    pub(crate) fn from_parts(dirs: Vec<String>, visible: Vec<Vec<bool>>) -> Self {
+        Self { dirs, visible }
+    }
+}
+
+/// Extracts (package name, `[dependencies]` keys) from manifest text.
+fn parse_manifest(text: &str) -> Option<(String, Vec<String>)> {
+    let mut name: Option<String> = None;
+    let mut deps: Vec<String> = Vec::new();
+    let mut section = String::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(head) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = head.trim().to_string();
+            if let Some(dep) = section.strip_prefix("dependencies.") {
+                deps.push(dep.trim().to_string());
+            }
+            continue;
+        }
+        let Some(eq) = line.find('=') else { continue };
+        let key = line[..eq].trim();
+        let val = line[eq + 1..].trim();
+        if section == "package" && key == "name" {
+            name = val.strip_prefix('"').and_then(|v| v.strip_suffix('"')).map(str::to_string);
+        }
+        if section == "dependencies" {
+            // `serde.workspace = true` → `serde`; `nn = { path = ... }` → `nn`.
+            let dep = key.split('.').next().unwrap_or(key).trim();
+            if !dep.is_empty() {
+                deps.push(dep.to_string());
+            }
+        }
+    }
+    name.map(|n| (n, deps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_parser_reads_name_and_dependency_forms() {
+        let (name, deps) = parse_manifest(
+            "[package]\nname = \"context-monitor\"\n\n[lib]\nname = \"context_monitor\"\n\n\
+             [dependencies]\nnn.workspace = true\neval = { path = \"../eval\" }\nserde = \"1\"\n\
+             [dependencies.rand]\nversion = \"0.8\"\n\n[dev-dependencies]\nproptest.workspace = true\n",
+        )
+        .unwrap();
+        assert_eq!(name, "context-monitor");
+        assert_eq!(deps, ["nn", "eval", "serde", "rand"], "dev-deps must be excluded");
+    }
+
+    #[test]
+    fn permissive_map_lets_everything_see_everything() {
+        let m = CrateMap::permissive();
+        let c = m.crate_of("crates/anything/src/lib.rs");
+        assert!(m.visible(c, c));
+    }
+}

@@ -1,0 +1,157 @@
+//! `--json` diagnostics output.
+//!
+//! The lint crate is dependency-free, so this is a minimal hand-rolled
+//! JSON writer — escaping and structure only, no general value model.
+//! The schema is stable and versioned so CI consumers (the uploaded
+//! artifact) can parse it without tracking linter internals:
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,
+//!   "files_scanned": N, "defs": N, "edges": N,
+//!   "hot_roots": N, "decision_roots": N,
+//!   "graph_ms": N, "total_ms": N, "clean": bool,
+//!   "diagnostics": [{"rule", "file", "line", "message", "chain": [..]}],
+//!   "allows":      [{"rule", "file", "line", "reason"}],
+//!   "unsafe_sites":[{"file", "line", "kind", "reach", "justification"}]
+//! }
+//! ```
+
+use crate::Report;
+
+/// Renders the full report as a JSON document (trailing newline included).
+pub fn render(report: &Report) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!("  \"defs\": {},\n", report.defs));
+    out.push_str(&format!("  \"edges\": {},\n", report.edges));
+    out.push_str(&format!("  \"hot_roots\": {},\n", report.hot_roots));
+    out.push_str(&format!("  \"decision_roots\": {},\n", report.decision_roots));
+    out.push_str(&format!("  \"graph_ms\": {},\n", report.graph_ms));
+    out.push_str(&format!("  \"total_ms\": {},\n", report.total_ms));
+    out.push_str(&format!("  \"clean\": {},\n", report.is_clean()));
+
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"chain\": [{}]}}",
+            string(d.rule),
+            string(&d.file),
+            d.line,
+            string(&d.message),
+            d.chain.iter().map(|c| string(c)).collect::<Vec<_>>().join(", ")
+        ));
+    }
+    out.push_str(if report.diagnostics.is_empty() { "],\n" } else { "\n  ],\n" });
+
+    out.push_str("  \"allows\": [");
+    for (i, a) in report.allows.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}",
+            string(&a.rule),
+            string(&a.file),
+            a.line,
+            string(&a.reason)
+        ));
+    }
+    out.push_str(if report.allows.is_empty() { "],\n" } else { "\n  ],\n" });
+
+    out.push_str("  \"unsafe_sites\": [");
+    for (i, s) in report.unsafe_sites.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"file\": {}, \"line\": {}, \"kind\": {}, \"reach\": {}, \
+             \"justification\": {}}}",
+            string(&s.file),
+            s.line,
+            string(s.kind),
+            string(&s.reach),
+            string(&s.justification)
+        ));
+    }
+    out.push_str(if report.unsafe_sites.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
+}
+
+/// JSON string literal with the mandatory escapes (RFC 8259 §7).
+fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Diagnostic, UnsafeSite, UsedAllow};
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_control_bytes() {
+        assert_eq!(string("a\"b\\c\nd\te\u{1}"), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn report_renders_all_sections_and_stays_deterministic() {
+        let report = Report {
+            diagnostics: vec![Diagnostic {
+                file: "a.rs".into(),
+                line: 3,
+                rule: "alloc",
+                message: "msg \"quoted\"".into(),
+                chain: vec!["root (a.rs:1)".into(), "leaf (a.rs:3)".into()],
+            }],
+            allows: vec![UsedAllow {
+                file: "b.rs".into(),
+                line: 9,
+                rule: "panic".into(),
+                reason: "why".into(),
+            }],
+            unsafe_sites: vec![UnsafeSite {
+                file: "c.rs".into(),
+                line: 2,
+                offset: 10,
+                kind: "block",
+                justification: "ptr ok".into(),
+                reach: "hot-path: gemm".into(),
+            }],
+            files_scanned: 3,
+            defs: 5,
+            edges: 4,
+            hot_roots: 1,
+            decision_roots: 2,
+            graph_ms: 1,
+            total_ms: 2,
+        };
+        let text = render(&report);
+        assert!(text.contains("\"schema_version\": 1"));
+        assert!(text.contains("\"chain\": [\"root (a.rs:1)\", \"leaf (a.rs:3)\"]"));
+        assert!(text.contains("\"reach\": \"hot-path: gemm\""));
+        assert!(text.contains("\"clean\": false"));
+        assert_eq!(text, render(&report), "must be deterministic");
+    }
+
+    #[test]
+    fn empty_report_renders_empty_arrays() {
+        let text = render(&Report::default());
+        assert!(text.contains("\"diagnostics\": [],"));
+        assert!(text.contains("\"unsafe_sites\": []\n"));
+        assert!(text.contains("\"clean\": true"));
+    }
+}

@@ -2,9 +2,12 @@
 //!
 //! Statically enforces the contracts the safety case rests on (DESIGN.md
 //! §8): the kernels' serial ascending-k / no-FMA accumulation order, the
-//! no-panic decision path, the allocation-free hot path, and a justified
-//! `unsafe` inventory. See `lint.toml` for scopes and `README.md` for
-//! usage; the binary front-end is `src/main.rs`.
+//! no-panic decision path, the allocation-free hot path, determinism of
+//! bit-exactness-scoped code, and a justified `unsafe` inventory — both
+//! lexically (per file) and transitively, over a conservative workspace
+//! call graph ([`graph`], [`reach`], [`transitive`]). See `lint.toml` for
+//! scopes and `README.md` for usage; the binary front-end is
+//! `src/main.rs`.
 //!
 //! Deliberately dependency-free: the tool that checks the safety contracts
 //! must not itself pull in code the contracts do not cover.
@@ -12,15 +15,22 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod deps;
+pub mod graph;
 pub mod inventory;
+pub mod items;
+pub mod json;
+pub mod reach;
 pub mod rules;
 pub mod scan;
+pub mod transitive;
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use config::Config;
-use rules::{Diagnostic, UnsafeSite, UsedAllow};
+use rules::{AllowTable, Diagnostic, FileFindings, FileScope, UnsafeSite, UsedAllow};
 use scan::SourceFile;
 
 /// The result of linting a whole tree.
@@ -34,6 +44,18 @@ pub struct Report {
     pub unsafe_sites: Vec<UnsafeSite>,
     /// How many files were scanned.
     pub files_scanned: usize,
+    /// How many `fn` defs the item parser found.
+    pub defs: usize,
+    /// How many resolved call edges the graph holds.
+    pub edges: usize,
+    /// How many hot-path roots seeded the allocation closure.
+    pub hot_roots: usize,
+    /// How many decision-path roots seeded the panic closure.
+    pub decision_roots: usize,
+    /// Wall-clock for graph build + transitive passes, in ms.
+    pub graph_ms: u128,
+    /// Wall-clock for the whole analysis, in ms.
+    pub total_ms: u128,
 }
 
 impl Report {
@@ -50,23 +72,79 @@ impl Report {
 
 /// Lints every `.rs` file under the configured roots of `root`.
 pub fn check_tree(root: &Path, cfg: &Config) -> Result<Report, String> {
-    let mut report = Report::default();
+    let mut files = Vec::new();
     for rel in collect_files(root, cfg)? {
         let abs = root.join(&rel);
         let raw = fs::read_to_string(&abs).map_err(|e| format!("{}: {e}", abs.display()))?;
-        let file = SourceFile::new(rel.clone(), raw);
-        let fma_scoped = in_scope(&rel, &cfg.fma_paths);
-        let panic_scoped = in_scope(&rel, &cfg.panic_paths);
-        let findings = rules::check_file(&file, fma_scoped, panic_scoped);
-        report.diagnostics.extend(findings.diagnostics);
-        report.allows.extend(findings.allows);
-        report.unsafe_sites.extend(findings.unsafe_sites);
-        report.files_scanned += 1;
+        files.push(SourceFile::new(rel, raw));
     }
+    Ok(analyze(files, cfg, &deps::CrateMap::load(root)))
+}
+
+/// Runs the full analysis — lexical rules per file, then the call-graph
+/// passes — over an in-memory file set. Entry point for the fixture
+/// self-tests, which assemble multi-file workspaces directly (usually with
+/// [`deps::CrateMap::permissive`]).
+pub fn analyze(files: Vec<SourceFile>, cfg: &Config, crates: &deps::CrateMap) -> Report {
+    let t0 = Instant::now();
+    let mut report = Report { files_scanned: files.len(), ..Report::default() };
+    let mut out = FileFindings::default();
+    let mut allows: Vec<AllowTable> = Vec::with_capacity(files.len());
+
+    for file in &files {
+        let scope = FileScope {
+            fma: in_scope(&file.rel, &cfg.fma_paths),
+            panic: in_scope(&file.rel, &cfg.panic_paths),
+            determinism: in_scope(&file.rel, &cfg.determinism_paths),
+        };
+        let mut table = AllowTable::new(file);
+        rules::lexical_pass(file, scope, &mut table, &mut out);
+        allows.push(table);
+    }
+
+    // Call-graph passes. Allow finalization must wait until these have
+    // run: a transitive diagnostic can consume an allow in a file other
+    // than the one currently being scanned.
+    let tg = Instant::now();
+    let mut per_file: Vec<Vec<items::FnItem>> = files.iter().map(items::parse_fns).collect();
+    for (file, parsed) in files.iter().zip(per_file.iter_mut()) {
+        if non_runtime(&file.rel) {
+            // Integration tests, examples, and benches are not production
+            // code: their defs must neither seed nor carry reachability.
+            for item in parsed.iter_mut() {
+                item.is_test = true;
+            }
+        }
+    }
+    let file_crate: Vec<usize> = files.iter().map(|f| crates.crate_of(&f.rel)).collect();
+    let graph = graph::CallGraph::build_with_deps(per_file, &file_crate, crates);
+    let info = transitive::run(&files, &graph, cfg, &mut allows, &mut out);
+    report.defs = graph.defs.len();
+    report.edges = graph.edge_count();
+    report.hot_roots = info.hot_roots.len();
+    report.decision_roots = info.decision_roots.len();
+    report.graph_ms = tg.elapsed().as_millis();
+
+    // Attribute each unsafe site to its enclosing fn's reachability.
+    let file_index = |rel: &str| files.iter().position(|f| f.rel == rel);
+    for site in &mut out.unsafe_sites {
+        if let Some(fi) = file_index(&site.file) {
+            site.reach = transitive::reach_cell(&graph, &info, fi, site.offset);
+        }
+    }
+
+    for (file, table) in files.iter().zip(allows) {
+        rules::finalize_allows(&file.rel, table, &mut out);
+    }
+
+    report.diagnostics = out.diagnostics;
+    report.allows = out.allows;
+    report.unsafe_sites = out.unsafe_sites;
     report.diagnostics.sort();
     report.allows.sort();
     report.unsafe_sites.sort();
-    Ok(report)
+    report.total_ms = t0.elapsed().as_millis();
+    report
 }
 
 /// Loads `lint.toml` from `root` (hard error if missing: running without
@@ -80,8 +158,14 @@ pub fn load_config(root: &Path, explicit: Option<&Path>) -> Result<Config, Strin
 
 /// Whether `rel` (workspace-relative, `/`-separated) falls under one of the
 /// `scopes` (exact file or directory prefix).
-fn in_scope(rel: &str, scopes: &[String]) -> bool {
+pub(crate) fn in_scope(rel: &str, scopes: &[String]) -> bool {
     scopes.iter().any(|s| rel == s || rel.starts_with(&format!("{s}/")))
+}
+
+/// Whether `rel` sits in a `tests/`, `examples/`, or `benches/` directory —
+/// code that only runs under the test harness.
+fn non_runtime(rel: &str) -> bool {
+    rel.split('/').any(|seg| seg == "tests" || seg == "examples" || seg == "benches")
 }
 
 /// Collects workspace-relative paths of every `.rs` file under the

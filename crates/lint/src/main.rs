@@ -27,6 +27,7 @@ fn run(args: Vec<String>) -> Result<bool, String> {
     let mut write_inventory = false;
     let mut root = default_root();
     let mut config_path: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -36,6 +37,9 @@ fn run(args: Vec<String>) -> Result<bool, String> {
             "--config" => {
                 config_path =
                     Some(PathBuf::from(it.next().ok_or("--config needs a file argument")?))
+            }
+            "--json" => {
+                json_path = Some(PathBuf::from(it.next().ok_or("--json needs a file argument")?))
             }
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -50,6 +54,12 @@ fn run(args: Vec<String>) -> Result<bool, String> {
 
     let cfg = lint::load_config(&root, config_path.as_deref())?;
     let report = lint::check_tree(&root, &cfg)?;
+
+    if let Some(path) = &json_path {
+        std::fs::write(path, lint::json::render(&report))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("lint: wrote {}", path.display());
+    }
 
     if write_inventory {
         let path = root.join(&cfg.inventory);
@@ -86,6 +96,16 @@ fn run(args: Vec<String>) -> Result<bool, String> {
             report.allows.len(),
             report.unsafe_sites.len()
         );
+        println!(
+            "lint: call graph: {} defs, {} edges, {} hot-path roots, {} decision-path roots \
+             ({} ms graph, {} ms total)",
+            report.defs,
+            report.edges,
+            report.hot_roots,
+            report.decision_roots,
+            report.graph_ms,
+            report.total_ms
+        );
         if !report.allows.is_empty() {
             println!("lint: exemptions in use:");
             for a in &report.allows {
@@ -109,11 +129,17 @@ fn default_root() -> PathBuf {
 }
 
 const USAGE: &str = "\
-usage: cargo run -p lint -- [--check] [--write-inventory] [--root DIR] [--config FILE]
+usage: cargo run -p lint -- [--check] [--write-inventory] [--json FILE] [--root DIR] [--config FILE]
 
-  --check            lint the tree; nonzero exit + file:line diagnostics on violations,
-                     also fails if UNSAFE_INVENTORY.md is stale
-  --write-inventory  regenerate UNSAFE_INVENTORY.md from the current tree
+  --check            lint the tree (lexical rules + workspace call-graph passes);
+                     prints file:line diagnostics with call chains, the allow audit
+                     trail, and graph stats; also fails if UNSAFE_INVENTORY.md is stale
+  --write-inventory  regenerate UNSAFE_INVENTORY.md (with reachability column) from
+                     the current tree
+  --json FILE        additionally write the full report as JSON (stable schema v1:
+                     diagnostics with chains, allow audit, unsafe inventory, stats)
   --root DIR         workspace root (default: the lint crate's grandparent)
   --config FILE      config path (default: <root>/lint.toml)
+
+exit codes: 0 = clean, 1 = violations or inventory drift, 2 = usage/config/io error
 ";

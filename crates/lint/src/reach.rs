@@ -1,0 +1,199 @@
+//! Reachability over the call graph: which defs each root set can reach,
+//! with predecessor tracking for diagnostic call chains and per-root
+//! bitsets for the unsafe inventory's reachability column.
+
+use crate::graph::CallGraph;
+
+/// Reachability closure from one root set.
+#[derive(Debug)]
+pub struct Reachability {
+    /// Root def indices, in the order given (bitset bit order).
+    pub roots: Vec<usize>,
+    /// For each def: whether it is reachable (roots included).
+    reached: Vec<bool>,
+    /// For each def: the BFS predecessor `(def, call line)` — `None` for
+    /// roots and unreached defs. BFS order makes the recovered chain a
+    /// shortest path, so diagnostics show the most direct route.
+    pred: Vec<Option<(usize, usize)>>,
+    /// For each def: bitset over `roots` of which roots reach it.
+    root_bits: Vec<Vec<u64>>,
+}
+
+impl Reachability {
+    /// Computes the closure of `roots` over `graph`, never traversing
+    /// into or out of test-only defs.
+    pub fn compute(graph: &CallGraph, roots: &[usize]) -> Self {
+        let n = graph.defs.len();
+        let words = roots.len().div_ceil(64).max(1);
+        let mut reached = vec![false; n];
+        let mut pred: Vec<Option<(usize, usize)>> = vec![None; n];
+        let mut root_bits = vec![vec![0u64; words]; n];
+        let mut queue = std::collections::VecDeque::new();
+        for (bit, &r) in roots.iter().enumerate() {
+            if graph.defs[r].item.is_test {
+                continue;
+            }
+            reached[r] = true;
+            root_bits[r][bit / 64] |= 1 << (bit % 64);
+            queue.push_back(r);
+        }
+        // Phase 1: plain BFS for the reached set + shortest-chain preds.
+        while let Some(d) = queue.pop_front() {
+            for e in &graph.edges[d] {
+                if graph.defs[e.to].item.is_test {
+                    continue;
+                }
+                if !reached[e.to] {
+                    reached[e.to] = true;
+                    pred[e.to] = Some((d, e.line));
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        // Phase 2: propagate root bitsets to a fixpoint (a def can be
+        // reachable from several roots; the inventory reports all).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for d in 0..n {
+                if !reached[d] {
+                    continue;
+                }
+                for e_i in 0..graph.edges[d].len() {
+                    let to = graph.edges[d][e_i].to;
+                    if graph.defs[to].item.is_test {
+                        continue;
+                    }
+                    let src = root_bits[d].clone();
+                    for (dst, word) in root_bits[to].iter_mut().zip(src) {
+                        let add = word & !*dst;
+                        if add != 0 {
+                            *dst |= add;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        Self { roots: roots.to_vec(), reached, pred, root_bits }
+    }
+
+    /// Whether `def` is reachable from any root.
+    pub fn reached(&self, def: usize) -> bool {
+        self.reached[def]
+    }
+
+    /// The roots (as def indices) that reach `def`, in bit order.
+    pub fn roots_reaching(&self, def: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (bit, &r) in self.roots.iter().enumerate() {
+            if self.root_bits[def][bit / 64] & (1 << (bit % 64)) != 0 {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    /// The shortest call chain from a root to `def`, as
+    /// `[(def, call line into the NEXT def), ..., (def, site line)]`. The
+    /// final element carries `site_line` (where the offending pattern
+    /// sits). Empty if `def` is unreachable.
+    pub fn chain_to(&self, def: usize, site_line: usize) -> Vec<(usize, usize)> {
+        if !self.reached[def] {
+            return Vec::new();
+        }
+        // `pred[x] = (p, line)` already pairs the predecessor with the
+        // line of the call *it* makes into `x`, so walking back and
+        // reversing yields the final pairing directly.
+        let mut rev = vec![(def, site_line)];
+        let mut cur = def;
+        while let Some((p, line)) = self.pred[cur] {
+            rev.push((p, line));
+            cur = p;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Renders a chain as `a (file:12) -> b (file:34)`.
+    pub fn render_chain(
+        graph: &CallGraph,
+        files: &[String],
+        chain: &[(usize, usize)],
+    ) -> Vec<String> {
+        chain
+            .iter()
+            .map(|&(d, line)| {
+                format!(
+                    "{} ({}:{})",
+                    graph.defs[d].item.qualified_name(),
+                    files[graph.defs[d].file],
+                    line
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_fns;
+    use crate::scan::SourceFile;
+
+    fn graph(src: &str) -> CallGraph {
+        CallGraph::build(vec![parse_fns(&SourceFile::new("t.rs".into(), src.into()))])
+    }
+
+    fn idx(g: &CallGraph, name: &str) -> usize {
+        g.defs.iter().position(|d| d.item.name == name).unwrap()
+    }
+
+    #[test]
+    fn bfs_reaches_transitively_and_chains_are_shortest() {
+        let g = graph(
+            "fn root() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\nfn cold() { leaf(); }\n",
+        );
+        let r = Reachability::compute(&g, &[idx(&g, "root")]);
+        assert!(r.reached(idx(&g, "leaf")));
+        assert!(!r.reached(idx(&g, "cold")));
+        let chain = r.chain_to(idx(&g, "leaf"), 99);
+        let names: Vec<_> = chain.iter().map(|&(d, l)| (g.defs[d].item.name.clone(), l)).collect();
+        assert_eq!(
+            names,
+            [("root".to_string(), 1), ("mid".to_string(), 2), ("leaf".to_string(), 99)]
+        );
+    }
+
+    #[test]
+    fn test_defs_block_traversal() {
+        let src = "fn root() { helper(); }\n#[cfg(test)]\nmod t {\n    fn helper() { leaf(); }\n}\nfn leaf() {}\n";
+        let g = graph(src);
+        let r = Reachability::compute(&g, &[idx(&g, "root")]);
+        assert!(!r.reached(idx(&g, "leaf")), "reach must not flow through test-only defs");
+    }
+
+    #[test]
+    fn root_bitsets_report_every_reaching_root() {
+        let g = graph("fn a() { shared(); }\nfn b() { shared(); }\nfn c() {}\nfn shared() {}\n");
+        let roots = [idx(&g, "a"), idx(&g, "b"), idx(&g, "c")];
+        let r = Reachability::compute(&g, &roots);
+        let reaching = r.roots_reaching(idx(&g, "shared"));
+        let names: Vec<_> = reaching.iter().map(|&d| g.defs[d].item.name.clone()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn bitsets_work_past_64_roots() {
+        // 70 roots all calling one leaf: the second bitset word must fill.
+        let mut src = String::new();
+        for i in 0..70 {
+            src.push_str(&format!("fn root{i}() {{ leaf(); }}\n"));
+        }
+        src.push_str("fn leaf() {}\n");
+        let g = graph(&src);
+        let roots: Vec<usize> = (0..70).map(|i| idx(&g, &format!("root{i}"))).collect();
+        let r = Reachability::compute(&g, &roots);
+        assert_eq!(r.roots_reaching(idx(&g, "leaf")).len(), 70);
+    }
+}

@@ -1,5 +1,7 @@
-//! The four rule families: accumulation-order (no-FMA), no-panic decision
-//! path, hot-path allocation audit, and the unsafe inventory.
+//! The per-file (lexical) rule families: accumulation-order (no-FMA),
+//! no-panic decision path, hot-path allocation audit, determinism, and the
+//! unsafe inventory. The call-graph (transitive) families live in
+//! [`crate::transitive`] and share this module's allow/audit machinery.
 //!
 //! All rules run over the **masked** source (see [`crate::scan`]) so a
 //! forbidden token inside a string or comment can never trip a rule — and,
@@ -15,10 +17,15 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line.
     pub line: usize,
-    /// Rule family short name (`fma`, `panic`, `alloc`, `unsafe`, `directive`).
+    /// Rule family short name (`fma`, `panic`, `alloc`, `determinism`,
+    /// `unsafe`, `hot-path`, `directive`).
     pub rule: &'static str,
     /// What went wrong and, where useful, how to fix it.
     pub message: String,
+    /// For transitive diagnostics: the call chain from the root to the
+    /// offending site, each element `name (file:line)`. Empty for lexical
+    /// diagnostics.
+    pub chain: Vec<String>,
 }
 
 /// One `// lint: allow(...)` escape hatch that actually suppressed a
@@ -42,11 +49,18 @@ pub struct UnsafeSite {
     pub file: String,
     /// 1-based line of the `unsafe` token.
     pub line: usize,
+    /// Byte offset of the `unsafe` token (used to attribute the site to
+    /// its enclosing fn for the reachability column; not rendered).
+    pub offset: usize,
     /// `block`, `fn`, `impl`, or `trait`.
     pub kind: &'static str,
     /// First line of the justifying `SAFETY:` comment (or `# Safety` doc
     /// section), without the comment introducer.
     pub justification: String,
+    /// Which hot-path / decision-path roots reach the enclosing fn —
+    /// filled by the call-graph pass, rendered as the inventory's
+    /// reachability column. Empty until computed.
+    pub reach: String,
 }
 
 /// Everything one file contributes to the report.
@@ -61,14 +75,18 @@ pub struct FileFindings {
 }
 
 /// Tracks which `allow` directives exist and which got used, so unused
-/// allows (stale exemptions) can be flagged.
-struct AllowTable {
+/// allows (stale exemptions) can be flagged. One table per file; the
+/// transitive passes consume from the same tables as the lexical ones, so
+/// finalization (the stale-allow sweep) must run only after **every** pass
+/// is done — see [`finalize_allows`].
+pub struct AllowTable {
     /// (line, rule, reason, used)
     entries: Vec<(usize, String, String, bool)>,
 }
 
 impl AllowTable {
-    fn new(file: &SourceFile) -> Self {
+    /// Collects the file's `allow` directives into a fresh table.
+    pub fn new(file: &SourceFile) -> Self {
         let entries = file
             .directives
             .iter()
@@ -88,7 +106,7 @@ impl AllowTable {
     /// lines each suppress their own line's diagnostics rather than one
     /// shadowing the other into a false "unused" report. Returns the
     /// reason if found.
-    fn consume(&mut self, rule: &str, line: usize) -> Option<String> {
+    pub fn consume(&mut self, rule: &str, line: usize) -> Option<String> {
         for same_line_pass in [true, false] {
             for (allow_line, allow_rule, reason, used) in &mut self.entries {
                 let covers =
@@ -105,37 +123,71 @@ impl AllowTable {
 
 /// Known rule names an `allow(...)` may target. `fma` is deliberately
 /// absent: the accumulation-order contract has no escape hatch.
-const ALLOWABLE_RULES: &[&str] = &["panic", "alloc"];
+const ALLOWABLE_RULES: &[&str] = &["panic", "alloc", "determinism", "hot-path"];
 
-/// Runs every applicable rule family over one file.
-pub fn check_file(file: &SourceFile, fma_scoped: bool, panic_scoped: bool) -> FileFindings {
-    let mut out = FileFindings::default();
-    let mut allows = AllowTable::new(file);
+/// Which rule families apply to one file (derived from `lint.toml`
+/// scopes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileScope {
+    /// Accumulation-order (no-FMA) rule.
+    pub fma: bool,
+    /// No-panic decision-path rule (lexical; also marks the file's fns as
+    /// decision-path roots for the transitive pass).
+    pub panic: bool,
+    /// Determinism rule (bit-exactness-scoped code).
+    pub determinism: bool,
+}
 
-    check_directives(file, &mut out);
-    if fma_scoped {
-        check_fma(file, &mut out);
+/// Runs the lexical rule families over one file, consuming from `allows`
+/// but **not** finalizing it — the transitive passes still get to consume.
+pub fn lexical_pass(
+    file: &SourceFile,
+    scope: FileScope,
+    allows: &mut AllowTable,
+    out: &mut FileFindings,
+) {
+    check_directives(file, out);
+    if scope.fma {
+        check_fma(file, out);
     }
-    if panic_scoped {
-        check_panic(file, &mut allows, &mut out);
+    if scope.panic {
+        check_panic(file, allows, out);
     }
-    check_hot_paths(file, &mut allows, &mut out);
-    check_unsafe(file, &mut out);
+    if scope.determinism {
+        check_determinism(file, allows, out);
+    }
+    check_hot_paths(file, allows, out);
+    check_unsafe(file, out);
+}
 
-    // Stale exemptions are themselves violations: an allow that suppresses
-    // nothing hides a remediation that already happened.
+/// Emits the allow audit trail and flags stale exemptions. Stale
+/// exemptions are themselves violations: an allow that suppresses nothing
+/// hides a remediation that already happened.
+pub fn finalize_allows(rel: &str, allows: AllowTable, out: &mut FileFindings) {
     for (line, rule, reason, used) in allows.entries {
         if used {
-            out.allows.push(UsedAllow { file: file.rel.clone(), line, rule, reason });
+            out.allows.push(UsedAllow { file: rel.to_string(), line, rule, reason });
         } else {
             out.diagnostics.push(Diagnostic {
-                file: file.rel.clone(),
+                file: rel.to_string(),
                 line,
                 rule: "directive",
                 message: format!("unused `lint: allow({rule})` — remove the stale exemption"),
+                chain: Vec::new(),
             });
         }
     }
+}
+
+/// Runs every lexical rule family over one file in isolation (no
+/// call-graph context) and finalizes its allows. This is the entry the
+/// single-file fixture tests use; the tree pipeline in [`crate::check_tree`]
+/// runs [`lexical_pass`] and the transitive passes before finalizing.
+pub fn check_file(file: &SourceFile, scope: FileScope) -> FileFindings {
+    let mut out = FileFindings::default();
+    let mut allows = AllowTable::new(file);
+    lexical_pass(file, scope, &mut allows, &mut out);
+    finalize_allows(&file.rel, allows, &mut out);
     out.diagnostics.sort();
     out
 }
@@ -149,6 +201,7 @@ fn check_directives(file: &SourceFile, out: &mut FileFindings) {
                 line: *line,
                 rule: "directive",
                 message: message.clone(),
+                chain: Vec::new(),
             }),
             Directive::Allow { line, rule, .. } if !ALLOWABLE_RULES.contains(&rule.as_str()) => {
                 out.diagnostics.push(Diagnostic {
@@ -157,8 +210,9 @@ fn check_directives(file: &SourceFile, out: &mut FileFindings) {
                     rule: "directive",
                     message: format!(
                         "allow({rule}) targets an unknown or unallowable rule \
-                         (allowable: panic, alloc; fma has no escape hatch)"
+                         (allowable: panic, alloc, determinism, hot-path; fma has no escape hatch)"
                     ),
+                    chain: Vec::new(),
                 });
             }
             _ => {}
@@ -208,6 +262,7 @@ fn check_fma(file: &SourceFile, out: &mut FileFindings) {
                     "`{pat}` breaks the serial ascending-k accumulation contract \
                      (bit-exactness across scalar/AVX2/NEON); no allow exists for this rule"
                 ),
+                chain: Vec::new(),
             });
             from = at + pat.len();
         }
@@ -245,6 +300,7 @@ fn check_panic(file: &SourceFile, allows: &mut AllowTable, out: &mut FileFinding
                 "{what} in a decision path — propagate a typed error or justify with \
                  `// lint: allow(panic, reason = \"...\")`"
             ),
+            chain: Vec::new(),
         });
     };
 
@@ -335,6 +391,7 @@ fn check_indexing(file: &SourceFile, allows: &mut AllowTable, out: &mut FileFind
             message: "slice/array index can panic out-of-bounds — use `.get()`/iterators or \
                       justify with `// lint: allow(panic, reason = \"...\")`"
                 .into(),
+            chain: Vec::new(),
         });
     }
 }
@@ -374,6 +431,7 @@ fn check_hot_paths(file: &SourceFile, allows: &mut AllowTable, out: &mut FileFin
                     line: *line,
                     rule: "directive",
                     message,
+                    chain: Vec::new(),
                 });
                 continue;
             }
@@ -400,14 +458,138 @@ fn check_hot_paths(file: &SourceFile, allows: &mut AllowTable, out: &mut FileFin
                          or justify with `// lint: allow(alloc, reason = \"...\")`",
                         tagged.name
                     ),
+                    chain: Vec::new(),
                 });
             }
         }
     }
 }
 
+/// Every (line, pattern) allocation hit in the masked byte span
+/// `[start, end]` of `file` — shared by the lexical hot-path audit and
+/// the transitive allocation pass.
+pub fn alloc_hits(file: &SourceFile, start: usize, end: usize) -> Vec<(usize, &'static str)> {
+    let mut out = Vec::new();
+    let body = &file.masked[start..=end.min(file.masked.len().saturating_sub(1))];
+    for pat in ALLOC_SUBSTRINGS {
+        let mut from = 0usize;
+        while let Some(pos) = body[from..].find(pat) {
+            let at = start + from + pos;
+            from += pos + pat.len();
+            out.push((file.line_of(at), *pat));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Every (line, what) panic-family hit in the masked byte span of `file`:
+/// the panic macros and the panicking `unwrap`/`expect` methods.
+/// Deliberately **not** `expr[...]` indexing — indexing is ubiquitous,
+/// bounds are usually pinned by construction, and flagging it across the
+/// whole conservative reachability closure would drown the audit in
+/// unfixable noise; the lexical rule still bans it inside the scoped
+/// decision-path files themselves (DESIGN.md §8).
+pub fn panic_hits(file: &SourceFile, start: usize, end: usize) -> Vec<(usize, String)> {
+    let masked = &file.masked;
+    let b = masked.as_bytes();
+    let mut out = Vec::new();
+    for mac in PANIC_MACROS {
+        for at in token_offsets(masked, mac) {
+            if at < start || at > end {
+                continue;
+            }
+            if let Some((_, c)) = next_token(b, at + mac.len()) {
+                if c == b'!' {
+                    out.push((file.line_of(at), format!("`{mac}!`")));
+                }
+            }
+        }
+    }
+    for method in PANIC_METHODS {
+        let mut from = start;
+        while let Some(pos) = masked[from..=end].find(method) {
+            let at = from + pos;
+            out.push((file.line_of(at), format!("`{}()`", &method[1..method.len() - 1])));
+            from = at + method.len();
+            if from > end {
+                break;
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
 // ---------------------------------------------------------------------------
-// Rule 4: unsafe inventory
+// Rule 4: determinism (bit-exactness-scoped code)
+// ---------------------------------------------------------------------------
+
+/// Patterns that smuggle nondeterminism into bit-exactness-scoped code,
+/// with the reason each one breaks replay equality. Matched lexically in
+/// masked non-test code of `[determinism]`-scoped files.
+const DETERMINISM_PATTERNS: &[(&str, &str)] = &[
+    ("HashMap", "iteration order is randomized per process — use BTreeMap or a Vec"),
+    ("HashSet", "iteration order is randomized per process — use BTreeSet or a sorted Vec"),
+    ("Instant::now", "a wall-clock value flowing into a decision breaks replay bit-equality"),
+    ("SystemTime::now", "a wall-clock value flowing into a decision breaks replay bit-equality"),
+    (".sum(", "iterator reduction hides the accumulation order — write the serial ascending loop"),
+    (
+        ".sum::<",
+        "iterator reduction hides the accumulation order — write the serial ascending loop",
+    ),
+    (".product(", "iterator reduction hides the accumulation order — write the serial loop"),
+    (".product::<", "iterator reduction hides the accumulation order — write the serial loop"),
+    ("from_entropy", "OS-entropy seeding makes every run different — thread a fixed seed"),
+    ("thread_rng", "OS-entropy seeding makes every run different — thread a fixed seed"),
+];
+
+/// Every bit-equality gate (`repro_serve --smoke`, the quant digest, fleet
+/// equivalence) silently depends on scoped code never iterating a hashed
+/// container, never deriving decisions from the clock, and never
+/// reassociating float reductions. Tests are exempt: the runtime property
+/// is about serving code, and test oracles are pinned by the no-FMA rule
+/// where reassociation could mask a kernel bug.
+fn check_determinism(file: &SourceFile, allows: &mut AllowTable, out: &mut FileFindings) {
+    for (pat, why) in DETERMINISM_PATTERNS {
+        let mut from = 0usize;
+        while let Some(pos) = file.masked[from..].find(pat) {
+            let at = from + pos;
+            from = at + pat.len();
+            // Token-boundary check for identifier-shaped pattern edges so
+            // e.g. `HashMapLike` or a longer method name never matches.
+            let b = file.masked.as_bytes();
+            let first = pat.as_bytes()[0];
+            let last = pat.as_bytes()[pat.len() - 1];
+            if is_ident(first) && at > 0 && is_ident(b[at - 1]) {
+                continue;
+            }
+            if is_ident(last) && at + pat.len() < b.len() && is_ident(b[at + pat.len()]) {
+                continue;
+            }
+            if file.in_test(at) {
+                continue;
+            }
+            let line = file.line_of(at);
+            if allows.consume("determinism", line).is_some() {
+                continue;
+            }
+            out.diagnostics.push(Diagnostic {
+                file: file.rel.clone(),
+                line,
+                rule: "determinism",
+                message: format!(
+                    "`{pat}` in bit-exactness-scoped code: {why}; or justify with \
+                     `// lint: allow(determinism, reason = \"...\")`"
+                ),
+                chain: Vec::new(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: unsafe inventory
 // ---------------------------------------------------------------------------
 
 /// Classifies and justifies every `unsafe` token. Covers tests too: the
@@ -446,8 +628,10 @@ fn check_unsafe(file: &SourceFile, out: &mut FileFindings) {
             Some(justification) => out.unsafe_sites.push(UnsafeSite {
                 file: file.rel.clone(),
                 line,
+                offset: at,
                 kind,
                 justification,
+                reach: String::new(),
             }),
             None => out.diagnostics.push(Diagnostic {
                 file: file.rel.clone(),
@@ -458,6 +642,7 @@ fn check_unsafe(file: &SourceFile, out: &mut FileFindings) {
                      makes it sound",
                     if accept_doc_safety { " (or `# Safety` doc section)" } else { "" }
                 ),
+                chain: Vec::new(),
             }),
         }
     }
@@ -523,7 +708,13 @@ mod tests {
     use crate::scan::SourceFile;
 
     fn findings(src: &str, fma: bool, panic: bool) -> FileFindings {
-        check_file(&SourceFile::new("t.rs".into(), src.into()), fma, panic)
+        let scope = FileScope { fma, panic, determinism: false };
+        check_file(&SourceFile::new("t.rs".into(), src.into()), scope)
+    }
+
+    fn det_findings(src: &str) -> FileFindings {
+        let scope = FileScope { determinism: true, ..FileScope::default() };
+        check_file(&SourceFile::new("t.rs".into(), src.into()), scope)
     }
 
     #[test]
@@ -605,6 +796,33 @@ mod tests {
         );
         assert!(doc.diagnostics.is_empty(), "{:?}", doc.diagnostics);
         assert_eq!(doc.unsafe_sites[0].kind, "fn");
+    }
+
+    #[test]
+    fn determinism_rule_flags_hashed_iteration_clocks_and_reductions() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(xs: &[f32]) -> f32 {\n    let t = Instant::now();\n    \
+                   let _ = t;\n    xs.iter().sum::<f32>()\n}\n\
+                   #[cfg(test)]\nmod t { fn g(xs: &[f32]) -> f32 { xs.iter().sum() } }\n";
+        let f = det_findings(src);
+        let hits: Vec<_> = f.diagnostics.iter().map(|d| (d.rule, d.line)).collect();
+        assert_eq!(
+            hits,
+            [("determinism", 1), ("determinism", 3), ("determinism", 5)],
+            "{:?}",
+            f.diagnostics
+        );
+    }
+
+    #[test]
+    fn determinism_allow_and_token_boundaries_work() {
+        let src = "struct HashMapLike;\nfn f(lanes: &[i32]) -> i32 {\n    \
+                   // lint: allow(determinism, reason = \"integer sum is exact in any order\")\n    \
+                   lanes.iter().sum()\n}\n";
+        let f = det_findings(src);
+        assert!(f.diagnostics.is_empty(), "{:?}", f.diagnostics);
+        assert_eq!(f.allows.len(), 1);
+        assert_eq!(f.allows[0].rule, "determinism");
     }
 
     #[test]

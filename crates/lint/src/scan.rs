@@ -256,25 +256,31 @@ impl SourceFile {
             i += 1;
         }
         let name = self.masked[name_start..i].to_string();
-        // Body: first `{` before any `;` at the item level.
+        // Body: first `{` before any *item-level* `;`. Parens and brackets
+        // must be skipped — `probs: &mut [f32; 2]` carries a `;` inside the
+        // argument list that says nothing about the item.
         let mut j = i;
+        let mut depth = 0usize;
         let (open, close) = loop {
             if j >= b.len() {
                 return Err(format!("hot-path fn `{name}`: no body found"));
             }
             match b[j] {
-                b'{' => {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth = depth.saturating_sub(1),
+                b'{' if depth == 0 => {
                     let close = matching(b, j, b'{', b'}')
                         .ok_or_else(|| format!("hot-path fn `{name}`: unbalanced braces"))?;
                     break (j, close);
                 }
-                b';' => {
+                b';' if depth == 0 => {
                     return Err(format!(
                         "hot-path tag on bodyless fn `{name}` (trait method declaration?)"
                     ))
                 }
-                _ => j += 1,
+                _ => {}
             }
+            j += 1;
         };
         Ok(TaggedFn { name, line: self.line_of(fn_off), body_start: open, body_end: close })
     }
@@ -404,6 +410,61 @@ pub fn token_offsets(text: &str, word: &str) -> Vec<usize> {
 /// First non-whitespace byte at or after `from`, with its offset.
 pub fn next_token(b: &[u8], from: usize) -> Option<(usize, u8)> {
     (from..b.len()).map(|i| (i, b[i])).find(|&(_, c)| !(c as char).is_whitespace())
+}
+
+/// Skips a generic-argument/parameter list whose `<` sits at `open` in
+/// masked code, returning the offset one past the matching `>`.
+///
+/// Angle brackets in *type position* follow different lexing rules than
+/// expression operators, and getting them wrong is a soundness bug for
+/// every call-graph pass built on top:
+///
+/// * `>>` closes **two** levels (`Vec<Vec<f32>>`) — it is never a shift
+///   in type position. The historical one-level-at-a-time matcher treated
+///   `>>` as a shift operator and scanned on to the next standalone `>`,
+///   so a turbofish like `make::<Vec<Vec<f32>>>()` followed by a `a > b`
+///   comparison was mis-lexed as one long closed generic that swallowed
+///   the call parens — and the swallowed call vanished from the call
+///   graph (a false negative). Pinned by the
+///   `turbofish_comparison.rs` fixture.
+/// * the `>` of a `->` return-type arrow inside `Fn(...) -> T` bounds
+///   closes nothing.
+/// * `=` (const-generic defaults), `'` (lifetimes), and nested `(...)`
+///   (`Fn` sugar) are all legal interior bytes.
+///
+/// Returns `None` when the bytes at `open` turn out not to be a generic
+/// list after all (runs into `;`, `{`, or EOF at depth > 0) — callers
+/// must then re-read the `<` as a comparison.
+pub fn skip_generics(b: &[u8], open: usize) -> Option<usize> {
+    debug_assert_eq!(b[open], b'<');
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < b.len() {
+        match b[i] {
+            b'<' => {
+                depth += 1;
+                i += 1;
+            }
+            b'>' => {
+                if i > 0 && b[i - 1] == b'-' {
+                    // `->` arrow inside Fn(...) -> T bounds.
+                    i += 1;
+                    continue;
+                }
+                // `>>` is handled naturally: each `>` closes one level.
+                depth -= 1;
+                i += 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            // A generic list never contains statements or blocks; hitting
+            // one means the `<` was a comparison operator.
+            b';' | b'{' | b'}' => return None,
+            _ => i += 1,
+        }
+    }
+    None
 }
 
 fn line_starts(src: &str) -> Vec<usize> {
@@ -623,8 +684,45 @@ mod tests {
     }
 
     #[test]
+    fn tagged_fn_skips_semicolons_inside_argument_lists() {
+        // Regression: `&mut [f32; 2]` in the signature must not read as a
+        // bodyless trait declaration.
+        let src = "// lint: hot-path\npub fn score(&self, probs: &mut [f32; 2]) -> f32 {\n    probs[1]\n}\n";
+        let tag = file(src).tagged_fn(1).unwrap();
+        assert_eq!(tag.name, "score");
+        assert_eq!(tag.line, 2);
+    }
+
+    #[test]
     fn token_offsets_respect_boundaries() {
         let t = "unsafe_probability unsafe { } my_unsafe unsafe";
         assert_eq!(token_offsets(t, "unsafe").len(), 2);
+    }
+
+    #[test]
+    fn skip_generics_closes_double_angle_then_stops_before_comparison() {
+        // The regression this helper exists for: `>>` must close two
+        // levels, so the turbofish ends at the `>()` and the later `>`
+        // comparison is NOT part of the generic list.
+        let t = "make::<Vec<Vec<f32>>>(n); let hot = level > 3;";
+        let open = t.find('<').unwrap();
+        let end = skip_generics(t.as_bytes(), open).unwrap();
+        assert_eq!(
+            &t[end..end + 1],
+            "(",
+            "generic must close at the call parens, got `{}`",
+            &t[end..]
+        );
+    }
+
+    #[test]
+    fn skip_generics_ignores_fn_arrow_and_rejects_comparisons() {
+        let t = "<F: Fn(usize) -> f32>(f: F)";
+        let end = skip_generics(t.as_bytes(), 0).unwrap();
+        assert_eq!(&t[end..end + 1], "(");
+        // A bare `<` comparison never closes as a generic: it runs into a
+        // statement boundary first.
+        let cmp = "a < b; foo()";
+        assert_eq!(skip_generics(cmp.as_bytes(), cmp.find('<').unwrap()), None);
     }
 }

@@ -1,0 +1,12 @@
+//! Fixture: nondeterminism in bit-exactness-scoped code — hashed
+//! iteration order and a reassociating float reduction.
+
+use std::collections::HashMap;
+
+pub fn tally(xs: &[f32]) -> f32 {
+    let mut m = HashMap::new();
+    for (i, x) in xs.iter().enumerate() {
+        m.insert(i, *x);
+    }
+    m.values().copied().sum::<f32>()
+}

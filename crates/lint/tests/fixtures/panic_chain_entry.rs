@@ -1,0 +1,8 @@
+//! Fixture (file 1 of 2): a decision-path entry point calling into a
+//! helper "crate" that panics two hops down. Analyzed together with
+//! `panic_chain_helper.rs`; the lexical rule sees nothing here, the
+//! transitive pass must follow the cross-file chain.
+
+pub fn decide(x: u8) -> u8 {
+    shared::classify(x)
+}

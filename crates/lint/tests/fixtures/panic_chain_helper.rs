@@ -1,0 +1,11 @@
+//! Fixture (file 2 of 2): helper crate outside the panic-scoped paths.
+//! Its `unwrap()` is legal lexically but reachable from `decide`, so the
+//! transitive pass must flag it with the full chain.
+
+pub fn classify(x: u8) -> u8 {
+    refine(x)
+}
+
+fn refine(x: u8) -> u8 {
+    Some(x).unwrap()
+}

@@ -1,0 +1,13 @@
+//! Fixture: the hot-path fn is itself allocation-free, but a helper it
+//! calls allocates. The lexical body audit cannot see this; the
+//! transitive pass must, and must report the call chain.
+
+// lint: hot-path
+pub fn step(buf: &mut [f32]) {
+    pack_tile(buf);
+}
+
+fn pack_tile(buf: &mut [f32]) {
+    let scratch = buf.to_vec();
+    let _ = scratch;
+}

@@ -1,0 +1,20 @@
+//! Fixture: regression for the shift-style generic lexer bug. A closed
+//! nested turbofish (`::<Vec<Vec<f32>>>`) followed later by a `>`
+//! comparison must not be lexed as one giant generic argument list — that
+//! would swallow the call parens, drop `make` from the call graph, and
+//! silently lose the allocation behind it (a reachability false negative).
+
+// lint: hot-path
+pub fn step(n: usize, level: usize) -> bool {
+    let buf = make::<Vec<Vec<f32>>>(n);
+    let hot = level > 3;
+    hot && !buf.is_empty()
+}
+
+fn make<T: Default>(n: usize) -> Vec<T> {
+    let mut v = Vec::new();
+    for _ in 0..n {
+        v.push(T::default());
+    }
+    v
+}

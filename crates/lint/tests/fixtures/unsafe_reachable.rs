@@ -1,0 +1,14 @@
+//! Fixture: a justified unsafe block whose enclosing fn is reachable from
+//! a hot-path root — the inventory's reachability column must attribute
+//! it to that root.
+
+// lint: hot-path
+pub fn root(p: *const f32) -> f32 {
+    // lint: allow(hot-path, reason = "leaf carries its own SAFETY contract")
+    read_lane(p)
+}
+
+fn read_lane(p: *const f32) -> f32 {
+    // SAFETY: caller guarantees `p` is valid and aligned for a f32 read.
+    unsafe { *p }
+}

@@ -4,36 +4,55 @@
 //! (excluded from the real scan by `lint.toml`); each test pins the exact
 //! diagnostics the linter must produce so a rule regression — missed
 //! violation or new false positive — fails here, inside tier-1 `cargo test`.
-//! The last two tests run the linter on the real workspace: the tree must be
-//! clean and the committed `UNSAFE_INVENTORY.md` must match what the scan
-//! produces today.
+//! Single-file fixtures go through [`check_file`] (lexical rules only);
+//! multi-file and transitive fixtures go through [`lint::analyze`], which
+//! also builds the call graph and runs the reachability passes. The last
+//! tests run the linter on the real workspace: the tree must be clean, the
+//! committed `UNSAFE_INVENTORY.md` must match what the scan produces today,
+//! and the full call-graph pass must stay under the CI latency budget.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use lint::rules::{check_file, FileFindings};
+use lint::config::Config;
+use lint::rules::{check_file, Diagnostic, FileFindings, FileScope};
 use lint::scan::SourceFile;
+use lint::Report;
 
 fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
 }
 
-/// Lints one fixture under the given scope flags, labelling it `rel` (the
-/// path it would have if it sat inside the scoped tree).
-fn lint_fixture(name: &str, rel: &str, fma: bool, panic: bool) -> FileFindings {
+fn fixture_source(name: &str, rel: &str) -> SourceFile {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
     let raw = fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
-    check_file(&SourceFile::new(rel.to_string(), raw), fma, panic)
+    SourceFile::new(rel.to_string(), raw)
 }
 
-fn lines_and_rules(f: &FileFindings) -> Vec<(usize, &'static str)> {
-    f.diagnostics.iter().map(|d| (d.line, d.rule)).collect()
+/// Lints one fixture lexically under the given scope flags, labelling it
+/// `rel` (the path it would have if it sat inside the scoped tree).
+fn lint_fixture(name: &str, rel: &str, fma: bool, panic: bool) -> FileFindings {
+    check_file(&fixture_source(name, rel), FileScope { fma, panic, determinism: false })
+}
+
+/// Runs the full pipeline (lexical + call-graph passes) over a set of
+/// fixtures posing as a little workspace (no crate-visibility gating).
+fn analyze_fixtures(files: &[(&str, &str)], cfg: &Config) -> Report {
+    lint::analyze(
+        files.iter().map(|(name, rel)| fixture_source(name, rel)).collect(),
+        cfg,
+        &lint::deps::CrateMap::permissive(),
+    )
+}
+
+fn lines_and_rules(diags: &[Diagnostic]) -> Vec<(usize, &'static str)> {
+    diags.iter().map(|d| (d.line, d.rule)).collect()
 }
 
 #[test]
 fn fma_fixture_flags_mul_add_and_intrinsic_with_no_escape_hatch() {
     let f = lint_fixture("fma_in_kernels.rs", "crates/nn/src/kernels.rs", true, false);
-    assert_eq!(lines_and_rules(&f), [(7, "fma"), (19, "fma")], "{:#?}", f.diagnostics);
+    assert_eq!(lines_and_rules(&f.diagnostics), [(7, "fma"), (19, "fma")], "{:#?}", f.diagnostics);
     assert!(f.diagnostics[0].message.contains("`mul_add`"), "{}", f.diagnostics[0].message);
     assert!(f.diagnostics[1].message.contains("`fmadd`"), "{}", f.diagnostics[1].message);
     assert!(f.diagnostics[1].message.contains("no allow exists"), "{}", f.diagnostics[1].message);
@@ -44,7 +63,12 @@ fn fma_fixture_flags_mul_add_and_intrinsic_with_no_escape_hatch() {
 #[test]
 fn bare_unsafe_fixture_flags_block_and_fn_sites() {
     let f = lint_fixture("bare_unsafe.rs", "crates/nn/src/simd.rs", false, false);
-    assert_eq!(lines_and_rules(&f), [(5, "unsafe"), (8, "unsafe")], "{:#?}", f.diagnostics);
+    assert_eq!(
+        lines_and_rules(&f.diagnostics),
+        [(5, "unsafe"), (8, "unsafe")],
+        "{:#?}",
+        f.diagnostics
+    );
     assert!(f.diagnostics[0].message.contains("unsafe block"), "{}", f.diagnostics[0].message);
     assert!(f.diagnostics[1].message.contains("unsafe fn"), "{}", f.diagnostics[1].message);
     assert!(
@@ -59,7 +83,7 @@ fn bare_unsafe_fixture_flags_block_and_fn_sites() {
 fn alloc_fixture_flags_every_allocation_in_the_tagged_body_only() {
     let f = lint_fixture("alloc_in_hot_path.rs", "crates/core/src/hot.rs", false, false);
     assert_eq!(
-        lines_and_rules(&f),
+        lines_and_rules(&f.diagnostics),
         [(11, "alloc"), (12, "alloc"), (13, "alloc")],
         "{:#?}",
         f.diagnostics
@@ -75,7 +99,7 @@ fn alloc_fixture_flags_every_allocation_in_the_tagged_body_only() {
 fn panic_fixture_flags_macro_index_and_unwrap_but_not_tests() {
     let f = lint_fixture("panic_in_decision_path.rs", "crates/reactor/src/safety.rs", false, true);
     assert_eq!(
-        lines_and_rules(&f),
+        lines_and_rules(&f.diagnostics),
         [(6, "panic"), (8, "panic"), (12, "panic")],
         "{:#?}",
         f.diagnostics
@@ -83,6 +107,108 @@ fn panic_fixture_flags_macro_index_and_unwrap_but_not_tests() {
     assert!(f.diagnostics[0].message.contains("`panic!`"), "{}", f.diagnostics[0].message);
     assert!(f.diagnostics[1].message.contains("index"), "{}", f.diagnostics[1].message);
     assert!(f.diagnostics[2].message.contains("`unwrap()`"), "{}", f.diagnostics[2].message);
+}
+
+#[test]
+fn determinism_fixture_flags_hashed_iteration_and_float_reduction() {
+    let cfg =
+        Config { determinism_paths: vec!["crates/nn/src/kernels.rs".into()], ..Config::default() };
+    let r = analyze_fixtures(&[("hashmap_in_kernel.rs", "crates/nn/src/kernels.rs")], &cfg);
+    assert_eq!(
+        lines_and_rules(&r.diagnostics),
+        [(4, "determinism"), (7, "determinism"), (11, "determinism")],
+        "{:#?}",
+        r.diagnostics
+    );
+    assert!(r.diagnostics[0].message.contains("`HashMap`"), "{}", r.diagnostics[0].message);
+    assert!(
+        r.diagnostics[2].message.contains("accumulation order"),
+        "{}",
+        r.diagnostics[2].message
+    );
+}
+
+#[test]
+fn transitive_alloc_fixture_follows_the_helper_call_with_a_chain() {
+    let rel = "crates/core/src/hot.rs";
+    let r = analyze_fixtures(&[("transitive_alloc_via_helper.rs", rel)], &Config::default());
+    assert_eq!(
+        lines_and_rules(&r.diagnostics),
+        [(7, "hot-path"), (11, "alloc")],
+        "{:#?}",
+        r.diagnostics
+    );
+    // The untagged-callee diagnostic points at the call and names both ends.
+    assert!(r.diagnostics[0].message.contains("`step`"), "{}", r.diagnostics[0].message);
+    assert!(r.diagnostics[0].message.contains("`pack_tile`"), "{}", r.diagnostics[0].message);
+    // The transitive allocation diagnostic carries the exact chain.
+    assert_eq!(
+        r.diagnostics[1].chain,
+        [format!("step ({rel}:7)"), format!("pack_tile ({rel}:11)")],
+        "{:#?}",
+        r.diagnostics[1]
+    );
+    assert!(r.diagnostics[1].message.contains("`.to_vec(`"), "{}", r.diagnostics[1].message);
+}
+
+#[test]
+fn cross_file_panic_chain_is_reported_at_the_unwrap_with_the_full_route() {
+    let entry = "crates/reactor/src/plan.rs";
+    let helper = "crates/shared/src/lib.rs";
+    let cfg = Config { panic_paths: vec!["crates/reactor/src".into()], ..Config::default() };
+    let r = analyze_fixtures(
+        &[("panic_chain_entry.rs", entry), ("panic_chain_helper.rs", helper)],
+        &cfg,
+    );
+    assert_eq!(lines_and_rules(&r.diagnostics), [(10, "panic")], "{:#?}", r.diagnostics);
+    let d = &r.diagnostics[0];
+    assert_eq!(d.file, helper);
+    assert_eq!(
+        d.chain,
+        [
+            format!("decide ({entry}:7)"),
+            format!("classify ({helper}:6)"),
+            format!("refine ({helper}:10)"),
+        ],
+        "{:#?}",
+        d
+    );
+    assert!(d.message.contains("decision-path root `decide`"), "{}", d.message);
+    assert_eq!(r.decision_roots, 1, "only `decide` sits in the scoped paths");
+}
+
+#[test]
+fn unsafe_site_reachable_from_hot_root_is_attributed_in_the_inventory() {
+    let r =
+        analyze_fixtures(&[("unsafe_reachable.rs", "crates/nn/src/simd.rs")], &Config::default());
+    assert!(r.diagnostics.is_empty(), "{:#?}", r.diagnostics);
+    assert_eq!(r.allows.len(), 1, "{:#?}", r.allows);
+    assert_eq!(r.allows[0].rule, "hot-path");
+    assert_eq!(r.unsafe_sites.len(), 1, "{:#?}", r.unsafe_sites);
+    assert_eq!(r.unsafe_sites[0].line, 13);
+    assert_eq!(r.unsafe_sites[0].reach, "hot-path: root");
+    assert!(r.inventory_markdown().contains("| hot-path: root |"), "reach column must render");
+}
+
+#[test]
+fn turbofish_before_comparison_regression_keeps_the_call_edge() {
+    // With the old shift-style angle matching, `::<Vec<Vec<f32>>>` would
+    // run on to the `>` in `level > 3`, swallow `(n)`, and `make` would
+    // vanish from the graph — no diagnostics at all.
+    let rel = "crates/core/src/hot.rs";
+    let r = analyze_fixtures(&[("turbofish_comparison.rs", rel)], &Config::default());
+    assert_eq!(
+        lines_and_rules(&r.diagnostics),
+        [(9, "hot-path"), (15, "alloc")],
+        "{:#?}",
+        r.diagnostics
+    );
+    assert_eq!(
+        r.diagnostics[1].chain,
+        [format!("step ({rel}:9)"), format!("make ({rel}:15)")],
+        "{:#?}",
+        r.diagnostics[1]
+    );
 }
 
 #[test]
@@ -100,12 +226,26 @@ fn real_workspace_tree_is_clean() {
     let cfg = lint::load_config(&root, None).expect("lint.toml parses");
     let report = lint::check_tree(&root, &cfg).expect("tree scan");
     assert!(report.files_scanned > 50, "suspiciously small scan: {}", report.files_scanned);
+    assert!(report.defs > 300, "suspiciously small item parse: {} defs", report.defs);
+    assert!(report.edges > 300, "suspiciously sparse graph: {} edges", report.edges);
+    assert!(report.hot_roots > 20, "hot-path roots went missing: {}", report.hot_roots);
+    assert!(report.decision_roots > 50, "decision roots went missing: {}", report.decision_roots);
     let rendered: Vec<String> = report
         .diagnostics
         .iter()
         .map(|d| format!("{}:{}: [{}] {}", d.file, d.line, d.rule, d.message))
         .collect();
     assert!(report.is_clean(), "workspace has lint violations:\n{}", rendered.join("\n"));
+    // Latency budget: the whole analysis (including the call-graph build
+    // and both reachability closures) must fit a 1-core CI runner. The
+    // debug-profile bound here is deliberately the same 5s the release
+    // binary is held to.
+    assert!(
+        report.total_ms < 5_000,
+        "full workspace pass took {} ms (graph {} ms) — over the 5s CI budget",
+        report.total_ms,
+        report.graph_ms
+    );
 }
 
 #[test]

@@ -223,11 +223,13 @@ fn encode_isa(isa: GemmIsa) -> u8 {
     }
 }
 
+// lint: hot-path
 fn decode_isa(v: u8) -> GemmIsa {
     match v {
         1 => GemmIsa::Scalar,
         2 => GemmIsa::Avx2,
         3 => GemmIsa::Neon,
+        // lint: allow(panic, reason = "encode/decode round-trip over ACTIVE_ISA; only encoded values are ever stored")
         _ => unreachable!("ACTIVE_ISA only ever stores encoded ISAs"),
     }
 }
@@ -235,6 +237,7 @@ fn decode_isa(v: u8) -> GemmIsa {
 /// The SIMD ISA this host supports (runtime feature detection), regardless
 /// of any override. `None` on hosts with neither AVX2 nor NEON — there the
 /// scalar tiles are the only backend and `Simd` requests fall back.
+// lint: hot-path
 pub fn simd_isa() -> Option<GemmIsa> {
     #[cfg(target_arch = "x86_64")]
     {
@@ -261,8 +264,10 @@ pub fn set_gemm_backend(request: GemmBackend) -> GemmIsa {
 /// The currently active ISA, resolving the backend on first use: an
 /// explicit [`set_gemm_backend`] wins, then the `GEMM_BACKEND` environment
 /// variable (`auto`/`scalar`/`simd`), then auto-detection.
+// lint: hot-path
 pub fn active_gemm_isa() -> GemmIsa {
     match ACTIVE_ISA.load(Ordering::Acquire) {
+        // lint: allow(hot-path, reason = "one-time OnceLock initialisation of the dispatch choice, not steady-state work")
         0 => resolve_from_env(),
         v => decode_isa(v),
     }
@@ -331,6 +336,7 @@ fn install(request: GemmBackend, src: u8) -> GemmIsa {
 /// # Panics
 ///
 /// Panics if `isa` is not compiled into this binary (wrong architecture).
+// lint: hot-path
 fn isa_table(isa: GemmIsa) -> &'static Dispatch {
     match isa {
         GemmIsa::Scalar => &SCALAR_TABLE,
@@ -339,11 +345,13 @@ fn isa_table(isa: GemmIsa) -> &'static Dispatch {
         #[cfg(target_arch = "aarch64")]
         GemmIsa::Neon => &NEON_TABLE,
         #[allow(unreachable_patterns)] // reachable only for foreign-arch ISAs
+        // lint: allow(panic, reason = "foreign-arch ISA arm; dispatch only selects backends the detector verified on this CPU")
         other => panic!("GEMM backend {other:?} is not available on this architecture"),
     }
 }
 
 /// Asserts `isa` actually runs on this host (compiled in *and* detected).
+// lint: hot-path
 fn assert_isa_available(isa: GemmIsa) {
     if isa != GemmIsa::Scalar && simd_isa() != Some(isa) {
         panic!("GEMM backend {isa:?} is not available on this host (see kernels::simd_isa)");
@@ -854,6 +862,7 @@ fn axpy_row(a_row: &[f32], panel: &[f32], stride: usize, out_row: &mut [f32]) {
 }
 
 #[track_caller]
+// lint: hot-path
 fn check_dims(
     m: usize,
     k: usize,

@@ -124,6 +124,7 @@ pub fn gemm_i8_abt_with(
 /// [`gemm_backend_label`](super::gemm_backend_label) header treat the two
 /// dtypes as separately resolved so a future ISA split (e.g. VNNI-only
 /// int8) stays a local change.
+// lint: hot-path
 pub fn active_gemm_i8_isa() -> GemmIsa {
     super::active_gemm_isa()
 }
@@ -133,6 +134,7 @@ pub fn active_gemm_i8_isa() -> GemmIsa {
 /// # Panics
 ///
 /// Panics if `isa` is not compiled into this binary (wrong architecture).
+// lint: hot-path
 fn run(isa: GemmIsa, m: usize, k: usize, n: usize, a: &[i8], b: &[i8], out: &mut [i32]) {
     match isa {
         GemmIsa::Scalar => scalar_i8_abt(m, k, n, a, b, out),
@@ -148,6 +150,7 @@ fn run(isa: GemmIsa, m: usize, k: usize, n: usize, a: &[i8], b: &[i8], out: &mut
             unsafe { neon::gemm_abt(m, k, n, a, b, out) }
         }
         #[allow(unreachable_patterns)] // reachable only for foreign-arch ISAs
+        // lint: allow(panic, reason = "foreign-arch ISA arm; dispatch only selects backends the detector verified on this CPU")
         other => panic!("int8 GEMM backend {other:?} is not available on this architecture"),
     }
 }
@@ -155,6 +158,7 @@ fn run(isa: GemmIsa, m: usize, k: usize, n: usize, a: &[i8], b: &[i8], out: &mut
 /// Scalar `C = A·Bᵀ`: the reference loop with [`I8_MR`]-row blocking so
 /// each loaded B row is reused across four output rows. Identical output
 /// to [`naive_i8_abt`] — exact integer sums in any order (module docs).
+// lint: hot-path
 fn scalar_i8_abt(m: usize, k: usize, n: usize, a: &[i8], b: &[i8], out: &mut [i32]) {
     let mut i0 = 0;
     while i0 + I8_MR <= m {
@@ -187,6 +191,7 @@ fn scalar_i8_abt(m: usize, k: usize, n: usize, a: &[i8], b: &[i8], out: &mut [i3
 }
 
 #[track_caller]
+// lint: hot-path
 fn check_dims_i8(m: usize, k: usize, n: usize, a_len: usize, b_len: usize, out_len: usize) {
     assert_eq!(a_len, m * k, "gemm_i8: A length {a_len} != {m}x{k}");
     assert_eq!(b_len, n * k, "gemm_i8: B length {b_len} != {n}x{k}");
@@ -247,6 +252,7 @@ mod avx2 {
         let mut lanes = [0i32; 8];
         // SAFETY: `lanes` is 8 i32 (32 bytes) on the stack.
         unsafe { _mm256_storeu_si256(lanes.as_mut_ptr().cast(), v) };
+        // lint: allow(determinism, reason = "i32 horizontal sum -- integer addition is exact and order-independent")
         lanes.iter().sum()
     }
 

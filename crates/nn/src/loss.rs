@@ -21,6 +21,7 @@ pub fn softmax(logits: &[f32]) -> Vec<f32> {
 /// # Panics
 ///
 /// Panics if `out.len() != logits.len()`.
+// lint: hot-path
 pub fn softmax_into(logits: &[f32], out: &mut [f32]) {
     assert_eq!(logits.len(), out.len(), "softmax_into: length mismatch");
     let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);

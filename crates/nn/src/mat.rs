@@ -105,6 +105,7 @@ impl Mat {
     }
 
     /// `(rows, cols)` pair.
+    // lint: hot-path
     pub fn shape(&self) -> (usize, usize) {
         (self.rows, self.cols)
     }
@@ -120,11 +121,13 @@ impl Mat {
     }
 
     /// Borrow the backing row-major storage.
+    // lint: hot-path
     pub fn as_slice(&self) -> &[f32] {
         &self.data
     }
 
     /// Mutably borrow the backing row-major storage.
+    // lint: hot-path
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
         &mut self.data
     }
@@ -139,6 +142,7 @@ impl Mat {
     /// # Panics
     ///
     /// Panics if `r >= rows`.
+    // lint: hot-path
     pub fn row(&self, r: usize) -> &[f32] {
         assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
         &self.data[r * self.cols..(r + 1) * self.cols]
@@ -149,6 +153,7 @@ impl Mat {
     /// # Panics
     ///
     /// Panics if `r >= rows`.
+    // lint: hot-path
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
         &mut self.data[r * self.cols..(r + 1) * self.cols]
@@ -163,6 +168,7 @@ impl Mat {
     /// capacity suffices. The contents afterwards are unspecified — callers
     /// must overwrite every element (the allocation-free inference path
     /// relies on this never reallocating in steady state).
+    // lint: hot-path
     pub fn resize(&mut self, rows: usize, cols: usize) {
         self.rows = rows;
         self.cols = cols;
@@ -170,12 +176,14 @@ impl Mat {
     }
 
     /// Sets every element to `value` without changing the shape.
+    // lint: hot-path
     pub fn fill(&mut self, value: f32) {
         self.data.fill(value);
     }
 
     /// Makes `self` an element-for-element copy of `src`, reusing the
     /// existing allocation when possible.
+    // lint: hot-path
     pub fn copy_from(&mut self, src: &Mat) {
         self.resize(src.rows, src.cols);
         self.data.copy_from_slice(&src.data);
@@ -189,6 +197,7 @@ impl Mat {
     /// # Panics
     ///
     /// Panics if the widths differ or `src` does not fit at `at`.
+    // lint: hot-path
     pub fn copy_rows_from(&mut self, src: &Mat, at: usize) {
         assert_eq!(self.cols, src.cols, "copy_rows_from: width mismatch");
         assert!(
@@ -302,12 +311,14 @@ impl Mat {
     /// Panics if shapes differ.
     pub fn zip_with(&self, other: &Mat, f: impl Fn(f32, f32) -> f32) -> Mat {
         assert_eq!(self.shape(), other.shape(), "zip_with: shape mismatch");
+        // lint: allow(alloc, reason = "allocating constructor-style API; the hot edge is a pointer .add() name collision, kernels never call it")
         let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
         Mat { rows: self.rows, cols: self.cols, data }
     }
 
     /// Returns a new matrix with `f` applied to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Mat {
+        // lint: allow(alloc, reason = "allocating constructor-style API; the hot edge is an Option .map() name collision, hot code never calls it")
         Mat { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
@@ -366,6 +377,7 @@ impl Mat {
     }
 
     /// Sum of all elements.
+    // lint: hot-path
     pub fn sum(&self) -> f32 {
         self.data.iter().sum()
     }
@@ -414,6 +426,7 @@ impl Mat {
     /// # Panics
     ///
     /// Panics if the matrix has zero columns or `r >= rows`.
+    // lint: hot-path
     pub fn argmax_row(&self, r: usize) -> usize {
         let row = self.row(r);
         assert!(!row.is_empty(), "argmax_row: empty row");

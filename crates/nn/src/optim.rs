@@ -27,6 +27,7 @@ impl Sgd {
         let mut k = 0;
         net.visit_params(&mut |p| {
             if velocity.len() <= k {
+                // lint: allow(alloc, reason = "lazy velocity buffers on the training path; the reactor edge is a receiver-blind .step() collision -- it steps an engine, not an optimizer")
                 velocity.push(vec![0.0; p.len()]);
             }
             let v = &mut velocity[k];
@@ -86,7 +87,9 @@ impl Adam {
         let mut k = 0;
         net.visit_params(&mut |p| {
             if ms.len() <= k {
+                // lint: allow(alloc, reason = "lazy first-moment buffers, training-only; reactor edge is a .step() name collision")
                 ms.push(vec![0.0; p.len()]);
+                // lint: allow(alloc, reason = "lazy second-moment buffers, training-only; reactor edge is a .step() name collision")
                 vs.push(vec![0.0; p.len()]);
             }
             let m = &mut ms[k];

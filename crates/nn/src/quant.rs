@@ -121,11 +121,13 @@ impl QuantizedMat {
     /// Stored row width: [`cols`](Self::cols) rounded up to [`K_ALIGN`].
     /// The activation operand must be staged at this same stride, and it is
     /// the `k` passed to the GEMM.
+    // lint: hot-path
     pub fn stride(&self) -> usize {
         self.stride
     }
 
     /// The quantized values, row-major `(out, stride)` with zero padding.
+    // lint: hot-path
     pub fn data(&self) -> &[i8] {
         &self.data
     }
@@ -145,6 +147,7 @@ impl QuantizedMat {
 /// makes requantization reproducible bit-for-bit everywhere. Non-finite
 /// inputs saturate through the `as` cast (NaN to 0), never trap.
 #[inline]
+// lint: hot-path
 pub fn quantize_rne(x: f32, inv_scale: f32) -> i8 {
     (x * inv_scale).round_ties_even().clamp(-127.0, 127.0) as i8
 }
@@ -168,6 +171,7 @@ impl ActQuant {
 
     /// Quantizes one value (see [`quantize_rne`]).
     #[inline]
+    // lint: hot-path
     pub fn quantize(&self, x: f32) -> i8 {
         quantize_rne(x, self.inv_scale)
     }
@@ -474,6 +478,7 @@ impl QLayer {
 /// f32-identical ones) — and auto-vectorizable, which is where the tier's
 /// per-frame latency win over f32's `exp`-based gates comes from.
 #[inline]
+// lint: hot-path
 fn fast_tanh(x: f32) -> f32 {
     // Beyond ±4.9 the approximant and tanh are both within 1.2e-4 of ±1.
     let x = x.clamp(-4.9, 4.9);
@@ -486,6 +491,7 @@ fn fast_tanh(x: f32) -> f32 {
 /// Deterministic sigmoid via [`fast_tanh`]:
 /// `σ(x) = 0.5 + 0.5·tanh(x/2)` (same error bound, halved).
 #[inline]
+// lint: hot-path
 fn fast_sigmoid(x: f32) -> f32 {
     0.5 + 0.5 * fast_tanh(0.5 * x)
 }
@@ -493,6 +499,7 @@ fn fast_sigmoid(x: f32) -> f32 {
 /// Quantizes every row of `x` into `dst` at row stride `stride`
 /// (≥ `x.cols()`), zero-filling the padding — exactly the layout
 /// [`QuantizedMat`] stores weights in, so the GEMM runs tail-free.
+// lint: hot-path
 fn quantize_rows(x: &Mat, q: &ActQuant, stride: usize, dst: &mut Vec<i8>) {
     let (rows, cols) = x.shape();
     dst.resize(rows * stride, 0);
@@ -529,6 +536,7 @@ impl QDense {
 }
 
 impl QConv1d {
+    // lint: hot-path
     fn pad_lo(&self) -> usize {
         match self.padding {
             Padding::Valid => 0,

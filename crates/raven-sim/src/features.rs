@@ -27,6 +27,7 @@ const _: () = assert!(GLOBALS + 2 * PER_ARM == RAVEN_FEATURES);
 
 /// Flattens the simulator state into the 277-feature row.
 pub fn flatten(tick: usize, dt: f32, progress: f32, arms: &[Arm; 2]) -> Vec<f32> {
+    // lint: allow(alloc, reason = "fresh feature row per sim tick; harness code reached from the reactor only via the .step() name collision")
     let mut row = Vec::with_capacity(RAVEN_FEATURES);
     // Globals.
     row.push(3.0); // runlevel: pedal down

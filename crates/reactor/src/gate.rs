@@ -99,6 +99,7 @@ impl AlertGate {
 
     /// The last commands that passed through un-gated, if any — the
     /// setpoint a fail-safe hold freezes at.
+    // lint: hot-path
     pub fn last_commands(&self) -> Option<Commands> {
         self.last_cmds
     }
@@ -164,6 +165,7 @@ impl AlertGate {
     }
 
     /// Whether gating is active at `tick`, retiring an expired pause.
+    // lint: hot-path
     fn gating_active(&mut self, tick: usize) -> bool {
         let Some(from) = self.gate_from else { return false };
         if tick < from {
